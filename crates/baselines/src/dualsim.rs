@@ -1,0 +1,362 @@
+//! DualSim-style matcher (Kim et al., SIGMOD 2016) — lite, with a paged-IO
+//! model.
+//!
+//! DualSim is a *disk-based* enumerator: adjacency lists live in slotted
+//! pages, a bounded set of pages is memory-resident at a time, and the dual
+//! approach iterates page combinations, running matching against whatever is
+//! loaded. Its performance is IO-bound — the CECI paper's explanation for
+//! beating it is exactly that DualSim "loads a set of few slotted pages from
+//! graph at a time ... and is able to supply very limited amount of workload
+//! in a given time" (§6.1).
+//!
+//! We do not have the authors' disk format (the paper itself *quotes*
+//! DualSim's published numbers rather than rerunning it). This lite engine
+//! reproduces the *behavioral model*: adjacency data is split into fixed-size
+//! pages, every neighbor-list access goes through an LRU page cache of
+//! bounded capacity, cache misses are counted, and the reported runtime is
+//! `cpu_time + page_faults × page_load_latency`. The matching logic itself
+//! is the same bare backtracking CECI's baseline uses, so the only modeled
+//! difference is the IO bottleneck — which is the property the figures need.
+
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
+
+use ceci_core::metrics::Counters;
+use ceci_graph::{Graph, VertexId};
+use ceci_query::QueryPlan;
+
+/// Paged view of a graph's adjacency data with an LRU cache.
+pub struct PagedGraph<'a> {
+    graph: &'a Graph,
+    /// Adjacency entries per page.
+    page_size: usize,
+    /// Pages the cache can hold.
+    capacity: usize,
+    /// LRU queue of resident page ids (front = oldest).
+    resident: VecDeque<usize>,
+    resident_set: std::collections::HashSet<usize>,
+    /// Cache misses (page loads).
+    page_faults: u64,
+    /// Total page accesses.
+    page_accesses: u64,
+}
+
+impl<'a> PagedGraph<'a> {
+    /// Wraps `graph` with a page model: `page_size` adjacency entries per
+    /// page, `capacity` resident pages.
+    pub fn new(graph: &'a Graph, page_size: usize, capacity: usize) -> Self {
+        assert!(page_size >= 1 && capacity >= 1);
+        PagedGraph {
+            graph,
+            page_size,
+            capacity,
+            resident: VecDeque::new(),
+            resident_set: std::collections::HashSet::new(),
+            page_faults: 0,
+            page_accesses: 0,
+        }
+    }
+
+    /// Pages the adjacency slice of `v` spans.
+    fn pages_of(&self, v: VertexId) -> (usize, usize) {
+        let offsets = self.graph.csr().offsets();
+        let start = offsets[v.index()] / self.page_size;
+        let end = offsets[v.index() + 1].saturating_sub(1) / self.page_size;
+        (start, end.max(start))
+    }
+
+    /// Touches the pages backing `v`'s adjacency list, then returns it.
+    pub fn neighbors(&mut self, v: VertexId) -> &'a [VertexId] {
+        let (first, last) = self.pages_of(v);
+        for page in first..=last {
+            self.touch(page);
+        }
+        self.graph.neighbors(v)
+    }
+
+    /// Edge check through the pager (touches the smaller endpoint's pages).
+    pub fn has_edge(&mut self, a: VertexId, b: VertexId) -> bool {
+        let probe = if self.graph.degree(a) <= self.graph.degree(b) {
+            a
+        } else {
+            b
+        };
+        let key = if probe == a { b } else { a };
+        self.neighbors(probe).binary_search(&key).is_ok()
+    }
+
+    fn touch(&mut self, page: usize) {
+        self.page_accesses += 1;
+        if self.resident_set.contains(&page) {
+            return;
+        }
+        self.page_faults += 1;
+        if self.resident.len() == self.capacity {
+            if let Some(evicted) = self.resident.pop_front() {
+                self.resident_set.remove(&evicted);
+            }
+        }
+        self.resident.push_back(page);
+        self.resident_set.insert(page);
+    }
+
+    /// Cache misses so far.
+    pub fn page_faults(&self) -> u64 {
+        self.page_faults
+    }
+
+    /// Total page touches so far.
+    pub fn page_accesses(&self) -> u64 {
+        self.page_accesses
+    }
+}
+
+/// Result of a DualSim-style run.
+#[derive(Debug)]
+pub struct DualSimResult {
+    /// Embeddings found.
+    pub total_embeddings: u64,
+    /// Counters.
+    pub counters: Counters,
+    /// Page cache misses.
+    pub page_faults: u64,
+    /// Page touches.
+    pub page_accesses: u64,
+    /// Pure CPU wall time.
+    pub cpu_time: Duration,
+    /// Modeled total time: `cpu_time + page_faults × page_load_latency`.
+    pub modeled_time: Duration,
+}
+
+/// Options for the DualSim-style engine.
+#[derive(Clone, Copy, Debug)]
+pub struct DualSimOptions {
+    /// Adjacency entries per slotted page.
+    pub page_size: usize,
+    /// Resident page budget (the "small portion of graph in memory").
+    pub cache_pages: usize,
+    /// Modeled latency per page load.
+    pub page_load_latency: Duration,
+}
+
+impl Default for DualSimOptions {
+    fn default() -> Self {
+        DualSimOptions {
+            // Calibrated so the modeled IO penalty lands in the ballpark of
+            // the DualSim numbers the CECI paper quotes (1.9x-20x slower
+            // than CECI): a 4 KiB slotted page of 1,024 u32 adjacency
+            // entries, an NVMe-class ~2us effective read (queue-depth
+            // amortized), and a resident budget of 512 pages — small graphs
+            // mostly fit (small penalty), larger ones thrash (large
+            // penalty), matching the paper's spread.
+            page_size: 1024,
+            cache_pages: 512,
+            page_load_latency: Duration::from_micros(2),
+        }
+    }
+}
+
+/// Runs the DualSim-style paged matcher (sequential; counts all embeddings).
+pub fn enumerate_dualsim(
+    graph: &Graph,
+    plan: &QueryPlan,
+    options: &DualSimOptions,
+) -> DualSimResult {
+    let start = Instant::now();
+    let mut pager = PagedGraph::new(graph, options.page_size, options.cache_pages);
+    let mut counters = Counters::default();
+    let n = plan.query().num_vertices();
+    let mut mapping: Vec<Option<VertexId>> = vec![None; n];
+    let mut used = std::collections::HashSet::new();
+
+    let root = plan.root();
+    let query = plan.query();
+    let roots: Vec<VertexId> = graph
+        .vertices_with_label(
+            query
+                .labels(root)
+                .iter()
+                .min_by_key(|&l| graph.vertices_with_label(l).len())
+                .expect("non-empty label set"),
+        )
+        .iter()
+        .copied()
+        .filter(|&v| query.labels(root).is_subset_of(graph.labels(v)))
+        .filter(|&v| graph.degree(v) >= query.degree(root))
+        .collect();
+    for s in roots {
+        if n == 1 {
+            counters.embeddings += 1;
+            continue;
+        }
+        mapping[root.index()] = Some(s);
+        used.insert(s);
+        search(graph, plan, &mut pager, 1, &mut mapping, &mut used, &mut counters);
+        mapping[root.index()] = None;
+        used.remove(&s);
+    }
+    let cpu_time = start.elapsed();
+    let modeled_time = cpu_time + options.page_load_latency * pager.page_faults() as u32;
+    DualSimResult {
+        total_embeddings: counters.embeddings,
+        counters,
+        page_faults: pager.page_faults(),
+        page_accesses: pager.page_accesses(),
+        cpu_time,
+        modeled_time,
+    }
+}
+
+fn search(
+    graph: &Graph,
+    plan: &QueryPlan,
+    pager: &mut PagedGraph<'_>,
+    depth: usize,
+    mapping: &mut Vec<Option<VertexId>>,
+    used: &mut std::collections::HashSet<VertexId>,
+    counters: &mut Counters,
+) {
+    counters.recursive_calls += 1;
+    let order = plan.matching_order();
+    let u = order[depth];
+    let query = plan.query();
+    let parent = plan.tree().parent(u).expect("non-root");
+    let parent_image = mapping[parent.index()].expect("assigned");
+    let last = depth + 1 == order.len();
+    let neighbors = pager.neighbors(parent_image);
+    'cand: for &v in neighbors {
+        if used.contains(&v) {
+            counters.injectivity_rejections += 1;
+            continue;
+        }
+        if !query.labels(u).is_subset_of(graph.labels(v)) || graph.degree(v) < query.degree(u)
+        {
+            continue;
+        }
+        for un in plan.backward_nte(u) {
+            let image = mapping[un.index()].expect("assigned earlier");
+            counters.edge_verifications += 1;
+            if !pager.has_edge(v, image) {
+                continue 'cand;
+            }
+        }
+        if !plan.satisfies_symmetry(u, v, mapping) {
+            counters.symmetry_rejections += 1;
+            continue;
+        }
+        mapping[u.index()] = Some(v);
+        used.insert(v);
+        if last {
+            counters.embeddings += 1;
+        } else {
+            search(graph, plan, pager, depth + 1, mapping, used, counters);
+        }
+        mapping[u.index()] = None;
+        used.remove(&v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+    use ceci_graph::vid;
+    use ceci_query::PaperQuery;
+
+    fn sample_graph() -> Graph {
+        Graph::unlabeled(
+            6,
+            &[
+                (vid(0), vid(1)),
+                (vid(1), vid(2)),
+                (vid(2), vid(0)),
+                (vid(1), vid(3)),
+                (vid(2), vid(3)),
+                (vid(3), vid(4)),
+                (vid(4), vid(5)),
+                (vid(5), vid(3)),
+            ],
+        )
+    }
+
+    #[test]
+    fn counts_match_reference() {
+        let graph = sample_graph();
+        for pq in PaperQuery::ALL {
+            let plan = QueryPlan::new(pq.build(), &graph);
+            let expected =
+                reference::count_all(&graph, plan.query(), plan.symmetry_constraints());
+            let result = enumerate_dualsim(&graph, &plan, &DualSimOptions::default());
+            assert_eq!(result.total_embeddings, expected, "{}", pq.name());
+        }
+    }
+
+    #[test]
+    fn tiny_cache_causes_more_faults() {
+        // Big enough graph that adjacency spans many 8-entry pages.
+        let mut edges = Vec::new();
+        for i in 0..200u32 {
+            edges.push((vid(i), vid((i + 1) % 200)));
+            edges.push((vid(i), vid((i + 7) % 200)));
+            edges.push((vid(i), vid((i + 31) % 200)));
+        }
+        let graph = Graph::unlabeled(200, &edges);
+        let plan = QueryPlan::new(PaperQuery::Qg1.build(), &graph);
+        let small = enumerate_dualsim(
+            &graph,
+            &plan,
+            &DualSimOptions {
+                page_size: 8,
+                cache_pages: 1,
+                ..Default::default()
+            },
+        );
+        let large = enumerate_dualsim(
+            &graph,
+            &plan,
+            &DualSimOptions {
+                page_size: 8,
+                cache_pages: 4096,
+                ..Default::default()
+            },
+        );
+        assert_eq!(small.total_embeddings, large.total_embeddings);
+        assert!(
+            small.page_faults > large.page_faults,
+            "small-cache faults {} should exceed large-cache faults {}",
+            small.page_faults,
+            large.page_faults
+        );
+    }
+
+    #[test]
+    fn modeled_time_includes_io() {
+        let graph = sample_graph();
+        let plan = QueryPlan::new(PaperQuery::Qg1.build(), &graph);
+        let result = enumerate_dualsim(
+            &graph,
+            &plan,
+            &DualSimOptions {
+                page_size: 2,
+                cache_pages: 2,
+                page_load_latency: Duration::from_millis(1),
+            },
+        );
+        assert!(result.page_faults > 0);
+        assert!(result.modeled_time > result.cpu_time);
+        assert!(result.page_accesses >= result.page_faults);
+    }
+
+    #[test]
+    fn pager_lru_eviction() {
+        let graph = sample_graph();
+        let mut pager = PagedGraph::new(&graph, 2, 1);
+        let _ = pager.neighbors(vid(0));
+        let f1 = pager.page_faults();
+        let _ = pager.neighbors(vid(0));
+        // Single adjacency spanning the same pages: re-touch may or may not
+        // fault depending on span; but capacity 1 with a multi-page span
+        // always evicts, so faults never decrease.
+        assert!(pager.page_faults() >= f1);
+    }
+}

@@ -1,0 +1,71 @@
+//! Criterion micro-bench: the §4.1 claim in isolation — intersection-based
+//! vs edge-verification enumeration over the same index, plus the raw
+//! merge/gallop kernels.
+
+use ceci_bench::{Dataset, Scale};
+use ceci_core::intersect::intersect_into;
+use ceci_core::{
+    enumerate_sequential, Ceci, CountSink, EnumOptions, VerifyMode,
+};
+use ceci_graph::VertexId;
+use ceci_query::{PaperQuery, QueryPlan};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_verify_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("verify_mode");
+    group.sample_size(10);
+    let graph = Dataset::Wt.build(Scale::Quick);
+    for query in [PaperQuery::Qg3, PaperQuery::Qg4, PaperQuery::Qg5] {
+        let plan = QueryPlan::new(query.build(), &graph);
+        let ceci = Ceci::build(&graph, &plan);
+        for (name, verify) in [
+            ("intersect", VerifyMode::Intersection),
+            ("edge_verify", VerifyMode::EdgeVerification),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(name, query.name()),
+                &ceci,
+                |b, ceci| {
+                    b.iter(|| {
+                        let mut sink = CountSink::unbounded();
+                        std::hint::black_box(enumerate_sequential(
+                            &graph,
+                            &plan,
+                            ceci,
+                            EnumOptions { verify },
+                            &mut sink,
+                        ))
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("intersect_kernels");
+    let a: Vec<VertexId> = (0..10_000u32).map(|i| VertexId(i * 3)).collect();
+    let b_list: Vec<VertexId> = (0..10_000u32).map(|i| VertexId(i * 5)).collect();
+    let small: Vec<VertexId> = (0..100u32).map(|i| VertexId(i * 317)).collect();
+    group.bench_function("merge_balanced", |bch| {
+        let mut out = Vec::new();
+        let mut ops = 0;
+        bch.iter(|| {
+            intersect_into(&a, &b_list, &mut out, &mut ops);
+            std::hint::black_box(out.len())
+        });
+    });
+    group.bench_function("gallop_skewed", |bch| {
+        let mut out = Vec::new();
+        let mut ops = 0;
+        bch.iter(|| {
+            intersect_into(&small, &a, &mut out, &mut ops);
+            std::hint::black_box(out.len())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_verify_modes, bench_kernels);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Figures 13 & 14 — thread scalability on FS and OK: CECI vs PsgL-lite,
+//! speedup relative to each engine's own single-thread run.
+
+use ceci_query::PaperQuery;
+
+use crate::datasets::{Dataset, Scale};
+use crate::experiments::{default_workers, run_psgl};
+use crate::harness::{persist_records, run_ceci, RunRecord};
+use crate::table::{fmt_duration, fmt_speedup, Table};
+
+fn thread_counts() -> Vec<usize> {
+    // Makespans are modeled from per-thread CPU clocks, so sweeping past the
+    // physical core count is meaningful (threads timeshare; their CPU shares
+    // don't). Cap at 2x the default worker ceiling.
+    let max = (2 * default_workers()).max(16);
+    [1usize, 2, 4, 8, 16, 32]
+        .into_iter()
+        .filter(|&t| t <= max)
+        .collect()
+}
+
+/// Runs Figure 13 (QG1).
+pub fn run_fig13(scale: Scale) {
+    run_scaling("Figure 13", "fig13", PaperQuery::Qg1, scale);
+}
+
+/// Runs Figure 14 (QG4).
+pub fn run_fig14(scale: Scale) {
+    run_scaling("Figure 14", "fig14", PaperQuery::Qg4, scale);
+}
+
+fn run_scaling(title: &str, persist_name: &str, q: PaperQuery, scale: Scale) {
+    println!(
+        "{title}: modeled speedup vs own 1-thread baseline while scaling threads ({}), \
+         makespans modeled from per-worker thread-CPU time, scale {scale:?}\n",
+        q.name()
+    );
+    let mut records = Vec::new();
+    for d in [Dataset::Fs, Dataset::Ok] {
+        let graph = d.build(scale);
+        let mut t = Table::new(vec![
+            "threads",
+            "CECI time",
+            "CECI speedup",
+            "PsgL time",
+            "PsgL speedup",
+        ]);
+        let mut ceci_base = None;
+        let mut psgl_base = None;
+        for threads in thread_counts() {
+            let (ct, cc, _) = run_ceci(&graph, q.build(), threads, None);
+            let (pt, pc, _) = run_psgl(&graph, q.build(), threads);
+            let cb = *ceci_base.get_or_insert(ct);
+            let pb = *psgl_base.get_or_insert(pt);
+            t.row(vec![
+                threads.to_string(),
+                fmt_duration(ct),
+                fmt_speedup(cb.as_secs_f64() / ct.as_secs_f64()),
+                fmt_duration(pt),
+                fmt_speedup(pb.as_secs_f64() / pt.as_secs_f64()),
+            ]);
+            records.push(RunRecord::new("ceci", d.abbrev(), q.name(), threads, ct, &cc));
+            records.push(RunRecord::new(
+                "psgl-lite",
+                d.abbrev(),
+                q.name(),
+                threads,
+                pt,
+                &pc,
+            ));
+        }
+        println!("{}:", d.abbrev());
+        t.print();
+        println!();
+    }
+    println!(
+        "(paper shape: CECI near-linear to ~16 workers then flattens for lack of workload; \
+         PsgL scales worse due to exhaustive work distribution)"
+    );
+    persist_records(persist_name, &records);
+}

@@ -1,0 +1,114 @@
+//! Figures 7 & 8 — CECI vs DualSim-lite vs PsgL-lite, all embeddings.
+//!
+//! Figure 7 runs QG1 and QG4 across the eight unlabeled datasets; Figure 8
+//! runs QG2, QG3, QG5 on WG, WT, LJ (the paper omits the rest because PsgL
+//! cannot finish them — our stand-ins are small enough that everything
+//! completes, but the ordering/shape comparison is what matters).
+
+use ceci_query::PaperQuery;
+
+use crate::datasets::{Dataset, Scale};
+use crate::experiments::{default_workers, run_dualsim, run_psgl};
+use crate::harness::{geometric_mean, persist_records, run_ceci, RunRecord};
+use crate::table::{fmt_count, fmt_duration, fmt_speedup, Table};
+
+/// Runs Figure 7 (QG1, QG4 × eight datasets).
+pub fn run_fig7(scale: Scale) {
+    run_comparison(
+        "Figure 7",
+        "fig7",
+        &[PaperQuery::Qg1, PaperQuery::Qg4],
+        &Dataset::UNLABELED,
+        scale,
+    );
+}
+
+/// Runs Figure 8 (QG2, QG3, QG5 × WG, WT, LJ).
+pub fn run_fig8(scale: Scale) {
+    run_comparison(
+        "Figure 8",
+        "fig8",
+        &[PaperQuery::Qg2, PaperQuery::Qg3, PaperQuery::Qg5],
+        &[Dataset::Wg, Dataset::Wt, Dataset::Lj],
+        scale,
+    );
+}
+
+fn run_comparison(
+    title: &str,
+    persist_name: &str,
+    queries: &[PaperQuery],
+    datasets: &[Dataset],
+    scale: Scale,
+) {
+    let workers = default_workers();
+    println!(
+        "{title}: listing ALL embeddings — CECI ({workers} workers) vs DualSim-lite vs \
+         PsgL-lite ({workers} workers), scale {scale:?}\n"
+    );
+    let mut records = Vec::new();
+    let mut speedup_dual = Vec::new();
+    let mut speedup_psgl = Vec::new();
+    for &q in queries {
+        let mut t = Table::new(vec![
+            "Dataset",
+            "embeddings",
+            "CECI",
+            "DualSim-lite",
+            "PsgL-lite",
+            "vs DualSim",
+            "vs PsgL",
+        ]);
+        for &d in datasets {
+            let graph = d.build(scale);
+            let (ceci_t, ceci_c, ceci_n) = run_ceci(&graph, q.build(), workers, None);
+            let (dual_t, dual_c, dual_n) = run_dualsim(&graph, q.build());
+            let (psgl_t, psgl_c, psgl_n) = run_psgl(&graph, q.build(), workers);
+            assert_eq!(ceci_n, dual_n, "{title} {} {}: count mismatch", q.name(), d.abbrev());
+            assert_eq!(ceci_n, psgl_n, "{title} {} {}: count mismatch", q.name(), d.abbrev());
+            let sd = dual_t.as_secs_f64() / ceci_t.as_secs_f64();
+            let sp = psgl_t.as_secs_f64() / ceci_t.as_secs_f64();
+            speedup_dual.push(sd);
+            speedup_psgl.push(sp);
+            t.row(vec![
+                d.abbrev().to_string(),
+                fmt_count(ceci_n),
+                fmt_duration(ceci_t),
+                fmt_duration(dual_t),
+                fmt_duration(psgl_t),
+                fmt_speedup(sd),
+                fmt_speedup(sp),
+            ]);
+            records.push(RunRecord::new("ceci", d.abbrev(), q.name(), workers, ceci_t, &ceci_c));
+            records.push(RunRecord::new(
+                "dualsim-lite",
+                d.abbrev(),
+                q.name(),
+                1,
+                dual_t,
+                &dual_c,
+            ));
+            records.push(RunRecord::new(
+                "psgl-lite",
+                d.abbrev(),
+                q.name(),
+                workers,
+                psgl_t,
+                &psgl_c,
+            ));
+        }
+        println!("{}:", q.name());
+        t.print();
+        println!();
+    }
+    println!(
+        "geomean speedup: {} over DualSim-lite, {} over PsgL-lite",
+        fmt_speedup(geometric_mean(&speedup_dual)),
+        fmt_speedup(geometric_mean(&speedup_psgl))
+    );
+    println!(
+        "(paper, Figs 7+8: CECI beats DualSim by 1.7-19.8x and PsgL by 4.1-86.7x on average \
+         per query; expect the same ordering, not the same constants)"
+    );
+    persist_records(persist_name, &records);
+}

@@ -1,0 +1,42 @@
+//! Figure 6 — the query graphs QG1–QG5 (all vertices share label 0).
+
+use ceci_query::PaperQuery;
+
+use crate::table::Table;
+
+/// Prints the query catalog.
+pub fn run() {
+    println!("Figure 6: query graphs (reconstructed; all nodes share label 0)\n");
+    let mut t = Table::new(vec!["Query", "Shape", "|Vq|", "|Eq|", "Edges"]);
+    for q in PaperQuery::ALL {
+        let shape = match q {
+            PaperQuery::Qg1 => "triangle",
+            PaperQuery::Qg2 => "square (4-cycle)",
+            PaperQuery::Qg3 => "chordal square (diamond)",
+            PaperQuery::Qg4 => "4-clique",
+            PaperQuery::Qg5 => "house",
+        };
+        let built = q.build();
+        let edges: Vec<String> = built
+            .edges()
+            .iter()
+            .map(|(a, b)| format!("({a},{b})"))
+            .collect();
+        t.row(vec![
+            q.name().to_string(),
+            shape.to_string(),
+            built.num_vertices().to_string(),
+            built.num_edges().to_string(),
+            edges.join(" "),
+        ]);
+    }
+    t.print();
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prints() {
+        super::run();
+    }
+}

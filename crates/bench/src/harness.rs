@@ -1,0 +1,200 @@
+//! Shared experiment harness: timing, run records, result persistence.
+
+use std::time::{Duration, Instant};
+
+use ceci_core::{
+    enumerate_parallel, Ceci, Counters, ParallelOptions, Strategy, VerifyMode,
+};
+use ceci_graph::Graph;
+use ceci_query::{PlanOptions, QueryGraph, QueryPlan};
+use serde::Serialize;
+
+/// Times a closure.
+pub fn time<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}
+
+/// Geometric mean of positive ratios (the paper reports average speedups).
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.max(1e-12).ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// One engine execution record, serialized into `bench_results/`.
+#[derive(Clone, Debug, Serialize)]
+pub struct RunRecord {
+    /// Engine name (`ceci`, `psgl-lite`, ...).
+    pub engine: String,
+    /// Dataset abbreviation.
+    pub dataset: String,
+    /// Query name (QG1..QG5 or `q<n>` for extracted queries).
+    pub query: String,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Total runtime in seconds (build + enumerate where applicable).
+    pub seconds: f64,
+    /// Embeddings reported.
+    pub embeddings: u64,
+    /// Recursive calls into the matching routine.
+    pub recursive_calls: u64,
+    /// Intersection comparisons.
+    pub intersection_ops: u64,
+    /// Edge verifications.
+    pub edge_verifications: u64,
+}
+
+impl RunRecord {
+    /// Builds a record from counters.
+    pub fn new(
+        engine: &str,
+        dataset: &str,
+        query: &str,
+        workers: usize,
+        elapsed: Duration,
+        counters: &Counters,
+    ) -> Self {
+        RunRecord {
+            engine: engine.to_string(),
+            dataset: dataset.to_string(),
+            query: query.to_string(),
+            workers,
+            seconds: elapsed.as_secs_f64(),
+            embeddings: counters.embeddings,
+            recursive_calls: counters.recursive_calls,
+            intersection_ops: counters.intersection_ops,
+            edge_verifications: counters.edge_verifications,
+        }
+    }
+}
+
+/// Writes records as JSON to `bench_results/<name>.json` (best effort;
+/// failures are reported to stderr, not fatal).
+pub fn persist_records(name: &str, records: &[RunRecord]) {
+    let dir = std::path::Path::new("bench_results");
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("warning: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    match serde_json::to_vec_pretty(records) {
+        Ok(bytes) => {
+            if let Err(e) = std::fs::write(&path, bytes) {
+                eprintln!("warning: cannot write {}: {e}", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: cannot serialize records: {e}"),
+    }
+}
+
+/// A full CECI run: plan + build + parallel enumeration. Returns
+/// `(elapsed_total, counters, embeddings)` — the paper's reported runtime
+/// includes preprocessing and CECI creation (§6.1).
+pub fn run_ceci(
+    graph: &Graph,
+    query: QueryGraph,
+    workers: usize,
+    limit: Option<u64>,
+) -> (Duration, Counters, u64) {
+    run_ceci_with(graph, query, workers, limit, Strategy::FineDynamic { beta: 0.2 })
+}
+
+/// [`run_ceci`] with an explicit distribution strategy.
+pub fn run_ceci_with(
+    graph: &Graph,
+    query: QueryGraph,
+    workers: usize,
+    limit: Option<u64>,
+    strategy: Strategy,
+) -> (Duration, Counters, u64) {
+    let (result, setup) = run_ceci_detail(graph, query, workers, limit, strategy);
+    // Modeled total: serial setup + decomposition + busiest worker's CPU
+    // time (meaningful even when the host has fewer cores than workers).
+    (
+        setup + result.modeled_makespan(),
+        result.counters,
+        result.total_embeddings,
+    )
+}
+
+/// Full-detail CECI run: returns the parallel result plus the serial setup
+/// time (plan + index build). The *modeled* total runtime on a machine with
+/// one core per worker is `setup + result.modeled_makespan()` — the figure
+/// the scalability experiments report, since the experiment host may have
+/// fewer cores than the paper's 28-core server.
+pub fn run_ceci_detail(
+    graph: &Graph,
+    query: QueryGraph,
+    workers: usize,
+    limit: Option<u64>,
+    strategy: Strategy,
+) -> (ceci_core::ParallelResult, Duration) {
+    let start = Instant::now();
+    let plan = QueryPlan::with_options(query, graph, &PlanOptions::default());
+    let ceci = Ceci::build(graph, &plan);
+    let setup = start.elapsed();
+    let result = enumerate_parallel(
+        graph,
+        &plan,
+        &ceci,
+        &ParallelOptions {
+            workers,
+            strategy,
+            verify: VerifyMode::Intersection,
+            limit,
+            collect: false,
+        },
+    );
+    (result, setup)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ceci_query::PaperQuery;
+
+    #[test]
+    fn geometric_mean_basics() {
+        assert_eq!(geometric_mean(&[]), 0.0);
+        assert!((geometric_mean(&[4.0]) - 4.0).abs() < 1e-9);
+        assert!((geometric_mean(&[1.0, 4.0]) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn run_ceci_counts_triangles() {
+        use ceci_graph::vid;
+        let graph = Graph::unlabeled(
+            4,
+            &[
+                (vid(0), vid(1)),
+                (vid(1), vid(2)),
+                (vid(2), vid(0)),
+                (vid(1), vid(3)),
+                (vid(2), vid(3)),
+            ],
+        );
+        let (elapsed, counters, total) = run_ceci(&graph, PaperQuery::Qg1.build(), 2, None);
+        assert_eq!(total, 2);
+        assert_eq!(counters.embeddings, 2);
+        assert!(elapsed > Duration::ZERO);
+    }
+
+    #[test]
+    fn record_serializes() {
+        let r = RunRecord::new(
+            "ceci",
+            "WT",
+            "QG1",
+            4,
+            Duration::from_millis(12),
+            &Counters::default(),
+        );
+        let json = serde_json::to_string(&r).unwrap();
+        assert!(json.contains("\"engine\":\"ceci\""));
+        assert!(json.contains("\"dataset\":\"WT\""));
+    }
+}

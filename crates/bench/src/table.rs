@@ -1,0 +1,147 @@
+//! Plain-text table rendering for experiment output.
+
+/// A simple aligned-column table printer.
+#[derive(Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; short rows are padded with empty cells.
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) {
+        let mut row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        while row.len() < self.header.len() {
+            row.push(String::new());
+        }
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(cols) {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, cell) in cells.iter().enumerate().take(widths.len()) {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(cell);
+                for _ in cell.chars().count()..widths[i] {
+                    line.push(' ');
+                }
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1));
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders and prints to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Formats a duration in adaptive human units.
+pub fn fmt_duration(d: std::time::Duration) -> String {
+    let s = d.as_secs_f64();
+    if s >= 1.0 {
+        format!("{s:.2}s")
+    } else if s >= 1e-3 {
+        format!("{:.2}ms", s * 1e3)
+    } else {
+        format!("{:.1}µs", s * 1e6)
+    }
+}
+
+/// Formats a count with thousands separators.
+pub fn fmt_count(n: u64) -> String {
+    let s = n.to_string();
+    let mut out = String::new();
+    for (i, c) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i) % 3 == 0 {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out
+}
+
+/// Formats a ratio as `N.NNx`.
+pub fn fmt_speedup(x: f64) -> String {
+    format!("{x:.2}x")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new(vec!["name", "value"]);
+        t.row(vec!["a", "1"]);
+        t.row(vec!["longer", "22"]);
+        let r = t.render();
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].starts_with("---"));
+        assert_eq!(t.num_rows(), 2);
+    }
+
+    #[test]
+    fn short_rows_padded() {
+        let mut t = Table::new(vec!["a", "b", "c"]);
+        t.row(vec!["x"]);
+        assert!(t.render().contains('x'));
+    }
+
+    #[test]
+    fn duration_units() {
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.00s");
+        assert_eq!(fmt_duration(Duration::from_millis(5)), "5.00ms");
+        assert_eq!(fmt_duration(Duration::from_micros(7)), "7.0µs");
+    }
+
+    #[test]
+    fn count_separators() {
+        assert_eq!(fmt_count(1), "1");
+        assert_eq!(fmt_count(1234), "1,234");
+        assert_eq!(fmt_count(1234567), "1,234,567");
+    }
+
+    #[test]
+    fn speedup_format() {
+        assert_eq!(fmt_speedup(2.5), "2.50x");
+    }
+}

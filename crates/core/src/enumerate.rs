@@ -1,0 +1,490 @@
+//! Embedding enumeration over CECI (§4).
+//!
+//! Each embedding cluster is searched by backtracking along the matching
+//! order. For query node `u` with tree parent `u_p`, the candidate list is
+//! `TE_Candidates[u][f(u_p)]`; every backward non-tree edge `(u_n, u)`
+//! intersects in `NTE_Candidates[u][f(u_n)]`. The surviving *matching nodes*
+//! are then checked for injectivity and symmetry-breaking bounds and the
+//! search recurses.
+//!
+//! The edge-verification mode (§4.1's comparison point) skips the NTE
+//! intersection and instead verifies each candidate's non-tree edges against
+//! the data graph — the strategy of TurboIso/CFLMatch-style engines.
+
+use ceci_graph::{Graph, VertexId};
+use ceci_query::QueryPlan;
+
+use crate::index::Ceci;
+use crate::intersect::intersect_many_into;
+use crate::metrics::Counters;
+use crate::sink::EmbeddingSink;
+
+/// How non-tree edges are checked during enumeration.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum VerifyMode {
+    /// Set intersection between TE and NTE candidate lists (the paper's
+    /// contribution, Lemma 2).
+    #[default]
+    Intersection,
+    /// Adjacency-list edge verification against the data graph (the
+    /// baseline CECI is compared to in §4.1).
+    EdgeVerification,
+}
+
+/// Options for an enumeration run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EnumOptions {
+    /// Non-tree edge strategy.
+    pub verify: VerifyMode,
+}
+
+/// Reusable per-worker scratch state for cluster enumeration.
+pub struct Enumerator<'a> {
+    graph: &'a Graph,
+    plan: &'a QueryPlan,
+    ceci: &'a Ceci,
+    options: EnumOptions,
+    /// `mapping[u] = Some(v)` for assigned query vertices.
+    mapping: Vec<Option<VertexId>>,
+    /// Data vertices currently used by the partial embedding.
+    used: std::collections::HashSet<VertexId>,
+    /// Per-depth candidate buffers (avoids re-allocating during recursion).
+    buffers: Vec<Vec<VertexId>>,
+    scratch: Vec<VertexId>,
+    emission: Vec<VertexId>,
+}
+
+impl<'a> Enumerator<'a> {
+    /// Creates an enumerator for `(graph, plan, ceci)`.
+    pub fn new(graph: &'a Graph, plan: &'a QueryPlan, ceci: &'a Ceci, options: EnumOptions) -> Self {
+        let n = plan.query().num_vertices();
+        Enumerator {
+            graph,
+            plan,
+            ceci,
+            options,
+            mapping: vec![None; n],
+            used: std::collections::HashSet::with_capacity(n * 2),
+            buffers: (0..n).map(|_| Vec::new()).collect(),
+            scratch: Vec::new(),
+            emission: vec![VertexId(0); n],
+        }
+    }
+
+    /// Enumerates all embeddings in the cluster of `pivot`. Returns `false`
+    /// if the sink requested a stop.
+    pub fn enumerate_cluster<S: EmbeddingSink>(
+        &mut self,
+        pivot: VertexId,
+        sink: &mut S,
+        counters: &mut Counters,
+    ) -> bool {
+        self.enumerate_prefix(&[pivot], sink, counters)
+    }
+
+    /// Enumerates all embeddings extending a work-unit `prefix`: images of
+    /// `matching_order[0..prefix.len()]` in order. Returns `false` if the
+    /// sink requested a stop.
+    ///
+    /// The prefix is trusted to be internally consistent (work units are
+    /// produced by [`crate::extreme::decompose`], which applies the same
+    /// checks enumeration would).
+    pub fn enumerate_prefix<S: EmbeddingSink>(
+        &mut self,
+        prefix: &[VertexId],
+        sink: &mut S,
+        counters: &mut Counters,
+    ) -> bool {
+        let order = self.plan.matching_order();
+        assert!(!prefix.is_empty() && prefix.len() <= order.len());
+        for (i, &v) in prefix.iter().enumerate() {
+            self.mapping[order[i].index()] = Some(v);
+            self.used.insert(v);
+        }
+        let keep_going = if prefix.len() == order.len() {
+            counters.embeddings += 1;
+            self.emit(sink)
+        } else {
+            self.search(prefix.len(), sink, counters)
+        };
+        for (i, &v) in prefix.iter().enumerate() {
+            self.mapping[order[i].index()] = None;
+            self.used.remove(&v);
+        }
+        keep_going
+    }
+
+    /// Recursive backtracking search at `depth` in the matching order.
+    fn search<S: EmbeddingSink>(
+        &mut self,
+        depth: usize,
+        sink: &mut S,
+        counters: &mut Counters,
+    ) -> bool {
+        counters.recursive_calls += 1;
+        // Detach the reference fields from `self` so candidate lists borrowed
+        // from the index don't pin the whole enumerator.
+        let (graph, plan, ceci) = (self.graph, self.plan, self.ceci);
+        let order = plan.matching_order();
+        let u = order[depth];
+        let parent = plan.tree().parent(u).expect("non-root nodes have parents");
+        let parent_image = self.mapping[parent.index()].expect("parent is assigned");
+        let Some(te_list) = ceci.te(u).and_then(|t| t.get(parent_image)) else {
+            return true; // no candidates under this parent image
+        };
+
+        // Gather matching nodes into this depth's buffer.
+        let mut buffer = std::mem::take(&mut self.buffers[depth]);
+        match self.options.verify {
+            VerifyMode::Intersection => {
+                let nte_tables = ceci.nte(u);
+                // Collect the NTE lists keyed by the current images.
+                let mut lists: Vec<&[VertexId]> = Vec::with_capacity(nte_tables.len());
+                let mut dead = false;
+                for (un, table) in nte_tables {
+                    let image = self.mapping[un.index()].expect("NTE parent assigned earlier");
+                    match table.get(image) {
+                        Some(list) => lists.push(list),
+                        None => {
+                            dead = true;
+                            break;
+                        }
+                    }
+                }
+                if dead {
+                    buffer.clear();
+                } else {
+                    intersect_many_into(
+                        te_list,
+                        &lists,
+                        &mut buffer,
+                        &mut self.scratch,
+                        &mut counters.intersection_ops,
+                    );
+                }
+            }
+            VerifyMode::EdgeVerification => {
+                buffer.clear();
+                'cand: for &v in te_list {
+                    for un in plan.backward_nte(u) {
+                        let image = self.mapping[un.index()].expect("NTE parent assigned");
+                        counters.edge_verifications += 1;
+                        if !graph.has_edge(v, image) {
+                            continue 'cand;
+                        }
+                    }
+                    buffer.push(v);
+                }
+            }
+        }
+
+        let mut keep_going = true;
+        let last = depth + 1 == order.len();
+        for &v in &buffer {
+            if self.used.contains(&v) {
+                counters.injectivity_rejections += 1;
+                continue;
+            }
+            if !plan.satisfies_symmetry(u, v, &self.mapping) {
+                counters.symmetry_rejections += 1;
+                continue;
+            }
+            self.mapping[u.index()] = Some(v);
+            self.used.insert(v);
+            keep_going = if last {
+                counters.embeddings += 1;
+                self.emit(sink)
+            } else {
+                self.search(depth + 1, sink, counters)
+            };
+            self.mapping[u.index()] = None;
+            self.used.remove(&v);
+            if !keep_going {
+                break;
+            }
+        }
+        self.buffers[depth] = buffer;
+        keep_going
+    }
+
+    fn emit<S: EmbeddingSink>(&mut self, sink: &mut S) -> bool {
+        for u in 0..self.mapping.len() {
+            self.emission[u] = self.mapping[u].expect("embedding is complete");
+        }
+        sink.emit(&self.emission)
+    }
+
+    /// Computes the matching nodes of the *next* query node after a valid
+    /// prefix — the expansion step shared with ExtremeCluster decomposition
+    /// (Algorithm 3 line 13). Returns candidates that also pass injectivity
+    /// and symmetry for this prefix.
+    pub fn matching_nodes_after_prefix(
+        &mut self,
+        prefix: &[VertexId],
+        counters: &mut Counters,
+    ) -> Vec<VertexId> {
+        let (plan, ceci) = (self.plan, self.ceci);
+        let order = plan.matching_order();
+        assert!(!prefix.is_empty() && prefix.len() < order.len());
+        for (i, &v) in prefix.iter().enumerate() {
+            self.mapping[order[i].index()] = Some(v);
+            self.used.insert(v);
+        }
+        let u = order[prefix.len()];
+        let parent = plan.tree().parent(u).expect("non-root");
+        let parent_image = self.mapping[parent.index()].unwrap();
+        let mut out = Vec::new();
+        if let Some(te_list) = ceci.te(u).and_then(|t| t.get(parent_image)) {
+            let mut ok = true;
+            let mut lists: Vec<&[VertexId]> = Vec::new();
+            for (un, table) in ceci.nte(u) {
+                let image = self.mapping[un.index()].unwrap();
+                match table.get(image) {
+                    Some(list) => lists.push(list),
+                    None => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if ok {
+                intersect_many_into(
+                    te_list,
+                    &lists,
+                    &mut out,
+                    &mut self.scratch,
+                    &mut counters.intersection_ops,
+                );
+                let (used, mapping) = (&self.used, &self.mapping);
+                out.retain(|&v| !used.contains(&v) && plan.satisfies_symmetry(u, v, mapping));
+            }
+        }
+        for (i, &v) in prefix.iter().enumerate() {
+            self.mapping[order[i].index()] = None;
+            self.used.remove(&v);
+        }
+        out
+    }
+}
+
+/// Enumerates all clusters sequentially (pivot order). Returns the counters;
+/// stops early if the sink requests it.
+pub fn enumerate_sequential<S: EmbeddingSink>(
+    graph: &Graph,
+    plan: &QueryPlan,
+    ceci: &Ceci,
+    options: EnumOptions,
+    sink: &mut S,
+) -> Counters {
+    let mut counters = Counters::default();
+    let mut e = Enumerator::new(graph, plan, ceci, options);
+    for &(pivot, _card) in ceci.pivots() {
+        if !e.enumerate_cluster(pivot, sink, &mut counters) {
+            break;
+        }
+    }
+    counters
+}
+
+/// Convenience: count all embeddings sequentially.
+pub fn count_embeddings(graph: &Graph, plan: &QueryPlan, ceci: &Ceci) -> u64 {
+    let mut sink = crate::sink::CountSink::unbounded();
+    enumerate_sequential(graph, plan, ceci, EnumOptions::default(), &mut sink);
+    sink.count()
+}
+
+/// Convenience: collect all embeddings sequentially, canonically sorted.
+pub fn collect_embeddings(
+    graph: &Graph,
+    plan: &QueryPlan,
+    ceci: &Ceci,
+) -> Vec<Vec<VertexId>> {
+    let mut sink = crate::sink::CollectSink::unbounded();
+    enumerate_sequential(graph, plan, ceci, EnumOptions::default(), &mut sink);
+    crate::sink::canonicalize(sink.into_embeddings())
+}
+
+/// Checks a reported embedding against the query (used by tests and the
+/// correctness harness): label containment, edge preservation, injectivity,
+/// and symmetry constraints.
+pub fn is_valid_embedding(
+    graph: &Graph,
+    plan: &QueryPlan,
+    embedding: &[VertexId],
+) -> bool {
+    let query = plan.query();
+    if embedding.len() != query.num_vertices() {
+        return false;
+    }
+    let mut seen = std::collections::HashSet::new();
+    for u in query.vertices() {
+        let v = embedding[u.index()];
+        if !seen.insert(v) {
+            return false;
+        }
+        if !query.labels(u).is_subset_of(graph.labels(v)) {
+            return false;
+        }
+    }
+    for &(a, b) in query.edges() {
+        if !graph.has_edge(embedding[a.index()], embedding[b.index()]) {
+            return false;
+        }
+    }
+    plan.symmetry_constraints()
+        .iter()
+        .all(|c| embedding[c.smaller.index()] < embedding[c.larger.index()])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::paper;
+    use crate::index::BuildOptions;
+    use crate::sink::{canonicalize, CollectSink, CountSink};
+
+    fn setup() -> (Graph, QueryPlan, Ceci) {
+        let (graph, plan) = paper::figure1();
+        let ceci = Ceci::build(&graph, &plan);
+        (graph, plan, ceci)
+    }
+
+    #[test]
+    fn figure1_embeddings_found() {
+        let (graph, plan, ceci) = setup();
+        let found = collect_embeddings(&graph, &plan, &ceci);
+        assert_eq!(found, canonicalize(paper::expected_embeddings()));
+    }
+
+    #[test]
+    fn all_reported_embeddings_valid() {
+        let (graph, plan, ceci) = setup();
+        for emb in collect_embeddings(&graph, &plan, &ceci) {
+            assert!(is_valid_embedding(&graph, &plan, &emb));
+        }
+    }
+
+    #[test]
+    fn edge_verification_mode_agrees() {
+        let (graph, plan) = paper::figure1();
+        // Build without NTE tables — enumeration must fall back to edge
+        // verification and still find both embeddings.
+        let ceci = Ceci::build_with(
+            &graph,
+            &plan,
+            BuildOptions {
+                build_nte: false,
+                refine: true,
+            },
+        );
+        let mut sink = CollectSink::unbounded();
+        let counters = enumerate_sequential(
+            &graph,
+            &plan,
+            &ceci,
+            EnumOptions {
+                verify: VerifyMode::EdgeVerification,
+            },
+            &mut sink,
+        );
+        assert_eq!(
+            canonicalize(sink.into_embeddings()),
+            canonicalize(paper::expected_embeddings())
+        );
+        assert!(counters.edge_verifications > 0);
+        assert_eq!(counters.intersection_ops, 0);
+    }
+
+    #[test]
+    fn intersection_mode_does_no_edge_verification() {
+        let (graph, plan, ceci) = setup();
+        let mut sink = CountSink::unbounded();
+        let counters =
+            enumerate_sequential(&graph, &plan, &ceci, EnumOptions::default(), &mut sink);
+        assert_eq!(counters.edge_verifications, 0);
+        assert!(counters.intersection_ops > 0);
+        assert_eq!(counters.embeddings, 2);
+        assert_eq!(sink.count(), 2);
+    }
+
+    #[test]
+    fn first_k_stops_early() {
+        let (graph, plan, ceci) = setup();
+        let mut sink = CountSink::with_limit(1);
+        enumerate_sequential(&graph, &plan, &ceci, EnumOptions::default(), &mut sink);
+        assert_eq!(sink.count(), 1);
+    }
+
+    #[test]
+    fn prefix_enumeration_matches_cluster() {
+        let (graph, plan, ceci) = setup();
+        let mut counters = Counters::default();
+        let mut e = Enumerator::new(&graph, &plan, &ceci, EnumOptions::default());
+        // Prefix (v1, v3) should yield exactly the first embedding.
+        let mut sink = CollectSink::unbounded();
+        e.enumerate_prefix(&[paper::v(1), paper::v(3)], &mut sink, &mut counters);
+        assert_eq!(
+            sink.into_embeddings(),
+            vec![vec![
+                paper::v(1),
+                paper::v(3),
+                paper::v(4),
+                paper::v(11),
+                paper::v(12)
+            ]]
+        );
+    }
+
+    #[test]
+    fn full_length_prefix_emits_directly() {
+        let (graph, plan, ceci) = setup();
+        let mut counters = Counters::default();
+        let mut e = Enumerator::new(&graph, &plan, &ceci, EnumOptions::default());
+        let mut sink = CountSink::unbounded();
+        let emb = &paper::expected_embeddings()[0];
+        // Matching order is u1..u5, so the prefix in order equals the
+        // embedding by query id here.
+        assert!(e.enumerate_prefix(emb, &mut sink, &mut counters));
+        assert_eq!(sink.count(), 1);
+    }
+
+    #[test]
+    fn matching_nodes_after_prefix_matches_paper() {
+        let (graph, plan, ceci) = setup();
+        let mut counters = Counters::default();
+        let mut e = Enumerator::new(&graph, &plan, &ceci, EnumOptions::default());
+        // After (v1): matching nodes for u2 are {v3, v5}.
+        assert_eq!(
+            e.matching_nodes_after_prefix(&[paper::v(1)], &mut counters),
+            vec![paper::v(3), paper::v(5)]
+        );
+        // After (v1, v3): u3 must be {v4} (TE {v4,v6} ∩ NTE[v3] {v4}).
+        assert_eq!(
+            e.matching_nodes_after_prefix(&[paper::v(1), paper::v(3)], &mut counters),
+            vec![paper::v(4)]
+        );
+    }
+
+    #[test]
+    fn validity_checker_rejects_bad_embeddings() {
+        let (graph, plan, _) = setup();
+        // Wrong length.
+        assert!(!is_valid_embedding(&graph, &plan, &[paper::v(1)]));
+        // Duplicate vertex.
+        let dup = vec![paper::v(1); 5];
+        assert!(!is_valid_embedding(&graph, &plan, &dup));
+        // Label mismatch: map u1 (A) to a B vertex.
+        let bad = vec![paper::v(3), paper::v(1), paper::v(4), paper::v(11), paper::v(12)];
+        assert!(!is_valid_embedding(&graph, &plan, &bad));
+    }
+
+    #[test]
+    fn recursive_calls_counted() {
+        let (graph, plan, ceci) = setup();
+        let mut sink = CountSink::unbounded();
+        let counters =
+            enumerate_sequential(&graph, &plan, &ceci, EnumOptions::default(), &mut sink);
+        // Depths 1..4 for the single cluster; at least one call per depth.
+        assert!(counters.recursive_calls >= 4);
+    }
+}

@@ -1,0 +1,234 @@
+//! EXPLAIN-style reports for plans and indexes.
+//!
+//! Subgraph matching performance hinges on decisions a user can't otherwise
+//! see: which root was chosen, how the matching order runs, how hard each
+//! filter hit, how skewed the embedding clusters are. [`explain_plan`] and
+//! [`explain_index`] render those as plain-text reports (used by
+//! `ceci-match --stats` and handy in tests and notebooks).
+
+use std::fmt::Write as _;
+
+use ceci_graph::{Graph, VertexId};
+use ceci_query::QueryPlan;
+
+use crate::index::Ceci;
+
+/// Renders the preprocessing decisions of a plan.
+pub fn explain_plan(plan: &QueryPlan, graph: &Graph) -> String {
+    let query = plan.query();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "query: {} vertices, {} edges ({} tree + {} non-tree)",
+        query.num_vertices(),
+        query.num_edges(),
+        plan.tree().tree_edges().len(),
+        plan.tree().non_tree_edges().len(),
+    );
+    let _ = writeln!(
+        out,
+        "data graph: {} vertices, {} edges, {} labels",
+        graph.num_vertices(),
+        graph.num_edges(),
+        graph.num_labels()
+    );
+    let _ = writeln!(out, "root: u{} | matching order: {:?}", plan.root(), plan.matching_order());
+    let _ = writeln!(
+        out,
+        "symmetry: {} constraints ({})",
+        plan.symmetry_constraints().len(),
+        if plan.symmetry_complete() {
+            "complete — each embedding listed once"
+        } else {
+            "incomplete — duplicates possible"
+        }
+    );
+    let _ = writeln!(out, "per-node preprocessing:");
+    for &u in plan.matching_order() {
+        let parent = plan
+            .tree()
+            .parent(u)
+            .map(|p| format!("u{p}"))
+            .unwrap_or_else(|| "-".into());
+        let ntes: Vec<String> = plan.backward_nte(u).iter().map(|w| format!("u{w}")).collect();
+        let _ = writeln!(
+            out,
+            "  u{u}: parent {parent:>3} | NTE from [{}] | {} initial candidates",
+            ntes.join(", "),
+            plan.initial_candidates(u).len(),
+        );
+    }
+    out
+}
+
+/// Renders the built index: per-node table sizes, cluster-size skew, stage
+/// statistics.
+pub fn explain_index(ceci: &Ceci, plan: &QueryPlan) -> String {
+    let mut out = String::new();
+    let stats = ceci.stats();
+    let _ = writeln!(
+        out,
+        "pivots: {} of {} initial root candidates survive",
+        stats.pivots_final, stats.pivots_initial
+    );
+    let _ = writeln!(
+        out,
+        "entries: TE {} -> {} | NTE {} -> {} (filter -> refine)",
+        stats.te_entries_after_filter,
+        stats.te_entries_after_refine,
+        stats.nte_entries_after_filter,
+        stats.nte_entries_after_refine,
+    );
+    let entry_bytes = (stats.te_entries_after_refine + stats.nte_entries_after_refine) * 8;
+    let _ = writeln!(
+        out,
+        "size: {entry_bytes} candidate-edge bytes ({:.0}% under the |Eq|x|Eg| bound of {} bytes); resident structure {} bytes",
+        stats.percent_saved(),
+        stats.theoretical_bytes,
+        stats.size_bytes,
+    );
+    let _ = writeln!(
+        out,
+        "build: filter {:?}, refine {:?}",
+        stats.filter_time, stats.refine_time
+    );
+    let _ = writeln!(out, "per-node candidates after refinement:");
+    for &u in plan.matching_order() {
+        let te = ceci
+            .te(u)
+            .map(|t| format!("{} keys / {} entries", t.num_keys(), t.num_entries()))
+            .unwrap_or_else(|| "root".into());
+        let nte: usize = ceci.nte(u).iter().map(|(_, t)| t.num_entries()).sum();
+        let _ = writeln!(
+            out,
+            "  u{u}: {} candidates | TE {te} | NTE entries {nte}",
+            ceci.candidates(u).len(),
+        );
+    }
+    let _ = writeln!(out, "cluster cardinality distribution:");
+    let summary = cluster_skew(ceci);
+    let _ = writeln!(
+        out,
+        "  clusters {} | total cardinality {} | max {} | p50 {} | skew(max/mean) {:.1}",
+        summary.clusters, summary.total, summary.max, summary.median, summary.skew
+    );
+    out
+}
+
+/// Summary of the cluster-size distribution — the quantity that decides
+/// whether ExtremeCluster decomposition matters (§4.3).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ClusterSkew {
+    /// Number of clusters.
+    pub clusters: usize,
+    /// Σ cardinalities.
+    pub total: u64,
+    /// Largest cluster cardinality.
+    pub max: u64,
+    /// Median cluster cardinality.
+    pub median: u64,
+    /// `max / mean` (1.0 for perfectly uniform clusters; 0 if empty).
+    pub skew: f64,
+}
+
+/// Computes the cluster-size skew summary.
+pub fn cluster_skew(ceci: &Ceci) -> ClusterSkew {
+    let mut cards: Vec<u64> = ceci.pivots().iter().map(|&(_, c)| c).collect();
+    cards.sort_unstable();
+    let clusters = cards.len();
+    let total: u64 = cards.iter().sum();
+    let max = cards.last().copied().unwrap_or(0);
+    let median = if clusters == 0 { 0 } else { cards[clusters / 2] };
+    let mean = if clusters == 0 {
+        0.0
+    } else {
+        total as f64 / clusters as f64
+    };
+    let skew = if mean > 0.0 { max as f64 / mean } else { 0.0 };
+    ClusterSkew {
+        clusters,
+        total,
+        max,
+        median,
+        skew,
+    }
+}
+
+/// Candidates of `u` that survive refinement, per initial candidate — the
+/// per-filter effectiveness view.
+pub fn filter_effectiveness(plan: &QueryPlan, ceci: &Ceci) -> Vec<(VertexId, usize, usize)> {
+    plan.query()
+        .vertices()
+        .map(|u| {
+            (
+                u,
+                plan.initial_candidates(u).len(),
+                ceci.candidates(u).len(),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::paper;
+
+    fn setup() -> (ceci_graph::Graph, QueryPlan, Ceci) {
+        let (graph, plan) = paper::figure1();
+        let ceci = Ceci::build(&graph, &plan);
+        (graph, plan, ceci)
+    }
+
+    #[test]
+    fn plan_report_mentions_key_facts() {
+        let (graph, plan, _) = setup();
+        let report = explain_plan(&plan, &graph);
+        assert!(report.contains("root: u0"));
+        assert!(report.contains("5 vertices, 6 edges (4 tree + 2 non-tree)"));
+        assert!(report.contains("complete — each embedding listed once"));
+        // u3 (paper u4) has an NTE from u2 (paper u3).
+        assert!(report.contains("NTE from [u2]"), "report:\n{report}");
+    }
+
+    #[test]
+    fn index_report_mentions_sizes() {
+        let (_, plan, ceci) = setup();
+        let report = explain_index(&ceci, &plan);
+        assert!(report.contains("pivots: 1 of 2"));
+        assert!(report.contains("entries: TE 10 -> 8 | NTE 6 -> 5"));
+        assert!(report.contains("cluster cardinality distribution"));
+    }
+
+    #[test]
+    fn skew_summary_on_figure5() {
+        use crate::fixtures::figure5;
+        let (graph, plan) = figure5::setup();
+        let ceci = Ceci::build(&graph, &plan);
+        let s = cluster_skew(&ceci);
+        assert_eq!(s.clusters, 2);
+        assert_eq!(s.total, 10);
+        assert_eq!(s.max, 9);
+        // mean 5 → skew 1.8
+        assert!((s.skew - 1.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn skew_empty_index() {
+        let graph = ceci_graph::Graph::unlabeled(2, &[]);
+        let q = ceci_query::QueryGraph::unlabeled(2, &[(0, 1)]).unwrap();
+        let plan = QueryPlan::new(q, &graph);
+        let ceci = Ceci::build(&graph, &plan);
+        let s = cluster_skew(&ceci);
+        assert_eq!(s.clusters, 0);
+        assert_eq!(s.skew, 0.0);
+    }
+
+    #[test]
+    fn filter_effectiveness_monotone() {
+        let (_, plan, ceci) = setup();
+        for (u, initial, final_) in filter_effectiveness(&plan, &ceci) {
+            assert!(final_ <= initial, "u{u}: {final_} > {initial}");
+        }
+    }
+}

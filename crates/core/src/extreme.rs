@@ -1,0 +1,218 @@
+//! ExtremeCluster detection and decomposition — Algorithm 3 (§4.3).
+//!
+//! Clusters whose cardinality exceeds `β × cardinality_exp` (the expected
+//! workload per worker) would serialize the tail of a parallel run. They are
+//! recursively split: the partial embedding grows by the next query node in
+//! the matching order, each extension inheriting
+//! `cardinality(u_next, v′) / total × cardinality(u, v)` of the parent's
+//! workload, until every work unit fits under the threshold. Units are
+//! sorted largest-first so big work is scheduled early (§4.3).
+
+use ceci_graph::{Graph, VertexId};
+use ceci_query::QueryPlan;
+
+use crate::enumerate::{EnumOptions, Enumerator};
+use crate::index::Ceci;
+use crate::metrics::Counters;
+
+/// One schedulable unit: a consistent partial embedding over
+/// `matching_order[0..prefix.len()]` plus its estimated workload.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WorkUnit {
+    /// Images of the first `len` matching-order nodes.
+    pub prefix: Vec<VertexId>,
+    /// Estimated workload (cardinality share).
+    pub workload: f64,
+}
+
+/// Decomposes the pivot clusters into work units for `workers` workers with
+/// threshold factor `beta` (the paper fixes β = 0.2 in §6.3).
+///
+/// Every returned unit has workload ≤ `β × total/workers` unless it is a
+/// full embedding already or cannot be split further. Units are sorted by
+/// descending workload.
+pub fn decompose(
+    graph: &Graph,
+    plan: &QueryPlan,
+    ceci: &Ceci,
+    workers: usize,
+    beta: f64,
+) -> Vec<WorkUnit> {
+    assert!(workers >= 1, "need at least one worker");
+    assert!(beta > 0.0, "beta must be positive");
+    let total: f64 = ceci.pivots().iter().map(|&(_, c)| c as f64).sum();
+    let threshold = beta * total / workers as f64;
+    let mut units = Vec::new();
+    let mut enumerator = Enumerator::new(graph, plan, ceci, EnumOptions::default());
+    let mut counters = Counters::default();
+    let n = plan.query().num_vertices();
+    for &(pivot, card) in ceci.pivots() {
+        if card == 0 {
+            continue;
+        }
+        expand(
+            &mut enumerator,
+            plan,
+            ceci,
+            vec![pivot],
+            card as f64,
+            threshold,
+            n,
+            &mut units,
+            &mut counters,
+        );
+    }
+    units.sort_by(|a, b| b.workload.total_cmp(&a.workload));
+    units
+}
+
+#[allow(clippy::too_many_arguments)]
+fn expand(
+    enumerator: &mut Enumerator<'_>,
+    plan: &QueryPlan,
+    ceci: &Ceci,
+    prefix: Vec<VertexId>,
+    workload: f64,
+    threshold: f64,
+    n: usize,
+    units: &mut Vec<WorkUnit>,
+    counters: &mut Counters,
+) {
+    if workload <= threshold || prefix.len() >= n {
+        units.push(WorkUnit { prefix, workload });
+        return;
+    }
+    let u_next = plan.matching_order()[prefix.len()];
+    let matching = enumerator.matching_nodes_after_prefix(&prefix, counters);
+    if matching.is_empty() {
+        return; // dead prefix: contributes no embeddings
+    }
+    let cards: Vec<f64> = matching
+        .iter()
+        .map(|&v| ceci.cardinality(u_next, v) as f64)
+        .collect();
+    let total: f64 = cards.iter().sum();
+    if total <= 0.0 {
+        // All extensions have zero cardinality estimates (possible when
+        // refinement removals were disabled); keep the unit whole.
+        units.push(WorkUnit { prefix, workload });
+        return;
+    }
+    for (v, card) in matching.into_iter().zip(cards) {
+        let my_work = workload * card / total;
+        if my_work <= 0.0 {
+            continue;
+        }
+        let mut child = prefix.clone();
+        child.push(v);
+        if my_work > threshold && child.len() < n {
+            expand(
+                enumerator, plan, ceci, child, my_work, threshold, n, units, counters,
+            );
+        } else {
+            units.push(WorkUnit {
+                prefix: child,
+                workload: my_work,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumerate::collect_embeddings;
+    use crate::fixtures::paper;
+    use crate::sink::{canonicalize, CollectSink};
+    use ceci_query::{PaperQuery, QueryPlan};
+
+    #[test]
+    fn units_cover_all_embeddings() {
+        let (graph, plan) = paper::figure1();
+        let ceci = Ceci::build(&graph, &plan);
+        let units = decompose(&graph, &plan, &ceci, 2, 0.2);
+        assert!(!units.is_empty());
+        // Enumerate every unit and compare to the sequential result.
+        let mut e = Enumerator::new(&graph, &plan, &ceci, EnumOptions::default());
+        let mut counters = Counters::default();
+        let mut sink = CollectSink::unbounded();
+        for unit in &units {
+            e.enumerate_prefix(&unit.prefix, &mut sink, &mut counters);
+        }
+        assert_eq!(
+            canonicalize(sink.into_embeddings()),
+            collect_embeddings(&graph, &plan, &ceci)
+        );
+    }
+
+    #[test]
+    fn units_sorted_descending() {
+        let (graph, plan) = paper::figure1();
+        let ceci = Ceci::build(&graph, &plan);
+        let units = decompose(&graph, &plan, &ceci, 2, 0.2);
+        for w in units.windows(2) {
+            assert!(w[0].workload >= w[1].workload);
+        }
+    }
+
+    #[test]
+    fn small_beta_splits_finer() {
+        // A skewed unlabeled graph: one hub triangle fan.
+        let mut edges = Vec::new();
+        for i in 1..=20u32 {
+            edges.push((0, i));
+        }
+        for i in 1..20u32 {
+            edges.push((i, i + 1));
+        }
+        let graph = Graph::unlabeled(21, &edges.iter().map(|&(a, b)| (ceci_graph::vid(a), ceci_graph::vid(b))).collect::<Vec<_>>());
+        let plan = QueryPlan::new(PaperQuery::Qg1.build(), &graph);
+        let ceci = Ceci::build(&graph, &plan);
+        // A huge β treats nothing as extreme (whole clusters, prefix len 1);
+        // a small β splits the hub's ExtremeCluster into deeper prefixes.
+        let coarse = decompose(&graph, &plan, &ceci, 4, 1000.0);
+        let fine = decompose(&graph, &plan, &ceci, 4, 0.1);
+        assert!(coarse.iter().all(|u| u.prefix.len() == 1));
+        assert!(
+            fine.iter().any(|u| u.prefix.len() >= 2),
+            "small beta should split clusters into sub-cluster prefixes"
+        );
+        // Both decompositions enumerate the same embeddings.
+        let count = |units: &[WorkUnit]| {
+            let mut e = Enumerator::new(&graph, &plan, &ceci, EnumOptions::default());
+            let mut c = Counters::default();
+            let mut sink = CollectSink::unbounded();
+            for u in units {
+                e.enumerate_prefix(&u.prefix, &mut sink, &mut c);
+            }
+            canonicalize(sink.into_embeddings())
+        };
+        assert_eq!(count(&coarse), count(&fine));
+        assert_eq!(count(&fine), collect_embeddings(&graph, &plan, &ceci));
+    }
+
+    #[test]
+    fn unit_workloads_respect_threshold_or_are_leaves() {
+        let (graph, plan) = paper::figure1();
+        let ceci = Ceci::build(&graph, &plan);
+        let workers = 2;
+        let beta = 0.2;
+        let total: f64 = ceci.pivots().iter().map(|&(_, c)| c as f64).sum();
+        let threshold = beta * total / workers as f64;
+        let n = plan.query().num_vertices();
+        for u in decompose(&graph, &plan, &ceci, workers, beta) {
+            assert!(
+                u.workload <= threshold + 1e-9 || u.prefix.len() == n,
+                "oversized non-leaf unit {u:?}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "beta must be positive")]
+    fn zero_beta_rejected() {
+        let (graph, plan) = paper::figure1();
+        let ceci = Ceci::build(&graph, &plan);
+        let _ = decompose(&graph, &plan, &ceci, 2, 0.0);
+    }
+}

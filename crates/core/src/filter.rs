@@ -1,0 +1,297 @@
+//! CECI creation and BFS-based filtering — Algorithm 1 (§3.2).
+//!
+//! Phase A walks the query tree in matching order, expanding each node's
+//! frontier (the parent's surviving candidates) through the label (LF),
+//! degree (DF), and neighborhood-label-count (NLCF) filters to fill the
+//! TE_Candidates tables. A frontier vertex whose expansion comes up empty is
+//! removed from the parent's candidate set and from the already-built tables
+//! of the parent's other children (Algorithm 1 lines 9–12).
+//!
+//! Phase B builds the NTE_Candidates tables for every backward non-tree
+//! edge the same way, keyed by the NTE parent's surviving candidates, with
+//! the same empty-entry cascade.
+
+use ceci_graph::{Graph, LabelId, VertexId};
+use ceci_query::candidates::{degree_filter, label_filter, nlc_filter};
+use ceci_query::QueryPlan;
+
+use crate::tables::BuildTable;
+
+/// Mutable CECI under construction: pivots plus per-node TE/NTE tables.
+#[derive(Debug)]
+pub struct BuilderState {
+    /// Surviving candidates of the root (cluster pivots), sorted.
+    pub pivots: Vec<VertexId>,
+    /// `te[u]` — TE table of non-root query node `u`, keyed by candidates of
+    /// its tree parent. `None` for the root.
+    pub te: Vec<Option<BuildTable>>,
+    /// `nte[u]` — one `(nte_parent, table)` per backward non-tree edge of `u`.
+    pub nte: Vec<Vec<(VertexId, BuildTable)>>,
+}
+
+impl BuilderState {
+    /// Candidate set of query node `u`: pivots for the root, otherwise the
+    /// value union of its TE table.
+    pub fn candidates_of(&self, plan: &QueryPlan, u: VertexId) -> Vec<VertexId> {
+        if u == plan.root() {
+            self.pivots.clone()
+        } else {
+            self.te[u.index()]
+                .as_ref()
+                .expect("non-root nodes have TE tables")
+                .value_union()
+        }
+    }
+
+    /// Total TE candidate-edge entries.
+    pub fn te_entries(&self) -> usize {
+        self.te
+            .iter()
+            .flatten()
+            .map(|t| t.num_entries())
+            .sum()
+    }
+
+    /// Total NTE candidate-edge entries.
+    pub fn nte_entries(&self) -> usize {
+        self.nte
+            .iter()
+            .flat_map(|v| v.iter())
+            .map(|(_, t)| t.num_entries())
+            .sum()
+    }
+
+    /// Removes `v` from the candidate set of query node `u`, cascading the
+    /// key removal into every *already built* table keyed by `u`'s
+    /// candidates (TE tables of `u`'s tree children, NTE tables whose parent
+    /// is `u`).
+    pub fn remove_candidate(&mut self, plan: &QueryPlan, u: VertexId, v: VertexId) {
+        if u == plan.root() {
+            if let Ok(i) = self.pivots.binary_search(&v) {
+                self.pivots.remove(i);
+            }
+        } else if let Some(table) = self.te[u.index()].as_mut() {
+            table.remove_value_everywhere(v);
+        }
+        for (un, table) in self.nte[u.index()].iter_mut() {
+            let _ = un;
+            table.remove_value_everywhere(v);
+        }
+        for &uc in plan.tree().children(u) {
+            if let Some(child_table) = self.te[uc.index()].as_mut() {
+                child_table.remove_key(v);
+            }
+        }
+        for &uf in plan.forward_nte(u) {
+            for (parent, table) in self.nte[uf.index()].iter_mut() {
+                if *parent == u {
+                    table.remove_key(v);
+                }
+            }
+        }
+    }
+}
+
+/// Per-query-node filter context, precomputed once.
+struct NodeFilter {
+    /// Query-side NLC profile of the node.
+    nlc: Vec<(LabelId, u32)>,
+}
+
+/// Runs Algorithm 1: seeds the pivots from the plan's initial root
+/// candidates and fills all TE tables in matching order, then all backward
+/// NTE tables. Returns the builder state.
+pub fn bfs_filter(graph: &Graph, plan: &QueryPlan) -> BuilderState {
+    bfs_filter_from(graph, plan, plan.initial_candidates(plan.root()).to_vec())
+}
+
+/// Runs Algorithm 1 from an explicit pivot set — used by the distributed
+/// simulation, where each machine indexes only its assigned embedding
+/// clusters (§5). `pivots` must be sorted and a subset of the root's
+/// initial candidates.
+pub fn bfs_filter_from(
+    graph: &Graph,
+    plan: &QueryPlan,
+    pivots: Vec<VertexId>,
+) -> BuilderState {
+    debug_assert!(pivots.windows(2).all(|w| w[0] < w[1]), "pivots must be sorted");
+    let n = plan.query().num_vertices();
+    let mut state = BuilderState {
+        pivots,
+        te: (0..n).map(|_| None).collect(),
+        nte: vec![Vec::new(); n],
+    };
+    let filters: Vec<NodeFilter> = plan
+        .query()
+        .vertices()
+        .map(|u| NodeFilter {
+            nlc: plan.query().neighborhood_label_counts(u),
+        })
+        .collect();
+
+    // Phase A: TE tables in matching order (root skipped).
+    for &u in plan.matching_order().iter().skip(1) {
+        let up = plan
+            .tree()
+            .parent(u)
+            .expect("non-root nodes have tree parents");
+        let frontier = state.candidates_of(plan, up);
+        let mut table = BuildTable::new();
+        let mut emptied: Vec<VertexId> = Vec::new();
+        for vf in frontier {
+            let values = filtered_neighbors(graph, plan, &filters, u, vf);
+            if values.is_empty() {
+                emptied.push(vf);
+            } else {
+                table.push_key(vf, values);
+            }
+        }
+        state.te[u.index()] = Some(table);
+        for vf in emptied {
+            state.remove_candidate(plan, up, vf);
+        }
+    }
+
+    // Phase B: NTE tables in matching order.
+    for &u in plan.matching_order().iter() {
+        for &un in plan.backward_nte(u) {
+            let frontier = state.candidates_of(plan, un);
+            let mut table = BuildTable::new();
+            let mut emptied: Vec<VertexId> = Vec::new();
+            for vf in frontier {
+                let values = filtered_neighbors(graph, plan, &filters, u, vf);
+                if values.is_empty() {
+                    emptied.push(vf);
+                } else {
+                    table.push_key(vf, values);
+                }
+            }
+            state.nte[u.index()].push((un, table));
+            for vf in emptied {
+                state.remove_candidate(plan, un, vf);
+            }
+        }
+    }
+    state
+}
+
+/// Neighbors of `vf` passing LF, DF, and NLCF for query node `u`. Output is
+/// sorted because adjacency lists are sorted and filtering preserves order.
+fn filtered_neighbors(
+    graph: &Graph,
+    plan: &QueryPlan,
+    filters: &[NodeFilter],
+    u: VertexId,
+    vf: VertexId,
+) -> Vec<VertexId> {
+    let query = plan.query();
+    let nlc = &filters[u.index()].nlc;
+    graph
+        .neighbors(vf)
+        .iter()
+        .copied()
+        .filter(|&v| label_filter(query, graph, u, v))
+        .filter(|&v| degree_filter(query, graph, u, v))
+        .filter(|&v| nlc_filter(nlc, graph, v))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::paper;
+    use ceci_graph::vid;
+
+    #[test]
+    fn paper_te_tables_after_filtering() {
+        let (graph, plan) = paper::figure1();
+        let state = bfs_filter(&graph, &plan);
+        // Pivots: v2 removed by the cascade (te[u3][v2] empty after NLCF
+        // prunes v8) → only v1 survives.
+        assert_eq!(state.pivots, vec![paper::v(1)]);
+        // te[u2]: <v1, {v3, v5, v7}> (key v2 cascaded away).
+        let te_u2 = state.te[paper::u(2).index()].as_ref().unwrap();
+        assert_eq!(
+            te_u2.get(paper::v(1)),
+            Some(&[paper::v(3), paper::v(5), paper::v(7)][..])
+        );
+        assert_eq!(te_u2.get(paper::v(2)), None);
+        // te[u3]: <v1, {v4, v6}>.
+        let te_u3 = state.te[paper::u(3).index()].as_ref().unwrap();
+        assert_eq!(te_u3.get(paper::v(1)), Some(&[paper::v(4), paper::v(6)][..]));
+        assert_eq!(te_u3.get(paper::v(2)), None);
+        // te[u4]: <v3,{v11}>, <v5,{v13}>, <v7,{v15}>.
+        let te_u4 = state.te[paper::u(4).index()].as_ref().unwrap();
+        assert_eq!(te_u4.get(paper::v(3)), Some(&[paper::v(11)][..]));
+        assert_eq!(te_u4.get(paper::v(5)), Some(&[paper::v(13)][..]));
+        assert_eq!(te_u4.get(paper::v(7)), Some(&[paper::v(15)][..]));
+        // te[u5]: <v4,{v12}>, <v6,{v14}>.
+        let te_u5 = state.te[paper::u(5).index()].as_ref().unwrap();
+        assert_eq!(te_u5.get(paper::v(4)), Some(&[paper::v(12)][..]));
+        assert_eq!(te_u5.get(paper::v(6)), Some(&[paper::v(14)][..]));
+    }
+
+    #[test]
+    fn paper_nte_tables_after_filtering() {
+        let (graph, plan) = paper::figure1();
+        let state = bfs_filter(&graph, &plan);
+        // nte[u3] (parent u2): <v3,{v4}>, <v5,{v4,v6}>, <v7,{v6}> — v8 pruned
+        // by NLCF.
+        let nte_u3 = &state.nte[paper::u(3).index()];
+        assert_eq!(nte_u3.len(), 1);
+        assert_eq!(nte_u3[0].0, paper::u(2));
+        let t = &nte_u3[0].1;
+        assert_eq!(t.get(paper::v(3)), Some(&[paper::v(4)][..]));
+        assert_eq!(t.get(paper::v(5)), Some(&[paper::v(4), paper::v(6)][..]));
+        assert_eq!(t.get(paper::v(7)), Some(&[paper::v(6)][..]));
+        // nte[u4] (parent u3): <v4,{v11}>, <v6,{v13}>.
+        let nte_u4 = &state.nte[paper::u(4).index()];
+        assert_eq!(nte_u4.len(), 1);
+        assert_eq!(nte_u4[0].0, paper::u(3));
+        let t = &nte_u4[0].1;
+        assert_eq!(t.get(paper::v(4)), Some(&[paper::v(11)][..]));
+        assert_eq!(t.get(paper::v(6)), Some(&[paper::v(13)][..]));
+    }
+
+    #[test]
+    fn candidate_sets_match_paper() {
+        let (graph, plan) = paper::figure1();
+        let state = bfs_filter(&graph, &plan);
+        assert_eq!(
+            state.candidates_of(&plan, paper::u(2)),
+            vec![paper::v(3), paper::v(5), paper::v(7)]
+        );
+        assert_eq!(
+            state.candidates_of(&plan, paper::u(3)),
+            vec![paper::v(4), paper::v(6)]
+        );
+        assert_eq!(
+            state.candidates_of(&plan, paper::u(4)),
+            vec![paper::v(11), paper::v(13), paper::v(15)]
+        );
+        assert_eq!(
+            state.candidates_of(&plan, paper::u(5)),
+            vec![paper::v(12), paper::v(14)]
+        );
+    }
+
+    #[test]
+    fn entry_counts() {
+        let (graph, plan) = paper::figure1();
+        let state = bfs_filter(&graph, &plan);
+        // TE: u2:3 + u3:2 + u4:3 + u5:2 = 10
+        assert_eq!(state.te_entries(), 10);
+        // NTE: u3:4 + u4:2 = 6
+        assert_eq!(state.nte_entries(), 6);
+    }
+
+    #[test]
+    fn single_vertex_query_only_pivots() {
+        let graph = ceci_graph::Graph::unlabeled(3, &[(vid(0), vid(1))]);
+        let query = ceci_query::QueryGraph::unlabeled(1, &[]).unwrap();
+        let plan = QueryPlan::new(query, &graph);
+        let state = bfs_filter(&graph, &plan);
+        assert_eq!(state.pivots.len(), 3);
+        assert_eq!(state.te_entries(), 0);
+    }
+}

@@ -1,0 +1,254 @@
+//! Sorted-set intersection kernels (§4, §4.1).
+//!
+//! CECI replaces per-candidate edge verification with set intersection
+//! between TE and NTE candidate lists. Lists are sorted `u32` id vectors, so
+//! intersection is a linear merge — or a galloping binary search when one
+//! side is much shorter. Kernels report the number of element comparisons
+//! into the caller's counter so the §4.1 ablation can compare work done.
+
+use ceci_graph::VertexId;
+
+/// Threshold ratio above which the galloping kernel beats the merge kernel.
+const GALLOP_RATIO: usize = 16;
+
+/// Intersects two sorted slices into `out` (cleared first). Adds the number
+/// of comparisons performed to `ops`.
+pub fn intersect_into(
+    a: &[VertexId],
+    b: &[VertexId],
+    out: &mut Vec<VertexId>,
+    ops: &mut u64,
+) {
+    out.clear();
+    if a.is_empty() || b.is_empty() {
+        return;
+    }
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    if large.len() / small.len() >= GALLOP_RATIO {
+        gallop_intersect(small, large, out, ops);
+    } else {
+        merge_intersect(a, b, out, ops);
+    }
+}
+
+fn merge_intersect(a: &[VertexId], b: &[VertexId], out: &mut Vec<VertexId>, ops: &mut u64) {
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        *ops += 1;
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+}
+
+fn gallop_intersect(small: &[VertexId], large: &[VertexId], out: &mut Vec<VertexId>, ops: &mut u64) {
+    let mut lo = 0usize;
+    for &x in small {
+        // Exponential probe from `lo`. After the loop, everything before
+        // `base` is `< x` and the probe stopped at `hi` with
+        // `large[hi] >= x` (or ran off the end), so the candidate window is
+        // `[base, hi]` inclusive.
+        let mut step = 1usize;
+        let mut base = lo;
+        let mut hi = lo;
+        while hi < large.len() && large[hi] < x {
+            *ops += 1;
+            base = hi + 1;
+            hi += step;
+            step *= 2;
+        }
+        let end = large.len().min(hi + 1);
+        let window = &large[base..end];
+        *ops += (window.len().max(1) as f64).log2().ceil() as u64 + 1;
+        match window.binary_search(&x) {
+            Ok(k) => {
+                out.push(x);
+                lo = base + k + 1;
+            }
+            Err(k) => {
+                lo = base + k;
+            }
+        }
+        if lo >= large.len() {
+            break;
+        }
+    }
+}
+
+/// Intersects `base` with each list in `others`, writing the final result to
+/// `out`. Uses `scratch` as the ping-pong buffer. Short-circuits to empty.
+pub fn intersect_many_into(
+    base: &[VertexId],
+    others: &[&[VertexId]],
+    out: &mut Vec<VertexId>,
+    scratch: &mut Vec<VertexId>,
+    ops: &mut u64,
+) {
+    out.clear();
+    out.extend_from_slice(base);
+    for list in others {
+        if out.is_empty() {
+            return;
+        }
+        scratch.clear();
+        std::mem::swap(out, scratch);
+        intersect_into(scratch, list, out, ops);
+    }
+}
+
+/// Membership test on a sorted slice, counting comparisons.
+#[inline]
+pub fn sorted_contains(list: &[VertexId], x: VertexId, ops: &mut u64) -> bool {
+    *ops += (list.len().max(1) as f64).log2().ceil() as u64 + 1;
+    list.binary_search(&x).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ceci_graph::vid;
+
+    fn v(ids: &[u32]) -> Vec<VertexId> {
+        ids.iter().map(|&i| vid(i)).collect()
+    }
+
+    #[test]
+    fn merge_basic() {
+        let mut out = Vec::new();
+        let mut ops = 0;
+        intersect_into(&v(&[1, 3, 5, 7]), &v(&[2, 3, 6, 7, 9]), &mut out, &mut ops);
+        assert_eq!(out, v(&[3, 7]));
+        assert!(ops > 0);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let mut out = v(&[9]);
+        let mut ops = 0;
+        intersect_into(&v(&[]), &v(&[1, 2]), &mut out, &mut ops);
+        assert!(out.is_empty());
+        intersect_into(&v(&[1, 2]), &v(&[]), &mut out, &mut ops);
+        assert!(out.is_empty());
+        assert_eq!(ops, 0);
+    }
+
+    #[test]
+    fn disjoint_and_identical() {
+        let mut out = Vec::new();
+        let mut ops = 0;
+        intersect_into(&v(&[1, 2]), &v(&[3, 4]), &mut out, &mut ops);
+        assert!(out.is_empty());
+        intersect_into(&v(&[1, 2, 3]), &v(&[1, 2, 3]), &mut out, &mut ops);
+        assert_eq!(out, v(&[1, 2, 3]));
+    }
+
+    #[test]
+    fn gallop_kicks_in_for_skewed_sizes() {
+        let small = v(&[5, 500, 995]);
+        let large: Vec<VertexId> = (0..1000).map(vid).collect();
+        let mut out = Vec::new();
+        let mut ops = 0;
+        intersect_into(&small, &large, &mut out, &mut ops);
+        assert_eq!(out, v(&[5, 500, 995]));
+        // Galloping must do far fewer comparisons than a full merge.
+        assert!(ops < 500, "gallop ops = {ops}");
+    }
+
+    #[test]
+    fn gallop_matches_merge_results() {
+        // Cross-check the two kernels on assorted skewed inputs.
+        for (si, li) in [(3usize, 100usize), (5, 200), (1, 50), (7, 400)] {
+            let small: Vec<VertexId> = (0..si as u32).map(|i| vid(i * 13 + 1)).collect();
+            let large: Vec<VertexId> = (0..li as u32).map(|i| vid(i * 2)).collect();
+            let (mut out_g, mut out_m) = (Vec::new(), Vec::new());
+            let mut ops = 0;
+            gallop_intersect(&small, &large, &mut out_g, &mut ops);
+            merge_intersect(&small, &large, &mut out_m, &mut ops);
+            assert_eq!(out_g, out_m, "mismatch for sizes ({si},{li})");
+        }
+    }
+
+    #[test]
+    fn gallop_hits_probe_boundary_matches() {
+        // Regression: an element equal to the value at the probe's stopping
+        // position must not be skipped (window must be inclusive of `hi`).
+        let large: Vec<VertexId> = (0..64u32).map(|i| vid(i * 2)).collect();
+        // x = 2 stops the very first probe at index 1 where large[1] == 2.
+        let small = v(&[2]);
+        let mut out = Vec::new();
+        let mut ops = 0;
+        gallop_intersect(&small, &large, &mut out, &mut ops);
+        assert_eq!(out, v(&[2]));
+        // First element of `large` itself (empty probe loop).
+        let mut out = Vec::new();
+        gallop_intersect(&v(&[0]), &large, &mut out, &mut ops);
+        assert_eq!(out, v(&[0]));
+    }
+
+    #[test]
+    fn gallop_exhaustive_cross_check() {
+        // Every subset size against a fixed large list, all offsets: gallop
+        // and merge must agree element-for-element.
+        let large: Vec<VertexId> = (0..200u32).map(|i| vid(i * 3 + 1)).collect();
+        for stride in 1..8u32 {
+            for offset in 0..6u32 {
+                let small: Vec<VertexId> =
+                    (0..40u32).map(|i| vid(i * stride * 3 + offset)).collect();
+                let (mut g, mut m) = (Vec::new(), Vec::new());
+                let mut ops = 0;
+                gallop_intersect(&small, &large, &mut g, &mut ops);
+                merge_intersect(&small, &large, &mut m, &mut ops);
+                assert_eq!(g, m, "stride {stride} offset {offset}");
+            }
+        }
+    }
+
+    #[test]
+    fn many_way_intersection() {
+        let base = v(&[1, 2, 3, 4, 5, 6]);
+        let b = v(&[2, 4, 6, 8]);
+        let c = v(&[1, 2, 4, 5, 6]);
+        let mut out = Vec::new();
+        let mut scratch = Vec::new();
+        let mut ops = 0;
+        intersect_many_into(&base, &[&b, &c], &mut out, &mut scratch, &mut ops);
+        assert_eq!(out, v(&[2, 4, 6]));
+    }
+
+    #[test]
+    fn many_way_short_circuits() {
+        let base = v(&[1, 2]);
+        let empty = v(&[]);
+        let c = v(&[1]);
+        let mut out = Vec::new();
+        let mut scratch = Vec::new();
+        let mut ops = 0;
+        intersect_many_into(&base, &[&empty, &c], &mut out, &mut scratch, &mut ops);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn many_way_no_others_copies_base() {
+        let base = v(&[4, 8]);
+        let mut out = Vec::new();
+        let mut scratch = Vec::new();
+        let mut ops = 0;
+        intersect_many_into(&base, &[], &mut out, &mut scratch, &mut ops);
+        assert_eq!(out, base);
+    }
+
+    #[test]
+    fn sorted_contains_counts() {
+        let list = v(&[1, 4, 9]);
+        let mut ops = 0;
+        assert!(sorted_contains(&list, vid(4), &mut ops));
+        assert!(!sorted_contains(&list, vid(5), &mut ops));
+        assert!(ops >= 2);
+    }
+}

@@ -1,0 +1,456 @@
+//! Parallel embedding enumeration — "k embeddings at a time" (§4.2, §4.3).
+//!
+//! Embedding clusters are natural work units; three distribution policies
+//! match the paper's comparison:
+//!
+//! * **ST** (static): clusters split into `k` contiguous groups up front —
+//!   no re-adjustment, suffers from power-law cluster skew.
+//! * **CGD** (coarse-grained dynamic): a classical pull-based shared pool of
+//!   whole clusters.
+//! * **FGD** (fine-grained dynamic): ExtremeClusters are pre-split with
+//!   Algorithm 3 under threshold `β × cardinality_exp`, the resulting units
+//!   sorted largest-first, then pulled dynamically.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use ceci_graph::{Graph, VertexId};
+use ceci_query::QueryPlan;
+
+use crate::enumerate::{EnumOptions, Enumerator, VerifyMode};
+use crate::extreme::{decompose, WorkUnit};
+use crate::index::Ceci;
+use crate::metrics::{Counters, ThreadTimer};
+use crate::sink::{CollectSink, CountSink, SharedBudget, SharedLimitSink};
+
+/// Work distribution policy.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Strategy {
+    /// Static: equal number of clusters per worker, assigned once.
+    Static,
+    /// Coarse-grained dynamic: pull-based, cluster granularity.
+    CoarseDynamic,
+    /// Fine-grained dynamic: ExtremeCluster decomposition with factor β,
+    /// then pull-based.
+    FineDynamic {
+        /// Threshold factor β (the paper uses 0.2 in §6.3).
+        beta: f64,
+    },
+}
+
+impl Strategy {
+    /// The paper's abbreviation (ST / CGD / FGD).
+    pub fn abbrev(&self) -> &'static str {
+        match self {
+            Strategy::Static => "ST",
+            Strategy::CoarseDynamic => "CGD",
+            Strategy::FineDynamic { .. } => "FGD",
+        }
+    }
+}
+
+/// Options for a parallel run.
+#[derive(Clone, Copy, Debug)]
+pub struct ParallelOptions {
+    /// Number of worker threads.
+    pub workers: usize,
+    /// Work distribution policy.
+    pub strategy: Strategy,
+    /// Non-tree edge strategy.
+    pub verify: VerifyMode,
+    /// Stop after this many embeddings globally (first-k semantics).
+    pub limit: Option<u64>,
+    /// Collect the embeddings (otherwise only count).
+    pub collect: bool,
+}
+
+impl Default for ParallelOptions {
+    fn default() -> Self {
+        ParallelOptions {
+            workers: 1,
+            strategy: Strategy::FineDynamic { beta: 0.2 },
+            verify: VerifyMode::Intersection,
+            limit: None,
+            collect: false,
+        }
+    }
+}
+
+/// Result of a parallel run.
+#[derive(Debug)]
+pub struct ParallelResult {
+    /// Embeddings found (globally, before any limit truncation).
+    pub total_embeddings: u64,
+    /// Merged counters across workers.
+    pub counters: Counters,
+    /// Per-worker CPU time (thread clock, preemption-immune) — the Fig 12
+    /// per-worker finish profile and the basis of `modeled_makespan`.
+    pub worker_busy: Vec<Duration>,
+    /// Number of work units distributed.
+    pub num_units: usize,
+    /// Wall time spent decomposing/distributing work.
+    pub distribute_time: Duration,
+    /// Wall time of the enumeration phase.
+    pub enumerate_time: Duration,
+    /// Collected embeddings, canonically sorted (when requested).
+    pub embeddings: Option<Vec<Vec<VertexId>>>,
+}
+
+impl ParallelResult {
+    /// Modeled makespan on a machine with one core per worker:
+    /// decomposition/distribution overhead plus the busiest worker's CPU
+    /// time. On hosts with fewer physical cores than workers this is the
+    /// honest scalability figure — threads timeshare, so wall time cannot
+    /// show the speedup, but per-worker busy time can.
+    pub fn modeled_makespan(&self) -> Duration {
+        self.distribute_time
+            + self
+                .worker_busy
+                .iter()
+                .max()
+                .copied()
+                .unwrap_or(Duration::ZERO)
+    }
+
+    /// Total CPU time across workers (the single-core equivalent cost).
+    pub fn total_busy(&self) -> Duration {
+        self.worker_busy.iter().sum()
+    }
+}
+
+/// Runs parallel enumeration over a built CECI.
+///
+/// # Examples
+///
+/// ```
+/// use ceci_core::{enumerate_parallel, Ceci, ParallelOptions, Strategy};
+/// use ceci_graph::{vid, Graph};
+/// use ceci_query::{PaperQuery, QueryPlan};
+///
+/// let graph = Graph::unlabeled(4, &[
+///     (vid(0), vid(1)), (vid(1), vid(2)), (vid(2), vid(0)),
+///     (vid(1), vid(3)), (vid(2), vid(3)),
+/// ]);
+/// let plan = QueryPlan::new(PaperQuery::Qg1.build(), &graph);
+/// let ceci = Ceci::build(&graph, &plan);
+/// let result = enumerate_parallel(&graph, &plan, &ceci, &ParallelOptions {
+///     workers: 2,
+///     strategy: Strategy::FineDynamic { beta: 0.2 },
+///     collect: true,
+///     ..Default::default()
+/// });
+/// assert_eq!(result.total_embeddings, 2);
+/// assert_eq!(result.embeddings.unwrap().len(), 2);
+/// ```
+pub fn enumerate_parallel(
+    graph: &Graph,
+    plan: &QueryPlan,
+    ceci: &Ceci,
+    options: &ParallelOptions,
+) -> ParallelResult {
+    assert!(options.workers >= 1, "need at least one worker");
+    let t0 = Instant::now();
+    let units: Vec<WorkUnit> = match options.strategy {
+        Strategy::FineDynamic { beta } => decompose(graph, plan, ceci, options.workers, beta),
+        _ => ceci
+            .pivots()
+            .iter()
+            .map(|&(pivot, card)| WorkUnit {
+                prefix: vec![pivot],
+                workload: card as f64,
+            })
+            .collect(),
+    };
+    let distribute_time = t0.elapsed();
+    let num_units = units.len();
+
+    let budget = SharedBudget::new(options.limit);
+    let next = AtomicUsize::new(0);
+    let enum_opts = EnumOptions {
+        verify: options.verify,
+    };
+
+    // Static pre-assignment: worker w owns units with index ≡ w (mod k) —
+    // "equal number of embedding clusters to each worker" with no pulling.
+    let workers = options.workers;
+    let t1 = Instant::now();
+    let mut results: Vec<(Counters, Duration, Vec<Vec<VertexId>>)> =
+        Vec::with_capacity(workers);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let units = &units;
+            let next = &next;
+            let budget = budget.clone();
+            handles.push(scope.spawn(move || {
+                let mut counters = Counters::default();
+                let mut busy = Duration::ZERO;
+                let mut collected: Vec<Vec<VertexId>> = Vec::new();
+                let mut enumerator = Enumerator::new(graph, plan, ceci, enum_opts);
+                if matches!(options.strategy, Strategy::Static) {
+                    // Static pre-assignment: worker w owns units w, w+k, ...
+                    let mut i = w;
+                    while i < units.len() {
+                        if budget.stopped() {
+                            break;
+                        }
+                        let start = ThreadTimer::start();
+                        run_unit(
+                            &mut enumerator,
+                            &units[i],
+                            &budget,
+                            options.collect,
+                            &mut collected,
+                            &mut counters,
+                        );
+                        busy += start.elapsed();
+                        i += workers;
+                    }
+                } else {
+                    // Pull-based dynamic distribution: grab the next unit.
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(unit) = units.get(i) else { break };
+                        if budget.stopped() {
+                            break;
+                        }
+                        let start = ThreadTimer::start();
+                        run_unit(
+                            &mut enumerator,
+                            unit,
+                            &budget,
+                            options.collect,
+                            &mut collected,
+                            &mut counters,
+                        );
+                        busy += start.elapsed();
+                    }
+                }
+                (counters, busy, collected)
+            }));
+        }
+        for h in handles {
+            results.push(h.join().expect("worker panicked"));
+        }
+    });
+    let enumerate_time = t1.elapsed();
+
+    let mut counters = Counters::default();
+    let mut worker_busy = Vec::with_capacity(workers);
+    let mut all: Vec<Vec<VertexId>> = Vec::new();
+    for (c, busy, collected) in results {
+        counters.merge(&c);
+        worker_busy.push(busy);
+        all.extend(collected);
+    }
+    let embeddings = if options.collect {
+        all.sort();
+        if let Some(limit) = options.limit {
+            all.truncate(limit as usize);
+        }
+        Some(all)
+    } else {
+        None
+    };
+    ParallelResult {
+        total_embeddings: counters.embeddings,
+        counters,
+        worker_busy,
+        num_units,
+        distribute_time,
+        enumerate_time,
+        embeddings,
+    }
+}
+
+fn run_unit(
+    enumerator: &mut Enumerator<'_>,
+    unit: &WorkUnit,
+    budget: &std::sync::Arc<SharedBudget>,
+    collect: bool,
+    collected: &mut Vec<Vec<VertexId>>,
+    counters: &mut Counters,
+) {
+    if collect {
+        let mut inner = CollectSink::unbounded();
+        {
+            let mut sink = SharedLimitSink::new(&mut inner, budget.clone());
+            enumerator.enumerate_prefix(&unit.prefix, &mut sink, counters);
+        }
+        collected.extend(inner.into_embeddings());
+    } else {
+        let mut inner = CountSink::unbounded();
+        let mut sink = SharedLimitSink::new(&mut inner, budget.clone());
+        enumerator.enumerate_prefix(&unit.prefix, &mut sink, counters);
+    }
+}
+
+/// Convenience: parallel count with a given strategy.
+pub fn count_parallel(
+    graph: &Graph,
+    plan: &QueryPlan,
+    ceci: &Ceci,
+    workers: usize,
+    strategy: Strategy,
+) -> u64 {
+    enumerate_parallel(
+        graph,
+        plan,
+        ceci,
+        &ParallelOptions {
+            workers,
+            strategy,
+            ..Default::default()
+        },
+    )
+    .total_embeddings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumerate::collect_embeddings;
+    use crate::fixtures::paper;
+    use ceci_graph::vid;
+    use ceci_query::PaperQuery;
+
+    fn skewed_graph() -> Graph {
+        // Hub fan: vertex 0 connected to 1..=24, consecutive ring among
+        // 1..=24 → many triangles through the hub (an ExtremeCluster for the
+        // hub pivot).
+        let mut edges = Vec::new();
+        for i in 1..=24u32 {
+            edges.push((vid(0), vid(i)));
+        }
+        for i in 1..24u32 {
+            edges.push((vid(i), vid(i + 1)));
+        }
+        Graph::unlabeled(25, &edges)
+    }
+
+    fn expected(graph: &Graph, plan: &QueryPlan, ceci: &Ceci) -> Vec<Vec<VertexId>> {
+        collect_embeddings(graph, plan, ceci)
+    }
+
+    #[test]
+    fn all_strategies_agree_with_sequential() {
+        let graph = skewed_graph();
+        let plan = QueryPlan::new(PaperQuery::Qg1.build(), &graph);
+        let ceci = Ceci::build(&graph, &plan);
+        let reference = expected(&graph, &plan, &ceci);
+        assert!(!reference.is_empty());
+        for strategy in [
+            Strategy::Static,
+            Strategy::CoarseDynamic,
+            Strategy::FineDynamic { beta: 0.2 },
+        ] {
+            for workers in [1, 2, 4] {
+                let result = enumerate_parallel(
+                    &graph,
+                    &plan,
+                    &ceci,
+                    &ParallelOptions {
+                        workers,
+                        strategy,
+                        collect: true,
+                        ..Default::default()
+                    },
+                );
+                assert_eq!(
+                    result.embeddings.as_ref().unwrap(),
+                    &reference,
+                    "{} × {workers} workers",
+                    strategy.abbrev()
+                );
+                assert_eq!(result.total_embeddings, reference.len() as u64);
+                assert_eq!(result.worker_busy.len(), workers);
+            }
+        }
+    }
+
+    #[test]
+    fn figure1_parallel() {
+        let (graph, plan) = paper::figure1();
+        let ceci = Ceci::build(&graph, &plan);
+        let result = enumerate_parallel(
+            &graph,
+            &plan,
+            &ceci,
+            &ParallelOptions {
+                workers: 3,
+                strategy: Strategy::FineDynamic { beta: 0.5 },
+                collect: true,
+                ..Default::default()
+            },
+        );
+        assert_eq!(
+            result.embeddings.unwrap(),
+            crate::sink::canonicalize(paper::expected_embeddings())
+        );
+    }
+
+    #[test]
+    fn limit_stops_globally() {
+        let graph = skewed_graph();
+        let plan = QueryPlan::new(PaperQuery::Qg1.build(), &graph);
+        let ceci = Ceci::build(&graph, &plan);
+        let total = expected(&graph, &plan, &ceci).len() as u64;
+        assert!(total > 5);
+        let result = enumerate_parallel(
+            &graph,
+            &plan,
+            &ceci,
+            &ParallelOptions {
+                workers: 4,
+                strategy: Strategy::CoarseDynamic,
+                limit: Some(5),
+                collect: true,
+                ..Default::default()
+            },
+        );
+        let got = result.embeddings.unwrap();
+        assert_eq!(got.len(), 5);
+        // Each reported embedding is genuine.
+        for emb in &got {
+            assert!(crate::enumerate::is_valid_embedding(&graph, &plan, emb));
+        }
+    }
+
+    #[test]
+    fn fgd_creates_more_units_than_cgd() {
+        let graph = skewed_graph();
+        let plan = QueryPlan::new(PaperQuery::Qg1.build(), &graph);
+        let ceci = Ceci::build(&graph, &plan);
+        let cgd = enumerate_parallel(
+            &graph,
+            &plan,
+            &ceci,
+            &ParallelOptions {
+                workers: 4,
+                strategy: Strategy::CoarseDynamic,
+                ..Default::default()
+            },
+        );
+        let fgd = enumerate_parallel(
+            &graph,
+            &plan,
+            &ceci,
+            &ParallelOptions {
+                workers: 4,
+                strategy: Strategy::FineDynamic { beta: 0.1 },
+                ..Default::default()
+            },
+        );
+        assert!(fgd.num_units > cgd.num_units);
+    }
+
+    #[test]
+    fn count_parallel_convenience() {
+        let (graph, plan) = paper::figure1();
+        let ceci = Ceci::build(&graph, &plan);
+        assert_eq!(
+            count_parallel(&graph, &plan, &ceci, 2, Strategy::Static),
+            2
+        );
+    }
+}

@@ -1,0 +1,262 @@
+//! Embedding sinks: where enumeration results go.
+//!
+//! An embedding is reported as a slice indexed by *query vertex id*
+//! (`embedding[u] = matched data vertex`). Sinks decide whether enumeration
+//! continues — returning `false` stops the search, which is how the paper's
+//! "first 1,024 embeddings" experiments (§6.2) terminate early.
+
+use ceci_graph::VertexId;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Consumer of embeddings.
+pub trait EmbeddingSink {
+    /// Handles one embedding; returns `false` to stop enumeration.
+    fn emit(&mut self, embedding: &[VertexId]) -> bool;
+}
+
+/// Counts embeddings, optionally stopping after a limit.
+#[derive(Debug, Default)]
+pub struct CountSink {
+    count: u64,
+    limit: Option<u64>,
+}
+
+impl CountSink {
+    /// Counts without bound.
+    pub fn unbounded() -> Self {
+        CountSink {
+            count: 0,
+            limit: None,
+        }
+    }
+
+    /// Stops after `limit` embeddings.
+    pub fn with_limit(limit: u64) -> Self {
+        CountSink {
+            count: 0,
+            limit: Some(limit),
+        }
+    }
+
+    /// Embeddings seen so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+}
+
+impl EmbeddingSink for CountSink {
+    fn emit(&mut self, _embedding: &[VertexId]) -> bool {
+        self.count += 1;
+        match self.limit {
+            Some(l) => self.count < l,
+            None => true,
+        }
+    }
+}
+
+/// Collects embeddings into a vector, optionally bounded.
+#[derive(Debug, Default)]
+pub struct CollectSink {
+    embeddings: Vec<Vec<VertexId>>,
+    limit: Option<usize>,
+}
+
+impl CollectSink {
+    /// Collects everything.
+    pub fn unbounded() -> Self {
+        Self::default()
+    }
+
+    /// Collects at most `limit` embeddings.
+    pub fn with_limit(limit: usize) -> Self {
+        CollectSink {
+            embeddings: Vec::new(),
+            limit: Some(limit),
+        }
+    }
+
+    /// The collected embeddings.
+    pub fn into_embeddings(self) -> Vec<Vec<VertexId>> {
+        self.embeddings
+    }
+
+    /// Number collected so far.
+    pub fn len(&self) -> usize {
+        self.embeddings.len()
+    }
+
+    /// `true` if nothing collected.
+    pub fn is_empty(&self) -> bool {
+        self.embeddings.is_empty()
+    }
+}
+
+impl EmbeddingSink for CollectSink {
+    fn emit(&mut self, embedding: &[VertexId]) -> bool {
+        self.embeddings.push(embedding.to_vec());
+        match self.limit {
+            Some(l) => self.embeddings.len() < l,
+            None => true,
+        }
+    }
+}
+
+/// Shared cross-worker budget for parallel first-k runs: a global count and
+/// a stop flag. Each worker wraps its local sink in a [`SharedLimitSink`].
+#[derive(Debug)]
+pub struct SharedBudget {
+    emitted: AtomicU64,
+    stop: AtomicBool,
+    limit: Option<u64>,
+}
+
+impl SharedBudget {
+    /// A budget with an optional global embedding limit.
+    pub fn new(limit: Option<u64>) -> Arc<Self> {
+        Arc::new(SharedBudget {
+            emitted: AtomicU64::new(0),
+            stop: AtomicBool::new(false),
+            limit,
+        })
+    }
+
+    /// Total embeddings emitted across workers.
+    pub fn emitted(&self) -> u64 {
+        self.emitted.load(Ordering::Relaxed)
+    }
+
+    /// Has some worker tripped the stop flag?
+    pub fn stopped(&self) -> bool {
+        self.stop.load(Ordering::Relaxed)
+    }
+
+    /// Requests a global stop (used on limit hit).
+    pub fn request_stop(&self) {
+        self.stop.store(true, Ordering::Relaxed);
+    }
+}
+
+/// Per-worker sink that forwards to an inner sink while honoring a shared
+/// [`SharedBudget`].
+pub struct SharedLimitSink<'a, S: EmbeddingSink> {
+    inner: &'a mut S,
+    budget: Arc<SharedBudget>,
+}
+
+impl<'a, S: EmbeddingSink> SharedLimitSink<'a, S> {
+    /// Wraps `inner` under `budget`.
+    pub fn new(inner: &'a mut S, budget: Arc<SharedBudget>) -> Self {
+        SharedLimitSink { inner, budget }
+    }
+}
+
+impl<S: EmbeddingSink> EmbeddingSink for SharedLimitSink<'_, S> {
+    fn emit(&mut self, embedding: &[VertexId]) -> bool {
+        if self.budget.stopped() {
+            return false;
+        }
+        if let Some(limit) = self.budget.limit {
+            let prior = self.budget.emitted.fetch_add(1, Ordering::Relaxed);
+            if prior >= limit {
+                self.budget.request_stop();
+                return false;
+            }
+            let keep_local = self.inner.emit(embedding);
+            if prior + 1 >= limit {
+                self.budget.request_stop();
+                return false;
+            }
+            keep_local
+        } else {
+            self.budget.emitted.fetch_add(1, Ordering::Relaxed);
+            self.inner.emit(embedding)
+        }
+    }
+}
+
+/// Sorts embeddings lexicographically — canonical form for comparing result
+/// sets across engines and worker counts.
+pub fn canonicalize(mut embeddings: Vec<Vec<VertexId>>) -> Vec<Vec<VertexId>> {
+    embeddings.sort();
+    embeddings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ceci_graph::vid;
+
+    #[test]
+    fn count_sink_unbounded() {
+        let mut s = CountSink::unbounded();
+        for _ in 0..5 {
+            assert!(s.emit(&[vid(0)]));
+        }
+        assert_eq!(s.count(), 5);
+    }
+
+    #[test]
+    fn count_sink_limit() {
+        let mut s = CountSink::with_limit(3);
+        assert!(s.emit(&[vid(0)]));
+        assert!(s.emit(&[vid(0)]));
+        assert!(!s.emit(&[vid(0)])); // third emission says stop
+        assert_eq!(s.count(), 3);
+    }
+
+    #[test]
+    fn collect_sink_gathers() {
+        let mut s = CollectSink::unbounded();
+        assert!(s.emit(&[vid(1), vid(2)]));
+        assert!(s.emit(&[vid(3), vid(4)]));
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_empty());
+        let out = s.into_embeddings();
+        assert_eq!(out, vec![vec![vid(1), vid(2)], vec![vid(3), vid(4)]]);
+    }
+
+    #[test]
+    fn collect_sink_limit() {
+        let mut s = CollectSink::with_limit(1);
+        assert!(!s.emit(&[vid(1)]));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn shared_budget_limits_across_sinks() {
+        let budget = SharedBudget::new(Some(3));
+        let mut a = CountSink::unbounded();
+        let mut b = CountSink::unbounded();
+        {
+            let mut sa = SharedLimitSink::new(&mut a, budget.clone());
+            let mut sb = SharedLimitSink::new(&mut b, budget.clone());
+            assert!(sa.emit(&[vid(0)]));
+            assert!(sb.emit(&[vid(0)]));
+            // Third emission reaches the limit: accepted but stops.
+            assert!(!sa.emit(&[vid(0)]));
+            // Fourth emission is rejected outright.
+            assert!(!sb.emit(&[vid(0)]));
+        }
+        assert_eq!(a.count() + b.count(), 3);
+        assert!(budget.stopped());
+        assert!(budget.emitted() >= 3);
+    }
+
+    #[test]
+    fn shared_budget_unlimited_counts() {
+        let budget = SharedBudget::new(None);
+        let mut a = CountSink::unbounded();
+        let mut s = SharedLimitSink::new(&mut a, budget.clone());
+        assert!(s.emit(&[vid(0)]));
+        assert!(s.emit(&[vid(0)]));
+        assert_eq!(budget.emitted(), 2);
+        assert!(!budget.stopped());
+    }
+
+    #[test]
+    fn canonicalize_sorts() {
+        let out = canonicalize(vec![vec![vid(2)], vec![vid(1)], vec![vid(3)]]);
+        assert_eq!(out, vec![vec![vid(1)], vec![vid(2)], vec![vid(3)]]);
+    }
+}

@@ -1,0 +1,298 @@
+//! Candidate tables: the key → value-list maps holding TE and NTE
+//! candidates.
+//!
+//! During construction and refinement the tables must support removals, so
+//! [`BuildTable`] keeps per-key `Vec`s plus a value-membership multiset.
+//! After refinement the index is frozen into [`CompactTable`] — sorted keys,
+//! one flat value arena, binary-searched lookups — matching the paper's
+//! sorted-vector layout (§3.6) and making `size_bytes` exact for Table 2.
+
+use ceci_graph::VertexId;
+use std::collections::HashMap;
+
+/// Mutable key → sorted-value-list table used while building CECI.
+#[derive(Clone, Debug, Default)]
+pub struct BuildTable {
+    /// Sorted by key.
+    entries: Vec<(VertexId, Vec<VertexId>)>,
+    /// value → number of keys whose list currently contains it.
+    value_counts: HashMap<VertexId, u32>,
+}
+
+impl BuildTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts a key with its complete (sorted) value list. Keys must be
+    /// inserted in ascending order; duplicate keys are not allowed.
+    pub fn push_key(&mut self, key: VertexId, values: Vec<VertexId>) {
+        debug_assert!(
+            self.entries.last().map(|(k, _)| *k < key).unwrap_or(true),
+            "keys must be inserted in ascending order"
+        );
+        debug_assert!(values.windows(2).all(|w| w[0] < w[1]), "values must be sorted");
+        for &v in &values {
+            *self.value_counts.entry(v).or_insert(0) += 1;
+        }
+        self.entries.push((key, values));
+    }
+
+    /// Number of keys.
+    pub fn num_keys(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Looks up the value list for `key`.
+    pub fn get(&self, key: VertexId) -> Option<&[VertexId]> {
+        self.entries
+            .binary_search_by_key(&key, |(k, _)| *k)
+            .ok()
+            .map(|i| self.entries[i].1.as_slice())
+    }
+
+    /// Iterates `(key, values)` pairs in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (VertexId, &[VertexId])> {
+        self.entries.iter().map(|(k, v)| (*k, v.as_slice()))
+    }
+
+    /// `true` if `v` appears in at least one value list.
+    pub fn contains_value(&self, v: VertexId) -> bool {
+        self.value_counts.get(&v).copied().unwrap_or(0) > 0
+    }
+
+    /// The distinct values across all keys, sorted — the *candidate set* of
+    /// the query node this table belongs to.
+    pub fn value_union(&self) -> Vec<VertexId> {
+        let mut out: Vec<VertexId> = self
+            .value_counts
+            .iter()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(&v, _)| v)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Removes `key` and its whole value list. No-op if absent.
+    pub fn remove_key(&mut self, key: VertexId) {
+        if let Ok(i) = self.entries.binary_search_by_key(&key, |(k, _)| *k) {
+            let (_, values) = self.entries.remove(i);
+            for v in values {
+                if let Some(c) = self.value_counts.get_mut(&v) {
+                    *c -= 1;
+                }
+            }
+        }
+    }
+
+    /// Removes `v` from every key's value list. Returns the keys whose lists
+    /// became empty as a result (the caller decides what to cascade).
+    pub fn remove_value_everywhere(&mut self, v: VertexId) -> Vec<VertexId> {
+        let Some(count) = self.value_counts.get_mut(&v) else {
+            return Vec::new();
+        };
+        if *count == 0 {
+            return Vec::new();
+        }
+        *count = 0;
+        let mut emptied = Vec::new();
+        for (key, values) in &mut self.entries {
+            if let Ok(i) = values.binary_search(&v) {
+                values.remove(i);
+                if values.is_empty() {
+                    emptied.push(*key);
+                }
+            }
+        }
+        emptied
+    }
+
+    /// Total candidate-edge entries currently stored (Σ value-list lengths).
+    pub fn num_entries(&self) -> usize {
+        self.entries.iter().map(|(_, v)| v.len()).sum()
+    }
+
+    /// Freezes into the compact immutable form, dropping empty keys.
+    pub fn freeze(&self) -> CompactTable {
+        let mut keys = Vec::new();
+        let mut offsets = Vec::with_capacity(self.entries.len() + 1);
+        let mut values = Vec::with_capacity(self.num_entries());
+        offsets.push(0u32);
+        for (key, vals) in &self.entries {
+            if vals.is_empty() {
+                continue;
+            }
+            keys.push(*key);
+            values.extend_from_slice(vals);
+            values_len_guard(values.len());
+            offsets.push(values.len() as u32);
+        }
+        CompactTable {
+            keys,
+            offsets,
+            values,
+        }
+    }
+}
+
+fn values_len_guard(len: usize) {
+    assert!(
+        len <= u32::MAX as usize,
+        "candidate table exceeds u32 offset range"
+    );
+}
+
+/// Immutable frozen candidate table: sorted keys, flat value arena.
+///
+/// Layout is exactly the paper's 8-bytes-per-candidate-edge accounting: each
+/// stored (key, value) candidate edge costs one `u32` value slot plus
+/// amortized key/offset overhead.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CompactTable {
+    keys: Vec<VertexId>,
+    offsets: Vec<u32>,
+    values: Vec<VertexId>,
+}
+
+impl CompactTable {
+    /// Number of keys.
+    #[inline]
+    pub fn num_keys(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Total candidate entries (Σ value-list lengths).
+    #[inline]
+    pub fn num_entries(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Binary-searched lookup of the sorted value list for `key`.
+    #[inline]
+    pub fn get(&self, key: VertexId) -> Option<&[VertexId]> {
+        self.keys.binary_search(&key).ok().map(|i| {
+            &self.values[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+        })
+    }
+
+    /// The sorted key list.
+    #[inline]
+    pub fn keys(&self) -> &[VertexId] {
+        &self.keys
+    }
+
+    /// Iterates `(key, values)` pairs in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (VertexId, &[VertexId])> {
+        self.keys.iter().enumerate().map(move |(i, &k)| {
+            (
+                k,
+                &self.values[self.offsets[i] as usize..self.offsets[i + 1] as usize],
+            )
+        })
+    }
+
+    /// Distinct values across all keys, sorted.
+    pub fn value_union(&self) -> Vec<VertexId> {
+        let mut out = self.values.clone();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Heap bytes held by the table.
+    pub fn size_bytes(&self) -> usize {
+        self.keys.capacity() * std::mem::size_of::<VertexId>()
+            + self.offsets.capacity() * std::mem::size_of::<u32>()
+            + self.values.capacity() * std::mem::size_of::<VertexId>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ceci_graph::vid;
+
+    fn sample() -> BuildTable {
+        let mut t = BuildTable::new();
+        t.push_key(vid(1), vec![vid(3), vid(5), vid(7)]);
+        t.push_key(vid(2), vec![vid(7), vid(9)]);
+        t
+    }
+
+    #[test]
+    fn lookup_and_union() {
+        let t = sample();
+        assert_eq!(t.get(vid(1)), Some(&[vid(3), vid(5), vid(7)][..]));
+        assert_eq!(t.get(vid(2)), Some(&[vid(7), vid(9)][..]));
+        assert_eq!(t.get(vid(3)), None);
+        assert_eq!(t.value_union(), vec![vid(3), vid(5), vid(7), vid(9)]);
+        assert_eq!(t.num_entries(), 5);
+        assert_eq!(t.num_keys(), 2);
+    }
+
+    #[test]
+    fn contains_value_tracks_multiplicity() {
+        let mut t = sample();
+        assert!(t.contains_value(vid(7)));
+        // v7 appears under both keys; removing key v2 keeps it alive.
+        t.remove_key(vid(2));
+        assert!(t.contains_value(vid(7)));
+        assert!(!t.contains_value(vid(9)));
+        assert_eq!(t.value_union(), vec![vid(3), vid(5), vid(7)]);
+    }
+
+    #[test]
+    fn remove_key_noop_when_absent() {
+        let mut t = sample();
+        t.remove_key(vid(99));
+        assert_eq!(t.num_keys(), 2);
+    }
+
+    #[test]
+    fn remove_value_everywhere_reports_emptied_keys() {
+        let mut t = BuildTable::new();
+        t.push_key(vid(1), vec![vid(5)]);
+        t.push_key(vid(2), vec![vid(5), vid(6)]);
+        let emptied = t.remove_value_everywhere(vid(5));
+        assert_eq!(emptied, vec![vid(1)]);
+        assert!(!t.contains_value(vid(5)));
+        assert_eq!(t.get(vid(1)), Some(&[][..]));
+        assert_eq!(t.get(vid(2)), Some(&[vid(6)][..]));
+        // Removing again is a no-op.
+        assert!(t.remove_value_everywhere(vid(5)).is_empty());
+    }
+
+    #[test]
+    fn freeze_drops_empty_keys() {
+        let mut t = sample();
+        t.remove_value_everywhere(vid(7));
+        t.remove_value_everywhere(vid(9));
+        let c = t.freeze();
+        assert_eq!(c.num_keys(), 1);
+        assert_eq!(c.get(vid(1)), Some(&[vid(3), vid(5)][..]));
+        assert_eq!(c.get(vid(2)), None);
+        assert_eq!(c.num_entries(), 2);
+    }
+
+    #[test]
+    fn compact_iter_and_union() {
+        let c = sample().freeze();
+        let pairs: Vec<_> = c.iter().map(|(k, v)| (k, v.len())).collect();
+        assert_eq!(pairs, vec![(vid(1), 3), (vid(2), 2)]);
+        assert_eq!(c.value_union(), vec![vid(3), vid(5), vid(7), vid(9)]);
+        assert!(c.size_bytes() > 0);
+        assert_eq!(c.keys(), &[vid(1), vid(2)]);
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = BuildTable::new();
+        assert_eq!(t.num_keys(), 0);
+        assert!(t.value_union().is_empty());
+        let c = t.freeze();
+        assert_eq!(c.num_entries(), 0);
+        assert_eq!(c.get(vid(0)), None);
+    }
+}

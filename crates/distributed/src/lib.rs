@@ -1,0 +1,30 @@
+//! # ceci-distributed
+//!
+//! Simulated distributed-memory CECI (paper §5). The paper runs on a
+//! 16-node MPI cluster with a lustre file system; this crate reproduces the
+//! *system design* on one host:
+//!
+//! * machines → OS threads (each with its own worker pool),
+//! * `MPI_Send`/`MPI_Recv` pivot scatter and `MPI_Get` work stealing →
+//!   shared queues with virtual-time communication charges,
+//! * replicated in-memory graph vs. shared lustre-like storage → a
+//!   [`config::CostModel`] that charges per-entry IO latency in shared mode,
+//! * pivot placement → degree-based workload estimates with vertex-id
+//!   scaling and Jaccard-similarity cluster co-location.
+//!
+//! The simulation executes the real algorithms on real threads and reports
+//! both the real wall time and a *modeled makespan* that includes the
+//! virtual IO/communication time — the quantity Figures 16, 17, and 20 are
+//! about.
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod partition;
+pub mod physical;
+pub mod run;
+
+pub use config::{ClusterConfig, CostModel, StorageMode};
+pub use partition::{distribute_pivots, jaccard, Partition};
+pub use physical::{extract_fragment, run_physical, Fragment, PhysicalResult};
+pub use run::{run_distributed, DistributedResult, MachineReport};

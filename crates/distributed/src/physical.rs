@@ -1,0 +1,379 @@
+//! Physical decomposition — the paper's stated future work (§8):
+//! *"translate the logical decomposition into physical decomposition which
+//! enables subgraph listing in trillion edge graphs."*
+//!
+//! The logical decomposition assigns each machine a set of embedding
+//! clusters but still requires the whole data graph (replicated or on
+//! shared storage). The physical decomposition exploits a locality fact:
+//! every vertex of an embedding in the cluster of pivot `p` lies within
+//! `depth(T_q)` hops of `p` (each tree edge moves one hop from an
+//! already-reached vertex, and non-tree edges connect vertices already in
+//! the ball). A machine therefore only needs the subgraph induced by the
+//! union of radius-`depth(T_q)` balls around its pivots — typically a small
+//! fraction of a trillion-edge graph.
+//!
+//! [`extract_fragment`] builds that induced subgraph with dense re-labeled
+//! vertex ids plus the pivot translation table; [`run_physical`] distributes
+//! pivots, extracts one fragment per machine, runs the ordinary CECI
+//! pipeline inside each fragment, and checks the global count invariant.
+//!
+//! One caveat mirrors the logical design: global candidate *filters* (label
+//! frequencies, NLC) look identical inside a fragment because filtering is
+//! purely local to a vertex's neighborhood — so per-fragment results equal
+//! the full-graph results cluster by cluster.
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use ceci_core::metrics::Counters;
+use ceci_core::sink::CountSink;
+use ceci_core::{BuildOptions, Ceci, EnumOptions, Enumerator};
+use ceci_graph::{Graph, VertexId};
+use ceci_query::QueryPlan;
+
+use crate::config::ClusterConfig;
+use crate::partition::distribute_pivots;
+
+/// A machine-local graph fragment: the induced subgraph on the union of
+/// radius-`radius` balls around the machine's pivots.
+#[derive(Debug)]
+pub struct Fragment {
+    /// The fragment graph with dense local ids.
+    pub graph: Graph,
+    /// `local_pivots[i]` is the local id of `pivots[i]`.
+    pub local_pivots: Vec<VertexId>,
+    /// `global_of[local]` = original vertex id (for translating embeddings
+    /// back).
+    pub global_of: Vec<VertexId>,
+    /// Hop radius used for extraction.
+    pub radius: usize,
+}
+
+impl Fragment {
+    /// Translates a fragment-local embedding to global vertex ids.
+    pub fn to_global(&self, local: &[VertexId]) -> Vec<VertexId> {
+        local.iter().map(|v| self.global_of[v.index()]).collect()
+    }
+
+    /// Fraction of the full graph's edges this fragment holds.
+    pub fn edge_fraction(&self, full: &Graph) -> f64 {
+        if full.num_edges() == 0 {
+            return 0.0;
+        }
+        self.graph.num_edges() as f64 / full.num_edges() as f64
+    }
+}
+
+/// Extracts the radius-`radius` fragment around `pivots`.
+///
+/// The extraction BFS stops expanding *from* vertices at distance `radius`,
+/// but keeps edges between any two included vertices — exactly the induced
+/// subgraph on the ball union, which preserves every embedding rooted at the
+/// pivots (tree paths stay inside; non-tree edges connect included
+/// vertices).
+///
+/// # Examples
+///
+/// ```
+/// use ceci_distributed::extract_fragment;
+/// use ceci_graph::{vid, Graph};
+///
+/// // A path 0-1-2-3-4: the radius-1 ball around vertex 2 is {1, 2, 3}.
+/// let g = Graph::unlabeled(5, &[
+///     (vid(0), vid(1)), (vid(1), vid(2)), (vid(2), vid(3)), (vid(3), vid(4)),
+/// ]);
+/// let f = extract_fragment(&g, &[vid(2)], 1);
+/// assert_eq!(f.graph.num_vertices(), 3);
+/// assert_eq!(f.graph.num_edges(), 2);
+/// ```
+pub fn extract_fragment(full: &Graph, pivots: &[VertexId], radius: usize) -> Fragment {
+    let mut dist: HashMap<VertexId, usize> = HashMap::new();
+    let mut order: Vec<VertexId> = Vec::new();
+    let mut queue = std::collections::VecDeque::new();
+    for &p in pivots {
+        if !dist.contains_key(&p) {
+            dist.insert(p, 0);
+            order.push(p);
+            queue.push_back(p);
+        }
+    }
+    while let Some(v) = queue.pop_front() {
+        let d = dist[&v];
+        if d == radius {
+            continue;
+        }
+        for &nb in full.neighbors(v) {
+            if !dist.contains_key(&nb) {
+                dist.insert(nb, d + 1);
+                order.push(nb);
+                queue.push_back(nb);
+            }
+        }
+    }
+    // Dense relabeling in *ascending global id* order: the automorphism
+    // breaking constraints compare data-vertex ids (`map(a) < map(b)`), so
+    // the local order must agree with the global order or different
+    // fragments would elect different representatives of the same
+    // automorphism class (duplicating embeddings across machines).
+    order.sort_unstable();
+    let local_of: HashMap<VertexId, VertexId> = order
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (v, VertexId::from_index(i)))
+        .collect();
+    let mut edges = Vec::new();
+    for &v in &order {
+        for &nb in full.neighbors(v) {
+            if v < nb {
+                if let Some(&lnb) = local_of.get(&nb) {
+                    edges.push((local_of[&v], lnb));
+                }
+            }
+        }
+    }
+    let labels = order.iter().map(|&v| full.labels(v).clone()).collect();
+    let graph = Graph::new(labels, &edges, full.is_directed_input());
+    let local_pivots = pivots.iter().map(|p| local_of[p]).collect();
+    Fragment {
+        graph,
+        local_pivots,
+        global_of: order,
+        radius,
+    }
+}
+
+/// Per-machine report of a physical run.
+#[derive(Debug)]
+pub struct PhysicalMachineReport {
+    /// Machine index.
+    pub machine: usize,
+    /// Assigned pivots.
+    pub pivots: usize,
+    /// Fragment vertices.
+    pub fragment_vertices: usize,
+    /// Fragment edges.
+    pub fragment_edges: usize,
+    /// Fraction of the full graph's edges held locally.
+    pub edge_fraction: f64,
+    /// Embeddings found in the fragment.
+    pub embeddings: u64,
+    /// Enumeration counters.
+    pub counters: Counters,
+    /// Time to extract the fragment.
+    pub extract_time: Duration,
+    /// Time to build the fragment-local CECI and enumerate.
+    pub match_time: Duration,
+}
+
+/// Result of a physical-decomposition run.
+#[derive(Debug)]
+pub struct PhysicalResult {
+    /// Per-machine reports.
+    pub reports: Vec<PhysicalMachineReport>,
+    /// Total embeddings.
+    pub total_embeddings: u64,
+    /// Largest per-machine edge fraction — the memory headline: how much of
+    /// the graph any single machine must hold.
+    pub max_edge_fraction: f64,
+}
+
+/// Runs subgraph listing with physical decomposition: distribute pivots,
+/// extract per-machine fragments, match inside each fragment.
+///
+/// The `plan` must be built against the *full* graph (root selection and
+/// initial candidates are global); per-fragment plans pin the same query
+/// root and matching order.
+pub fn run_physical(
+    full: &Graph,
+    plan: &QueryPlan,
+    config: &ClusterConfig,
+) -> PhysicalResult {
+    let pivots = plan.initial_candidates(plan.root()).to_vec();
+    let partition = distribute_pivots(full, &pivots, config);
+    let radius = plan.tree().bfs_order().iter().map(|&u| plan.tree().depth(u)).max().unwrap_or(0) as usize;
+
+    let mut reports: Vec<PhysicalMachineReport> = Vec::with_capacity(config.machines);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (machine, assigned) in partition.assignment.iter().enumerate() {
+            handles.push(scope.spawn(move || {
+                run_fragment_machine(full, plan, machine, assigned, radius)
+            }));
+        }
+        for h in handles {
+            reports.push(h.join().expect("fragment machine panicked"));
+        }
+    });
+    reports.sort_by_key(|r| r.machine);
+    let total_embeddings = reports.iter().map(|r| r.embeddings).sum();
+    let max_edge_fraction = reports
+        .iter()
+        .map(|r| r.edge_fraction)
+        .fold(0.0f64, f64::max);
+    PhysicalResult {
+        reports,
+        total_embeddings,
+        max_edge_fraction,
+    }
+}
+
+fn run_fragment_machine(
+    full: &Graph,
+    plan: &QueryPlan,
+    machine: usize,
+    assigned: &[VertexId],
+    radius: usize,
+) -> PhysicalMachineReport {
+    let t0 = Instant::now();
+    let fragment = extract_fragment(full, assigned, radius);
+    let extract_time = t0.elapsed();
+
+    let t1 = Instant::now();
+    let mut counters = Counters::default();
+    let mut embeddings = 0u64;
+    if !assigned.is_empty() {
+        // Rebuild the plan inside the fragment, pinning the same query-side
+        // decisions (root + order are query-properties; candidates are
+        // recomputed locally).
+        let local_plan = QueryPlan::from_parts(
+            plan.query().clone(),
+            plan.root(),
+            plan.matching_order().to_vec(),
+            &fragment.graph,
+            plan.symmetry_constraints().to_vec(),
+            plan.symmetry_complete(),
+        );
+        let mut local_pivots = fragment.local_pivots.clone();
+        local_pivots.sort_unstable();
+        // Keep only pivots that still pass the local initial filters.
+        let initial = local_plan.initial_candidates(local_plan.root());
+        local_pivots.retain(|p| initial.binary_search(p).is_ok());
+        let ceci = Ceci::build_for_pivots(
+            &fragment.graph,
+            &local_plan,
+            BuildOptions::default(),
+            local_pivots,
+        );
+        let mut enumerator = Enumerator::new(
+            &fragment.graph,
+            &local_plan,
+            &ceci,
+            EnumOptions::default(),
+        );
+        let mut sink = CountSink::unbounded();
+        for &(pivot, _) in ceci.pivots() {
+            enumerator.enumerate_cluster(pivot, &mut sink, &mut counters);
+        }
+        embeddings = sink.count();
+    }
+    let match_time = t1.elapsed();
+    PhysicalMachineReport {
+        machine,
+        pivots: assigned.len(),
+        fragment_vertices: fragment.graph.num_vertices(),
+        fragment_edges: fragment.graph.num_edges(),
+        edge_fraction: fragment.edge_fraction(full),
+        embeddings,
+        counters,
+        extract_time,
+        match_time,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ceci_core::count_embeddings;
+    use ceci_graph::generators::{attach_pendants, kronecker_default};
+    use ceci_graph::vid;
+    use ceci_query::PaperQuery;
+
+    fn data() -> Graph {
+        let core = kronecker_default(9, 5, 17);
+        attach_pendants(&core, 300, 18)
+    }
+
+    fn full_count(graph: &Graph, plan: &QueryPlan) -> u64 {
+        let ceci = Ceci::build(graph, plan);
+        count_embeddings(graph, plan, &ceci)
+    }
+
+    #[test]
+    fn fragment_preserves_pivot_balls() {
+        let g = data();
+        let f = extract_fragment(&g, &[vid(0)], 2);
+        // Every fragment edge exists in the full graph under translation.
+        for v in f.graph.vertices() {
+            let gv = f.global_of[v.index()];
+            for &nb in f.graph.neighbors(v) {
+                assert!(g.has_edge(gv, f.global_of[nb.index()]));
+            }
+        }
+        // Pivot has the same neighborhood size (radius ≥ 1 keeps them).
+        assert_eq!(
+            f.graph.degree(f.local_pivots[0]),
+            g.degree(vid(0)),
+            "radius-2 ball keeps the pivot's full neighborhood"
+        );
+    }
+
+    #[test]
+    fn physical_counts_match_full_run() {
+        let g = data();
+        for q in [PaperQuery::Qg1, PaperQuery::Qg3, PaperQuery::Qg5] {
+            let plan = QueryPlan::new(q.build(), &g);
+            let want = full_count(&g, &plan);
+            for machines in [1usize, 2, 4] {
+                let cfg = ClusterConfig {
+                    machines,
+                    ..Default::default()
+                };
+                let result = run_physical(&g, &plan, &cfg);
+                assert_eq!(
+                    result.total_embeddings,
+                    want,
+                    "{} machines={machines}",
+                    q.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fragments_are_smaller_than_the_graph() {
+        let g = data();
+        let plan = QueryPlan::new(PaperQuery::Qg1.build(), &g);
+        let cfg = ClusterConfig {
+            machines: 8,
+            jaccard_colocation: false,
+            ..Default::default()
+        };
+        let result = run_physical(&g, &plan, &cfg);
+        assert_eq!(result.reports.len(), 8);
+        // With 8 machines, at least some machine holds well under the whole
+        // graph (hub fragments can still be large in a skewed graph).
+        let min_frac = result
+            .reports
+            .iter()
+            .map(|r| r.edge_fraction)
+            .fold(1.0f64, f64::min);
+        assert!(min_frac < 0.9, "min fragment fraction {min_frac}");
+        assert!(result.max_edge_fraction <= 1.0);
+    }
+
+    #[test]
+    fn embedding_translation_roundtrip() {
+        let g = data();
+        let f = extract_fragment(&g, &[vid(3), vid(5)], 2);
+        let local = vec![f.local_pivots[0], f.local_pivots[1]];
+        let global = f.to_global(&local);
+        assert_eq!(global, vec![vid(3), vid(5)]);
+    }
+
+    #[test]
+    fn radius_zero_keeps_only_pivots() {
+        let g = data();
+        let f = extract_fragment(&g, &[vid(0), vid(1)], 0);
+        assert_eq!(f.graph.num_vertices(), 2);
+    }
+}

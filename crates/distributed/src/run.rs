@@ -1,0 +1,491 @@
+//! The distributed execution simulation (§5).
+//!
+//! Machines are OS threads (each running `threads_per_machine` worker
+//! threads); MPI messages are accounted through the [`crate::config::CostModel`] as virtual
+//! time — the simulation never sleeps, it reports a *modeled makespan*
+//! `max_m (real compute_m + virtual io_m + virtual comm_m)` alongside the
+//! real wall time.
+//!
+//! Protocol, as in the paper:
+//!
+//! 1. Pivots are distributed by light-weight workload estimates (see
+//!    [`crate::partition`]); each machine builds its own CECI over its
+//!    pivots.
+//! 2. Machines enumerate their clusters; the per-machine unexplored-cluster
+//!    queues are globally visible.
+//! 3. An idle machine steals half the queue of the machine with the most
+//!    unexplored clusters (the `MPI_Get` emulation), builds a mini-CECI for
+//!    the stolen pivots, and continues.
+//! 4. Results accumulate to machine 0 (one message per machine).
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use ceci_core::metrics::{Counters, ThreadTimer};
+use ceci_core::sink::CountSink;
+use ceci_core::{BuildOptions, Ceci, EnumOptions, Enumerator};
+use ceci_graph::{Graph, VertexId};
+use ceci_query::QueryPlan;
+use parking_lot::Mutex;
+
+use crate::config::{ClusterConfig, StorageMode};
+use crate::partition::distribute_pivots;
+
+/// Per-machine outcome.
+#[derive(Clone, Debug)]
+pub struct MachineReport {
+    /// Machine index.
+    pub machine: usize,
+    /// Pivots originally assigned.
+    pub assigned_pivots: usize,
+    /// Clusters this machine actually enumerated (own + stolen).
+    pub processed_clusters: usize,
+    /// Clusters obtained by stealing.
+    pub stolen_clusters: usize,
+    /// Embeddings found by this machine.
+    pub embeddings: u64,
+    /// Merged enumeration counters.
+    pub counters: Counters,
+    /// Real CPU time of local CECI construction.
+    pub build_compute: Duration,
+    /// Real busy time of enumeration, summed over the machine's threads.
+    pub enumerate_busy: Duration,
+    /// Virtual IO time (shared-storage adjacency reads).
+    pub io_virtual: Duration,
+    /// Virtual communication time (pivot messages, steals, result gather).
+    pub comm_virtual: Duration,
+}
+
+impl MachineReport {
+    /// Modeled completion time of this machine: real compute plus virtual
+    /// IO and communication, with enumeration spread over its threads.
+    pub fn modeled_time(&self, threads_per_machine: usize) -> Duration {
+        let threads = threads_per_machine.max(1) as u32;
+        self.build_compute + self.enumerate_busy / threads + self.io_virtual + self.comm_virtual
+    }
+}
+
+/// Aggregate result of a distributed run.
+#[derive(Debug)]
+pub struct DistributedResult {
+    /// Per-machine reports.
+    pub reports: Vec<MachineReport>,
+    /// Total embeddings across machines.
+    pub total_embeddings: u64,
+    /// Modeled makespan (max machine modeled time).
+    pub makespan: Duration,
+    /// Real wall time of the simulation.
+    pub wall: Duration,
+    /// Pivot groups merged by Jaccard co-location.
+    pub merged_groups: usize,
+}
+
+impl DistributedResult {
+    /// CECI-construction breakdown (Fig 20): total (io, comm, compute)
+    /// across machines.
+    pub fn build_breakdown(&self) -> (Duration, Duration, Duration) {
+        let io = self.reports.iter().map(|r| r.io_virtual).sum();
+        let comm = self.reports.iter().map(|r| r.comm_virtual).sum();
+        let compute = self.reports.iter().map(|r| r.build_compute).sum();
+        (io, comm, compute)
+    }
+}
+
+/// Virtual-time ledger for one machine (atomics in nanoseconds so worker
+/// threads can charge concurrently).
+#[derive(Default)]
+struct Ledger {
+    io_nanos: AtomicU64,
+    comm_nanos: AtomicU64,
+}
+
+impl Ledger {
+    fn charge_io(&self, d: Duration) {
+        self.io_nanos
+            .fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+    }
+    fn charge_comm(&self, d: Duration) {
+        self.comm_nanos
+            .fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+    }
+}
+
+/// Estimated adjacency entries read while building a CECI: for every table
+/// key (an expanded frontier vertex), its full neighbor list was scanned.
+fn adjacency_entries_touched(graph: &Graph, plan: &QueryPlan, ceci: &Ceci) -> u64 {
+    let mut touched = 0u64;
+    for u in plan.query().vertices() {
+        if let Some(te) = ceci.te(u) {
+            touched += te
+                .keys()
+                .iter()
+                .map(|&k| graph.degree(k) as u64)
+                .sum::<u64>();
+        }
+        for (_, table) in ceci.nte(u) {
+            touched += table
+                .keys()
+                .iter()
+                .map(|&k| graph.degree(k) as u64)
+                .sum::<u64>();
+        }
+    }
+    touched
+}
+
+/// Runs the distributed simulation: counts all embeddings.
+pub fn run_distributed(
+    graph: &Graph,
+    plan: &QueryPlan,
+    config: &ClusterConfig,
+) -> DistributedResult {
+    assert!(config.machines >= 1 && config.threads_per_machine >= 1);
+    let wall_start = Instant::now();
+    let pivots = plan.initial_candidates(plan.root()).to_vec();
+    let partition = distribute_pivots(graph, &pivots, config);
+    let m = config.machines;
+    let costs = config.costs;
+
+    // Globally visible unexplored-cluster queues (front = next to run).
+    let queues: Vec<Mutex<VecDeque<VertexId>>> = partition
+        .assignment
+        .iter()
+        .map(|p| Mutex::new(p.iter().copied().collect()))
+        .collect();
+    let ledgers: Vec<Ledger> = (0..m).map(|_| Ledger::default()).collect();
+
+    // Charge the pivot scatter: one message per machine plus marginal cost
+    // per pivot.
+    for (i, p) in partition.assignment.iter().enumerate() {
+        ledgers[i].charge_comm(costs.msg_latency + costs.per_pivot_comm * p.len() as u32);
+    }
+
+    let mut reports: Vec<MachineReport> = Vec::with_capacity(m);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(m);
+        for machine in 0..m {
+            let queues = &queues;
+            let ledgers = &ledgers;
+            let partition = &partition;
+            handles.push(scope.spawn(move || {
+                run_machine(
+                    graph,
+                    plan,
+                    config,
+                    machine,
+                    partition.assignment[machine].clone(),
+                    queues,
+                    &ledgers[machine],
+                )
+            }));
+        }
+        for h in handles {
+            reports.push(h.join().expect("machine thread panicked"));
+        }
+    });
+    reports.sort_by_key(|r| r.machine);
+
+    // Result gather: one message per non-root machine, charged to machine 0.
+    ledgers[0].charge_comm(costs.msg_latency * (m.saturating_sub(1)) as u32);
+    for (r, ledger) in reports.iter_mut().zip(&ledgers) {
+        r.io_virtual = Duration::from_nanos(ledger.io_nanos.load(Ordering::Relaxed));
+        r.comm_virtual = Duration::from_nanos(ledger.comm_nanos.load(Ordering::Relaxed));
+    }
+
+    let total_embeddings = reports.iter().map(|r| r.embeddings).sum();
+    let makespan = reports
+        .iter()
+        .map(|r| r.modeled_time(config.threads_per_machine))
+        .max()
+        .unwrap_or(Duration::ZERO);
+    DistributedResult {
+        reports,
+        total_embeddings,
+        makespan,
+        wall: wall_start.elapsed(),
+        merged_groups: partition.merged_groups,
+    }
+}
+
+fn run_machine(
+    graph: &Graph,
+    plan: &QueryPlan,
+    config: &ClusterConfig,
+    machine: usize,
+    own_pivots: Vec<VertexId>,
+    queues: &[Mutex<VecDeque<VertexId>>],
+    ledger: &Ledger,
+) -> MachineReport {
+    let costs = config.costs;
+    // Build the machine-local CECI over the assigned pivots.
+    let t0 = Instant::now();
+    let local_ceci = Ceci::build_for_pivots(graph, plan, BuildOptions::default(), {
+        let mut p = own_pivots.clone();
+        p.sort_unstable();
+        p
+    });
+    let build_compute = t0.elapsed();
+    if matches!(config.storage, StorageMode::Shared) {
+        let touched = adjacency_entries_touched(graph, plan, &local_ceci);
+        ledger.charge_io(costs.per_entry_io * touched as u32);
+    }
+
+    // Worker threads pull from the machine's queue, stealing when idle.
+    // A pivot counts as "stolen" when it is absent from the machine's local
+    // CECI — whether it arrived via a direct steal or was parked on the
+    // queue by an earlier steal batch.
+    let own_set: std::collections::HashSet<VertexId> = own_pivots.iter().copied().collect();
+    let processed = AtomicU64::new(0);
+    let stolen = AtomicU64::new(0);
+    let threads = config.threads_per_machine;
+    let mut thread_outcomes: Vec<(Counters, Duration)> = Vec::with_capacity(threads);
+    std::thread::scope(|scope| {
+        let local_ceci = &local_ceci;
+        let processed = &processed;
+        let stolen = &stolen;
+        let own_set = &own_set;
+        let mut handles = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            handles.push(scope.spawn(move || {
+                let mut counters = Counters::default();
+                let mut busy = Duration::ZERO;
+                let mut enumerator =
+                    Enumerator::new(graph, plan, local_ceci, EnumOptions::default());
+                loop {
+                    // Own queue first.
+                    let own = queues[machine].lock().pop_front();
+                    let pivot = match own {
+                        Some(p) => Some(p),
+                        None if config.work_stealing => steal(queues, machine),
+                        None => None,
+                    };
+                    let Some(pivot) = pivot else { break };
+                    let was_stolen = !own_set.contains(&pivot);
+                    processed.fetch_add(1, Ordering::Relaxed);
+                    let start = ThreadTimer::start();
+                    if was_stolen {
+                        stolen.fetch_add(1, Ordering::Relaxed);
+                        // A stolen cluster is not in the local CECI: build a
+                        // mini index for it and charge the candidate fetch.
+                        let mini = Ceci::build_for_pivots(
+                            graph,
+                            plan,
+                            BuildOptions::default(),
+                            vec![pivot],
+                        );
+                        let entries = mini.num_entries() as u32;
+                        match config.storage {
+                            StorageMode::Replicated => {
+                                ledger.charge_comm(
+                                    costs.msg_latency + costs.per_entry_comm * entries,
+                                );
+                            }
+                            StorageMode::Shared => {
+                                ledger.charge_io(
+                                    costs.per_entry_io
+                                        * adjacency_entries_touched(graph, plan, &mini) as u32,
+                                );
+                                ledger.charge_comm(costs.msg_latency);
+                            }
+                        }
+                        let mut mini_enum =
+                            Enumerator::new(graph, plan, &mini, EnumOptions::default());
+                        let mut sink = CountSink::unbounded();
+                        if mini.pivots().iter().any(|&(p, _)| p == pivot) {
+                            mini_enum.enumerate_cluster(pivot, &mut sink, &mut counters);
+                        }
+                    } else {
+                        let mut sink = CountSink::unbounded();
+                        if local_ceci.pivots().iter().any(|&(p, _)| p == pivot) {
+                            enumerator.enumerate_cluster(pivot, &mut sink, &mut counters);
+                        }
+                    }
+                    busy += start.elapsed();
+                }
+                (counters, busy)
+            }));
+        }
+        for h in handles {
+            thread_outcomes.push(h.join().expect("worker thread panicked"));
+        }
+    });
+
+    let mut counters = Counters::default();
+    let mut enumerate_busy = Duration::ZERO;
+    for (c, busy) in thread_outcomes {
+        counters.merge(&c);
+        enumerate_busy += busy;
+    }
+    MachineReport {
+        machine,
+        assigned_pivots: own_pivots.len(),
+        processed_clusters: processed.load(Ordering::Relaxed) as usize,
+        stolen_clusters: stolen.load(Ordering::Relaxed) as usize,
+        embeddings: counters.embeddings,
+        counters,
+        build_compute,
+        enumerate_busy,
+        io_virtual: Duration::ZERO,  // filled in by the caller from ledgers
+        comm_virtual: Duration::ZERO,
+        }
+}
+
+/// Steals one pivot from the victim with the most unexplored clusters,
+/// moving (up to) half the victim's remaining queue onto the thief's queue
+/// and returning the first stolen pivot.
+fn steal(queues: &[Mutex<VecDeque<VertexId>>], thief: usize) -> Option<VertexId> {
+    // Pick the victim by queue length (the "maximum number of unexplored
+    // clusters" rule).
+    let victim = queues
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| i != thief)
+        .max_by_key(|(_, q)| q.lock().len())?
+        .0;
+    let mut vq = queues[victim].lock();
+    let take = vq.len().div_ceil(2);
+    if take == 0 {
+        return None;
+    }
+    let mut batch: Vec<VertexId> = Vec::with_capacity(take);
+    for _ in 0..take {
+        if let Some(p) = vq.pop_back() {
+            batch.push(p);
+        }
+    }
+    drop(vq);
+    let first = batch[0];
+    if batch.len() > 1 {
+        let mut tq = queues[thief].lock();
+        for &p in &batch[1..] {
+            tq.push_back(p);
+        }
+    }
+    Some(first)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ceci_core::count_embeddings;
+    use ceci_graph::vid;
+    use ceci_query::PaperQuery;
+
+    fn test_graph() -> Graph {
+        // Ring + hub: plenty of triangles spread over many clusters.
+        let mut edges = Vec::new();
+        let n = 40u32;
+        for i in 1..=n {
+            edges.push((vid(0), vid(i)));
+        }
+        for i in 1..n {
+            edges.push((vid(i), vid(i + 1)));
+        }
+        edges.push((vid(n), vid(1)));
+        Graph::unlabeled(n as usize + 1, &edges)
+    }
+
+    fn reference_count(graph: &Graph, plan: &QueryPlan) -> u64 {
+        let ceci = Ceci::build(graph, plan);
+        count_embeddings(graph, plan, &ceci)
+    }
+
+    #[test]
+    fn distributed_count_matches_single_machine() {
+        let graph = test_graph();
+        let plan = QueryPlan::new(PaperQuery::Qg1.build(), &graph);
+        let expected = reference_count(&graph, &plan);
+        assert!(expected > 0);
+        for machines in [1, 2, 4] {
+            for storage in [StorageMode::Replicated, StorageMode::Shared] {
+                let cfg = ClusterConfig {
+                    machines,
+                    threads_per_machine: 2,
+                    storage,
+                    ..Default::default()
+                };
+                let result = run_distributed(&graph, &plan, &cfg);
+                assert_eq!(
+                    result.total_embeddings, expected,
+                    "machines={machines} storage={storage:?}"
+                );
+                assert_eq!(result.reports.len(), machines);
+            }
+        }
+    }
+
+    #[test]
+    fn shared_mode_charges_io() {
+        let graph = test_graph();
+        let plan = QueryPlan::new(PaperQuery::Qg1.build(), &graph);
+        let rep = run_distributed(
+            &graph,
+            &plan,
+            &ClusterConfig {
+                machines: 2,
+                storage: StorageMode::Replicated,
+                ..Default::default()
+            },
+        );
+        let shared = run_distributed(
+            &graph,
+            &plan,
+            &ClusterConfig {
+                machines: 2,
+                storage: StorageMode::Shared,
+                jaccard_colocation: false,
+                ..Default::default()
+            },
+        );
+        let (io_rep, _, _) = rep.build_breakdown();
+        let (io_shared, _, _) = shared.build_breakdown();
+        assert_eq!(io_rep, Duration::ZERO);
+        assert!(io_shared > Duration::ZERO);
+    }
+
+    #[test]
+    fn comm_always_charged() {
+        let graph = test_graph();
+        let plan = QueryPlan::new(PaperQuery::Qg1.build(), &graph);
+        let result = run_distributed(&graph, &plan, &ClusterConfig::default());
+        let (_, comm, compute) = result.build_breakdown();
+        assert!(comm > Duration::ZERO);
+        assert!(compute > Duration::ZERO);
+        assert!(result.makespan > Duration::ZERO);
+    }
+
+    #[test]
+    fn stealing_can_be_disabled() {
+        let graph = test_graph();
+        let plan = QueryPlan::new(PaperQuery::Qg1.build(), &graph);
+        let expected = reference_count(&graph, &plan);
+        let cfg = ClusterConfig {
+            machines: 3,
+            work_stealing: false,
+            ..Default::default()
+        };
+        let result = run_distributed(&graph, &plan, &cfg);
+        assert_eq!(result.total_embeddings, expected);
+        assert!(result.reports.iter().all(|r| r.stolen_clusters == 0));
+    }
+
+    #[test]
+    fn report_accounting_consistent() {
+        let graph = test_graph();
+        let plan = QueryPlan::new(PaperQuery::Qg3.build(), &graph);
+        let result = run_distributed(
+            &graph,
+            &plan,
+            &ClusterConfig {
+                machines: 2,
+                ..Default::default()
+            },
+        );
+        let processed: usize = result.reports.iter().map(|r| r.processed_clusters).sum();
+        let assigned: usize = result.reports.iter().map(|r| r.assigned_pivots).sum();
+        assert_eq!(processed, assigned, "every cluster runs exactly once");
+        let total: u64 = result.reports.iter().map(|r| r.embeddings).sum();
+        assert_eq!(total, result.total_embeddings);
+    }
+}

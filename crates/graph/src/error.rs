@@ -1,0 +1,76 @@
+//! Error type for graph loading and parsing.
+
+use std::fmt;
+
+/// Errors produced by the text/binary graph loaders.
+#[derive(Debug)]
+pub enum GraphError {
+    /// Underlying IO failure.
+    Io(std::io::Error),
+    /// A line of a text format could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Explanation of the failure.
+        message: String,
+    },
+    /// Structural problem (bad header, inconsistent counts, bad magic...).
+    Format(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::Io(e) => write!(f, "io error: {e}"),
+            GraphError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            GraphError::Format(m) => write!(f, "format error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for GraphError {
+    fn from(e: std::io::Error) -> Self {
+        GraphError::Io(e)
+    }
+}
+
+/// Result alias for loader APIs.
+pub type Result<T> = std::result::Result<T, GraphError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let io = GraphError::from(std::io::Error::new(std::io::ErrorKind::NotFound, "gone"));
+        assert!(io.to_string().contains("gone"));
+        let parse = GraphError::Parse {
+            line: 7,
+            message: "bad token".into(),
+        };
+        assert!(parse.to_string().contains("line 7"));
+        let fmt = GraphError::Format("bad magic".into());
+        assert!(fmt.to_string().contains("bad magic"));
+    }
+
+    #[test]
+    fn source_chains_io() {
+        use std::error::Error;
+        let io = GraphError::from(std::io::Error::other("x"));
+        assert!(io.source().is_some());
+        let fmt = GraphError::Format("y".into());
+        assert!(fmt.source().is_none());
+    }
+}

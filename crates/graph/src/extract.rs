@@ -1,0 +1,182 @@
+//! DFS-based connected query extraction (§6.2).
+//!
+//! The paper generates labeled query graphs of size 3–50 by DFS-walking the
+//! data graph from a random source: *"Iteratively, a new node is selected and
+//! every backward edge from that node to already selected nodes is added to
+//! query graph until the required node count is achieved."* Labels transfer
+//! from data vertices; multi-labeled vertices contribute only their first
+//! label. Every extracted query is guaranteed at least one embedding (the
+//! vertices it was carved from).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::graph::Graph;
+use crate::ids::VertexId;
+use crate::labels::LabelSet;
+
+/// A query pattern extracted from a data graph, plus the witness embedding it
+/// was carved from (useful for tests: the witness must always be reported by
+/// a correct matcher).
+#[derive(Clone, Debug)]
+pub struct ExtractedQuery {
+    /// The extracted pattern as a small labeled graph.
+    pub pattern: Graph,
+    /// `witness[i]` = the data vertex that pattern vertex `i` was carved from.
+    pub witness: Vec<VertexId>,
+}
+
+/// Extracts a connected query of `size` vertices by DFS from a random source.
+/// Returns `None` if the graph has no connected region of that size reachable
+/// from the sampled sources (tried `attempts` times).
+pub fn extract_query(
+    graph: &Graph,
+    size: usize,
+    seed: u64,
+    attempts: usize,
+) -> Option<ExtractedQuery> {
+    assert!(size >= 1, "query size must be positive");
+    if graph.num_vertices() < size {
+        return None;
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    for _ in 0..attempts.max(1) {
+        if let Some(q) = try_extract(graph, size, &mut rng) {
+            return Some(q);
+        }
+    }
+    None
+}
+
+fn try_extract(graph: &Graph, size: usize, rng: &mut StdRng) -> Option<ExtractedQuery> {
+    let n = graph.num_vertices();
+    let source = VertexId(rng.gen_range(0..n as u32));
+    // DFS with randomized neighbor order.
+    let mut selected: Vec<VertexId> = Vec::with_capacity(size);
+    let mut in_selected = std::collections::HashSet::new();
+    let mut stack = vec![source];
+    while let Some(v) = stack.pop() {
+        if in_selected.contains(&v) {
+            continue;
+        }
+        selected.push(v);
+        in_selected.insert(v);
+        if selected.len() == size {
+            break;
+        }
+        let mut nbrs: Vec<VertexId> = graph
+            .neighbors(v)
+            .iter()
+            .copied()
+            .filter(|nb| !in_selected.contains(nb))
+            .collect();
+        nbrs.shuffle(rng);
+        stack.extend(nbrs);
+    }
+    if selected.len() < size {
+        return None;
+    }
+    // Map data vertices → pattern ids in selection order, keep every backward
+    // edge among selected vertices.
+    let index_of: std::collections::HashMap<VertexId, u32> = selected
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (v, i as u32))
+        .collect();
+    let mut edges = Vec::new();
+    for (i, &v) in selected.iter().enumerate() {
+        for &nb in graph.neighbors(v) {
+            if let Some(&j) = index_of.get(&nb) {
+                if (i as u32) < j {
+                    edges.push((VertexId(i as u32), VertexId(j)));
+                }
+            }
+        }
+    }
+    let labels: Vec<LabelSet> = selected
+        .iter()
+        .map(|&v| LabelSet::single(graph.labels(v).primary()))
+        .collect();
+    let pattern = Graph::new(labels, &edges, false);
+    // DFS guarantees connectivity of the selected set within the *data*
+    // graph, and every data edge among selected vertices is kept, so the
+    // pattern is connected.
+    Some(ExtractedQuery {
+        pattern,
+        witness: selected,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::er::erdos_renyi;
+    use crate::generators::labeled::inject_random_labels;
+
+    #[test]
+    fn extraction_has_requested_size_and_connected() {
+        let g = inject_random_labels(&erdos_renyi(200, 800, 3), 5, 1);
+        for size in [3usize, 5, 10, 20] {
+            let q = extract_query(&g, size, size as u64, 10).expect("extraction");
+            assert_eq!(q.pattern.num_vertices(), size);
+            assert!(is_connected(&q.pattern));
+        }
+    }
+
+    #[test]
+    fn witness_edges_exist_in_data_graph() {
+        let g = inject_random_labels(&erdos_renyi(100, 400, 9), 4, 2);
+        let q = extract_query(&g, 6, 77, 10).unwrap();
+        for a in q.pattern.vertices() {
+            for &b in q.pattern.neighbors(a) {
+                if a < b {
+                    assert!(g.has_edge(q.witness[a.index()], q.witness[b.index()]));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn witness_labels_match() {
+        let g = inject_random_labels(&erdos_renyi(100, 400, 9), 4, 2);
+        let q = extract_query(&g, 5, 13, 10).unwrap();
+        for v in q.pattern.vertices() {
+            let data_labels = g.labels(q.witness[v.index()]);
+            assert!(data_labels.contains(q.pattern.labels(v).primary()));
+        }
+    }
+
+    #[test]
+    fn oversized_query_returns_none() {
+        let g = erdos_renyi(5, 4, 0);
+        assert!(extract_query(&g, 10, 0, 3).is_none());
+    }
+
+    #[test]
+    fn disconnected_graph_may_fail_gracefully() {
+        // Two isolated vertices: can't extract a size-2 connected query.
+        let g = Graph::unlabeled(2, &[]);
+        assert!(extract_query(&g, 2, 0, 5).is_none());
+    }
+
+    fn is_connected(g: &Graph) -> bool {
+        if g.num_vertices() == 0 {
+            return true;
+        }
+        let mut seen = vec![false; g.num_vertices()];
+        let mut stack = vec![VertexId(0)];
+        seen[0] = true;
+        let mut count = 0;
+        while let Some(v) = stack.pop() {
+            count += 1;
+            for &nb in g.neighbors(v) {
+                if !seen[nb.index()] {
+                    seen[nb.index()] = true;
+                    stack.push(nb);
+                }
+            }
+        }
+        count == g.num_vertices()
+    }
+}

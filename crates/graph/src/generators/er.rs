@@ -1,0 +1,106 @@
+//! Erdős–Rényi random graphs.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::graph::Graph;
+use crate::ids::{LabelId, VertexId};
+use crate::labels::LabelSet;
+
+/// Generates a `G(n, m)` Erdős–Rényi graph: `m` distinct undirected edges
+/// chosen uniformly at random among `n` vertices. Deterministic in `seed`.
+///
+/// Used as the stand-in for the paper's `rand_500k` synthetic dataset.
+///
+/// # Panics
+/// Panics if `m` exceeds the number of possible edges `n·(n−1)/2`.
+pub fn erdos_renyi(n: usize, m: usize, seed: u64) -> Graph {
+    let max_edges = n.saturating_mul(n.saturating_sub(1)) / 2;
+    assert!(
+        m <= max_edges,
+        "requested {m} edges but only {max_edges} possible for n = {n}"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges: Vec<(VertexId, VertexId)> = Vec::with_capacity(m);
+    let mut seen = std::collections::HashSet::with_capacity(m * 2);
+    while edges.len() < m {
+        let a = rng.gen_range(0..n as u32);
+        let b = rng.gen_range(0..n as u32);
+        if a == b {
+            continue;
+        }
+        let key = if a < b {
+            ((a as u64) << 32) | b as u64
+        } else {
+            ((b as u64) << 32) | a as u64
+        };
+        if seen.insert(key) {
+            edges.push((VertexId(a), VertexId(b)));
+        }
+    }
+    Graph::new(vec![LabelSet::single(LabelId(0)); n], &edges, false)
+}
+
+/// `G(n, p)` variant: each of the `n·(n−1)/2` possible edges is present
+/// independently with probability `p`. Only suitable for small `n` (it
+/// enumerates all pairs). Deterministic in `seed`.
+pub fn erdos_renyi_gnp(n: usize, p: f64, seed: u64) -> Graph {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::new();
+    for a in 0..n as u32 {
+        for b in (a + 1)..n as u32 {
+            if rng.gen_bool(p) {
+                edges.push((VertexId(a), VertexId(b)));
+            }
+        }
+    }
+    Graph::new(vec![LabelSet::single(LabelId(0)); n], &edges, false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gnm_exact_edge_count() {
+        let g = erdos_renyi(100, 250, 7);
+        assert_eq!(g.num_vertices(), 100);
+        assert_eq!(g.num_edges(), 250);
+    }
+
+    #[test]
+    fn gnm_deterministic_in_seed() {
+        let a = erdos_renyi(50, 80, 42);
+        let b = erdos_renyi(50, 80, 42);
+        for v in a.vertices() {
+            assert_eq!(a.neighbors(v), b.neighbors(v));
+        }
+        let c = erdos_renyi(50, 80, 43);
+        let differs = a.vertices().any(|v| a.neighbors(v) != c.neighbors(v));
+        assert!(differs, "different seeds should produce different graphs");
+    }
+
+    #[test]
+    #[should_panic(expected = "only")]
+    fn gnm_too_many_edges_panics() {
+        let _ = erdos_renyi(3, 10, 0);
+    }
+
+    #[test]
+    fn gnp_edge_probability_plausible() {
+        let g = erdos_renyi_gnp(200, 0.1, 11);
+        let expected = 0.1 * (200.0 * 199.0 / 2.0);
+        let m = g.num_edges() as f64;
+        assert!(
+            (m - expected).abs() < expected * 0.25,
+            "edge count {m} far from expectation {expected}"
+        );
+    }
+
+    #[test]
+    fn gnp_extremes() {
+        assert_eq!(erdos_renyi_gnp(10, 0.0, 1).num_edges(), 0);
+        assert_eq!(erdos_renyi_gnp(10, 1.0, 1).num_edges(), 45);
+    }
+}

@@ -1,0 +1,144 @@
+//! Graph500-style Kronecker (R-MAT) generator.
+//!
+//! The paper generates its `rand_500k` synthetic graph with the Graph500
+//! Kronecker generator \[15\], and its real datasets are power-law social
+//! networks. This module implements the standard R-MAT edge-dropping
+//! recursion with the Graph500 parameters `(a, b, c) = (0.57, 0.19, 0.19)`
+//! as the default, producing skewed degree distributions — exactly the
+//! property that makes ExtremeClusters appear (§4.3).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::graph::Graph;
+use crate::ids::{LabelId, VertexId};
+use crate::labels::LabelSet;
+
+/// Parameters of the R-MAT recursion. `a + b + c` must be ≤ 1; the fourth
+/// quadrant probability is `1 − a − b − c`.
+#[derive(Clone, Copy, Debug)]
+pub struct RmatParams {
+    /// Probability of recursing into the top-left quadrant.
+    pub a: f64,
+    /// Probability of recursing into the top-right quadrant.
+    pub b: f64,
+    /// Probability of recursing into the bottom-left quadrant.
+    pub c: f64,
+}
+
+impl Default for RmatParams {
+    /// The Graph500 reference parameters.
+    fn default() -> Self {
+        RmatParams {
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+        }
+    }
+}
+
+/// Generates an R-MAT graph with `2^scale` vertices and `edge_factor ×
+/// 2^scale` undirected edge samples (duplicates and self-loops are dropped
+/// during CSR construction, so the final edge count is slightly lower, as in
+/// Graph500 itself). Deterministic in `seed`.
+pub fn kronecker(scale: u32, edge_factor: usize, params: RmatParams, seed: u64) -> Graph {
+    assert!(scale < 31, "scale {scale} too large for u32 vertex ids");
+    let sum = params.a + params.b + params.c;
+    assert!(
+        params.a >= 0.0 && params.b >= 0.0 && params.c >= 0.0 && sum <= 1.0 + 1e-9,
+        "invalid R-MAT parameters"
+    );
+    let n = 1usize << scale;
+    let m = edge_factor * n;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::with_capacity(m);
+    for _ in 0..m {
+        let (mut lo_r, mut hi_r) = (0u32, (n - 1) as u32);
+        let (mut lo_c, mut hi_c) = (0u32, (n - 1) as u32);
+        for _ in 0..scale {
+            let x: f64 = rng.gen();
+            let mid_r = lo_r + (hi_r - lo_r) / 2;
+            let mid_c = lo_c + (hi_c - lo_c) / 2;
+            if x < params.a {
+                hi_r = mid_r;
+                hi_c = mid_c;
+            } else if x < params.a + params.b {
+                hi_r = mid_r;
+                lo_c = mid_c + 1;
+            } else if x < params.a + params.b + params.c {
+                lo_r = mid_r + 1;
+                hi_c = mid_c;
+            } else {
+                lo_r = mid_r + 1;
+                lo_c = mid_c + 1;
+            }
+        }
+        edges.push((VertexId(lo_r), VertexId(lo_c)));
+    }
+    Graph::new(vec![LabelSet::single(LabelId(0)); n], &edges, false)
+}
+
+/// Convenience wrapper with the default Graph500 parameters.
+pub fn kronecker_default(scale: u32, edge_factor: usize, seed: u64) -> Graph {
+    kronecker(scale, edge_factor, RmatParams::default(), seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vertex_count_is_power_of_two() {
+        let g = kronecker_default(8, 8, 1);
+        assert_eq!(g.num_vertices(), 256);
+        assert!(g.num_edges() > 0);
+        assert!(g.num_edges() <= 8 * 256);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = kronecker_default(7, 6, 99);
+        let b = kronecker_default(7, 6, 99);
+        for v in a.vertices() {
+            assert_eq!(a.neighbors(v), b.neighbors(v));
+        }
+    }
+
+    #[test]
+    fn skewed_degree_distribution() {
+        // R-MAT with Graph500 parameters should be far more skewed than ER:
+        // the max degree should exceed several times the average degree.
+        let g = kronecker_default(10, 8, 3);
+        let avg = 2.0 * g.num_edges() as f64 / g.num_vertices() as f64;
+        let max = g.max_degree() as f64;
+        assert!(
+            max > 4.0 * avg,
+            "expected skew: max degree {max} vs average {avg}"
+        );
+    }
+
+    #[test]
+    fn uniform_params_resemble_er() {
+        // a = b = c = 0.25 makes every cell equally likely — low skew.
+        let p = RmatParams {
+            a: 0.25,
+            b: 0.25,
+            c: 0.25,
+        };
+        let g = kronecker(10, 8, p, 3);
+        let avg = 2.0 * g.num_edges() as f64 / g.num_vertices() as f64;
+        let max = g.max_degree() as f64;
+        assert!(max < 4.0 * avg, "uniform R-MAT should not be skewed");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid R-MAT parameters")]
+    fn invalid_params_panic() {
+        let p = RmatParams {
+            a: 0.9,
+            b: 0.2,
+            c: 0.2,
+        };
+        let _ = kronecker(4, 2, p, 0);
+    }
+}

@@ -1,0 +1,171 @@
+//! Label injection and dense labeled graph generation.
+//!
+//! §6.2 of the paper: *"We randomly inject each node of RD with one of the
+//! 100 different labels. HU dataset comes with one or more of 90 different
+//! labels on each node."* — [`inject_random_labels`] reproduces the former;
+//! [`dense_labeled`] synthesizes a Human-like dense graph with multi-label
+//! vertices for the latter.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::graph::Graph;
+use crate::ids::{LabelId, VertexId};
+use crate::labels::LabelSet;
+
+/// Returns a copy of `graph` where every vertex gets a single label drawn
+/// uniformly from `0..num_labels`. Deterministic in `seed`.
+pub fn inject_random_labels(graph: &Graph, num_labels: u32, seed: u64) -> Graph {
+    assert!(num_labels > 0, "need at least one label");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let labels: Vec<LabelSet> = (0..graph.num_vertices())
+        .map(|_| LabelSet::single(LabelId(rng.gen_range(0..num_labels))))
+        .collect();
+    rebuild_with_labels(graph, labels)
+}
+
+/// Returns a copy of `graph` where each vertex gets between `min_labels` and
+/// `max_labels` distinct labels drawn from `0..num_labels`. Deterministic in
+/// `seed`.
+pub fn inject_random_multilabels(
+    graph: &Graph,
+    num_labels: u32,
+    min_labels: usize,
+    max_labels: usize,
+    seed: u64,
+) -> Graph {
+    assert!(num_labels > 0, "need at least one label");
+    assert!(
+        (1..=num_labels as usize).contains(&min_labels) && min_labels <= max_labels,
+        "label count range invalid"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let labels: Vec<LabelSet> = (0..graph.num_vertices())
+        .map(|_| {
+            let k = rng.gen_range(min_labels..=max_labels.min(num_labels as usize));
+            let mut picked = std::collections::BTreeSet::new();
+            while picked.len() < k {
+                picked.insert(LabelId(rng.gen_range(0..num_labels)));
+            }
+            LabelSet::from_labels(picked)
+        })
+        .collect();
+    rebuild_with_labels(graph, labels)
+}
+
+fn rebuild_with_labels(graph: &Graph, labels: Vec<LabelSet>) -> Graph {
+    let mut edges = Vec::with_capacity(graph.num_edges());
+    for v in graph.vertices() {
+        for &nb in graph.neighbors(v) {
+            if v < nb {
+                edges.push((v, nb));
+            }
+        }
+    }
+    Graph::new(labels, &edges, graph.is_directed_input())
+}
+
+/// Synthesizes a dense multi-labeled graph resembling the paper's Human (HU)
+/// dataset: `n` vertices, ~`avg_degree` average degree, each vertex carrying
+/// one to three of `num_labels` labels. Deterministic in `seed`.
+pub fn dense_labeled(n: usize, avg_degree: usize, num_labels: u32, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let target_edges = (n * avg_degree / 2).min(n * (n.saturating_sub(1)) / 2);
+    let mut seen = std::collections::HashSet::with_capacity(target_edges * 2);
+    let mut edges = Vec::with_capacity(target_edges);
+    while edges.len() < target_edges {
+        let a = rng.gen_range(0..n as u32);
+        let b = rng.gen_range(0..n as u32);
+        if a == b {
+            continue;
+        }
+        let key = if a < b {
+            ((a as u64) << 32) | b as u64
+        } else {
+            ((b as u64) << 32) | a as u64
+        };
+        if seen.insert(key) {
+            edges.push((VertexId(a), VertexId(b)));
+        }
+    }
+    let labels: Vec<LabelSet> = (0..n)
+        .map(|_| {
+            let k = rng.gen_range(1..=3usize.min(num_labels as usize));
+            let mut picked = std::collections::BTreeSet::new();
+            while picked.len() < k {
+                picked.insert(LabelId(rng.gen_range(0..num_labels)));
+            }
+            LabelSet::from_labels(picked)
+        })
+        .collect();
+    Graph::new(labels, &edges, false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::er::erdos_renyi;
+
+    #[test]
+    fn inject_preserves_structure() {
+        let g = erdos_renyi(100, 300, 5);
+        let labeled = inject_random_labels(&g, 10, 1);
+        assert_eq!(labeled.num_vertices(), g.num_vertices());
+        assert_eq!(labeled.num_edges(), g.num_edges());
+        for v in g.vertices() {
+            assert_eq!(labeled.neighbors(v), g.neighbors(v));
+        }
+    }
+
+    #[test]
+    fn inject_uses_label_range() {
+        let g = erdos_renyi(500, 1000, 5);
+        let labeled = inject_random_labels(&g, 7, 1);
+        assert!(labeled.num_labels() <= 7);
+        // With 500 vertices and 7 labels all labels appear w.h.p.
+        for l in 0..7 {
+            assert!(
+                !labeled.vertices_with_label(LabelId(l)).is_empty(),
+                "label {l} unused"
+            );
+        }
+    }
+
+    #[test]
+    fn inject_deterministic() {
+        let g = erdos_renyi(50, 100, 5);
+        let a = inject_random_labels(&g, 4, 9);
+        let b = inject_random_labels(&g, 4, 9);
+        for v in g.vertices() {
+            assert_eq!(a.labels(v), b.labels(v));
+        }
+    }
+
+    #[test]
+    fn multilabel_bounds_respected() {
+        let g = erdos_renyi(200, 400, 5);
+        let labeled = inject_random_multilabels(&g, 20, 2, 4, 3);
+        for v in labeled.vertices() {
+            let k = labeled.labels(v).len();
+            assert!((2..=4).contains(&k), "vertex {v:?} has {k} labels");
+        }
+    }
+
+    #[test]
+    fn dense_labeled_matches_target() {
+        let g = dense_labeled(300, 20, 15, 8);
+        assert_eq!(g.num_vertices(), 300);
+        assert_eq!(g.num_edges(), 300 * 20 / 2);
+        assert!(g.num_labels() <= 15);
+        for v in g.vertices() {
+            assert!((1..=3).contains(&g.labels(v).len()));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one label")]
+    fn zero_labels_panics() {
+        let g = erdos_renyi(10, 5, 0);
+        let _ = inject_random_labels(&g, 0, 0);
+    }
+}

@@ -1,0 +1,18 @@
+//! Synthetic graph generators.
+//!
+//! Stand-ins for the paper's datasets (Table 1): Kronecker/R-MAT for the
+//! power-law social graphs, Erdős–Rényi for `rand_500k`, dense multi-labeled
+//! graphs for Human, and label injection for RD. All generators are
+//! deterministic in their seed so experiments are reproducible.
+
+pub mod er;
+pub mod kronecker;
+pub mod labeled;
+pub mod social;
+pub mod tail;
+
+pub use er::{erdos_renyi, erdos_renyi_gnp};
+pub use kronecker::{kronecker, kronecker_default, RmatParams};
+pub use labeled::{dense_labeled, inject_random_labels, inject_random_multilabels};
+pub use social::{barabasi_albert, watts_strogatz};
+pub use tail::attach_pendants;

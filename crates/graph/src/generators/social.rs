@@ -1,0 +1,177 @@
+//! Classic social-network generators: Barabási–Albert preferential
+//! attachment and Watts–Strogatz small-world rewiring.
+//!
+//! These complement the Graph500 Kronecker generator: BA produces clean
+//! power-law degree tails (hub-dominated ExtremeClusters), WS produces the
+//! high-clustering/low-diameter regime where triangle-type queries are
+//! dense. Both are used by the test suites to diversify the structures the
+//! engines are validated on.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::graph::Graph;
+use crate::ids::{LabelId, VertexId};
+use crate::labels::LabelSet;
+
+/// Barabási–Albert preferential attachment: starts from a clique of
+/// `attach` vertices; each new vertex attaches to `attach` distinct existing
+/// vertices sampled proportionally to their degree. Deterministic in `seed`.
+///
+/// # Panics
+/// Panics if `n < attach + 1` or `attach == 0`.
+pub fn barabasi_albert(n: usize, attach: usize, seed: u64) -> Graph {
+    assert!(attach >= 1, "attach must be positive");
+    assert!(n > attach, "need more vertices than the attachment count");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges: Vec<(VertexId, VertexId)> = Vec::with_capacity(n * attach);
+    // Degree-proportional sampling via the repeated-endpoints trick.
+    let mut endpoints: Vec<VertexId> = Vec::with_capacity(2 * n * attach);
+    // Seed clique over the first `attach + 1` vertices.
+    let seed_n = attach + 1;
+    for a in 0..seed_n as u32 {
+        for b in (a + 1)..seed_n as u32 {
+            edges.push((VertexId(a), VertexId(b)));
+            endpoints.push(VertexId(a));
+            endpoints.push(VertexId(b));
+        }
+    }
+    for v in seed_n..n {
+        let vid = VertexId::from_index(v);
+        let mut targets = std::collections::BTreeSet::new();
+        let mut guard = 0;
+        while targets.len() < attach && guard < 100 * attach {
+            let t = endpoints[rng.gen_range(0..endpoints.len())];
+            targets.insert(t);
+            guard += 1;
+        }
+        for &t in &targets {
+            edges.push((vid, t));
+            endpoints.push(vid);
+            endpoints.push(t);
+        }
+    }
+    Graph::new(vec![LabelSet::single(LabelId(0)); n], &edges, false)
+}
+
+/// Watts–Strogatz small-world graph: a ring lattice where each vertex
+/// connects to its `k/2` nearest neighbors on each side, with each edge
+/// rewired to a uniform random endpoint with probability `p`. Deterministic
+/// in `seed`.
+///
+/// # Panics
+/// Panics if `k` is odd, `k == 0`, `k >= n`, or `p ∉ [0, 1]`.
+pub fn watts_strogatz(n: usize, k: usize, p: f64, seed: u64) -> Graph {
+    assert!(k > 0 && k % 2 == 0, "k must be positive and even");
+    assert!(k < n, "k must be below n");
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges: Vec<(VertexId, VertexId)> = Vec::with_capacity(n * k / 2);
+    for v in 0..n {
+        for j in 1..=(k / 2) {
+            let w = (v + j) % n;
+            let (mut a, mut b) = (v, w);
+            if rng.gen_bool(p) {
+                // Rewire: keep `a`, pick a fresh random endpoint.
+                let mut guard = 0;
+                loop {
+                    let c = rng.gen_range(0..n);
+                    if c != a {
+                        b = c;
+                        break;
+                    }
+                    guard += 1;
+                    if guard > 100 {
+                        break;
+                    }
+                }
+            }
+            if a > b {
+                std::mem::swap(&mut a, &mut b);
+            }
+            edges.push((VertexId::from_index(a), VertexId::from_index(b)));
+        }
+    }
+    Graph::new(vec![LabelSet::single(LabelId(0)); n], &edges, false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ba_shapes() {
+        let g = barabasi_albert(500, 3, 1);
+        assert_eq!(g.num_vertices(), 500);
+        // Each non-seed vertex adds ~3 edges (dedup may trim a few).
+        assert!(g.num_edges() > 400 * 3 / 2);
+        // Power-law hubs: max degree far above attach count.
+        assert!(g.max_degree() > 20, "max degree {}", g.max_degree());
+    }
+
+    #[test]
+    fn ba_deterministic() {
+        let a = barabasi_albert(100, 2, 9);
+        let b = barabasi_albert(100, 2, 9);
+        for v in a.vertices() {
+            assert_eq!(a.neighbors(v), b.neighbors(v));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "need more vertices")]
+    fn ba_too_small_panics() {
+        let _ = barabasi_albert(3, 3, 0);
+    }
+
+    #[test]
+    fn ws_unrewired_is_ring_lattice() {
+        let g = watts_strogatz(20, 4, 0.0, 2);
+        assert_eq!(g.num_vertices(), 20);
+        assert_eq!(g.num_edges(), 40);
+        for v in g.vertices() {
+            assert_eq!(g.degree(v), 4, "lattice degree at {v:?}");
+        }
+    }
+
+    #[test]
+    fn ws_rewiring_changes_structure_preserving_count_bound() {
+        let lattice = watts_strogatz(100, 6, 0.0, 3);
+        let rewired = watts_strogatz(100, 6, 0.5, 3);
+        assert!(rewired.num_edges() <= lattice.num_edges());
+        let differs = lattice
+            .vertices()
+            .any(|v| lattice.neighbors(v) != rewired.neighbors(v));
+        assert!(differs);
+    }
+
+    #[test]
+    fn ws_full_rewire_still_valid() {
+        let g = watts_strogatz(50, 4, 1.0, 4);
+        assert_eq!(g.num_vertices(), 50);
+        assert!(g.num_edges() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive and even")]
+    fn ws_odd_k_panics() {
+        let _ = watts_strogatz(10, 3, 0.1, 0);
+    }
+
+    #[test]
+    fn ws_high_clustering_at_zero_p() {
+        // Ring lattice with k=4 has many triangles; check a few exist.
+        let g = watts_strogatz(30, 4, 0.0, 5);
+        let mut triangles = 0;
+        for v in g.vertices() {
+            for &a in g.neighbors(v) {
+                for &b in g.neighbors(v) {
+                    if a < b && g.has_edge(a, b) {
+                        triangles += 1;
+                    }
+                }
+            }
+        }
+        assert!(triangles > 0);
+    }
+}

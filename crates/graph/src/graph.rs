@@ -1,0 +1,374 @@
+//! The labeled data graph.
+//!
+//! [`Graph`] combines CSR adjacency with per-vertex [`LabelSet`]s, a
+//! label → vertices inverted index (used by root selection and candidate
+//! seeding), and an optional precomputed neighborhood-label-count (NLC)
+//! index used by the paper's NLC filter (§3.2).
+//!
+//! Directed inputs are symmetrized: the paper matches undirected query graphs
+//! against directed or undirected data graphs, and its candidate/adjacency
+//! machinery only consults connectivity, so we store one undirected adjacency
+//! and keep a `directed` provenance flag.
+
+use crate::csr::Csr;
+use crate::ids::{LabelId, VertexId};
+use crate::labels::LabelSet;
+
+/// A labeled graph with sorted CSR adjacency.
+#[derive(Clone, Debug)]
+pub struct Graph {
+    csr: Csr,
+    labels: Vec<LabelSet>,
+    num_labels: u32,
+    directed_input: bool,
+    /// `label_index[l]` = sorted vertices whose label set contains `l`.
+    label_index: Vec<Vec<VertexId>>,
+    /// Optional NLC index; see [`NlcIndex`].
+    nlc: Option<NlcIndex>,
+}
+
+/// Precomputed neighborhood label counts: for each vertex, a sorted
+/// `(label, count)` list over the labels appearing among its neighbors.
+///
+/// The NLC filter asks, for every distinct label `l` in the query node's
+/// neighborhood, whether `count_v(l) >= count_u(l)`. With this index the
+/// check is a merge over two short sorted lists instead of a rescan of the
+/// data vertex's adjacency.
+#[derive(Clone, Debug)]
+pub struct NlcIndex {
+    offsets: Vec<usize>,
+    entries: Vec<(LabelId, u32)>,
+}
+
+impl NlcIndex {
+    fn build(csr: &Csr, labels: &[LabelSet]) -> Self {
+        let n = csr.num_vertices();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut entries: Vec<(LabelId, u32)> = Vec::new();
+        offsets.push(0);
+        let mut scratch: Vec<LabelId> = Vec::new();
+        for v in 0..n {
+            scratch.clear();
+            for &nb in csr.neighbors(VertexId::from_index(v)) {
+                scratch.extend(labels[nb.index()].iter());
+            }
+            scratch.sort_unstable();
+            let mut i = 0;
+            while i < scratch.len() {
+                let l = scratch[i];
+                let mut j = i + 1;
+                while j < scratch.len() && scratch[j] == l {
+                    j += 1;
+                }
+                entries.push((l, (j - i) as u32));
+                i = j;
+            }
+            offsets.push(entries.len());
+        }
+        NlcIndex { offsets, entries }
+    }
+
+    /// The sorted `(label, count)` list of `v`.
+    #[inline]
+    pub fn counts(&self, v: VertexId) -> &[(LabelId, u32)] {
+        &self.entries[self.offsets[v.index()]..self.offsets[v.index() + 1]]
+    }
+
+    /// How many neighbors of `v` carry label `l`.
+    #[inline]
+    pub fn count(&self, v: VertexId, l: LabelId) -> u32 {
+        let c = self.counts(v);
+        match c.binary_search_by_key(&l, |&(label, _)| label) {
+            Ok(i) => c[i].1,
+            Err(_) => 0,
+        }
+    }
+
+    /// Bytes of heap memory held by the index.
+    pub fn size_bytes(&self) -> usize {
+        self.offsets.capacity() * std::mem::size_of::<usize>()
+            + self.entries.capacity() * std::mem::size_of::<(LabelId, u32)>()
+    }
+}
+
+impl Graph {
+    /// Builds a graph from an edge list and per-vertex label sets.
+    ///
+    /// `directed_input` records whether the source data was directed; the
+    /// adjacency is symmetrized either way.
+    ///
+    /// # Panics
+    /// Panics if an edge endpoint is out of range (see [`Csr`]).
+    pub fn new(
+        labels: Vec<LabelSet>,
+        edges: &[(VertexId, VertexId)],
+        directed_input: bool,
+    ) -> Self {
+        let n = labels.len();
+        let csr = Csr::from_undirected_edges(n, edges);
+        let num_labels = labels
+            .iter()
+            .flat_map(|ls| ls.iter())
+            .map(|l| l.0 + 1)
+            .max()
+            .unwrap_or(0);
+        let mut label_index: Vec<Vec<VertexId>> = vec![Vec::new(); num_labels as usize];
+        for (i, ls) in labels.iter().enumerate() {
+            for l in ls.iter() {
+                label_index[l.index()].push(VertexId::from_index(i));
+            }
+        }
+        Graph {
+            csr,
+            labels,
+            num_labels,
+            directed_input,
+            label_index,
+            nlc: None,
+        }
+    }
+
+    /// Builds an *unlabeled* graph: every vertex gets the shared label `0`,
+    /// matching the paper's Figure 6 queries ("all the nodes have same
+    /// label 0").
+    pub fn unlabeled(n: usize, edges: &[(VertexId, VertexId)]) -> Self {
+        Graph::new(vec![LabelSet::single(LabelId(0)); n], edges, false)
+    }
+
+    /// Precomputes the NLC index. Idempotent.
+    pub fn build_nlc_index(&mut self) {
+        if self.nlc.is_none() {
+            self.nlc = Some(NlcIndex::build(&self.csr, &self.labels));
+        }
+    }
+
+    /// The NLC index, if built.
+    #[inline]
+    pub fn nlc_index(&self) -> Option<&NlcIndex> {
+        self.nlc.as_ref()
+    }
+
+    /// Number of vertices `|V|`.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.csr.num_vertices()
+    }
+
+    /// Number of undirected edges `|E|`.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.csr.num_edges()
+    }
+
+    /// Size of the label alphabet (max label id + 1).
+    #[inline]
+    pub fn num_labels(&self) -> u32 {
+        self.num_labels
+    }
+
+    /// Whether the source data was directed (provenance only).
+    #[inline]
+    pub fn is_directed_input(&self) -> bool {
+        self.directed_input
+    }
+
+    /// Iterator over all vertex ids.
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> {
+        (0..self.num_vertices() as u32).map(VertexId)
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.csr.degree(v)
+    }
+
+    /// Sorted neighbors of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        self.csr.neighbors(v)
+    }
+
+    /// Edge test (binary search on the lower-degree endpoint).
+    #[inline]
+    pub fn has_edge(&self, a: VertexId, b: VertexId) -> bool {
+        self.csr.has_edge(a, b)
+    }
+
+    /// Label set of `v`.
+    #[inline]
+    pub fn labels(&self, v: VertexId) -> &LabelSet {
+        &self.labels[v.index()]
+    }
+
+    /// Does `v` carry label `l`?
+    #[inline]
+    pub fn has_label(&self, v: VertexId, l: LabelId) -> bool {
+        self.labels[v.index()].contains(l)
+    }
+
+    /// Sorted vertices carrying label `l` (empty for out-of-alphabet labels).
+    #[inline]
+    pub fn vertices_with_label(&self, l: LabelId) -> &[VertexId] {
+        self.label_index
+            .get(l.index())
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Count of neighbors of `v` carrying label `l`. Uses the NLC index when
+    /// built, otherwise scans the adjacency list.
+    pub fn neighbor_label_count(&self, v: VertexId, l: LabelId) -> u32 {
+        if let Some(nlc) = &self.nlc {
+            nlc.count(v, l)
+        } else {
+            self.neighbors(v)
+                .iter()
+                .filter(|&&nb| self.has_label(nb, l))
+                .count() as u32
+        }
+    }
+
+    /// Maximum degree over all vertices (0 for the empty graph).
+    pub fn max_degree(&self) -> usize {
+        self.vertices().map(|v| self.degree(v)).max().unwrap_or(0)
+    }
+
+    /// The underlying CSR (for the distributed shared-store simulation).
+    #[inline]
+    pub fn csr(&self) -> &Csr {
+        &self.csr
+    }
+
+    /// Approximate heap bytes held by the graph (adjacency + labels + indexes).
+    pub fn size_bytes(&self) -> usize {
+        let label_bytes: usize = self
+            .labels
+            .iter()
+            .map(|ls| match ls {
+                LabelSet::One(_) => std::mem::size_of::<LabelSet>(),
+                LabelSet::Many(v) => {
+                    std::mem::size_of::<LabelSet>() + v.len() * std::mem::size_of::<LabelId>()
+                }
+            })
+            .sum();
+        let index_bytes: usize = self
+            .label_index
+            .iter()
+            .map(|v| v.capacity() * std::mem::size_of::<VertexId>())
+            .sum();
+        self.csr.size_bytes()
+            + label_bytes
+            + index_bytes
+            + self.nlc.as_ref().map(|n| n.size_bytes()).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{lid, vid};
+
+    /// A small labeled fixture:
+    ///
+    /// ```text
+    ///   0(A) - 1(B) - 2(A,B)
+    ///            \    /
+    ///             3(C)
+    /// ```
+    fn fixture() -> Graph {
+        Graph::new(
+            vec![
+                LabelSet::single(lid(0)),
+                LabelSet::single(lid(1)),
+                LabelSet::from_labels([lid(0), lid(1)]),
+                LabelSet::single(lid(2)),
+            ],
+            &[
+                (vid(0), vid(1)),
+                (vid(1), vid(2)),
+                (vid(1), vid(3)),
+                (vid(2), vid(3)),
+            ],
+            false,
+        )
+    }
+
+    #[test]
+    fn counts_and_alphabet() {
+        let g = fixture();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.num_labels(), 3);
+        assert!(!g.is_directed_input());
+    }
+
+    #[test]
+    fn label_index_contains_multilabel_vertices() {
+        let g = fixture();
+        assert_eq!(g.vertices_with_label(lid(0)), &[vid(0), vid(2)]);
+        assert_eq!(g.vertices_with_label(lid(1)), &[vid(1), vid(2)]);
+        assert_eq!(g.vertices_with_label(lid(2)), &[vid(3)]);
+        assert_eq!(g.vertices_with_label(lid(99)), &[] as &[VertexId]);
+    }
+
+    #[test]
+    fn neighbor_label_count_without_index() {
+        let g = fixture();
+        // neighbors of 1: {0(A), 2(A,B), 3(C)} → A:2, B:1, C:1
+        assert_eq!(g.neighbor_label_count(vid(1), lid(0)), 2);
+        assert_eq!(g.neighbor_label_count(vid(1), lid(1)), 1);
+        assert_eq!(g.neighbor_label_count(vid(1), lid(2)), 1);
+        assert_eq!(g.neighbor_label_count(vid(0), lid(2)), 0);
+    }
+
+    #[test]
+    fn neighbor_label_count_with_index_matches_scan() {
+        let mut g = fixture();
+        let scans: Vec<u32> = g
+            .vertices()
+            .flat_map(|v| (0..3).map(move |l| (v, lid(l))))
+            .map(|(v, l)| g.neighbor_label_count(v, l))
+            .collect();
+        g.build_nlc_index();
+        assert!(g.nlc_index().is_some());
+        let indexed: Vec<u32> = g
+            .vertices()
+            .flat_map(|v| (0..3).map(move |l| (v, lid(l))))
+            .map(|(v, l)| g.neighbor_label_count(v, l))
+            .collect();
+        assert_eq!(scans, indexed);
+    }
+
+    #[test]
+    fn nlc_index_build_is_idempotent() {
+        let mut g = fixture();
+        g.build_nlc_index();
+        let before = g.nlc_index().unwrap().counts(vid(1)).to_vec();
+        g.build_nlc_index();
+        assert_eq!(g.nlc_index().unwrap().counts(vid(1)), before.as_slice());
+    }
+
+    #[test]
+    fn unlabeled_graph_single_label() {
+        let g = Graph::unlabeled(3, &[(vid(0), vid(1)), (vid(1), vid(2))]);
+        assert_eq!(g.num_labels(), 1);
+        assert_eq!(g.vertices_with_label(lid(0)).len(), 3);
+    }
+
+    #[test]
+    fn max_degree() {
+        let g = fixture();
+        assert_eq!(g.max_degree(), 3);
+        let empty = Graph::unlabeled(0, &[]);
+        assert_eq!(empty.max_degree(), 0);
+    }
+
+    #[test]
+    fn size_bytes_grows_with_nlc() {
+        let mut g = fixture();
+        let before = g.size_bytes();
+        g.build_nlc_index();
+        assert!(g.size_bytes() > before);
+    }
+}

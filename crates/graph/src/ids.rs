@@ -1,0 +1,138 @@
+//! Strongly-typed identifiers for vertices and labels.
+//!
+//! Both data graphs and query graphs index vertices with [`VertexId`]; labels
+//! from the alphabet `Σ` are [`LabelId`]s. Using `u32` newtypes keeps the hot
+//! candidate arrays at four bytes per entry (the paper stores candidate edges
+//! in 8 bytes — a `(key, value)` pair of 32-bit ids) while still catching
+//! vertex/label mix-ups at compile time.
+
+use std::fmt;
+
+/// Identifier of a vertex in a graph (data or query).
+///
+/// Vertex ids are dense: a graph with `n` vertices uses ids `0..n`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VertexId(pub u32);
+
+/// Identifier of a vertex label drawn from the label alphabet `Σ`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct LabelId(pub u32);
+
+impl VertexId {
+    /// The id as a `usize` index, for slicing into per-vertex arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a `VertexId` from a `usize` index.
+    ///
+    /// # Panics
+    /// Panics if `index` does not fit in `u32`.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        VertexId(u32::try_from(index).expect("vertex index exceeds u32::MAX"))
+    }
+}
+
+impl LabelId {
+    /// The id as a `usize` index, for slicing into per-label arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a `LabelId` from a `usize` index.
+    ///
+    /// # Panics
+    /// Panics if `index` does not fit in `u32`.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        LabelId(u32::try_from(index).expect("label index exceeds u32::MAX"))
+    }
+}
+
+impl fmt::Debug for VertexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for VertexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Debug for LabelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+impl fmt::Display for LabelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u32> for VertexId {
+    #[inline]
+    fn from(v: u32) -> Self {
+        VertexId(v)
+    }
+}
+
+impl From<u32> for LabelId {
+    #[inline]
+    fn from(v: u32) -> Self {
+        LabelId(v)
+    }
+}
+
+/// Convenience constructor used pervasively in tests and examples.
+#[inline]
+pub const fn vid(v: u32) -> VertexId {
+    VertexId(v)
+}
+
+/// Convenience constructor used pervasively in tests and examples.
+#[inline]
+pub const fn lid(l: u32) -> LabelId {
+    LabelId(l)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vertex_id_roundtrip() {
+        let v = VertexId::from_index(42);
+        assert_eq!(v.index(), 42);
+        assert_eq!(v, vid(42));
+        assert_eq!(format!("{v:?}"), "v42");
+        assert_eq!(format!("{v}"), "42");
+    }
+
+    #[test]
+    fn label_id_roundtrip() {
+        let l = LabelId::from_index(7);
+        assert_eq!(l.index(), 7);
+        assert_eq!(l, lid(7));
+        assert_eq!(format!("{l:?}"), "L7");
+        assert_eq!(format!("{l}"), "7");
+    }
+
+    #[test]
+    fn ids_order_by_value() {
+        assert!(vid(1) < vid(2));
+        assert!(lid(0) < lid(9));
+    }
+
+    #[test]
+    #[should_panic(expected = "vertex index exceeds u32::MAX")]
+    fn vertex_id_overflow_panics() {
+        let _ = VertexId::from_index(u32::MAX as usize + 1);
+    }
+}

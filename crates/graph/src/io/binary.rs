@@ -1,0 +1,216 @@
+//! Compact binary graph format.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic    8  b"CECIGRF1"
+//! flags    u32   bit 0 = directed provenance
+//! n        u64   vertex count
+//! m2       u64   adjacency entries (2 × edges)
+//! offsets  (n+1) × u64
+//! nbrs     m2 × u32
+//! nlabels  u64   total label entries
+//! lsizes   n × u32   labels per vertex
+//! labels   nlabels × u32
+//! ```
+//!
+//! This is the on-disk format the simulated shared store (§5) maps, so the
+//! reader exposes both a full [`read_binary`]/[`load_binary`] path and the
+//! raw section offsets used by `ceci-distributed` for partial loads.
+
+use std::io::{Read, Write};
+use std::path::Path;
+
+use crate::error::{GraphError, Result};
+use crate::graph::Graph;
+use crate::ids::{LabelId, VertexId};
+use crate::labels::LabelSet;
+
+const MAGIC: &[u8; 8] = b"CECIGRF1";
+
+fn write_u32<W: Write>(w: &mut W, v: u32) -> std::io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn write_u64<W: Write>(w: &mut W, v: u64) -> std::io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn read_u32<R: Read>(r: &mut R) -> std::io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_u64<R: Read>(r: &mut R) -> std::io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+/// Serializes a graph into the binary format.
+pub fn write_binary<W: Write>(graph: &Graph, mut w: W) -> Result<()> {
+    w.write_all(MAGIC)?;
+    write_u32(&mut w, graph.is_directed_input() as u32)?;
+    let n = graph.num_vertices();
+    write_u64(&mut w, n as u64)?;
+    let csr = graph.csr();
+    write_u64(&mut w, csr.num_adjacency_entries() as u64)?;
+    for &off in csr.offsets() {
+        write_u64(&mut w, off as u64)?;
+    }
+    for &nb in csr.raw_neighbors() {
+        write_u32(&mut w, nb.0)?;
+    }
+    let total_labels: u64 = graph.vertices().map(|v| graph.labels(v).len() as u64).sum();
+    write_u64(&mut w, total_labels)?;
+    for v in graph.vertices() {
+        write_u32(&mut w, graph.labels(v).len() as u32)?;
+    }
+    for v in graph.vertices() {
+        for l in graph.labels(v).iter() {
+            write_u32(&mut w, l.0)?;
+        }
+    }
+    Ok(())
+}
+
+/// Deserializes a graph from the binary format.
+pub fn read_binary<R: Read>(mut r: R) -> Result<Graph> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(GraphError::Format(format!(
+            "bad magic {:?}, expected {:?}",
+            magic, MAGIC
+        )));
+    }
+    let flags = read_u32(&mut r)?;
+    let directed = flags & 1 != 0;
+    let n = read_u64(&mut r)? as usize;
+    let m2 = read_u64(&mut r)? as usize;
+    let mut offsets = Vec::with_capacity(n + 1);
+    for _ in 0..=n {
+        offsets.push(read_u64(&mut r)? as usize);
+    }
+    if offsets.first() != Some(&0) || offsets.last() != Some(&m2) {
+        return Err(GraphError::Format(
+            "offset array inconsistent with adjacency length".into(),
+        ));
+    }
+    let mut neighbors = Vec::with_capacity(m2);
+    for _ in 0..m2 {
+        neighbors.push(VertexId(read_u32(&mut r)?));
+    }
+    let total_labels = read_u64(&mut r)? as usize;
+    let mut lsizes = Vec::with_capacity(n);
+    for _ in 0..n {
+        lsizes.push(read_u32(&mut r)? as usize);
+    }
+    if lsizes.iter().sum::<usize>() != total_labels {
+        return Err(GraphError::Format("label counts inconsistent".into()));
+    }
+    let mut labels = Vec::with_capacity(n);
+    for &sz in &lsizes {
+        let mut ls = Vec::with_capacity(sz);
+        for _ in 0..sz {
+            ls.push(LabelId(read_u32(&mut r)?));
+        }
+        labels.push(LabelSet::from_labels(ls));
+    }
+    // Reconstruct edges (v < nb once each) and rebuild through the normal
+    // constructor so all indexes come out consistent.
+    let mut edges = Vec::with_capacity(m2 / 2);
+    for v in 0..n {
+        for &nb in &neighbors[offsets[v]..offsets[v + 1]] {
+            if (v as u32) < nb.0 {
+                edges.push((VertexId(v as u32), nb));
+            }
+        }
+    }
+    Ok(Graph::new(labels, &edges, directed))
+}
+
+/// Writes the binary format to a file.
+pub fn save_binary(graph: &Graph, path: impl AsRef<Path>) -> Result<()> {
+    let file = std::fs::File::create(path)?;
+    write_binary(graph, std::io::BufWriter::new(file))
+}
+
+/// Reads the binary format from a file.
+pub fn load_binary(path: impl AsRef<Path>) -> Result<Graph> {
+    let file = std::fs::File::open(path)?;
+    read_binary(std::io::BufReader::new(file))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::ids::{lid, vid};
+
+    fn sample() -> Graph {
+        let mut b = GraphBuilder::new().directed();
+        let v0 = b.add_vertex(lid(2));
+        let v1 = b.add_vertex_with_labels(LabelSet::from_labels([lid(0), lid(3)]));
+        let v2 = b.add_vertex(lid(1));
+        b.add_edge(v0, v1);
+        b.add_edge(v1, v2);
+        b.add_edge(v2, v0);
+        b.build()
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        let g2 = read_binary(&buf[..]).unwrap();
+        assert_eq!(g2.num_vertices(), g.num_vertices());
+        assert_eq!(g2.num_edges(), g.num_edges());
+        assert_eq!(g2.is_directed_input(), g.is_directed_input());
+        for v in g.vertices() {
+            assert_eq!(g2.neighbors(v), g.neighbors(v));
+            assert_eq!(g2.labels(v), g.labels(v));
+        }
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let buf = b"NOTMAGIC________________".to_vec();
+        let err = read_binary(&buf[..]).unwrap_err();
+        assert!(err.to_string().contains("bad magic"));
+    }
+
+    #[test]
+    fn truncated_input_errors() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        buf.truncate(buf.len() - 3);
+        assert!(read_binary(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let g = sample();
+        let dir = std::env::temp_dir().join("ceci_graph_binary_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.ceci");
+        save_binary(&g, &path).unwrap();
+        let g2 = load_binary(&path).unwrap();
+        assert_eq!(g2.num_edges(), g.num_edges());
+        assert!(g2.has_edge(vid(0), vid(1)));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_graph_roundtrip() {
+        let g = Graph::unlabeled(0, &[]);
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        let g2 = read_binary(&buf[..]).unwrap();
+        assert_eq!(g2.num_vertices(), 0);
+        assert_eq!(g2.num_edges(), 0);
+    }
+}

@@ -1,0 +1,285 @@
+//! Text loaders: SNAP-style edge lists and the labeled `.graph` format used
+//! by the subgraph-matching literature.
+//!
+//! The paper sources its real datasets from the SNAP collection (Table 1);
+//! SNAP ships plain edge lists. Labeled benchmarks (e.g. the Human dataset of
+//! §6.2) circulate in the `t/v/e` format:
+//!
+//! ```text
+//! t <num_vertices> <num_edges>
+//! v <id> <label> <degree>
+//! e <src> <dst>
+//! ```
+
+use std::collections::HashMap;
+use std::io::BufRead;
+use std::path::Path;
+
+use crate::error::{GraphError, Result};
+use crate::graph::Graph;
+use crate::ids::{LabelId, VertexId};
+use crate::labels::LabelSet;
+
+/// Parses a SNAP-style edge list from a reader.
+///
+/// * Lines starting with `#` or `%` are comments.
+/// * Each data line is `src dst` (whitespace separated). Extra columns are
+///   ignored (some SNAP files carry timestamps).
+/// * Raw ids are arbitrary `u64`s and get remapped to dense [`VertexId`]s in
+///   first-appearance order.
+/// * The resulting graph is unlabeled (shared label 0); `directed` marks the
+///   provenance flag.
+pub fn read_edge_list<R: BufRead>(reader: R, directed: bool) -> Result<Graph> {
+    let mut remap: HashMap<u64, VertexId> = HashMap::new();
+    let mut edges: Vec<(VertexId, VertexId)> = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') || t.starts_with('%') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let (a, b) = match (it.next(), it.next()) {
+            (Some(a), Some(b)) => (a, b),
+            _ => {
+                return Err(GraphError::Parse {
+                    line: lineno + 1,
+                    message: format!("expected `src dst`, got {t:?}"),
+                })
+            }
+        };
+        let parse = |s: &str| -> Result<u64> {
+            s.parse().map_err(|_| GraphError::Parse {
+                line: lineno + 1,
+                message: format!("invalid vertex id {s:?}"),
+            })
+        };
+        let (ra, rb) = (parse(a)?, parse(b)?);
+        let next = remap.len();
+        let va = *remap
+            .entry(ra)
+            .or_insert_with(|| VertexId::from_index(next));
+        let next = remap.len();
+        let vb = *remap
+            .entry(rb)
+            .or_insert_with(|| VertexId::from_index(next));
+        edges.push((va, vb));
+    }
+    let n = remap.len();
+    let labels = vec![LabelSet::single(LabelId(0)); n];
+    Ok(Graph::new(labels, &edges, directed))
+}
+
+/// Loads a SNAP-style edge list from a file. See [`read_edge_list`].
+pub fn load_edge_list(path: impl AsRef<Path>, directed: bool) -> Result<Graph> {
+    let file = std::fs::File::open(path)?;
+    read_edge_list(std::io::BufReader::new(file), directed)
+}
+
+/// Parses the labeled `t/v/e` format from a reader.
+pub fn read_labeled<R: BufRead>(reader: R) -> Result<Graph> {
+    let mut declared: Option<(usize, usize)> = None;
+    let mut labels: Vec<LabelSet> = Vec::new();
+    let mut edges: Vec<(VertexId, VertexId)> = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') || t.starts_with('%') {
+            continue;
+        }
+        let err = |message: String| GraphError::Parse {
+            line: lineno + 1,
+            message,
+        };
+        let mut it = t.split_whitespace();
+        match it.next() {
+            Some("t") => {
+                let n: usize = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| err("bad vertex count in `t` line".into()))?;
+                let m: usize = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| err("bad edge count in `t` line".into()))?;
+                declared = Some((n, m));
+                labels.reserve(n);
+                edges.reserve(m);
+            }
+            Some("v") => {
+                let id: usize = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| err("bad vertex id in `v` line".into()))?;
+                if id != labels.len() {
+                    return Err(err(format!(
+                        "vertex ids must be dense and in order (expected {}, got {id})",
+                        labels.len()
+                    )));
+                }
+                let label: u32 = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| err("bad label in `v` line".into()))?;
+                // degree column (and any extra labels) — extra numeric tokens
+                // after the first are treated as: last = degree, middle =
+                // additional labels. The common format is `v id label degree`.
+                let rest: Vec<u32> = it.filter_map(|s| s.parse().ok()).collect();
+                let extra_labels = if rest.is_empty() {
+                    &rest[..]
+                } else {
+                    &rest[..rest.len() - 1]
+                };
+                let set = if extra_labels.is_empty() {
+                    LabelSet::single(LabelId(label))
+                } else {
+                    LabelSet::from_labels(
+                        std::iter::once(LabelId(label))
+                            .chain(extra_labels.iter().map(|&l| LabelId(l))),
+                    )
+                };
+                labels.push(set);
+            }
+            Some("e") => {
+                let a: u32 = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| err("bad src in `e` line".into()))?;
+                let b: u32 = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| err("bad dst in `e` line".into()))?;
+                edges.push((VertexId(a), VertexId(b)));
+            }
+            Some(other) => {
+                return Err(err(format!("unknown record type {other:?}")));
+            }
+            None => unreachable!("empty lines are skipped"),
+        }
+    }
+    if let Some((n, _)) = declared {
+        if n != labels.len() {
+            return Err(GraphError::Format(format!(
+                "header declared {n} vertices but {} `v` lines found",
+                labels.len()
+            )));
+        }
+    }
+    Ok(Graph::new(labels, &edges, false))
+}
+
+/// Loads the labeled `t/v/e` format from a file. See [`read_labeled`].
+pub fn load_labeled(path: impl AsRef<Path>) -> Result<Graph> {
+    let file = std::fs::File::open(path)?;
+    read_labeled(std::io::BufReader::new(file))
+}
+
+/// Writes a graph in the labeled `t/v/e` format.
+///
+/// Multi-label vertices emit their extra labels between the primary label
+/// and the degree column, mirroring what [`read_labeled`] accepts.
+pub fn write_labeled<W: std::io::Write>(graph: &Graph, mut w: W) -> Result<()> {
+    writeln!(w, "t {} {}", graph.num_vertices(), graph.num_edges())?;
+    for v in graph.vertices() {
+        let ls = graph.labels(v);
+        write!(w, "v {} {}", v, ls.primary())?;
+        for l in ls.iter().skip(1) {
+            write!(w, " {l}")?;
+        }
+        writeln!(w, " {}", graph.degree(v))?;
+    }
+    for v in graph.vertices() {
+        for &nb in graph.neighbors(v) {
+            if v < nb {
+                writeln!(w, "e {} {}", v, nb)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{lid, vid};
+
+    #[test]
+    fn snap_edge_list_roundtrip() {
+        let text = "# comment\n% other comment\n10 20\n20 30 999\n30 10\n";
+        let g = read_edge_list(text.as_bytes(), false).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 3);
+        // 10→v0, 20→v1, 30→v2 (first-appearance order)
+        assert!(g.has_edge(vid(0), vid(1)));
+        assert!(g.has_edge(vid(1), vid(2)));
+        assert!(g.has_edge(vid(2), vid(0)));
+    }
+
+    #[test]
+    fn snap_bad_line_errors() {
+        let text = "1 2\nonly_one_token\n";
+        let err = read_edge_list(text.as_bytes(), false).unwrap_err();
+        assert!(err.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn snap_bad_id_errors() {
+        let text = "1 x\n";
+        let err = read_edge_list(text.as_bytes(), false).unwrap_err();
+        assert!(err.to_string().contains("invalid vertex id"));
+    }
+
+    #[test]
+    fn labeled_format_roundtrip() {
+        let text = "t 3 2\nv 0 5 1\nv 1 7 2\nv 2 5 1\ne 0 1\ne 1 2\n";
+        let g = read_labeled(text.as_bytes()).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 2);
+        assert!(g.has_label(vid(0), lid(5)));
+        assert!(g.has_label(vid(1), lid(7)));
+
+        let mut out = Vec::new();
+        write_labeled(&g, &mut out).unwrap();
+        let g2 = read_labeled(&out[..]).unwrap();
+        assert_eq!(g2.num_vertices(), g.num_vertices());
+        assert_eq!(g2.num_edges(), g.num_edges());
+        for v in g.vertices() {
+            assert_eq!(g2.labels(v), g.labels(v));
+            assert_eq!(g2.neighbors(v), g.neighbors(v));
+        }
+    }
+
+    #[test]
+    fn labeled_multilabel_roundtrip() {
+        // v 0 has labels {5, 9} and degree 1
+        let text = "t 2 1\nv 0 5 9 1\nv 1 7 1\ne 0 1\n";
+        let g = read_labeled(text.as_bytes()).unwrap();
+        assert!(g.has_label(vid(0), lid(5)));
+        assert!(g.has_label(vid(0), lid(9)));
+        let mut out = Vec::new();
+        write_labeled(&g, &mut out).unwrap();
+        let g2 = read_labeled(&out[..]).unwrap();
+        assert_eq!(g2.labels(vid(0)), g.labels(vid(0)));
+    }
+
+    #[test]
+    fn labeled_dense_id_violation() {
+        let text = "t 2 0\nv 0 1 0\nv 5 1 0\n";
+        let err = read_labeled(text.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("dense"));
+    }
+
+    #[test]
+    fn labeled_header_mismatch() {
+        let text = "t 3 0\nv 0 1 0\n";
+        let err = read_labeled(text.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("declared 3"));
+    }
+
+    #[test]
+    fn labeled_unknown_record() {
+        let text = "x 1 2\n";
+        let err = read_labeled(text.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("unknown record"));
+    }
+}

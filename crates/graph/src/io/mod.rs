@@ -1,0 +1,7 @@
+//! Graph loaders and writers.
+
+pub mod binary;
+pub mod edge_list;
+
+pub use binary::{load_binary, read_binary, save_binary, write_binary};
+pub use edge_list::{load_edge_list, load_labeled, read_edge_list, read_labeled, write_labeled};

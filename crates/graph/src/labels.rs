@@ -1,0 +1,184 @@
+//! Vertex label sets.
+//!
+//! The paper's graph model (§2.1) assigns *one or more* labels to each vertex
+//! (`L : V → 2^Σ`), and isomorphism requires label containment:
+//! `L_q(u) ⊆ L(f(u))`. Most vertices carry exactly one label, so [`LabelSet`]
+//! stores the single-label case inline and only allocates for multi-label
+//! vertices.
+
+use crate::ids::LabelId;
+
+/// A sorted, duplicate-free set of labels attached to one vertex.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub enum LabelSet {
+    /// The common case: exactly one label.
+    One(LabelId),
+    /// Two or more labels, sorted ascending with no duplicates.
+    Many(Box<[LabelId]>),
+}
+
+impl LabelSet {
+    /// Creates a set holding a single label.
+    #[inline]
+    pub fn single(label: LabelId) -> Self {
+        LabelSet::One(label)
+    }
+
+    /// Creates a set from an arbitrary list of labels; sorts and dedups.
+    ///
+    /// # Panics
+    /// Panics if `labels` is empty — every vertex must carry at least one
+    /// label (unlabeled graphs use a single shared label, conventionally 0).
+    pub fn from_labels(labels: impl IntoIterator<Item = LabelId>) -> Self {
+        let mut v: Vec<LabelId> = labels.into_iter().collect();
+        assert!(!v.is_empty(), "a vertex must have at least one label");
+        v.sort_unstable();
+        v.dedup();
+        if v.len() == 1 {
+            LabelSet::One(v[0])
+        } else {
+            LabelSet::Many(v.into_boxed_slice())
+        }
+    }
+
+    /// Number of labels in the set (always ≥ 1).
+    #[inline]
+    pub fn len(&self) -> usize {
+        match self {
+            LabelSet::One(_) => 1,
+            LabelSet::Many(ls) => ls.len(),
+        }
+    }
+
+    /// `false` — label sets are never empty. Provided for API completeness.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The labels as a sorted slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[LabelId] {
+        match self {
+            LabelSet::One(l) => std::slice::from_ref(l),
+            LabelSet::Many(ls) => ls,
+        }
+    }
+
+    /// The first (smallest) label. For single-label vertices this is *the*
+    /// label; §6.2 of the paper uses "only the first label" when deriving
+    /// query labels from multi-labeled data vertices.
+    #[inline]
+    pub fn primary(&self) -> LabelId {
+        match self {
+            LabelSet::One(l) => *l,
+            LabelSet::Many(ls) => ls[0],
+        }
+    }
+
+    /// Does the set contain `label`?
+    #[inline]
+    pub fn contains(&self, label: LabelId) -> bool {
+        match self {
+            LabelSet::One(l) => *l == label,
+            LabelSet::Many(ls) => ls.binary_search(&label).is_ok(),
+        }
+    }
+
+    /// Containment test `self ⊆ other` — the isomorphism label condition
+    /// `L_q(u) ⊆ L(v)` with `self` the query side.
+    pub fn is_subset_of(&self, other: &LabelSet) -> bool {
+        match self {
+            LabelSet::One(l) => other.contains(*l),
+            LabelSet::Many(ls) => {
+                // Both sides sorted: linear merge scan.
+                let os = other.as_slice();
+                let mut i = 0;
+                for l in ls.iter() {
+                    while i < os.len() && os[i] < *l {
+                        i += 1;
+                    }
+                    if i >= os.len() || os[i] != *l {
+                        return false;
+                    }
+                    i += 1;
+                }
+                true
+            }
+        }
+    }
+
+    /// Iterates the labels in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = LabelId> + '_ {
+        self.as_slice().iter().copied()
+    }
+}
+
+impl std::fmt::Debug for LabelSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_set().entries(self.as_slice()).finish()
+    }
+}
+
+impl From<LabelId> for LabelSet {
+    #[inline]
+    fn from(l: LabelId) -> Self {
+        LabelSet::One(l)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::lid;
+
+    #[test]
+    fn single_label_basics() {
+        let s = LabelSet::single(lid(3));
+        assert_eq!(s.len(), 1);
+        assert!(!s.is_empty());
+        assert!(s.contains(lid(3)));
+        assert!(!s.contains(lid(2)));
+        assert_eq!(s.primary(), lid(3));
+        assert_eq!(s.as_slice(), &[lid(3)]);
+    }
+
+    #[test]
+    fn from_labels_sorts_and_dedups() {
+        let s = LabelSet::from_labels([lid(5), lid(1), lid(5), lid(3)]);
+        assert_eq!(s.as_slice(), &[lid(1), lid(3), lid(5)]);
+        assert_eq!(s.primary(), lid(1));
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn from_labels_collapses_to_one() {
+        let s = LabelSet::from_labels([lid(4), lid(4)]);
+        assert!(matches!(s, LabelSet::One(_)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one label")]
+    fn empty_label_set_panics() {
+        let _ = LabelSet::from_labels(std::iter::empty());
+    }
+
+    #[test]
+    fn subset_semantics() {
+        let one = LabelSet::single(lid(2));
+        let many = LabelSet::from_labels([lid(1), lid(2), lid(4)]);
+        assert!(one.is_subset_of(&many));
+        assert!(!many.is_subset_of(&one));
+        assert!(many.is_subset_of(&many));
+        assert!(LabelSet::from_labels([lid(1), lid(4)]).is_subset_of(&many));
+        assert!(!LabelSet::from_labels([lid(1), lid(3)]).is_subset_of(&many));
+        assert!(!LabelSet::single(lid(9)).is_subset_of(&many));
+    }
+
+    #[test]
+    fn iter_is_sorted() {
+        let s = LabelSet::from_labels([lid(9), lid(0), lid(4)]);
+        let collected: Vec<_> = s.iter().collect();
+        assert_eq!(collected, vec![lid(0), lid(4), lid(9)]);
+    }
+}

@@ -1,0 +1,42 @@
+//! # ceci-graph
+//!
+//! Graph substrate for the CECI subgraph-matching system ([Bhattarai, Liu,
+//! Huang — *CECI: Compact Embedding Cluster Index for Scalable Subgraph
+//! Matching*, SIGMOD 2019]).
+//!
+//! Provides:
+//!
+//! * [`Graph`] — labeled graphs over sorted-adjacency CSR storage ([`Csr`]),
+//!   with a label inverted index and an optional neighborhood-label-count
+//!   index ([`graph::NlcIndex`]) backing the paper's NLC filter.
+//! * [`GraphBuilder`] — incremental construction.
+//! * [`io`] — SNAP edge lists, the labeled `t/v/e` text format, and a compact
+//!   binary format used by the simulated shared store.
+//! * [`generators`] — deterministic Erdős–Rényi, Graph500-style Kronecker
+//!   (R-MAT), and labeled-graph generators standing in for the paper's
+//!   datasets.
+//! * [`extract`] — DFS-based connected query extraction (§6.2).
+//! * [`stats`] — dataset statistics and the distributed pivot workload
+//!   estimates of §5.
+
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod csr;
+pub mod error;
+pub mod extract;
+pub mod generators;
+pub mod graph;
+pub mod ids;
+pub mod io;
+pub mod labels;
+pub mod stats;
+
+pub use builder::GraphBuilder;
+pub use csr::Csr;
+pub use error::{GraphError, Result};
+pub use extract::{extract_query, ExtractedQuery};
+pub use graph::Graph;
+pub use ids::{lid, vid, LabelId, VertexId};
+pub use labels::LabelSet;
+pub use stats::GraphStats;

@@ -1,0 +1,6 @@
+//! Cross-crate integration tests for the CECI workspace.
+//!
+//! This crate exists to compile and run the test files in the repository's
+//! top-level `tests/` directory (declared as `[[test]]` targets in this
+//! crate's manifest), spanning every workspace crate through the public
+//! `ceci` facade. It exports nothing.

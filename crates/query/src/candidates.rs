@@ -1,0 +1,209 @@
+//! Initial per-query-node candidate computation.
+//!
+//! §2.2: *"The candidate list of u is obtained by verifying each data node by
+//! the label, degree, and neighborhood label count."* These are the same
+//! three per-vertex filters (LF, DF, NLCF) that Algorithm 1 later applies
+//! during CECI construction; here they run globally to support root selection
+//! and pivot discovery.
+
+use ceci_graph::{Graph, VertexId};
+
+use crate::query_graph::QueryGraph;
+
+/// Returns `true` if data vertex `v` passes the label filter (LF) for query
+/// vertex `u`: `L_q(u) ⊆ L(v)`.
+#[inline]
+pub fn label_filter(query: &QueryGraph, graph: &Graph, u: VertexId, v: VertexId) -> bool {
+    query.labels(u).is_subset_of(graph.labels(v))
+}
+
+/// Returns `true` if `v` passes the degree filter (DF) for `u`:
+/// `deg(v) ≥ deg(u)`.
+#[inline]
+pub fn degree_filter(query: &QueryGraph, graph: &Graph, u: VertexId, v: VertexId) -> bool {
+    graph.degree(v) >= query.degree(u)
+}
+
+/// Returns `true` if `v` passes the neighborhood label count filter (NLCF)
+/// for `u`: for every distinct label `l` among `u`'s neighbors,
+/// `count_v(l) ≥ count_u(l)`.
+pub fn nlc_filter(
+    query_counts: &[(ceci_graph::LabelId, u32)],
+    graph: &Graph,
+    v: VertexId,
+) -> bool {
+    if let Some(nlc) = graph.nlc_index() {
+        // Merge the two sorted (label, count) lists.
+        let vc = nlc.counts(v);
+        let mut i = 0;
+        for &(l, cu) in query_counts {
+            while i < vc.len() && vc[i].0 < l {
+                i += 1;
+            }
+            if i >= vc.len() || vc[i].0 != l || vc[i].1 < cu {
+                return false;
+            }
+        }
+        true
+    } else {
+        query_counts
+            .iter()
+            .all(|&(l, cu)| graph.neighbor_label_count(v, l) >= cu)
+    }
+}
+
+/// Candidate set of one query vertex, plus the precomputed query-side NLC
+/// profile so downstream filters can reuse it.
+#[derive(Clone, Debug)]
+pub struct CandidateSet {
+    /// The query vertex.
+    pub u: VertexId,
+    /// Sorted data-vertex candidates of `u`.
+    pub candidates: Vec<VertexId>,
+}
+
+/// Computes the candidate sets of every query vertex by scanning the data
+/// graph's label index and applying LF + DF + NLCF.
+///
+/// Candidates come out sorted (the label index is sorted).
+pub fn compute_candidates(query: &QueryGraph, graph: &Graph) -> Vec<CandidateSet> {
+    query
+        .vertices()
+        .map(|u| CandidateSet {
+            u,
+            candidates: candidates_of(query, graph, u),
+        })
+        .collect()
+}
+
+/// Candidate set of a single query vertex (sorted ascending).
+pub fn candidates_of(query: &QueryGraph, graph: &Graph, u: VertexId) -> Vec<VertexId> {
+    let qc = query.neighborhood_label_counts(u);
+    // Seed from the label index of the query vertex's primary label: every
+    // candidate must carry *all* of L_q(u), so any single member label gives
+    // a superset to scan. Pick the rarest member label for the smallest scan.
+    let seed_label = query
+        .labels(u)
+        .iter()
+        .min_by_key(|&l| graph.vertices_with_label(l).len())
+        .expect("label sets are non-empty");
+    graph
+        .vertices_with_label(seed_label)
+        .iter()
+        .copied()
+        .filter(|&v| label_filter(query, graph, u, v))
+        .filter(|&v| degree_filter(query, graph, u, v))
+        .filter(|&v| nlc_filter(&qc, graph, v))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ceci_graph::{lid, vid, LabelSet};
+
+    /// Data graph:
+    /// ```text
+    /// 0(A)-1(B)  2(A)-3(B)-4(B)   5(A) isolated
+    ///   \___________/
+    /// ```
+    /// edges: 0-1, 2-3, 3-4, 0-3
+    fn data() -> Graph {
+        Graph::new(
+            vec![
+                LabelSet::single(lid(0)), // 0 A
+                LabelSet::single(lid(1)), // 1 B
+                LabelSet::single(lid(0)), // 2 A
+                LabelSet::single(lid(1)), // 3 B
+                LabelSet::single(lid(1)), // 4 B
+                LabelSet::single(lid(0)), // 5 A
+            ],
+            &[
+                (vid(0), vid(1)),
+                (vid(2), vid(3)),
+                (vid(3), vid(4)),
+                (vid(0), vid(3)),
+            ],
+            false,
+        )
+    }
+
+    fn edge_query() -> QueryGraph {
+        // u0(A) - u1(B)
+        QueryGraph::with_labels(&[lid(0), lid(1)], &[(0, 1)]).unwrap()
+    }
+
+    #[test]
+    fn label_and_degree_filters() {
+        let g = data();
+        let q = edge_query();
+        // u0 needs label A and degree >= 1 → {0, 2}; vertex 5 fails DF.
+        let c0 = candidates_of(&q, &g, vid(0));
+        assert_eq!(c0, vec![vid(0), vid(2)]);
+    }
+
+    #[test]
+    fn nlc_filter_prunes() {
+        let g = data();
+        // u1 (B) with two A neighbors: count_u(A) = 2.
+        let q = QueryGraph::with_labels(&[lid(1), lid(0), lid(0)], &[(0, 1), (0, 2)]).unwrap();
+        // Only data vertex 3 (neighbors 2(A), 4(B), 0(A)) has two A-neighbors.
+        let c = candidates_of(&q, &g, vid(0));
+        assert_eq!(c, vec![vid(3)]);
+    }
+
+    #[test]
+    fn nlc_filter_with_and_without_index_agree() {
+        let mut g = data();
+        let q = edge_query();
+        let before: Vec<_> = q.vertices().map(|u| candidates_of(&q, &g, u)).collect();
+        g.build_nlc_index();
+        let after: Vec<_> = q.vertices().map(|u| candidates_of(&q, &g, u)).collect();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn compute_candidates_covers_all_query_vertices() {
+        let g = data();
+        let q = edge_query();
+        let all = compute_candidates(&q, &g);
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0].u, vid(0));
+        assert_eq!(all[1].u, vid(1));
+        // u1 (B, degree 1): all B vertices with ≥1 A neighbor → 1, 3.
+        assert_eq!(all[1].candidates, vec![vid(1), vid(3)]);
+    }
+
+    #[test]
+    fn multilabel_candidate_seeding() {
+        // Query vertex requires {A, B}; only a data vertex with both matches.
+        let g = Graph::new(
+            vec![
+                LabelSet::from_labels([lid(0), lid(1)]),
+                LabelSet::single(lid(0)),
+            ],
+            &[(vid(0), vid(1))],
+            false,
+        );
+        let q = QueryGraph::new(
+            vec![
+                LabelSet::from_labels([lid(0), lid(1)]),
+                LabelSet::single(lid(0)),
+            ],
+            &[(vid(0), vid(1))],
+        )
+        .unwrap();
+        assert_eq!(candidates_of(&q, &g, vid(0)), vec![vid(0)]);
+    }
+
+    #[test]
+    fn candidates_are_sorted() {
+        let g = data();
+        let q = edge_query();
+        for set in compute_candidates(&q, &g) {
+            let mut sorted = set.candidates.clone();
+            sorted.sort_unstable();
+            assert_eq!(set.candidates, sorted);
+        }
+    }
+}

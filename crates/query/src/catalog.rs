@@ -1,0 +1,145 @@
+//! Catalog of standard query graphs.
+//!
+//! The paper's Figure 6 queries QG1–QG5 are the canonical unlabeled patterns
+//! used by PsgL, TTJ, and DualSim (all nodes share label 0). Figure 6 is not
+//! machine-readable in our source, so the shapes are reconstructed from the
+//! paper's own constraints: §2.2 describes QG1 as three mutually equivalent
+//! vertices (a triangle); Table 2's theoretical CECI sizes imply edge counts
+//! 3, 4, 5, 6, 6; and Figures 11/18 give backtracking depths 3, 4, and 5 for
+//! QG1, QG3, QG5. That pins the classic sequence: triangle, square, chordal
+//! square (diamond), 4-clique, house.
+
+use crate::query_graph::QueryGraph;
+
+/// The five Figure-6 query graphs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum PaperQuery {
+    /// QG1 — triangle: 3 vertices, 3 edges.
+    Qg1,
+    /// QG2 — square (4-cycle): 4 vertices, 4 edges.
+    Qg2,
+    /// QG3 — chordal square / diamond: 4 vertices, 5 edges.
+    Qg3,
+    /// QG4 — 4-clique: 4 vertices, 6 edges.
+    Qg4,
+    /// QG5 — house (4-cycle with a triangle roof): 5 vertices, 6 edges.
+    Qg5,
+}
+
+impl PaperQuery {
+    /// All five queries in order.
+    pub const ALL: [PaperQuery; 5] = [
+        PaperQuery::Qg1,
+        PaperQuery::Qg2,
+        PaperQuery::Qg3,
+        PaperQuery::Qg4,
+        PaperQuery::Qg5,
+    ];
+
+    /// The display name used in the paper ("QG1" ... "QG5").
+    pub fn name(self) -> &'static str {
+        match self {
+            PaperQuery::Qg1 => "QG1",
+            PaperQuery::Qg2 => "QG2",
+            PaperQuery::Qg3 => "QG3",
+            PaperQuery::Qg4 => "QG4",
+            PaperQuery::Qg5 => "QG5",
+        }
+    }
+
+    /// Builds the query graph.
+    pub fn build(self) -> QueryGraph {
+        let (n, edges): (usize, &[(u32, u32)]) = match self {
+            PaperQuery::Qg1 => (3, &[(0, 1), (1, 2), (2, 0)]),
+            PaperQuery::Qg2 => (4, &[(0, 1), (1, 2), (2, 3), (3, 0)]),
+            PaperQuery::Qg3 => (4, &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]),
+            PaperQuery::Qg4 => (4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]),
+            PaperQuery::Qg5 => (5, &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 4), (1, 4)]),
+        };
+        QueryGraph::unlabeled(n, edges).expect("catalog queries are connected")
+    }
+}
+
+/// A path query `u_0 - u_1 - ... - u_{n-1}` (unlabeled).
+pub fn path(n: usize) -> QueryGraph {
+    assert!(n >= 1);
+    let edges: Vec<(u32, u32)> = (0..n.saturating_sub(1) as u32).map(|i| (i, i + 1)).collect();
+    QueryGraph::unlabeled(n, &edges).expect("paths are connected")
+}
+
+/// A cycle query of `n ≥ 3` vertices (unlabeled).
+pub fn cycle(n: usize) -> QueryGraph {
+    assert!(n >= 3);
+    let mut edges: Vec<(u32, u32)> = (0..n as u32 - 1).map(|i| (i, i + 1)).collect();
+    edges.push((n as u32 - 1, 0));
+    QueryGraph::unlabeled(n, &edges).expect("cycles are connected")
+}
+
+/// A clique query of `n ≥ 1` vertices (unlabeled).
+pub fn clique(n: usize) -> QueryGraph {
+    assert!(n >= 1);
+    let mut edges = Vec::new();
+    for a in 0..n as u32 {
+        for b in (a + 1)..n as u32 {
+            edges.push((a, b));
+        }
+    }
+    QueryGraph::unlabeled(n, &edges).expect("cliques are connected")
+}
+
+/// A star query: one hub connected to `leaves` leaves (unlabeled).
+pub fn star(leaves: usize) -> QueryGraph {
+    let edges: Vec<(u32, u32)> = (1..=leaves as u32).map(|i| (0, i)).collect();
+    QueryGraph::unlabeled(leaves + 1, &edges).expect("stars are connected")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_query_shapes() {
+        let expect = [(3usize, 3usize), (4, 4), (4, 5), (4, 6), (5, 6)];
+        for (q, (n, m)) in PaperQuery::ALL.iter().zip(expect) {
+            let built = q.build();
+            assert_eq!(built.num_vertices(), n, "{} vertices", q.name());
+            assert_eq!(built.num_edges(), m, "{} edges", q.name());
+        }
+    }
+
+    #[test]
+    fn names_match() {
+        assert_eq!(PaperQuery::Qg1.name(), "QG1");
+        assert_eq!(PaperQuery::Qg5.name(), "QG5");
+    }
+
+    #[test]
+    fn qg3_has_chord() {
+        let q = PaperQuery::Qg3.build();
+        assert!(q.has_edge(ceci_graph::vid(0), ceci_graph::vid(2)));
+        assert!(!q.has_edge(ceci_graph::vid(1), ceci_graph::vid(3)));
+    }
+
+    #[test]
+    fn qg5_house_degrees() {
+        let q = PaperQuery::Qg5.build();
+        let mut degs: Vec<usize> = q.vertices().map(|v| q.degree(v)).collect();
+        degs.sort_unstable();
+        assert_eq!(degs, vec![2, 2, 2, 3, 3]);
+    }
+
+    #[test]
+    fn generators_shapes() {
+        assert_eq!(path(5).num_edges(), 4);
+        assert_eq!(cycle(6).num_edges(), 6);
+        assert_eq!(clique(5).num_edges(), 10);
+        assert_eq!(star(4).num_edges(), 4);
+        assert_eq!(star(4).degree(ceci_graph::vid(0)), 4);
+    }
+
+    #[test]
+    fn single_vertex_structures() {
+        assert_eq!(path(1).num_vertices(), 1);
+        assert_eq!(clique(1).num_vertices(), 1);
+    }
+}

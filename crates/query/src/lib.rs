@@ -1,0 +1,33 @@
+//! # ceci-query
+//!
+//! Query graphs and preprocessing for the CECI subgraph-matching system
+//! (SIGMOD 2019). Implements §2.2 of the paper end to end:
+//!
+//! * [`QueryGraph`] — connected, undirected, labeled query graphs, plus a
+//!   [`catalog`] of the paper's Figure-6 queries (QG1–QG5) and common shapes.
+//! * [`candidates`] — the label / degree / neighborhood-label-count filters
+//!   applied globally to seed candidate sets.
+//! * [`root`] — root selection by `argmin |candidate(u)| / degree(u)`.
+//! * [`tree`] — the BFS query tree with tree / non-tree edge split.
+//! * [`order`] — matching orders: BFS (default), edge-ranked, path-ranked.
+//! * [`nec`] — NEC equivalence groups and complete Grochow–Kellis
+//!   automorphism breaking.
+//! * [`QueryPlan`] — the bundle every matching engine consumes.
+
+#![warn(missing_docs)]
+
+pub mod candidates;
+pub mod catalog;
+pub mod nec;
+pub mod order;
+pub mod plan;
+pub mod query_graph;
+pub mod root;
+pub mod tree;
+
+pub use catalog::PaperQuery;
+pub use nec::OrderConstraint;
+pub use order::OrderStrategy;
+pub use plan::{PlanOptions, QueryPlan};
+pub use query_graph::{QueryGraph, QueryGraphError};
+pub use tree::QueryTree;

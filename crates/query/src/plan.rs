@@ -1,0 +1,398 @@
+//! The query plan: everything preprocessing produces (§2.2), bundled.
+//!
+//! A [`QueryPlan`] fixes the root, the BFS query tree, the matching order,
+//! the orientation of non-tree edges relative to that order, and the
+//! compiled symmetry-breaking bounds. CECI construction and every
+//! enumeration engine consume plans, so all engines agree on the search
+//! shape and results are directly comparable.
+
+use ceci_graph::{Graph, VertexId};
+
+use crate::candidates::{compute_candidates, CandidateSet};
+use crate::nec::{break_symmetry, OrderConstraint};
+use crate::order::{is_valid_order, matching_order, OrderStrategy};
+use crate::query_graph::QueryGraph;
+use crate::root::select_root;
+use crate::tree::QueryTree;
+
+/// Options controlling plan construction.
+#[derive(Clone, Debug)]
+pub struct PlanOptions {
+    /// Matching-order strategy (default BFS, as in the paper's examples).
+    pub order: OrderStrategy,
+    /// Enforce automorphism breaking (§2.2). When off, or when the
+    /// automorphism search exceeds `symmetry_step_cap`, duplicates may be
+    /// listed.
+    pub break_symmetry: bool,
+    /// Step budget for the automorphism search.
+    pub symmetry_step_cap: u64,
+    /// Force a specific root instead of the cost-function choice.
+    pub root_override: Option<VertexId>,
+}
+
+impl Default for PlanOptions {
+    fn default() -> Self {
+        PlanOptions {
+            order: OrderStrategy::Bfs,
+            break_symmetry: true,
+            symmetry_step_cap: 1_000_000,
+            root_override: None,
+        }
+    }
+}
+
+/// The complete preprocessing output for one (query, data graph) pair.
+#[derive(Clone, Debug)]
+pub struct QueryPlan {
+    query: QueryGraph,
+    tree: QueryTree,
+    matching_order: Vec<VertexId>,
+    /// `position[u]` = index of query vertex `u` in the matching order.
+    position: Vec<usize>,
+    /// Per query vertex: non-tree neighbors that appear *earlier* in the
+    /// matching order (the "NTE parents" whose candidates get intersected).
+    backward_nte: Vec<Vec<VertexId>>,
+    /// Per query vertex: non-tree neighbors that appear *later* (the NTE
+    /// children contributing to cardinality during refinement).
+    forward_nte: Vec<Vec<VertexId>>,
+    /// Initial candidate sets (root selection byproduct; CECI seeds pivots
+    /// from the root's set).
+    initial_candidates: Vec<CandidateSet>,
+    /// Raw symmetry constraints.
+    symmetry: Vec<OrderConstraint>,
+    /// Whether the constraint set fully quotients the automorphism group.
+    symmetry_complete: bool,
+    /// Per query vertex `u`: earlier vertices `w` with `map(w) < map(u)`
+    /// required (lower bounds on `u`'s image).
+    lower_bounds: Vec<Vec<VertexId>>,
+    /// Per query vertex `u`: earlier vertices `w` with `map(u) < map(w)`
+    /// required (upper bounds on `u`'s image).
+    upper_bounds: Vec<Vec<VertexId>>,
+}
+
+impl QueryPlan {
+    /// Builds a plan with default options.
+    pub fn new(query: QueryGraph, graph: &Graph) -> Self {
+        QueryPlan::with_options(query, graph, &PlanOptions::default())
+    }
+
+    /// Builds a plan with explicit options.
+    pub fn with_options(query: QueryGraph, graph: &Graph, options: &PlanOptions) -> Self {
+        let initial_candidates = compute_candidates(&query, graph);
+        let root = options
+            .root_override
+            .unwrap_or_else(|| select_root(&query, &initial_candidates).root);
+        let tree = QueryTree::build(&query, root);
+        let counts: Vec<usize> = {
+            // candidate sets are in vertex order already
+            initial_candidates
+                .iter()
+                .map(|s| s.candidates.len())
+                .collect()
+        };
+        let order = matching_order(&query, &tree, options.order, &counts);
+        debug_assert!(is_valid_order(&tree, &order));
+        let (symmetry, symmetry_complete) = if options.break_symmetry {
+            break_symmetry(&query, options.symmetry_step_cap)
+        } else {
+            (Vec::new(), false)
+        };
+        Self::assemble(
+            query,
+            tree,
+            order,
+            initial_candidates,
+            symmetry,
+            symmetry_complete,
+        )
+    }
+
+    /// Builds a plan from preassembled parts (used by tests and by engines
+    /// that must pin the paper's exact running-example configuration).
+    pub fn from_parts(
+        query: QueryGraph,
+        root: VertexId,
+        order: Vec<VertexId>,
+        graph: &Graph,
+        symmetry: Vec<OrderConstraint>,
+        symmetry_complete: bool,
+    ) -> Self {
+        let tree = QueryTree::build(&query, root);
+        assert!(
+            is_valid_order(&tree, &order),
+            "matching order violates tree-parent precedence"
+        );
+        let initial_candidates = compute_candidates(&query, graph);
+        Self::assemble(query, tree, order, initial_candidates, symmetry, symmetry_complete)
+    }
+
+    fn assemble(
+        query: QueryGraph,
+        tree: QueryTree,
+        order: Vec<VertexId>,
+        initial_candidates: Vec<CandidateSet>,
+        symmetry: Vec<OrderConstraint>,
+        symmetry_complete: bool,
+    ) -> Self {
+        let n = query.num_vertices();
+        let mut position = vec![usize::MAX; n];
+        for (i, &u) in order.iter().enumerate() {
+            position[u.index()] = i;
+        }
+        let mut backward_nte = vec![Vec::new(); n];
+        let mut forward_nte = vec![Vec::new(); n];
+        for &(a, b) in tree.non_tree_edges() {
+            let (earlier, later) = if position[a.index()] < position[b.index()] {
+                (a, b)
+            } else {
+                (b, a)
+            };
+            backward_nte[later.index()].push(earlier);
+            forward_nte[earlier.index()].push(later);
+        }
+        for list in backward_nte.iter_mut().chain(forward_nte.iter_mut()) {
+            list.sort_by_key(|u| position[u.index()]);
+        }
+        let mut lower_bounds = vec![Vec::new(); n];
+        let mut upper_bounds = vec![Vec::new(); n];
+        for c in &symmetry {
+            let (s, l) = (c.smaller, c.larger);
+            if position[s.index()] < position[l.index()] {
+                // s assigned first: when assigning l, require map(l) > map(s).
+                lower_bounds[l.index()].push(s);
+            } else {
+                // l assigned first: when assigning s, require map(s) < map(l).
+                upper_bounds[s.index()].push(l);
+            }
+        }
+        QueryPlan {
+            query,
+            tree,
+            matching_order: order,
+            position,
+            backward_nte,
+            forward_nte,
+            initial_candidates,
+            symmetry,
+            symmetry_complete,
+            lower_bounds,
+            upper_bounds,
+        }
+    }
+
+    /// The query graph.
+    #[inline]
+    pub fn query(&self) -> &QueryGraph {
+        &self.query
+    }
+
+    /// The BFS query tree.
+    #[inline]
+    pub fn tree(&self) -> &QueryTree {
+        &self.tree
+    }
+
+    /// The root query node `u_s`.
+    #[inline]
+    pub fn root(&self) -> VertexId {
+        self.tree.root()
+    }
+
+    /// The matching order (root first).
+    #[inline]
+    pub fn matching_order(&self) -> &[VertexId] {
+        &self.matching_order
+    }
+
+    /// Position of `u` in the matching order.
+    #[inline]
+    pub fn position(&self, u: VertexId) -> usize {
+        self.position[u.index()]
+    }
+
+    /// NTE neighbors of `u` earlier in the matching order.
+    #[inline]
+    pub fn backward_nte(&self, u: VertexId) -> &[VertexId] {
+        &self.backward_nte[u.index()]
+    }
+
+    /// NTE neighbors of `u` later in the matching order.
+    #[inline]
+    pub fn forward_nte(&self, u: VertexId) -> &[VertexId] {
+        &self.forward_nte[u.index()]
+    }
+
+    /// Initial (globally filtered) candidate set of `u`.
+    #[inline]
+    pub fn initial_candidates(&self, u: VertexId) -> &[VertexId] {
+        &self.initial_candidates[u.index()].candidates
+    }
+
+    /// Raw symmetry constraints.
+    #[inline]
+    pub fn symmetry_constraints(&self) -> &[OrderConstraint] {
+        &self.symmetry
+    }
+
+    /// Whether the symmetry constraints fully quotient the automorphism
+    /// group (each embedding listed exactly once). `false` means the caller
+    /// may see duplicate embeddings and should deduplicate if needed.
+    #[inline]
+    pub fn symmetry_complete(&self) -> bool {
+        self.symmetry_complete
+    }
+
+    /// Earlier query vertices whose image must be `<` the image of `u`.
+    #[inline]
+    pub fn lower_bounds(&self, u: VertexId) -> &[VertexId] {
+        &self.lower_bounds[u.index()]
+    }
+
+    /// Earlier query vertices whose image must be `>` the image of `u`.
+    #[inline]
+    pub fn upper_bounds(&self, u: VertexId) -> &[VertexId] {
+        &self.upper_bounds[u.index()]
+    }
+
+    /// Checks `candidate` against the symmetry bounds of `u`, given the
+    /// partial embedding `mapping[w] = Some(image)` for assigned vertices.
+    #[inline]
+    pub fn satisfies_symmetry(
+        &self,
+        u: VertexId,
+        candidate: VertexId,
+        mapping: &[Option<VertexId>],
+    ) -> bool {
+        self.lower_bounds[u.index()].iter().all(|w| {
+            mapping[w.index()].map(|img| img < candidate).unwrap_or(true)
+        }) && self.upper_bounds[u.index()].iter().all(|w| {
+            mapping[w.index()].map(|img| candidate < img).unwrap_or(true)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::PaperQuery;
+    use ceci_graph::vid;
+
+    fn triangle_data() -> Graph {
+        // Two triangles sharing vertex 0: 0-1-2-0, 0-3-4-0
+        Graph::unlabeled(
+            5,
+            &[
+                (vid(0), vid(1)),
+                (vid(1), vid(2)),
+                (vid(2), vid(0)),
+                (vid(0), vid(3)),
+                (vid(3), vid(4)),
+                (vid(4), vid(0)),
+            ],
+        )
+    }
+
+    #[test]
+    fn default_plan_for_triangle() {
+        let g = triangle_data();
+        let plan = QueryPlan::new(PaperQuery::Qg1.build(), &g);
+        assert_eq!(plan.matching_order().len(), 3);
+        assert_eq!(plan.position(plan.root()), 0);
+        assert!(plan.symmetry_complete());
+        // Triangle: every non-root vertex has one backward NTE or a parent.
+        let last = plan.matching_order()[2];
+        assert_eq!(plan.backward_nte(last).len(), 1);
+    }
+
+    #[test]
+    fn nte_orientation_follows_matching_order() {
+        let g = triangle_data();
+        let plan = QueryPlan::new(PaperQuery::Qg1.build(), &g);
+        for u in plan.query().vertices() {
+            for &w in plan.backward_nte(u) {
+                assert!(plan.position(w) < plan.position(u));
+            }
+            for &w in plan.forward_nte(u) {
+                assert!(plan.position(w) > plan.position(u));
+            }
+        }
+    }
+
+    #[test]
+    fn symmetry_bounds_split_by_position() {
+        let g = triangle_data();
+        let plan = QueryPlan::new(PaperQuery::Qg1.build(), &g);
+        // All constraints are between earlier/later pairs; in a triangle with
+        // BFS order the chain 0<1<2 compiles to lower bounds only.
+        let total_lower: usize = plan
+            .query()
+            .vertices()
+            .map(|u| plan.lower_bounds(u).len())
+            .sum();
+        assert!(total_lower > 0);
+    }
+
+    #[test]
+    fn satisfies_symmetry_enforces_bounds() {
+        let g = triangle_data();
+        let plan = QueryPlan::new(PaperQuery::Qg1.build(), &g);
+        let order = plan.matching_order().to_vec();
+        let mut mapping = vec![None; 3];
+        mapping[order[0].index()] = Some(vid(3));
+        let u1 = order[1];
+        // Constraint map(order[0]) < map(order[1]) (triangle chain).
+        assert!(plan.satisfies_symmetry(u1, vid(4), &mapping));
+        assert!(!plan.satisfies_symmetry(u1, vid(1), &mapping));
+    }
+
+    #[test]
+    fn root_override_respected() {
+        let g = triangle_data();
+        let opts = PlanOptions {
+            root_override: Some(vid(2)),
+            ..Default::default()
+        };
+        let plan = QueryPlan::with_options(PaperQuery::Qg1.build(), &g, &opts);
+        assert_eq!(plan.root(), vid(2));
+        assert_eq!(plan.matching_order()[0], vid(2));
+    }
+
+    #[test]
+    fn symmetry_disabled() {
+        let g = triangle_data();
+        let opts = PlanOptions {
+            break_symmetry: false,
+            ..Default::default()
+        };
+        let plan = QueryPlan::with_options(PaperQuery::Qg1.build(), &g, &opts);
+        assert!(plan.symmetry_constraints().is_empty());
+        assert!(!plan.symmetry_complete());
+    }
+
+    #[test]
+    #[should_panic(expected = "matching order violates")]
+    fn from_parts_validates_order() {
+        let g = triangle_data();
+        let q = PaperQuery::Qg1.build();
+        // Order doesn't start at root 1.
+        let _ = QueryPlan::from_parts(
+            q,
+            vid(1),
+            vec![vid(0), vid(1), vid(2)],
+            &g,
+            Vec::new(),
+            false,
+        );
+    }
+
+    #[test]
+    fn initial_candidates_exposed() {
+        let g = triangle_data();
+        let plan = QueryPlan::new(PaperQuery::Qg1.build(), &g);
+        for u in plan.query().vertices() {
+            // In an unlabeled graph every vertex of sufficient degree is a
+            // candidate; all 5 data vertices have degree >= 2.
+            assert_eq!(plan.initial_candidates(u).len(), 5);
+        }
+    }
+}

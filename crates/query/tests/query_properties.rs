@@ -1,0 +1,180 @@
+//! Property tests for query preprocessing: plan invariants on random
+//! connected queries against random graphs.
+
+use ceci_graph::{Graph, LabelId, LabelSet, VertexId};
+use ceci_query::nec::{automorphisms, symmetry_constraints};
+use ceci_query::order::is_valid_order;
+use ceci_query::{OrderStrategy, PlanOptions, QueryGraph, QueryPlan};
+use proptest::prelude::*;
+
+/// Random connected query: a random tree plus extra random edges.
+fn arb_query(max_n: usize) -> impl Strategy<Value = QueryGraph> {
+    (2usize..=max_n, any::<u64>(), 1u32..=3).prop_map(|(n, seed, labels)| {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut edges: Vec<(u32, u32)> = (1..n as u32)
+            .map(|i| (rng.gen_range(0..i), i))
+            .collect();
+        for _ in 0..n / 2 {
+            let a = rng.gen_range(0..n as u32);
+            let b = rng.gen_range(0..n as u32);
+            if a != b {
+                edges.push((a.min(b), a.max(b)));
+            }
+        }
+        let label_ids: Vec<LabelId> = (0..n)
+            .map(|_| LabelId(rng.gen_range(0..labels)))
+            .collect();
+        QueryGraph::with_labels(&label_ids, &edges).expect("tree + extras is connected")
+    })
+}
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (5usize..=30, any::<u64>(), 1u32..=3).prop_map(|(n, seed, labels)| {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut edges = Vec::new();
+        for a in 0..n as u32 {
+            for b in (a + 1)..n as u32 {
+                if rng.gen_bool(0.3) {
+                    edges.push((VertexId(a), VertexId(b)));
+                }
+            }
+        }
+        let label_sets: Vec<LabelSet> = (0..n)
+            .map(|_| LabelSet::single(LabelId(rng.gen_range(0..labels))))
+            .collect();
+        Graph::new(label_sets, &edges, false)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn plans_satisfy_structural_invariants(query in arb_query(10), graph in arb_graph()) {
+        for order in [OrderStrategy::Bfs, OrderStrategy::EdgeRank, OrderStrategy::PathRank] {
+            let plan = QueryPlan::with_options(query.clone(), &graph, &PlanOptions {
+                order,
+                ..Default::default()
+            });
+            // Matching order is a valid topological order of the tree.
+            prop_assert!(is_valid_order(plan.tree(), plan.matching_order()));
+            // Positions are consistent.
+            for (i, &u) in plan.matching_order().iter().enumerate() {
+                prop_assert_eq!(plan.position(u), i);
+            }
+            // Tree edges + NTEs account for every query edge.
+            let nte_count: usize = query.vertices().map(|u| plan.backward_nte(u).len()).sum();
+            prop_assert_eq!(
+                plan.tree().tree_edges().len() + nte_count,
+                query.num_edges()
+            );
+            // Forward/backward NTE views agree.
+            let fwd: usize = query.vertices().map(|u| plan.forward_nte(u).len()).sum();
+            prop_assert_eq!(fwd, nte_count);
+            // Every backward NTE is a real query edge appearing earlier.
+            for u in query.vertices() {
+                for &w in plan.backward_nte(u) {
+                    prop_assert!(query.has_edge(u, w));
+                    prop_assert!(plan.position(w) < plan.position(u));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn symmetry_constraints_quotient_fully(query in arb_query(7)) {
+        if let Some(autos) = automorphisms(&query, 200_000) {
+            let constraints = symmetry_constraints(&autos);
+            let satisfying = autos
+                .iter()
+                .filter(|perm| {
+                    constraints
+                        .iter()
+                        .all(|c| perm[c.smaller.index()] < perm[c.larger.index()])
+                })
+                .count();
+            prop_assert_eq!(satisfying, 1);
+        }
+    }
+
+    #[test]
+    fn automorphisms_form_a_group(query in arb_query(6)) {
+        if let Some(autos) = automorphisms(&query, 200_000) {
+            let n = query.num_vertices();
+            let identity: Vec<VertexId> = query.vertices().collect();
+            prop_assert!(autos.contains(&identity));
+            // Closed under composition (spot-check all pairs for small n).
+            for a in &autos {
+                for b in &autos {
+                    let composed: Vec<VertexId> =
+                        (0..n).map(|i| a[b[i].index()]).collect();
+                    prop_assert!(autos.contains(&composed));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn initial_candidates_contain_all_true_matches(query in arb_query(5), graph in arb_graph()) {
+        // Brute force: for every single query vertex u and data vertex v
+        // that participates in at least one embedding mapping u→v, v must be
+        // in u's initial candidate set (the filters are safe).
+        let plan = QueryPlan::new(query.clone(), &graph);
+        let embeddings = brute_force(&graph, &query);
+        for emb in &embeddings {
+            for u in query.vertices() {
+                prop_assert!(
+                    plan.initial_candidates(u).binary_search(&emb[u.index()]).is_ok(),
+                    "candidate filter dropped a true match"
+                );
+            }
+        }
+    }
+}
+
+/// Minimal brute-force enumerator local to this test (no symmetry breaking).
+fn brute_force(graph: &Graph, query: &QueryGraph) -> Vec<Vec<VertexId>> {
+    let n = query.num_vertices();
+    let mut mapping: Vec<Option<VertexId>> = vec![None; n];
+    let mut used = std::collections::HashSet::new();
+    let mut out = Vec::new();
+    fn rec(
+        graph: &Graph,
+        query: &QueryGraph,
+        depth: usize,
+        mapping: &mut Vec<Option<VertexId>>,
+        used: &mut std::collections::HashSet<VertexId>,
+        out: &mut Vec<Vec<VertexId>>,
+    ) {
+        let n = query.num_vertices();
+        if depth == n {
+            out.push(mapping.iter().map(|m| m.unwrap()).collect());
+            return;
+        }
+        let u = VertexId(depth as u32);
+        for v in graph.vertices() {
+            if used.contains(&v) || !query.labels(u).is_subset_of(graph.labels(v)) {
+                continue;
+            }
+            let ok = query.neighbors(u).iter().all(|&w| {
+                mapping[w.index()]
+                    .map(|img| graph.has_edge(v, img))
+                    .unwrap_or(true)
+            });
+            if !ok {
+                continue;
+            }
+            mapping[u.index()] = Some(v);
+            used.insert(v);
+            rec(graph, query, depth + 1, mapping, used, out);
+            mapping[u.index()] = None;
+            used.remove(&v);
+        }
+    }
+    rec(graph, query, 0, &mut mapping, &mut used, &mut out);
+    out
+}

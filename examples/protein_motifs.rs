@@ -1,0 +1,86 @@
+//! Labeled motif search over a synthetic protein-interaction-style network —
+//! the kind of workload the paper's introduction motivates (PPI analysis,
+//! sub-compound search).
+//!
+//! ```sh
+//! cargo run --release -p ceci --example protein_motifs
+//! ```
+
+use ceci::prelude::*;
+use ceci_graph::generators::{erdos_renyi, inject_random_multilabels};
+
+fn main() {
+    // A PPI-like network: 2,000 proteins, ~8 interactions each, every
+    // protein annotated with 1-3 of 12 functional families (multi-label).
+    let backbone = erdos_renyi(2_000, 8_000, 2024);
+    let graph = inject_random_multilabels(&backbone, 12, 1, 3, 7);
+    println!(
+        "network: {} proteins, {} interactions, {} families",
+        graph.num_vertices(),
+        graph.num_edges(),
+        graph.num_labels()
+    );
+
+    // Motif 1: a "bridge" — kinase(0) - scaffold(1) - kinase(0).
+    let bridge =
+        QueryGraph::with_labels(&[lid(0), lid(1), lid(0)], &[(0, 1), (1, 2)]).unwrap();
+    // Motif 2: a signaling triangle across three distinct families.
+    let triangle = QueryGraph::with_labels(
+        &[lid(0), lid(1), lid(2)],
+        &[(0, 1), (1, 2), (2, 0)],
+    )
+    .unwrap();
+    // Motif 3: a feed-forward diamond with a repeated family.
+    let diamond = QueryGraph::with_labels(
+        &[lid(3), lid(4), lid(4), lid(5)],
+        &[(0, 1), (0, 2), (1, 3), (2, 3)],
+    )
+    .unwrap();
+
+    for (name, query) in [
+        ("bridge", bridge),
+        ("triangle", triangle),
+        ("diamond", diamond),
+    ] {
+        let plan = QueryPlan::new(query, &graph);
+        let ceci = Ceci::build(&graph, &plan);
+        let result = enumerate_parallel(
+            &graph,
+            &plan,
+            &ceci,
+            &ParallelOptions {
+                workers: 4,
+                strategy: Strategy::FineDynamic { beta: 0.2 },
+                ..Default::default()
+            },
+        );
+        println!(
+            "motif {name:>8}: {:>8} occurrences | {} clusters | index {} KiB | {} recursive calls",
+            result.total_embeddings,
+            ceci.pivots().len(),
+            ceci.stats().size_bytes / 1024,
+            result.counters.recursive_calls,
+        );
+    }
+
+    // First-k mode: biologists often only need a sample of occurrences.
+    let sample_query =
+        QueryGraph::with_labels(&[lid(0), lid(1)], &[(0, 1)]).unwrap();
+    let plan = QueryPlan::new(sample_query, &graph);
+    let ceci = Ceci::build(&graph, &plan);
+    let sample = enumerate_parallel(
+        &graph,
+        &plan,
+        &ceci,
+        &ParallelOptions {
+            workers: 4,
+            limit: Some(5),
+            collect: true,
+            ..Default::default()
+        },
+    );
+    println!("\nfirst 5 kinase-scaffold pairs:");
+    for emb in sample.embeddings.unwrap() {
+        println!("  protein v{} interacts with scaffold v{}", emb[0], emb[1]);
+    }
+}

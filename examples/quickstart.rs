@@ -1,0 +1,61 @@
+//! Quickstart: build a labeled graph, plan a query, build CECI, list
+//! embeddings.
+//!
+//! ```sh
+//! cargo run --release -p ceci --example quickstart
+//! ```
+
+use ceci::prelude::*;
+
+fn main() {
+    // A small labeled data graph: molecule-ish. Labels: 0 = C, 1 = O, 2 = N.
+    let mut b = GraphBuilder::new();
+    let c1 = b.add_vertex(lid(0));
+    let c2 = b.add_vertex(lid(0));
+    let o1 = b.add_vertex(lid(1));
+    let n1 = b.add_vertex(lid(2));
+    let c3 = b.add_vertex(lid(0));
+    let o2 = b.add_vertex(lid(1));
+    b.add_edge(c1, c2);
+    b.add_edge(c2, o1);
+    b.add_edge(c2, n1);
+    b.add_edge(n1, c3);
+    b.add_edge(c3, o2);
+    b.add_edge(c3, c1);
+    let graph = b.build();
+    println!(
+        "data graph: {} vertices, {} edges, {} labels",
+        graph.num_vertices(),
+        graph.num_edges(),
+        graph.num_labels()
+    );
+
+    // Query: a C-N-C path (a carbon bonded to nitrogen bonded to carbon).
+    let query = QueryGraph::with_labels(&[lid(0), lid(2), lid(0)], &[(0, 1), (1, 2)])
+        .expect("connected query");
+
+    // Preprocess (root selection, BFS tree, matching order, symmetry
+    // breaking) and build the index.
+    let plan = QueryPlan::new(query, &graph);
+    println!(
+        "root query node: u{} | matching order: {:?}",
+        plan.root(),
+        plan.matching_order()
+    );
+    let ceci = Ceci::build(&graph, &plan);
+    println!(
+        "CECI: {} pivots, {} candidate entries, {} bytes (theoretical bound {} bytes)",
+        ceci.pivots().len(),
+        ceci.num_entries(),
+        ceci.stats().size_bytes,
+        ceci.stats().theoretical_bytes
+    );
+
+    // Enumerate.
+    let embeddings = ceci::core::collect_embeddings(&graph, &plan, &ceci);
+    println!("{} embedding(s):", embeddings.len());
+    for emb in &embeddings {
+        let pretty: Vec<String> = emb.iter().map(|v| format!("v{v}")).collect();
+        println!("  [{}]", pretty.join(", "));
+    }
+}

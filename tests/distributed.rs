@@ -1,0 +1,146 @@
+//! Distributed-simulation integration tests: machine-count and
+//! storage-mode sweeps must never change the answer, and the virtual-time
+//! accounting must follow the §5 design.
+
+use ceci::distributed::{run_distributed, ClusterConfig, CostModel, StorageMode};
+use ceci::prelude::*;
+use ceci_graph::generators::{attach_pendants, kronecker_default};
+
+fn data() -> Graph {
+    let core = kronecker_default(9, 6, 42);
+    attach_pendants(&core, 400, 43)
+}
+
+fn expected(graph: &Graph, plan: &QueryPlan) -> u64 {
+    let ceci = Ceci::build(graph, plan);
+    ceci::core::count_embeddings(graph, plan, &ceci)
+}
+
+#[test]
+fn counts_invariant_over_cluster_shape() {
+    let graph = data();
+    for q in [PaperQuery::Qg1, PaperQuery::Qg3] {
+        let plan = QueryPlan::new(q.build(), &graph);
+        let want = expected(&graph, &plan);
+        assert!(want > 0);
+        for machines in [1usize, 2, 4, 8] {
+            for threads in [1usize, 2] {
+                for storage in [StorageMode::Replicated, StorageMode::Shared] {
+                    let result = run_distributed(
+                        &graph,
+                        &plan,
+                        &ClusterConfig {
+                            machines,
+                            threads_per_machine: threads,
+                            storage,
+                            ..Default::default()
+                        },
+                    );
+                    assert_eq!(
+                        result.total_embeddings, want,
+                        "{} machines={machines} threads={threads} {storage:?}",
+                        q.name()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn work_stealing_rebalances_imbalanced_assignments() {
+    // Jaccard colocation + skew can leave one machine with most clusters;
+    // with stealing enabled, other machines must pick up work.
+    let graph = data();
+    let plan = QueryPlan::new(PaperQuery::Qg1.build(), &graph);
+    let result = run_distributed(
+        &graph,
+        &plan,
+        &ClusterConfig {
+            machines: 4,
+            threads_per_machine: 1,
+            work_stealing: true,
+            ..Default::default()
+        },
+    );
+    let processed: Vec<usize> = result.reports.iter().map(|r| r.processed_clusters).collect();
+    // Every machine did something (the assignment spreads pivots, stealing
+    // fills any gap).
+    assert!(processed.iter().all(|&p| p > 0), "processed = {processed:?}");
+}
+
+#[test]
+fn io_charges_scale_with_cost_model() {
+    let graph = data();
+    let plan = QueryPlan::new(PaperQuery::Qg1.build(), &graph);
+    let cheap = run_distributed(
+        &graph,
+        &plan,
+        &ClusterConfig {
+            machines: 2,
+            storage: StorageMode::Shared,
+            costs: CostModel {
+                per_entry_io: std::time::Duration::from_nanos(10),
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    );
+    let pricey = run_distributed(
+        &graph,
+        &plan,
+        &ClusterConfig {
+            machines: 2,
+            storage: StorageMode::Shared,
+            costs: CostModel {
+                per_entry_io: std::time::Duration::from_nanos(1000),
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    );
+    let (io_cheap, _, _) = cheap.build_breakdown();
+    let (io_pricey, _, _) = pricey.build_breakdown();
+    assert!(io_pricey > io_cheap * 10);
+}
+
+#[test]
+fn makespan_includes_virtual_time() {
+    let graph = data();
+    let plan = QueryPlan::new(PaperQuery::Qg1.build(), &graph);
+    let result = run_distributed(
+        &graph,
+        &plan,
+        &ClusterConfig {
+            machines: 2,
+            storage: StorageMode::Shared,
+            ..Default::default()
+        },
+    );
+    for report in &result.reports {
+        let modeled = report.modeled_time(4);
+        assert!(modeled >= report.io_virtual);
+        assert!(modeled >= report.comm_virtual);
+    }
+    assert!(result.makespan > std::time::Duration::ZERO);
+}
+
+#[test]
+fn partition_respects_machine_count() {
+    use ceci::distributed::distribute_pivots;
+    let graph = data();
+    let pivots: Vec<VertexId> = graph.vertices().collect();
+    for machines in [1usize, 3, 7] {
+        let p = distribute_pivots(
+            &graph,
+            &pivots,
+            &ClusterConfig {
+                machines,
+                ..Default::default()
+            },
+        );
+        assert_eq!(p.assignment.len(), machines);
+        let total: usize = p.assignment.iter().map(|a| a.len()).sum();
+        assert_eq!(total, pivots.len());
+    }
+}

@@ -1,0 +1,149 @@
+//! End-to-end check of the paper's Figure 1/3 running example through the
+//! public facade: every number the paper states must come out of the
+//! pipeline.
+
+use ceci::core::fixtures::paper;
+use ceci::prelude::*;
+
+#[test]
+fn full_pipeline_reproduces_figure1() {
+    let (graph, plan) = paper::figure1();
+    let ceci = Ceci::build(&graph, &plan);
+
+    // Pivots and cluster cardinality (§3.3: root cardinality bounds the
+    // cluster's embeddings).
+    assert_eq!(ceci.pivots().len(), 1);
+    assert_eq!(ceci.pivots()[0].0, paper::v(1));
+    assert_eq!(ceci.pivots()[0].1, 4);
+
+    // The two embeddings of Figure 1.
+    let found = ceci::core::collect_embeddings(&graph, &plan, &ceci);
+    assert_eq!(found.len(), 2);
+    assert!(found.contains(&vec![
+        paper::v(1),
+        paper::v(3),
+        paper::v(4),
+        paper::v(11),
+        paper::v(12)
+    ]));
+    assert!(found.contains(&vec![
+        paper::v(1),
+        paper::v(5),
+        paper::v(6),
+        paper::v(13),
+        paper::v(14)
+    ]));
+}
+
+#[test]
+fn search_cardinality_reduction_from_intro() {
+    // §1: with embedding clusters the search is restricted to candidates
+    // connected to the pivot. Matching nodes for u2 under pivot v1 must be
+    // {v3, v5} after refinement (v7 pruned), not all four B-labeled
+    // vertices.
+    let (graph, plan) = paper::figure1();
+    let ceci = Ceci::build(&graph, &plan);
+    assert_eq!(
+        ceci.candidates(paper::u(2)),
+        &[paper::v(3), paper::v(5)],
+        "refined candidate set of u2"
+    );
+    // The global (pre-CECI) candidates of u2 are the four B vertices.
+    assert_eq!(plan.initial_candidates(paper::u(2)).len(), 4);
+    let _ = graph;
+}
+
+#[test]
+fn parallel_and_sequential_agree_on_the_example() {
+    let (graph, plan) = paper::figure1();
+    let ceci = Ceci::build(&graph, &plan);
+    for strategy in [
+        Strategy::Static,
+        Strategy::CoarseDynamic,
+        Strategy::FineDynamic { beta: 0.2 },
+    ] {
+        for workers in [1, 2, 4] {
+            let result = enumerate_parallel(
+                &graph,
+                &plan,
+                &ceci,
+                &ParallelOptions {
+                    workers,
+                    strategy,
+                    collect: true,
+                    ..Default::default()
+                },
+            );
+            assert_eq!(result.total_embeddings, 2);
+            assert_eq!(result.embeddings.unwrap().len(), 2);
+        }
+    }
+}
+
+#[test]
+fn every_baseline_finds_the_figure1_embeddings() {
+    use ceci::baselines::*;
+    let (graph, plan) = paper::figure1();
+    let expected = enumerate_all(&graph, plan.query(), plan.symmetry_constraints());
+    assert_eq!(expected.len(), 2);
+
+    let bare = enumerate_bare(
+        &graph,
+        &plan,
+        &BareOptions {
+            collect: true,
+            ..Default::default()
+        },
+    );
+    assert_eq!(bare.embeddings.unwrap(), expected);
+
+    let psgl = enumerate_psgl(
+        &graph,
+        &plan,
+        &PsglOptions {
+            collect: true,
+            ..Default::default()
+        },
+    );
+    assert_eq!(psgl.embeddings.unwrap(), expected);
+
+    let turbo = enumerate_turboiso(
+        &graph,
+        &plan,
+        &TurboOptions {
+            collect: true,
+            ..Default::default()
+        },
+    );
+    assert_eq!(turbo.embeddings.unwrap(), expected);
+
+    let cfl = enumerate_cfl(
+        &graph,
+        &plan,
+        &CflOptions {
+            collect: true,
+            ..Default::default()
+        },
+    );
+    assert_eq!(cfl.embeddings.unwrap(), expected);
+
+    let dual = enumerate_dualsim(&graph, &plan, &DualSimOptions::default());
+    assert_eq!(dual.total_embeddings, 2);
+}
+
+#[test]
+fn distributed_simulation_on_the_example() {
+    let (graph, plan) = paper::figure1();
+    for machines in [1, 2, 3] {
+        let result = ceci::distributed::run_distributed(
+            &graph,
+            &plan,
+            &ClusterConfig {
+                machines,
+                threads_per_machine: 2,
+                ..Default::default()
+            },
+        );
+        assert_eq!(result.total_embeddings, 2, "machines = {machines}");
+    }
+}

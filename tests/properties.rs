@@ -1,0 +1,192 @@
+//! Property-based tests (proptest) on the core invariants:
+//!
+//! * CECI completeness: everything the brute-force reference finds, CECI
+//!   finds — and nothing else (Lemma 1).
+//! * Parallel enumeration equals sequential enumeration for every strategy.
+//! * Refinement only removes candidates; it never changes the result set.
+//! * Cardinality upper-bounds the true embedding count per cluster (§4.3).
+//! * Symmetry breaking yields exactly one representative per automorphism
+//!   class.
+//! * Index size accounting is internally consistent.
+
+use ceci::baselines::enumerate_all;
+use ceci::prelude::*;
+use ceci_core::Strategy as DistStrategy;
+use proptest::prelude::*;
+use proptest::strategy::Strategy as PropStrategy;
+
+/// Random undirected graph: `n` in 4..=24, edge probability `p`, labels in
+/// 1..=3 alphabets.
+fn arb_graph() -> impl PropStrategy<Value = Graph> {
+    (4usize..=24, 0.05f64..0.5, 1u32..=3, any::<u64>()).prop_map(|(n, p, labels, seed)| {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut edges = Vec::new();
+        for a in 0..n as u32 {
+            for b in (a + 1)..n as u32 {
+                if rng.gen_bool(p) {
+                    edges.push((vid(a), vid(b)));
+                }
+            }
+        }
+        let label_sets: Vec<LabelSet> = (0..n)
+            .map(|_| LabelSet::single(lid(rng.gen_range(0..labels))))
+            .collect();
+        Graph::new(label_sets, &edges, false)
+    })
+}
+
+/// One of a fixed set of query shapes, with labels drawn to match the data
+/// alphabet (label 0 always exists).
+fn arb_query() -> impl PropStrategy<Value = QueryGraph> {
+    prop_oneof![
+        Just(PaperQuery::Qg1.build()),
+        Just(PaperQuery::Qg2.build()),
+        Just(PaperQuery::Qg3.build()),
+        Just(PaperQuery::Qg4.build()),
+        Just(PaperQuery::Qg5.build()),
+        Just(ceci_query::catalog::path(4)),
+        Just(ceci_query::catalog::star(3)),
+        Just(ceci_query::catalog::cycle(5)),
+        Just(QueryGraph::with_labels(&[lid(0), lid(1)], &[(0, 1)]).unwrap()),
+        Just(
+            QueryGraph::with_labels(&[lid(0), lid(1), lid(0)], &[(0, 1), (1, 2), (0, 2)])
+                .unwrap()
+        ),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn ceci_is_complete_and_sound(graph in arb_graph(), query in arb_query()) {
+        let plan = QueryPlan::new(query, &graph);
+        let expected = enumerate_all(&graph, plan.query(), plan.symmetry_constraints());
+        let ceci = Ceci::build(&graph, &plan);
+        let got = ceci::core::collect_embeddings(&graph, &plan, &ceci);
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn parallel_equals_sequential(graph in arb_graph(), query in arb_query(), workers in 1usize..=4) {
+        let plan = QueryPlan::new(query, &graph);
+        let ceci = Ceci::build(&graph, &plan);
+        let seq = ceci::core::collect_embeddings(&graph, &plan, &ceci);
+        for strategy in [
+            DistStrategy::Static,
+            DistStrategy::CoarseDynamic,
+            DistStrategy::FineDynamic { beta: 0.2 },
+        ] {
+            let par = enumerate_parallel(&graph, &plan, &ceci, &ParallelOptions {
+                workers,
+                strategy,
+                collect: true,
+                ..Default::default()
+            });
+            prop_assert_eq!(par.embeddings.unwrap(), seq.clone());
+        }
+    }
+
+    #[test]
+    fn refinement_changes_size_not_results(graph in arb_graph(), query in arb_query()) {
+        let plan = QueryPlan::new(query, &graph);
+        let refined = Ceci::build_with(&graph, &plan, BuildOptions { build_nte: true, refine: true });
+        let unrefined = Ceci::build_with(&graph, &plan, BuildOptions { build_nte: true, refine: false });
+        // Refinement never grows the index.
+        prop_assert!(refined.num_entries() <= unrefined.num_entries());
+        // And results match.
+        prop_assert_eq!(
+            ceci::core::collect_embeddings(&graph, &plan, &refined),
+            ceci::core::collect_embeddings(&graph, &plan, &unrefined)
+        );
+    }
+
+    #[test]
+    fn cardinality_bounds_cluster_embeddings(graph in arb_graph(), query in arb_query()) {
+        let plan = QueryPlan::new(query, &graph);
+        let ceci = Ceci::build(&graph, &plan);
+        let root = plan.root();
+        // Count embeddings per pivot and compare with cardinality.
+        let all = ceci::core::collect_embeddings(&graph, &plan, &ceci);
+        for &(pivot, card) in ceci.pivots() {
+            let cluster_count = all
+                .iter()
+                .filter(|emb| emb[root.index()] == pivot)
+                .count() as u64;
+            prop_assert!(
+                cluster_count <= card,
+                "cluster {:?}: {} embeddings > cardinality {}",
+                pivot, cluster_count, card
+            );
+        }
+        // Total bound.
+        prop_assert!(all.len() as u64 <= ceci.total_cardinality());
+    }
+
+    #[test]
+    fn symmetry_breaking_lists_each_class_once(graph in arb_graph()) {
+        // Use an unlabeled triangle so automorphisms are plentiful. Compare
+        // |unbroken| == |broken| × |Aut|.
+        let query = PaperQuery::Qg1.build();
+        let autos = ceci_query::nec::automorphisms(&query, 1_000_000).unwrap().len() as u64;
+        let plan_broken = QueryPlan::new(query.clone(), &graph);
+        let plan_unbroken = QueryPlan::with_options(query, &graph, &PlanOptions {
+            break_symmetry: false,
+            ..Default::default()
+        });
+        let ceci_b = Ceci::build(&graph, &plan_broken);
+        let ceci_u = Ceci::build(&graph, &plan_unbroken);
+        let broken = ceci::core::count_embeddings(&graph, &plan_broken, &ceci_b);
+        let unbroken = ceci::core::count_embeddings(&graph, &plan_unbroken, &ceci_u);
+        prop_assert_eq!(unbroken, broken * autos);
+    }
+
+    #[test]
+    fn size_accounting_consistent(graph in arb_graph(), query in arb_query()) {
+        let plan = QueryPlan::new(query, &graph);
+        let ceci = Ceci::build(&graph, &plan);
+        let s = ceci.stats();
+        prop_assert_eq!(s.size_bytes, ceci.size_bytes());
+        prop_assert_eq!(
+            ceci.num_entries(),
+            s.te_entries_after_refine + s.nte_entries_after_refine
+        );
+        prop_assert!(s.te_entries_after_refine <= s.te_entries_after_filter);
+        prop_assert!(s.nte_entries_after_refine <= s.nte_entries_after_filter);
+        prop_assert!(s.pivots_final <= s.pivots_initial);
+    }
+
+    #[test]
+    fn work_units_partition_the_embeddings(graph in arb_graph(), query in arb_query(), beta in 0.05f64..2.0) {
+        let plan = QueryPlan::new(query, &graph);
+        let ceci = Ceci::build(&graph, &plan);
+        let units = ceci::core::decompose(&graph, &plan, &ceci, 4, beta);
+        let mut enumerator = Enumerator::new(&graph, &plan, &ceci, EnumOptions::default());
+        let mut counters = Counters::default();
+        let mut sink = CollectSink::unbounded();
+        for unit in &units {
+            enumerator.enumerate_prefix(&unit.prefix, &mut sink, &mut counters);
+        }
+        let got = ceci::core::canonicalize(sink.into_embeddings());
+        let expected = ceci::core::collect_embeddings(&graph, &plan, &ceci);
+        // Partition: same set, no duplicates.
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn matching_orders_do_not_change_results(graph in arb_graph(), query in arb_query()) {
+        let mut results = Vec::new();
+        for order in [OrderStrategy::Bfs, OrderStrategy::EdgeRank, OrderStrategy::PathRank] {
+            let plan = QueryPlan::with_options(query.clone(), &graph, &PlanOptions {
+                order,
+                ..Default::default()
+            });
+            let ceci = Ceci::build(&graph, &plan);
+            results.push(ceci::core::collect_embeddings(&graph, &plan, &ceci));
+        }
+        prop_assert_eq!(&results[0], &results[1]);
+        prop_assert_eq!(&results[0], &results[2]);
+    }
+}
