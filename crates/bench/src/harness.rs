@@ -7,7 +7,8 @@ use ceci_core::{
 };
 use ceci_graph::Graph;
 use ceci_query::{PlanOptions, QueryGraph, QueryPlan};
-use serde::Serialize;
+
+use crate::json::JsonValue;
 
 /// Times a closure.
 pub fn time<T>(f: impl FnOnce() -> T) -> (T, Duration) {
@@ -26,7 +27,7 @@ pub fn geometric_mean(values: &[f64]) -> f64 {
 }
 
 /// One engine execution record, serialized into `bench_results/`.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct RunRecord {
     /// Engine name (`ceci`, `psgl-lite`, ...).
     pub engine: String,
@@ -70,6 +71,20 @@ impl RunRecord {
             edge_verifications: counters.edge_verifications,
         }
     }
+
+    /// Renders the record as a JSON object.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::object()
+            .field("engine", self.engine.as_str())
+            .field("dataset", self.dataset.as_str())
+            .field("query", self.query.as_str())
+            .field("workers", self.workers)
+            .field("seconds", self.seconds)
+            .field("embeddings", self.embeddings)
+            .field("recursive_calls", self.recursive_calls)
+            .field("intersection_ops", self.intersection_ops)
+            .field("edge_verifications", self.edge_verifications)
+    }
 }
 
 /// Writes records as JSON to `bench_results/<name>.json` (best effort;
@@ -81,13 +96,9 @@ pub fn persist_records(name: &str, records: &[RunRecord]) {
         return;
     }
     let path = dir.join(format!("{name}.json"));
-    match serde_json::to_vec_pretty(records) {
-        Ok(bytes) => {
-            if let Err(e) = std::fs::write(&path, bytes) {
-                eprintln!("warning: cannot write {}: {e}", path.display());
-            }
-        }
-        Err(e) => eprintln!("warning: cannot serialize records: {e}"),
+    let json = JsonValue::Array(records.iter().map(RunRecord::to_json).collect()).to_pretty();
+    if let Err(e) = std::fs::write(&path, json) {
+        eprintln!("warning: cannot write {}: {e}", path.display());
     }
 }
 
@@ -193,7 +204,7 @@ mod tests {
             Duration::from_millis(12),
             &Counters::default(),
         );
-        let json = serde_json::to_string(&r).unwrap();
+        let json = r.to_json().to_compact();
         assert!(json.contains("\"engine\":\"ceci\""));
         assert!(json.contains("\"dataset\":\"WT\""));
     }

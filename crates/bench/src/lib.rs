@@ -13,6 +13,7 @@
 pub mod datasets;
 pub mod experiments;
 pub mod harness;
+pub mod json;
 pub mod table;
 
 pub use datasets::{Dataset, Scale};

@@ -1,0 +1,47 @@
+//! Offline stand-in for the `libc` crate.
+//!
+//! The workspace has no network access to crates.io, so the handful of libc
+//! items actually used (per-thread CPU clock reads in `ceci-core::metrics`)
+//! are declared here directly against the system C library.
+
+#![allow(non_camel_case_types)]
+
+/// C `time_t` on 64-bit Linux.
+pub type time_t = i64;
+/// C `long` on 64-bit Linux.
+pub type c_long = i64;
+/// C `int`.
+pub type c_int = i32;
+/// C `clockid_t` on Linux.
+pub type clockid_t = c_int;
+
+/// C `struct timespec`.
+#[repr(C)]
+#[derive(Clone, Copy, Debug, Default)]
+pub struct timespec {
+    /// Whole seconds.
+    pub tv_sec: time_t,
+    /// Nanoseconds in `[0, 999_999_999]`.
+    pub tv_nsec: c_long,
+}
+
+/// Thread-specific CPU-time clock (Linux value).
+pub const CLOCK_THREAD_CPUTIME_ID: clockid_t = 3;
+
+extern "C" {
+    /// POSIX `clock_gettime(2)`.
+    pub fn clock_gettime(clk_id: clockid_t, tp: *mut timespec) -> c_int;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thread_clock_readable() {
+        let mut ts = timespec::default();
+        let rc = unsafe { clock_gettime(CLOCK_THREAD_CPUTIME_ID, &mut ts) };
+        assert_eq!(rc, 0);
+        assert!(ts.tv_nsec >= 0 && ts.tv_nsec < 1_000_000_000);
+    }
+}
