@@ -79,7 +79,9 @@ impl<'a> BareWorker<'a> {
         let root = self.plan.root();
         let query = self.plan.query();
         // On-the-fly label + degree check at the root.
-        if !query.labels(root).is_subset_of(self.graph.labels(root_image))
+        if !query
+            .labels(root)
+            .is_subset_of(self.graph.labels(root_image))
             || self.graph.degree(root_image) < query.degree(root)
         {
             return true;
@@ -113,9 +115,7 @@ impl<'a> BareWorker<'a> {
                 counters.injectivity_rejections += 1;
                 continue;
             }
-            if !query.labels(u).is_subset_of(graph.labels(v))
-                || graph.degree(v) < query.degree(u)
-            {
+            if !query.labels(u).is_subset_of(graph.labels(v)) || graph.degree(v) < query.degree(u) {
                 continue;
             }
             // Verify all backward non-tree edges directly.
@@ -192,7 +192,9 @@ pub fn enumerate_bare(graph: &Graph, plan: &QueryPlan, options: &BareOptions) ->
                 let mut worker = BareWorker::new(graph, plan);
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(&root_image) = roots.get(i) else { break };
+                    let Some(&root_image) = roots.get(i) else {
+                        break;
+                    };
                     if budget.stopped() {
                         break;
                     }
@@ -296,8 +298,7 @@ mod tests {
     fn matches_reference_on_triangles() {
         let graph = sample_graph();
         let plan = QueryPlan::new(PaperQuery::Qg1.build(), &graph);
-        let expected =
-            reference::enumerate_all(&graph, plan.query(), plan.symmetry_constraints());
+        let expected = reference::enumerate_all(&graph, plan.query(), plan.symmetry_constraints());
         let result = enumerate_bare(
             &graph,
             &plan,

@@ -114,10 +114,10 @@ impl VertexEquivalence {
             }
         }
         // Singleton classes for the rest.
-        for v in 0..n {
-            if class_of[v].is_none() {
+        for (v, class) in class_of.iter_mut().enumerate() {
+            if class.is_none() {
                 let id = members.len() as u32;
-                class_of[v] = Some(id);
+                *class = Some(id);
                 members.push(vec![VertexId::from_index(v)]);
                 kind.push(TwinKind::Independent);
             }
@@ -156,8 +156,18 @@ fn equivalent(graph: &Graph, v: VertexId, w: VertexId, closed: bool) -> bool {
         if !graph.has_edge(v, w) {
             return false;
         }
-        let nv: Vec<VertexId> = graph.neighbors(v).iter().copied().filter(|&x| x != w).collect();
-        let nw: Vec<VertexId> = graph.neighbors(w).iter().copied().filter(|&x| x != v).collect();
+        let nv: Vec<VertexId> = graph
+            .neighbors(v)
+            .iter()
+            .copied()
+            .filter(|&x| x != w)
+            .collect();
+        let nw: Vec<VertexId> = graph
+            .neighbors(w)
+            .iter()
+            .copied()
+            .filter(|&x| x != v)
+            .collect();
         nv == nw
     } else {
         graph.neighbors(v) == graph.neighbors(w)
@@ -353,8 +363,7 @@ impl Search<'_> {
             candidates.push(parent_rep);
         }
         let mut keep_all = true;
-        'cand: for i in 0..candidates.len() {
-            let rep = candidates[i];
+        'cand: for &rep in &candidates {
             let class = self.eq.class_of[rep.index()];
             let used = self.class_count.get(&class).copied().unwrap_or(0) as usize;
             // Multiplicity: can this class host one more query vertex?
@@ -425,11 +434,7 @@ impl Search<'_> {
                 self.collected
                     .push(assignment.iter().map(|a| a.unwrap()).collect());
             }
-            return self
-                .options
-                .limit
-                .map(|l| self.emitted < l)
-                .unwrap_or(true);
+            return self.options.limit.map(|l| self.emitted < l).unwrap_or(true);
         }
         let u = order[idx];
         let class = self.mapping_class[u.index()].expect("complete compressed embedding");
@@ -557,8 +562,7 @@ mod tests {
         }
         let graph = ceci_graph::Graph::unlabeled(6, &edges);
         let plan = QueryPlan::new(ceci_query::catalog::star(3), &graph);
-        let expected =
-            reference::enumerate_all(&graph, plan.query(), plan.symmetry_constraints());
+        let expected = reference::enumerate_all(&graph, plan.query(), plan.symmetry_constraints());
         assert_eq!(expected.len(), 10);
         let result = enumerate_boosted(&graph, &plan, &BoostOptions::default());
         assert_eq!(result.total_embeddings, 10);

@@ -124,6 +124,7 @@ pub fn enumerate_cfl(graph: &Graph, plan: &QueryPlan, options: &CflOptions) -> C
     let build_time = t0.elapsed();
     let enum_opts = EnumOptions {
         verify: VerifyMode::EdgeVerification,
+        ..Default::default()
     };
     let t1 = Instant::now();
     let (counters, total, embeddings) = if options.collect {

@@ -191,7 +191,15 @@ pub fn enumerate_dualsim(
         }
         mapping[root.index()] = Some(s);
         used.insert(s);
-        search(graph, plan, &mut pager, 1, &mut mapping, &mut used, &mut counters);
+        search(
+            graph,
+            plan,
+            &mut pager,
+            1,
+            &mut mapping,
+            &mut used,
+            &mut counters,
+        );
         mapping[root.index()] = None;
         used.remove(&s);
     }
@@ -229,8 +237,7 @@ fn search(
             counters.injectivity_rejections += 1;
             continue;
         }
-        if !query.labels(u).is_subset_of(graph.labels(v)) || graph.degree(v) < query.degree(u)
-        {
+        if !query.labels(u).is_subset_of(graph.labels(v)) || graph.degree(v) < query.degree(u) {
             continue;
         }
         for un in plan.backward_nte(u) {
@@ -284,8 +291,7 @@ mod tests {
         let graph = sample_graph();
         for pq in PaperQuery::ALL {
             let plan = QueryPlan::new(pq.build(), &graph);
-            let expected =
-                reference::count_all(&graph, plan.query(), plan.symmetry_constraints());
+            let expected = reference::count_all(&graph, plan.query(), plan.symmetry_constraints());
             let result = enumerate_dualsim(&graph, &plan, &DualSimOptions::default());
             assert_eq!(result.total_embeddings, expected, "{}", pq.name());
         }

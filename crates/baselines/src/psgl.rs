@@ -193,9 +193,7 @@ fn expand_partial(
             counters.injectivity_rejections += 1;
             continue;
         }
-        if !query.labels(u).is_subset_of(graph.labels(v))
-            || graph.degree(v) < query.degree(u)
-        {
+        if !query.labels(u).is_subset_of(graph.labels(v)) || graph.degree(v) < query.degree(u) {
             continue;
         }
         for un in plan.backward_nte(u) {

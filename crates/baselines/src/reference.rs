@@ -23,7 +23,15 @@ pub fn enumerate_all(
     let mut mapping: Vec<Option<VertexId>> = vec![None; n];
     let mut used = std::collections::HashSet::new();
     let mut out = Vec::new();
-    rec(graph, query, constraints, 0, &mut mapping, &mut used, &mut out);
+    rec(
+        graph,
+        query,
+        constraints,
+        0,
+        &mut mapping,
+        &mut used,
+        &mut out,
+    );
     out.sort();
     out
 }
@@ -75,7 +83,9 @@ fn rec(
             if c.smaller == u {
                 mapping[c.larger.index()].map(|img| v < img).unwrap_or(true)
             } else if c.larger == u {
-                mapping[c.smaller.index()].map(|img| img < v).unwrap_or(true)
+                mapping[c.smaller.index()]
+                    .map(|img| img < v)
+                    .unwrap_or(true)
             } else {
                 true
             }
@@ -123,7 +133,12 @@ mod tests {
         // 4-cycle data graph contains exactly one square.
         let graph = Graph::unlabeled(
             4,
-            &[(vid(0), vid(1)), (vid(1), vid(2)), (vid(2), vid(3)), (vid(3), vid(0))],
+            &[
+                (vid(0), vid(1)),
+                (vid(1), vid(2)),
+                (vid(2), vid(3)),
+                (vid(3), vid(0)),
+            ],
         );
         let q = PaperQuery::Qg2.build();
         let (constraints, _) = break_symmetry(&q, 1_000_000);

@@ -57,11 +57,7 @@ struct Region {
 }
 
 /// Runs the TurboIso-style matcher (sequential, as the original).
-pub fn enumerate_turboiso(
-    graph: &Graph,
-    plan: &QueryPlan,
-    options: &TurboOptions,
-) -> TurboResult {
+pub fn enumerate_turboiso(graph: &Graph, plan: &QueryPlan, options: &TurboOptions) -> TurboResult {
     let start = Instant::now();
     let mut counters = Counters::default();
     let mut collect = CollectSink::unbounded();
@@ -208,7 +204,16 @@ fn region_search(
             }
         } else {
             keep = region_search(
-                graph, plan, region, depth + 1, mapping, used, total, options, collect, counters,
+                graph,
+                plan,
+                region,
+                depth + 1,
+                mapping,
+                used,
+                total,
+                options,
+                collect,
+                counters,
             );
         }
         mapping[u.index()] = None;
@@ -247,7 +252,12 @@ mod tests {
     #[test]
     fn matches_reference() {
         let graph = sample_graph();
-        for pq in [PaperQuery::Qg1, PaperQuery::Qg2, PaperQuery::Qg3, PaperQuery::Qg5] {
+        for pq in [
+            PaperQuery::Qg1,
+            PaperQuery::Qg2,
+            PaperQuery::Qg3,
+            PaperQuery::Qg5,
+        ] {
             let plan = QueryPlan::new(pq.build(), &graph);
             let expected =
                 reference::enumerate_all(&graph, plan.query(), plan.symmetry_constraints());

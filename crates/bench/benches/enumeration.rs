@@ -15,9 +15,13 @@ fn bench_sequential(c: &mut Criterion) {
     for query in [PaperQuery::Qg1, PaperQuery::Qg3, PaperQuery::Qg5] {
         let plan = QueryPlan::new(query.build(), &graph);
         let ceci = Ceci::build(&graph, &plan);
-        group.bench_with_input(BenchmarkId::from_parameter(query.name()), &ceci, |b, ceci| {
-            b.iter(|| std::hint::black_box(count_embeddings(&graph, &plan, ceci)));
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(query.name()),
+            &ceci,
+            |b, ceci| {
+                b.iter(|| std::hint::black_box(count_embeddings(&graph, &plan, ceci)));
+            },
+        );
     }
     group.finish();
 }
@@ -47,6 +51,7 @@ fn bench_strategies(c: &mut Criterion) {
                         workers,
                         strategy,
                         verify: VerifyMode::Intersection,
+                        kernel: Default::default(),
                         limit: None,
                         collect: false,
                     },

@@ -7,9 +7,7 @@
 
 use std::time::{Duration, Instant};
 
-use ceci_core::{
-    enumerate_sequential, BuildOptions, Ceci, CountSink, EnumOptions, VerifyMode,
-};
+use ceci_core::{enumerate_sequential, BuildOptions, Ceci, CountSink, EnumOptions, VerifyMode};
 use ceci_graph::extract_query;
 use ceci_query::{OrderStrategy, PaperQuery, PlanOptions, QueryGraph, QueryPlan};
 
@@ -36,8 +34,7 @@ pub fn run_order(scale: Scale) {
         let mut times = [Duration::ZERO; 3];
         let mut queries = 0;
         for seed in 0..4u64 {
-            let Some(extracted) = extract_query(&graph, size, seed * 31 + size as u64, 10)
-            else {
+            let Some(extracted) = extract_query(&graph, size, seed * 31 + size as u64, 10) else {
                 continue;
             };
             let Ok(q) = QueryGraph::from_graph(&extracted.pattern) else {
@@ -83,9 +80,7 @@ pub fn run_order(scale: Scale) {
         ]);
     }
     t.print();
-    println!(
-        "\n(paper: ranked orders give up to 34.5% over naive BFS, growing with query size)"
-    );
+    println!("\n(paper: ranked orders give up to 34.5% over naive BFS, growing with query size)");
 }
 
 /// Runs the intersection-vs-edge-verification ablation (§4.1) on QG1–QG5.
@@ -115,8 +110,16 @@ pub fn run_intersection(scale: Scale) {
             let timing = |verify: VerifyMode| {
                 let start = Instant::now();
                 let mut sink = CountSink::unbounded();
-                let counters =
-                    enumerate_sequential(&graph, &plan, &ceci, EnumOptions { verify }, &mut sink);
+                let counters = enumerate_sequential(
+                    &graph,
+                    &plan,
+                    &ceci,
+                    EnumOptions {
+                        verify,
+                        ..Default::default()
+                    },
+                    &mut sink,
+                );
                 (start.elapsed(), counters.embeddings)
             };
             let (ti, ni) = timing(VerifyMode::Intersection);

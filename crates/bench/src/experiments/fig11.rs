@@ -57,7 +57,14 @@ pub fn run(scale: Scale) {
                 fmt_speedup(sc),
                 fmt_speedup(sf),
             ]);
-            records.push(RunRecord::new("ceci-st", d.abbrev(), q.name(), workers, st_t, &st_c));
+            records.push(RunRecord::new(
+                "ceci-st",
+                d.abbrev(),
+                q.name(),
+                workers,
+                st_t,
+                &st_c,
+            ));
             records.push(RunRecord::new(
                 "ceci-cgd",
                 d.abbrev(),

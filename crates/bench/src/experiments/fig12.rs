@@ -40,22 +40,13 @@ pub fn run(scale: Scale) {
                 workers,
                 strategy: Strategy::FineDynamic { beta },
                 verify: VerifyMode::Intersection,
+                kernel: Default::default(),
                 limit: None,
                 collect: false,
             },
         );
-        let min = result
-            .worker_busy
-            .iter()
-            .min()
-            .copied()
-            .unwrap_or_default();
-        let max = result
-            .worker_busy
-            .iter()
-            .max()
-            .copied()
-            .unwrap_or_default();
+        let min = result.worker_busy.iter().min().copied().unwrap_or_default();
+        let max = result.worker_busy.iter().max().copied().unwrap_or_default();
         let skew = if min.as_secs_f64() > 0.0 {
             max.as_secs_f64() / min.as_secs_f64()
         } else {

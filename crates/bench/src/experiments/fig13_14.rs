@@ -59,7 +59,14 @@ fn run_scaling(title: &str, persist_name: &str, q: PaperQuery, scale: Scale) {
                 fmt_duration(pt),
                 fmt_speedup(pb.as_secs_f64() / pt.as_secs_f64()),
             ]);
-            records.push(RunRecord::new("ceci", d.abbrev(), q.name(), threads, ct, &cc));
+            records.push(RunRecord::new(
+                "ceci",
+                d.abbrev(),
+                q.name(),
+                threads,
+                ct,
+                &cc,
+            ));
             records.push(RunRecord::new(
                 "psgl-lite",
                 d.abbrev(),

@@ -28,9 +28,7 @@ pub fn run(scale: Scale) {
     for q in [PaperQuery::Qg1, PaperQuery::Qg3, PaperQuery::Qg5] {
         let mut timeline = PhaseTimeline::new();
         let graph = timeline.record(Phase::Load, 1, || Dataset::Ok.build(scale));
-        let plan = timeline.record(Phase::Preprocess, 1, || {
-            QueryPlan::new(q.build(), &graph)
-        });
+        let plan = timeline.record(Phase::Preprocess, 1, || QueryPlan::new(q.build(), &graph));
         let ceci = timeline.record(Phase::Filter, 1, || Ceci::build(&graph, &plan));
         timeline.record(Phase::Enumerate, workers, || {
             enumerate_parallel(
@@ -41,6 +39,7 @@ pub fn run(scale: Scale) {
                     workers,
                     strategy: Strategy::FineDynamic { beta: 0.2 },
                     verify: VerifyMode::Intersection,
+                    kernel: Default::default(),
                     limit: None,
                     collect: false,
                 },

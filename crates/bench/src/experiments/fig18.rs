@@ -11,7 +11,9 @@ use crate::table::{fmt_count, Table};
 
 /// Runs Figure 18 on a few stand-ins.
 pub fn run(scale: Scale) {
-    println!("Figure 18: %% reduction of recursive calls by CECI over PsgL-lite, scale {scale:?}\n");
+    println!(
+        "Figure 18: %% reduction of recursive calls by CECI over PsgL-lite, scale {scale:?}\n"
+    );
     for d in [Dataset::Wg, Dataset::Wt, Dataset::Lj] {
         let graph = d.build(scale);
         let mut t = Table::new(vec![

@@ -11,9 +11,7 @@
 use std::time::{Duration, Instant};
 
 use ceci_baselines::{enumerate_bare, BareOptions};
-use ceci_core::{
-    enumerate_parallel, BuildOptions, Ceci, ParallelOptions, Strategy, VerifyMode,
-};
+use ceci_core::{enumerate_parallel, BuildOptions, Ceci, ParallelOptions, Strategy, VerifyMode};
 use ceci_query::{PaperQuery, QueryPlan};
 
 use crate::datasets::{Dataset, Scale};
@@ -38,6 +36,7 @@ fn timed_ceci_variant(
             workers,
             strategy: Strategy::CoarseDynamic, // same distribution for all variants
             verify,
+            kernel: Default::default(),
             limit: None,
             collect: false,
         },

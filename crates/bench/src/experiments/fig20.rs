@@ -15,13 +15,7 @@ pub fn run(scale: Scale) {
     );
     let graph = Dataset::Fs.build(scale);
     let plan = QueryPlan::new(PaperQuery::Qg1.build(), &graph);
-    let mut t = Table::new(vec![
-        "machines",
-        "IO",
-        "comm",
-        "compute",
-        "IO share",
-    ]);
+    let mut t = Table::new(vec!["machines", "IO", "comm", "compute", "IO share"]);
     for machines in [2usize, 4, 8, 16] {
         let cfg = ClusterConfig {
             machines,

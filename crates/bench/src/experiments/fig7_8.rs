@@ -64,8 +64,20 @@ fn run_comparison(
             let (ceci_t, ceci_c, ceci_n) = run_ceci(&graph, q.build(), workers, None);
             let (dual_t, dual_c, dual_n) = run_dualsim(&graph, q.build());
             let (psgl_t, psgl_c, psgl_n) = run_psgl(&graph, q.build(), workers);
-            assert_eq!(ceci_n, dual_n, "{title} {} {}: count mismatch", q.name(), d.abbrev());
-            assert_eq!(ceci_n, psgl_n, "{title} {} {}: count mismatch", q.name(), d.abbrev());
+            assert_eq!(
+                ceci_n,
+                dual_n,
+                "{title} {} {}: count mismatch",
+                q.name(),
+                d.abbrev()
+            );
+            assert_eq!(
+                ceci_n,
+                psgl_n,
+                "{title} {} {}: count mismatch",
+                q.name(),
+                d.abbrev()
+            );
             let sd = dual_t.as_secs_f64() / ceci_t.as_secs_f64();
             let sp = psgl_t.as_secs_f64() / ceci_t.as_secs_f64();
             speedup_dual.push(sd);
@@ -79,7 +91,14 @@ fn run_comparison(
                 fmt_speedup(sd),
                 fmt_speedup(sp),
             ]);
-            records.push(RunRecord::new("ceci", d.abbrev(), q.name(), workers, ceci_t, &ceci_c));
+            records.push(RunRecord::new(
+                "ceci",
+                d.abbrev(),
+                q.name(),
+                workers,
+                ceci_t,
+                &ceci_c,
+            ));
             records.push(RunRecord::new(
                 "dualsim-lite",
                 d.abbrev(),

@@ -166,7 +166,14 @@ pub fn run_fig10(scale: Scale) {
         for q in &queries {
             let (ct, cc, _) = run_ceci(&graph, q.clone(), 1, Some(LIMIT));
             ceci_total += ct;
-            records.push(RunRecord::new("ceci", "HU", &format!("q{size}"), 1, ct, &cc));
+            records.push(RunRecord::new(
+                "ceci",
+                "HU",
+                &format!("q{size}"),
+                1,
+                ct,
+                &cc,
+            ));
             let (res, tt) = crate::harness::time(|| {
                 let plan = QueryPlan::new(q.clone(), &graph);
                 enumerate_turboiso(
@@ -210,8 +217,7 @@ pub fn run_fig10(scale: Scale) {
             ));
         }
         let n = queries.len() as u32;
-        let (ceci_avg, turbo_avg, boost_avg) =
-            (ceci_total / n, turbo_total / n, boost_total / n);
+        let (ceci_avg, turbo_avg, boost_avg) = (ceci_total / n, turbo_total / n, boost_total / n);
         let s = turbo_avg.as_secs_f64() / ceci_avg.as_secs_f64();
         let sb = boost_avg.as_secs_f64() / ceci_avg.as_secs_f64();
         speedups.push(s);

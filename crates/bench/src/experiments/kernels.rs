@@ -1,0 +1,238 @@
+//! Kernel ablation (§4.1 microscope): size-ratio sweep over the intersection
+//! kernel suite plus an end-to-end enumeration comparison.
+//!
+//! The sweep intersects a fixed-size small list against haystacks 1×…1024×
+//! larger and reports, per kernel, the exact comparison count and wall time;
+//! the end-to-end section re-runs the QG1–QG5 enumeration with each kernel
+//! pinned through [`EnumOptions`]. Everything is dumped to
+//! `bench_results/kernels.json` so regressions are diffable.
+
+use std::time::{Duration, Instant};
+
+use ceci_core::intersect::{intersect_with, Kernel};
+use ceci_core::{enumerate_sequential, Ceci, CountSink, EnumOptions};
+use ceci_graph::VertexId;
+use ceci_query::{PaperQuery, QueryPlan};
+
+use crate::json::JsonValue;
+use crate::table::Table;
+use crate::{Dataset, Scale};
+
+/// Haystack-to-needle size ratios of the sweep (1:1 … 1:1024).
+const RATIOS: [usize; 6] = [1, 4, 16, 64, 256, 1024];
+/// Needle size — comfortably above the SIMD block so every kernel exercises
+/// its steady-state loop.
+const SMALL_LEN: usize = 512;
+
+/// Deterministic pseudo-random stream (splitmix64) — keeps the sweep
+/// reproducible without pulling an RNG dependency into the bench crate.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A sorted, deduplicated list of `len` ids drawn from `0..universe`.
+fn random_sorted(len: usize, universe: u32, seed: u64) -> Vec<VertexId> {
+    let mut state = seed;
+    let mut out: Vec<VertexId> = (0..len * 2)
+        .map(|_| VertexId((splitmix64(&mut state) % universe as u64) as u32))
+        .collect();
+    out.sort_unstable();
+    out.dedup();
+    out.truncate(len);
+    out
+}
+
+fn time_kernel(
+    kernel: Kernel,
+    a: &[VertexId],
+    b: &[VertexId],
+    reps: u32,
+) -> (Duration, u64, usize) {
+    let mut out = Vec::new();
+    let mut ops = 0u64;
+    // Warm-up + correctness probe.
+    intersect_with(kernel, a, b, &mut out, &mut ops);
+    let hits = out.len();
+    ops = 0;
+    let start = Instant::now();
+    for _ in 0..reps {
+        intersect_with(kernel, a, b, &mut out, &mut ops);
+        std::hint::black_box(out.len());
+    }
+    (start.elapsed() / reps, ops / reps as u64, hits)
+}
+
+/// Runs the full experiment (sweep + end-to-end) for every kernel.
+pub fn run(scale: Scale) {
+    run_with(scale, None);
+}
+
+/// [`run`] restricted to one kernel when `only` is set (the `--kernel` repro
+/// flag); the scalar merge reference always runs so speedups stay defined.
+pub fn run_with(scale: Scale, only: Option<Kernel>) {
+    let kernels: Vec<Kernel> = Kernel::CONCRETE
+        .into_iter()
+        .chain([Kernel::Adaptive])
+        .filter(|&k| only.is_none() || k == Kernel::Merge || Some(k) == only)
+        .collect();
+    let mut records: Vec<JsonValue> = Vec::new();
+
+    // ------------------------------------------------------------------
+    // Part 1: size-ratio sweep.
+    // ------------------------------------------------------------------
+    println!("Intersection kernel sweep — |small| = {SMALL_LEN}, ratios 1:1 … 1:1024\n");
+    let mut t = Table::new(vec![
+        "ratio".to_string(),
+        "kernel".to_string(),
+        "ops".to_string(),
+        "time".to_string(),
+        "vs merge".to_string(),
+    ]);
+    let reps = match scale {
+        Scale::Quick => 200,
+        Scale::Full => 2_000,
+    };
+    for ratio in RATIOS {
+        let universe = (SMALL_LEN * ratio * 4) as u32;
+        let small = random_sorted(SMALL_LEN, universe, 0xcec1 ^ ratio as u64);
+        let large = random_sorted(SMALL_LEN * ratio, universe, 0x5eed ^ ratio as u64);
+        let (merge_time, _, expected_hits) = time_kernel(Kernel::Merge, &small, &large, reps);
+        for &kernel in &kernels {
+            let (time, ops, hits) = time_kernel(kernel, &small, &large, reps);
+            assert_eq!(
+                hits,
+                expected_hits,
+                "{} diverges at 1:{ratio}",
+                kernel.name()
+            );
+            let speedup = merge_time.as_secs_f64() / time.as_secs_f64().max(1e-12);
+            t.row(vec![
+                format!("1:{ratio}"),
+                kernel.name().to_string(),
+                ops.to_string(),
+                format!("{:.2} µs", time.as_secs_f64() * 1e6),
+                format!("{speedup:.2}×"),
+            ]);
+            records.push(
+                JsonValue::object()
+                    .field("section", "sweep")
+                    .field("ratio", ratio)
+                    .field("kernel", kernel.name())
+                    .field("ops", ops)
+                    .field("nanos", time.as_nanos() as u64)
+                    .field("hits", hits as u64)
+                    .field("speedup_vs_merge", speedup),
+            );
+        }
+    }
+    println!("{}", t.render());
+
+    // ------------------------------------------------------------------
+    // Part 2: end-to-end enumeration with each kernel pinned.
+    // ------------------------------------------------------------------
+    println!("\nEnd-to-end enumeration (WT stand-in, sequential, kernel pinned)\n");
+    let graph = Dataset::Wt.build(scale);
+    let mut t = Table::new(vec![
+        "query".to_string(),
+        "kernel".to_string(),
+        "embeddings".to_string(),
+        "intersect ops".to_string(),
+        "time".to_string(),
+        "vs merge".to_string(),
+    ]);
+    for query in [
+        PaperQuery::Qg1,
+        PaperQuery::Qg2,
+        PaperQuery::Qg3,
+        PaperQuery::Qg4,
+        PaperQuery::Qg5,
+    ] {
+        let plan = QueryPlan::new(query.build(), &graph);
+        let ceci = Ceci::build(&graph, &plan);
+        let run_kernel = |kernel: Kernel| {
+            let mut sink = CountSink::unbounded();
+            let start = Instant::now();
+            let counters = enumerate_sequential(
+                &graph,
+                &plan,
+                &ceci,
+                EnumOptions {
+                    kernel,
+                    ..Default::default()
+                },
+                &mut sink,
+            );
+            (start.elapsed(), counters)
+        };
+        let (merge_time, merge_counters) = run_kernel(Kernel::Merge);
+        for &kernel in &kernels {
+            let (time, counters) = run_kernel(kernel);
+            assert_eq!(
+                counters.embeddings,
+                merge_counters.embeddings,
+                "{} changes the result on {}",
+                kernel.name(),
+                query.name()
+            );
+            let speedup = merge_time.as_secs_f64() / time.as_secs_f64().max(1e-12);
+            t.row(vec![
+                query.name().to_string(),
+                kernel.name().to_string(),
+                counters.embeddings.to_string(),
+                counters.intersection_ops.to_string(),
+                format!("{:.2} ms", time.as_secs_f64() * 1e3),
+                format!("{speedup:.2}×"),
+            ]);
+            records.push(
+                JsonValue::object()
+                    .field("section", "end_to_end")
+                    .field("query", query.name())
+                    .field("kernel", kernel.name())
+                    .field("embeddings", counters.embeddings)
+                    .field("intersection_ops", counters.intersection_ops)
+                    .field("nanos", time.as_nanos() as u64)
+                    .field("speedup_vs_merge", speedup),
+            );
+        }
+    }
+    println!("{}", t.render());
+
+    let dir = std::path::Path::new("bench_results");
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("warning: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join("kernels.json");
+    if let Err(e) = std::fs::write(&path, JsonValue::Array(records).to_pretty()) {
+        eprintln!("warning: cannot write {}: {e}", path.display());
+    } else {
+        println!("\nrecords written to {}", path.display());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_sorted_is_sorted_and_unique() {
+        let v = random_sorted(100, 1_000, 42);
+        assert!(v.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(v, random_sorted(100, 1_000, 42), "must be deterministic");
+    }
+
+    #[test]
+    fn time_kernel_agrees_across_kernels() {
+        let a = random_sorted(64, 400, 1);
+        let b = random_sorted(512, 400, 2);
+        let (_, _, expected) = time_kernel(Kernel::Merge, &a, &b, 2);
+        for k in Kernel::CONCRETE {
+            let (_, _, hits) = time_kernel(k, &a, &b, 2);
+            assert_eq!(hits, expected, "{}", k.name());
+        }
+    }
+}

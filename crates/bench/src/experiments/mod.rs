@@ -13,6 +13,7 @@ pub mod fig19;
 pub mod fig20;
 pub mod fig7_8;
 pub mod fig9_10;
+pub mod kernels;
 pub mod physical;
 pub mod queries;
 pub mod table1;
@@ -61,7 +62,11 @@ pub fn run_psgl(graph: &Graph, query: QueryGraph, workers: usize) -> (Duration, 
 pub fn run_dualsim(graph: &Graph, query: QueryGraph) -> (Duration, Counters, u64) {
     let plan = QueryPlan::new(query, graph);
     let result = enumerate_dualsim(graph, &plan, &DualSimOptions::default());
-    (result.modeled_time, result.counters, result.total_embeddings)
+    (
+        result.modeled_time,
+        result.counters,
+        result.total_embeddings,
+    )
 }
 
 #[cfg(test)]

@@ -40,11 +40,7 @@ pub fn run(scale: Scale) {
                     .map(|r| r.fragment_edges)
                     .max()
                     .unwrap_or(0);
-                let mean_frac = result
-                    .reports
-                    .iter()
-                    .map(|r| r.edge_fraction)
-                    .sum::<f64>()
+                let mean_frac = result.reports.iter().map(|r| r.edge_fraction).sum::<f64>()
                     / result.reports.len().max(1) as f64;
                 let extract = result
                     .reports

@@ -2,9 +2,7 @@
 
 use std::time::{Duration, Instant};
 
-use ceci_core::{
-    enumerate_parallel, Ceci, Counters, ParallelOptions, Strategy, VerifyMode,
-};
+use ceci_core::{enumerate_parallel, Ceci, Counters, ParallelOptions, Strategy, VerifyMode};
 use ceci_graph::Graph;
 use ceci_query::{PlanOptions, QueryGraph, QueryPlan};
 
@@ -111,7 +109,13 @@ pub fn run_ceci(
     workers: usize,
     limit: Option<u64>,
 ) -> (Duration, Counters, u64) {
-    run_ceci_with(graph, query, workers, limit, Strategy::FineDynamic { beta: 0.2 })
+    run_ceci_with(
+        graph,
+        query,
+        workers,
+        limit,
+        Strategy::FineDynamic { beta: 0.2 },
+    )
 }
 
 /// [`run_ceci`] with an explicit distribution strategy.
@@ -156,6 +160,7 @@ pub fn run_ceci_detail(
             workers,
             strategy,
             verify: VerifyMode::Intersection,
+            kernel: Default::default(),
             limit,
             collect: false,
         },

@@ -76,12 +76,8 @@ fn parse_args() -> Args {
             "--query" => args.query = value(&mut i),
             "--edge-list" => args.edge_list = true,
             "--directed" => args.directed = true,
-            "--limit" => {
-                args.limit = Some(value(&mut i).parse().unwrap_or_else(|_| usage()))
-            }
-            "--workers" => {
-                args.workers = value(&mut i).parse().unwrap_or_else(|_| usage())
-            }
+            "--limit" => args.limit = Some(value(&mut i).parse().unwrap_or_else(|_| usage())),
+            "--workers" => args.workers = value(&mut i).parse().unwrap_or_else(|_| usage()),
             "--strategy" => strategy_name = value(&mut i),
             "--beta" => beta = value(&mut i).parse().unwrap_or_else(|_| usage()),
             "--order" => {
@@ -94,9 +90,7 @@ fn parse_args() -> Args {
             }
             "--print" => args.print = true,
             "--stats" => args.stats = true,
-            "--estimate" => {
-                args.estimate = Some(value(&mut i).parse().unwrap_or_else(|_| usage()))
-            }
+            "--estimate" => args.estimate = Some(value(&mut i).parse().unwrap_or_else(|_| usage())),
             "--help" | "-h" => usage(),
             _ => usage(),
         }

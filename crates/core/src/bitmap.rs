@@ -1,0 +1,100 @@
+//! Dense vertex bitmap for O(1) injectivity checks.
+//!
+//! The enumeration hot path must answer "is data vertex `v` already used by
+//! the partial embedding?" once per surviving candidate. A `HashSet` answers
+//! that with hashing plus probing and allocates as it grows; a dense bitmap
+//! keyed directly by [`VertexId`] answers it with one shift/mask on a flat
+//! `u64` word array that is allocated once per enumerator and reused across
+//! every cluster. At one bit per data vertex the map costs `n/8` bytes —
+//! negligible next to the candidate arena.
+
+use ceci_graph::VertexId;
+
+/// A fixed-capacity bitmap over the data-graph vertex universe `0..n`.
+#[derive(Clone, Debug, Default)]
+pub struct VertexBitmap {
+    words: Vec<u64>,
+}
+
+impl VertexBitmap {
+    /// A bitmap covering vertex ids `0..n`, all clear.
+    pub fn new(n: usize) -> Self {
+        VertexBitmap {
+            words: vec![0u64; n.div_ceil(64)],
+        }
+    }
+
+    /// `true` if `v` is set.
+    #[inline]
+    pub fn contains(&self, v: VertexId) -> bool {
+        let i = v.index();
+        (self.words[i >> 6] >> (i & 63)) & 1 != 0
+    }
+
+    /// Sets `v`.
+    #[inline]
+    pub fn insert(&mut self, v: VertexId) {
+        let i = v.index();
+        self.words[i >> 6] |= 1u64 << (i & 63);
+    }
+
+    /// Clears `v`.
+    #[inline]
+    pub fn remove(&mut self, v: VertexId) {
+        let i = v.index();
+        self.words[i >> 6] &= !(1u64 << (i & 63));
+    }
+
+    /// Number of set bits (diagnostics; not on the hot path).
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Heap bytes held by the bitmap.
+    pub fn size_bytes(&self) -> usize {
+        self.words.capacity() * std::mem::size_of::<u64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ceci_graph::vid;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut b = VertexBitmap::new(130);
+        for &v in &[0u32, 1, 63, 64, 65, 127, 128, 129] {
+            assert!(!b.contains(vid(v)));
+            b.insert(vid(v));
+            assert!(b.contains(vid(v)));
+        }
+        assert_eq!(b.count(), 8);
+        b.remove(vid(64));
+        assert!(!b.contains(vid(64)));
+        assert!(b.contains(vid(63)));
+        assert!(b.contains(vid(65)));
+        assert_eq!(b.count(), 7);
+    }
+
+    #[test]
+    fn double_insert_is_idempotent() {
+        let mut b = VertexBitmap::new(10);
+        b.insert(vid(3));
+        b.insert(vid(3));
+        assert_eq!(b.count(), 1);
+        b.remove(vid(3));
+        assert_eq!(b.count(), 0);
+        // Removing a clear bit is a no-op.
+        b.remove(vid(3));
+        assert_eq!(b.count(), 0);
+    }
+
+    #[test]
+    fn capacity_rounds_up_to_words() {
+        let b = VertexBitmap::new(1);
+        assert!(b.size_bytes() >= 8);
+        let empty = VertexBitmap::new(0);
+        assert_eq!(empty.count(), 0);
+    }
+}

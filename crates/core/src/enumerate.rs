@@ -14,8 +14,9 @@
 use ceci_graph::{Graph, VertexId};
 use ceci_query::QueryPlan;
 
+use crate::bitmap::VertexBitmap;
 use crate::index::Ceci;
-use crate::intersect::intersect_many_into;
+use crate::intersect::{intersect_many_with, Kernel};
 use crate::metrics::Counters;
 use crate::sink::EmbeddingSink;
 
@@ -36,9 +37,15 @@ pub enum VerifyMode {
 pub struct EnumOptions {
     /// Non-tree edge strategy.
     pub verify: VerifyMode,
+    /// Intersection kernel used for NTE conjunctions (§4.1 ablation knob).
+    pub kernel: Kernel,
 }
 
 /// Reusable per-worker scratch state for cluster enumeration.
+///
+/// All scratch is allocated once in [`Enumerator::new`] and reused for every
+/// cluster / work unit the enumerator processes: the steady-state recursion
+/// performs no heap allocation.
 pub struct Enumerator<'a> {
     graph: &'a Graph,
     plan: &'a QueryPlan,
@@ -46,26 +53,41 @@ pub struct Enumerator<'a> {
     options: EnumOptions,
     /// `mapping[u] = Some(v)` for assigned query vertices.
     mapping: Vec<Option<VertexId>>,
-    /// Data vertices currently used by the partial embedding.
-    used: std::collections::HashSet<VertexId>,
+    /// Data vertices currently used by the partial embedding — a dense
+    /// bitmap over the data-graph universe, O(1) per check with no hashing.
+    used: VertexBitmap,
     /// Per-depth candidate buffers (avoids re-allocating during recursion).
     buffers: Vec<Vec<VertexId>>,
+    /// Reusable NTE-list gather buffer (cleared, never dropped).
+    nte_lists: Vec<&'a [VertexId]>,
     scratch: Vec<VertexId>,
     emission: Vec<VertexId>,
 }
 
 impl<'a> Enumerator<'a> {
     /// Creates an enumerator for `(graph, plan, ceci)`.
-    pub fn new(graph: &'a Graph, plan: &'a QueryPlan, ceci: &'a Ceci, options: EnumOptions) -> Self {
+    pub fn new(
+        graph: &'a Graph,
+        plan: &'a QueryPlan,
+        ceci: &'a Ceci,
+        options: EnumOptions,
+    ) -> Self {
         let n = plan.query().num_vertices();
+        let max_nte = plan
+            .query()
+            .vertices()
+            .map(|u| ceci.nte(u).len())
+            .max()
+            .unwrap_or(0);
         Enumerator {
             graph,
             plan,
             ceci,
             options,
             mapping: vec![None; n],
-            used: std::collections::HashSet::with_capacity(n * 2),
+            used: VertexBitmap::new(graph.num_vertices()),
             buffers: (0..n).map(|_| Vec::new()).collect(),
+            nte_lists: Vec::with_capacity(max_nte),
             scratch: Vec::new(),
             emission: vec![VertexId(0); n],
         }
@@ -97,6 +119,13 @@ impl<'a> Enumerator<'a> {
     ) -> bool {
         let order = self.plan.matching_order();
         assert!(!prefix.is_empty() && prefix.len() <= order.len());
+        debug_assert!(
+            prefix
+                .iter()
+                .enumerate()
+                .all(|(i, v)| !prefix[..i].contains(v)),
+            "work-unit prefix must map distinct data vertices"
+        );
         for (i, &v) in prefix.iter().enumerate() {
             self.mapping[order[i].index()] = Some(v);
             self.used.insert(v);
@@ -109,7 +138,7 @@ impl<'a> Enumerator<'a> {
         };
         for (i, &v) in prefix.iter().enumerate() {
             self.mapping[order[i].index()] = None;
-            self.used.remove(&v);
+            self.used.remove(v);
         }
         keep_going
     }
@@ -138,8 +167,10 @@ impl<'a> Enumerator<'a> {
         match self.options.verify {
             VerifyMode::Intersection => {
                 let nte_tables = ceci.nte(u);
-                // Collect the NTE lists keyed by the current images.
-                let mut lists: Vec<&[VertexId]> = Vec::with_capacity(nte_tables.len());
+                // Collect the NTE lists keyed by the current images into the
+                // reusable gather buffer (no allocation in steady state).
+                let mut lists = std::mem::take(&mut self.nte_lists);
+                lists.clear();
                 let mut dead = false;
                 for (un, table) in nte_tables {
                     let image = self.mapping[un.index()].expect("NTE parent assigned earlier");
@@ -154,7 +185,8 @@ impl<'a> Enumerator<'a> {
                 if dead {
                     buffer.clear();
                 } else {
-                    intersect_many_into(
+                    intersect_many_with(
+                        self.options.kernel,
                         te_list,
                         &lists,
                         &mut buffer,
@@ -162,6 +194,7 @@ impl<'a> Enumerator<'a> {
                         &mut counters.intersection_ops,
                     );
                 }
+                self.nte_lists = lists;
             }
             VerifyMode::EdgeVerification => {
                 buffer.clear();
@@ -181,7 +214,7 @@ impl<'a> Enumerator<'a> {
         let mut keep_going = true;
         let last = depth + 1 == order.len();
         for &v in &buffer {
-            if self.used.contains(&v) {
+            if self.used.contains(v) {
                 counters.injectivity_rejections += 1;
                 continue;
             }
@@ -198,7 +231,7 @@ impl<'a> Enumerator<'a> {
                 self.search(depth + 1, sink, counters)
             };
             self.mapping[u.index()] = None;
-            self.used.remove(&v);
+            self.used.remove(v);
             if !keep_going {
                 break;
             }
@@ -236,7 +269,8 @@ impl<'a> Enumerator<'a> {
         let mut out = Vec::new();
         if let Some(te_list) = ceci.te(u).and_then(|t| t.get(parent_image)) {
             let mut ok = true;
-            let mut lists: Vec<&[VertexId]> = Vec::new();
+            let mut lists = std::mem::take(&mut self.nte_lists);
+            lists.clear();
             for (un, table) in ceci.nte(u) {
                 let image = self.mapping[un.index()].unwrap();
                 match table.get(image) {
@@ -248,7 +282,8 @@ impl<'a> Enumerator<'a> {
                 }
             }
             if ok {
-                intersect_many_into(
+                intersect_many_with(
+                    self.options.kernel,
                     te_list,
                     &lists,
                     &mut out,
@@ -256,12 +291,13 @@ impl<'a> Enumerator<'a> {
                     &mut counters.intersection_ops,
                 );
                 let (used, mapping) = (&self.used, &self.mapping);
-                out.retain(|&v| !used.contains(&v) && plan.satisfies_symmetry(u, v, mapping));
+                out.retain(|&v| !used.contains(v) && plan.satisfies_symmetry(u, v, mapping));
             }
+            self.nte_lists = lists;
         }
         for (i, &v) in prefix.iter().enumerate() {
             self.mapping[order[i].index()] = None;
-            self.used.remove(&v);
+            self.used.remove(v);
         }
         out
     }
@@ -294,11 +330,7 @@ pub fn count_embeddings(graph: &Graph, plan: &QueryPlan, ceci: &Ceci) -> u64 {
 }
 
 /// Convenience: collect all embeddings sequentially, canonically sorted.
-pub fn collect_embeddings(
-    graph: &Graph,
-    plan: &QueryPlan,
-    ceci: &Ceci,
-) -> Vec<Vec<VertexId>> {
+pub fn collect_embeddings(graph: &Graph, plan: &QueryPlan, ceci: &Ceci) -> Vec<Vec<VertexId>> {
     let mut sink = crate::sink::CollectSink::unbounded();
     enumerate_sequential(graph, plan, ceci, EnumOptions::default(), &mut sink);
     crate::sink::canonicalize(sink.into_embeddings())
@@ -307,11 +339,7 @@ pub fn collect_embeddings(
 /// Checks a reported embedding against the query (used by tests and the
 /// correctness harness): label containment, edge preservation, injectivity,
 /// and symmetry constraints.
-pub fn is_valid_embedding(
-    graph: &Graph,
-    plan: &QueryPlan,
-    embedding: &[VertexId],
-) -> bool {
+pub fn is_valid_embedding(graph: &Graph, plan: &QueryPlan, embedding: &[VertexId]) -> bool {
     let query = plan.query();
     if embedding.len() != query.num_vertices() {
         return false;
@@ -384,6 +412,7 @@ mod tests {
             &ceci,
             EnumOptions {
                 verify: VerifyMode::EdgeVerification,
+                ..Default::default()
             },
             &mut sink,
         );
@@ -474,7 +503,13 @@ mod tests {
         let dup = vec![paper::v(1); 5];
         assert!(!is_valid_embedding(&graph, &plan, &dup));
         // Label mismatch: map u1 (A) to a B vertex.
-        let bad = vec![paper::v(3), paper::v(1), paper::v(4), paper::v(11), paper::v(12)];
+        let bad = vec![
+            paper::v(3),
+            paper::v(1),
+            paper::v(4),
+            paper::v(11),
+            paper::v(12),
+        ];
         assert!(!is_valid_embedding(&graph, &plan, &bad));
     }
 

@@ -208,8 +208,7 @@ mod tests {
     fn empty_index_is_exactly_zero() {
         use ceci_graph::{lid, Graph};
         let graph = Graph::unlabeled(4, &[(ceci_graph::vid(0), ceci_graph::vid(1))]);
-        let query =
-            ceci_query::QueryGraph::with_labels(&[lid(7), lid(7)], &[(0, 1)]).unwrap();
+        let query = ceci_query::QueryGraph::with_labels(&[lid(7), lid(7)], &[(0, 1)]).unwrap();
         let plan = QueryPlan::new(query, &graph);
         let ceci = Ceci::build(&graph, &plan);
         let est = estimate_embeddings(&graph, &plan, &ceci, &EstimateOptions::default());

@@ -32,7 +32,12 @@ pub fn explain_plan(plan: &QueryPlan, graph: &Graph) -> String {
         graph.num_edges(),
         graph.num_labels()
     );
-    let _ = writeln!(out, "root: u{} | matching order: {:?}", plan.root(), plan.matching_order());
+    let _ = writeln!(
+        out,
+        "root: u{} | matching order: {:?}",
+        plan.root(),
+        plan.matching_order()
+    );
     let _ = writeln!(
         out,
         "symmetry: {} constraints ({})",
@@ -50,7 +55,11 @@ pub fn explain_plan(plan: &QueryPlan, graph: &Graph) -> String {
             .parent(u)
             .map(|p| format!("u{p}"))
             .unwrap_or_else(|| "-".into());
-        let ntes: Vec<String> = plan.backward_nte(u).iter().map(|w| format!("u{w}")).collect();
+        let ntes: Vec<String> = plan
+            .backward_nte(u)
+            .iter()
+            .map(|w| format!("u{w}"))
+            .collect();
         let _ = writeln!(
             out,
             "  u{u}: parent {parent:>3} | NTE from [{}] | {} initial candidates",
@@ -138,7 +147,11 @@ pub fn cluster_skew(ceci: &Ceci) -> ClusterSkew {
     let clusters = cards.len();
     let total: u64 = cards.iter().sum();
     let max = cards.last().copied().unwrap_or(0);
-    let median = if clusters == 0 { 0 } else { cards[clusters / 2] };
+    let median = if clusters == 0 {
+        0
+    } else {
+        cards[clusters / 2]
+    };
     let mean = if clusters == 0 {
         0.0
     } else {

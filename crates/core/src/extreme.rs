@@ -38,12 +38,26 @@ pub fn decompose(
     workers: usize,
     beta: f64,
 ) -> Vec<WorkUnit> {
+    decompose_with(graph, plan, ceci, workers, beta, EnumOptions::default())
+}
+
+/// [`decompose`] with explicit enumeration options — the splitter expands
+/// prefixes with the same kernel/verify configuration the workers will use,
+/// so its intersection-op accounting matches the run it feeds.
+pub fn decompose_with(
+    graph: &Graph,
+    plan: &QueryPlan,
+    ceci: &Ceci,
+    workers: usize,
+    beta: f64,
+    options: EnumOptions,
+) -> Vec<WorkUnit> {
     assert!(workers >= 1, "need at least one worker");
     assert!(beta > 0.0, "beta must be positive");
     let total: f64 = ceci.pivots().iter().map(|&(_, c)| c as f64).sum();
     let threshold = beta * total / workers as f64;
     let mut units = Vec::new();
-    let mut enumerator = Enumerator::new(graph, plan, ceci, EnumOptions::default());
+    let mut enumerator = Enumerator::new(graph, plan, ceci, options);
     let mut counters = Counters::default();
     let n = plan.query().num_vertices();
     for &(pivot, card) in ceci.pivots() {
@@ -165,7 +179,13 @@ mod tests {
         for i in 1..20u32 {
             edges.push((i, i + 1));
         }
-        let graph = Graph::unlabeled(21, &edges.iter().map(|&(a, b)| (ceci_graph::vid(a), ceci_graph::vid(b))).collect::<Vec<_>>());
+        let graph = Graph::unlabeled(
+            21,
+            &edges
+                .iter()
+                .map(|&(a, b)| (ceci_graph::vid(a), ceci_graph::vid(b)))
+                .collect::<Vec<_>>(),
+        );
         let plan = QueryPlan::new(PaperQuery::Qg1.build(), &graph);
         let ceci = Ceci::build(&graph, &plan);
         // A huge β treats nothing as extreme (whole clusters, prefix len 1);

@@ -45,11 +45,7 @@ impl BuilderState {
 
     /// Total TE candidate-edge entries.
     pub fn te_entries(&self) -> usize {
-        self.te
-            .iter()
-            .flatten()
-            .map(|t| t.num_entries())
-            .sum()
+        self.te.iter().flatten().map(|t| t.num_entries()).sum()
     }
 
     /// Total NTE candidate-edge entries.
@@ -109,12 +105,11 @@ pub fn bfs_filter(graph: &Graph, plan: &QueryPlan) -> BuilderState {
 /// simulation, where each machine indexes only its assigned embedding
 /// clusters (§5). `pivots` must be sorted and a subset of the root's
 /// initial candidates.
-pub fn bfs_filter_from(
-    graph: &Graph,
-    plan: &QueryPlan,
-    pivots: Vec<VertexId>,
-) -> BuilderState {
-    debug_assert!(pivots.windows(2).all(|w| w[0] < w[1]), "pivots must be sorted");
+pub fn bfs_filter_from(graph: &Graph, plan: &QueryPlan, pivots: Vec<VertexId>) -> BuilderState {
+    debug_assert!(
+        pivots.windows(2).all(|w| w[0] < w[1]),
+        "pivots must be sorted"
+    );
     let n = plan.query().num_vertices();
     let mut state = BuilderState {
         pivots,
@@ -218,7 +213,10 @@ mod tests {
         assert_eq!(te_u2.get(paper::v(2)), None);
         // te[u3]: <v1, {v4, v6}>.
         let te_u3 = state.te[paper::u(3).index()].as_ref().unwrap();
-        assert_eq!(te_u3.get(paper::v(1)), Some(&[paper::v(4), paper::v(6)][..]));
+        assert_eq!(
+            te_u3.get(paper::v(1)),
+            Some(&[paper::v(4), paper::v(6)][..])
+        );
         assert_eq!(te_u3.get(paper::v(2)), None);
         // te[u4]: <v3,{v11}>, <v5,{v13}>, <v7,{v15}>.
         let te_u4 = state.te[paper::u(4).index()].as_ref().unwrap();

@@ -241,7 +241,13 @@ mod tests {
         assert_eq!(plan.root(), paper::u(1));
         assert_eq!(
             plan.matching_order(),
-            &[paper::u(1), paper::u(2), paper::u(3), paper::u(4), paper::u(5)]
+            &[
+                paper::u(1),
+                paper::u(2),
+                paper::u(3),
+                paper::u(4),
+                paper::u(5)
+            ]
         );
         // Tree edges (u1,u2), (u1,u3), (u2,u4), (u3,u5); NTEs (u2,u3), (u3,u4).
         let t = plan.tree();
@@ -270,9 +276,7 @@ mod tests {
                 );
             }
             for u in q.vertices() {
-                assert!(q
-                    .labels(u)
-                    .is_subset_of(g.labels(emb[u.index()])));
+                assert!(q.labels(u).is_subset_of(g.labels(emb[u.index()])));
             }
         }
     }

@@ -12,7 +12,7 @@ use std::time::{Duration, Instant};
 use ceci_graph::{Graph, VertexId};
 use ceci_query::QueryPlan;
 
-use crate::filter::{bfs_filter_from};
+use crate::filter::bfs_filter_from;
 use crate::refine::reverse_bfs_refine;
 use crate::tables::CompactTable;
 
@@ -68,8 +68,7 @@ impl BuildStats {
         if self.theoretical_bytes == 0 {
             return 0.0;
         }
-        let actual =
-            (self.te_entries_after_refine + self.nte_entries_after_refine) as f64 * 8.0;
+        let actual = (self.te_entries_after_refine + self.nte_entries_after_refine) as f64 * 8.0;
         (1.0 - actual / self.theoretical_bytes as f64).max(0.0) * 100.0
     }
 }
@@ -192,9 +191,8 @@ impl Ceci {
             .iter()
             .map(|tables| tables.iter().map(|(un, t)| (*un, t.freeze())).collect())
             .collect();
-        let cardinality: Vec<Vec<(VertexId, u64)>> = (0..n)
-            .map(|i| cards.of_node(VertexId(i as u32)))
-            .collect();
+        let cardinality: Vec<Vec<(VertexId, u64)>> =
+            (0..n).map(|i| cards.of_node(VertexId(i as u32))).collect();
 
         let mut ceci = Ceci {
             pivots,

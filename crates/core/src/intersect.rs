@@ -3,17 +3,92 @@
 //! CECI replaces per-candidate edge verification with set intersection
 //! between TE and NTE candidate lists. Lists are sorted `u32` id vectors, so
 //! intersection is a linear merge — or a galloping binary search when one
-//! side is much shorter. Kernels report the number of element comparisons
-//! into the caller's counter so the §4.1 ablation can compare work done.
+//! side is much shorter, or a SIMD block scan when the hardware has 128-bit
+//! compares. This module provides the full kernel suite behind a single
+//! [`Kernel`] selector so the §4.1 ablation can pin any kernel, plus an
+//! adaptive dispatcher driven by the size ratio of the two lists.
+//!
+//! Kernels report the number of element comparisons into the caller's
+//! counter. Counting is **exact integer math** (actual probes, no
+//! `log2`-based estimates) so ablation numbers reproduce bit-for-bit across
+//! platforms. For SIMD probes, one 4-lane vector compare counts as 4
+//! element comparisons — the scalar-equivalent work, keeping op counts
+//! comparable across kernels.
 
 use ceci_graph::VertexId;
 
-/// Threshold ratio above which the galloping kernel beats the merge kernel.
-const GALLOP_RATIO: usize = 16;
+/// Threshold ratio above which the galloping kernel beats the merge-style
+/// kernels. Tuned on the skew sweep in `crates/bench/benches/intersection.rs`.
+pub const GALLOP_RATIO: usize = 16;
 
-/// Intersects two sorted slices into `out` (cleared first). Adds the number
-/// of comparisons performed to `ops`.
-pub fn intersect_into(
+/// Width of one SIMD probe block in `u32` lanes (two 128-bit SSE2 vectors).
+const SIMD_BLOCK: usize = 8;
+
+/// Selects the intersection kernel used by the enumeration hot path.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Kernel {
+    /// Pick per call site by size ratio: galloping for skewed pairs, SIMD
+    /// block scan otherwise (branchless merge where SIMD is unavailable).
+    #[default]
+    Adaptive,
+    /// Scalar two-pointer merge — the reference kernel.
+    Merge,
+    /// Branch-free two-pointer merge (predicated advances, unconditional
+    /// writes) — avoids the branch mispredictions of [`Kernel::Merge`] on
+    /// unpredictable data.
+    BranchlessMerge,
+    /// Exponential probe + binary search of the larger list for each element
+    /// of the smaller list.
+    Gallop,
+    /// Block scan of the larger list with chunked `u32` equality compares
+    /// (SSE2 on x86_64, an auto-vectorizable portable loop elsewhere).
+    Simd,
+}
+
+impl Kernel {
+    /// All concrete (non-adaptive) kernels, for ablation sweeps.
+    pub const CONCRETE: [Kernel; 4] = [
+        Kernel::Merge,
+        Kernel::BranchlessMerge,
+        Kernel::Gallop,
+        Kernel::Simd,
+    ];
+
+    /// Short display name (bench labels, CLI flags).
+    pub fn name(self) -> &'static str {
+        match self {
+            Kernel::Adaptive => "adaptive",
+            Kernel::Merge => "merge",
+            Kernel::BranchlessMerge => "branchless",
+            Kernel::Gallop => "gallop",
+            Kernel::Simd => "simd",
+        }
+    }
+
+    /// Parses a kernel name as produced by [`Kernel::name`].
+    pub fn parse(name: &str) -> Option<Kernel> {
+        match name {
+            "adaptive" => Some(Kernel::Adaptive),
+            "merge" => Some(Kernel::Merge),
+            "branchless" => Some(Kernel::BranchlessMerge),
+            "gallop" => Some(Kernel::Gallop),
+            "simd" => Some(Kernel::Simd),
+            _ => None,
+        }
+    }
+}
+
+/// Intersects two sorted slices into `out` (cleared first) using the
+/// adaptive kernel. Adds the number of comparisons performed to `ops`.
+#[inline]
+pub fn intersect_into(a: &[VertexId], b: &[VertexId], out: &mut Vec<VertexId>, ops: &mut u64) {
+    intersect_with(Kernel::Adaptive, a, b, out, ops);
+}
+
+/// Intersects two sorted slices into `out` (cleared first) with an explicit
+/// kernel. Adds the number of comparisons performed to `ops`.
+pub fn intersect_with(
+    kernel: Kernel,
     a: &[VertexId],
     b: &[VertexId],
     out: &mut Vec<VertexId>,
@@ -24,14 +99,26 @@ pub fn intersect_into(
         return;
     }
     let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
-    if large.len() / small.len() >= GALLOP_RATIO {
-        gallop_intersect(small, large, out, ops);
-    } else {
-        merge_intersect(a, b, out, ops);
+    match kernel {
+        Kernel::Adaptive => {
+            if large.len() / small.len() >= GALLOP_RATIO {
+                gallop_intersect(small, large, out, ops);
+            } else if cfg!(target_arch = "x86_64") {
+                simd_intersect(small, large, out, ops);
+            } else {
+                branchless_merge_intersect(small, large, out, ops);
+            }
+        }
+        Kernel::Merge => merge_intersect(small, large, out, ops),
+        Kernel::BranchlessMerge => branchless_merge_intersect(small, large, out, ops),
+        Kernel::Gallop => gallop_intersect(small, large, out, ops),
+        Kernel::Simd => simd_intersect(small, large, out, ops),
     }
 }
 
-fn merge_intersect(a: &[VertexId], b: &[VertexId], out: &mut Vec<VertexId>, ops: &mut u64) {
+/// Scalar two-pointer merge — the reference kernel every other kernel is
+/// differentially tested against.
+pub fn merge_intersect(a: &[VertexId], b: &[VertexId], out: &mut Vec<VertexId>, ops: &mut u64) {
     let (mut i, mut j) = (0, 0);
     while i < a.len() && j < b.len() {
         *ops += 1;
@@ -47,7 +134,41 @@ fn merge_intersect(a: &[VertexId], b: &[VertexId], out: &mut Vec<VertexId>, ops:
     }
 }
 
-fn gallop_intersect(small: &[VertexId], large: &[VertexId], out: &mut Vec<VertexId>, ops: &mut u64) {
+/// Branch-free two-pointer merge: the match is written unconditionally and
+/// the output cursor advances by the comparison result, so the loop body has
+/// no data-dependent branches for the predictor to miss.
+pub fn branchless_merge_intersect(
+    a: &[VertexId],
+    b: &[VertexId],
+    out: &mut Vec<VertexId>,
+    ops: &mut u64,
+) {
+    let cap = a.len().min(b.len());
+    // Unconditional writes need writable slots; the buffer is truncated to
+    // the real size afterwards. `resize` reuses capacity across calls, so
+    // steady-state recursion does not allocate.
+    out.resize(cap, VertexId(0));
+    let (mut i, mut j, mut k) = (0usize, 0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        let (x, y) = (a[i].0, b[j].0);
+        out[k] = a[i];
+        k += (x == y) as usize;
+        i += (x <= y) as usize;
+        j += (y <= x) as usize;
+        *ops += 1;
+    }
+    out.truncate(k);
+}
+
+/// Exponential probe + exact-counted binary search of `large` for each
+/// element of `small`. Comparisons are counted per actual probe — no
+/// estimates — so op totals are deterministic across platforms.
+pub fn gallop_intersect(
+    small: &[VertexId],
+    large: &[VertexId],
+    out: &mut Vec<VertexId>,
+    ops: &mut u64,
+) {
     let mut lo = 0usize;
     for &x in small {
         // Exponential probe from `lo`. After the loop, everything before
@@ -63,10 +184,12 @@ fn gallop_intersect(small: &[VertexId], large: &[VertexId], out: &mut Vec<Vertex
             hi += step;
             step *= 2;
         }
+        if hi < large.len() {
+            // The probe comparison that stopped the loop.
+            *ops += 1;
+        }
         let end = large.len().min(hi + 1);
-        let window = &large[base..end];
-        *ops += (window.len().max(1) as f64).log2().ceil() as u64 + 1;
-        match window.binary_search(&x) {
+        match counted_binary_search(&large[base..end], x, ops) {
             Ok(k) => {
                 out.push(x);
                 lo = base + k + 1;
@@ -81,9 +204,125 @@ fn gallop_intersect(small: &[VertexId], large: &[VertexId], out: &mut Vec<Vertex
     }
 }
 
+/// Binary search that counts every element comparison it performs.
+#[inline]
+fn counted_binary_search(window: &[VertexId], x: VertexId, ops: &mut u64) -> Result<usize, usize> {
+    let (mut lo, mut hi) = (0usize, window.len());
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        *ops += 1;
+        match window[mid].cmp(&x) {
+            std::cmp::Ordering::Less => lo = mid + 1,
+            std::cmp::Ordering::Greater => hi = mid,
+            std::cmp::Ordering::Equal => return Ok(mid),
+        }
+    }
+    Err(lo)
+}
+
+/// Reinterprets a sorted candidate list as raw `u32` lanes.
+///
+/// Sound because [`VertexId`] is `#[repr(transparent)]` over `u32`.
+#[inline]
+fn as_lanes(v: &[VertexId]) -> &[u32] {
+    // SAFETY: VertexId is repr(transparent) over u32, so the slices have
+    // identical layout, alignment, and length.
+    unsafe { std::slice::from_raw_parts(v.as_ptr().cast::<u32>(), v.len()) }
+}
+
+/// Block-scan intersection: for each element of `small`, skip 8-lane blocks
+/// of `large` whose maximum is below the needle, then equality-test the
+/// block with two 128-bit compares (SSE2) or an auto-vectorizable portable
+/// loop. The block cursor only moves forward, so total work is
+/// `O(|small| + |large|/8 + hits)` at every size ratio.
+pub fn simd_intersect(
+    small: &[VertexId],
+    large: &[VertexId],
+    out: &mut Vec<VertexId>,
+    ops: &mut u64,
+) {
+    let lanes = as_lanes(large);
+    let full_blocks = lanes.len() / SIMD_BLOCK;
+    let mut block = 0usize;
+    let mut i = 0usize;
+    while i < small.len() {
+        let x = small[i].0;
+        // Skip whole blocks strictly below the needle. One comparison
+        // against the block maximum per skipped/tested block.
+        while block < full_blocks {
+            *ops += 1;
+            if lanes[block * SIMD_BLOCK + SIMD_BLOCK - 1] < x {
+                block += 1;
+            } else {
+                break;
+            }
+        }
+        if block == full_blocks {
+            break; // fall through to the scalar tail below
+        }
+        let start = block * SIMD_BLOCK;
+        if probe_block_eq(&lanes[start..start + SIMD_BLOCK], x, ops) {
+            out.push(small[i]);
+        }
+        i += 1;
+    }
+    if i < small.len() {
+        // Scalar tail: the remaining needles against the < 8 trailing lanes.
+        let tail_start = full_blocks * SIMD_BLOCK;
+        merge_intersect(&small[i..], &large[tail_start..], out, ops);
+    }
+}
+
+/// Equality-tests one 8-lane block against a broadcast needle. Returns
+/// whether the needle occurs. Counts one op per 4-lane vector compare ×
+/// 4 lanes (scalar-equivalent work).
+#[inline]
+fn probe_block_eq(block: &[u32], x: u32, ops: &mut u64) -> bool {
+    debug_assert_eq!(block.len(), SIMD_BLOCK);
+    *ops += SIMD_BLOCK as u64;
+    #[cfg(target_arch = "x86_64")]
+    {
+        // SAFETY: SSE2 is part of the x86_64 baseline; the two loads read
+        // 16 bytes each from a slice asserted to hold 8 u32 lanes.
+        unsafe {
+            use std::arch::x86_64::{
+                _mm_cmpeq_epi32, _mm_loadu_si128, _mm_movemask_epi8, _mm_or_si128, _mm_set1_epi32,
+            };
+            let needle = _mm_set1_epi32(x as i32);
+            let lo = _mm_loadu_si128(block.as_ptr().cast());
+            let hi = _mm_loadu_si128(block.as_ptr().add(4).cast());
+            let eq = _mm_or_si128(_mm_cmpeq_epi32(lo, needle), _mm_cmpeq_epi32(hi, needle));
+            _mm_movemask_epi8(eq) != 0
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        // Portable 8-wide equality reduction; LLVM vectorizes this shape.
+        let mut hit = false;
+        for &lane in block {
+            hit |= lane == x;
+        }
+        hit
+    }
+}
+
 /// Intersects `base` with each list in `others`, writing the final result to
-/// `out`. Uses `scratch` as the ping-pong buffer. Short-circuits to empty.
+/// `out`. Uses `scratch` as the ping-pong buffer (buffers are reused, not
+/// reallocated). Short-circuits to empty. Uses the adaptive kernel.
+#[inline]
 pub fn intersect_many_into(
+    base: &[VertexId],
+    others: &[&[VertexId]],
+    out: &mut Vec<VertexId>,
+    scratch: &mut Vec<VertexId>,
+    ops: &mut u64,
+) {
+    intersect_many_with(Kernel::Adaptive, base, others, out, scratch, ops);
+}
+
+/// [`intersect_many_into`] with an explicit kernel.
+pub fn intersect_many_with(
+    kernel: Kernel,
     base: &[VertexId],
     others: &[&[VertexId]],
     out: &mut Vec<VertexId>,
@@ -96,17 +335,15 @@ pub fn intersect_many_into(
         if out.is_empty() {
             return;
         }
-        scratch.clear();
         std::mem::swap(out, scratch);
-        intersect_into(scratch, list, out, ops);
+        intersect_with(kernel, scratch, list, out, ops);
     }
 }
 
-/// Membership test on a sorted slice, counting comparisons.
+/// Membership test on a sorted slice, counting each probe actually made.
 #[inline]
 pub fn sorted_contains(list: &[VertexId], x: VertexId, ops: &mut u64) -> bool {
-    *ops += (list.len().max(1) as f64).log2().ceil() as u64 + 1;
-    list.binary_search(&x).is_ok()
+    counted_binary_search(list, x, ops).is_ok()
 }
 
 #[cfg(test)]
@@ -118,59 +355,67 @@ mod tests {
         ids.iter().map(|&i| vid(i)).collect()
     }
 
-    #[test]
-    fn merge_basic() {
+    fn run(kernel: Kernel, a: &[VertexId], b: &[VertexId]) -> (Vec<VertexId>, u64) {
         let mut out = Vec::new();
         let mut ops = 0;
-        intersect_into(&v(&[1, 3, 5, 7]), &v(&[2, 3, 6, 7, 9]), &mut out, &mut ops);
+        intersect_with(kernel, a, b, &mut out, &mut ops);
+        (out, ops)
+    }
+
+    #[test]
+    fn merge_basic() {
+        let (out, ops) = run(Kernel::Merge, &v(&[1, 3, 5, 7]), &v(&[2, 3, 6, 7, 9]));
         assert_eq!(out, v(&[3, 7]));
         assert!(ops > 0);
     }
 
     #[test]
-    fn empty_inputs() {
-        let mut out = v(&[9]);
-        let mut ops = 0;
-        intersect_into(&v(&[]), &v(&[1, 2]), &mut out, &mut ops);
-        assert!(out.is_empty());
-        intersect_into(&v(&[1, 2]), &v(&[]), &mut out, &mut ops);
-        assert!(out.is_empty());
-        assert_eq!(ops, 0);
+    fn empty_inputs_all_kernels() {
+        for kernel in Kernel::CONCRETE.into_iter().chain([Kernel::Adaptive]) {
+            let (out, ops) = run(kernel, &v(&[]), &v(&[1, 2]));
+            assert!(out.is_empty(), "{kernel:?}");
+            assert_eq!(ops, 0, "{kernel:?}");
+            let (out, _) = run(kernel, &v(&[1, 2]), &v(&[]));
+            assert!(out.is_empty(), "{kernel:?}");
+        }
     }
 
     #[test]
-    fn disjoint_and_identical() {
-        let mut out = Vec::new();
-        let mut ops = 0;
-        intersect_into(&v(&[1, 2]), &v(&[3, 4]), &mut out, &mut ops);
-        assert!(out.is_empty());
-        intersect_into(&v(&[1, 2, 3]), &v(&[1, 2, 3]), &mut out, &mut ops);
-        assert_eq!(out, v(&[1, 2, 3]));
+    fn disjoint_and_identical_all_kernels() {
+        for kernel in Kernel::CONCRETE.into_iter().chain([Kernel::Adaptive]) {
+            let (out, _) = run(kernel, &v(&[1, 2]), &v(&[3, 4]));
+            assert!(out.is_empty(), "{kernel:?}");
+            let (out, _) = run(kernel, &v(&[1, 2, 3]), &v(&[1, 2, 3]));
+            assert_eq!(out, v(&[1, 2, 3]), "{kernel:?}");
+        }
     }
 
     #[test]
     fn gallop_kicks_in_for_skewed_sizes() {
         let small = v(&[5, 500, 995]);
         let large: Vec<VertexId> = (0..1000).map(vid).collect();
-        let mut out = Vec::new();
-        let mut ops = 0;
-        intersect_into(&small, &large, &mut out, &mut ops);
+        let (out, ops) = run(Kernel::Adaptive, &small, &large);
         assert_eq!(out, v(&[5, 500, 995]));
         // Galloping must do far fewer comparisons than a full merge.
         assert!(ops < 500, "gallop ops = {ops}");
     }
 
     #[test]
-    fn gallop_matches_merge_results() {
-        // Cross-check the two kernels on assorted skewed inputs.
-        for (si, li) in [(3usize, 100usize), (5, 200), (1, 50), (7, 400)] {
+    fn all_kernels_match_reference() {
+        // Cross-check every kernel on assorted skewed inputs.
+        for (si, li) in [(3usize, 100usize), (5, 200), (1, 50), (7, 400), (64, 64)] {
             let small: Vec<VertexId> = (0..si as u32).map(|i| vid(i * 13 + 1)).collect();
             let large: Vec<VertexId> = (0..li as u32).map(|i| vid(i * 2)).collect();
-            let (mut out_g, mut out_m) = (Vec::new(), Vec::new());
-            let mut ops = 0;
-            gallop_intersect(&small, &large, &mut out_g, &mut ops);
-            merge_intersect(&small, &large, &mut out_m, &mut ops);
-            assert_eq!(out_g, out_m, "mismatch for sizes ({si},{li})");
+            let (reference, _) = run(Kernel::Merge, &small, &large);
+            for kernel in [
+                Kernel::BranchlessMerge,
+                Kernel::Gallop,
+                Kernel::Simd,
+                Kernel::Adaptive,
+            ] {
+                let (out, _) = run(kernel, &small, &large);
+                assert_eq!(out, reference, "{kernel:?} mismatch for sizes ({si},{li})");
+            }
         }
     }
 
@@ -192,21 +437,76 @@ mod tests {
     }
 
     #[test]
-    fn gallop_exhaustive_cross_check() {
-        // Every subset size against a fixed large list, all offsets: gallop
-        // and merge must agree element-for-element.
+    fn exhaustive_cross_check() {
+        // Every kernel against the merge reference across strides/offsets.
         let large: Vec<VertexId> = (0..200u32).map(|i| vid(i * 3 + 1)).collect();
         for stride in 1..8u32 {
             for offset in 0..6u32 {
                 let small: Vec<VertexId> =
                     (0..40u32).map(|i| vid(i * stride * 3 + offset)).collect();
-                let (mut g, mut m) = (Vec::new(), Vec::new());
-                let mut ops = 0;
-                gallop_intersect(&small, &large, &mut g, &mut ops);
-                merge_intersect(&small, &large, &mut m, &mut ops);
-                assert_eq!(g, m, "stride {stride} offset {offset}");
+                let (reference, _) = run(Kernel::Merge, &small, &large);
+                for kernel in [Kernel::BranchlessMerge, Kernel::Gallop, Kernel::Simd] {
+                    let (out, _) = run(kernel, &small, &large);
+                    assert_eq!(out, reference, "{kernel:?} stride {stride} offset {offset}");
+                }
             }
         }
+    }
+
+    #[test]
+    fn simd_block_boundaries() {
+        // Matches at every lane position of a block, lists not a multiple of
+        // the block width, and needles beyond the last block.
+        let large: Vec<VertexId> = (0..37u32).map(|i| vid(i * 5)).collect();
+        for lane in 0..37u32 {
+            let needle = v(&[lane * 5]);
+            let (out, _) = run(Kernel::Simd, &needle, &large);
+            assert_eq!(out, needle, "lane {lane}");
+            let miss = v(&[lane * 5 + 1]);
+            let (out, _) = run(Kernel::Simd, &miss, &large);
+            assert!(out.is_empty(), "lane {lane} false positive");
+        }
+    }
+
+    #[test]
+    fn simd_tail_only_lists() {
+        // Lists shorter than one block exercise the scalar tail exclusively.
+        let a = v(&[1, 4, 6]);
+        let b = v(&[2, 4, 6, 9]);
+        let (out, _) = run(Kernel::Simd, &a, &b);
+        assert_eq!(out, v(&[4, 6]));
+    }
+
+    #[test]
+    fn op_counts_are_deterministic() {
+        let a: Vec<VertexId> = (0..123u32).map(|i| vid(i * 7 + 3)).collect();
+        let b: Vec<VertexId> = (0..999u32).map(|i| vid(i * 2)).collect();
+        for kernel in Kernel::CONCRETE.into_iter().chain([Kernel::Adaptive]) {
+            let (_, ops1) = run(kernel, &a, &b);
+            let (_, ops2) = run(kernel, &a, &b);
+            assert_eq!(ops1, ops2, "{kernel:?} non-deterministic ops");
+            assert!(ops1 > 0, "{kernel:?} counted no work");
+        }
+    }
+
+    #[test]
+    fn gallop_counts_fewer_ops_than_merge_when_skewed() {
+        let small: Vec<VertexId> = (0..8u32).map(|i| vid(i * 100)).collect();
+        let large: Vec<VertexId> = (0..4096u32).map(vid).collect();
+        let (_, merge_ops) = run(Kernel::Merge, &small, &large);
+        let (_, gallop_ops) = run(Kernel::Gallop, &small, &large);
+        assert!(
+            gallop_ops < merge_ops / 4,
+            "gallop {gallop_ops} vs merge {merge_ops}"
+        );
+    }
+
+    #[test]
+    fn kernel_names_roundtrip() {
+        for kernel in Kernel::CONCRETE.into_iter().chain([Kernel::Adaptive]) {
+            assert_eq!(Kernel::parse(kernel.name()), Some(kernel));
+        }
+        assert_eq!(Kernel::parse("nope"), None);
     }
 
     #[test]
@@ -214,11 +514,13 @@ mod tests {
         let base = v(&[1, 2, 3, 4, 5, 6]);
         let b = v(&[2, 4, 6, 8]);
         let c = v(&[1, 2, 4, 5, 6]);
-        let mut out = Vec::new();
-        let mut scratch = Vec::new();
-        let mut ops = 0;
-        intersect_many_into(&base, &[&b, &c], &mut out, &mut scratch, &mut ops);
-        assert_eq!(out, v(&[2, 4, 6]));
+        for kernel in Kernel::CONCRETE.into_iter().chain([Kernel::Adaptive]) {
+            let mut out = Vec::new();
+            let mut scratch = Vec::new();
+            let mut ops = 0;
+            intersect_many_with(kernel, &base, &[&b, &c], &mut out, &mut scratch, &mut ops);
+            assert_eq!(out, v(&[2, 4, 6]), "{kernel:?}");
+        }
     }
 
     #[test]
@@ -244,11 +546,32 @@ mod tests {
     }
 
     #[test]
-    fn sorted_contains_counts() {
+    fn sorted_contains_counts_exact_probes() {
         let list = v(&[1, 4, 9]);
         let mut ops = 0;
         assert!(sorted_contains(&list, vid(4), &mut ops));
+        // Hit at the midpoint: exactly one probe.
+        assert_eq!(ops, 1);
         assert!(!sorted_contains(&list, vid(5), &mut ops));
-        assert!(ops >= 2);
+        // Miss: probes 4 (hit-mid? no — greater/less chain) then 9 then done.
+        assert!(ops >= 3);
+        let mut empty_ops = 0;
+        assert!(!sorted_contains(&[], vid(1), &mut empty_ops));
+        assert_eq!(empty_ops, 0);
+    }
+
+    #[test]
+    fn branchless_reuses_capacity() {
+        let a: Vec<VertexId> = (0..64u32).map(|i| vid(i * 2)).collect();
+        let b: Vec<VertexId> = (0..64u32).map(|i| vid(i * 3)).collect();
+        let mut out = Vec::new();
+        let mut ops = 0;
+        branchless_merge_intersect(&a, &b, &mut out, &mut ops);
+        let cap = out.capacity();
+        for _ in 0..8 {
+            out.clear();
+            branchless_merge_intersect(&a, &b, &mut out, &mut ops);
+        }
+        assert_eq!(out.capacity(), cap, "steady-state reallocation");
     }
 }

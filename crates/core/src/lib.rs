@@ -24,6 +24,7 @@
 
 #![warn(missing_docs)]
 
+pub mod bitmap;
 pub mod enumerate;
 pub mod estimate;
 pub mod explain;
@@ -38,14 +39,16 @@ pub mod refine;
 pub mod sink;
 pub mod tables;
 
+pub use bitmap::VertexBitmap;
 pub use enumerate::{
     collect_embeddings, count_embeddings, enumerate_sequential, is_valid_embedding, EnumOptions,
     Enumerator, VerifyMode,
 };
 pub use estimate::{estimate_embeddings, Estimate, EstimateOptions};
 pub use explain::{cluster_skew, explain_index, explain_plan, ClusterSkew};
-pub use extreme::{decompose, WorkUnit};
+pub use extreme::{decompose, decompose_with, WorkUnit};
 pub use index::{BuildOptions, BuildStats, Ceci};
+pub use intersect::Kernel;
 pub use metrics::{Counters, Phase, PhaseSpan, PhaseTimeline};
 pub use parallel::{count_parallel, enumerate_parallel, ParallelOptions, ParallelResult, Strategy};
 pub use sink::{canonicalize, CollectSink, CountSink, EmbeddingSink, SharedBudget};

@@ -64,7 +64,10 @@ pub struct Counters {
     pub recursive_calls: u64,
     /// Embeddings emitted.
     pub embeddings: u64,
-    /// Set-intersection operations performed (element comparisons).
+    /// Set-intersection operations performed (element comparisons). Counted
+    /// exactly as integers — every kernel charges each comparison / probe /
+    /// SIMD block-test it actually executes, so the figure is deterministic
+    /// and bit-identical across platforms (no floating-point estimates).
     pub intersection_ops: u64,
     /// Edge verifications performed (only in edge-verify ablation mode).
     pub edge_verifications: u64,
@@ -143,12 +146,7 @@ impl PhaseTimeline {
     }
 
     /// Times `f` as one span of `phase` with `active_workers` parallelism.
-    pub fn record<T>(
-        &mut self,
-        phase: Phase,
-        active_workers: usize,
-        f: impl FnOnce() -> T,
-    ) -> T {
+    pub fn record<T>(&mut self, phase: Phase, active_workers: usize, f: impl FnOnce() -> T) -> T {
         let start = Instant::now();
         let out = f();
         self.entries.push(PhaseSpan {
@@ -247,7 +245,9 @@ mod tests {
         let mut tl = PhaseTimeline::new();
         let x = tl.record(Phase::Filter, 1, || 42);
         assert_eq!(x, 42);
-        tl.record(Phase::Enumerate, 8, || std::thread::sleep(Duration::from_millis(2)));
+        tl.record(Phase::Enumerate, 8, || {
+            std::thread::sleep(Duration::from_millis(2))
+        });
         assert_eq!(tl.spans().len(), 2);
         assert!(tl.phase_total(Phase::Enumerate) >= Duration::from_millis(2));
         assert!(tl.total() >= tl.phase_total(Phase::Enumerate));

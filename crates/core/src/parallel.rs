@@ -18,8 +18,9 @@ use ceci_graph::{Graph, VertexId};
 use ceci_query::QueryPlan;
 
 use crate::enumerate::{EnumOptions, Enumerator, VerifyMode};
-use crate::extreme::{decompose, WorkUnit};
+use crate::extreme::{decompose_with, WorkUnit};
 use crate::index::Ceci;
+use crate::intersect::Kernel;
 use crate::metrics::{Counters, ThreadTimer};
 use crate::sink::{CollectSink, CountSink, SharedBudget, SharedLimitSink};
 
@@ -58,6 +59,8 @@ pub struct ParallelOptions {
     pub strategy: Strategy,
     /// Non-tree edge strategy.
     pub verify: VerifyMode,
+    /// Intersection kernel used by every worker (§4.1 ablation knob).
+    pub kernel: Kernel,
     /// Stop after this many embeddings globally (first-k semantics).
     pub limit: Option<u64>,
     /// Collect the embeddings (otherwise only count).
@@ -70,6 +73,7 @@ impl Default for ParallelOptions {
             workers: 1,
             strategy: Strategy::FineDynamic { beta: 0.2 },
             verify: VerifyMode::Intersection,
+            kernel: Kernel::Adaptive,
             limit: None,
             collect: false,
         }
@@ -150,8 +154,14 @@ pub fn enumerate_parallel(
 ) -> ParallelResult {
     assert!(options.workers >= 1, "need at least one worker");
     let t0 = Instant::now();
+    let enum_opts = EnumOptions {
+        verify: options.verify,
+        kernel: options.kernel,
+    };
     let units: Vec<WorkUnit> = match options.strategy {
-        Strategy::FineDynamic { beta } => decompose(graph, plan, ceci, options.workers, beta),
+        Strategy::FineDynamic { beta } => {
+            decompose_with(graph, plan, ceci, options.workers, beta, enum_opts)
+        }
         _ => ceci
             .pivots()
             .iter()
@@ -166,16 +176,12 @@ pub fn enumerate_parallel(
 
     let budget = SharedBudget::new(options.limit);
     let next = AtomicUsize::new(0);
-    let enum_opts = EnumOptions {
-        verify: options.verify,
-    };
 
     // Static pre-assignment: worker w owns units with index ≡ w (mod k) —
     // "equal number of embedding clusters to each worker" with no pulling.
     let workers = options.workers;
     let t1 = Instant::now();
-    let mut results: Vec<(Counters, Duration, Vec<Vec<VertexId>>)> =
-        Vec::with_capacity(workers);
+    let mut results: Vec<(Counters, Duration, Vec<Vec<VertexId>>)> = Vec::with_capacity(workers);
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(workers);
         for w in 0..workers {
@@ -448,9 +454,6 @@ mod tests {
     fn count_parallel_convenience() {
         let (graph, plan) = paper::figure1();
         let ceci = Ceci::build(&graph, &plan);
-        assert_eq!(
-            count_parallel(&graph, &plan, &ceci, 2, Strategy::Static),
-            2
-        );
+        assert_eq!(count_parallel(&graph, &plan, &ceci, 2, Strategy::Static), 2);
     }
 }

@@ -4,8 +4,14 @@
 //! During construction and refinement the tables must support removals, so
 //! [`BuildTable`] keeps per-key `Vec`s plus a value-membership multiset.
 //! After refinement the index is frozen into [`CompactTable`] — sorted keys,
-//! one flat value arena, binary-searched lookups — matching the paper's
-//! sorted-vector layout (§3.6) and making `size_bytes` exact for Table 2.
+//! one flat value arena — matching the paper's sorted-vector layout (§3.6)
+//! and making `size_bytes` exact for Table 2.
+//!
+//! Freezing additionally builds a dense key → slot map (`slot_of`) indexed
+//! directly by the key's vertex id, so the enumeration hot path resolves
+//! `TE_Candidates[u][f(u_p)]` with two array reads instead of a binary
+//! search per recursive call. The legacy binary-search path survives as
+//! [`CompactTable::get_binary`] for differential testing.
 
 use ceci_graph::VertexId;
 use std::collections::HashMap;
@@ -32,7 +38,10 @@ impl BuildTable {
             self.entries.last().map(|(k, _)| *k < key).unwrap_or(true),
             "keys must be inserted in ascending order"
         );
-        debug_assert!(values.windows(2).all(|w| w[0] < w[1]), "values must be sorted");
+        debug_assert!(
+            values.windows(2).all(|w| w[0] < w[1]),
+            "values must be sorted"
+        );
         for &v in &values {
             *self.value_counts.entry(v).or_insert(0) += 1;
         }
@@ -129,12 +138,35 @@ impl BuildTable {
             values_len_guard(values.len());
             offsets.push(values.len() as u32);
         }
+        let slot_of = build_slot_map(&keys);
         CompactTable {
             keys,
             offsets,
             values,
+            slot_of,
         }
     }
+}
+
+/// Sentinel marking "key absent" in the dense slot map.
+const NO_SLOT: u32 = u32::MAX;
+
+/// Builds the dense key-id → slot array for a sorted key list. Sized to
+/// `max_key + 1`, so lookups for any `VertexId` are a bounds check plus one
+/// array read (out-of-range ids are simply absent).
+fn build_slot_map(keys: &[VertexId]) -> Vec<u32> {
+    let Some(max) = keys.last() else {
+        return Vec::new();
+    };
+    debug_assert!(
+        keys.len() < NO_SLOT as usize,
+        "slot indices must fit below the NO_SLOT sentinel"
+    );
+    let mut slot_of = vec![NO_SLOT; max.index() + 1];
+    for (i, k) in keys.iter().enumerate() {
+        slot_of[k.index()] = i as u32;
+    }
+    slot_of
 }
 
 fn values_len_guard(len: usize) {
@@ -144,16 +176,22 @@ fn values_len_guard(len: usize) {
     );
 }
 
-/// Immutable frozen candidate table: sorted keys, flat value arena.
+/// Immutable frozen candidate table: sorted keys, flat value arena, dense
+/// key → slot map.
 ///
 /// Layout is exactly the paper's 8-bytes-per-candidate-edge accounting: each
 /// stored (key, value) candidate edge costs one `u32` value slot plus
-/// amortized key/offset overhead.
+/// amortized key/offset overhead. The `slot_of` acceleration array trades
+/// `4 × (max_key + 1)` bytes per table for O(1) hot-path lookups; it is
+/// derived entirely from `keys`, so equality and the candidate-edge counts
+/// of Table 2 are unaffected.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct CompactTable {
     keys: Vec<VertexId>,
     offsets: Vec<u32>,
     values: Vec<VertexId>,
+    /// `slot_of[key_id]` = index into `keys`/`offsets`, or [`NO_SLOT`].
+    slot_of: Vec<u32>,
 }
 
 impl CompactTable {
@@ -169,12 +207,26 @@ impl CompactTable {
         self.values.len()
     }
 
-    /// Binary-searched lookup of the sorted value list for `key`.
+    /// O(1) lookup of the sorted value list for `key`: one read of the dense
+    /// slot map, one offset-pair read. This is the enumeration hot path.
     #[inline]
     pub fn get(&self, key: VertexId) -> Option<&[VertexId]> {
-        self.keys.binary_search(&key).ok().map(|i| {
-            &self.values[self.offsets[i] as usize..self.offsets[i + 1] as usize]
-        })
+        let slot = *self.slot_of.get(key.index())?;
+        if slot == NO_SLOT {
+            return None;
+        }
+        let i = slot as usize;
+        Some(&self.values[self.offsets[i] as usize..self.offsets[i + 1] as usize])
+    }
+
+    /// Legacy binary-searched lookup, kept as the reference implementation
+    /// for differential tests against [`CompactTable::get`].
+    #[inline]
+    pub fn get_binary(&self, key: VertexId) -> Option<&[VertexId]> {
+        self.keys
+            .binary_search(&key)
+            .ok()
+            .map(|i| &self.values[self.offsets[i] as usize..self.offsets[i + 1] as usize])
     }
 
     /// The sorted key list.
@@ -201,11 +253,12 @@ impl CompactTable {
         out
     }
 
-    /// Heap bytes held by the table.
+    /// Heap bytes held by the table, including the dense slot map.
     pub fn size_bytes(&self) -> usize {
         self.keys.capacity() * std::mem::size_of::<VertexId>()
             + self.offsets.capacity() * std::mem::size_of::<u32>()
             + self.values.capacity() * std::mem::size_of::<VertexId>()
+            + self.slot_of.capacity() * std::mem::size_of::<u32>()
     }
 }
 
@@ -284,6 +337,39 @@ mod tests {
         assert_eq!(c.value_union(), vec![vid(3), vid(5), vid(7), vid(9)]);
         assert!(c.size_bytes() > 0);
         assert_eq!(c.keys(), &[vid(1), vid(2)]);
+    }
+
+    #[test]
+    fn dense_get_agrees_with_binary_search() {
+        // Sparse, irregular key set: probe the whole surrounding id range so
+        // both hits and misses (inside and past the slot map) are covered.
+        let mut t = BuildTable::new();
+        for &k in &[2u32, 3, 17, 40, 41, 999] {
+            t.push_key(vid(k), vec![vid(k * 2), vid(k * 2 + 1)]);
+        }
+        let c = t.freeze();
+        for probe in 0..1100u32 {
+            assert_eq!(
+                c.get(vid(probe)),
+                c.get_binary(vid(probe)),
+                "dense/binary lookup disagree at key {probe}"
+            );
+        }
+    }
+
+    #[test]
+    fn slot_map_counted_in_size() {
+        let with_high_key = {
+            let mut t = BuildTable::new();
+            t.push_key(vid(1000), vec![vid(1)]);
+            t.freeze()
+        };
+        let with_low_key = {
+            let mut t = BuildTable::new();
+            t.push_key(vid(0), vec![vid(1)]);
+            t.freeze()
+        };
+        assert!(with_high_key.size_bytes() > with_low_key.size_bytes());
     }
 
     #[test]

@@ -50,11 +50,7 @@ pub fn jaccard(graph: &Graph, a: VertexId, b: VertexId) -> f64 {
 }
 
 /// Distributes `pivots` over `config.machines` machines.
-pub fn distribute_pivots(
-    graph: &Graph,
-    pivots: &[VertexId],
-    config: &ClusterConfig,
-) -> Partition {
+pub fn distribute_pivots(graph: &Graph, pivots: &[VertexId], config: &ClusterConfig) -> Partition {
     let m = config.machines.max(1);
     let estimate = |v: VertexId| -> f64 {
         let w = match config.storage {
@@ -71,10 +67,7 @@ pub fn distribute_pivots(
     let mut merged_groups = 0usize;
     if config.jaccard_colocation && matches!(config.storage, StorageMode::Replicated) {
         let mut by_load: Vec<usize> = (0..groups.len()).collect();
-        by_load.sort_by(|&a, &b| {
-            estimate(groups[b][0])
-                .total_cmp(&estimate(groups[a][0]))
-        });
+        by_load.sort_by(|&a, &b| estimate(groups[b][0]).total_cmp(&estimate(groups[a][0])));
         let top: Vec<usize> = by_load.into_iter().take(config.jaccard_top_k).collect();
         // Union-find over the top clusters.
         let mut parent: Vec<usize> = (0..groups.len()).collect();
@@ -115,16 +108,15 @@ pub fn distribute_pivots(
 
     let mut assignment: Vec<Vec<VertexId>> = vec![Vec::new(); m];
     let mut machine_load = vec![0.0f64; m];
-    let assign = |vs: &[VertexId],
-                      assignment: &mut Vec<Vec<VertexId>>,
-                      machine_load: &mut Vec<f64>| {
-        let load: f64 = vs.iter().map(|&v| estimate(v)).sum();
-        let target = (0..m)
-            .min_by(|&a, &b| machine_load[a].total_cmp(&machine_load[b]))
-            .unwrap();
-        assignment[target].extend_from_slice(vs);
-        machine_load[target] += load;
-    };
+    let assign =
+        |vs: &[VertexId], assignment: &mut Vec<Vec<VertexId>>, machine_load: &mut Vec<f64>| {
+            let load: f64 = vs.iter().map(|&v| estimate(v)).sum();
+            let target = (0..m)
+                .min_by(|&a, &b| machine_load[a].total_cmp(&machine_load[b]))
+                .unwrap();
+            assignment[target].extend_from_slice(vs);
+            machine_load[target] += load;
+        };
     for g in &groups {
         let load = group_load(g);
         let lightest = (0..m)

@@ -91,8 +91,8 @@ pub fn extract_fragment(full: &Graph, pivots: &[VertexId], radius: usize) -> Fra
     let mut order: Vec<VertexId> = Vec::new();
     let mut queue = std::collections::VecDeque::new();
     for &p in pivots {
-        if !dist.contains_key(&p) {
-            dist.insert(p, 0);
+        if let std::collections::hash_map::Entry::Vacant(e) = dist.entry(p) {
+            e.insert(0);
             order.push(p);
             queue.push_back(p);
         }
@@ -103,8 +103,8 @@ pub fn extract_fragment(full: &Graph, pivots: &[VertexId], radius: usize) -> Fra
             continue;
         }
         for &nb in full.neighbors(v) {
-            if !dist.contains_key(&nb) {
-                dist.insert(nb, d + 1);
+            if let std::collections::hash_map::Entry::Vacant(e) = dist.entry(nb) {
+                e.insert(d + 1);
                 order.push(nb);
                 queue.push_back(nb);
             }
@@ -183,22 +183,24 @@ pub struct PhysicalResult {
 /// The `plan` must be built against the *full* graph (root selection and
 /// initial candidates are global); per-fragment plans pin the same query
 /// root and matching order.
-pub fn run_physical(
-    full: &Graph,
-    plan: &QueryPlan,
-    config: &ClusterConfig,
-) -> PhysicalResult {
+pub fn run_physical(full: &Graph, plan: &QueryPlan, config: &ClusterConfig) -> PhysicalResult {
     let pivots = plan.initial_candidates(plan.root()).to_vec();
     let partition = distribute_pivots(full, &pivots, config);
-    let radius = plan.tree().bfs_order().iter().map(|&u| plan.tree().depth(u)).max().unwrap_or(0) as usize;
+    let radius = plan
+        .tree()
+        .bfs_order()
+        .iter()
+        .map(|&u| plan.tree().depth(u))
+        .max()
+        .unwrap_or(0) as usize;
 
     let mut reports: Vec<PhysicalMachineReport> = Vec::with_capacity(config.machines);
     std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for (machine, assigned) in partition.assignment.iter().enumerate() {
-            handles.push(scope.spawn(move || {
-                run_fragment_machine(full, plan, machine, assigned, radius)
-            }));
+            handles.push(
+                scope.spawn(move || run_fragment_machine(full, plan, machine, assigned, radius)),
+            );
         }
         for h in handles {
             reports.push(h.join().expect("fragment machine panicked"));
@@ -254,12 +256,8 @@ fn run_fragment_machine(
             BuildOptions::default(),
             local_pivots,
         );
-        let mut enumerator = Enumerator::new(
-            &fragment.graph,
-            &local_plan,
-            &ceci,
-            EnumOptions::default(),
-        );
+        let mut enumerator =
+            Enumerator::new(&fragment.graph, &local_plan, &ceci, EnumOptions::default());
         let mut sink = CountSink::unbounded();
         for &(pivot, _) in ceci.pivots() {
             enumerator.enumerate_cluster(pivot, &mut sink, &mut counters);

@@ -326,9 +326,9 @@ fn run_machine(
         counters,
         build_compute,
         enumerate_busy,
-        io_virtual: Duration::ZERO,  // filled in by the caller from ledgers
+        io_virtual: Duration::ZERO, // filled in by the caller from ledgers
         comm_virtual: Duration::ZERO,
-        }
+    }
 }
 
 /// Steals one pivot from the victim with the most unexplored clusters,

@@ -22,14 +22,19 @@ use crate::labels::LabelSet;
 /// # Panics
 /// Panics if `graph` has no edges (no hosts to attach to).
 pub fn attach_pendants(graph: &Graph, count: usize, seed: u64) -> Graph {
-    assert!(graph.num_edges() > 0, "cannot attach pendants to an edgeless graph");
+    assert!(
+        graph.num_edges() > 0,
+        "cannot attach pendants to an edgeless graph"
+    );
     let n = graph.num_vertices();
     let mut rng = StdRng::seed_from_u64(seed);
 
     // Degree-proportional host sampling via the flattened adjacency array:
     // picking a random adjacency entry endpoint is exactly degree-weighted.
     let raw = graph.csr().raw_neighbors();
-    let mut labels: Vec<LabelSet> = (0..n).map(|i| graph.labels(VertexId::from_index(i)).clone()).collect();
+    let mut labels: Vec<LabelSet> = (0..n)
+        .map(|i| graph.labels(VertexId::from_index(i)).clone())
+        .collect();
     let mut edges: Vec<(VertexId, VertexId)> = Vec::with_capacity(graph.num_edges() + count);
     for v in graph.vertices() {
         for &nb in graph.neighbors(v) {
@@ -94,10 +99,7 @@ mod tests {
     #[test]
     fn hubs_collect_more_pendants() {
         let core = kronecker_default(9, 8, 3);
-        let hub = core
-            .vertices()
-            .max_by_key(|&v| core.degree(v))
-            .unwrap();
+        let hub = core.vertices().max_by_key(|&v| core.degree(v)).unwrap();
         let g = attach_pendants(&core, 2000, 4);
         let gained_hub = g.degree(hub) - core.degree(hub);
         // A degree-proportional process gives the hub far more pendants than

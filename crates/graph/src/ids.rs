@@ -11,7 +11,12 @@ use std::fmt;
 /// Identifier of a vertex in a graph (data or query).
 ///
 /// Vertex ids are dense: a graph with `n` vertices uses ids `0..n`.
+///
+/// `repr(transparent)` guarantees the layout of `VertexId` is exactly that
+/// of `u32`, which lets the intersection kernels in `ceci-core` reinterpret
+/// sorted `&[VertexId]` candidate lists as `&[u32]` lanes for SIMD compares.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[repr(transparent)]
 pub struct VertexId(pub u32);
 
 /// Identifier of a vertex label drawn from the label alphabet `Σ`.

@@ -29,7 +29,11 @@ impl GraphStats {
             num_edges: m,
             num_labels: graph.num_labels(),
             max_degree: graph.max_degree(),
-            avg_degree: if n == 0 { 0.0 } else { 2.0 * m as f64 / n as f64 },
+            avg_degree: if n == 0 {
+                0.0
+            } else {
+                2.0 * m as f64 / n as f64
+            },
             directed: graph.is_directed_input(),
         }
     }

@@ -27,11 +27,7 @@ pub fn degree_filter(query: &QueryGraph, graph: &Graph, u: VertexId, v: VertexId
 /// Returns `true` if `v` passes the neighborhood label count filter (NLCF)
 /// for `u`: for every distinct label `l` among `u`'s neighbors,
 /// `count_v(l) ≥ count_u(l)`.
-pub fn nlc_filter(
-    query_counts: &[(ceci_graph::LabelId, u32)],
-    graph: &Graph,
-    v: VertexId,
-) -> bool {
+pub fn nlc_filter(query_counts: &[(ceci_graph::LabelId, u32)], graph: &Graph, v: VertexId) -> bool {
     if let Some(nlc) = graph.nlc_index() {
         // Merge the two sorted (label, count) lists.
         let vc = nlc.counts(v);

@@ -63,7 +63,9 @@ impl PaperQuery {
 /// A path query `u_0 - u_1 - ... - u_{n-1}` (unlabeled).
 pub fn path(n: usize) -> QueryGraph {
     assert!(n >= 1);
-    let edges: Vec<(u32, u32)> = (0..n.saturating_sub(1) as u32).map(|i| (i, i + 1)).collect();
+    let edges: Vec<(u32, u32)> = (0..n.saturating_sub(1) as u32)
+        .map(|i| (i, i + 1))
+        .collect();
     QueryGraph::unlabeled(n, &edges).expect("paths are connected")
 }
 

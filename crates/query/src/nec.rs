@@ -226,8 +226,8 @@ mod tests {
     #[test]
     fn labeled_queries_often_rigid() {
         use ceci_graph::lid;
-        let q = QueryGraph::with_labels(&[lid(0), lid(1), lid(2)], &[(0, 1), (1, 2), (2, 0)])
-            .unwrap();
+        let q =
+            QueryGraph::with_labels(&[lid(0), lid(1), lid(2)], &[(0, 1), (1, 2), (2, 0)]).unwrap();
         assert_eq!(aut_count(&q), 1);
         let (c, complete) = break_symmetry(&q, 1_000_000);
         assert!(complete);

@@ -68,10 +68,7 @@ fn greedy_order(
             if placed[u.index()] {
                 continue;
             }
-            let parent_placed = tree
-                .parent(u)
-                .map(|p| placed[p.index()])
-                .unwrap_or(false);
+            let parent_placed = tree.parent(u).map(|p| placed[p.index()]).unwrap_or(false);
             if !parent_placed {
                 continue;
             }
@@ -184,9 +181,15 @@ mod tests {
     fn invalid_orders_rejected() {
         let (_, t) = house();
         // Wrong first vertex.
-        assert!(!is_valid_order(&t, &[vid(1), vid(0), vid(2), vid(3), vid(4)]));
+        assert!(!is_valid_order(
+            &t,
+            &[vid(1), vid(0), vid(2), vid(3), vid(4)]
+        ));
         // Duplicate vertex.
-        assert!(!is_valid_order(&t, &[vid(0), vid(1), vid(1), vid(3), vid(4)]));
+        assert!(!is_valid_order(
+            &t,
+            &[vid(0), vid(1), vid(1), vid(3), vid(4)]
+        ));
         // Too short.
         assert!(!is_valid_order(&t, &[vid(0), vid(1)]));
     }

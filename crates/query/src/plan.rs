@@ -123,7 +123,14 @@ impl QueryPlan {
             "matching order violates tree-parent precedence"
         );
         let initial_candidates = compute_candidates(&query, graph);
-        Self::assemble(query, tree, order, initial_candidates, symmetry, symmetry_complete)
+        Self::assemble(
+            query,
+            tree,
+            order,
+            initial_candidates,
+            symmetry,
+            symmetry_complete,
+        )
     }
 
     fn assemble(
@@ -264,9 +271,13 @@ impl QueryPlan {
         mapping: &[Option<VertexId>],
     ) -> bool {
         self.lower_bounds[u.index()].iter().all(|w| {
-            mapping[w.index()].map(|img| img < candidate).unwrap_or(true)
+            mapping[w.index()]
+                .map(|img| img < candidate)
+                .unwrap_or(true)
         }) && self.upper_bounds[u.index()].iter().all(|w| {
-            mapping[w.index()].map(|img| candidate < img).unwrap_or(true)
+            mapping[w.index()]
+                .map(|img| candidate < img)
+                .unwrap_or(true)
         })
     }
 }

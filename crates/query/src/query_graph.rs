@@ -68,10 +68,7 @@ impl QueryGraph {
     }
 
     /// Builds a single-label-per-vertex query graph.
-    pub fn with_labels(
-        labels: &[LabelId],
-        edges: &[(u32, u32)],
-    ) -> Result<Self, QueryGraphError> {
+    pub fn with_labels(labels: &[LabelId], edges: &[(u32, u32)]) -> Result<Self, QueryGraphError> {
         let ls = labels.iter().map(|&l| LabelSet::single(l)).collect();
         let es: Vec<_> = edges
             .iter()
@@ -224,7 +221,10 @@ mod tests {
         let q = QueryGraph::unlabeled(3, &[(0, 1), (1, 2), (2, 0)]).unwrap();
         assert_eq!(q.num_vertices(), 3);
         assert_eq!(q.num_edges(), 3);
-        assert_eq!(q.edges(), &[(vid(0), vid(1)), (vid(0), vid(2)), (vid(1), vid(2))]);
+        assert_eq!(
+            q.edges(),
+            &[(vid(0), vid(1)), (vid(0), vid(2)), (vid(1), vid(2))]
+        );
     }
 
     #[test]
@@ -256,11 +256,9 @@ mod tests {
     #[test]
     fn neighborhood_label_counts_sorted_with_counts() {
         // star: center 0 (label 9), leaves labeled 1, 1, 2
-        let q = QueryGraph::with_labels(
-            &[lid(9), lid(1), lid(1), lid(2)],
-            &[(0, 1), (0, 2), (0, 3)],
-        )
-        .unwrap();
+        let q =
+            QueryGraph::with_labels(&[lid(9), lid(1), lid(1), lid(2)], &[(0, 1), (0, 2), (0, 3)])
+                .unwrap();
         assert_eq!(
             q.neighborhood_label_counts(vid(0)),
             vec![(lid(1), 2), (lid(2), 1)]

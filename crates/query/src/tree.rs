@@ -133,11 +133,7 @@ mod tests {
     /// (u1,u3), (u2,u4), (u3,u5); non-tree edges (u2,u3), (u3,u4).
     /// We use 0-based ids: u1 → 0, ..., u5 → 4.
     fn figure1_query() -> QueryGraph {
-        QueryGraph::unlabeled(
-            5,
-            &[(0, 1), (0, 2), (1, 2), (1, 3), (2, 3), (2, 4)],
-        )
-        .unwrap()
+        QueryGraph::unlabeled(5, &[(0, 1), (0, 2), (1, 2), (1, 3), (2, 3), (2, 4)]).unwrap()
     }
 
     #[test]

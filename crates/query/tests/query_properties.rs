@@ -13,9 +13,7 @@ fn arb_query(max_n: usize) -> impl Strategy<Value = QueryGraph> {
         use rand::rngs::StdRng;
         use rand::{Rng, SeedableRng};
         let mut rng = StdRng::seed_from_u64(seed);
-        let mut edges: Vec<(u32, u32)> = (1..n as u32)
-            .map(|i| (rng.gen_range(0..i), i))
-            .collect();
+        let mut edges: Vec<(u32, u32)> = (1..n as u32).map(|i| (rng.gen_range(0..i), i)).collect();
         for _ in 0..n / 2 {
             let a = rng.gen_range(0..n as u32);
             let b = rng.gen_range(0..n as u32);
@@ -23,9 +21,7 @@ fn arb_query(max_n: usize) -> impl Strategy<Value = QueryGraph> {
                 edges.push((a.min(b), a.max(b)));
             }
         }
-        let label_ids: Vec<LabelId> = (0..n)
-            .map(|_| LabelId(rng.gen_range(0..labels)))
-            .collect();
+        let label_ids: Vec<LabelId> = (0..n).map(|_| LabelId(rng.gen_range(0..labels))).collect();
         QueryGraph::with_labels(&label_ids, &edges).expect("tree + extras is connected")
     })
 }

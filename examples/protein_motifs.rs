@@ -22,14 +22,10 @@ fn main() {
     );
 
     // Motif 1: a "bridge" — kinase(0) - scaffold(1) - kinase(0).
-    let bridge =
-        QueryGraph::with_labels(&[lid(0), lid(1), lid(0)], &[(0, 1), (1, 2)]).unwrap();
+    let bridge = QueryGraph::with_labels(&[lid(0), lid(1), lid(0)], &[(0, 1), (1, 2)]).unwrap();
     // Motif 2: a signaling triangle across three distinct families.
-    let triangle = QueryGraph::with_labels(
-        &[lid(0), lid(1), lid(2)],
-        &[(0, 1), (1, 2), (2, 0)],
-    )
-    .unwrap();
+    let triangle =
+        QueryGraph::with_labels(&[lid(0), lid(1), lid(2)], &[(0, 1), (1, 2), (2, 0)]).unwrap();
     // Motif 3: a feed-forward diamond with a repeated family.
     let diamond = QueryGraph::with_labels(
         &[lid(3), lid(4), lid(4), lid(5)],
@@ -64,8 +60,7 @@ fn main() {
     }
 
     // First-k mode: biologists often only need a sample of occurrences.
-    let sample_query =
-        QueryGraph::with_labels(&[lid(0), lid(1)], &[(0, 1)]).unwrap();
+    let sample_query = QueryGraph::with_labels(&[lid(0), lid(1)], &[(0, 1)]).unwrap();
     let plan = QueryPlan::new(sample_query, &graph);
     let ceci = Ceci::build(&graph, &plan);
     let sample = enumerate_parallel(

@@ -37,7 +37,8 @@ fn counts_invariant_over_cluster_shape() {
                         },
                     );
                     assert_eq!(
-                        result.total_embeddings, want,
+                        result.total_embeddings,
+                        want,
                         "{} machines={machines} threads={threads} {storage:?}",
                         q.name()
                     );
@@ -63,10 +64,17 @@ fn work_stealing_rebalances_imbalanced_assignments() {
             ..Default::default()
         },
     );
-    let processed: Vec<usize> = result.reports.iter().map(|r| r.processed_clusters).collect();
+    let processed: Vec<usize> = result
+        .reports
+        .iter()
+        .map(|r| r.processed_clusters)
+        .collect();
     // Every machine did something (the assignment spreads pivots, stealing
     // fills any gap).
-    assert!(processed.iter().all(|&p| p > 0), "processed = {processed:?}");
+    assert!(
+        processed.iter().all(|&p| p > 0),
+        "processed = {processed:?}"
+    );
 }
 
 #[test]

@@ -27,14 +27,8 @@ fn queries() -> Vec<(String, QueryGraph)> {
         .iter()
         .map(|q| (q.name().to_string(), q.build()))
         .collect();
-    out.push((
-        "path3".into(),
-        ceci_query::catalog::path(3),
-    ));
-    out.push((
-        "star3".into(),
-        ceci_query::catalog::star(3),
-    ));
+    out.push(("path3".into(), ceci_query::catalog::path(3)));
+    out.push(("star3".into(), ceci_query::catalog::star(3)));
     out.push((
         "labeled_tri".into(),
         QueryGraph::with_labels(&[lid(0), lid(1), lid(2)], &[(0, 1), (1, 2), (2, 0)]).unwrap(),
@@ -63,6 +57,7 @@ fn all_engines_agree_on_random_graphs() {
                 &ceci,
                 EnumOptions {
                     verify: VerifyMode::EdgeVerification,
+                    ..Default::default()
                 },
                 &mut sink,
             );
@@ -197,7 +192,16 @@ fn ablation_variants_agree() {
     ] {
         let ceci = Ceci::build_with(&graph, &plan, BuildOptions { build_nte, refine });
         let mut sink = CountSink::unbounded();
-        enumerate_sequential(&graph, &plan, &ceci, EnumOptions { verify }, &mut sink);
+        enumerate_sequential(
+            &graph,
+            &plan,
+            &ceci,
+            EnumOptions {
+                verify,
+                ..Default::default()
+            },
+            &mut sink,
+        );
         assert_eq!(
             sink.count(),
             expected,

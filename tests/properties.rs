@@ -51,8 +51,7 @@ fn arb_query() -> impl PropStrategy<Value = QueryGraph> {
         Just(ceci_query::catalog::cycle(5)),
         Just(QueryGraph::with_labels(&[lid(0), lid(1)], &[(0, 1)]).unwrap()),
         Just(
-            QueryGraph::with_labels(&[lid(0), lid(1), lid(0)], &[(0, 1), (1, 2), (0, 2)])
-                .unwrap()
+            QueryGraph::with_labels(&[lid(0), lid(1), lid(0)], &[(0, 1), (1, 2), (0, 2)]).unwrap()
         ),
     ]
 }

@@ -26,19 +26,17 @@ impl Default for Criterion {
     fn default() -> Self {
         // First free CLI arg (as passed by `cargo bench -- <filter>`) filters
         // benchmark names; flags like `--bench` are ignored.
-        let filter = std::env::args()
-            .skip(1)
-            .find(|a| !a.starts_with('-'));
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
         Criterion { filter }
     }
 }
 
 impl Criterion {
     /// Starts a named group of benchmarks.
-    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
         BenchmarkGroup {
             criterion: self,
-            name: name.to_string(),
+            name: name.into(),
             sample_size: DEFAULT_SAMPLES,
         }
     }

@@ -127,7 +127,10 @@ pub mod strategy {
     impl<V> Union<V> {
         /// Builds a union over the given alternatives (must be non-empty).
         pub fn new(alternatives: Vec<BoxedStrategy<V>>) -> Self {
-            assert!(!alternatives.is_empty(), "prop_oneof! needs at least one arm");
+            assert!(
+                !alternatives.is_empty(),
+                "prop_oneof! needs at least one arm"
+            );
             Union(alternatives)
         }
     }
