@@ -14,11 +14,19 @@
 use ceci_graph::{Graph, VertexId};
 use ceci_query::QueryPlan;
 
+use std::sync::Arc;
+
 use crate::bitmap::VertexBitmap;
 use crate::index::Ceci;
 use crate::intersect::{intersect_many_with, Kernel};
 use crate::metrics::Counters;
-use crate::sink::EmbeddingSink;
+use crate::sink::{CancelToken, EmbeddingSink};
+
+/// How many recursive calls pass between cooperative cancellation checks.
+/// A power of two so the check compiles to a mask test; small enough that a
+/// timed-out request unwinds in microseconds, large enough that the deadline
+/// clock stays off the hot path (one `Instant::now()` per 64 calls).
+const CANCEL_CHECK_MASK: u64 = 0x3F;
 
 /// How non-tree edges are checked during enumeration.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -62,6 +70,9 @@ pub struct Enumerator<'a> {
     nte_lists: Vec<&'a [VertexId]>,
     scratch: Vec<VertexId>,
     emission: Vec<VertexId>,
+    /// Cooperative cancellation token, polled every [`CANCEL_CHECK_MASK`]+1
+    /// recursive calls (per-request deadlines in the serving layer).
+    cancel: Option<Arc<CancelToken>>,
 }
 
 impl<'a> Enumerator<'a> {
@@ -90,7 +101,15 @@ impl<'a> Enumerator<'a> {
             nte_lists: Vec::with_capacity(max_nte),
             scratch: Vec::new(),
             emission: vec![VertexId(0); n],
+            cancel: None,
         }
+    }
+
+    /// Attaches a cooperative [`CancelToken`]: the recursion polls it
+    /// periodically and unwinds (as if the sink had requested a stop) once it
+    /// trips. Pass `None` to detach.
+    pub fn set_cancel(&mut self, token: Option<Arc<CancelToken>>) {
+        self.cancel = token;
     }
 
     /// Enumerates all embeddings in the cluster of `pivot`. Returns `false`
@@ -151,6 +170,16 @@ impl<'a> Enumerator<'a> {
         counters: &mut Counters,
     ) -> bool {
         counters.recursive_calls += 1;
+        // Cooperative cancellation: poll the shared token periodically so a
+        // deadline-exceeded request unwinds in bounded time without paying a
+        // clock read on every call.
+        if counters.recursive_calls & CANCEL_CHECK_MASK == 0 {
+            if let Some(token) = &self.cancel {
+                if token.is_cancelled() {
+                    return false;
+                }
+            }
+        }
         // Detach the reference fields from `self` so candidate lists borrowed
         // from the index don't pin the whole enumerator.
         let (graph, plan, ceci) = (self.graph, self.plan, self.ceci);
@@ -511,6 +540,43 @@ mod tests {
             paper::v(12),
         ];
         assert!(!is_valid_embedding(&graph, &plan, &bad));
+    }
+
+    #[test]
+    fn cancel_token_unwinds_mid_recursion() {
+        use crate::sink::CancelToken;
+        use ceci_graph::vid;
+        use ceci_query::PaperQuery;
+
+        // Hub fan with a consecutive ring: enough triangles that the search
+        // makes well over CANCEL_CHECK_MASK recursive calls.
+        let mut edges = Vec::new();
+        for i in 1..=100u32 {
+            edges.push((vid(0), vid(i)));
+        }
+        for i in 1..100u32 {
+            edges.push((vid(i), vid(i + 1)));
+        }
+        let graph = Graph::unlabeled(101, &edges);
+        let plan = QueryPlan::new(PaperQuery::Qg1.build(), &graph);
+        let ceci = Ceci::build(&graph, &plan);
+        let total = count_embeddings(&graph, &plan, &ceci);
+
+        let token = CancelToken::new();
+        token.cancel();
+        let mut e = Enumerator::new(&graph, &plan, &ceci, EnumOptions::default());
+        e.set_cancel(Some(token));
+        let mut counters = Counters::default();
+        let mut sink = CountSink::unbounded();
+        let mut stopped = false;
+        for &(pivot, _) in ceci.pivots() {
+            if !e.enumerate_cluster(pivot, &mut sink, &mut counters) {
+                stopped = true;
+                break;
+            }
+        }
+        assert!(stopped, "periodic check must trip inside the recursion");
+        assert!(sink.count() < total);
     }
 
     #[test]

@@ -50,5 +50,10 @@ pub use extreme::{decompose, decompose_with, WorkUnit};
 pub use index::{BuildOptions, BuildStats, Ceci};
 pub use intersect::Kernel;
 pub use metrics::{Counters, Phase, PhaseSpan, PhaseTimeline};
-pub use parallel::{count_parallel, enumerate_parallel, ParallelOptions, ParallelResult, Strategy};
-pub use sink::{canonicalize, CollectSink, CountSink, EmbeddingSink, SharedBudget};
+pub use parallel::{
+    count_parallel, enumerate_parallel, enumerate_parallel_cancellable, ParallelOptions,
+    ParallelResult, Strategy,
+};
+pub use sink::{
+    canonicalize, CancelToken, CollectSink, CountSink, DeadlineSink, EmbeddingSink, SharedBudget,
+};

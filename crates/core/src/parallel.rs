@@ -12,6 +12,7 @@
 //!   sorted largest-first, then pulled dynamically.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use ceci_graph::{Graph, VertexId};
@@ -22,7 +23,9 @@ use crate::extreme::{decompose_with, WorkUnit};
 use crate::index::Ceci;
 use crate::intersect::Kernel;
 use crate::metrics::{Counters, ThreadTimer};
-use crate::sink::{CollectSink, CountSink, SharedBudget, SharedLimitSink};
+use crate::sink::{
+    CancelToken, CollectSink, CountSink, DeadlineSink, SharedBudget, SharedLimitSink,
+};
 
 /// Work distribution policy.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -98,6 +101,9 @@ pub struct ParallelResult {
     pub enumerate_time: Duration,
     /// Collected embeddings, canonically sorted (when requested).
     pub embeddings: Option<Vec<Vec<VertexId>>>,
+    /// `true` if the run was cut short by a [`CancelToken`] (explicit cancel
+    /// or deadline). Counts/embeddings are then a valid partial result.
+    pub cancelled: bool,
 }
 
 impl ParallelResult {
@@ -152,6 +158,21 @@ pub fn enumerate_parallel(
     ceci: &Ceci,
     options: &ParallelOptions,
 ) -> ParallelResult {
+    enumerate_parallel_cancellable(graph, plan, ceci, options, None)
+}
+
+/// [`enumerate_parallel`] with an optional cooperative [`CancelToken`]
+/// (explicit cancellation or a wall-clock deadline). Workers poll the token
+/// between work units, inside the recursion (periodically), and on every
+/// emission, so a tripped token unwinds the whole pool in bounded time; the
+/// result then carries `cancelled = true` and valid partial counts.
+pub fn enumerate_parallel_cancellable(
+    graph: &Graph,
+    plan: &QueryPlan,
+    ceci: &Ceci,
+    options: &ParallelOptions,
+    cancel: Option<Arc<CancelToken>>,
+) -> ParallelResult {
     assert!(options.workers >= 1, "need at least one worker");
     let t0 = Instant::now();
     let enum_opts = EnumOptions {
@@ -188,16 +209,20 @@ pub fn enumerate_parallel(
             let units = &units;
             let next = &next;
             let budget = budget.clone();
+            let cancel = cancel.clone();
             handles.push(scope.spawn(move || {
                 let mut counters = Counters::default();
                 let mut busy = Duration::ZERO;
                 let mut collected: Vec<Vec<VertexId>> = Vec::new();
                 let mut enumerator = Enumerator::new(graph, plan, ceci, enum_opts);
+                enumerator.set_cancel(cancel.clone());
+                let stop_now =
+                    |budget: &SharedBudget| budget.stopped() || is_cancelled(cancel.as_deref());
                 if matches!(options.strategy, Strategy::Static) {
                     // Static pre-assignment: worker w owns units w, w+k, ...
                     let mut i = w;
                     while i < units.len() {
-                        if budget.stopped() {
+                        if stop_now(&budget) {
                             break;
                         }
                         let start = ThreadTimer::start();
@@ -205,6 +230,7 @@ pub fn enumerate_parallel(
                             &mut enumerator,
                             &units[i],
                             &budget,
+                            cancel.as_ref(),
                             options.collect,
                             &mut collected,
                             &mut counters,
@@ -217,7 +243,7 @@ pub fn enumerate_parallel(
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         let Some(unit) = units.get(i) else { break };
-                        if budget.stopped() {
+                        if stop_now(&budget) {
                             break;
                         }
                         let start = ThreadTimer::start();
@@ -225,6 +251,7 @@ pub fn enumerate_parallel(
                             &mut enumerator,
                             unit,
                             &budget,
+                            cancel.as_ref(),
                             options.collect,
                             &mut collected,
                             &mut counters,
@@ -266,13 +293,20 @@ pub fn enumerate_parallel(
         distribute_time,
         enumerate_time,
         embeddings,
+        cancelled: is_cancelled(cancel.as_deref()),
     }
+}
+
+#[inline]
+fn is_cancelled(cancel: Option<&CancelToken>) -> bool {
+    cancel.map(|t| t.is_cancelled()).unwrap_or(false)
 }
 
 fn run_unit(
     enumerator: &mut Enumerator<'_>,
     unit: &WorkUnit,
-    budget: &std::sync::Arc<SharedBudget>,
+    budget: &Arc<SharedBudget>,
+    cancel: Option<&Arc<CancelToken>>,
     collect: bool,
     collected: &mut Vec<Vec<VertexId>>,
     counters: &mut Counters,
@@ -280,14 +314,30 @@ fn run_unit(
     if collect {
         let mut inner = CollectSink::unbounded();
         {
-            let mut sink = SharedLimitSink::new(&mut inner, budget.clone());
-            enumerator.enumerate_prefix(&unit.prefix, &mut sink, counters);
+            let mut limited = SharedLimitSink::new(&mut inner, budget.clone());
+            match cancel {
+                Some(token) => {
+                    let mut sink = DeadlineSink::new(&mut limited, token.clone());
+                    enumerator.enumerate_prefix(&unit.prefix, &mut sink, counters);
+                }
+                None => {
+                    enumerator.enumerate_prefix(&unit.prefix, &mut limited, counters);
+                }
+            }
         }
         collected.extend(inner.into_embeddings());
     } else {
         let mut inner = CountSink::unbounded();
-        let mut sink = SharedLimitSink::new(&mut inner, budget.clone());
-        enumerator.enumerate_prefix(&unit.prefix, &mut sink, counters);
+        let mut limited = SharedLimitSink::new(&mut inner, budget.clone());
+        match cancel {
+            Some(token) => {
+                let mut sink = DeadlineSink::new(&mut limited, token.clone());
+                enumerator.enumerate_prefix(&unit.prefix, &mut sink, counters);
+            }
+            None => {
+                enumerator.enumerate_prefix(&unit.prefix, &mut limited, counters);
+            }
+        }
     }
 }
 
@@ -448,6 +498,94 @@ mod tests {
             },
         );
         assert!(fgd.num_units > cgd.num_units);
+    }
+
+    #[test]
+    fn cancel_stops_all_strategies() {
+        // A pre-cancelled token must stop ST, CGD, and FGD workers before
+        // (or immediately after) their first work unit: the partial count is
+        // strictly below the full count and the result is flagged.
+        let graph = skewed_graph();
+        let plan = QueryPlan::new(PaperQuery::Qg1.build(), &graph);
+        let ceci = Ceci::build(&graph, &plan);
+        let total = expected(&graph, &plan, &ceci).len() as u64;
+        assert!(total > 4);
+        for strategy in [
+            Strategy::Static,
+            Strategy::CoarseDynamic,
+            Strategy::FineDynamic { beta: 0.2 },
+        ] {
+            for workers in [1, 2, 4] {
+                let token = CancelToken::new();
+                token.cancel();
+                let result = enumerate_parallel_cancellable(
+                    &graph,
+                    &plan,
+                    &ceci,
+                    &ParallelOptions {
+                        workers,
+                        strategy,
+                        ..Default::default()
+                    },
+                    Some(token.clone()),
+                );
+                assert!(result.cancelled, "{} × {workers}", strategy.abbrev());
+                assert!(
+                    result.total_embeddings < total,
+                    "{} × {workers}: cancelled run found {} of {total}",
+                    strategy.abbrev(),
+                    result.total_embeddings
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn expired_deadline_returns_partial_counts() {
+        let graph = skewed_graph();
+        let plan = QueryPlan::new(PaperQuery::Qg1.build(), &graph);
+        let ceci = Ceci::build(&graph, &plan);
+        let token = CancelToken::after(Duration::ZERO);
+        let result = enumerate_parallel_cancellable(
+            &graph,
+            &plan,
+            &ceci,
+            &ParallelOptions {
+                workers: 2,
+                strategy: Strategy::CoarseDynamic,
+                collect: true,
+                ..Default::default()
+            },
+            Some(token),
+        );
+        assert!(result.cancelled);
+        // Whatever was collected before the stop is genuine.
+        for emb in result.embeddings.as_deref().unwrap_or(&[]) {
+            assert!(crate::enumerate::is_valid_embedding(&graph, &plan, emb));
+        }
+    }
+
+    #[test]
+    fn uncancelled_token_changes_nothing() {
+        let (graph, plan) = paper::figure1();
+        let ceci = Ceci::build(&graph, &plan);
+        let token = CancelToken::new();
+        let result = enumerate_parallel_cancellable(
+            &graph,
+            &plan,
+            &ceci,
+            &ParallelOptions {
+                workers: 2,
+                collect: true,
+                ..Default::default()
+            },
+            Some(token),
+        );
+        assert!(!result.cancelled);
+        assert_eq!(
+            result.embeddings.unwrap(),
+            crate::sink::canonicalize(paper::expected_embeddings())
+        );
     }
 
     #[test]

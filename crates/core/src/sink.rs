@@ -8,6 +8,7 @@
 use ceci_graph::VertexId;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Consumer of embeddings.
 pub trait EmbeddingSink {
@@ -175,6 +176,97 @@ impl<S: EmbeddingSink> EmbeddingSink for SharedLimitSink<'_, S> {
     }
 }
 
+/// A shared cooperative-cancellation token: an explicit stop flag plus an
+/// optional wall-clock deadline.
+///
+/// Enumeration is a deep recursion that can run for a very long time; a
+/// serving layer cannot afford to wedge a worker on one runaway request.
+/// Every cancellation point (sink emissions via [`DeadlineSink`], the
+/// periodic check inside the enumeration recursion, and the parallel worker
+/// loop between work units) polls the same token, so a request past its
+/// deadline unwinds everywhere within a bounded number of steps and the
+/// partial results observed so far remain valid.
+#[derive(Debug)]
+pub struct CancelToken {
+    cancelled: AtomicBool,
+    deadline: Option<Instant>,
+}
+
+impl CancelToken {
+    /// A token with no deadline (cancellable only via [`CancelToken::cancel`]).
+    pub fn new() -> Arc<Self> {
+        Arc::new(CancelToken {
+            cancelled: AtomicBool::new(false),
+            deadline: None,
+        })
+    }
+
+    /// A token that trips once `deadline` passes.
+    pub fn with_deadline(deadline: Instant) -> Arc<Self> {
+        Arc::new(CancelToken {
+            cancelled: AtomicBool::new(false),
+            deadline: Some(deadline),
+        })
+    }
+
+    /// A token that trips `timeout` from now.
+    pub fn after(timeout: Duration) -> Arc<Self> {
+        Self::with_deadline(Instant::now() + timeout)
+    }
+
+    /// Requests cancellation explicitly.
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    /// `true` once the token is cancelled or its deadline has passed. The
+    /// fast path is a single relaxed atomic load; the deadline clock is only
+    /// consulted until it first trips (the result is then latched).
+    pub fn is_cancelled(&self) -> bool {
+        if self.cancelled.load(Ordering::Relaxed) {
+            return true;
+        }
+        match self.deadline {
+            Some(d) if Instant::now() >= d => {
+                self.cancelled.store(true, Ordering::Relaxed);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// The configured deadline, if any.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+}
+
+/// Wraps any [`EmbeddingSink`] with a shared [`CancelToken`]: emissions stop
+/// (returning `false` to the enumerator) as soon as the token is cancelled
+/// or its deadline passes. Partial results already delivered to the inner
+/// sink remain available — the serving layer returns them with a
+/// `DEADLINE_EXCEEDED` status instead of discarding the work.
+pub struct DeadlineSink<'a, S: EmbeddingSink> {
+    inner: &'a mut S,
+    token: Arc<CancelToken>,
+}
+
+impl<'a, S: EmbeddingSink> DeadlineSink<'a, S> {
+    /// Wraps `inner` under `token`.
+    pub fn new(inner: &'a mut S, token: Arc<CancelToken>) -> Self {
+        DeadlineSink { inner, token }
+    }
+}
+
+impl<S: EmbeddingSink> EmbeddingSink for DeadlineSink<'_, S> {
+    fn emit(&mut self, embedding: &[VertexId]) -> bool {
+        if self.token.is_cancelled() {
+            return false;
+        }
+        self.inner.emit(embedding)
+    }
+}
+
 /// Sorts embeddings lexicographically — canonical form for comparing result
 /// sets across engines and worker counts.
 pub fn canonicalize(mut embeddings: Vec<Vec<VertexId>>) -> Vec<Vec<VertexId>> {
@@ -252,6 +344,41 @@ mod tests {
         assert!(s.emit(&[vid(0)]));
         assert_eq!(budget.emitted(), 2);
         assert!(!budget.stopped());
+    }
+
+    #[test]
+    fn deadline_sink_stops_on_cancel() {
+        let token = CancelToken::new();
+        let mut inner = CountSink::unbounded();
+        let mut sink = DeadlineSink::new(&mut inner, token.clone());
+        assert!(sink.emit(&[vid(0)]));
+        assert!(sink.emit(&[vid(1)]));
+        token.cancel();
+        assert!(!sink.emit(&[vid(2)]));
+        // Partial results survive cancellation.
+        assert_eq!(inner.count(), 2);
+    }
+
+    #[test]
+    fn deadline_sink_trips_on_expired_deadline() {
+        let token = CancelToken::with_deadline(Instant::now() - Duration::from_millis(1));
+        let mut inner = CountSink::unbounded();
+        let mut sink = DeadlineSink::new(&mut inner, token.clone());
+        assert!(!sink.emit(&[vid(0)]));
+        assert_eq!(inner.count(), 0);
+        assert!(token.is_cancelled());
+    }
+
+    #[test]
+    fn cancel_token_latches() {
+        let token = CancelToken::after(Duration::ZERO);
+        assert!(token.is_cancelled());
+        assert!(token.is_cancelled()); // latched, no un-cancel
+        let free = CancelToken::new();
+        assert!(!free.is_cancelled());
+        assert!(free.deadline().is_none());
+        free.cancel();
+        assert!(free.is_cancelled());
     }
 
     #[test]

@@ -16,6 +16,27 @@ pub enum GraphError {
     },
     /// Structural problem (bad header, inconsistent counts, bad magic...).
     Format(String),
+    /// An error that occurred while reading a specific file — wraps the
+    /// underlying failure with the path so callers (CLI tools, the serving
+    /// layer) can report *which* input was malformed, not just how.
+    File {
+        /// The file being read.
+        path: std::path::PathBuf,
+        /// The underlying failure (IO, parse-with-line, or format error).
+        source: Box<GraphError>,
+    },
+}
+
+impl GraphError {
+    /// Wraps `self` with the file it arose from. Loader entry points taking
+    /// paths apply this so every error carries file context; line context is
+    /// already carried by [`GraphError::Parse`].
+    pub fn in_file(self, path: impl Into<std::path::PathBuf>) -> GraphError {
+        GraphError::File {
+            path: path.into(),
+            source: Box::new(self),
+        }
+    }
 }
 
 impl fmt::Display for GraphError {
@@ -26,6 +47,9 @@ impl fmt::Display for GraphError {
                 write!(f, "parse error at line {line}: {message}")
             }
             GraphError::Format(m) => write!(f, "format error: {m}"),
+            GraphError::File { path, source } => {
+                write!(f, "{}: {source}", path.display())
+            }
         }
     }
 }
@@ -34,6 +58,7 @@ impl std::error::Error for GraphError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             GraphError::Io(e) => Some(e),
+            GraphError::File { source, .. } => Some(source),
             _ => None,
         }
     }

@@ -137,10 +137,15 @@ pub fn save_binary(graph: &Graph, path: impl AsRef<Path>) -> Result<()> {
     write_binary(graph, std::io::BufWriter::new(file))
 }
 
-/// Reads the binary format from a file.
+/// Reads the binary format from a file. Errors are wrapped with the file
+/// path (see [`crate::error::GraphError::File`]).
 pub fn load_binary(path: impl AsRef<Path>) -> Result<Graph> {
-    let file = std::fs::File::open(path)?;
-    read_binary(std::io::BufReader::new(file))
+    let path = path.as_ref();
+    let attempt = || -> Result<Graph> {
+        let file = std::fs::File::open(path)?;
+        read_binary(std::io::BufReader::new(file))
+    };
+    attempt().map_err(|e| e.in_file(path))
 }
 
 #[cfg(test)]

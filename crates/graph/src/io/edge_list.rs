@@ -71,9 +71,17 @@ pub fn read_edge_list<R: BufRead>(reader: R, directed: bool) -> Result<Graph> {
 }
 
 /// Loads a SNAP-style edge list from a file. See [`read_edge_list`].
+///
+/// Errors are wrapped with the file path, so a malformed input reports both
+/// the file and the offending line (`data/bad.txt: parse error at line 3:
+/// ...`).
 pub fn load_edge_list(path: impl AsRef<Path>, directed: bool) -> Result<Graph> {
-    let file = std::fs::File::open(path)?;
-    read_edge_list(std::io::BufReader::new(file), directed)
+    let path = path.as_ref();
+    let attempt = || -> Result<Graph> {
+        let file = std::fs::File::open(path)?;
+        read_edge_list(std::io::BufReader::new(file), directed)
+    };
+    attempt().map_err(|e| e.in_file(path))
 }
 
 /// Parses the labeled `t/v/e` format from a reader.
@@ -169,9 +177,16 @@ pub fn read_labeled<R: BufRead>(reader: R) -> Result<Graph> {
 }
 
 /// Loads the labeled `t/v/e` format from a file. See [`read_labeled`].
+///
+/// Errors are wrapped with the file path, so a malformed input reports both
+/// the file and the offending line.
 pub fn load_labeled(path: impl AsRef<Path>) -> Result<Graph> {
-    let file = std::fs::File::open(path)?;
-    read_labeled(std::io::BufReader::new(file))
+    let path = path.as_ref();
+    let attempt = || -> Result<Graph> {
+        let file = std::fs::File::open(path)?;
+        read_labeled(std::io::BufReader::new(file))
+    };
+    attempt().map_err(|e| e.in_file(path))
 }
 
 /// Writes a graph in the labeled `t/v/e` format.

@@ -1,0 +1,60 @@
+//! Loader failures must carry file *and* line context — a server loading
+//! operator-supplied graph files needs actionable parse diagnostics, not a
+//! bare "invalid digit".
+
+use ceci_graph::io;
+use ceci_graph::GraphError;
+
+fn fixture(name: &str) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+#[test]
+fn malformed_fixture_reports_file_and_line() {
+    let path = fixture("malformed.graph");
+    let err = io::load_labeled(&path).unwrap_err();
+    let msg = err.to_string();
+    // File context...
+    assert!(
+        msg.contains("malformed.graph"),
+        "missing file context: {msg}"
+    );
+    // ...and the offending line (line 4 holds the bad label).
+    assert!(msg.contains("line 4"), "missing line context: {msg}");
+    assert!(msg.contains("label"), "missing cause: {msg}");
+    // The error chain exposes the underlying parse error.
+    match err {
+        GraphError::File { path: p, source } => {
+            assert!(p.ends_with("malformed.graph"));
+            assert!(matches!(*source, GraphError::Parse { line: 4, .. }));
+        }
+        other => panic!("expected GraphError::File, got {other:?}"),
+    }
+}
+
+#[test]
+fn missing_file_reports_path() {
+    let path = fixture("does_not_exist.graph");
+    let err = io::load_labeled(&path).unwrap_err();
+    let msg = err.to_string();
+    assert!(
+        msg.contains("does_not_exist.graph"),
+        "missing file context: {msg}"
+    );
+    assert!(matches!(err, GraphError::File { .. }));
+}
+
+#[test]
+fn malformed_edge_list_reports_file_and_line() {
+    // Reuse the labeled fixture as an edge list: line 3 (`t 3 2`) parses but
+    // line 4 (`v 0 oops 1`) has a non-numeric second column.
+    let path = fixture("malformed.graph");
+    let err = io::load_edge_list(&path, false).unwrap_err();
+    let msg = err.to_string();
+    assert!(
+        msg.contains("malformed.graph") && msg.contains("line"),
+        "missing context: {msg}"
+    );
+}

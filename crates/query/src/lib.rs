@@ -12,12 +12,15 @@
 //! * [`order`] — matching orders: BFS (default), edge-ranked, path-ranked.
 //! * [`nec`] — NEC equivalence groups and complete Grochow–Kellis
 //!   automorphism breaking.
+//! * [`hash`] — canonical (isomorphism-invariant, label-aware) query
+//!   hashing, the index-cache key of the serving layer.
 //! * [`QueryPlan`] — the bundle every matching engine consumes.
 
 #![warn(missing_docs)]
 
 pub mod candidates;
 pub mod catalog;
+pub mod hash;
 pub mod nec;
 pub mod order;
 pub mod plan;
@@ -26,6 +29,7 @@ pub mod root;
 pub mod tree;
 
 pub use catalog::PaperQuery;
+pub use hash::{canonical_hash, CanonicalQuery};
 pub use nec::OrderConstraint;
 pub use order::OrderStrategy;
 pub use plan::{PlanOptions, QueryPlan};

@@ -1,0 +1,100 @@
+//! `ceci-serve` — the subgraph-query daemon.
+//!
+//! ```text
+//! ceci-serve [options]
+//!
+//!   --addr HOST:PORT     bind address (default 127.0.0.1:7439; port 0 = ephemeral)
+//!   --pool-workers N     data-plane pool threads (default 2)
+//!   --queue-cap N        pending-request cap before BUSY (default 64)
+//!   --cache-mb N         index-cache budget in MiB (default 64; 0 disables)
+//!   --match-workers N    default enumeration threads per MATCH (default 1)
+//!   --max-match-workers N  cap on per-request WORKERS (default 8)
+//!   --preload NAME=FILE  LOAD a labeled graph before accepting connections
+//!                        (repeatable)
+//! ```
+//!
+//! The server prints one `listening on <addr>` line to stdout once live —
+//! scripts wait for it — and serves until killed.
+
+use std::process::exit;
+use std::sync::Arc;
+
+use ceci_graph::io;
+use ceci_service::{start_with_state, ServeConfig, ServerState};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: ceci-serve [--addr HOST:PORT] [--pool-workers N] [--queue-cap N] \
+         [--cache-mb N] [--match-workers N] [--max-match-workers N] \
+         [--preload NAME=FILE]..."
+    );
+    exit(2)
+}
+
+fn main() {
+    let mut config = ServeConfig {
+        addr: "127.0.0.1:7439".to_string(),
+        ..ServeConfig::default()
+    };
+    let mut preloads: Vec<(String, String)> = Vec::new();
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let value = |i: &mut usize| -> String {
+        *i += 1;
+        raw.get(*i).cloned().unwrap_or_else(|| usage())
+    };
+    let num = |i: &mut usize| -> usize { value(i).parse().unwrap_or_else(|_| usage()) };
+    while i < raw.len() {
+        match raw[i].as_str() {
+            "--addr" => config.addr = value(&mut i),
+            "--pool-workers" => config.pool_workers = num(&mut i).max(1),
+            "--queue-cap" => config.queue_cap = num(&mut i),
+            "--cache-mb" => config.cache_budget_bytes = num(&mut i) << 20,
+            "--match-workers" => config.default_match_workers = num(&mut i).max(1),
+            "--max-match-workers" => config.max_match_workers = num(&mut i).max(1),
+            "--preload" => {
+                let spec = value(&mut i);
+                let Some((name, file)) = spec.split_once('=') else {
+                    usage()
+                };
+                preloads.push((name.to_string(), file.to_string()));
+            }
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+        i += 1;
+    }
+
+    let state = Arc::new(ServerState::new(config));
+    for (name, file) in &preloads {
+        match io::load_labeled(file) {
+            Ok(graph) => {
+                let (entry, _) = state.registry.insert(name, graph);
+                eprintln!(
+                    "preloaded {name} ({} vertices, {} edges, epoch {})",
+                    entry.graph.num_vertices(),
+                    entry.graph.num_edges(),
+                    entry.epoch
+                );
+            }
+            Err(e) => {
+                eprintln!("error preloading {name} from {file}: {e}");
+                exit(1);
+            }
+        }
+    }
+
+    let handle = match start_with_state(state) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("error: bind failed: {e}");
+            exit(1);
+        }
+    };
+    println!("listening on {}", handle.addr());
+    // Serve until killed: the accept thread owns the listener; parking the
+    // main thread keeps the handle (and the pool) alive.
+    loop {
+        std::thread::park();
+    }
+}

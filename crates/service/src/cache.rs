@@ -1,0 +1,301 @@
+//! The frozen-index cache: memoizes built CECI structures across requests.
+//!
+//! Keyed by `(graph epoch, canonical query hash)`. The canonical hash
+//! ([`ceci_query::canonical_hash`]) is isomorphism-invariant, so any
+//! presentation of the same query pattern hits the same entry — sound for
+//! count-returning `MATCH`, because isomorphic queries have identical
+//! embedding counts in the same data graph. Hits additionally verify the
+//! full canonical *form* (not just the 64-bit hash), so a hash collision
+//! is counted (`cache_collisions`) and treated as a miss rather than ever
+//! serving the wrong index.
+//!
+//! Entries are immutable `Arc`s (plan + frozen CECI), accounted by
+//! [`Ceci::size_bytes`], and evicted LRU-first when the configured byte
+//! budget is exceeded. Replacing a graph (`LOAD` over an existing name)
+//! eagerly sweeps every entry built against the displaced epoch.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use ceci_core::Ceci;
+use ceci_query::{CanonicalQuery, QueryPlan};
+
+/// One cached, frozen index: everything needed to answer a `MATCH` without
+/// re-planning or re-filtering.
+#[derive(Debug)]
+pub struct CachedIndex {
+    /// Full canonical form, verified on every hit (collision guard).
+    pub canonical: CanonicalQuery,
+    /// The matching plan the index was built for.
+    pub plan: Arc<QueryPlan>,
+    /// The frozen candidate index.
+    pub ceci: Arc<Ceci>,
+    /// Bytes charged against the cache budget.
+    pub bytes: usize,
+}
+
+#[derive(Debug)]
+struct Slot {
+    entry: Arc<CachedIndex>,
+    /// Logical LRU stamp (monotone per-cache counter, not wall time).
+    last_used: u64,
+}
+
+#[derive(Debug, Default)]
+struct CacheMap {
+    slots: HashMap<(u64, u64), Slot>,
+    bytes: usize,
+}
+
+/// Outcome of a cache probe.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Probe {
+    /// Entry found and canonical form verified.
+    Hit,
+    /// No entry under this key.
+    Miss,
+    /// Entry found but the canonical form differed (64-bit hash collision);
+    /// treated as a miss.
+    Collision,
+}
+
+/// A byte-budgeted, LRU-evicting map from `(epoch, canonical hash)` to
+/// frozen indexes. All operations take one short mutex; the expensive work
+/// (CECI build) happens outside the lock and is inserted after the fact.
+#[derive(Debug)]
+pub struct IndexCache {
+    map: Mutex<CacheMap>,
+    budget_bytes: usize,
+    clock: AtomicU64,
+    /// Evictions performed over the cache's lifetime.
+    evictions: AtomicU64,
+}
+
+impl IndexCache {
+    /// Creates a cache bounded by `budget_bytes` (0 disables caching).
+    pub fn new(budget_bytes: usize) -> Self {
+        IndexCache {
+            map: Mutex::new(CacheMap::default()),
+            budget_bytes,
+            clock: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Probes for `(epoch, canonical)`. On a verified hit the entry's LRU
+    /// stamp is refreshed and the entry returned.
+    pub fn get(&self, epoch: u64, canonical: &CanonicalQuery) -> (Probe, Option<Arc<CachedIndex>>) {
+        let stamp = self.tick();
+        let mut map = self.map.lock().expect("cache lock poisoned");
+        match map.slots.get_mut(&(epoch, canonical.hash())) {
+            None => (Probe::Miss, None),
+            Some(slot) if slot.entry.canonical == *canonical => {
+                slot.last_used = stamp;
+                (Probe::Hit, Some(Arc::clone(&slot.entry)))
+            }
+            Some(_) => (Probe::Collision, None),
+        }
+    }
+
+    /// Inserts an entry built outside the lock, then evicts LRU-first until
+    /// the byte budget holds. Entries larger than the whole budget are not
+    /// cached at all. Returns the number of entries evicted.
+    pub fn insert(&self, epoch: u64, entry: CachedIndex) -> u64 {
+        if entry.bytes > self.budget_bytes {
+            return 0; // would evict everything and still not fit
+        }
+        let stamp = self.tick();
+        let key = (epoch, entry.canonical.hash());
+        let bytes = entry.bytes;
+        let mut map = self.map.lock().expect("cache lock poisoned");
+        if let Some(old) = map.slots.insert(
+            key,
+            Slot {
+                entry: Arc::new(entry),
+                last_used: stamp,
+            },
+        ) {
+            map.bytes -= old.entry.bytes;
+        }
+        map.bytes += bytes;
+        let mut evicted = 0;
+        while map.bytes > self.budget_bytes {
+            // LRU victim — never the entry we just inserted unless it is the
+            // only one left (guarded by the budget check above).
+            let victim = map
+                .slots
+                .iter()
+                .filter(|(k, _)| **k != key)
+                .min_by_key(|(_, s)| s.last_used)
+                .map(|(k, _)| *k);
+            match victim {
+                Some(k) => {
+                    let slot = map.slots.remove(&k).expect("victim vanished");
+                    map.bytes -= slot.entry.bytes;
+                    evicted += 1;
+                }
+                None => break,
+            }
+        }
+        self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        evicted
+    }
+
+    /// Drops every entry built against `epoch` (graph replaced). Returns the
+    /// number of entries removed (not counted as evictions).
+    pub fn evict_epoch(&self, epoch: u64) -> usize {
+        let mut map = self.map.lock().expect("cache lock poisoned");
+        let keys: Vec<(u64, u64)> = map
+            .slots
+            .keys()
+            .filter(|(e, _)| *e == epoch)
+            .copied()
+            .collect();
+        for k in &keys {
+            let slot = map.slots.remove(k).expect("key vanished");
+            map.bytes -= slot.entry.bytes;
+        }
+        keys.len()
+    }
+
+    /// Current number of cached entries.
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("cache lock poisoned").slots.len()
+    }
+
+    /// True when the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Bytes currently charged against the budget.
+    pub fn bytes(&self) -> usize {
+        self.map.lock().expect("cache lock poisoned").bytes
+    }
+
+    /// Lifetime eviction count (budget pressure only).
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ceci_core::Ceci;
+    use ceci_graph::{GraphBuilder, LabelId};
+    use ceci_query::QueryGraph;
+
+    /// Builds a real (tiny) plan+index pair so entries are representative,
+    /// with a synthetic byte size to exercise the budget deterministically.
+    fn entry(label: u32, bytes: usize) -> CachedIndex {
+        let mut b = GraphBuilder::new();
+        let x = b.add_vertex(LabelId(label));
+        let y = b.add_vertex(LabelId(label));
+        b.add_edge(x, y);
+        let graph = b.build();
+        let mut qb = GraphBuilder::new();
+        let qx = qb.add_vertex(LabelId(label));
+        let qy = qb.add_vertex(LabelId(label));
+        qb.add_edge(qx, qy);
+        let qg = qb.build();
+        let query = QueryGraph::from_graph(&qg).unwrap();
+        let canonical = CanonicalQuery::of(&query);
+        let plan = QueryPlan::new(query, &graph);
+        let ceci = Ceci::build(&graph, &plan);
+        CachedIndex {
+            canonical,
+            plan: Arc::new(plan),
+            ceci: Arc::new(ceci),
+            bytes,
+        }
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let cache = IndexCache::new(1 << 20);
+        let e = entry(0, 100);
+        let canonical = e.canonical.clone();
+        assert_eq!(cache.get(1, &canonical).0, Probe::Miss);
+        cache.insert(1, e);
+        let (probe, got) = cache.get(1, &canonical);
+        assert_eq!(probe, Probe::Hit);
+        assert!(got.is_some());
+        assert_eq!(cache.bytes(), 100);
+    }
+
+    #[test]
+    fn epochs_partition_the_keyspace() {
+        let cache = IndexCache::new(1 << 20);
+        let e = entry(0, 100);
+        let canonical = e.canonical.clone();
+        cache.insert(1, e);
+        assert_eq!(cache.get(2, &canonical).0, Probe::Miss);
+    }
+
+    #[test]
+    fn lru_eviction_under_budget() {
+        let cache = IndexCache::new(250);
+        let a = entry(0, 100);
+        let b = entry(1, 100);
+        let c = entry(2, 100);
+        let (ka, kb, kc) = (
+            a.canonical.clone(),
+            b.canonical.clone(),
+            c.canonical.clone(),
+        );
+        cache.insert(1, a);
+        cache.insert(1, b);
+        // Touch `a` so `b` is the LRU victim.
+        assert_eq!(cache.get(1, &ka).0, Probe::Hit);
+        cache.insert(1, c);
+        assert_eq!(cache.evictions(), 1);
+        assert_eq!(cache.get(1, &kb).0, Probe::Miss, "LRU entry evicted");
+        assert_eq!(cache.get(1, &ka).0, Probe::Hit);
+        assert_eq!(cache.get(1, &kc).0, Probe::Hit);
+        assert!(cache.bytes() <= 250);
+    }
+
+    #[test]
+    fn oversized_entry_not_cached() {
+        let cache = IndexCache::new(50);
+        let e = entry(0, 100);
+        let canonical = e.canonical.clone();
+        cache.insert(1, e);
+        assert_eq!(cache.get(1, &canonical).0, Probe::Miss);
+        assert_eq!(cache.bytes(), 0);
+    }
+
+    #[test]
+    fn evict_epoch_sweeps_only_that_epoch() {
+        let cache = IndexCache::new(1 << 20);
+        let a = entry(0, 100);
+        let b = entry(1, 100);
+        let (ka, kb) = (a.canonical.clone(), b.canonical.clone());
+        cache.insert(1, a);
+        cache.insert(2, b);
+        assert_eq!(cache.evict_epoch(1), 1);
+        assert_eq!(cache.get(1, &ka).0, Probe::Miss);
+        assert_eq!(cache.get(2, &kb).0, Probe::Hit);
+        assert_eq!(cache.bytes(), 100);
+    }
+
+    #[test]
+    fn collision_detected_by_form_verification() {
+        let cache = IndexCache::new(1 << 20);
+        let e = entry(0, 100);
+        let stored_hash = e.canonical.hash();
+        cache.insert(1, e);
+        // Forge a canonical form with the same hash but a different
+        // signature: a real collision would look exactly like this.
+        let forged = CanonicalQuery::forged_for_tests(vec![1, 2, 3], stored_hash);
+        let (probe, got) = cache.get(1, &forged);
+        assert_eq!(probe, Probe::Collision);
+        assert!(got.is_none());
+    }
+}

@@ -1,0 +1,233 @@
+//! A blocking protocol client and a closed-loop load generator.
+//!
+//! The client frames responses by the protocol invariant: the *last* line
+//! of every response starts with `OK`, `BUSY`, or `ERR`, so it reads lines
+//! until one does. The load generator drives N connections in lock-step
+//! closed loops (each issues its next request only after the previous
+//! response lands) and aggregates latency/throughput — the `--bench-local`
+//! baseline and the CI smoke load both run on it.
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+use crate::metrics::LatencyHistogram;
+
+/// One response: all payload lines plus the terminal line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Response {
+    /// Payload lines (`STAT ...`, `| ...`), possibly empty.
+    pub payload: Vec<String>,
+    /// The terminal line (starts with `OK`, `BUSY`, or `ERR`).
+    pub terminal: String,
+}
+
+impl Response {
+    /// `true` when the terminal line starts with `OK`.
+    pub fn is_ok(&self) -> bool {
+        self.terminal.starts_with("OK")
+    }
+
+    /// `true` for a `BUSY` rejection.
+    pub fn is_busy(&self) -> bool {
+        self.terminal.starts_with("BUSY")
+    }
+
+    /// Extracts `key=value` fields from the terminal line (the `OK MATCH`
+    /// / `OK LOADED` convention).
+    pub fn field(&self, key: &str) -> Option<&str> {
+        self.terminal
+            .split_whitespace()
+            .filter_map(|tok| tok.split_once('='))
+            .find(|(k, _)| *k == key)
+            .map(|(_, v)| v)
+    }
+
+    /// [`Response::field`] parsed as `u64`.
+    pub fn field_u64(&self, key: &str) -> Option<u64> {
+        self.field(key)?.parse().ok()
+    }
+}
+
+fn terminal_line(line: &str) -> bool {
+    line.starts_with("OK") || line.starts_with("BUSY") || line.starts_with("ERR")
+}
+
+/// A blocking, single-connection protocol client.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Client {
+    /// Connects to a running `ceci-serve`.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(Client {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    /// Sends one request line and reads the full (possibly multi-line)
+    /// response.
+    pub fn request(&mut self, line: &str) -> std::io::Result<Response> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut payload = Vec::new();
+        loop {
+            let mut buf = String::new();
+            let n = self.reader.read_line(&mut buf)?;
+            if n == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-response",
+                ));
+            }
+            let line = buf.trim_end_matches(['\r', '\n']).to_string();
+            if terminal_line(&line) {
+                return Ok(Response {
+                    payload,
+                    terminal: line,
+                });
+            }
+            payload.push(line);
+        }
+    }
+}
+
+/// Load-generator configuration: `clients` closed loops, each issuing
+/// `requests_per_client` copies of `request`.
+#[derive(Clone, Debug)]
+pub struct LoadConfig {
+    /// Concurrent connections.
+    pub clients: usize,
+    /// Requests per connection.
+    pub requests_per_client: usize,
+    /// The request line every client repeats.
+    pub request: String,
+}
+
+/// Aggregated load-generator outcome.
+#[derive(Debug, Default)]
+pub struct LoadReport {
+    /// Responses whose terminal line started with `OK`.
+    pub ok: u64,
+    /// `BUSY` rejections (admission control working, not an error).
+    pub busy: u64,
+    /// `ERR` responses.
+    pub err: u64,
+    /// Transport failures (connect/read/write).
+    pub io_errors: u64,
+    /// Wall time of the whole run.
+    pub wall: Duration,
+    /// Per-request latency over successful responses.
+    pub latency: LatencyHistogram,
+}
+
+impl LoadReport {
+    /// Completed requests (any response) per wall-clock second.
+    pub fn throughput_rps(&self) -> f64 {
+        let total = (self.ok + self.busy + self.err) as f64;
+        let secs = self.wall.as_secs_f64();
+        if secs > 0.0 {
+            total / secs
+        } else {
+            0.0
+        }
+    }
+}
+
+#[derive(Default)]
+struct Tallies {
+    ok: std::sync::atomic::AtomicU64,
+    busy: std::sync::atomic::AtomicU64,
+    err: std::sync::atomic::AtomicU64,
+    io_errors: std::sync::atomic::AtomicU64,
+    latency: LatencyHistogram,
+}
+
+fn bump(c: &std::sync::atomic::AtomicU64, v: u64) {
+    c.fetch_add(v, std::sync::atomic::Ordering::Relaxed);
+}
+
+/// Runs the closed-loop workload against `addr` and aggregates the outcome.
+pub fn run_load(addr: std::net::SocketAddr, config: &LoadConfig) -> LoadReport {
+    let tallies = std::sync::Arc::new(Tallies::default());
+    let t0 = Instant::now();
+    let mut handles = Vec::new();
+    for _ in 0..config.clients {
+        let tallies = std::sync::Arc::clone(&tallies);
+        let line = config.request.clone();
+        let n = config.requests_per_client;
+        handles.push(std::thread::spawn(move || {
+            let mut client = match Client::connect(addr) {
+                Ok(c) => c,
+                Err(_) => {
+                    bump(&tallies.io_errors, n as u64);
+                    return;
+                }
+            };
+            for _ in 0..n {
+                let t = Instant::now();
+                match client.request(&line) {
+                    Ok(resp) if resp.is_ok() => {
+                        tallies.latency.record(t.elapsed());
+                        bump(&tallies.ok, 1);
+                    }
+                    Ok(resp) if resp.is_busy() => bump(&tallies.busy, 1),
+                    Ok(_) => bump(&tallies.err, 1),
+                    Err(_) => {
+                        bump(&tallies.io_errors, 1);
+                        return; // connection is unusable now
+                    }
+                }
+            }
+        }));
+    }
+    for h in handles {
+        let _ = h.join();
+    }
+    let wall = t0.elapsed();
+    let tallies = std::sync::Arc::try_unwrap(tallies)
+        .unwrap_or_else(|_| panic!("load threads joined; no clones remain"));
+    let g = |c: &std::sync::atomic::AtomicU64| c.load(std::sync::atomic::Ordering::Relaxed);
+    LoadReport {
+        ok: g(&tallies.ok),
+        busy: g(&tallies.busy),
+        err: g(&tallies.err),
+        io_errors: g(&tallies.io_errors),
+        wall,
+        latency: tallies.latency,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_extraction() {
+        let r = Response {
+            payload: vec![],
+            terminal: "OK MATCH count=42 status=OK cache=HIT build_us=0".to_string(),
+        };
+        assert!(r.is_ok());
+        assert!(!r.is_busy());
+        assert_eq!(r.field("count"), Some("42"));
+        assert_eq!(r.field_u64("count"), Some(42));
+        assert_eq!(r.field("cache"), Some("HIT"));
+        assert_eq!(r.field("missing"), None);
+    }
+
+    #[test]
+    fn terminal_detection() {
+        assert!(terminal_line("OK PONG"));
+        assert!(terminal_line("BUSY"));
+        assert!(terminal_line("ERR nope"));
+        assert!(!terminal_line("STAT requests_total 3"));
+        assert!(!terminal_line("| plan line"));
+    }
+}

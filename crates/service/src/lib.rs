@@ -1,0 +1,40 @@
+//! `ceci-service`: a concurrent subgraph-query service over TCP.
+//!
+//! The serving layer wraps the CECI matching engine (build-once index,
+//! enumerate-many) in the machinery a long-running query server needs:
+//!
+//! * a **graph registry** of named, immutable CSR graphs with
+//!   replace-on-`LOAD` epochs ([`registry`]),
+//! * an **index cache** memoizing frozen CECI structures by
+//!   `(graph epoch, canonical query hash)` under an LRU byte budget
+//!   ([`cache`]) — repeated query templates skip the BFS filter / reverse
+//!   refinement entirely,
+//! * a **bounded worker pool** with admission control: a full queue answers
+//!   `BUSY` instead of building invisible backlog ([`pool`]),
+//! * **per-request deadlines** threaded into enumeration as cooperative
+//!   cancellation (`ceci_core::CancelToken`), returning partial counts with
+//!   `status=DEADLINE_EXCEEDED` ([`server`]),
+//! * a line-oriented **text protocol** ([`protocol`]) and lock-free
+//!   **metrics** surfaced via `STATS` ([`metrics`]),
+//! * a blocking **client** doubling as a closed-loop load generator
+//!   ([`client`]).
+//!
+//! Everything is std-only: no async runtime, no external crates. Two bins
+//! ship with the crate: `ceci-serve` (the daemon) and `ceci-client` (one
+//! -shot commands, interactive piping, and `--bench-local` load baseline).
+
+pub mod cache;
+pub mod client;
+pub mod metrics;
+pub mod pool;
+pub mod protocol;
+pub mod registry;
+pub mod server;
+
+pub use cache::{CachedIndex, IndexCache, Probe};
+pub use client::{run_load, Client, LoadConfig, LoadReport, Response};
+pub use metrics::{LatencyHistogram, ServerMetrics};
+pub use pool::{Admission, PoolHandle, WorkerPool};
+pub use protocol::{parse_request, MatchStatus, ParseError, Request};
+pub use registry::{GraphEntry, GraphRegistry};
+pub use server::{start, start_with_state, ServeConfig, ServerHandle, ServerState};

@@ -1,0 +1,216 @@
+//! Server metrics: request/cache/rejection counters and a lock-free latency
+//! histogram with percentile readout.
+//!
+//! Everything is atomics so the data plane never takes a lock to record; the
+//! `STATS` command reads a consistent-enough snapshot (counters are
+//! monotone; exactness across counters is not required for operations).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of power-of-two latency buckets: bucket `i` counts requests with
+/// latency in `[2^i, 2^(i+1))` microseconds; the last bucket is open-ended.
+/// 2^39 µs ≈ 6.4 days, far beyond any request.
+const BUCKETS: usize = 40;
+
+/// A fixed power-of-two histogram over microseconds. Recording is one atomic
+/// increment; percentiles are estimated as the upper bound of the bucket
+/// containing the requested rank (≤ 2× error, plenty for p50/p99 smoke
+/// numbers surfaced via `STATS`).
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum_us: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: [(); BUCKETS].map(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_us: AtomicU64::new(0),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Records one observation.
+    pub fn record(&self, latency: Duration) {
+        let us = latency.as_micros().min(u64::MAX as u128) as u64;
+        let bucket = (64 - us.max(1).leading_zeros() as usize - 1).min(BUCKETS - 1);
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Mean latency in microseconds (0 when empty).
+    pub fn mean_us(&self) -> u64 {
+        self.sum_us
+            .load(Ordering::Relaxed)
+            .checked_div(self.count())
+            .unwrap_or(0)
+    }
+
+    /// Upper-bound estimate of the `q`-quantile in microseconds (`q` in
+    /// 0..=1). Returns 0 when empty.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((total as f64) * q.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return 1u64 << (i + 1); // upper bound of bucket i
+            }
+        }
+        1u64 << BUCKETS
+    }
+}
+
+/// Aggregate server counters, surfaced via `STATS`.
+#[derive(Debug, Default)]
+pub struct ServerMetrics {
+    /// Total request lines accepted (parse successes).
+    pub requests: AtomicU64,
+    /// MATCH requests admitted (entered the pool).
+    pub match_requests: AtomicU64,
+    /// LOAD requests served.
+    pub load_requests: AtomicU64,
+    /// Requests rejected with `BUSY` by admission control.
+    pub rejected_busy: AtomicU64,
+    /// MATCH requests that hit their deadline (partial result returned).
+    pub deadline_exceeded: AtomicU64,
+    /// Requests answered with `ERR`.
+    pub errors: AtomicU64,
+    /// Index-cache hits (frozen CECI reused; build skipped).
+    pub cache_hits: AtomicU64,
+    /// Index-cache misses (CECI built).
+    pub cache_misses: AtomicU64,
+    /// Cache entries evicted under the byte budget.
+    pub cache_evictions: AtomicU64,
+    /// Canonical-hash collisions detected by form verification (the entry
+    /// was *not* reused).
+    pub cache_collisions: AtomicU64,
+    /// Total embeddings returned across MATCH responses.
+    pub embeddings_returned: AtomicU64,
+    /// End-to-end MATCH latency (admission to response).
+    pub match_latency: LatencyHistogram,
+    /// CECI build time on cache misses.
+    pub build_latency: LatencyHistogram,
+}
+
+impl ServerMetrics {
+    /// Bumps a counter.
+    #[inline]
+    pub fn inc(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds to a counter.
+    #[inline]
+    pub fn add(counter: &AtomicU64, v: u64) {
+        counter.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Renders the `STAT <key> <value>` payload lines of the `STATS`
+    /// response (sorted, stable keys).
+    pub fn render(&self, extra: &[(&str, u64)]) -> Vec<String> {
+        let g = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        let mut rows: Vec<(String, u64)> = vec![
+            ("requests_total".into(), g(&self.requests)),
+            ("match_requests".into(), g(&self.match_requests)),
+            ("load_requests".into(), g(&self.load_requests)),
+            ("rejected_busy".into(), g(&self.rejected_busy)),
+            ("deadline_exceeded".into(), g(&self.deadline_exceeded)),
+            ("errors".into(), g(&self.errors)),
+            ("cache_hits".into(), g(&self.cache_hits)),
+            ("cache_misses".into(), g(&self.cache_misses)),
+            ("cache_evictions".into(), g(&self.cache_evictions)),
+            ("cache_collisions".into(), g(&self.cache_collisions)),
+            ("embeddings_returned".into(), g(&self.embeddings_returned)),
+            ("match_latency_count".into(), self.match_latency.count()),
+            ("match_latency_mean_us".into(), self.match_latency.mean_us()),
+            (
+                "match_latency_p50_us".into(),
+                self.match_latency.quantile_us(0.50),
+            ),
+            (
+                "match_latency_p99_us".into(),
+                self.match_latency.quantile_us(0.99),
+            ),
+            ("build_latency_mean_us".into(), self.build_latency.mean_us()),
+            (
+                "build_latency_p99_us".into(),
+                self.build_latency.quantile_us(0.99),
+            ),
+        ];
+        for &(k, v) in extra {
+            rows.push((k.to_string(), v));
+        }
+        rows.sort();
+        rows.into_iter()
+            .map(|(k, v)| format!("STAT {k} {v}"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_records_and_ranks() {
+        let h = LatencyHistogram::default();
+        for us in [1u64, 2, 4, 100, 100, 100, 10_000] {
+            h.record(Duration::from_micros(us));
+        }
+        assert_eq!(h.count(), 7);
+        assert!(h.mean_us() > 0);
+        // p50 falls in the 100 µs region → bucket [64, 128) → bound 128.
+        assert_eq!(h.quantile_us(0.50), 128);
+        // p99 is the 10 ms outlier → bucket [8192, 16384) → bound 16384.
+        assert_eq!(h.quantile_us(0.99), 16384);
+        // Quantiles are monotone.
+        assert!(h.quantile_us(0.99) >= h.quantile_us(0.50));
+    }
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let h = LatencyHistogram::default();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean_us(), 0);
+        assert_eq!(h.quantile_us(0.99), 0);
+    }
+
+    #[test]
+    fn zero_latency_lands_in_first_bucket() {
+        let h = LatencyHistogram::default();
+        h.record(Duration::ZERO);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.quantile_us(1.0), 2);
+    }
+
+    #[test]
+    fn render_is_sorted_and_prefixed() {
+        let m = ServerMetrics::default();
+        ServerMetrics::inc(&m.requests);
+        ServerMetrics::add(&m.embeddings_returned, 5);
+        let rows = m.render(&[("graphs_loaded", 2)]);
+        assert!(rows.iter().all(|r| r.starts_with("STAT ")));
+        let mut sorted = rows.clone();
+        sorted.sort();
+        assert_eq!(rows, sorted);
+        assert!(rows.iter().any(|r| r == "STAT requests_total 1"));
+        assert!(rows.iter().any(|r| r == "STAT embeddings_returned 5"));
+        assert!(rows.iter().any(|r| r == "STAT graphs_loaded 2"));
+    }
+}

@@ -1,0 +1,229 @@
+//! A bounded worker pool with admission control.
+//!
+//! The data plane (`MATCH`, `EXPLAIN`, `SLEEP`) is executed by a fixed set
+//! of worker threads fed from a bounded FIFO queue. Submission never
+//! blocks: when the queue is full the job is rejected immediately and the
+//! connection answers `BUSY` — fast rejection beats unbounded queueing for
+//! tail latency (the client can retry with backoff; the server never
+//! accumulates an invisible backlog).
+//!
+//! All of it is std-only: one `Mutex<VecDeque>` + `Condvar`. The queue
+//! critical sections are push/pop only — job execution happens outside the
+//! lock, so the mutex is never held across user work.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// A unit of data-plane work. Boxed closure so the pool stays independent
+/// of server internals; responses travel through the channel the closure
+/// captures.
+pub type Job = Box<dyn FnOnce() + Send + 'static>;
+
+#[derive(Default)]
+struct Queue {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+}
+
+struct Shared {
+    queue: Mutex<Queue>,
+    /// Signalled on push and on shutdown.
+    available: Condvar,
+    capacity: usize,
+}
+
+/// Result of [`WorkerPool::submit`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Admission {
+    /// The job was queued and will run.
+    Accepted,
+    /// The queue was at capacity; the job was dropped (answer `BUSY`).
+    Rejected,
+}
+
+/// A fixed-size thread pool over a bounded queue.
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns `workers` threads servicing a queue of at most `queue_cap`
+    /// pending jobs (in addition to the jobs currently executing).
+    pub fn new(workers: usize, queue_cap: usize) -> Self {
+        assert!(workers >= 1, "need at least one worker");
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(Queue::default()),
+            available: Condvar::new(),
+            capacity: queue_cap.max(1),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("ceci-pool-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        WorkerPool {
+            shared,
+            workers: handles,
+        }
+    }
+
+    /// Admits `job` if the queue has room; otherwise rejects immediately.
+    pub fn submit(&self, job: Job) -> Admission {
+        submit_inner(&self.shared, job)
+    }
+
+    /// A cloneable submission handle sharing the queue (but not the join
+    /// handles) — what connection threads hold.
+    pub fn handle(&self) -> PoolHandle {
+        PoolHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Jobs currently waiting (not executing).
+    pub fn queue_depth(&self) -> usize {
+        self.shared
+            .queue
+            .lock()
+            .expect("pool lock poisoned")
+            .jobs
+            .len()
+    }
+
+    /// Stops accepting work, drains queued jobs, and joins the workers.
+    pub fn shutdown(mut self) {
+        {
+            let mut q = self.shared.queue.lock().expect("pool lock poisoned");
+            q.shutdown = true;
+        }
+        self.shared.available.notify_all();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Best-effort: signal shutdown so detached workers exit; join only
+        // in explicit `shutdown()` (drop must not block response paths).
+        if let Ok(mut q) = self.shared.queue.lock() {
+            q.shutdown = true;
+        }
+        self.shared.available.notify_all();
+    }
+}
+
+/// Submission façade over a live pool; cheap to clone, safe to hold after
+/// the pool shuts down (submissions then reject).
+#[derive(Clone)]
+pub struct PoolHandle {
+    shared: Arc<Shared>,
+}
+
+impl PoolHandle {
+    /// Admits `job` if the queue has room; otherwise rejects immediately.
+    pub fn submit(&self, job: Job) -> Admission {
+        submit_inner(&self.shared, job)
+    }
+}
+
+fn submit_inner(shared: &Shared, job: Job) -> Admission {
+    let mut q = shared.queue.lock().expect("pool lock poisoned");
+    if q.shutdown || q.jobs.len() >= shared.capacity {
+        return Admission::Rejected;
+    }
+    q.jobs.push_back(job);
+    drop(q);
+    shared.available.notify_one();
+    Admission::Accepted
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut q = shared.queue.lock().expect("pool lock poisoned");
+            loop {
+                if let Some(job) = q.jobs.pop_front() {
+                    break job;
+                }
+                if q.shutdown {
+                    return;
+                }
+                q = shared.available.wait(q).expect("pool lock poisoned");
+            }
+        };
+        job(); // outside the lock
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    #[test]
+    fn executes_submitted_jobs() {
+        let pool = WorkerPool::new(2, 8);
+        let counter = Arc::new(AtomicUsize::new(0));
+        let (tx, rx) = mpsc::channel();
+        for _ in 0..8 {
+            let counter = Arc::clone(&counter);
+            let tx = tx.clone();
+            let admitted = pool.submit(Box::new(move || {
+                counter.fetch_add(1, Ordering::SeqCst);
+                tx.send(()).unwrap();
+            }));
+            assert_eq!(admitted, Admission::Accepted);
+        }
+        for _ in 0..8 {
+            rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 8);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn rejects_when_queue_full() {
+        let pool = WorkerPool::new(1, 1);
+        let (gate_tx, gate_rx) = mpsc::channel::<()>();
+        let (entered_tx, entered_rx) = mpsc::channel::<()>();
+        // Occupy the single worker...
+        assert_eq!(
+            pool.submit(Box::new(move || {
+                entered_tx.send(()).unwrap();
+                gate_rx.recv().unwrap();
+            })),
+            Admission::Accepted
+        );
+        entered_rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        // ...fill the queue...
+        assert_eq!(pool.submit(Box::new(|| {})), Admission::Accepted);
+        // ...and the next submission bounces without blocking.
+        assert_eq!(pool.submit(Box::new(|| {})), Admission::Rejected);
+        gate_tx.send(()).unwrap();
+        pool.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_queued_jobs() {
+        let pool = WorkerPool::new(1, 16);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..10 {
+            let counter = Arc::clone(&counter);
+            pool.submit(Box::new(move || {
+                counter.fetch_add(1, Ordering::SeqCst);
+            }));
+        }
+        pool.shutdown();
+        assert_eq!(counter.load(Ordering::SeqCst), 10);
+    }
+}

@@ -1,0 +1,301 @@
+//! The line-oriented text protocol spoken by `ceci-serve`.
+//!
+//! One request per line; whitespace-separated tokens; the command word is
+//! case-insensitive. Responses are one or more lines, and the *last* line of
+//! every response starts with one of the three terminal words, so clients
+//! can frame responses without length prefixes:
+//!
+//! * `OK ...` — success (possibly preceded by payload lines),
+//! * `BUSY` — admission control rejected the request (queue full),
+//! * `ERR <message>` — the request failed.
+//!
+//! Grammar:
+//!
+//! ```text
+//! LOAD <name> <path> [EDGELIST] [DIRECTED]
+//! MATCH <graph> <query-path> [LIMIT <k>] [DEADLINE <ms>] [WORKERS <n>]
+//! EXPLAIN <graph> <query-path>
+//! STATS
+//! SLEEP <ms>
+//! PING
+//! QUIT
+//! ```
+//!
+//! Payload lines of multi-line responses (`STATS`, `EXPLAIN`) are prefixed
+//! with `STAT ` / `| ` respectively and never start with a terminal word.
+
+use std::fmt;
+
+/// A parsed client request.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Load (or replace) a named graph from a server-side file.
+    Load {
+        /// Registry name for the graph.
+        name: String,
+        /// Server-side path to read.
+        path: String,
+        /// `true` = SNAP edge list, `false` = labeled t/v/e format.
+        edge_list: bool,
+        /// Provenance flag for edge lists.
+        directed: bool,
+    },
+    /// Match a query pattern against a loaded graph.
+    Match {
+        /// Name of a loaded graph.
+        graph: String,
+        /// Server-side path of the query (labeled t/v/e format).
+        query_path: String,
+        /// Stop after this many embeddings.
+        limit: Option<u64>,
+        /// Per-request deadline in milliseconds.
+        deadline_ms: Option<u64>,
+        /// Enumeration threads for this request (capped by the server).
+        workers: Option<usize>,
+    },
+    /// Plan/index report for a (graph, query) pair.
+    Explain {
+        /// Name of a loaded graph.
+        graph: String,
+        /// Server-side path of the query.
+        query_path: String,
+    },
+    /// Aggregate server metrics.
+    Stats,
+    /// Occupy one pool worker for `ms` milliseconds — an operational aid for
+    /// probing admission control (and the deterministic lever the
+    /// integration tests use to force `BUSY`).
+    Sleep {
+        /// How long the worker sleeps.
+        ms: u64,
+    },
+    /// Liveness probe.
+    Ping,
+    /// Close the connection.
+    Quit,
+}
+
+/// A request line that could not be parsed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(msg: impl Into<String>) -> ParseError {
+    ParseError(msg.into())
+}
+
+fn parse_u64(tokens: &mut std::slice::Iter<'_, &str>, what: &str) -> Result<u64, ParseError> {
+    tokens
+        .next()
+        .ok_or_else(|| err(format!("{what} requires a value")))?
+        .parse()
+        .map_err(|_| err(format!("invalid {what} value")))
+}
+
+/// Parses one request line. Empty lines and `#` comments yield `Ok(None)`.
+pub fn parse_request(line: &str) -> Result<Option<Request>, ParseError> {
+    let line = line.trim();
+    if line.is_empty() || line.starts_with('#') {
+        return Ok(None);
+    }
+    let tokens: Vec<&str> = line.split_whitespace().collect();
+    let mut it = tokens[1..].iter();
+    let cmd = tokens[0].to_ascii_uppercase();
+    let request = match cmd.as_str() {
+        "LOAD" => {
+            let name = it
+                .next()
+                .ok_or_else(|| err("LOAD requires <name> <path>"))?;
+            let path = it
+                .next()
+                .ok_or_else(|| err("LOAD requires <name> <path>"))?;
+            let mut edge_list = false;
+            let mut directed = false;
+            for flag in it {
+                match flag.to_ascii_uppercase().as_str() {
+                    "EDGELIST" => edge_list = true,
+                    "DIRECTED" => directed = true,
+                    other => return Err(err(format!("unknown LOAD flag {other:?}"))),
+                }
+            }
+            Request::Load {
+                name: name.to_string(),
+                path: path.to_string(),
+                edge_list,
+                directed,
+            }
+        }
+        "MATCH" => {
+            let graph = it
+                .next()
+                .ok_or_else(|| err("MATCH requires <graph> <query-path>"))?;
+            let query_path = it
+                .next()
+                .ok_or_else(|| err("MATCH requires <graph> <query-path>"))?;
+            let mut limit = None;
+            let mut deadline_ms = None;
+            let mut workers = None;
+            while let Some(opt) = it.next() {
+                match opt.to_ascii_uppercase().as_str() {
+                    "LIMIT" => limit = Some(parse_u64(&mut it, "LIMIT")?),
+                    "DEADLINE" => deadline_ms = Some(parse_u64(&mut it, "DEADLINE")?),
+                    "WORKERS" => {
+                        let w = parse_u64(&mut it, "WORKERS")?;
+                        if w == 0 {
+                            return Err(err("WORKERS must be >= 1"));
+                        }
+                        workers = Some(w as usize);
+                    }
+                    other => return Err(err(format!("unknown MATCH option {other:?}"))),
+                }
+            }
+            Request::Match {
+                graph: graph.to_string(),
+                query_path: query_path.to_string(),
+                limit,
+                deadline_ms,
+                workers,
+            }
+        }
+        "EXPLAIN" => {
+            let graph = it
+                .next()
+                .ok_or_else(|| err("EXPLAIN requires <graph> <query-path>"))?;
+            let query_path = it
+                .next()
+                .ok_or_else(|| err("EXPLAIN requires <graph> <query-path>"))?;
+            Request::Explain {
+                graph: graph.to_string(),
+                query_path: query_path.to_string(),
+            }
+        }
+        "STATS" => Request::Stats,
+        "SLEEP" => Request::Sleep {
+            ms: parse_u64(&mut it, "SLEEP")?,
+        },
+        "PING" => Request::Ping,
+        "QUIT" => Request::Quit,
+        other => return Err(err(format!("unknown command {other:?}"))),
+    };
+    Ok(Some(request))
+}
+
+/// Terminal status of a MATCH response.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MatchStatus {
+    /// Enumeration ran to completion (or to its LIMIT).
+    Ok,
+    /// The per-request deadline tripped; the count is partial.
+    DeadlineExceeded,
+}
+
+impl MatchStatus {
+    /// Wire spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            MatchStatus::Ok => "OK",
+            MatchStatus::DeadlineExceeded => "DEADLINE_EXCEEDED",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_load() {
+        assert_eq!(
+            parse_request("LOAD social /data/s.graph").unwrap(),
+            Some(Request::Load {
+                name: "social".into(),
+                path: "/data/s.graph".into(),
+                edge_list: false,
+                directed: false,
+            })
+        );
+        assert_eq!(
+            parse_request("load g p edgelist directed").unwrap(),
+            Some(Request::Load {
+                name: "g".into(),
+                path: "p".into(),
+                edge_list: true,
+                directed: true,
+            })
+        );
+        assert!(parse_request("LOAD onlyname").is_err());
+        assert!(parse_request("LOAD g p BOGUS").is_err());
+    }
+
+    #[test]
+    fn parses_match_with_options() {
+        assert_eq!(
+            parse_request("MATCH g q.graph LIMIT 100 DEADLINE 50 WORKERS 2").unwrap(),
+            Some(Request::Match {
+                graph: "g".into(),
+                query_path: "q.graph".into(),
+                limit: Some(100),
+                deadline_ms: Some(50),
+                workers: Some(2),
+            })
+        );
+        assert_eq!(
+            parse_request("match g q").unwrap(),
+            Some(Request::Match {
+                graph: "g".into(),
+                query_path: "q".into(),
+                limit: None,
+                deadline_ms: None,
+                workers: None,
+            })
+        );
+        assert!(parse_request("MATCH g q LIMIT").is_err());
+        assert!(parse_request("MATCH g q LIMIT abc").is_err());
+        assert!(parse_request("MATCH g q WORKERS 0").is_err());
+        assert!(parse_request("MATCH g").is_err());
+    }
+
+    #[test]
+    fn parses_simple_commands() {
+        assert_eq!(parse_request("STATS").unwrap(), Some(Request::Stats));
+        assert_eq!(parse_request("ping").unwrap(), Some(Request::Ping));
+        assert_eq!(parse_request("QUIT").unwrap(), Some(Request::Quit));
+        assert_eq!(
+            parse_request("SLEEP 25").unwrap(),
+            Some(Request::Sleep { ms: 25 })
+        );
+        assert_eq!(
+            parse_request("EXPLAIN g q").unwrap(),
+            Some(Request::Explain {
+                graph: "g".into(),
+                query_path: "q".into(),
+            })
+        );
+    }
+
+    #[test]
+    fn blank_and_comment_lines_skip() {
+        assert_eq!(parse_request("").unwrap(), None);
+        assert_eq!(parse_request("   ").unwrap(), None);
+        assert_eq!(parse_request("# note").unwrap(), None);
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        let e = parse_request("FROB x").unwrap_err();
+        assert!(e.to_string().contains("FROB"));
+    }
+
+    #[test]
+    fn status_spelling() {
+        assert_eq!(MatchStatus::Ok.as_str(), "OK");
+        assert_eq!(MatchStatus::DeadlineExceeded.as_str(), "DEADLINE_EXCEEDED");
+    }
+}

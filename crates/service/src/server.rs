@@ -1,0 +1,455 @@
+//! The `ceci-serve` server proper: accept loop, connection handling, and
+//! request execution against the registry / index cache / worker pool.
+//!
+//! ## Threading model
+//!
+//! * One accept thread, one thread per connection (std-only; connections
+//!   are long-lived and few — this is a query service, not a web frontend).
+//! * The **control plane** (`LOAD`, `STATS`, `PING`, `QUIT`) runs directly
+//!   on the connection thread: these are cheap or operator-driven and must
+//!   stay responsive even when the data plane is saturated.
+//! * The **data plane** (`MATCH`, `EXPLAIN`, `SLEEP`) is submitted to the
+//!   bounded [`WorkerPool`]; a full queue answers `BUSY` immediately
+//!   (admission control), and the connection thread blocks only on its own
+//!   request's response channel — one in-flight request per connection.
+//!
+//! ## Deadlines
+//!
+//! `MATCH ... DEADLINE <ms>` arms a [`CancelToken`] when the job *starts
+//! executing* (queue wait does not consume the budget). The token is
+//! checked around the index build and threaded into
+//! [`enumerate_parallel_cancellable`], so enumeration unwinds cooperatively
+//! and the response reports the partial count with
+//! `status=DEADLINE_EXCEEDED`.
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use ceci_core::{enumerate_parallel_cancellable, CancelToken, Ceci, ParallelOptions};
+use ceci_graph::io as graph_io;
+use ceci_query::{CanonicalQuery, QueryGraph, QueryPlan};
+
+use crate::cache::{CachedIndex, IndexCache, Probe};
+use crate::metrics::ServerMetrics;
+use crate::pool::{Admission, PoolHandle, WorkerPool};
+use crate::protocol::{parse_request, MatchStatus, Request};
+use crate::registry::GraphRegistry;
+
+/// Server configuration.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Bind address (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// Data-plane pool threads.
+    pub pool_workers: usize,
+    /// Pending-job cap; beyond it requests bounce with `BUSY`.
+    pub queue_cap: usize,
+    /// Index-cache byte budget (0 disables caching).
+    pub cache_budget_bytes: usize,
+    /// Enumeration threads per MATCH when the request doesn't say.
+    pub default_match_workers: usize,
+    /// Hard cap on per-request `WORKERS`.
+    pub max_match_workers: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            pool_workers: 2,
+            queue_cap: 64,
+            cache_budget_bytes: 64 << 20,
+            default_match_workers: 1,
+            max_match_workers: 8,
+        }
+    }
+}
+
+/// Shared server state: everything a connection (or pool job) needs.
+pub struct ServerState {
+    /// Named loaded graphs.
+    pub registry: GraphRegistry,
+    /// Frozen-index cache.
+    pub cache: IndexCache,
+    /// Aggregate counters + latency histograms.
+    pub metrics: ServerMetrics,
+    config: ServeConfig,
+    stopping: AtomicBool,
+}
+
+impl ServerState {
+    /// Builds fresh state from a config.
+    pub fn new(config: ServeConfig) -> Self {
+        ServerState {
+            registry: GraphRegistry::new(),
+            cache: IndexCache::new(config.cache_budget_bytes),
+            metrics: ServerMetrics::default(),
+            config,
+            stopping: AtomicBool::new(false),
+        }
+    }
+
+    /// The config the server was started with.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+}
+
+/// A running server; dropping the handle does *not* stop it — call
+/// [`ServerHandle::shutdown`].
+pub struct ServerHandle {
+    addr: SocketAddr,
+    state: Arc<ServerState>,
+    accept_thread: Option<JoinHandle<()>>,
+    pool: Option<WorkerPool>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Shared state — the integration tests and the in-process load
+    /// generator read metrics and preload graphs through this.
+    pub fn state(&self) -> &Arc<ServerState> {
+        &self.state
+    }
+
+    /// Stops accepting connections, drains the pool, and joins the accept
+    /// thread. Already-open connections are serviced until their clients
+    /// disconnect.
+    pub fn shutdown(mut self) {
+        self.state.stopping.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+        if let Some(pool) = self.pool.take() {
+            pool.shutdown();
+        }
+    }
+}
+
+/// Binds and starts serving; returns once the listener is live.
+pub fn start(config: ServeConfig) -> std::io::Result<ServerHandle> {
+    start_with_state(Arc::new(ServerState::new(config)))
+}
+
+/// Starts serving over pre-built state (lets callers preload graphs before
+/// the first connection).
+pub fn start_with_state(state: Arc<ServerState>) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&state.config.addr)?;
+    let addr = listener.local_addr()?;
+    let pool = WorkerPool::new(state.config.pool_workers, state.config.queue_cap);
+    let pool_handle = pool.handle();
+    let accept_state = Arc::clone(&state);
+    let accept_thread = std::thread::Builder::new()
+        .name("ceci-accept".to_string())
+        .spawn(move || accept_loop(&listener, &accept_state, &pool_handle))
+        .expect("spawn accept thread");
+    Ok(ServerHandle {
+        addr,
+        state,
+        accept_thread: Some(accept_thread),
+        pool: Some(pool),
+    })
+}
+
+fn accept_loop(listener: &TcpListener, state: &Arc<ServerState>, pool: &PoolHandle) {
+    for stream in listener.incoming() {
+        if state.stopping.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let state = Arc::clone(state);
+        let pool = pool.clone();
+        let _ = std::thread::Builder::new()
+            .name("ceci-conn".to_string())
+            .spawn(move || {
+                let _ = serve_connection(stream, &state, &pool);
+            });
+    }
+}
+
+fn serve_connection(
+    stream: TcpStream,
+    state: &Arc<ServerState>,
+    pool: &PoolHandle,
+) -> std::io::Result<()> {
+    stream.set_nodelay(true).ok();
+    let reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    for line in reader.lines() {
+        let line = line?;
+        let request = match parse_request(&line) {
+            Ok(None) => continue,
+            Ok(Some(r)) => r,
+            Err(e) => {
+                ServerMetrics::inc(&state.metrics.errors);
+                respond(&mut writer, &[format!("ERR {e}")])?;
+                continue;
+            }
+        };
+        ServerMetrics::inc(&state.metrics.requests);
+        let quit = matches!(request, Request::Quit);
+        let lines = dispatch(request, state, pool);
+        respond(&mut writer, &lines)?;
+        if quit {
+            break;
+        }
+    }
+    Ok(())
+}
+
+fn respond(writer: &mut BufWriter<TcpStream>, lines: &[String]) -> std::io::Result<()> {
+    for l in lines {
+        writer.write_all(l.as_bytes())?;
+        writer.write_all(b"\n")?;
+    }
+    writer.flush()
+}
+
+/// Routes a request: control plane inline, data plane through the pool.
+fn dispatch(request: Request, state: &Arc<ServerState>, pool: &PoolHandle) -> Vec<String> {
+    match request {
+        Request::Ping => vec!["OK PONG".to_string()],
+        Request::Quit => vec!["OK BYE".to_string()],
+        Request::Stats => exec_stats(state),
+        Request::Load {
+            name,
+            path,
+            edge_list,
+            directed,
+        } => exec_load(state, &name, &path, edge_list, directed),
+        data_plane => {
+            let (tx, rx) = mpsc::channel::<Vec<String>>();
+            let job_state = Arc::clone(state);
+            let admitted = pool.submit(Box::new(move || {
+                let lines = match data_plane {
+                    Request::Match {
+                        graph,
+                        query_path,
+                        limit,
+                        deadline_ms,
+                        workers,
+                    } => exec_match(&job_state, &graph, &query_path, limit, deadline_ms, workers),
+                    Request::Explain { graph, query_path } => {
+                        exec_explain(&job_state, &graph, &query_path)
+                    }
+                    Request::Sleep { ms } => {
+                        std::thread::sleep(Duration::from_millis(ms));
+                        vec![format!("OK SLEPT {ms}")]
+                    }
+                    _ => unreachable!("control-plane request reached the pool"),
+                };
+                let _ = tx.send(lines);
+            }));
+            match admitted {
+                Admission::Rejected => {
+                    ServerMetrics::inc(&state.metrics.rejected_busy);
+                    vec!["BUSY".to_string()]
+                }
+                Admission::Accepted => rx
+                    .recv()
+                    .unwrap_or_else(|_| vec!["ERR worker dropped response".to_string()]),
+            }
+        }
+    }
+}
+
+fn exec_stats(state: &ServerState) -> Vec<String> {
+    let extra = [
+        ("graphs_loaded", state.registry.len() as u64),
+        ("cache_entries", state.cache.len() as u64),
+        ("cache_bytes", state.cache.bytes() as u64),
+    ];
+    let mut lines = state.metrics.render(&extra);
+    lines.push("OK STATS".to_string());
+    lines
+}
+
+fn exec_load(
+    state: &ServerState,
+    name: &str,
+    path: &str,
+    edge_list: bool,
+    directed: bool,
+) -> Vec<String> {
+    let loaded = if edge_list {
+        graph_io::load_edge_list(path, directed)
+    } else {
+        graph_io::load_labeled(path)
+    };
+    match loaded {
+        Err(e) => {
+            ServerMetrics::inc(&state.metrics.errors);
+            vec![format!("ERR load failed: {e}")]
+        }
+        Ok(graph) => {
+            let (vertices, edges) = (graph.num_vertices(), graph.num_edges());
+            let (entry, displaced) = state.registry.insert(name, graph);
+            if let Some(old_epoch) = displaced {
+                state.cache.evict_epoch(old_epoch);
+            }
+            ServerMetrics::inc(&state.metrics.load_requests);
+            vec![format!(
+                "OK LOADED name={name} vertices={vertices} edges={edges} epoch={}",
+                entry.epoch
+            )]
+        }
+    }
+}
+
+/// Loads + validates a query pattern file.
+fn load_query(path: &str) -> Result<QueryGraph, String> {
+    let pattern = graph_io::load_labeled(path).map_err(|e| format!("query load failed: {e}"))?;
+    QueryGraph::from_graph(&pattern).map_err(|e| format!("invalid query: {e}"))
+}
+
+/// Probes the cache; on miss builds plan + CECI (outside any lock) and
+/// inserts. Returns the entry, whether it was a hit, and the build time.
+fn index_for(
+    state: &ServerState,
+    graph_epoch: u64,
+    graph: &ceci_graph::Graph,
+    query: QueryGraph,
+) -> (Arc<CachedIndex>, bool, Duration) {
+    let canonical = CanonicalQuery::of(&query);
+    let (probe, cached) = state.cache.get(graph_epoch, &canonical);
+    match probe {
+        Probe::Hit => {
+            ServerMetrics::inc(&state.metrics.cache_hits);
+            return (cached.expect("hit without entry"), true, Duration::ZERO);
+        }
+        Probe::Miss => ServerMetrics::inc(&state.metrics.cache_misses),
+        Probe::Collision => {
+            // Verified mismatch: never serve it; count both ways so the
+            // operator can see collisions are happening.
+            ServerMetrics::inc(&state.metrics.cache_collisions);
+            ServerMetrics::inc(&state.metrics.cache_misses);
+        }
+    }
+    let t0 = Instant::now();
+    let plan = Arc::new(QueryPlan::new(query, graph));
+    let ceci = Arc::new(Ceci::build(graph, &plan));
+    let build = t0.elapsed();
+    state.metrics.build_latency.record(build);
+    let entry = Arc::new(CachedIndex {
+        canonical,
+        plan: Arc::clone(&plan),
+        ceci: Arc::clone(&ceci),
+        bytes: ceci.size_bytes(),
+    });
+    // Collisions keep the *old* entry (LRU decides who survives budget
+    // pressure); overwriting would thrash between the two queries.
+    if probe != Probe::Collision {
+        let evicted = state.cache.insert(
+            graph_epoch,
+            CachedIndex {
+                canonical: entry.canonical.clone(),
+                plan,
+                ceci,
+                bytes: entry.bytes,
+            },
+        );
+        ServerMetrics::add(&state.metrics.cache_evictions, evicted);
+    }
+    (entry, false, build)
+}
+
+fn exec_match(
+    state: &ServerState,
+    graph_name: &str,
+    query_path: &str,
+    limit: Option<u64>,
+    deadline_ms: Option<u64>,
+    workers: Option<usize>,
+) -> Vec<String> {
+    let t_start = Instant::now();
+    ServerMetrics::inc(&state.metrics.match_requests);
+    let Some(entry) = state.registry.get(graph_name) else {
+        ServerMetrics::inc(&state.metrics.errors);
+        return vec![format!("ERR unknown graph {graph_name:?}")];
+    };
+    let query = match load_query(query_path) {
+        Ok(q) => q,
+        Err(e) => {
+            ServerMetrics::inc(&state.metrics.errors);
+            return vec![format!("ERR {e}")];
+        }
+    };
+    // The deadline clock starts when execution starts, not at submission:
+    // queue wait is already bounded by admission control.
+    let cancel = deadline_ms.map(|ms| CancelToken::after(Duration::from_millis(ms)));
+
+    let (index, cache_hit, build) = index_for(state, entry.epoch, &entry.graph, query);
+
+    let requested = workers.unwrap_or(state.config.default_match_workers);
+    let match_workers = requested.clamp(1, state.config.max_match_workers.max(1));
+    let options = ParallelOptions {
+        workers: match_workers,
+        limit,
+        ..Default::default()
+    };
+    let t_enum = Instant::now();
+    let result = enumerate_parallel_cancellable(
+        &entry.graph,
+        &index.plan,
+        &index.ceci,
+        &options,
+        cancel.clone(),
+    );
+    let enum_time = t_enum.elapsed();
+
+    let status = if result.cancelled {
+        ServerMetrics::inc(&state.metrics.deadline_exceeded);
+        MatchStatus::DeadlineExceeded
+    } else {
+        MatchStatus::Ok
+    };
+    let count = match limit {
+        Some(k) => result.total_embeddings.min(k),
+        None => result.total_embeddings,
+    };
+    ServerMetrics::add(&state.metrics.embeddings_returned, count);
+    let total = t_start.elapsed();
+    state.metrics.match_latency.record(total);
+    vec![format!(
+        "OK MATCH count={count} status={} cache={} build_us={} enum_us={} total_us={}",
+        status.as_str(),
+        if cache_hit { "HIT" } else { "MISS" },
+        build.as_micros(),
+        enum_time.as_micros(),
+        total.as_micros(),
+    )]
+}
+
+fn exec_explain(state: &ServerState, graph_name: &str, query_path: &str) -> Vec<String> {
+    let Some(entry) = state.registry.get(graph_name) else {
+        ServerMetrics::inc(&state.metrics.errors);
+        return vec![format!("ERR unknown graph {graph_name:?}")];
+    };
+    let query = match load_query(query_path) {
+        Ok(q) => q,
+        Err(e) => {
+            ServerMetrics::inc(&state.metrics.errors);
+            return vec![format!("ERR {e}")];
+        }
+    };
+    let (index, cache_hit, _build) = index_for(state, entry.epoch, &entry.graph, query);
+    let report = ceci_core::explain_plan(&index.plan, &entry.graph);
+    let mut lines: Vec<String> = report.lines().map(|l| format!("| {l}")).collect();
+    lines.push(format!(
+        "| index: bytes={} cache={}",
+        index.bytes,
+        if cache_hit { "HIT" } else { "MISS" }
+    ));
+    lines.push("OK EXPLAIN".to_string());
+    lines
+}

@@ -1,0 +1,381 @@
+//! Integration tests for `ceci-serve`: a real server on a loopback
+//! ephemeral port, exercised over TCP through the real client.
+//!
+//! Covers the acceptance criteria of the serving layer: correct counts vs
+//! direct enumeration, LIMIT, index-cache hits on repeated templates,
+//! DEADLINE returning partial counts in bounded time, BUSY under queue
+//! overflow, and 8 concurrent clients sustained without error.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ceci_core::{count_embeddings, Ceci};
+use ceci_graph::extract::extract_query;
+use ceci_graph::generators::{erdos_renyi, inject_random_labels};
+use ceci_graph::io;
+use ceci_graph::Graph;
+use ceci_query::{QueryGraph, QueryPlan};
+use ceci_service::{
+    run_load, start_with_state, Client, LoadConfig, ServeConfig, ServerHandle, ServerState,
+};
+
+/// A per-test scratch directory under the target-adjacent temp dir.
+struct Scratch(std::path::PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Scratch {
+        let dir =
+            std::env::temp_dir().join(format!("ceci-service-test-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        Scratch(dir)
+    }
+
+    fn write_graph(&self, name: &str, graph: &Graph) -> String {
+        let path = self.0.join(name);
+        let mut f = std::fs::File::create(&path).unwrap();
+        io::write_labeled(graph, &mut f).unwrap();
+        path.display().to_string()
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        std::fs::remove_dir_all(&self.0).ok();
+    }
+}
+
+fn small_graph() -> Graph {
+    inject_random_labels(&erdos_renyi(300, 900, 11), 3, 12)
+}
+
+fn query_from(graph: &Graph, size: usize, seed: u64) -> Graph {
+    extract_query(graph, size, seed, 50)
+        .expect("extractable query")
+        .pattern
+}
+
+fn direct_count(graph: &Graph, pattern: &Graph) -> u64 {
+    let query = QueryGraph::from_graph(pattern).unwrap();
+    let plan = QueryPlan::new(query, graph);
+    let ceci = Ceci::build(graph, &plan);
+    count_embeddings(graph, &plan, &ceci)
+}
+
+fn serve(config: ServeConfig) -> (ServerHandle, Arc<ServerState>) {
+    let state = Arc::new(ServerState::new(config));
+    let handle = start_with_state(Arc::clone(&state)).expect("bind loopback");
+    (handle, state)
+}
+
+#[test]
+fn load_match_agrees_with_direct_enumeration() {
+    let scratch = Scratch::new("basic");
+    let graph = small_graph();
+    let pattern = query_from(&graph, 4, 3);
+    let expected = direct_count(&graph, &pattern);
+    let graph_path = scratch.write_graph("data.graph", &graph);
+    let query_path = scratch.write_graph("query.graph", &pattern);
+
+    let (handle, _state) = serve(ServeConfig::default());
+    let mut client = Client::connect(handle.addr()).unwrap();
+
+    let resp = client.request("PING").unwrap();
+    assert_eq!(resp.terminal, "OK PONG");
+
+    let resp = client.request(&format!("LOAD g {graph_path}")).unwrap();
+    assert!(resp.is_ok(), "LOAD failed: {}", resp.terminal);
+    assert_eq!(
+        resp.field_u64("vertices"),
+        Some(graph.num_vertices() as u64)
+    );
+    assert_eq!(resp.field_u64("edges"), Some(graph.num_edges() as u64));
+
+    let resp = client.request(&format!("MATCH g {query_path}")).unwrap();
+    assert!(resp.is_ok(), "MATCH failed: {}", resp.terminal);
+    assert_eq!(resp.field_u64("count"), Some(expected));
+    assert_eq!(resp.field("status"), Some("OK"));
+    assert_eq!(resp.field("cache"), Some("MISS"));
+
+    handle.shutdown();
+}
+
+#[test]
+fn limit_truncates_and_repeat_hits_cache() {
+    let scratch = Scratch::new("cache");
+    let graph = small_graph();
+    let pattern = query_from(&graph, 3, 5);
+    let expected = direct_count(&graph, &pattern);
+    assert!(expected > 1, "need a query with multiple embeddings");
+    let graph_path = scratch.write_graph("data.graph", &graph);
+    let query_path = scratch.write_graph("query.graph", &pattern);
+
+    let (handle, state) = serve(ServeConfig::default());
+    let mut client = Client::connect(handle.addr()).unwrap();
+    client.request(&format!("LOAD g {graph_path}")).unwrap();
+
+    // Cold: builds and caches the index.
+    let resp = client.request(&format!("MATCH g {query_path}")).unwrap();
+    assert_eq!(resp.field("cache"), Some("MISS"));
+    // Warm, with LIMIT: same template skips the build and truncates.
+    let resp = client
+        .request(&format!("MATCH g {query_path} LIMIT 1"))
+        .unwrap();
+    assert!(resp.is_ok());
+    assert_eq!(resp.field_u64("count"), Some(1));
+    assert_eq!(resp.field("cache"), Some("HIT"));
+    assert_eq!(
+        resp.field_u64("build_us"),
+        Some(0),
+        "cache hit must skip build"
+    );
+
+    // STATS reflects it.
+    let resp = client.request("STATS").unwrap();
+    assert_eq!(resp.terminal, "OK STATS");
+    let stat = |key: &str| -> u64 {
+        resp.payload
+            .iter()
+            .find_map(|l| l.strip_prefix(&format!("STAT {key} ")))
+            .unwrap_or_else(|| panic!("missing STAT {key} in {:?}", resp.payload))
+            .parse()
+            .unwrap()
+    };
+    assert!(stat("cache_hits") >= 1);
+    assert_eq!(stat("cache_misses"), 1);
+    assert_eq!(stat("graphs_loaded"), 1);
+    assert!(stat("cache_bytes") > 0);
+    assert_eq!(
+        state
+            .metrics
+            .cache_hits
+            .load(std::sync::atomic::Ordering::Relaxed),
+        stat("cache_hits")
+    );
+
+    handle.shutdown();
+}
+
+#[test]
+fn automorphic_query_presentations_share_one_cache_entry() {
+    let scratch = Scratch::new("iso");
+    let graph = small_graph();
+    let pattern = query_from(&graph, 3, 9);
+    // Re-present the same pattern with vertices renumbered in reverse.
+    let n = pattern.num_vertices();
+    let relabel: Vec<u32> = (0..n as u32).rev().collect();
+    let labels: Vec<_> = (0..n)
+        .map(|i| {
+            let orig = relabel.iter().position(|&r| r as usize == i).unwrap();
+            pattern.labels(ceci_graph::VertexId(orig as u32)).clone()
+        })
+        .collect();
+    let mut edges = Vec::new();
+    for v in pattern.vertices() {
+        for &nb in pattern.neighbors(v) {
+            if v < nb {
+                edges.push((
+                    ceci_graph::VertexId(relabel[v.index()]),
+                    ceci_graph::VertexId(relabel[nb.index()]),
+                ));
+            }
+        }
+    }
+    let renumbered = Graph::new(labels, &edges, false);
+
+    let graph_path = scratch.write_graph("data.graph", &graph);
+    let q1 = scratch.write_graph("q1.graph", &pattern);
+    let q2 = scratch.write_graph("q2.graph", &renumbered);
+
+    let (handle, state) = serve(ServeConfig::default());
+    let mut client = Client::connect(handle.addr()).unwrap();
+    client.request(&format!("LOAD g {graph_path}")).unwrap();
+    let r1 = client.request(&format!("MATCH g {q1}")).unwrap();
+    let r2 = client.request(&format!("MATCH g {q2}")).unwrap();
+    assert_eq!(r1.field("cache"), Some("MISS"));
+    assert_eq!(
+        r2.field("cache"),
+        Some("HIT"),
+        "isomorphic presentation must hit the same entry"
+    );
+    assert_eq!(r1.field_u64("count"), r2.field_u64("count"));
+    assert_eq!(state.cache.len(), 1);
+    handle.shutdown();
+}
+
+#[test]
+fn deadline_returns_partial_count_in_bounded_time() {
+    let scratch = Scratch::new("deadline");
+    // Big enough that full enumeration takes well over the deadline.
+    let graph = inject_random_labels(&erdos_renyi(3000, 30_000, 21), 2, 22);
+    let pattern = query_from(&graph, 4, 7);
+    let graph_path = scratch.write_graph("data.graph", &graph);
+    let query_path = scratch.write_graph("query.graph", &pattern);
+
+    let (handle, _state) = serve(ServeConfig::default());
+    let mut client = Client::connect(handle.addr()).unwrap();
+    client.request(&format!("LOAD g {graph_path}")).unwrap();
+    // Warm the cache so DEADLINE 1 exercises *enumeration* cancellation
+    // rather than tripping during the index build.
+    let warm = client
+        .request(&format!("MATCH g {query_path} LIMIT 1"))
+        .unwrap();
+    assert!(warm.is_ok(), "warmup failed: {}", warm.terminal);
+
+    let t0 = Instant::now();
+    let resp = client
+        .request(&format!("MATCH g {query_path} DEADLINE 1"))
+        .unwrap();
+    let elapsed = t0.elapsed();
+    assert!(resp.is_ok(), "deadline response: {}", resp.terminal);
+    assert_eq!(resp.field("status"), Some("DEADLINE_EXCEEDED"));
+    assert_eq!(resp.field("cache"), Some("HIT"));
+    assert!(
+        elapsed < Duration::from_secs(5),
+        "deadline response took {elapsed:?}"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn queue_overflow_answers_busy() {
+    let (handle, state) = serve(ServeConfig {
+        pool_workers: 1,
+        queue_cap: 1,
+        ..ServeConfig::default()
+    });
+    // Two parked SLEEPs: one occupies the single worker, one fills the
+    // queue. Each needs its own connection (a connection blocks on its
+    // in-flight request), and they are staggered so the first is popped by
+    // the worker before the second is submitted — submitting both at once
+    // would race the second sleeper against the pop and bounce it.
+    let addr = handle.addr();
+    let sleepers: Vec<_> = (0..2)
+        .map(|_| {
+            let t = std::thread::spawn(move || {
+                let mut c = Client::connect(addr).unwrap();
+                c.request("SLEEP 2000").unwrap()
+            });
+            std::thread::sleep(Duration::from_millis(400));
+            t
+        })
+        .collect();
+
+    let mut probe = Client::connect(addr).unwrap();
+    let resp = probe.request("SLEEP 1").unwrap();
+    assert!(resp.is_busy(), "expected BUSY, got {}", resp.terminal);
+    // Control plane stays responsive while the data plane is saturated.
+    let resp = probe.request("PING").unwrap();
+    assert_eq!(resp.terminal, "OK PONG");
+
+    for s in sleepers {
+        let r = s.join().unwrap();
+        assert!(r.is_ok(), "sleeper got {}", r.terminal);
+    }
+    assert!(
+        state
+            .metrics
+            .rejected_busy
+            .load(std::sync::atomic::Ordering::Relaxed)
+            >= 1
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn eight_concurrent_clients_sustained_without_error() {
+    let scratch = Scratch::new("load");
+    let graph = small_graph();
+    let pattern = query_from(&graph, 4, 13);
+    let query_path = scratch.write_graph("query.graph", &pattern);
+
+    let (handle, state) = serve(ServeConfig {
+        pool_workers: 4,
+        queue_cap: 64,
+        ..ServeConfig::default()
+    });
+    state.registry.insert("g", graph);
+
+    let report = run_load(
+        handle.addr(),
+        &LoadConfig {
+            clients: 8,
+            requests_per_client: 20,
+            request: format!("MATCH g {query_path}"),
+        },
+    );
+    assert_eq!(report.ok, 8 * 20, "all requests succeed: {report:?}");
+    assert_eq!(report.err, 0);
+    assert_eq!(report.io_errors, 0);
+    assert_eq!(report.busy, 0, "queue_cap=64 admits the closed loop");
+    // The repeated template is served from cache after the cold start.
+    let hits = state
+        .metrics
+        .cache_hits
+        .load(std::sync::atomic::Ordering::Relaxed);
+    assert!(hits >= 8 * 20 - 8, "expected mostly cache hits, got {hits}");
+    handle.shutdown();
+}
+
+#[test]
+fn errors_and_explain() {
+    let scratch = Scratch::new("errs");
+    let graph = small_graph();
+    let pattern = query_from(&graph, 3, 17);
+    let graph_path = scratch.write_graph("data.graph", &graph);
+    let query_path = scratch.write_graph("query.graph", &pattern);
+
+    let (handle, _state) = serve(ServeConfig::default());
+    let mut client = Client::connect(handle.addr()).unwrap();
+
+    // Unknown graph / bad paths produce ERR with context, not hangs.
+    let resp = client.request(&format!("MATCH nope {query_path}")).unwrap();
+    assert!(resp.terminal.starts_with("ERR"), "{}", resp.terminal);
+    assert!(resp.terminal.contains("nope"));
+
+    client.request(&format!("LOAD g {graph_path}")).unwrap();
+    let resp = client.request("MATCH g /no/such/query.graph").unwrap();
+    assert!(resp.terminal.starts_with("ERR"));
+    assert!(resp.terminal.contains("query.graph"), "{}", resp.terminal);
+
+    let resp = client.request("FROBNICATE").unwrap();
+    assert!(resp.terminal.starts_with("ERR"));
+
+    // EXPLAIN produces a payload report with `| ` prefixed lines.
+    let resp = client.request(&format!("EXPLAIN g {query_path}")).unwrap();
+    assert_eq!(resp.terminal, "OK EXPLAIN");
+    assert!(!resp.payload.is_empty());
+    assert!(resp.payload.iter().all(|l| l.starts_with("| ")));
+
+    // QUIT closes cleanly.
+    let resp = client.request("QUIT").unwrap();
+    assert_eq!(resp.terminal, "OK BYE");
+    handle.shutdown();
+}
+
+#[test]
+fn reload_invalidates_cached_indexes() {
+    let scratch = Scratch::new("reload");
+    let g1 = small_graph();
+    let g2 = inject_random_labels(&erdos_renyi(200, 600, 31), 3, 32);
+    let pattern = query_from(&g1, 3, 19);
+    let p1 = scratch.write_graph("g1.graph", &g1);
+    let p2 = scratch.write_graph("g2.graph", &g2);
+    let q = scratch.write_graph("q.graph", &pattern);
+
+    let (handle, state) = serve(ServeConfig::default());
+    let mut client = Client::connect(handle.addr()).unwrap();
+    client.request(&format!("LOAD g {p1}")).unwrap();
+    client.request(&format!("MATCH g {q}")).unwrap();
+    assert_eq!(state.cache.len(), 1);
+
+    // Replacing the graph sweeps its cached indexes; the next MATCH is a
+    // miss against the new epoch and counts against the new graph.
+    let resp = client.request(&format!("LOAD g {p2}")).unwrap();
+    assert!(resp.is_ok());
+    assert_eq!(state.cache.len(), 0, "old epoch swept");
+    let resp = client.request(&format!("MATCH g {q}")).unwrap();
+    assert!(resp.is_ok());
+    assert_eq!(resp.field("cache"), Some("MISS"));
+    assert_eq!(resp.field_u64("count"), Some(direct_count(&g2, &pattern)));
+    handle.shutdown();
+}
