@@ -54,6 +54,7 @@ fn bench_strategies(c: &mut Criterion) {
                         kernel: Default::default(),
                         limit: None,
                         collect: false,
+                        build_threads: 1,
                     },
                 ))
             });

@@ -38,6 +38,7 @@ fn bench_build_stages(c: &mut Criterion) {
                 BuildOptions {
                     build_nte: true,
                     refine: false,
+                    ..BuildOptions::default()
                 },
             ))
         });

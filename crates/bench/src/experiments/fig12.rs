@@ -43,6 +43,7 @@ pub fn run(scale: Scale) {
                 kernel: Default::default(),
                 limit: None,
                 collect: false,
+                build_threads: 1,
             },
         );
         let min = result.worker_busy.iter().min().copied().unwrap_or_default();

@@ -42,6 +42,7 @@ pub fn run(scale: Scale) {
                     kernel: Default::default(),
                     limit: None,
                     collect: false,
+                    build_threads: 1,
                 },
             )
         });

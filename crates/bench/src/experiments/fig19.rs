@@ -39,6 +39,7 @@ fn timed_ceci_variant(
             kernel: Default::default(),
             limit: None,
             collect: false,
+            build_threads: 1,
         },
     );
     (start.elapsed(), result.total_embeddings)
@@ -82,6 +83,7 @@ pub fn run(scale: Scale) {
                 BuildOptions {
                     build_nte: false,
                     refine: false,
+                    ..BuildOptions::default()
                 },
                 VerifyMode::EdgeVerification,
             );
@@ -92,6 +94,7 @@ pub fn run(scale: Scale) {
                 BuildOptions {
                     build_nte: false,
                     refine: true,
+                    ..BuildOptions::default()
                 },
                 VerifyMode::EdgeVerification,
             );
@@ -102,6 +105,7 @@ pub fn run(scale: Scale) {
                 BuildOptions {
                     build_nte: true,
                     refine: true,
+                    ..BuildOptions::default()
                 },
                 VerifyMode::Intersection,
             );

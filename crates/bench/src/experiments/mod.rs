@@ -13,6 +13,7 @@ pub mod fig19;
 pub mod fig20;
 pub mod fig7_8;
 pub mod fig9_10;
+pub mod index_build;
 pub mod kernels;
 pub mod physical;
 pub mod queries;

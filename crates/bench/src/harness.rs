@@ -148,14 +148,9 @@ pub fn run_ceci_detail(
     limit: Option<u64>,
     strategy: Strategy,
 ) -> (ceci_core::ParallelResult, Duration) {
-    let start = Instant::now();
-    let plan = QueryPlan::with_options(query, graph, &PlanOptions::default());
-    let ceci = Ceci::build(graph, &plan);
-    let setup = start.elapsed();
-    let result = enumerate_parallel(
+    run_ceci_opts(
         graph,
-        &plan,
-        &ceci,
+        query,
         &ParallelOptions {
             workers,
             strategy,
@@ -163,8 +158,31 @@ pub fn run_ceci_detail(
             kernel: Default::default(),
             limit,
             collect: false,
+            build_threads: 1,
+        },
+    )
+}
+
+/// Fully-parameterized CECI run: `opts.build_threads` is plumbed into the
+/// index build ([`ceci_core::BuildOptions::threads`]) and the remaining
+/// options drive enumeration.
+pub fn run_ceci_opts(
+    graph: &Graph,
+    query: QueryGraph,
+    opts: &ParallelOptions,
+) -> (ceci_core::ParallelResult, Duration) {
+    let start = Instant::now();
+    let plan = QueryPlan::with_options(query, graph, &PlanOptions::default());
+    let ceci = Ceci::build_with(
+        graph,
+        &plan,
+        ceci_core::BuildOptions {
+            threads: opts.build_threads,
+            ..Default::default()
         },
     );
+    let setup = start.elapsed();
+    let result = enumerate_parallel(graph, &plan, &ceci, opts);
     (result, setup)
 }
 

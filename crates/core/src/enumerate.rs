@@ -47,6 +47,10 @@ pub struct EnumOptions {
     pub verify: VerifyMode,
     /// Intersection kernel used for NTE conjunctions (§4.1 ablation knob).
     pub kernel: Kernel,
+    /// BFS-filter worker pool width for callers that build the index as
+    /// part of the run (forwarded to [`crate::BuildOptions::threads`]);
+    /// `0`/`1` builds on the calling thread. Enumeration itself ignores it.
+    pub build_threads: usize,
 }
 
 /// Reusable per-worker scratch state for cluster enumeration.
@@ -432,6 +436,7 @@ mod tests {
             BuildOptions {
                 build_nte: false,
                 refine: true,
+                ..BuildOptions::default()
             },
         );
         let mut sink = CollectSink::unbounded();

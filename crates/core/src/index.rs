@@ -12,11 +12,12 @@ use std::time::{Duration, Instant};
 use ceci_graph::{Graph, VertexId};
 use ceci_query::QueryPlan;
 
-use crate::filter::bfs_filter_from;
+use crate::filter::bfs_filter_from_with;
 use crate::refine::reverse_bfs_refine;
 use crate::tables::CompactTable;
 
-/// Options controlling CECI construction — the Figure 19 ablation toggles.
+/// Options controlling CECI construction — the Figure 19 ablation toggles
+/// plus the build worker pool width.
 #[derive(Clone, Copy, Debug)]
 pub struct BuildOptions {
     /// Build NTE_Candidates tables (enables intersection-based enumeration).
@@ -25,6 +26,10 @@ pub struct BuildOptions {
     /// Run reverse-BFS refinement removals. Cardinalities are computed
     /// either way (the workload balancer needs them).
     pub refine: bool,
+    /// Worker threads for the BFS-filter fan-out (Algorithm 1). `1` (or 0)
+    /// runs fully on the calling thread; any value produces a bit-identical
+    /// index (deterministic chunk merge).
+    pub threads: usize,
 }
 
 impl Default for BuildOptions {
@@ -32,6 +37,7 @@ impl Default for BuildOptions {
         BuildOptions {
             build_nte: true,
             refine: true,
+            threads: 1,
         }
     }
 }
@@ -51,10 +57,25 @@ pub struct BuildStats {
     pub te_entries_after_refine: usize,
     /// NTE candidate edges after refinement.
     pub nte_entries_after_refine: usize,
-    /// Wall time of Algorithm 1.
+    /// Wall time of Algorithm 1 (frontier filtering + cascade + merge).
     pub filter_time: Duration,
     /// Wall time of Algorithm 2.
     pub refine_time: Duration,
+    /// Wall time of the deterministic chunk merge inside Algorithm 1 (zero
+    /// for a 1-thread build, which writes straight into the table arena).
+    pub merge_time: Duration,
+    /// Wall time spent inside parallel fan-out sections of Algorithm 1.
+    pub filter_fanout_wall: Duration,
+    /// Longest per-worker CPU busy time across the fan-out sections — the
+    /// modeled parallel span on machines with fewer cores than workers.
+    pub filter_busy_max: Duration,
+    /// Total worker CPU busy time across the fan-out sections.
+    pub filter_busy_total: Duration,
+    /// Worker pool width the filter ran with.
+    pub build_threads: usize,
+    /// Flat value-arena bytes of the frozen tables (the paper's
+    /// 4-bytes-per-candidate-edge payload).
+    pub arena_bytes: usize,
     /// Final index heap bytes.
     pub size_bytes: usize,
     /// The paper's theoretical bound `|E_q| × |E_g| × 8` bytes (Table 2).
@@ -62,6 +83,18 @@ pub struct BuildStats {
 }
 
 impl BuildStats {
+    /// Build time as it would be on a machine with one core per worker:
+    /// the serial portion of the filter (`filter_time − fanout_wall`, which
+    /// includes the merge) plus the modeled parallel span (`busy_max`) plus
+    /// refinement. For a 1-thread build this equals
+    /// `filter_time + refine_time` exactly.
+    pub fn modeled_build_time(&self) -> Duration {
+        self.filter_time
+            .saturating_sub(self.filter_fanout_wall)
+            .saturating_add(self.filter_busy_max)
+            .saturating_add(self.refine_time)
+    }
+
     /// Fraction of the theoretical size saved by filtering + refinement
     /// (the bracketed percentage of Table 2).
     pub fn percent_saved(&self) -> f64 {
@@ -136,13 +169,18 @@ impl Ceci {
         };
 
         let t0 = Instant::now();
-        let mut state = bfs_filter_from(graph, plan, pivots);
+        let (mut state, profile) = bfs_filter_from_with(graph, plan, pivots, options.threads);
         if !options.build_nte {
             for tables in &mut state.nte {
                 tables.clear();
             }
         }
         stats.filter_time = t0.elapsed();
+        stats.merge_time = profile.merge_time;
+        stats.filter_fanout_wall = profile.fanout_wall;
+        stats.filter_busy_max = profile.busy_max();
+        stats.filter_busy_total = profile.busy_total();
+        stats.build_threads = profile.threads;
         stats.te_entries_after_filter = state.te_entries();
         stats.nte_entries_after_filter = state.nte_entries();
 
@@ -157,7 +195,7 @@ impl Ceci {
         let candidate_sets: Vec<Vec<VertexId>> = plan
             .query()
             .vertices()
-            .map(|u| state.candidates_of(plan, u))
+            .map(|u| state.candidates_of(plan, u).to_vec())
             .collect();
         for u in plan.query().vertices() {
             if let Some(p) = plan.tree().parent(u) {
@@ -174,22 +212,23 @@ impl Ceci {
         stats.nte_entries_after_refine = state.nte_entries();
 
         let root = plan.root();
-        let pivots: Vec<(VertexId, u64)> = state
-            .pivots
-            .iter()
-            .map(|&v| (v, cards.get(root, v)))
+        let (pivot_set, te_build, nte_build) = state.into_parts();
+        let pivots: Vec<(VertexId, u64)> = pivot_set
+            .into_iter()
+            .map(|v| (v, cards.get(root, v)))
             .collect();
         stats.pivots_final = pivots.len();
 
-        let te: Vec<Option<CompactTable>> = state
-            .te
-            .iter()
-            .map(|t| t.as_ref().map(|t| t.freeze()))
+        // Freezing consumes each build table: when refinement left no holes
+        // in an arena, the value storage moves into the compact form without
+        // a copy.
+        let te: Vec<Option<CompactTable>> = te_build
+            .into_iter()
+            .map(|t| t.map(|t| t.freeze()))
             .collect();
-        let nte: Vec<Vec<(VertexId, CompactTable)>> = state
-            .nte
-            .iter()
-            .map(|tables| tables.iter().map(|(un, t)| (*un, t.freeze())).collect())
+        let nte: Vec<Vec<(VertexId, CompactTable)>> = nte_build
+            .into_iter()
+            .map(|tables| tables.into_iter().map(|(un, t)| (un, t.freeze())).collect())
             .collect();
         let cardinality: Vec<Vec<(VertexId, u64)>> =
             (0..n).map(|i| cards.of_node(VertexId(i as u32))).collect();
@@ -203,6 +242,7 @@ impl Ceci {
             stats,
         };
         ceci.stats.size_bytes = ceci.size_bytes();
+        ceci.stats.arena_bytes = ceci.arena_bytes();
         ceci
     }
 
@@ -267,7 +307,24 @@ impl Ceci {
         te + nte
     }
 
-    /// Heap bytes held by the frozen index.
+    /// Flat value-arena bytes across all frozen tables — the paper's
+    /// 4-bytes-per-candidate-edge payload, excluding keys/offsets/slot-map
+    /// and cardinality overhead.
+    pub fn arena_bytes(&self) -> usize {
+        let te: usize = self.te.iter().flatten().map(|t| t.arena_bytes()).sum();
+        let nte: usize = self
+            .nte
+            .iter()
+            .flat_map(|v| v.iter())
+            .map(|(_, t)| t.arena_bytes())
+            .sum();
+        te + nte
+    }
+
+    /// Heap bytes held by the frozen index. Length-based (not
+    /// capacity-based), so the figure is exact and identical across build
+    /// histories — a parallel and a sequential build of the same index
+    /// report the same bytes.
     pub fn size_bytes(&self) -> usize {
         let te: usize = self.te.iter().flatten().map(|t| t.size_bytes()).sum();
         let nte: usize = self
@@ -279,14 +336,14 @@ impl Ceci {
         let cands: usize = self
             .candidates
             .iter()
-            .map(|c| c.capacity() * std::mem::size_of::<VertexId>())
+            .map(|c| c.len() * std::mem::size_of::<VertexId>())
             .sum();
         let cards: usize = self
             .cardinality
             .iter()
-            .map(|c| c.capacity() * std::mem::size_of::<(VertexId, u64)>())
+            .map(|c| c.len() * std::mem::size_of::<(VertexId, u64)>())
             .sum();
-        let pivots = self.pivots.capacity() * std::mem::size_of::<(VertexId, u64)>();
+        let pivots = self.pivots.len() * std::mem::size_of::<(VertexId, u64)>();
         te + nte + cands + cards + pivots
     }
 }
@@ -385,6 +442,7 @@ mod tests {
             BuildOptions {
                 build_nte: false,
                 refine: true,
+                ..BuildOptions::default()
             },
         );
         for u in plan.query().vertices() {
@@ -404,6 +462,7 @@ mod tests {
             BuildOptions {
                 build_nte: true,
                 refine: false,
+                ..BuildOptions::default()
             },
         );
         let s = ceci.stats();

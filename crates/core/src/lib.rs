@@ -47,6 +47,7 @@ pub use enumerate::{
 pub use estimate::{estimate_embeddings, Estimate, EstimateOptions};
 pub use explain::{cluster_skew, explain_index, explain_plan, ClusterSkew};
 pub use extreme::{decompose, decompose_with, WorkUnit};
+pub use filter::{bfs_filter, bfs_filter_from, bfs_filter_from_with, BuilderState, FilterProfile};
 pub use index::{BuildOptions, BuildStats, Ceci};
 pub use intersect::Kernel;
 pub use metrics::{Counters, Phase, PhaseSpan, PhaseTimeline};

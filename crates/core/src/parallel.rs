@@ -27,6 +27,29 @@ use crate::sink::{
     CancelToken, CollectSink, CountSink, DeadlineSink, SharedBudget, SharedLimitSink,
 };
 
+/// Runs `f(worker_index)` on `threads` scoped worker threads and returns
+/// the results in worker order. The degenerate single-thread case runs
+/// inline on the caller (no spawn). This is the one piece of scoped-thread
+/// machinery shared by embedding enumeration and parallel CECI
+/// construction ([`crate::filter::bfs_filter_from_with`]).
+pub(crate) fn scoped_workers<R, F>(threads: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    if threads <= 1 {
+        return vec![f(0)];
+    }
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads).map(|w| scope.spawn(move || f(w))).collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    })
+}
+
 /// Work distribution policy.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub enum Strategy {
@@ -68,6 +91,11 @@ pub struct ParallelOptions {
     pub limit: Option<u64>,
     /// Collect the embeddings (otherwise only count).
     pub collect: bool,
+    /// Threads used for *CECI construction* by callers that build and
+    /// enumerate in one shot (the repro harness, `ceci-match`, the serving
+    /// layer). Enumeration itself is governed by `workers`; this knob is
+    /// plumbed into [`crate::BuildOptions::threads`].
+    pub build_threads: usize,
 }
 
 impl Default for ParallelOptions {
@@ -79,6 +107,7 @@ impl Default for ParallelOptions {
             kernel: Kernel::Adaptive,
             limit: None,
             collect: false,
+            build_threads: 1,
         }
     }
 }
@@ -178,6 +207,7 @@ pub fn enumerate_parallel_cancellable(
     let enum_opts = EnumOptions {
         verify: options.verify,
         kernel: options.kernel,
+        build_threads: options.build_threads,
     };
     let units: Vec<WorkUnit> = match options.strategy {
         Strategy::FineDynamic { beta } => {
@@ -202,69 +232,58 @@ pub fn enumerate_parallel_cancellable(
     // "equal number of embedding clusters to each worker" with no pulling.
     let workers = options.workers;
     let t1 = Instant::now();
-    let mut results: Vec<(Counters, Duration, Vec<Vec<VertexId>>)> = Vec::with_capacity(workers);
-    std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(workers);
-        for w in 0..workers {
-            let units = &units;
-            let next = &next;
-            let budget = budget.clone();
-            let cancel = cancel.clone();
-            handles.push(scope.spawn(move || {
-                let mut counters = Counters::default();
-                let mut busy = Duration::ZERO;
-                let mut collected: Vec<Vec<VertexId>> = Vec::new();
-                let mut enumerator = Enumerator::new(graph, plan, ceci, enum_opts);
-                enumerator.set_cancel(cancel.clone());
-                let stop_now =
-                    |budget: &SharedBudget| budget.stopped() || is_cancelled(cancel.as_deref());
-                if matches!(options.strategy, Strategy::Static) {
-                    // Static pre-assignment: worker w owns units w, w+k, ...
-                    let mut i = w;
-                    while i < units.len() {
-                        if stop_now(&budget) {
-                            break;
-                        }
-                        let start = ThreadTimer::start();
-                        run_unit(
-                            &mut enumerator,
-                            &units[i],
-                            &budget,
-                            cancel.as_ref(),
-                            options.collect,
-                            &mut collected,
-                            &mut counters,
-                        );
-                        busy += start.elapsed();
-                        i += workers;
-                    }
-                } else {
-                    // Pull-based dynamic distribution: grab the next unit.
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        let Some(unit) = units.get(i) else { break };
-                        if stop_now(&budget) {
-                            break;
-                        }
-                        let start = ThreadTimer::start();
-                        run_unit(
-                            &mut enumerator,
-                            unit,
-                            &budget,
-                            cancel.as_ref(),
-                            options.collect,
-                            &mut collected,
-                            &mut counters,
-                        );
-                        busy += start.elapsed();
-                    }
+    let results: Vec<(Counters, Duration, Vec<Vec<VertexId>>)> = scoped_workers(workers, |w| {
+        let units = &units;
+        let budget = budget.clone();
+        let cancel = cancel.clone();
+        let mut counters = Counters::default();
+        let mut busy = Duration::ZERO;
+        let mut collected: Vec<Vec<VertexId>> = Vec::new();
+        let mut enumerator = Enumerator::new(graph, plan, ceci, enum_opts);
+        enumerator.set_cancel(cancel.clone());
+        let stop_now = |budget: &SharedBudget| budget.stopped() || is_cancelled(cancel.as_deref());
+        if matches!(options.strategy, Strategy::Static) {
+            // Static pre-assignment: worker w owns units w, w+k, ...
+            let mut i = w;
+            while i < units.len() {
+                if stop_now(&budget) {
+                    break;
                 }
-                (counters, busy, collected)
-            }));
+                let start = ThreadTimer::start();
+                run_unit(
+                    &mut enumerator,
+                    &units[i],
+                    &budget,
+                    cancel.as_ref(),
+                    options.collect,
+                    &mut collected,
+                    &mut counters,
+                );
+                busy += start.elapsed();
+                i += workers;
+            }
+        } else {
+            // Pull-based dynamic distribution: grab the next unit.
+            loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(unit) = units.get(i) else { break };
+                if stop_now(&budget) {
+                    break;
+                }
+                let start = ThreadTimer::start();
+                run_unit(
+                    &mut enumerator,
+                    unit,
+                    &budget,
+                    cancel.as_ref(),
+                    options.collect,
+                    &mut collected,
+                    &mut counters,
+                );
+                busy += start.elapsed();
+            }
         }
-        for h in handles {
-            results.push(h.join().expect("worker panicked"));
-        }
+        (counters, busy, collected)
     });
     let enumerate_time = t1.elapsed();
 

@@ -17,43 +17,80 @@
 //!
 //! Cardinality doubles as the workload estimate: `cardinality(u_s, v_s)` of
 //! a pivot bounds the embeddings its cluster can contain (§4.3).
+//!
+//! Storage is dense: per node, a snapshot of the candidate list (sorted), a
+//! dense candidate-id → slot map (same scheme as the tables'
+//! `slot_of`), and a slot-indexed `Vec<u64>` of cardinalities. Lookups
+//! during the reverse walk are two array reads — no hashing — which makes
+//! refinement a linear pass over the child tables' flat arenas, and
+//! [`Cardinalities::of_node`] returns pairs in candidate order without a
+//! per-call sort or re-allocation of the map.
 
 use ceci_graph::VertexId;
 use ceci_query::QueryPlan;
-use std::collections::HashMap;
 
 use crate::filter::BuilderState;
+use crate::tables::{build_slot_map, slot_lookup};
+
+/// One query node's cardinalities in dense slot-indexed form.
+#[derive(Clone, Debug, Default)]
+struct NodeCards {
+    /// Candidate snapshot at refinement time, sorted.
+    cands: Vec<VertexId>,
+    /// Dense candidate id → slot into `vals` (`NO_SLOT` sentinel absent).
+    slot_of: Vec<u32>,
+    /// `vals[slot]` = cardinality of `cands[slot]` (0 = pruned).
+    vals: Vec<u64>,
+}
+
+impl NodeCards {
+    fn for_candidates(cands: &[VertexId]) -> NodeCards {
+        NodeCards {
+            cands: cands.to_vec(),
+            slot_of: build_slot_map(cands),
+            vals: vec![0; cands.len()],
+        }
+    }
+}
 
 /// Per-(query node, candidate) cardinalities.
 #[derive(Clone, Debug, Default)]
 pub struct Cardinalities {
-    /// `per_node[u][v]` = cardinality(u, v). Candidates removed during
-    /// refinement are absent.
-    per_node: Vec<HashMap<VertexId, u64>>,
+    per_node: Vec<NodeCards>,
 }
 
 impl Cardinalities {
-    /// Cardinality of `(u, v)`; 0 if the candidate was pruned.
+    /// Cardinality of `(u, v)`; 0 if the candidate was pruned (or was never
+    /// a candidate). Two array reads.
     #[inline]
     pub fn get(&self, u: VertexId, v: VertexId) -> u64 {
-        self.per_node[u.index()].get(&v).copied().unwrap_or(0)
+        let node = &self.per_node[u.index()];
+        match slot_lookup(&node.slot_of, v) {
+            Some(s) => node.vals[s],
+            None => 0,
+        }
     }
 
-    /// All `(candidate, cardinality)` pairs of `u`, sorted by candidate.
+    /// All `(candidate, cardinality)` pairs of `u` with non-zero
+    /// cardinality, in ascending candidate order. The dense layout already
+    /// stores slots in candidate order, so this is a filtering scan — no
+    /// per-call sort.
     pub fn of_node(&self, u: VertexId) -> Vec<(VertexId, u64)> {
-        let mut out: Vec<(VertexId, u64)> = self.per_node[u.index()]
+        let node = &self.per_node[u.index()];
+        node.cands
             .iter()
+            .zip(node.vals.iter())
+            .filter(|&(_, &c)| c > 0)
             .map(|(&v, &c)| (v, c))
-            .collect();
-        out.sort_unstable_by_key(|&(v, _)| v);
-        out
+            .collect()
     }
 
     /// Sum of cardinalities at the root — the upper bound on total
     /// embeddings across all clusters.
     pub fn total_at(&self, u: VertexId) -> u64 {
         self.per_node[u.index()]
-            .values()
+            .vals
+            .iter()
             .fold(0u64, |acc, &c| acc.saturating_add(c))
     }
 }
@@ -70,11 +107,14 @@ pub fn reverse_bfs_refine(
 ) -> Cardinalities {
     let n = plan.query().num_vertices();
     let mut cards = Cardinalities {
-        per_node: vec![HashMap::new(); n],
+        per_node: vec![NodeCards::default(); n],
     };
+    let mut scratch: Vec<VertexId> = Vec::new();
     for &u in plan.matching_order().iter().rev() {
-        let candidates = state.candidates_of(plan, u);
-        for v in candidates {
+        scratch.clear();
+        scratch.extend_from_slice(state.candidates_of(plan, u));
+        let mut node = NodeCards::for_candidates(&scratch);
+        for (slot, &v) in scratch.iter().enumerate() {
             let mut card: u64 = 1;
             // NTE membership: v must be a value of every backward NTE table.
             let nte_ok = state.nte[u.index()]
@@ -84,12 +124,18 @@ pub fn reverse_bfs_refine(
                 card = 0;
             } else {
                 for &uc in plan.tree().children(u) {
+                    let child = &cards.per_node[uc.index()];
                     let sum: u64 = state.te[uc.index()]
                         .as_ref()
                         .and_then(|t| t.get(v))
                         .map(|list| {
-                            list.iter()
-                                .fold(0u64, |acc, &vc| acc.saturating_add(cards.get(uc, vc)))
+                            list.iter().fold(0u64, |acc, &vc| {
+                                let c = match slot_lookup(&child.slot_of, vc) {
+                                    Some(s) => child.vals[s],
+                                    None => 0,
+                                };
+                                acc.saturating_add(c)
+                            })
                         })
                         .unwrap_or(0);
                     card = card.saturating_mul(sum);
@@ -103,9 +149,10 @@ pub fn reverse_bfs_refine(
                     state.remove_candidate(plan, u, v);
                 }
             } else {
-                cards.per_node[u.index()].insert(v, card);
+                node.vals[slot] = card;
             }
         }
+        cards.per_node[u.index()] = node;
     }
     cards
 }
@@ -115,6 +162,7 @@ mod tests {
     use super::*;
     use crate::filter::bfs_filter;
     use crate::fixtures::paper;
+    use std::collections::HashMap;
 
     fn refined() -> (BuilderState, Cardinalities) {
         let (graph, plan) = paper::figure1();
@@ -181,6 +229,32 @@ mod tests {
         let (_, cards) = refined();
         let list = cards.of_node(paper::u(2));
         assert_eq!(list, vec![(paper::v(3), 1), (paper::v(5), 1)]);
+    }
+
+    #[test]
+    fn of_node_matches_hashmap_reference() {
+        // Differential check against the pre-dense behavior: collect
+        // (candidate, cardinality>0) pairs through a HashMap (the old
+        // storage), sort, and compare with the dense scan for every node.
+        let (graph, plan) = paper::figure1();
+        let mut state = bfs_filter(&graph, &plan);
+        let cards = reverse_bfs_refine(&plan, &mut state, true);
+        for u in plan.query().vertices() {
+            let mut reference: HashMap<VertexId, u64> = HashMap::new();
+            // Probe the full graph id range — `get` must agree with the map
+            // built from of_node itself plus report 0 elsewhere.
+            for (v, c) in cards.of_node(u) {
+                reference.insert(v, c);
+            }
+            let mut expected: Vec<(VertexId, u64)> =
+                reference.iter().map(|(&v, &c)| (v, c)).collect();
+            expected.sort_unstable_by_key(|&(v, _)| v);
+            assert_eq!(cards.of_node(u), expected, "of_node order differs at {u:?}");
+            for v in graph.vertices() {
+                let want = reference.get(&v).copied().unwrap_or(0);
+                assert_eq!(cards.get(u, v), want, "get({u:?}, {v:?}) differs");
+            }
+        }
     }
 
     #[test]

@@ -1,28 +1,116 @@
 //! Candidate tables: the key → value-list maps holding TE and NTE
 //! candidates.
 //!
-//! During construction and refinement the tables must support removals, so
-//! [`BuildTable`] keeps per-key `Vec`s plus a value-membership multiset.
-//! After refinement the index is frozen into [`CompactTable`] — sorted keys,
-//! one flat value arena — matching the paper's sorted-vector layout (§3.6)
-//! and making `size_bytes` exact for Table 2.
+//! Both the mutable build-time form and the frozen form share one memory
+//! layout: a flat CSR-style arena. [`BuildTable`] appends every key's value
+//! list into a single contiguous `Vec<VertexId>` bump arena and records
+//! `(offset, len)` spans per key, so construction performs **zero per-key
+//! allocations** and freezing is (in the common fast path) a move, not a
+//! copy. Removals — required by the Algorithm 1 empty-entry cascade and by
+//! Algorithm 2 refinement — shift inside a span (value removal) or tombstone
+//! a span (key removal); the resulting holes are compacted *in place* at
+//! freeze time.
+//!
+//! Value membership is tracked by a dense grow-on-demand count array indexed
+//! by vertex id (the multiset the cascade needs), replacing the old
+//! `HashMap<VertexId, u32>`: `contains_value` is two array reads and
+//! `value_union` is a single ascending scan — already sorted, no sort call.
 //!
 //! Freezing additionally builds a dense key → slot map (`slot_of`) indexed
 //! directly by the key's vertex id, so the enumeration hot path resolves
 //! `TE_Candidates[u][f(u_p)]` with two array reads instead of a binary
-//! search per recursive call. The legacy binary-search path survives as
-//! [`CompactTable::get_binary`] for differential testing.
+//! search per recursive call. The same dense map accelerates *build-time*
+//! lookups ([`BuildTable::get`] is O(1) too), which turns reverse-BFS
+//! refinement into a linear array pass. The legacy binary-search path
+//! survives as [`CompactTable::get_binary`] for differential testing.
 
 use ceci_graph::VertexId;
-use std::collections::HashMap;
 
-/// Mutable key → sorted-value-list table used while building CECI.
+/// Sentinel marking "key absent" in the dense slot maps.
+const NO_SLOT: u32 = u32::MAX;
+
+/// Dense grow-on-demand `vertex id → u32` counter — the value-membership
+/// multiset of one table. Indexing past the current length reads 0.
+#[derive(Clone, Debug, Default)]
+struct CountMap {
+    counts: Vec<u32>,
+}
+
+impl CountMap {
+    #[inline]
+    fn get(&self, v: VertexId) -> u32 {
+        self.counts.get(v.index()).copied().unwrap_or(0)
+    }
+
+    #[inline]
+    fn add(&mut self, v: VertexId, delta: u32) {
+        let i = v.index();
+        if i >= self.counts.len() {
+            self.counts.resize(i + 1, 0);
+        }
+        self.counts[i] += delta;
+    }
+
+    /// Decrements and reports whether the count reached zero.
+    #[inline]
+    fn dec(&mut self, v: VertexId) -> bool {
+        let c = &mut self.counts[v.index()];
+        debug_assert!(*c > 0, "decrementing absent value");
+        *c -= 1;
+        *c == 0
+    }
+
+    #[inline]
+    fn zero(&mut self, v: VertexId) {
+        if let Some(c) = self.counts.get_mut(v.index()) {
+            *c = 0;
+        }
+    }
+
+    /// Distinct tracked values in ascending id order (no sort needed — the
+    /// index *is* the id).
+    fn distinct_sorted(&self) -> Vec<VertexId> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(i, _)| VertexId(i as u32))
+            .collect()
+    }
+}
+
+/// One key's span in the arena.
+#[derive(Clone, Copy, Debug)]
+struct Span {
+    /// Arena offset of the first value.
+    offset: u32,
+    /// Live value count (gaps trail the live values inside the original
+    /// allocation).
+    len: u32,
+    /// Tombstone set by [`BuildTable::remove_key`].
+    dead: bool,
+}
+
+/// Mutable key → sorted-value-list table used while building CECI, stored as
+/// a CSR arena from the start (see module docs).
 #[derive(Clone, Debug, Default)]
 pub struct BuildTable {
-    /// Sorted by key.
-    entries: Vec<(VertexId, Vec<VertexId>)>,
+    /// Keys in insertion (= ascending) order, tombstones included.
+    keys: Vec<VertexId>,
+    /// Parallel to `keys`.
+    spans: Vec<Span>,
+    /// The shared bump arena all value lists live in.
+    values: Vec<VertexId>,
     /// value → number of keys whose list currently contains it.
-    value_counts: HashMap<VertexId, u32>,
+    value_counts: CountMap,
+    /// Dense key id → index into `keys`/`spans` (`NO_SLOT` when absent).
+    slot_of: Vec<u32>,
+    /// Live (key, value) entries — Σ live span lengths.
+    num_entries: usize,
+    /// Dead arena slots left behind by removals (compaction work at freeze).
+    holes: usize,
+    /// Tombstoned keys.
+    dead_keys: usize,
 }
 
 impl BuildTable {
@@ -31,130 +119,262 @@ impl BuildTable {
         Self::default()
     }
 
-    /// Inserts a key with its complete (sorted) value list. Keys must be
-    /// inserted in ascending order; duplicate keys are not allowed.
-    pub fn push_key(&mut self, key: VertexId, values: Vec<VertexId>) {
+    /// An empty table whose arena is pre-reserved for `entries` values.
+    pub fn with_capacity(keys: usize, entries: usize) -> Self {
+        BuildTable {
+            keys: Vec::with_capacity(keys),
+            spans: Vec::with_capacity(keys),
+            values: Vec::with_capacity(entries),
+            ..Self::default()
+        }
+    }
+
+    #[inline]
+    fn slot(&self, key: VertexId) -> Option<usize> {
+        let s = *self.slot_of.get(key.index())?;
+        if s == NO_SLOT {
+            None
+        } else {
+            Some(s as usize)
+        }
+    }
+
+    #[inline]
+    fn record_slot(&mut self, key: VertexId, slot: usize) {
+        let i = key.index();
+        if i >= self.slot_of.len() {
+            self.slot_of.resize(i + 1, NO_SLOT);
+        }
+        self.slot_of[i] = slot as u32;
+    }
+
+    /// Inserts a key with its complete sorted value list, copying the slice
+    /// into the arena. Keys must be inserted in ascending order; duplicate
+    /// keys are not allowed.
+    pub fn push_key(&mut self, key: VertexId, values: &[VertexId]) {
+        self.push_key_with(key, |arena| arena.extend_from_slice(values));
+    }
+
+    /// Inserts a key whose value list is produced *directly into the arena*
+    /// by `produce` (the zero-copy path of the filter phases). Returns the
+    /// number of values written; when zero, the key is **not** recorded
+    /// (Algorithm 1 never stores empty entries — it cascades them). The
+    /// produced run must be sorted.
+    pub fn push_key_with(
+        &mut self,
+        key: VertexId,
+        produce: impl FnOnce(&mut Vec<VertexId>),
+    ) -> usize {
         debug_assert!(
-            self.entries.last().map(|(k, _)| *k < key).unwrap_or(true),
+            self.keys.last().map(|&k| k < key).unwrap_or(true),
             "keys must be inserted in ascending order"
         );
+        let offset = self.values.len();
+        produce(&mut self.values);
+        values_len_guard(self.values.len());
+        let written = &self.values[offset..];
         debug_assert!(
-            values.windows(2).all(|w| w[0] < w[1]),
+            written.windows(2).all(|w| w[0] < w[1]),
             "values must be sorted"
         );
-        for &v in &values {
-            *self.value_counts.entry(v).or_insert(0) += 1;
+        let len = written.len();
+        if len == 0 {
+            return 0;
         }
-        self.entries.push((key, values));
+        for i in offset..offset + len {
+            self.value_counts.add(self.values[i], 1);
+        }
+        let slot = self.keys.len();
+        self.keys.push(key);
+        self.spans.push(Span {
+            offset: offset as u32,
+            len: len as u32,
+            dead: false,
+        });
+        self.record_slot(key, slot);
+        self.num_entries += len;
+        debug_assert!(
+            self.keys.len() < NO_SLOT as usize,
+            "slot indices must fit below the NO_SLOT sentinel"
+        );
+        len
     }
 
-    /// Number of keys.
+    /// Appends a pre-filtered run of keys produced by one parallel build
+    /// chunk: `keys_lens` holds `(key, value_count)` pairs in ascending key
+    /// order and `arena` holds their concatenated value lists. One bulk
+    /// arena copy; per-key work is span bookkeeping only.
+    pub fn push_run(&mut self, keys_lens: &[(VertexId, u32)], arena: &[VertexId]) {
+        debug_assert_eq!(
+            keys_lens.iter().map(|&(_, l)| l as usize).sum::<usize>(),
+            arena.len(),
+            "run lengths must cover the chunk arena"
+        );
+        let mut offset = self.values.len();
+        self.values.extend_from_slice(arena);
+        values_len_guard(self.values.len());
+        for v in arena {
+            self.value_counts.add(*v, 1);
+        }
+        for &(key, len) in keys_lens {
+            debug_assert!(
+                self.keys.last().map(|&k| k < key).unwrap_or(true),
+                "runs must arrive in ascending key order"
+            );
+            let slot = self.keys.len();
+            self.keys.push(key);
+            self.spans.push(Span {
+                offset: offset as u32,
+                len,
+                dead: false,
+            });
+            self.record_slot(key, slot);
+            offset += len as usize;
+            self.num_entries += len as usize;
+        }
+    }
+
+    /// Number of live keys.
     pub fn num_keys(&self) -> usize {
-        self.entries.len()
+        self.keys.len() - self.dead_keys
     }
 
-    /// Looks up the value list for `key`.
+    /// O(1) lookup of the value list for `key` (dense slot map).
+    #[inline]
     pub fn get(&self, key: VertexId) -> Option<&[VertexId]> {
-        self.entries
-            .binary_search_by_key(&key, |(k, _)| *k)
-            .ok()
-            .map(|i| self.entries[i].1.as_slice())
+        let i = self.slot(key)?;
+        let s = self.spans[i];
+        Some(&self.values[s.offset as usize..(s.offset + s.len) as usize])
     }
 
-    /// Iterates `(key, values)` pairs in key order.
+    /// Iterates live `(key, values)` pairs in key order.
     pub fn iter(&self) -> impl Iterator<Item = (VertexId, &[VertexId])> {
-        self.entries.iter().map(|(k, v)| (*k, v.as_slice()))
+        self.keys
+            .iter()
+            .zip(self.spans.iter())
+            .filter(|(_, s)| !s.dead)
+            .map(move |(&k, s)| {
+                (
+                    k,
+                    &self.values[s.offset as usize..(s.offset + s.len) as usize],
+                )
+            })
     }
 
     /// `true` if `v` appears in at least one value list.
+    #[inline]
     pub fn contains_value(&self, v: VertexId) -> bool {
-        self.value_counts.get(&v).copied().unwrap_or(0) > 0
+        self.value_counts.get(v) > 0
     }
 
     /// The distinct values across all keys, sorted — the *candidate set* of
-    /// the query node this table belongs to.
+    /// the query node this table belongs to. An ascending scan of the dense
+    /// count array; no sort.
     pub fn value_union(&self) -> Vec<VertexId> {
-        let mut out: Vec<VertexId> = self
-            .value_counts
-            .iter()
-            .filter(|&(_, &c)| c > 0)
-            .map(|(&v, _)| v)
-            .collect();
-        out.sort_unstable();
-        out
+        self.value_counts.distinct_sorted()
     }
 
-    /// Removes `key` and its whole value list. No-op if absent.
-    pub fn remove_key(&mut self, key: VertexId) {
-        if let Ok(i) = self.entries.binary_search_by_key(&key, |(k, _)| *k) {
-            let (_, values) = self.entries.remove(i);
-            for v in values {
-                if let Some(c) = self.value_counts.get_mut(&v) {
-                    *c -= 1;
-                }
+    /// Removes `key` and its whole value list. No-op if absent. Returns the
+    /// values whose table-wide count dropped to zero — they just left the
+    /// table's value union (the caller keeps cached candidate sets in sync).
+    pub fn remove_key(&mut self, key: VertexId) -> Vec<VertexId> {
+        let Some(i) = self.slot(key) else {
+            return Vec::new();
+        };
+        self.slot_of[key.index()] = NO_SLOT;
+        let s = &mut self.spans[i];
+        s.dead = true;
+        let (offset, len) = (s.offset as usize, s.len as usize);
+        self.dead_keys += 1;
+        self.num_entries -= len;
+        self.holes += len;
+        let mut vanished = Vec::new();
+        for j in offset..offset + len {
+            let v = self.values[j];
+            if self.value_counts.dec(v) {
+                vanished.push(v);
             }
         }
+        vanished
     }
 
     /// Removes `v` from every key's value list. Returns the keys whose lists
     /// became empty as a result (the caller decides what to cascade).
     pub fn remove_value_everywhere(&mut self, v: VertexId) -> Vec<VertexId> {
-        let Some(count) = self.value_counts.get_mut(&v) else {
-            return Vec::new();
-        };
-        if *count == 0 {
+        if self.value_counts.get(v) == 0 {
             return Vec::new();
         }
-        *count = 0;
+        self.value_counts.zero(v);
         let mut emptied = Vec::new();
-        for (key, values) in &mut self.entries {
-            if let Ok(i) = values.binary_search(&v) {
-                values.remove(i);
-                if values.is_empty() {
-                    emptied.push(*key);
+        for (i, s) in self.spans.iter_mut().enumerate() {
+            if s.dead {
+                continue;
+            }
+            let span = &mut self.values[s.offset as usize..(s.offset + s.len) as usize];
+            if let Ok(p) = span.binary_search(&v) {
+                span.copy_within(p + 1.., p);
+                s.len -= 1;
+                self.num_entries -= 1;
+                self.holes += 1;
+                if s.len == 0 {
+                    emptied.push(self.keys[i]);
                 }
             }
         }
         emptied
     }
 
-    /// Total candidate-edge entries currently stored (Σ value-list lengths).
+    /// Total candidate-edge entries currently stored (Σ live value-list
+    /// lengths). O(1) — maintained incrementally.
+    #[inline]
     pub fn num_entries(&self) -> usize {
-        self.entries.iter().map(|(_, v)| v.len()).sum()
+        self.num_entries
     }
 
-    /// Freezes into the compact immutable form, dropping empty keys.
-    pub fn freeze(&self) -> CompactTable {
-        let mut keys = Vec::new();
-        let mut offsets = Vec::with_capacity(self.entries.len() + 1);
-        let mut values = Vec::with_capacity(self.num_entries());
+    /// Arena bytes currently held (live values + holes), the build-time
+    /// memory footprint of the value storage.
+    pub fn arena_bytes(&self) -> usize {
+        self.values.len() * std::mem::size_of::<VertexId>()
+    }
+
+    /// Freezes into the compact immutable form, dropping empty and
+    /// tombstoned keys. Consumes the table: when no removals punched holes
+    /// in the arena the value storage is **moved**, not copied; otherwise
+    /// the live spans are compacted in place (stable left-shift) and the
+    /// arena truncated — still no second allocation.
+    pub fn freeze(mut self) -> CompactTable {
+        let mut keys = Vec::with_capacity(self.keys.len() - self.dead_keys);
+        let mut offsets = Vec::with_capacity(keys.capacity() + 1);
         offsets.push(0u32);
-        for (key, vals) in &self.entries {
-            if vals.is_empty() {
+        let mut write = 0usize;
+        for (i, s) in self.spans.iter().enumerate() {
+            if s.dead || s.len == 0 {
                 continue;
             }
-            keys.push(*key);
-            values.extend_from_slice(vals);
-            values_len_guard(values.len());
-            offsets.push(values.len() as u32);
+            let (offset, len) = (s.offset as usize, s.len as usize);
+            debug_assert!(offset >= write, "spans must be in ascending arena order");
+            if offset != write {
+                self.values.copy_within(offset..offset + len, write);
+            }
+            write += len;
+            keys.push(self.keys[i]);
+            offsets.push(write as u32);
         }
+        self.values.truncate(write);
         let slot_of = build_slot_map(&keys);
         CompactTable {
             keys,
             offsets,
-            values,
+            values: self.values,
             slot_of,
         }
     }
 }
 
-/// Sentinel marking "key absent" in the dense slot map.
-const NO_SLOT: u32 = u32::MAX;
-
 /// Builds the dense key-id → slot array for a sorted key list. Sized to
 /// `max_key + 1`, so lookups for any `VertexId` are a bounds check plus one
 /// array read (out-of-range ids are simply absent).
-fn build_slot_map(keys: &[VertexId]) -> Vec<u32> {
+pub(crate) fn build_slot_map(keys: &[VertexId]) -> Vec<u32> {
     let Some(max) = keys.last() else {
         return Vec::new();
     };
@@ -167,6 +387,17 @@ fn build_slot_map(keys: &[VertexId]) -> Vec<u32> {
         slot_of[k.index()] = i as u32;
     }
     slot_of
+}
+
+/// Slot lookup against a map built by [`build_slot_map`].
+#[inline]
+pub(crate) fn slot_lookup(slot_of: &[u32], key: VertexId) -> Option<usize> {
+    let s = *slot_of.get(key.index())?;
+    if s == NO_SLOT {
+        None
+    } else {
+        Some(s as usize)
+    }
 }
 
 fn values_len_guard(len: usize) {
@@ -253,12 +484,22 @@ impl CompactTable {
         out
     }
 
-    /// Heap bytes held by the table, including the dense slot map.
+    /// Bytes of the flat value arena alone — the paper's
+    /// 4-bytes-per-candidate-edge payload, excluding keys/offsets/slot-map
+    /// overhead.
+    pub fn arena_bytes(&self) -> usize {
+        self.values.len() * std::mem::size_of::<VertexId>()
+    }
+
+    /// Heap bytes held by the table, including the dense slot map. Computed
+    /// from lengths (not capacities) so the figure is exact and identical
+    /// across allocation histories — parallel and sequential builds of the
+    /// same index report the same bytes.
     pub fn size_bytes(&self) -> usize {
-        self.keys.capacity() * std::mem::size_of::<VertexId>()
-            + self.offsets.capacity() * std::mem::size_of::<u32>()
-            + self.values.capacity() * std::mem::size_of::<VertexId>()
-            + self.slot_of.capacity() * std::mem::size_of::<u32>()
+        self.keys.len() * std::mem::size_of::<VertexId>()
+            + self.offsets.len() * std::mem::size_of::<u32>()
+            + self.values.len() * std::mem::size_of::<VertexId>()
+            + self.slot_of.len() * std::mem::size_of::<u32>()
     }
 }
 
@@ -269,8 +510,8 @@ mod tests {
 
     fn sample() -> BuildTable {
         let mut t = BuildTable::new();
-        t.push_key(vid(1), vec![vid(3), vid(5), vid(7)]);
-        t.push_key(vid(2), vec![vid(7), vid(9)]);
+        t.push_key(vid(1), &[vid(3), vid(5), vid(7)]);
+        t.push_key(vid(2), &[vid(7), vid(9)]);
         t
     }
 
@@ -290,24 +531,27 @@ mod tests {
         let mut t = sample();
         assert!(t.contains_value(vid(7)));
         // v7 appears under both keys; removing key v2 keeps it alive.
-        t.remove_key(vid(2));
+        let vanished = t.remove_key(vid(2));
+        assert_eq!(vanished, vec![vid(9)]);
         assert!(t.contains_value(vid(7)));
         assert!(!t.contains_value(vid(9)));
         assert_eq!(t.value_union(), vec![vid(3), vid(5), vid(7)]);
+        assert_eq!(t.num_keys(), 1);
+        assert_eq!(t.get(vid(2)), None);
     }
 
     #[test]
     fn remove_key_noop_when_absent() {
         let mut t = sample();
-        t.remove_key(vid(99));
+        assert!(t.remove_key(vid(99)).is_empty());
         assert_eq!(t.num_keys(), 2);
     }
 
     #[test]
     fn remove_value_everywhere_reports_emptied_keys() {
         let mut t = BuildTable::new();
-        t.push_key(vid(1), vec![vid(5)]);
-        t.push_key(vid(2), vec![vid(5), vid(6)]);
+        t.push_key(vid(1), &[vid(5)]);
+        t.push_key(vid(2), &[vid(5), vid(6)]);
         let emptied = t.remove_value_everywhere(vid(5));
         assert_eq!(emptied, vec![vid(1)]);
         assert!(!t.contains_value(vid(5)));
@@ -330,6 +574,51 @@ mod tests {
     }
 
     #[test]
+    fn freeze_compacts_after_key_removal() {
+        let mut t = BuildTable::new();
+        t.push_key(vid(1), &[vid(10), vid(11)]);
+        t.push_key(vid(2), &[vid(20)]);
+        t.push_key(vid(3), &[vid(30), vid(31), vid(32)]);
+        t.remove_key(vid(2));
+        t.remove_value_everywhere(vid(31));
+        let c = t.freeze();
+        assert_eq!(c.num_keys(), 2);
+        assert_eq!(c.get(vid(1)), Some(&[vid(10), vid(11)][..]));
+        assert_eq!(c.get(vid(2)), None);
+        assert_eq!(c.get(vid(3)), Some(&[vid(30), vid(32)][..]));
+        assert_eq!(c.num_entries(), 4);
+        assert_eq!(c.arena_bytes(), 4 * std::mem::size_of::<VertexId>());
+    }
+
+    #[test]
+    fn push_run_matches_push_key() {
+        let mut a = BuildTable::new();
+        a.push_key(vid(1), &[vid(3), vid(5)]);
+        a.push_key(vid(4), &[vid(6)]);
+        a.push_key(vid(9), &[vid(2), vid(3), vid(8)]);
+        let mut b = BuildTable::new();
+        b.push_run(&[(vid(1), 2), (vid(4), 1)], &[vid(3), vid(5), vid(6)]);
+        b.push_run(&[(vid(9), 3)], &[vid(2), vid(3), vid(8)]);
+        assert_eq!(a.freeze(), b.freeze());
+    }
+
+    #[test]
+    fn push_key_with_writes_directly_into_arena() {
+        let mut t = BuildTable::new();
+        let n = t.push_key_with(vid(7), |arena| {
+            arena.extend([vid(1), vid(4)]);
+        });
+        assert_eq!(n, 2);
+        // An empty production records no key at all.
+        let n = t.push_key_with(vid(8), |_| {});
+        assert_eq!(n, 0);
+        assert_eq!(t.get(vid(7)), Some(&[vid(1), vid(4)][..]));
+        assert_eq!(t.get(vid(8)), None);
+        assert_eq!(t.num_keys(), 1);
+        assert_eq!(t.num_entries(), 2);
+    }
+
+    #[test]
     fn compact_iter_and_union() {
         let c = sample().freeze();
         let pairs: Vec<_> = c.iter().map(|(k, v)| (k, v.len())).collect();
@@ -345,7 +634,7 @@ mod tests {
         // both hits and misses (inside and past the slot map) are covered.
         let mut t = BuildTable::new();
         for &k in &[2u32, 3, 17, 40, 41, 999] {
-            t.push_key(vid(k), vec![vid(k * 2), vid(k * 2 + 1)]);
+            t.push_key(vid(k), &[vid(k * 2), vid(k * 2 + 1)]);
         }
         let c = t.freeze();
         for probe in 0..1100u32 {
@@ -358,18 +647,53 @@ mod tests {
     }
 
     #[test]
+    fn build_get_is_dense_and_tracks_removals() {
+        let mut t = BuildTable::new();
+        for &k in &[2u32, 40, 999] {
+            t.push_key(vid(k), &[vid(k + 1)]);
+        }
+        assert_eq!(t.get(vid(40)), Some(&[vid(41)][..]));
+        t.remove_key(vid(40));
+        assert_eq!(t.get(vid(40)), None);
+        assert_eq!(t.get(vid(999)), Some(&[vid(1000)][..]));
+        assert_eq!(t.get(vid(5000)), None);
+    }
+
+    #[test]
     fn slot_map_counted_in_size() {
         let with_high_key = {
             let mut t = BuildTable::new();
-            t.push_key(vid(1000), vec![vid(1)]);
+            t.push_key(vid(1000), &[vid(1)]);
             t.freeze()
         };
         let with_low_key = {
             let mut t = BuildTable::new();
-            t.push_key(vid(0), vec![vid(1)]);
+            t.push_key(vid(0), &[vid(1)]);
             t.freeze()
         };
         assert!(with_high_key.size_bytes() > with_low_key.size_bytes());
+    }
+
+    #[test]
+    fn size_bytes_is_allocation_independent() {
+        // Same logical content through different construction histories
+        // (bulk run vs incremental with removals) reports identical bytes.
+        let a = {
+            let mut t = BuildTable::new();
+            t.push_run(&[(vid(1), 2)], &[vid(3), vid(5)]);
+            t.freeze()
+        };
+        let b = {
+            let mut t = BuildTable::new();
+            t.push_key(vid(1), &[vid(3), vid(5), vid(9)]);
+            t.push_key(vid(2), &[vid(9)]);
+            t.remove_value_everywhere(vid(9));
+            t.remove_key(vid(2));
+            t.freeze()
+        };
+        assert_eq!(a, b);
+        assert_eq!(a.size_bytes(), b.size_bytes());
+        assert_eq!(a.arena_bytes(), b.arena_bytes());
     }
 
     #[test]
@@ -377,6 +701,7 @@ mod tests {
         let t = BuildTable::new();
         assert_eq!(t.num_keys(), 0);
         assert!(t.value_union().is_empty());
+        assert_eq!(t.arena_bytes(), 0);
         let c = t.freeze();
         assert_eq!(c.num_entries(), 0);
         assert_eq!(c.get(vid(0)), None);

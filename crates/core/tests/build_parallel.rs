@@ -1,0 +1,271 @@
+//! Differential suite for parallel index construction: for every input, a
+//! CECI built with N filter threads must be **bit-identical** to the
+//! 1-thread build — same pivots, same candidate sets, same TE/NTE tables
+//! (keys, values, and slot maps via `CompactTable` equality), same
+//! cardinalities, and byte-for-byte identical size accounting.
+//!
+//! Coverage deliberately spans both dispatch paths:
+//!
+//! * Small proptest-generated graphs stay under the parallel-fanout
+//!   threshold, checking that asking for threads on tiny frontiers is a
+//!   clean no-op.
+//! * Generator graphs (Erdős–Rényi, Barabási–Albert, Kronecker) have
+//!   frontiers in the hundreds-to-thousands, engaging the strided worker
+//!   fan-out and the deterministic chunk merge for real.
+//! * `build_for_pivots` with proper pivot subsets exercises the restricted
+//!   entry path used by the distributed setting (§5).
+
+use ceci_core::{BuildOptions, Ceci};
+use ceci_graph::generators::{
+    barabasi_albert, erdos_renyi, inject_random_labels, kronecker_default,
+};
+use ceci_graph::{extract_query, lid, vid, Graph, LabelSet};
+use ceci_query::{PaperQuery, QueryGraph, QueryPlan};
+use proptest::prelude::*;
+use proptest::strategy::Strategy as PropStrategy;
+
+/// Thread counts under test (1 is the reference, always built).
+const THREADS: [usize; 3] = [2, 4, 8];
+
+/// Asserts two indexes are identical in every observable dimension.
+fn assert_identical(reference: &Ceci, other: &Ceci, plan: &QueryPlan, what: &str) {
+    assert_eq!(reference.pivots(), other.pivots(), "{what}: pivots differ");
+    assert_eq!(
+        reference.total_cardinality(),
+        other.total_cardinality(),
+        "{what}: total cardinality differs"
+    );
+    assert_eq!(
+        reference.size_bytes(),
+        other.size_bytes(),
+        "{what}: index bytes differ"
+    );
+    assert_eq!(
+        reference.arena_bytes(),
+        other.arena_bytes(),
+        "{what}: arena bytes differ"
+    );
+    for u in plan.query().vertices() {
+        assert_eq!(
+            reference.candidates(u),
+            other.candidates(u),
+            "{what}: candidates of {u:?} differ"
+        );
+        assert_eq!(
+            reference.te(u),
+            other.te(u),
+            "{what}: TE table of {u:?} differs"
+        );
+        assert_eq!(
+            reference.nte(u),
+            other.nte(u),
+            "{what}: NTE tables of {u:?} differ"
+        );
+        for &v in reference.candidates(u) {
+            assert_eq!(
+                reference.cardinality(u, v),
+                other.cardinality(u, v),
+                "{what}: cardinality({u:?}, {v:?}) differs"
+            );
+        }
+    }
+}
+
+/// Builds at 1 thread and at every count in [`THREADS`], asserting
+/// identity. Returns the reference build.
+fn check_all_thread_counts(graph: &Graph, plan: &QueryPlan) -> Ceci {
+    let reference = Ceci::build_with(
+        graph,
+        plan,
+        BuildOptions {
+            threads: 1,
+            ..Default::default()
+        },
+    );
+    for threads in THREADS {
+        let parallel = Ceci::build_with(
+            graph,
+            plan,
+            BuildOptions {
+                threads,
+                ..Default::default()
+            },
+        );
+        assert_identical(&reference, &parallel, plan, &format!("{threads} threads"));
+    }
+    reference
+}
+
+/// Same, but through [`Ceci::build_for_pivots`] with an explicit subset.
+fn check_pivot_subset(graph: &Graph, plan: &QueryPlan, pivots: &[ceci_graph::VertexId]) {
+    let reference = Ceci::build_for_pivots(
+        graph,
+        plan,
+        BuildOptions {
+            threads: 1,
+            ..Default::default()
+        },
+        pivots.to_vec(),
+    );
+    for threads in THREADS {
+        let parallel = Ceci::build_for_pivots(
+            graph,
+            plan,
+            BuildOptions {
+                threads,
+                ..Default::default()
+            },
+            pivots.to_vec(),
+        );
+        assert_identical(
+            &reference,
+            &parallel,
+            plan,
+            &format!("pivot subset, {threads} threads"),
+        );
+    }
+}
+
+/// A labeled query extracted from the graph itself, so candidate structure
+/// is guaranteed non-trivial.
+fn extracted_query(graph: &Graph, size: usize, seed: u64) -> Option<QueryGraph> {
+    let q = extract_query(graph, size, seed, 5)?;
+    QueryGraph::from_graph(&q.pattern).ok()
+}
+
+// ---------------------------------------------------------------------------
+// Generator graphs: frontiers large enough to engage the worker fan-out.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn erdos_renyi_builds_are_thread_count_invariant() {
+    let core = erdos_renyi(1_500, 9_000, 0xE2D05);
+    let graph = inject_random_labels(&core, 3, 0xE2D06);
+    for (size, seed) in [(4usize, 11u64), (6, 23), (8, 37)] {
+        let Some(query) = extracted_query(&graph, size, seed) else {
+            continue;
+        };
+        let plan = QueryPlan::new(query, &graph);
+        check_all_thread_counts(&graph, &plan);
+    }
+}
+
+#[test]
+fn barabasi_albert_builds_are_thread_count_invariant() {
+    // Power-law degrees: hub frontiers are orders of magnitude larger than
+    // tail frontiers, the worst case for static work splitting.
+    let core = barabasi_albert(2_000, 4, 0xBA11);
+    let graph = inject_random_labels(&core, 2, 0xBA12);
+    for (size, seed) in [(5usize, 101u64), (7, 211)] {
+        let Some(query) = extracted_query(&graph, size, seed) else {
+            continue;
+        };
+        let plan = QueryPlan::new(query, &graph);
+        check_all_thread_counts(&graph, &plan);
+    }
+}
+
+#[test]
+fn kronecker_unlabeled_triangles_are_thread_count_invariant() {
+    // Unlabeled: every vertex is a root candidate, maximizing frontier
+    // width (the labeled experiments shrink frontiers by ~|labels|).
+    let graph = kronecker_default(10, 6, 0xC0FFEE);
+    let plan = QueryPlan::new(PaperQuery::Qg1.build(), &graph);
+    check_all_thread_counts(&graph, &plan);
+}
+
+#[test]
+fn pivot_subsets_are_thread_count_invariant() {
+    let core = erdos_renyi(1_200, 7_000, 0x51D0);
+    let graph = inject_random_labels(&core, 2, 0x51D1);
+    let Some(query) = extracted_query(&graph, 5, 77) else {
+        panic!("no query extracted");
+    };
+    let plan = QueryPlan::new(query, &graph);
+    // Full build tells us the root's candidate set; carve subsets from it.
+    let full = check_all_thread_counts(&graph, &plan);
+    let roots: Vec<_> = full.candidates(plan.root()).to_vec();
+    assert!(!roots.is_empty(), "query has no root candidates");
+    // Every other candidate; first half; a singleton.
+    let alternating: Vec<_> = roots.iter().copied().step_by(2).collect();
+    let half: Vec<_> = roots[..roots.len().div_ceil(2)].to_vec();
+    let single = vec![roots[roots.len() / 2]];
+    for subset in [alternating, half, single] {
+        check_pivot_subset(&graph, &plan, &subset);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Proptest: small random graphs (sequential dispatch path) must also be
+// invariant — threads on a tiny frontier is a strict no-op.
+// ---------------------------------------------------------------------------
+
+fn arb_graph() -> impl PropStrategy<Value = Graph> {
+    (4usize..=24, 0.05f64..0.5, 1u32..=3, any::<u64>()).prop_map(|(n, p, labels, seed)| {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut edges = Vec::new();
+        for a in 0..n as u32 {
+            for b in (a + 1)..n as u32 {
+                if rng.gen_bool(p) {
+                    edges.push((vid(a), vid(b)));
+                }
+            }
+        }
+        let label_sets: Vec<LabelSet> = (0..n)
+            .map(|_| LabelSet::single(lid(rng.gen_range(0..labels))))
+            .collect();
+        Graph::new(label_sets, &edges, false)
+    })
+}
+
+fn arb_query() -> impl PropStrategy<Value = QueryGraph> {
+    prop_oneof![
+        Just(PaperQuery::Qg1.build()),
+        Just(PaperQuery::Qg3.build()),
+        Just(PaperQuery::Qg4.build()),
+        Just(ceci_query::catalog::path(4)),
+        Just(ceci_query::catalog::star(3)),
+        Just(ceci_query::catalog::cycle(5)),
+        Just(QueryGraph::with_labels(&[lid(0), lid(1)], &[(0, 1)]).unwrap()),
+        Just(
+            QueryGraph::with_labels(&[lid(0), lid(1), lid(0)], &[(0, 1), (1, 2), (0, 2)]).unwrap()
+        ),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn random_small_graphs_are_thread_count_invariant(
+        graph in arb_graph(),
+        query in arb_query(),
+    ) {
+        let plan = QueryPlan::new(query, &graph);
+        check_all_thread_counts(&graph, &plan);
+    }
+
+    #[test]
+    fn random_pivot_subsets_are_thread_count_invariant(
+        graph in arb_graph(),
+        query in arb_query(),
+        keep in any::<u64>(),
+    ) {
+        let plan = QueryPlan::new(query, &graph);
+        let full = Ceci::build(&graph, &plan);
+        let roots: Vec<_> = full.candidates(plan.root()).to_vec();
+        if !roots.is_empty() {
+            // Pseudo-random subset keyed by `keep`; always ≥ 1 pivot.
+            let subset: Vec<_> = roots
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| (keep >> (i % 64)) & 1 == 1)
+                .map(|(_, &v)| v)
+                .collect();
+            let subset = if subset.is_empty() { vec![roots[0]] } else { subset };
+            check_pivot_subset(&graph, &plan, &subset);
+        }
+    }
+}

@@ -143,7 +143,7 @@ proptest! {
         for &k in &keys {
             // Value list content is irrelevant to the lookup path; derive a
             // small deterministic list per key.
-            build.push_key(k, vec![vid(k.0 * 2), vid(k.0 * 2 + 1)]);
+            build.push_key(k, &[vid(k.0 * 2), vid(k.0 * 2 + 1)]);
         }
         let table = build.freeze();
         for p in probes.into_iter().map(vid) {

@@ -9,6 +9,8 @@
 //!   --cache-mb N         index-cache budget in MiB (default 64; 0 disables)
 //!   --match-workers N    default enumeration threads per MATCH (default 1)
 //!   --max-match-workers N  cap on per-request WORKERS (default 8)
+//!   --build-threads N    BFS-filter threads per cache-miss index build
+//!                        (default 1; any value builds a bit-identical index)
 //!   --preload NAME=FILE  LOAD a labeled graph before accepting connections
 //!                        (repeatable)
 //! ```
@@ -26,7 +28,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: ceci-serve [--addr HOST:PORT] [--pool-workers N] [--queue-cap N] \
          [--cache-mb N] [--match-workers N] [--max-match-workers N] \
-         [--preload NAME=FILE]..."
+         [--build-threads N] [--preload NAME=FILE]..."
     );
     exit(2)
 }
@@ -52,6 +54,7 @@ fn main() {
             "--cache-mb" => config.cache_budget_bytes = num(&mut i) << 20,
             "--match-workers" => config.default_match_workers = num(&mut i).max(1),
             "--max-match-workers" => config.max_match_workers = num(&mut i).max(1),
+            "--build-threads" => config.build_threads = num(&mut i).max(1),
             "--preload" => {
                 let spec = value(&mut i);
                 let Some((name, file)) = spec.split_once('=') else {

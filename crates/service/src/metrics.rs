@@ -106,6 +106,11 @@ pub struct ServerMetrics {
     pub match_latency: LatencyHistogram,
     /// CECI build time on cache misses.
     pub build_latency: LatencyHistogram,
+    /// BFS-filter phase time within cache-miss builds (Algorithm 1).
+    pub build_filter_latency: LatencyHistogram,
+    /// Reverse-BFS refinement phase time within cache-miss builds
+    /// (Algorithm 2).
+    pub build_refine_latency: LatencyHistogram,
 }
 
 impl ServerMetrics {
@@ -147,10 +152,31 @@ impl ServerMetrics {
                 "match_latency_p99_us".into(),
                 self.match_latency.quantile_us(0.99),
             ),
+            ("build_latency_count".into(), self.build_latency.count()),
             ("build_latency_mean_us".into(), self.build_latency.mean_us()),
+            (
+                "build_latency_p50_us".into(),
+                self.build_latency.quantile_us(0.50),
+            ),
             (
                 "build_latency_p99_us".into(),
                 self.build_latency.quantile_us(0.99),
+            ),
+            (
+                "build_filter_mean_us".into(),
+                self.build_filter_latency.mean_us(),
+            ),
+            (
+                "build_filter_p99_us".into(),
+                self.build_filter_latency.quantile_us(0.99),
+            ),
+            (
+                "build_refine_mean_us".into(),
+                self.build_refine_latency.mean_us(),
+            ),
+            (
+                "build_refine_p99_us".into(),
+                self.build_refine_latency.quantile_us(0.99),
             ),
         ];
         for &(k, v) in extra {

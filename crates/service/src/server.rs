@@ -54,6 +54,9 @@ pub struct ServeConfig {
     pub default_match_workers: usize,
     /// Hard cap on per-request `WORKERS`.
     pub max_match_workers: usize,
+    /// BFS-filter worker threads per cache-miss index build (any value
+    /// yields a bit-identical index; see `ceci_core::BuildOptions`).
+    pub build_threads: usize,
 }
 
 impl Default for ServeConfig {
@@ -65,6 +68,7 @@ impl Default for ServeConfig {
             cache_budget_bytes: 64 << 20,
             default_match_workers: 1,
             max_match_workers: 8,
+            build_threads: 1,
         }
     }
 }
@@ -337,9 +341,21 @@ fn index_for(
     }
     let t0 = Instant::now();
     let plan = Arc::new(QueryPlan::new(query, graph));
-    let ceci = Arc::new(Ceci::build(graph, &plan));
+    let ceci = Arc::new(Ceci::build_with(
+        graph,
+        &plan,
+        ceci_core::BuildOptions {
+            threads: state.config.build_threads.max(1),
+            ..Default::default()
+        },
+    ));
     let build = t0.elapsed();
     state.metrics.build_latency.record(build);
+    // Surface the phase split so serve-side build regressions are visible
+    // in STATS without a profiler (filter = Algorithm 1, refine = Alg. 2).
+    let stats = ceci.stats();
+    state.metrics.build_filter_latency.record(stats.filter_time);
+    state.metrics.build_refine_latency.record(stats.refine_time);
     let entry = Arc::new(CachedIndex {
         canonical,
         plan: Arc::clone(&plan),

@@ -190,7 +190,15 @@ fn ablation_variants_agree() {
         (true, true, VerifyMode::Intersection),
         (true, false, VerifyMode::Intersection),
     ] {
-        let ceci = Ceci::build_with(&graph, &plan, BuildOptions { build_nte, refine });
+        let ceci = Ceci::build_with(
+            &graph,
+            &plan,
+            BuildOptions {
+                build_nte,
+                refine,
+                ..BuildOptions::default()
+            },
+        );
         let mut sink = CountSink::unbounded();
         enumerate_sequential(
             &graph,

@@ -91,8 +91,8 @@ proptest! {
     #[test]
     fn refinement_changes_size_not_results(graph in arb_graph(), query in arb_query()) {
         let plan = QueryPlan::new(query, &graph);
-        let refined = Ceci::build_with(&graph, &plan, BuildOptions { build_nte: true, refine: true });
-        let unrefined = Ceci::build_with(&graph, &plan, BuildOptions { build_nte: true, refine: false });
+        let refined = Ceci::build_with(&graph, &plan, BuildOptions { build_nte: true, refine: true, ..BuildOptions::default() });
+        let unrefined = Ceci::build_with(&graph, &plan, BuildOptions { build_nte: true, refine: false, ..BuildOptions::default() });
         // Refinement never grows the index.
         prop_assert!(refined.num_entries() <= unrefined.num_entries());
         // And results match.

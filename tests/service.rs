@@ -144,6 +144,13 @@ fn limit_truncates_and_repeat_hits_cache() {
     assert_eq!(stat("cache_misses"), 1);
     assert_eq!(stat("graphs_loaded"), 1);
     assert!(stat("cache_bytes") > 0);
+    // Exactly one cache-miss build happened, and its filter/refine phase
+    // split is surfaced (one observation each; phase times can round to 0 µs
+    // on tiny graphs, so only the counts and p99 presence are asserted).
+    assert_eq!(stat("build_latency_count"), 1);
+    assert!(stat("build_latency_p50_us") <= stat("build_latency_p99_us"));
+    assert!(stat("build_filter_mean_us") <= stat("build_filter_p99_us"));
+    assert!(stat("build_refine_mean_us") <= stat("build_refine_p99_us"));
     assert_eq!(
         state
             .metrics
