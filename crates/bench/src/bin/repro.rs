@@ -40,6 +40,9 @@ EXPERIMENTS:
                         filter/refine/merge breakdown + bytes per thread
                         count, written to bench_results/index_build.json
     physical            Physical decomposition — future work (§8)
+    faults              Fault-injection sweep: crashes, stragglers, steal
+                        loss — asserts bit-identical counts vs fault-free
+                        and writes bench_results/faults.json
     all                 Everything above, in order
 
 OPTIONS:
@@ -153,6 +156,7 @@ fn dispatch(
         "ablation-order" => experiments::ablation::run_order(scale),
         "ablation-intersect" => experiments::ablation::run_intersection(scale),
         "physical" => experiments::physical::run(scale),
+        "faults" => experiments::faults::run(scale),
         "all" => {
             for (name, f) in ALL_EXPERIMENTS {
                 section(name);
@@ -197,5 +201,9 @@ const ALL_EXPERIMENTS: &[(&str, Runner)] = &[
     (
         "Future work: physical decomposition (§8)",
         experiments::physical::run,
+    ),
+    (
+        "Fault injection: exactly-once recovery",
+        experiments::faults::run,
     ),
 ];

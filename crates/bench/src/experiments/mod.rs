@@ -3,6 +3,7 @@
 //! `bench_results/`).
 
 pub mod ablation;
+pub mod faults;
 pub mod fig11;
 pub mod fig12;
 pub mod fig13_14;

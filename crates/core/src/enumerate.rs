@@ -127,6 +127,24 @@ impl<'a> Enumerator<'a> {
         self.enumerate_prefix(&[pivot], sink, counters)
     }
 
+    /// Cancellation-safe counting variant of
+    /// [`Enumerator::enumerate_cluster`]: enumerates the cluster of `pivot`
+    /// into a fresh unbounded count sink and returns `Some(count)` only
+    /// when enumeration ran to completion. If the attached [`CancelToken`]
+    /// tripped mid-cluster the partial count is *discarded* (`None`) — the
+    /// caller can re-execute the cluster elsewhere without ever mixing a
+    /// partial tally into an exactly-once total. This is the draining
+    /// primitive the distributed fault-recovery path is built on.
+    pub fn enumerate_cluster_checked(
+        &mut self,
+        pivot: VertexId,
+        counters: &mut Counters,
+    ) -> Option<u64> {
+        let mut sink = crate::sink::CountSink::unbounded();
+        let completed = self.enumerate_cluster(pivot, &mut sink, counters);
+        completed.then(|| sink.count())
+    }
+
     /// Enumerates all embeddings extending a work-unit `prefix`: images of
     /// `matching_order[0..prefix.len()]` in order. Returns `false` if the
     /// sink requested a stop.

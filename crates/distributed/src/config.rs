@@ -70,6 +70,14 @@ pub struct ClusterConfig {
     /// Workload cap per machine as a multiple of the mean machine load
     /// ("the total workload does not exceed the maximum allowed workload").
     pub max_load_factor: f64,
+    /// Speculatively re-execute uncommitted clusters claimed by straggler
+    /// machines (those at or above [`ClusterConfig::straggler_threshold`])
+    /// on idle machines. First commit wins — the exactly-once board makes
+    /// duplicated speculation harmless to the count.
+    pub speculation: bool,
+    /// Virtual slowdown factor at which a machine counts as a straggler
+    /// and its in-flight clusters become speculation targets.
+    pub straggler_threshold: f64,
 }
 
 impl Default for ClusterConfig {
@@ -84,6 +92,8 @@ impl Default for ClusterConfig {
             jaccard_threshold: 0.5,
             jaccard_top_k: 1000,
             max_load_factor: 1.25,
+            speculation: true,
+            straggler_threshold: 4.0,
         }
     }
 }

@@ -20,11 +20,15 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod fault;
 pub mod partition;
 pub mod physical;
 pub mod run;
 
 pub use config::{ClusterConfig, CostModel, StorageMode};
-pub use partition::{distribute_pivots, jaccard, Partition};
+pub use fault::{CrashFault, FaultPlan, StragglerFault};
+pub use partition::{distribute_pivots, jaccard, workload_estimate, Partition};
 pub use physical::{extract_fragment, run_physical, Fragment, PhysicalResult};
-pub use run::{run_distributed, DistributedResult, MachineReport};
+pub use run::{
+    run_distributed, run_distributed_with_faults, DistributedResult, MachineReport, RecoveryStats,
+};

@@ -26,6 +26,21 @@ pub struct Partition {
     pub merged_groups: usize,
 }
 
+/// Light-weight pre-index workload estimate for one pivot under the
+/// configured storage mode (see module docs). Shared with the
+/// fault-injection layer, which uses the same estimate as the exchange
+/// rate for its deterministic virtual-progress clock — so crash points
+/// expressed in virtual time line up with the load balancer's view of the
+/// work.
+pub fn workload_estimate(graph: &Graph, v: VertexId, config: &ClusterConfig) -> f64 {
+    let w = match config.storage {
+        StorageMode::Replicated => pivot_workload_in_memory(graph, v),
+        StorageMode::Shared => pivot_workload_shared(graph, v),
+    };
+    // Every cluster costs at least something to visit.
+    w.max(1.0)
+}
+
 /// Jaccard similarity of the neighborhoods of two vertices.
 pub fn jaccard(graph: &Graph, a: VertexId, b: VertexId) -> f64 {
     let (na, nb) = (graph.neighbors(a), graph.neighbors(b));
@@ -52,14 +67,7 @@ pub fn jaccard(graph: &Graph, a: VertexId, b: VertexId) -> f64 {
 /// Distributes `pivots` over `config.machines` machines.
 pub fn distribute_pivots(graph: &Graph, pivots: &[VertexId], config: &ClusterConfig) -> Partition {
     let m = config.machines.max(1);
-    let estimate = |v: VertexId| -> f64 {
-        let w = match config.storage {
-            StorageMode::Replicated => pivot_workload_in_memory(graph, v),
-            StorageMode::Shared => pivot_workload_shared(graph, v),
-        };
-        // Every cluster costs at least something to visit.
-        w.max(1.0)
-    };
+    let estimate = |v: VertexId| -> f64 { workload_estimate(graph, v, config) };
 
     // Group pivots: singleton groups, then Jaccard merging among the top-k
     // (replicated mode only — shared mode lacks remote neighborhoods).

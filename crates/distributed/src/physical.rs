@@ -175,6 +175,10 @@ pub struct PhysicalResult {
     /// Largest per-machine edge fraction — the memory headline: how much of
     /// the graph any single machine must hold.
     pub max_edge_fraction: f64,
+    /// Machines whose thread panicked and whose pivot set was re-executed
+    /// on the coordinator. Counts are unaffected: the machine's whole
+    /// assignment reruns from scratch and nothing was committed before.
+    pub recovered_machines: usize,
 }
 
 /// Runs subgraph listing with physical decomposition: distribute pivots,
@@ -184,6 +188,20 @@ pub struct PhysicalResult {
 /// initial candidates are global); per-fragment plans pin the same query
 /// root and matching order.
 pub fn run_physical(full: &Graph, plan: &QueryPlan, config: &ClusterConfig) -> PhysicalResult {
+    run_physical_with_fault(full, plan, config, None)
+}
+
+/// [`run_physical`] with an injected fragment-machine panic: when
+/// `panic_machine` is `Some(m)`, machine `m`'s thread panics before doing
+/// any work, exercising the coordinator's recovery path. Exposed for the
+/// chaos test suite; production callers use [`run_physical`].
+#[doc(hidden)]
+pub fn run_physical_with_fault(
+    full: &Graph,
+    plan: &QueryPlan,
+    config: &ClusterConfig,
+    panic_machine: Option<usize>,
+) -> PhysicalResult {
     let pivots = plan.initial_candidates(plan.root()).to_vec();
     let partition = distribute_pivots(full, &pivots, config);
     let radius = plan
@@ -194,18 +212,39 @@ pub fn run_physical(full: &Graph, plan: &QueryPlan, config: &ClusterConfig) -> P
         .max()
         .unwrap_or(0) as usize;
 
-    let mut reports: Vec<PhysicalMachineReport> = Vec::with_capacity(config.machines);
+    // A machine is an OS thread; a panic is this layer's machine failure.
+    // The coordinator (this thread) notices the failed join and re-executes
+    // the machine's whole pivot set locally. That is exactly-once by
+    // construction: a fragment machine publishes results only through its
+    // returned report, so a panicked machine published nothing.
+    let mut outcomes: Vec<std::thread::Result<PhysicalMachineReport>> =
+        Vec::with_capacity(config.machines);
     std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for (machine, assigned) in partition.assignment.iter().enumerate() {
-            handles.push(
-                scope.spawn(move || run_fragment_machine(full, plan, machine, assigned, radius)),
-            );
+            handles.push(scope.spawn(move || {
+                if panic_machine == Some(machine) {
+                    panic!("injected fragment-machine fault (machine {machine})");
+                }
+                run_fragment_machine(full, plan, machine, assigned, radius)
+            }));
         }
         for h in handles {
-            reports.push(h.join().expect("fragment machine panicked"));
+            outcomes.push(h.join());
         }
     });
+    let mut recovered_machines = 0usize;
+    let mut reports: Vec<PhysicalMachineReport> = Vec::with_capacity(outcomes.len());
+    for (machine, outcome) in outcomes.into_iter().enumerate() {
+        match outcome {
+            Ok(report) => reports.push(report),
+            Err(_) => {
+                recovered_machines += 1;
+                let assigned = &partition.assignment[machine];
+                reports.push(run_fragment_machine(full, plan, machine, assigned, radius));
+            }
+        }
+    }
     reports.sort_by_key(|r| r.machine);
     let total_embeddings = reports.iter().map(|r| r.embeddings).sum();
     let max_edge_fraction = reports
@@ -216,6 +255,7 @@ pub fn run_physical(full: &Graph, plan: &QueryPlan, config: &ClusterConfig) -> P
         reports,
         total_embeddings,
         max_edge_fraction,
+        recovered_machines,
     }
 }
 

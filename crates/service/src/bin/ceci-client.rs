@@ -1,15 +1,21 @@
 //! `ceci-client` — protocol client and closed-loop load generator.
 //!
 //! ```text
-//! ceci-client --addr HOST:PORT CMD ARGS...     # one request, print response
-//! ceci-client --addr HOST:PORT                 # pipe stdin lines as requests
+//! ceci-client --addr HOST:PORT [--retries N] CMD ARGS...  # one request
+//! ceci-client --addr HOST:PORT [--retries N]              # pipe stdin lines
 //! ceci-client --bench-local [options]          # self-contained load baseline
+//!
+//! `--retries N` retries BUSY rejections and transient transport failures
+//! (connection reset / EOF mid-response) up to N times with exponential
+//! backoff plus deterministic jitter, reconnecting as needed.
 //!
 //! bench-local options:
 //!   --clients N     concurrent connections (default 8)
 //!   --requests N    requests per connection (default 25)
 //!   --graph-n N     synthetic data-graph vertices (default 2000)
 //!   --query-size N  extracted query vertices (default 4)
+//!   --retries N     per-request retry budget for BUSY/transient errors
+//!                   (default 0 = one shot)
 //!   --out FILE      write a JSON report (e.g. bench_results/service.json)
 //! ```
 //!
@@ -31,13 +37,15 @@ use std::sync::Arc;
 use ceci_graph::extract::extract_query;
 use ceci_graph::generators::{erdos_renyi, inject_random_labels};
 use ceci_graph::io as graph_io;
-use ceci_service::{run_load, start_with_state, Client, LoadConfig, ServeConfig, ServerState};
+use ceci_service::{
+    run_load, start_with_state, Client, LoadConfig, RetryPolicy, ServeConfig, ServerState,
+};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: ceci-client --addr HOST:PORT [CMD ARGS...]\n       \
+        "usage: ceci-client --addr HOST:PORT [--retries N] [CMD ARGS...]\n       \
          ceci-client --bench-local [--clients N] [--requests N] [--graph-n N] \
-         [--query-size N] [--out FILE]"
+         [--query-size N] [--retries N] [--out FILE]"
     );
     exit(2)
 }
@@ -49,6 +57,7 @@ fn main() {
         return;
     }
     let mut addr = String::new();
+    let mut retries: u32 = 0;
     let mut command: Vec<String> = Vec::new();
     let mut i = 0;
     while i < raw.len() {
@@ -56,6 +65,13 @@ fn main() {
             "--addr" => {
                 i += 1;
                 addr = raw.get(i).cloned().unwrap_or_else(|| usage());
+            }
+            "--retries" => {
+                i += 1;
+                retries = raw
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
             }
             "--help" | "-h" => usage(),
             _ => command.push(raw[i].clone()),
@@ -65,6 +81,10 @@ fn main() {
     if addr.is_empty() {
         usage();
     }
+    let retry = (retries > 0).then(|| RetryPolicy {
+        max_retries: retries,
+        ..RetryPolicy::default()
+    });
     let mut client = Client::connect(&addr).unwrap_or_else(|e| {
         eprintln!("error: connect {addr}: {e}");
         exit(1);
@@ -78,7 +98,7 @@ fn main() {
             if line.trim().is_empty() || line.trim_start().starts_with('#') {
                 continue;
             }
-            match send_and_print(&mut client, &line) {
+            match send_and_print(&mut client, &line, retry.as_ref()) {
                 Ok(s) => status = s,
                 Err(e) => {
                     eprintln!("error: {e}");
@@ -89,7 +109,7 @@ fn main() {
         exit(status);
     }
     let line = command.join(" ");
-    match send_and_print(&mut client, &line) {
+    match send_and_print(&mut client, &line, retry.as_ref()) {
         Ok(status) => exit(status),
         Err(e) => {
             eprintln!("error: {e}");
@@ -98,10 +118,26 @@ fn main() {
     }
 }
 
-/// Sends one request, prints the full response, returns the exit status for
-/// its terminal line.
-fn send_and_print(client: &mut Client, line: &str) -> std::io::Result<i32> {
-    let resp = client.request(line)?;
+/// Sends one request (retrying under `retry` when given), prints the full
+/// response, returns the exit status for its terminal line.
+fn send_and_print(
+    client: &mut Client,
+    line: &str,
+    retry: Option<&RetryPolicy>,
+) -> std::io::Result<i32> {
+    let resp = match retry {
+        Some(policy) => {
+            let outcome = client.request_with_retry(line, policy)?;
+            if outcome.attempts > 1 {
+                eprintln!(
+                    "({} attempts, {} reconnects)",
+                    outcome.attempts, outcome.reconnects
+                );
+            }
+            outcome.response
+        }
+        None => client.request(line)?,
+    };
     for l in &resp.payload {
         println!("{l}");
     }
@@ -120,6 +156,7 @@ struct BenchArgs {
     requests: usize,
     graph_n: usize,
     query_size: usize,
+    retries: u32,
     out: Option<String>,
 }
 
@@ -129,6 +166,7 @@ fn parse_bench_args(raw: &[String]) -> BenchArgs {
         requests: 25,
         graph_n: 2000,
         query_size: 4,
+        retries: 0,
         out: None,
     };
     let mut i = 0;
@@ -143,6 +181,7 @@ fn parse_bench_args(raw: &[String]) -> BenchArgs {
             "--requests" => args.requests = value(&mut i).parse().unwrap_or_else(|_| usage()),
             "--graph-n" => args.graph_n = value(&mut i).parse().unwrap_or_else(|_| usage()),
             "--query-size" => args.query_size = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--retries" => args.retries = value(&mut i).parse().unwrap_or_else(|_| usage()),
             "--out" => args.out = Some(value(&mut i)),
             "--help" | "-h" => usage(),
             _ => usage(),
@@ -195,6 +234,10 @@ fn bench_local(raw: &[String]) {
         clients: args.clients,
         requests_per_client: args.requests,
         request,
+        retry: (args.retries > 0).then(|| RetryPolicy {
+            max_retries: args.retries,
+            ..RetryPolicy::default()
+        }),
     };
     let report = run_load(handle.addr(), &load);
 

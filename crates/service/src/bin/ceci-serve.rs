@@ -13,6 +13,8 @@
 //!                        (default 1; any value builds a bit-identical index)
 //!   --preload NAME=FILE  LOAD a labeled graph before accepting connections
 //!                        (repeatable)
+//!   --chaos              enable the CHAOS fault-injection verb (testing
+//!                        only; without it CHAOS answers E_CHAOS_DISABLED)
 //! ```
 //!
 //! The server prints one `listening on <addr>` line to stdout once live —
@@ -28,7 +30,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: ceci-serve [--addr HOST:PORT] [--pool-workers N] [--queue-cap N] \
          [--cache-mb N] [--match-workers N] [--max-match-workers N] \
-         [--build-threads N] [--preload NAME=FILE]..."
+         [--build-threads N] [--preload NAME=FILE]... [--chaos]"
     );
     exit(2)
 }
@@ -55,6 +57,7 @@ fn main() {
             "--match-workers" => config.default_match_workers = num(&mut i).max(1),
             "--max-match-workers" => config.max_match_workers = num(&mut i).max(1),
             "--build-threads" => config.build_threads = num(&mut i).max(1),
+            "--chaos" => config.chaos = true,
             "--preload" => {
                 let spec = value(&mut i);
                 let Some((name, file)) = spec.split_once('=') else {
@@ -95,6 +98,9 @@ fn main() {
         }
     };
     println!("listening on {}", handle.addr());
+    if handle.state().config().chaos {
+        eprintln!("warning: CHAOS fault injection is enabled; do not expose this server");
+    }
     // Serve until killed: the accept thread owns the listener; parking the
     // main thread keeps the handle (and the pool) alive.
     loop {

@@ -13,8 +13,17 @@
 //! [`Ceci::size_bytes`], and evicted LRU-first when the configured byte
 //! budget is exceeded. Replacing a graph (`LOAD` over an existing name)
 //! eagerly sweeps every entry built against the displaced epoch.
+//!
+//! ## Quarantine
+//!
+//! When an index *build* panics, the cache key it would have filled is
+//! quarantined: later probes answer [`Probe::Quarantined`] instead of
+//! rebuilding, so a query that deterministically crashes the builder cannot
+//! melt the server by crashing a worker per request. Quarantine is scoped
+//! to the `(epoch, hash)` key — re-`LOAD`ing the graph bumps the epoch and
+//! naturally clears it (and `evict_epoch` sweeps the old epoch's marks).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -46,6 +55,8 @@ struct Slot {
 struct CacheMap {
     slots: HashMap<(u64, u64), Slot>,
     bytes: usize,
+    /// Keys whose build panicked; probes answer [`Probe::Quarantined`].
+    quarantined: HashSet<(u64, u64)>,
 }
 
 /// Outcome of a cache probe.
@@ -58,6 +69,9 @@ pub enum Probe {
     /// Entry found but the canonical form differed (64-bit hash collision);
     /// treated as a miss.
     Collision,
+    /// The key is quarantined (its build panicked earlier); the caller must
+    /// not rebuild — answer `ERR E_QUARANTINED`.
+    Quarantined,
 }
 
 /// A byte-budgeted, LRU-evicting map from `(epoch, canonical hash)` to
@@ -91,8 +105,12 @@ impl IndexCache {
     /// stamp is refreshed and the entry returned.
     pub fn get(&self, epoch: u64, canonical: &CanonicalQuery) -> (Probe, Option<Arc<CachedIndex>>) {
         let stamp = self.tick();
+        let key = (epoch, canonical.hash());
         let mut map = self.map.lock().expect("cache lock poisoned");
-        match map.slots.get_mut(&(epoch, canonical.hash())) {
+        if map.quarantined.contains(&key) {
+            return (Probe::Quarantined, None);
+        }
+        match map.slots.get_mut(&key) {
             None => (Probe::Miss, None),
             Some(slot) if slot.entry.canonical == *canonical => {
                 slot.last_used = stamp;
@@ -100,6 +118,27 @@ impl IndexCache {
             }
             Some(_) => (Probe::Collision, None),
         }
+    }
+
+    /// Quarantines `(epoch, hash)` after a panicked build. Idempotent;
+    /// returns `true` the first time the key is marked. Any stale entry
+    /// under the key is dropped (it predates the panic and may be suspect).
+    pub fn quarantine(&self, epoch: u64, canonical: &CanonicalQuery) -> bool {
+        let key = (epoch, canonical.hash());
+        let mut map = self.map.lock().expect("cache lock poisoned");
+        if let Some(slot) = map.slots.remove(&key) {
+            map.bytes -= slot.entry.bytes;
+        }
+        map.quarantined.insert(key)
+    }
+
+    /// Number of quarantined keys.
+    pub fn quarantined_len(&self) -> usize {
+        self.map
+            .lock()
+            .expect("cache lock poisoned")
+            .quarantined
+            .len()
     }
 
     /// Inserts an entry built outside the lock, then evicts LRU-first until
@@ -113,6 +152,11 @@ impl IndexCache {
         let key = (epoch, entry.canonical.hash());
         let bytes = entry.bytes;
         let mut map = self.map.lock().expect("cache lock poisoned");
+        if map.quarantined.contains(&key) {
+            // A concurrent build panicked and poisoned this key after we
+            // started building; do not resurrect it.
+            return 0;
+        }
         if let Some(old) = map.slots.insert(
             key,
             Slot {
@@ -160,6 +204,8 @@ impl IndexCache {
             let slot = map.slots.remove(k).expect("key vanished");
             map.bytes -= slot.entry.bytes;
         }
+        // The epoch is gone; its quarantine marks are meaningless now.
+        map.quarantined.retain(|(e, _)| *e != epoch);
         keys.len()
     }
 
@@ -283,6 +329,103 @@ mod tests {
         assert_eq!(cache.get(1, &ka).0, Probe::Miss);
         assert_eq!(cache.get(2, &kb).0, Probe::Hit);
         assert_eq!(cache.bytes(), 100);
+    }
+
+    #[test]
+    fn concurrent_misses_converge_on_one_entry() {
+        // Many threads race the classic miss → build → insert sequence on
+        // the same key. Whoever inserts last wins the slot (entries for the
+        // same canonical query are interchangeable); the byte ledger must
+        // charge exactly one entry and every later probe must hit.
+        let cache = Arc::new(IndexCache::new(1 << 20));
+        let proto = entry(0, 128);
+        let canonical = proto.canonical.clone();
+        drop(proto);
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let cache = Arc::clone(&cache);
+                let canonical = canonical.clone();
+                std::thread::spawn(move || {
+                    let (probe, _) = cache.get(7, &canonical);
+                    assert_ne!(probe, Probe::Quarantined);
+                    if probe != Probe::Hit {
+                        // Simulate the out-of-lock build, then insert.
+                        cache.insert(7, entry(0, 128));
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(
+            cache.len(),
+            1,
+            "duplicate inserts must replace, not pile up"
+        );
+        assert_eq!(cache.bytes(), 128, "byte ledger must count the entry once");
+        assert_eq!(cache.get(7, &canonical).0, Probe::Hit);
+    }
+
+    #[test]
+    fn quarantine_drops_blocks_and_clears_with_epoch() {
+        let cache = IndexCache::new(1 << 20);
+        let e = entry(0, 100);
+        let canonical = e.canonical.clone();
+        cache.insert(1, e);
+        assert_eq!(cache.get(1, &canonical).0, Probe::Hit);
+
+        // Quarantine evicts the suspect entry and is idempotent.
+        assert!(cache.quarantine(1, &canonical));
+        assert!(!cache.quarantine(1, &canonical));
+        assert_eq!(cache.bytes(), 0);
+        assert_eq!(cache.quarantined_len(), 1);
+        assert_eq!(cache.get(1, &canonical).0, Probe::Quarantined);
+
+        // A build that was already in flight when the key was poisoned
+        // must not resurrect it.
+        assert_eq!(cache.insert(1, entry(0, 100)), 0);
+        assert_eq!(cache.len(), 0);
+        assert_eq!(cache.get(1, &canonical).0, Probe::Quarantined);
+
+        // Other epochs are unaffected; re-LOAD (epoch bump) clears marks.
+        assert_eq!(cache.get(2, &canonical).0, Probe::Miss);
+        cache.evict_epoch(1);
+        assert_eq!(cache.quarantined_len(), 0);
+        assert_eq!(cache.get(1, &canonical).0, Probe::Miss);
+    }
+
+    #[test]
+    fn multi_victim_eviction_follows_lru_order() {
+        // One big insert forces several evictions at once; victims must go
+        // strictly least-recently-used first, and the newcomer survives.
+        let cache = IndexCache::new(400);
+        let (a, b, c) = (entry(0, 100), entry(1, 100), entry(2, 100));
+        let (ka, kb, kc) = (
+            a.canonical.clone(),
+            b.canonical.clone(),
+            c.canonical.clone(),
+        );
+        cache.insert(1, a);
+        cache.insert(1, b);
+        cache.insert(1, c);
+        // Recency now a < b < c; touching `a` makes it the most recent.
+        assert_eq!(cache.get(1, &ka).0, Probe::Hit);
+        // 300 + 250 = 550: must evict the two LRU entries (b, then c) to
+        // get back under 400; evicting only one would leave 450.
+        let big = entry(3, 250);
+        let kbig = big.canonical.clone();
+        assert_eq!(cache.insert(1, big), 2);
+        assert_eq!(cache.get(1, &kb).0, Probe::Miss, "oldest victim first");
+        assert_eq!(cache.get(1, &kc).0, Probe::Miss, "next-oldest second");
+        assert_eq!(cache.get(1, &ka).0, Probe::Hit, "recently-touched survives");
+        assert_eq!(
+            cache.get(1, &kbig).0,
+            Probe::Hit,
+            "newcomer never self-evicts"
+        );
+        assert_eq!(cache.bytes(), 350);
+        assert_eq!(cache.evictions(), 2);
     }
 
     #[test]

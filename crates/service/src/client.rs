@@ -6,9 +6,18 @@
 //! closed loops (each issues its next request only after the previous
 //! response lands) and aggregates latency/throughput — the `--bench-local`
 //! baseline and the CI smoke load both run on it.
+//!
+//! ## Retries
+//!
+//! [`Client::request_with_retry`] retries `BUSY` rejections and transient
+//! transport failures (connection reset / broken pipe / EOF mid-response,
+//! which is what a worker crash or server restart looks like from outside)
+//! with capped exponential backoff plus deterministic jitter. Jitter draws
+//! come from a seeded SplitMix64 counter, never from wall-clock entropy, so
+//! a retry schedule is reproducible in tests.
 
 use std::io::{BufRead, BufReader, BufWriter, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::{Duration, Instant};
 
 use crate::metrics::LatencyHistogram;
@@ -53,10 +62,85 @@ fn terminal_line(line: &str) -> bool {
     line.starts_with("OK") || line.starts_with("BUSY") || line.starts_with("ERR")
 }
 
+/// SplitMix64 — deterministic jitter source for retry backoff (mirrors the
+/// fault layer's draw discipline: seeded counter, no wall-clock entropy).
+#[inline]
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Retry policy for [`Client::request_with_retry`]: capped exponential
+/// backoff with deterministic jitter in `[0.5, 1.5)`.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (0 = never retry).
+    pub max_retries: u32,
+    /// Backoff before retry `n` is `base_delay × 2^n` (pre-jitter)...
+    pub base_delay: Duration,
+    /// ...capped at this much (pre-jitter).
+    pub max_delay: Duration,
+    /// Seed for the jitter draws; same seed, same schedule.
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 3,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(500),
+            jitter_seed: 0xCEC1,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The jittered backoff before retry number `attempt` (0-based).
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        let exp = self
+            .base_delay
+            .saturating_mul(1u32 << attempt.min(16))
+            .min(self.max_delay);
+        let h = splitmix64(self.jitter_seed ^ splitmix64(attempt as u64));
+        let jitter = 0.5 + (h >> 11) as f64 / (1u64 << 53) as f64; // [0.5, 1.5)
+        exp.mul_f64(jitter)
+    }
+}
+
+/// Is this transport error worth a reconnect-and-retry? Resets, broken
+/// pipes, aborts, and mid-response EOF are what server-side worker crashes
+/// and restarts look like from the client; anything else (refused, bad
+/// address) is not transient.
+fn transient_io_error(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::ConnectionReset
+            | std::io::ErrorKind::BrokenPipe
+            | std::io::ErrorKind::ConnectionAborted
+            | std::io::ErrorKind::UnexpectedEof
+    )
+}
+
+/// Outcome of [`Client::request_with_retry`].
+#[derive(Clone, Debug)]
+pub struct RetryOutcome {
+    /// The final response (not `BUSY` unless retries ran out).
+    pub response: Response,
+    /// Total attempts made (≥ 1).
+    pub attempts: u32,
+    /// Reconnections performed after transient transport errors.
+    pub reconnects: u32,
+}
+
 /// A blocking, single-connection protocol client.
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
+    /// Resolved peer address, kept for reconnects.
+    peer: SocketAddr,
 }
 
 impl Client {
@@ -64,10 +148,54 @@ impl Client {
     pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true).ok();
+        let peer = stream.peer_addr()?;
         Ok(Client {
             reader: BufReader::new(stream.try_clone()?),
             writer: BufWriter::new(stream),
+            peer,
         })
+    }
+
+    /// Drops the current connection and dials the same peer again.
+    pub fn reconnect(&mut self) -> std::io::Result<()> {
+        let fresh = Client::connect(self.peer)?;
+        *self = fresh;
+        Ok(())
+    }
+
+    /// [`Client::request`] with retry on `BUSY` and on transient transport
+    /// errors (after reconnecting). Non-transient IO errors and `ERR`
+    /// responses are returned immediately — `ERR` is a deterministic server
+    /// answer, not a transient condition.
+    pub fn request_with_retry(
+        &mut self,
+        line: &str,
+        policy: &RetryPolicy,
+    ) -> std::io::Result<RetryOutcome> {
+        let mut attempts = 0u32;
+        let mut reconnects = 0u32;
+        loop {
+            attempts += 1;
+            let retry_no = attempts - 1; // 0-based index of the *next* retry
+            match self.request(line) {
+                Ok(resp) if resp.is_busy() && retry_no < policy.max_retries => {
+                    std::thread::sleep(policy.backoff(retry_no));
+                }
+                Ok(response) => {
+                    return Ok(RetryOutcome {
+                        response,
+                        attempts,
+                        reconnects,
+                    })
+                }
+                Err(e) if transient_io_error(&e) && retry_no < policy.max_retries => {
+                    std::thread::sleep(policy.backoff(retry_no));
+                    self.reconnect()?;
+                    reconnects += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
     }
 
     /// Sends one request line and reads the full (possibly multi-line)
@@ -108,6 +236,9 @@ pub struct LoadConfig {
     pub requests_per_client: usize,
     /// The request line every client repeats.
     pub request: String,
+    /// When set, each request retries `BUSY`/transient failures under this
+    /// policy (`None` = one shot, the historical behavior).
+    pub retry: Option<RetryPolicy>,
 }
 
 /// Aggregated load-generator outcome.
@@ -121,6 +252,10 @@ pub struct LoadReport {
     pub err: u64,
     /// Transport failures (connect/read/write).
     pub io_errors: u64,
+    /// Retry attempts beyond the first (0 without a retry policy).
+    pub retries: u64,
+    /// Reconnections performed by the retry path.
+    pub reconnects: u64,
     /// Wall time of the whole run.
     pub wall: Duration,
     /// Per-request latency over successful responses.
@@ -146,6 +281,8 @@ struct Tallies {
     busy: std::sync::atomic::AtomicU64,
     err: std::sync::atomic::AtomicU64,
     io_errors: std::sync::atomic::AtomicU64,
+    retries: std::sync::atomic::AtomicU64,
+    reconnects: std::sync::atomic::AtomicU64,
     latency: LatencyHistogram,
 }
 
@@ -158,10 +295,15 @@ pub fn run_load(addr: std::net::SocketAddr, config: &LoadConfig) -> LoadReport {
     let tallies = std::sync::Arc::new(Tallies::default());
     let t0 = Instant::now();
     let mut handles = Vec::new();
-    for _ in 0..config.clients {
+    for client_idx in 0..config.clients {
         let tallies = std::sync::Arc::clone(&tallies);
         let line = config.request.clone();
         let n = config.requests_per_client;
+        let retry = config.retry.map(|mut p| {
+            // De-correlate the jitter schedules across client loops.
+            p.jitter_seed = splitmix64(p.jitter_seed ^ client_idx as u64);
+            p
+        });
         handles.push(std::thread::spawn(move || {
             let mut client = match Client::connect(addr) {
                 Ok(c) => c,
@@ -172,7 +314,15 @@ pub fn run_load(addr: std::net::SocketAddr, config: &LoadConfig) -> LoadReport {
             };
             for _ in 0..n {
                 let t = Instant::now();
-                match client.request(&line) {
+                let outcome = match &retry {
+                    Some(policy) => client.request_with_retry(&line, policy).map(|o| {
+                        bump(&tallies.retries, (o.attempts - 1) as u64);
+                        bump(&tallies.reconnects, o.reconnects as u64);
+                        o.response
+                    }),
+                    None => client.request(&line),
+                };
+                match outcome {
                     Ok(resp) if resp.is_ok() => {
                         tallies.latency.record(t.elapsed());
                         bump(&tallies.ok, 1);
@@ -199,6 +349,8 @@ pub fn run_load(addr: std::net::SocketAddr, config: &LoadConfig) -> LoadReport {
         busy: g(&tallies.busy),
         err: g(&tallies.err),
         io_errors: g(&tallies.io_errors),
+        retries: g(&tallies.retries),
+        reconnects: g(&tallies.reconnects),
         wall,
         latency: tallies.latency,
     }
@@ -229,5 +381,54 @@ mod tests {
         assert!(terminal_line("ERR nope"));
         assert!(!terminal_line("STAT requests_total 3"));
         assert!(!terminal_line("| plan line"));
+    }
+
+    #[test]
+    fn backoff_grows_caps_and_jitters_deterministically() {
+        let p = RetryPolicy::default();
+        // Deterministic: same policy, same schedule.
+        let q = RetryPolicy::default();
+        for a in 0..8 {
+            assert_eq!(p.backoff(a), q.backoff(a));
+        }
+        // Jitter keeps each delay within [0.5, 1.5)× the exponential value.
+        for a in 0..8u32 {
+            let raw = p
+                .base_delay
+                .saturating_mul(1 << a)
+                .min(p.max_delay)
+                .as_secs_f64();
+            let b = p.backoff(a).as_secs_f64();
+            assert!(b >= raw * 0.5 && b < raw * 1.5, "attempt {a}: {b} vs {raw}");
+        }
+        // The cap binds for large attempt numbers (pre-jitter ≤ max_delay).
+        assert!(p.backoff(30) < p.max_delay.mul_f64(1.5));
+        // Different seeds give different schedules.
+        let r = RetryPolicy {
+            jitter_seed: 99,
+            ..RetryPolicy::default()
+        };
+        assert_ne!(p.backoff(1), r.backoff(1));
+    }
+
+    #[test]
+    fn transient_error_classification() {
+        use std::io::{Error, ErrorKind};
+        for kind in [
+            ErrorKind::ConnectionReset,
+            ErrorKind::BrokenPipe,
+            ErrorKind::ConnectionAborted,
+            ErrorKind::UnexpectedEof,
+        ] {
+            assert!(transient_io_error(&Error::new(kind, "x")), "{kind:?}");
+        }
+        assert!(!transient_io_error(&Error::new(
+            ErrorKind::ConnectionRefused,
+            "down"
+        )));
+        assert!(!transient_io_error(&Error::new(
+            ErrorKind::InvalidInput,
+            "bad"
+        )));
     }
 }

@@ -32,9 +32,9 @@ pub mod registry;
 pub mod server;
 
 pub use cache::{CachedIndex, IndexCache, Probe};
-pub use client::{run_load, Client, LoadConfig, LoadReport, Response};
+pub use client::{run_load, Client, LoadConfig, LoadReport, Response, RetryOutcome, RetryPolicy};
 pub use metrics::{LatencyHistogram, ServerMetrics};
 pub use pool::{Admission, PoolHandle, WorkerPool};
-pub use protocol::{parse_request, MatchStatus, ParseError, Request};
+pub use protocol::{parse_request, ChaosCommand, ErrorCode, MatchStatus, ParseError, Request};
 pub use registry::{GraphEntry, GraphRegistry};
 pub use server::{start, start_with_state, ServeConfig, ServerHandle, ServerState};

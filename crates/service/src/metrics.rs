@@ -100,6 +100,17 @@ pub struct ServerMetrics {
     /// Canonical-hash collisions detected by form verification (the entry
     /// was *not* reused).
     pub cache_collisions: AtomicU64,
+    /// Data-plane jobs that dropped their response channel (the worker
+    /// panicked mid-request); the client got `ERR E_WORKER_DROPPED`.
+    pub worker_drops: AtomicU64,
+    /// Job panics caught by the pool's worker supervisors.
+    pub panics_caught: AtomicU64,
+    /// Index builds that panicked and whose cache key was quarantined.
+    pub cache_quarantined: AtomicU64,
+    /// Requests refused because their cache key is quarantined.
+    pub quarantine_hits: AtomicU64,
+    /// CHAOS commands executed (only counts when chaos mode is enabled).
+    pub chaos_injected: AtomicU64,
     /// Total embeddings returned across MATCH responses.
     pub embeddings_returned: AtomicU64,
     /// End-to-end MATCH latency (admission to response).
@@ -141,6 +152,11 @@ impl ServerMetrics {
             ("cache_misses".into(), g(&self.cache_misses)),
             ("cache_evictions".into(), g(&self.cache_evictions)),
             ("cache_collisions".into(), g(&self.cache_collisions)),
+            ("worker_drops".into(), g(&self.worker_drops)),
+            ("panics_caught".into(), g(&self.panics_caught)),
+            ("cache_quarantined".into(), g(&self.cache_quarantined)),
+            ("quarantine_hits".into(), g(&self.quarantine_hits)),
+            ("chaos_injected".into(), g(&self.chaos_injected)),
             ("embeddings_returned".into(), g(&self.embeddings_returned)),
             ("match_latency_count".into(), self.match_latency.count()),
             ("match_latency_mean_us".into(), self.match_latency.mean_us()),

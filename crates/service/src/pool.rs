@@ -10,8 +10,23 @@
 //! All of it is std-only: one `Mutex<VecDeque>` + `Condvar`. The queue
 //! critical sections are push/pop only — job execution happens outside the
 //! lock, so the mutex is never held across user work.
+//!
+//! ## Panic isolation
+//!
+//! A panicking job must not take a worker down with it: the pool would
+//! silently shrink until every data-plane request hangs. Each worker thread
+//! is therefore a *supervisor*: it runs the drain loop under
+//! [`std::panic::catch_unwind`], and when a job panics it counts the panic
+//! (optionally notifying a hook, which the server wires to its
+//! `panics_caught` metric), increments the respawn counter, and re-enters
+//! the drain loop on the same thread — logically a worker respawn without
+//! paying for a new OS thread. The queue mutex is only ever held around
+//! push/pop (never across a job), so a job panic cannot poison it.
 
 use std::collections::VecDeque;
+use std::io;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
@@ -19,6 +34,10 @@ use std::thread::JoinHandle;
 /// of server internals; responses travel through the channel the closure
 /// captures.
 pub type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Callback invoked (from the worker thread) every time a job panic is
+/// caught — the server points this at its metrics.
+pub type PanicHook = Arc<dyn Fn() + Send + Sync + 'static>;
 
 #[derive(Default)]
 struct Queue {
@@ -31,6 +50,12 @@ struct Shared {
     /// Signalled on push and on shutdown.
     available: Condvar,
     capacity: usize,
+    /// Job panics caught by worker supervisors.
+    panics: AtomicU64,
+    /// Worker drain loops restarted after a caught panic.
+    respawns: AtomicU64,
+    /// Optional per-panic notification.
+    on_panic: Option<PanicHook>,
 }
 
 /// Result of [`WorkerPool::submit`].
@@ -51,26 +76,61 @@ pub struct WorkerPool {
 impl WorkerPool {
     /// Spawns `workers` threads servicing a queue of at most `queue_cap`
     /// pending jobs (in addition to the jobs currently executing).
-    pub fn new(workers: usize, queue_cap: usize) -> Self {
+    ///
+    /// Fails (instead of panicking) when the OS refuses to spawn a thread;
+    /// already-spawned workers are shut down before the error returns.
+    pub fn new(workers: usize, queue_cap: usize) -> io::Result<Self> {
+        WorkerPool::with_panic_hook(workers, queue_cap, None)
+    }
+
+    /// [`WorkerPool::new`] with a hook fired on every caught job panic.
+    pub fn with_panic_hook(
+        workers: usize,
+        queue_cap: usize,
+        on_panic: Option<PanicHook>,
+    ) -> io::Result<Self> {
         assert!(workers >= 1, "need at least one worker");
         let shared = Arc::new(Shared {
             queue: Mutex::new(Queue::default()),
             available: Condvar::new(),
             capacity: queue_cap.max(1),
+            panics: AtomicU64::new(0),
+            respawns: AtomicU64::new(0),
+            on_panic,
         });
-        let handles = (0..workers)
-            .map(|i| {
-                let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("ceci-pool-{i}"))
-                    .spawn(move || worker_loop(&shared))
-                    .expect("spawn pool worker")
-            })
-            .collect();
-        WorkerPool {
+        let mut handles = Vec::with_capacity(workers);
+        for i in 0..workers {
+            let worker_shared = Arc::clone(&shared);
+            let spawned = std::thread::Builder::new()
+                .name(format!("ceci-pool-{i}"))
+                .spawn(move || supervisor_loop(&worker_shared));
+            match spawned {
+                Ok(h) => handles.push(h),
+                Err(e) => {
+                    // Structured teardown of what already exists.
+                    let partial = WorkerPool {
+                        shared,
+                        workers: handles,
+                    };
+                    partial.shutdown();
+                    return Err(e);
+                }
+            }
+        }
+        Ok(WorkerPool {
             shared,
             workers: handles,
-        }
+        })
+    }
+
+    /// Job panics caught (and survived) by the pool so far.
+    pub fn panics_caught(&self) -> u64 {
+        self.shared.panics.load(Ordering::Relaxed)
+    }
+
+    /// Worker drain loops restarted after a caught panic.
+    pub fn respawns(&self) -> u64 {
+        self.shared.respawns.load(Ordering::Relaxed)
     }
 
     /// Admits `job` if the queue has room; otherwise rejects immediately.
@@ -145,6 +205,25 @@ fn submit_inner(shared: &Shared, job: Job) -> Admission {
     Admission::Accepted
 }
 
+/// Runs [`worker_loop`] until clean shutdown, restarting it after every
+/// caught job panic — the per-thread supervisor described in the module
+/// docs.
+fn supervisor_loop(shared: &Shared) {
+    loop {
+        match catch_unwind(AssertUnwindSafe(|| worker_loop(shared))) {
+            Ok(()) => return, // shutdown requested
+            Err(_payload) => {
+                shared.panics.fetch_add(1, Ordering::Relaxed);
+                shared.respawns.fetch_add(1, Ordering::Relaxed);
+                if let Some(hook) = &shared.on_panic {
+                    hook();
+                }
+                // Re-enter the drain loop: the "respawned" worker.
+            }
+        }
+    }
+}
+
 fn worker_loop(shared: &Shared) {
     loop {
         let job = {
@@ -159,7 +238,7 @@ fn worker_loop(shared: &Shared) {
                 q = shared.available.wait(q).expect("pool lock poisoned");
             }
         };
-        job(); // outside the lock
+        job(); // outside the lock, panics caught by the supervisor
     }
 }
 
@@ -172,7 +251,7 @@ mod tests {
 
     #[test]
     fn executes_submitted_jobs() {
-        let pool = WorkerPool::new(2, 8);
+        let pool = WorkerPool::new(2, 8).unwrap();
         let counter = Arc::new(AtomicUsize::new(0));
         let (tx, rx) = mpsc::channel();
         for _ in 0..8 {
@@ -193,7 +272,7 @@ mod tests {
 
     #[test]
     fn rejects_when_queue_full() {
-        let pool = WorkerPool::new(1, 1);
+        let pool = WorkerPool::new(1, 1).unwrap();
         let (gate_tx, gate_rx) = mpsc::channel::<()>();
         let (entered_tx, entered_rx) = mpsc::channel::<()>();
         // Occupy the single worker...
@@ -215,7 +294,7 @@ mod tests {
 
     #[test]
     fn shutdown_drains_queued_jobs() {
-        let pool = WorkerPool::new(1, 16);
+        let pool = WorkerPool::new(1, 16).unwrap();
         let counter = Arc::new(AtomicUsize::new(0));
         for _ in 0..10 {
             let counter = Arc::clone(&counter);
@@ -225,5 +304,52 @@ mod tests {
         }
         pool.shutdown();
         assert_eq!(counter.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn panicking_job_does_not_kill_the_worker() {
+        let hook_fires = Arc::new(AtomicUsize::new(0));
+        let hook_counter = Arc::clone(&hook_fires);
+        let pool = WorkerPool::with_panic_hook(
+            1,
+            16,
+            Some(Arc::new(move || {
+                hook_counter.fetch_add(1, Ordering::SeqCst);
+            })),
+        )
+        .unwrap();
+        let (tx, rx) = mpsc::channel::<&'static str>();
+        // One panicking job, then a normal one on the same (sole) worker.
+        let t1 = tx.clone();
+        pool.submit(Box::new(move || {
+            // The sender dropping on unwind is the observable signal.
+            let _keep = t1;
+            panic!("injected job panic");
+        }));
+        pool.submit(Box::new(move || {
+            tx.send("survived").unwrap();
+        }));
+        assert_eq!(rx.recv_timeout(Duration::from_secs(5)).unwrap(), "survived");
+        assert_eq!(pool.panics_caught(), 1);
+        assert_eq!(pool.respawns(), 1);
+        assert_eq!(hook_fires.load(Ordering::SeqCst), 1);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn respawned_worker_keeps_draining_many_panics() {
+        let pool = WorkerPool::new(2, 64).unwrap();
+        let done = Arc::new(AtomicUsize::new(0));
+        for i in 0..20 {
+            let done = Arc::clone(&done);
+            pool.submit(Box::new(move || {
+                if i % 3 == 0 {
+                    panic!("chaos {i}");
+                }
+                done.fetch_add(1, Ordering::SeqCst);
+            }));
+        }
+        pool.shutdown(); // drains everything despite 7 interleaved panics
+        assert_eq!(done.load(Ordering::SeqCst), 13, "non-panicking jobs ran");
     }
 }

@@ -7,7 +7,8 @@
 //!
 //! * `OK ...` — success (possibly preceded by payload lines),
 //! * `BUSY` — admission control rejected the request (queue full),
-//! * `ERR <message>` — the request failed.
+//! * `ERR <code> <message>` — the request failed; `<code>` is a stable
+//!   machine-readable [`ErrorCode`] spelling (`E_*`), the message free text.
 //!
 //! Grammar:
 //!
@@ -17,9 +18,14 @@
 //! EXPLAIN <graph> <query-path>
 //! STATS
 //! SLEEP <ms>
+//! CHAOS PANIC | BUILDPANIC | DELAY <ms>
 //! PING
 //! QUIT
 //! ```
+//!
+//! `CHAOS` is a fault-injection verb for testing the server's failure
+//! paths; it is refused with `E_CHAOS_DISABLED` unless the server was
+//! started with chaos mode enabled (`--chaos`).
 //!
 //! Payload lines of multi-line responses (`STATS`, `EXPLAIN`) are prefixed
 //! with `STAT ` / `| ` respectively and never start with a terminal word.
@@ -69,10 +75,79 @@ pub enum Request {
         /// How long the worker sleeps.
         ms: u64,
     },
+    /// Inject a fault (chaos-mode only; see [`ChaosCommand`]).
+    Chaos {
+        /// What to break.
+        command: ChaosCommand,
+    },
     /// Liveness probe.
     Ping,
     /// Close the connection.
     Quit,
+}
+
+/// A `CHAOS` sub-command: which failure to inject.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChaosCommand {
+    /// Panic inside a pool worker while handling this request — exercises
+    /// panic isolation, worker respawn, and the dropped-response path.
+    Panic,
+    /// Arm a one-shot flag so the *next* index build panics mid-build —
+    /// exercises build isolation and cache quarantine.
+    BuildPanic,
+    /// Occupy a pool worker for `ms` milliseconds (like `SLEEP`, but
+    /// counted as injected chaos) — a lever for forcing `BUSY` storms.
+    Delay {
+        /// How long the worker stalls.
+        ms: u64,
+    },
+}
+
+/// Stable machine-readable error codes carried on `ERR` lines as the first
+/// token after `ERR`. Clients branch on the code; the trailing message is
+/// for humans.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The request line failed to parse.
+    Parse,
+    /// `MATCH`/`EXPLAIN` named a graph that is not loaded.
+    UnknownGraph,
+    /// The query file failed to load or validate.
+    Query,
+    /// `LOAD` failed to read or parse the graph file.
+    Load,
+    /// The worker handling the request dropped its response channel
+    /// (it panicked mid-request and was respawned).
+    WorkerDropped,
+    /// The index build for this (graph, query) panicked; the request
+    /// failed and the cache key was quarantined.
+    BuildPanic,
+    /// The (graph, query) cache key is quarantined by an earlier build
+    /// panic; re-`LOAD` the graph to clear it.
+    Quarantined,
+    /// A `CHAOS` command arrived but the server runs without `--chaos`.
+    ChaosDisabled,
+}
+
+impl ErrorCode {
+    /// Wire spelling (`E_*`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::Parse => "E_PARSE",
+            ErrorCode::UnknownGraph => "E_UNKNOWN_GRAPH",
+            ErrorCode::Query => "E_QUERY",
+            ErrorCode::Load => "E_LOAD",
+            ErrorCode::WorkerDropped => "E_WORKER_DROPPED",
+            ErrorCode::BuildPanic => "E_BUILD_PANIC",
+            ErrorCode::Quarantined => "E_QUARANTINED",
+            ErrorCode::ChaosDisabled => "E_CHAOS_DISABLED",
+        }
+    }
+
+    /// Formats the terminal `ERR <code> <message>` line.
+    pub fn line(self, message: impl std::fmt::Display) -> String {
+        format!("ERR {} {message}", self.as_str())
+    }
 }
 
 /// A request line that could not be parsed.
@@ -180,6 +255,20 @@ pub fn parse_request(line: &str) -> Result<Option<Request>, ParseError> {
         "SLEEP" => Request::Sleep {
             ms: parse_u64(&mut it, "SLEEP")?,
         },
+        "CHAOS" => {
+            let sub = it
+                .next()
+                .ok_or_else(|| err("CHAOS requires PANIC | BUILDPANIC | DELAY <ms>"))?;
+            let command = match sub.to_ascii_uppercase().as_str() {
+                "PANIC" => ChaosCommand::Panic,
+                "BUILDPANIC" => ChaosCommand::BuildPanic,
+                "DELAY" => ChaosCommand::Delay {
+                    ms: parse_u64(&mut it, "DELAY")?,
+                },
+                other => return Err(err(format!("unknown CHAOS command {other:?}"))),
+            };
+            Request::Chaos { command }
+        }
         "PING" => Request::Ping,
         "QUIT" => Request::Quit,
         other => return Err(err(format!("unknown command {other:?}"))),
@@ -297,5 +386,53 @@ mod tests {
     fn status_spelling() {
         assert_eq!(MatchStatus::Ok.as_str(), "OK");
         assert_eq!(MatchStatus::DeadlineExceeded.as_str(), "DEADLINE_EXCEEDED");
+    }
+
+    #[test]
+    fn parses_chaos_commands() {
+        assert_eq!(
+            parse_request("CHAOS PANIC").unwrap(),
+            Some(Request::Chaos {
+                command: ChaosCommand::Panic
+            })
+        );
+        assert_eq!(
+            parse_request("chaos buildpanic").unwrap(),
+            Some(Request::Chaos {
+                command: ChaosCommand::BuildPanic
+            })
+        );
+        assert_eq!(
+            parse_request("CHAOS DELAY 40").unwrap(),
+            Some(Request::Chaos {
+                command: ChaosCommand::Delay { ms: 40 }
+            })
+        );
+        assert!(parse_request("CHAOS").is_err());
+        assert!(parse_request("CHAOS DELAY").is_err());
+        assert!(parse_request("CHAOS FLOOD").is_err());
+    }
+
+    #[test]
+    fn error_codes_format_err_lines() {
+        assert_eq!(ErrorCode::WorkerDropped.as_str(), "E_WORKER_DROPPED");
+        assert_eq!(
+            ErrorCode::Quarantined.line("index build previously panicked"),
+            "ERR E_QUARANTINED index build previously panicked"
+        );
+        // Every code spells as a single E_* token (clients split on space).
+        for code in [
+            ErrorCode::Parse,
+            ErrorCode::UnknownGraph,
+            ErrorCode::Query,
+            ErrorCode::Load,
+            ErrorCode::WorkerDropped,
+            ErrorCode::BuildPanic,
+            ErrorCode::Quarantined,
+            ErrorCode::ChaosDisabled,
+        ] {
+            assert!(code.as_str().starts_with("E_"));
+            assert!(!code.as_str().contains(' '));
+        }
     }
 }

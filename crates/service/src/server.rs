@@ -21,9 +21,20 @@
 //! [`enumerate_parallel_cancellable`], so enumeration unwinds cooperatively
 //! and the response reports the partial count with
 //! `status=DEADLINE_EXCEEDED`.
+//!
+//! ## Fault tolerance
+//!
+//! * A panicking data-plane job is caught at the pool boundary; the worker
+//!   respawns, the waiting connection gets `ERR E_WORKER_DROPPED`, and the
+//!   `panics_caught` / `worker_drops` counters record it.
+//! * A panicking *index build* additionally quarantines its cache key (see
+//!   [`index_for`]) so the same poisonous request fails fast afterwards.
+//! * The `CHAOS` verb (enabled with [`ServeConfig::chaos`]) injects these
+//!   failures on demand for testing.
 
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
@@ -36,7 +47,7 @@ use ceci_query::{CanonicalQuery, QueryGraph, QueryPlan};
 use crate::cache::{CachedIndex, IndexCache, Probe};
 use crate::metrics::ServerMetrics;
 use crate::pool::{Admission, PoolHandle, WorkerPool};
-use crate::protocol::{parse_request, MatchStatus, Request};
+use crate::protocol::{parse_request, ChaosCommand, ErrorCode, MatchStatus, Request};
 use crate::registry::GraphRegistry;
 
 /// Server configuration.
@@ -57,6 +68,9 @@ pub struct ServeConfig {
     /// BFS-filter worker threads per cache-miss index build (any value
     /// yields a bit-identical index; see `ceci_core::BuildOptions`).
     pub build_threads: usize,
+    /// Enable the `CHAOS` fault-injection verb. Off by default; without it
+    /// `CHAOS` answers `ERR E_CHAOS_DISABLED` and injects nothing.
+    pub chaos: bool,
 }
 
 impl Default for ServeConfig {
@@ -69,6 +83,7 @@ impl Default for ServeConfig {
             default_match_workers: 1,
             max_match_workers: 8,
             build_threads: 1,
+            chaos: false,
         }
     }
 }
@@ -83,6 +98,9 @@ pub struct ServerState {
     pub metrics: ServerMetrics,
     config: ServeConfig,
     stopping: AtomicBool,
+    /// One-shot flag armed by `CHAOS BUILDPANIC`: the next index build
+    /// panics (and is caught, quarantining its cache key).
+    build_panic_armed: AtomicBool,
 }
 
 impl ServerState {
@@ -94,6 +112,7 @@ impl ServerState {
             metrics: ServerMetrics::default(),
             config,
             stopping: AtomicBool::new(false),
+            build_panic_armed: AtomicBool::new(false),
         }
     }
 
@@ -150,13 +169,29 @@ pub fn start(config: ServeConfig) -> std::io::Result<ServerHandle> {
 pub fn start_with_state(state: Arc<ServerState>) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(&state.config.addr)?;
     let addr = listener.local_addr()?;
-    let pool = WorkerPool::new(state.config.pool_workers, state.config.queue_cap);
+    // Every caught pool panic bumps the server metric so STATS shows it.
+    let hook_state = Arc::clone(&state);
+    let pool = WorkerPool::with_panic_hook(
+        state.config.pool_workers,
+        state.config.queue_cap,
+        Some(Arc::new(move || {
+            ServerMetrics::inc(&hook_state.metrics.panics_caught);
+        })),
+    )?;
     let pool_handle = pool.handle();
     let accept_state = Arc::clone(&state);
-    let accept_thread = std::thread::Builder::new()
+    let accept_thread = match std::thread::Builder::new()
         .name("ceci-accept".to_string())
         .spawn(move || accept_loop(&listener, &accept_state, &pool_handle))
-        .expect("spawn accept thread");
+    {
+        Ok(handle) => handle,
+        Err(e) => {
+            // Structured teardown instead of a panic: join the workers we
+            // just spawned, then surface the spawn failure to the caller.
+            pool.shutdown();
+            return Err(e);
+        }
+    };
     Ok(ServerHandle {
         addr,
         state,
@@ -196,7 +231,7 @@ fn serve_connection(
             Ok(Some(r)) => r,
             Err(e) => {
                 ServerMetrics::inc(&state.metrics.errors);
-                respond(&mut writer, &[format!("ERR {e}")])?;
+                respond(&mut writer, &[ErrorCode::Parse.line(e)])?;
                 continue;
             }
         };
@@ -231,39 +266,75 @@ fn dispatch(request: Request, state: &Arc<ServerState>, pool: &PoolHandle) -> Ve
             edge_list,
             directed,
         } => exec_load(state, &name, &path, edge_list, directed),
-        data_plane => {
-            let (tx, rx) = mpsc::channel::<Vec<String>>();
-            let job_state = Arc::clone(state);
-            let admitted = pool.submit(Box::new(move || {
-                let lines = match data_plane {
-                    Request::Match {
-                        graph,
-                        query_path,
-                        limit,
-                        deadline_ms,
-                        workers,
-                    } => exec_match(&job_state, &graph, &query_path, limit, deadline_ms, workers),
-                    Request::Explain { graph, query_path } => {
-                        exec_explain(&job_state, &graph, &query_path)
-                    }
-                    Request::Sleep { ms } => {
-                        std::thread::sleep(Duration::from_millis(ms));
-                        vec![format!("OK SLEPT {ms}")]
-                    }
-                    _ => unreachable!("control-plane request reached the pool"),
-                };
-                let _ = tx.send(lines);
-            }));
-            match admitted {
-                Admission::Rejected => {
-                    ServerMetrics::inc(&state.metrics.rejected_busy);
-                    vec!["BUSY".to_string()]
-                }
-                Admission::Accepted => rx
-                    .recv()
-                    .unwrap_or_else(|_| vec!["ERR worker dropped response".to_string()]),
+        Request::Chaos { command } => exec_chaos(command, state, pool),
+        data_plane => submit_to_pool(state, pool, move |job_state| match data_plane {
+            Request::Match {
+                graph,
+                query_path,
+                limit,
+                deadline_ms,
+                workers,
+            } => exec_match(job_state, &graph, &query_path, limit, deadline_ms, workers),
+            Request::Explain { graph, query_path } => exec_explain(job_state, &graph, &query_path),
+            Request::Sleep { ms } => {
+                std::thread::sleep(Duration::from_millis(ms));
+                vec![format!("OK SLEPT {ms}")]
             }
+            _ => unreachable!("control-plane request reached the pool"),
+        }),
+    }
+}
+
+/// Submits a data-plane job and waits for its response. A worker that
+/// panics mid-job drops the response sender; the supervisor respawns the
+/// worker and this side answers a *typed* error instead of hanging or
+/// leaking a raw string.
+fn submit_to_pool<F>(state: &Arc<ServerState>, pool: &PoolHandle, run: F) -> Vec<String>
+where
+    F: FnOnce(&Arc<ServerState>) -> Vec<String> + Send + 'static,
+{
+    let (tx, rx) = mpsc::channel::<Vec<String>>();
+    let job_state = Arc::clone(state);
+    let admitted = pool.submit(Box::new(move || {
+        let lines = run(&job_state);
+        let _ = tx.send(lines);
+    }));
+    match admitted {
+        Admission::Rejected => {
+            ServerMetrics::inc(&state.metrics.rejected_busy);
+            vec!["BUSY".to_string()]
         }
+        Admission::Accepted => rx.recv().unwrap_or_else(|_| {
+            ServerMetrics::inc(&state.metrics.worker_drops);
+            ServerMetrics::inc(&state.metrics.errors);
+            vec![ErrorCode::WorkerDropped
+                .line("worker panicked while handling this request (worker respawned)")]
+        }),
+    }
+}
+
+/// Executes a `CHAOS` command (chaos mode only). `PANIC` and `DELAY` go
+/// through the pool like real data-plane work so they exercise the same
+/// failure paths a panicking `MATCH` would.
+fn exec_chaos(command: ChaosCommand, state: &Arc<ServerState>, pool: &PoolHandle) -> Vec<String> {
+    if !state.config.chaos {
+        ServerMetrics::inc(&state.metrics.errors);
+        return vec![ErrorCode::ChaosDisabled
+            .line("start the server with --chaos to enable fault injection")];
+    }
+    ServerMetrics::inc(&state.metrics.chaos_injected);
+    match command {
+        ChaosCommand::BuildPanic => {
+            state.build_panic_armed.store(true, Ordering::SeqCst);
+            vec!["OK CHAOS armed=BUILDPANIC".to_string()]
+        }
+        ChaosCommand::Panic => submit_to_pool(state, pool, |_| {
+            panic!("injected CHAOS PANIC in pool worker")
+        }),
+        ChaosCommand::Delay { ms } => submit_to_pool(state, pool, move |_| {
+            std::thread::sleep(Duration::from_millis(ms));
+            vec![format!("OK CHAOS delayed_ms={ms}")]
+        }),
     }
 }
 
@@ -272,6 +343,10 @@ fn exec_stats(state: &ServerState) -> Vec<String> {
         ("graphs_loaded", state.registry.len() as u64),
         ("cache_entries", state.cache.len() as u64),
         ("cache_bytes", state.cache.bytes() as u64),
+        (
+            "cache_quarantined_keys",
+            state.cache.quarantined_len() as u64,
+        ),
     ];
     let mut lines = state.metrics.render(&extra);
     lines.push("OK STATS".to_string());
@@ -293,7 +368,7 @@ fn exec_load(
     match loaded {
         Err(e) => {
             ServerMetrics::inc(&state.metrics.errors);
-            vec![format!("ERR load failed: {e}")]
+            vec![ErrorCode::Load.line(format!("load failed: {e}"))]
         }
         Ok(graph) => {
             let (vertices, edges) = (graph.num_vertices(), graph.num_edges());
@@ -317,19 +392,34 @@ fn load_query(path: &str) -> Result<QueryGraph, String> {
 }
 
 /// Probes the cache; on miss builds plan + CECI (outside any lock) and
-/// inserts. Returns the entry, whether it was a hit, and the build time.
+/// inserts. Returns the entry, whether it was a hit, and the build time —
+/// or the `ERR` response when the key is quarantined or the build panics.
+///
+/// The build runs under `catch_unwind`: a panicking build (bad interaction
+/// between a specific query and graph — or an injected `CHAOS BUILDPANIC`)
+/// answers `ERR E_BUILD_PANIC` and *quarantines* the cache key, so retries
+/// of the same poisonous request fail fast with `E_QUARANTINED` instead of
+/// burning a worker per attempt. Re-`LOAD`ing the graph clears the mark.
 fn index_for(
     state: &ServerState,
     graph_epoch: u64,
     graph: &ceci_graph::Graph,
     query: QueryGraph,
-) -> (Arc<CachedIndex>, bool, Duration) {
+) -> Result<(Arc<CachedIndex>, bool, Duration), Vec<String>> {
     let canonical = CanonicalQuery::of(&query);
     let (probe, cached) = state.cache.get(graph_epoch, &canonical);
     match probe {
         Probe::Hit => {
             ServerMetrics::inc(&state.metrics.cache_hits);
-            return (cached.expect("hit without entry"), true, Duration::ZERO);
+            return Ok((cached.expect("hit without entry"), true, Duration::ZERO));
+        }
+        Probe::Quarantined => {
+            ServerMetrics::inc(&state.metrics.quarantine_hits);
+            ServerMetrics::inc(&state.metrics.errors);
+            return Err(vec![ErrorCode::Quarantined.line(
+                "index build for this (graph, query) previously panicked; \
+                 re-LOAD the graph to clear the quarantine",
+            )]);
         }
         Probe::Miss => ServerMetrics::inc(&state.metrics.cache_misses),
         Probe::Collision => {
@@ -340,15 +430,34 @@ fn index_for(
         }
     }
     let t0 = Instant::now();
-    let plan = Arc::new(QueryPlan::new(query, graph));
-    let ceci = Arc::new(Ceci::build_with(
-        graph,
-        &plan,
-        ceci_core::BuildOptions {
-            threads: state.config.build_threads.max(1),
-            ..Default::default()
-        },
-    ));
+    let armed = state.build_panic_armed.swap(false, Ordering::SeqCst);
+    let build_threads = state.config.build_threads.max(1);
+    let built = catch_unwind(AssertUnwindSafe(move || {
+        if armed {
+            panic!("injected CHAOS BUILDPANIC during index build");
+        }
+        let plan = Arc::new(QueryPlan::new(query, graph));
+        let ceci = Arc::new(Ceci::build_with(
+            graph,
+            &plan,
+            ceci_core::BuildOptions {
+                threads: build_threads,
+                ..Default::default()
+            },
+        ));
+        (plan, ceci)
+    }));
+    let (plan, ceci) = match built {
+        Ok(pair) => pair,
+        Err(_) => {
+            state.cache.quarantine(graph_epoch, &canonical);
+            ServerMetrics::inc(&state.metrics.cache_quarantined);
+            ServerMetrics::inc(&state.metrics.errors);
+            return Err(vec![
+                ErrorCode::BuildPanic.line("index build panicked; the cache key is quarantined")
+            ]);
+        }
+    };
     let build = t0.elapsed();
     state.metrics.build_latency.record(build);
     // Surface the phase split so serve-side build regressions are visible
@@ -376,7 +485,7 @@ fn index_for(
         );
         ServerMetrics::add(&state.metrics.cache_evictions, evicted);
     }
-    (entry, false, build)
+    Ok((entry, false, build))
 }
 
 fn exec_match(
@@ -391,20 +500,23 @@ fn exec_match(
     ServerMetrics::inc(&state.metrics.match_requests);
     let Some(entry) = state.registry.get(graph_name) else {
         ServerMetrics::inc(&state.metrics.errors);
-        return vec![format!("ERR unknown graph {graph_name:?}")];
+        return vec![ErrorCode::UnknownGraph.line(format!("unknown graph {graph_name:?}"))];
     };
     let query = match load_query(query_path) {
         Ok(q) => q,
         Err(e) => {
             ServerMetrics::inc(&state.metrics.errors);
-            return vec![format!("ERR {e}")];
+            return vec![ErrorCode::Query.line(e)];
         }
     };
     // The deadline clock starts when execution starts, not at submission:
     // queue wait is already bounded by admission control.
     let cancel = deadline_ms.map(|ms| CancelToken::after(Duration::from_millis(ms)));
 
-    let (index, cache_hit, build) = index_for(state, entry.epoch, &entry.graph, query);
+    let (index, cache_hit, build) = match index_for(state, entry.epoch, &entry.graph, query) {
+        Ok(built) => built,
+        Err(lines) => return lines,
+    };
 
     let requested = workers.unwrap_or(state.config.default_match_workers);
     let match_workers = requested.clamp(1, state.config.max_match_workers.max(1));
@@ -449,16 +561,19 @@ fn exec_match(
 fn exec_explain(state: &ServerState, graph_name: &str, query_path: &str) -> Vec<String> {
     let Some(entry) = state.registry.get(graph_name) else {
         ServerMetrics::inc(&state.metrics.errors);
-        return vec![format!("ERR unknown graph {graph_name:?}")];
+        return vec![ErrorCode::UnknownGraph.line(format!("unknown graph {graph_name:?}"))];
     };
     let query = match load_query(query_path) {
         Ok(q) => q,
         Err(e) => {
             ServerMetrics::inc(&state.metrics.errors);
-            return vec![format!("ERR {e}")];
+            return vec![ErrorCode::Query.line(e)];
         }
     };
-    let (index, cache_hit, _build) = index_for(state, entry.epoch, &entry.graph, query);
+    let (index, cache_hit, _build) = match index_for(state, entry.epoch, &entry.graph, query) {
+        Ok(built) => built,
+        Err(lines) => return lines,
+    };
     let report = ceci_core::explain_plan(&index.plan, &entry.graph);
     let mut lines: Vec<String> = report.lines().map(|l| format!("| {l}")).collect();
     lines.push(format!(

@@ -308,6 +308,7 @@ fn eight_concurrent_clients_sustained_without_error() {
             clients: 8,
             requests_per_client: 20,
             request: format!("MATCH g {query_path}"),
+            retry: None,
         },
     );
     assert_eq!(report.ok, 8 * 20, "all requests succeed: {report:?}");
