@@ -55,6 +55,7 @@ fn bench_strategies(c: &mut Criterion) {
                         limit: None,
                         collect: false,
                         build_threads: 1,
+                        profile: false,
                     },
                 ))
             });

@@ -43,6 +43,10 @@ EXPERIMENTS:
     faults              Fault-injection sweep: crashes, stragglers, steal
                         loss — asserts bit-identical counts vs fault-free
                         and writes bench_results/faults.json
+    trace               End-to-end trace capture (build/enumerate/distributed)
+                        + tracing-overhead gate (<3% asserted); writes
+                        bench_results/trace.json and trace_chrome.json
+                        (loadable in about:tracing / Perfetto)
     all                 Everything above, in order
 
 OPTIONS:
@@ -157,6 +161,7 @@ fn dispatch(
         "ablation-intersect" => experiments::ablation::run_intersection(scale),
         "physical" => experiments::physical::run(scale),
         "faults" => experiments::faults::run(scale),
+        "trace" => experiments::trace::run(scale),
         "all" => {
             for (name, f) in ALL_EXPERIMENTS {
                 section(name);
@@ -205,5 +210,9 @@ const ALL_EXPERIMENTS: &[(&str, Runner)] = &[
     (
         "Fault injection: exactly-once recovery",
         experiments::faults::run,
+    ),
+    (
+        "Trace capture + tracing-overhead gate",
+        experiments::trace::run,
     ),
 ];

@@ -44,6 +44,7 @@ pub fn run(scale: Scale) {
                 limit: None,
                 collect: false,
                 build_threads: 1,
+                profile: false,
             },
         );
         let min = result.worker_busy.iter().min().copied().unwrap_or_default();

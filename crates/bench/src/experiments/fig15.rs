@@ -43,6 +43,7 @@ pub fn run(scale: Scale) {
                     limit: None,
                     collect: false,
                     build_threads: 1,
+                    profile: false,
                 },
             )
         });

@@ -40,6 +40,7 @@ fn timed_ceci_variant(
             limit: None,
             collect: false,
             build_threads: 1,
+            profile: false,
         },
     );
     (start.elapsed(), result.total_embeddings)

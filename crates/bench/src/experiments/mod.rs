@@ -20,6 +20,7 @@ pub mod physical;
 pub mod queries;
 pub mod table1;
 pub mod table2;
+pub mod trace;
 
 use std::time::Duration;
 

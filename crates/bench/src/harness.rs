@@ -159,6 +159,7 @@ pub fn run_ceci_detail(
             limit,
             collect: false,
             build_threads: 1,
+            profile: false,
         },
     )
 }

@@ -13,6 +13,7 @@
 
 use ceci_graph::{Graph, VertexId};
 use ceci_query::QueryPlan;
+use ceci_trace::DepthProfile;
 
 use std::sync::Arc;
 
@@ -27,6 +28,15 @@ use crate::sink::{CancelToken, EmbeddingSink};
 /// timed-out request unwinds in microseconds, large enough that the deadline
 /// clock stays off the hot path (one `Instant::now()` per 64 calls).
 const CANCEL_CHECK_MASK: u64 = 0x3F;
+
+/// How many *candidates* pass between cooperative cancellation checks inside
+/// a candidate drain. The per-call check above is useless against one
+/// pathological high-degree pivot whose TE list holds millions of vertices:
+/// the recursion enters once and then spends the whole deadline inside a
+/// single drain loop. Checking every 256 drained candidates bounds the
+/// overshoot to microseconds while keeping the clock off the common path
+/// (the tick only advances when a token is attached).
+const DRAIN_CHECK_MASK: u64 = 0xFF;
 
 /// How non-tree edges are checked during enumeration.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -77,6 +87,16 @@ pub struct Enumerator<'a> {
     /// Cooperative cancellation token, polled every [`CANCEL_CHECK_MASK`]+1
     /// recursive calls (per-request deadlines in the serving layer).
     cancel: Option<Arc<CancelToken>>,
+    /// Candidates drained since the last in-drain cancellation poll; only
+    /// advances while a token is attached (see [`DRAIN_CHECK_MASK`]).
+    drain_tick: u64,
+    /// Optional per-depth profile. Preallocated from the matching-order
+    /// length in [`Enumerator::enable_profile`], so attribution inside the
+    /// recursion is pure integer arithmetic plus one stride-sampled clock
+    /// read — zero allocations in the steady state, and it never touches
+    /// [`Counters`], so all exact counters stay bit-identical with
+    /// profiling on or off.
+    profile: Option<Box<DepthProfile>>,
 }
 
 impl<'a> Enumerator<'a> {
@@ -106,6 +126,8 @@ impl<'a> Enumerator<'a> {
             scratch: Vec::new(),
             emission: vec![VertexId(0); n],
             cancel: None,
+            drain_tick: 0,
+            profile: None,
         }
     }
 
@@ -114,6 +136,50 @@ impl<'a> Enumerator<'a> {
     /// trips. Pass `None` to detach.
     pub fn set_cancel(&mut self, token: Option<Arc<CancelToken>>) {
         self.cancel = token;
+    }
+
+    /// Attaches a fresh per-depth profile preallocated from the matching
+    /// order (one [`ceci_trace::DepthStat`] slot per query node). The
+    /// recursion then attributes exact candidate fan-out / intersection-op /
+    /// backtrack counts and stride-sampled wall time to each depth without
+    /// allocating.
+    pub fn enable_profile(&mut self) {
+        let mut p = Box::new(DepthProfile::new(self.plan.matching_order().len()));
+        p.arm_clock();
+        self.profile = Some(p);
+    }
+
+    /// Attaches (or detaches, with `None`) an existing profile — used by the
+    /// parallel loops to keep one preallocated profile per worker.
+    pub fn set_profile(&mut self, profile: Option<Box<DepthProfile>>) {
+        self.profile = profile;
+        if let Some(p) = self.profile.as_deref_mut() {
+            p.arm_clock();
+        }
+    }
+
+    /// Detaches and returns the accumulated profile, if any.
+    pub fn take_profile(&mut self) -> Option<Box<DepthProfile>> {
+        self.profile.take()
+    }
+
+    /// The attached profile, if any.
+    pub fn profile(&self) -> Option<&DepthProfile> {
+        self.profile.as_deref()
+    }
+
+    /// In-drain cooperative cancellation poll: advances the drain tick and
+    /// checks the token every [`DRAIN_CHECK_MASK`]+1 candidates. Costs one
+    /// predictable branch when no token is attached.
+    #[inline]
+    fn drain_cancelled(&mut self) -> bool {
+        if let Some(token) = &self.cancel {
+            self.drain_tick = self.drain_tick.wrapping_add(1);
+            if self.drain_tick & DRAIN_CHECK_MASK == 0 {
+                return token.is_cancelled();
+            }
+        }
+        false
     }
 
     /// Enumerates all embeddings in the cluster of `pivot`. Returns `false`
@@ -202,6 +268,9 @@ impl<'a> Enumerator<'a> {
                 }
             }
         }
+        if let Some(p) = self.profile.as_deref_mut() {
+            p.on_call(depth);
+        }
         // Detach the reference fields from `self` so candidate lists borrowed
         // from the index don't pin the whole enumerator.
         let (graph, plan, ceci) = (self.graph, self.plan, self.ceci);
@@ -215,6 +284,8 @@ impl<'a> Enumerator<'a> {
 
         // Gather matching nodes into this depth's buffer.
         let mut buffer = std::mem::take(&mut self.buffers[depth]);
+        let ops_before = counters.intersection_ops;
+        let mut gather_cancelled = false;
         match self.options.verify {
             VerifyMode::Intersection => {
                 let nte_tables = ceci.nte(u);
@@ -250,6 +321,12 @@ impl<'a> Enumerator<'a> {
             VerifyMode::EdgeVerification => {
                 buffer.clear();
                 'cand: for &v in te_list {
+                    // A single huge TE list can hold the recursion here for
+                    // the rest of the deadline; poll inside the gather too.
+                    if self.drain_cancelled() {
+                        gather_cancelled = true;
+                        break 'cand;
+                    }
                     for un in plan.backward_nte(u) {
                         let image = self.mapping[un.index()].expect("NTE parent assigned");
                         counters.edge_verifications += 1;
@@ -262,9 +339,35 @@ impl<'a> Enumerator<'a> {
             }
         }
 
+        if let Some(p) = self.profile.as_deref_mut() {
+            p.on_expand(
+                depth,
+                buffer.len() as u64,
+                counters.intersection_ops - ops_before,
+            );
+        }
+        if gather_cancelled {
+            self.buffers[depth] = buffer;
+            return false;
+        }
+
         let mut keep_going = true;
         let last = depth + 1 == order.len();
+        // Batched profile attribution: the drain loop below is the hottest
+        // code in the engine, so per-candidate profile hooks would deref the
+        // boxed profile millions of times. Accumulate in stack locals and
+        // flush once after the loop (on every exit path).
+        let mut emitted_here = 0u64;
+        let mut backtracks_here = 0u64;
         for &v in &buffer {
+            // In-drain cancellation poll: the intersection above may have
+            // produced millions of candidates for one pathological pivot,
+            // and the per-call poll would not fire again until the *next*
+            // recursive call.
+            if self.drain_cancelled() {
+                keep_going = false;
+                break;
+            }
             if self.used.contains(v) {
                 counters.injectivity_rejections += 1;
                 continue;
@@ -277,15 +380,20 @@ impl<'a> Enumerator<'a> {
             self.used.insert(v);
             keep_going = if last {
                 counters.embeddings += 1;
+                emitted_here += 1;
                 self.emit(sink)
             } else {
                 self.search(depth + 1, sink, counters)
             };
             self.mapping[u.index()] = None;
             self.used.remove(v);
+            backtracks_here += 1;
             if !keep_going {
                 break;
             }
+        }
+        if let Some(p) = self.profile.as_deref_mut() {
+            p.on_drain(depth, emitted_here, backtracks_here);
         }
         self.buffers[depth] = buffer;
         keep_going
@@ -600,6 +708,131 @@ mod tests {
         }
         assert!(stopped, "periodic check must trip inside the recursion");
         assert!(sink.count() < total);
+    }
+
+    #[test]
+    fn drain_cancel_bounds_pathological_pivot() {
+        use crate::sink::CancelToken;
+        use ceci_graph::vid;
+        use ceci_query::QueryGraph;
+        use std::time::{Duration, Instant};
+
+        // One hub with 200k leaves and a single-edge query: the hub cluster
+        // is ONE recursive call whose candidate buffer holds every leaf, so
+        // the per-call cancellation check never fires again — only the
+        // in-drain stride check can stop it.
+        const N: u32 = 20_000;
+        let edges: Vec<_> = (1..=N).map(|i| (vid(0), vid(i))).collect();
+        let graph = Graph::unlabeled((N + 1) as usize, &edges);
+        let query = QueryGraph::unlabeled(2, &[(0, 1)]).unwrap();
+        let plan = QueryPlan::new(query, &graph);
+        let ceci = Ceci::build(&graph, &plan);
+        let hub = ceci
+            .pivots()
+            .iter()
+            .map(|&(p, _)| p)
+            .find(|&p| p == vid(0))
+            .expect("hub is a pivot");
+
+        // Pre-expired deadline: the drain must stop within one stride.
+        let token = CancelToken::after(Duration::ZERO);
+        let mut e = Enumerator::new(&graph, &plan, &ceci, EnumOptions::default());
+        e.set_cancel(Some(token));
+        let mut counters = Counters::default();
+        let mut sink = CountSink::unbounded();
+        let t0 = Instant::now();
+        let keep_going = e.enumerate_cluster(hub, &mut sink, &mut counters);
+        let overshoot = t0.elapsed();
+        assert!(!keep_going, "expired deadline must stop the drain");
+        assert!(
+            sink.count() <= DRAIN_CHECK_MASK + 2,
+            "drain must stop within one stride, emitted {}",
+            sink.count()
+        );
+        assert!(
+            overshoot < Duration::from_millis(10),
+            "deadline overshoot {overshoot:?} ≥ 10ms"
+        );
+    }
+
+    #[test]
+    fn drain_cancel_stops_edge_verification_gather() {
+        use crate::sink::CancelToken;
+        use ceci_graph::vid;
+        use ceci_query::PaperQuery;
+
+        // Hub fan + ring without NTE tables: the gather loop verifies edges
+        // for every TE candidate and must poll the token while doing so.
+        let mut edges = Vec::new();
+        for i in 1..=2000u32 {
+            edges.push((vid(0), vid(i)));
+        }
+        for i in 1..2000u32 {
+            edges.push((vid(i), vid(i + 1)));
+        }
+        let graph = Graph::unlabeled(2001, &edges);
+        let plan = QueryPlan::new(PaperQuery::Qg1.build(), &graph);
+        let ceci = Ceci::build_with(
+            &graph,
+            &plan,
+            BuildOptions {
+                build_nte: false,
+                refine: true,
+                ..BuildOptions::default()
+            },
+        );
+        let token = CancelToken::new();
+        token.cancel();
+        let mut e = Enumerator::new(
+            &graph,
+            &plan,
+            &ceci,
+            EnumOptions {
+                verify: VerifyMode::EdgeVerification,
+                ..Default::default()
+            },
+        );
+        e.set_cancel(Some(token));
+        let mut counters = Counters::default();
+        let mut sink = CountSink::unbounded();
+        let mut stopped = false;
+        for &(pivot, _) in ceci.pivots() {
+            if !e.enumerate_cluster(pivot, &mut sink, &mut counters) {
+                stopped = true;
+                break;
+            }
+        }
+        assert!(stopped, "gather loop must observe the cancelled token");
+    }
+
+    #[test]
+    fn profile_attribution_is_exact_and_free() {
+        let (graph, plan, ceci) = setup();
+
+        // Baseline without a profile.
+        let mut base_sink = CountSink::unbounded();
+        let base =
+            enumerate_sequential(&graph, &plan, &ceci, EnumOptions::default(), &mut base_sink);
+
+        // Profiled run: counters must be bit-identical, and the per-depth
+        // exact counters must sum to the global ones.
+        let mut e = Enumerator::new(&graph, &plan, &ceci, EnumOptions::default());
+        e.enable_profile();
+        let mut counters = Counters::default();
+        let mut sink = CountSink::unbounded();
+        for &(pivot, _) in ceci.pivots() {
+            assert!(e.enumerate_cluster(pivot, &mut sink, &mut counters));
+        }
+        assert_eq!(counters, base);
+        assert_eq!(sink.count(), base_sink.count());
+
+        let profile = e.take_profile().expect("profile attached");
+        assert_eq!(profile.len(), plan.matching_order().len());
+        assert_eq!(profile.total_intersections(), counters.intersection_ops);
+        assert_eq!(profile.total_emitted(), counters.embeddings);
+        // Depth 0 is seeded by the pivot prefix, not a recursive call.
+        assert_eq!(profile.total_calls(), counters.recursive_calls);
+        assert_eq!(profile.depths()[0].calls, 0);
     }
 
     #[test]

@@ -12,6 +12,54 @@ use ceci_graph::{Graph, VertexId};
 use ceci_query::QueryPlan;
 
 use crate::index::Ceci;
+use crate::metrics::Counters;
+use ceci_trace::DepthProfile;
+
+/// Renders a per-matching-order-depth enumeration profile (the
+/// `EXPLAIN ANALYZE` table) as machine-parseable `key=value` rows plus a
+/// totals row carrying the run's exact global [`Counters`]. Per-depth
+/// `isect` values are exact op counts, so their sum always equals
+/// `intersection_ops` in the totals row.
+pub fn explain_profile(plan: &QueryPlan, profile: &DepthProfile, counters: &Counters) -> String {
+    let order = plan.matching_order();
+    let mut out = String::new();
+    let total_time = profile.total_time_ns().max(1);
+    for (d, s) in profile.depths().iter().enumerate() {
+        let node = order
+            .get(d)
+            .map(|u| format!("u{u}"))
+            .unwrap_or_else(|| "-".into());
+        let _ = writeln!(
+            out,
+            "depth={d} node={node} calls={} cand={} isect={} emit={} back={} time_us={} samples={} time_pct={:.1}",
+            s.calls,
+            s.candidates,
+            s.intersections,
+            s.emitted,
+            s.backtracks,
+            s.time_ns / 1_000,
+            s.samples,
+            s.time_ns as f64 * 100.0 / total_time as f64,
+        );
+    }
+    let _ = writeln!(
+        out,
+        "totals depths={} calls={} cand={} isect={} emit={} sampled_us={} recursive_calls={} intersection_ops={} edge_verifications={} embeddings={} injectivity_rejections={} symmetry_rejections={}",
+        profile.len(),
+        profile.total_calls(),
+        profile.total_candidates(),
+        profile.total_intersections(),
+        profile.total_emitted(),
+        profile.total_time_ns() / 1_000,
+        counters.recursive_calls,
+        counters.intersection_ops,
+        counters.edge_verifications,
+        counters.embeddings,
+        counters.injectivity_rejections,
+        counters.symmetry_rejections,
+    );
+    out
+}
 
 /// Renders the preprocessing decisions of a plan.
 pub fn explain_plan(plan: &QueryPlan, graph: &Graph) -> String {

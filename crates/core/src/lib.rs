@@ -45,10 +45,10 @@ pub use enumerate::{
     Enumerator, VerifyMode,
 };
 pub use estimate::{estimate_embeddings, Estimate, EstimateOptions};
-pub use explain::{cluster_skew, explain_index, explain_plan, ClusterSkew};
+pub use explain::{cluster_skew, explain_index, explain_plan, explain_profile, ClusterSkew};
 pub use extreme::{decompose, decompose_with, WorkUnit};
 pub use filter::{bfs_filter, bfs_filter_from, bfs_filter_from_with, BuilderState, FilterProfile};
-pub use index::{BuildOptions, BuildStats, Ceci};
+pub use index::{record_build_spans, BuildOptions, BuildStats, Ceci};
 pub use intersect::Kernel;
 pub use metrics::{Counters, Phase, PhaseSpan, PhaseTimeline};
 pub use parallel::{
@@ -58,3 +58,7 @@ pub use parallel::{
 pub use sink::{
     canonicalize, CancelToken, CollectSink, CountSink, DeadlineSink, EmbeddingSink, SharedBudget,
 };
+
+// Re-exported so downstream crates profile enumeration without depending on
+// `ceci-trace` directly.
+pub use ceci_trace::{DepthProfile, DepthStat};

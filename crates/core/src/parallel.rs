@@ -96,6 +96,12 @@ pub struct ParallelOptions {
     /// layer). Enumeration itself is governed by `workers`; this knob is
     /// plumbed into [`crate::BuildOptions::threads`].
     pub build_threads: usize,
+    /// Attach a per-depth [`crate::DepthProfile`] to every worker and merge
+    /// them into [`ParallelResult::profile`]. Profiles are preallocated from
+    /// the matching order before the workers start, so enabling this adds no
+    /// allocations to the steady-state recursion and never perturbs the
+    /// exact [`Counters`].
+    pub profile: bool,
 }
 
 impl Default for ParallelOptions {
@@ -108,6 +114,7 @@ impl Default for ParallelOptions {
             limit: None,
             collect: false,
             build_threads: 1,
+            profile: false,
         }
     }
 }
@@ -133,6 +140,9 @@ pub struct ParallelResult {
     /// `true` if the run was cut short by a [`CancelToken`] (explicit cancel
     /// or deadline). Counts/embeddings are then a valid partial result.
     pub cancelled: bool,
+    /// Merged per-depth profile across workers (when
+    /// [`ParallelOptions::profile`] was set).
+    pub profile: Option<crate::DepthProfile>,
 }
 
 impl ParallelResult {
@@ -232,7 +242,13 @@ pub fn enumerate_parallel_cancellable(
     // "equal number of embedding clusters to each worker" with no pulling.
     let workers = options.workers;
     let t1 = Instant::now();
-    let results: Vec<(Counters, Duration, Vec<Vec<VertexId>>)> = scoped_workers(workers, |w| {
+    type WorkerOut = (
+        Counters,
+        Duration,
+        Vec<Vec<VertexId>>,
+        Option<Box<crate::DepthProfile>>,
+    );
+    let results: Vec<WorkerOut> = scoped_workers(workers, |w| {
         let units = &units;
         let budget = budget.clone();
         let cancel = cancel.clone();
@@ -241,6 +257,9 @@ pub fn enumerate_parallel_cancellable(
         let mut collected: Vec<Vec<VertexId>> = Vec::new();
         let mut enumerator = Enumerator::new(graph, plan, ceci, enum_opts);
         enumerator.set_cancel(cancel.clone());
+        if options.profile {
+            enumerator.enable_profile();
+        }
         let stop_now = |budget: &SharedBudget| budget.stopped() || is_cancelled(cancel.as_deref());
         if matches!(options.strategy, Strategy::Static) {
             // Static pre-assignment: worker w owns units w, w+k, ...
@@ -283,17 +302,24 @@ pub fn enumerate_parallel_cancellable(
                 busy += start.elapsed();
             }
         }
-        (counters, busy, collected)
+        (counters, busy, collected, enumerator.take_profile())
     });
     let enumerate_time = t1.elapsed();
 
     let mut counters = Counters::default();
     let mut worker_busy = Vec::with_capacity(workers);
     let mut all: Vec<Vec<VertexId>> = Vec::new();
-    for (c, busy, collected) in results {
+    let mut profile: Option<crate::DepthProfile> = None;
+    for (c, busy, collected, worker_profile) in results {
         counters.merge(&c);
         worker_busy.push(busy);
         all.extend(collected);
+        if let Some(p) = worker_profile {
+            match profile.as_mut() {
+                Some(merged) => merged.merge(&p),
+                None => profile = Some(*p),
+            }
+        }
     }
     let embeddings = if options.collect {
         all.sort();
@@ -313,6 +339,7 @@ pub fn enumerate_parallel_cancellable(
         enumerate_time,
         embeddings,
         cancelled: is_cancelled(cancel.as_deref()),
+        profile,
     }
 }
 

@@ -28,7 +28,8 @@ pub mod run;
 pub use config::{ClusterConfig, CostModel, StorageMode};
 pub use fault::{CrashFault, FaultPlan, StragglerFault};
 pub use partition::{distribute_pivots, jaccard, workload_estimate, Partition};
-pub use physical::{extract_fragment, run_physical, Fragment, PhysicalResult};
+pub use physical::{extract_fragment, run_physical, run_physical_traced, Fragment, PhysicalResult};
 pub use run::{
-    run_distributed, run_distributed_with_faults, DistributedResult, MachineReport, RecoveryStats,
+    run_distributed, run_distributed_traced, run_distributed_with_faults, DistributedResult,
+    MachineReport, RecoveryStats,
 };

@@ -191,6 +191,62 @@ pub fn run_physical(full: &Graph, plan: &QueryPlan, config: &ClusterConfig) -> P
     run_physical_with_fault(full, plan, config, None)
 }
 
+/// [`run_physical`] that additionally records a per-machine span timeline
+/// (`distributed.machine{m}` with `physical.extract` / `physical.match`
+/// children) into `tracer`. Spans are reconstructed post-hoc from the
+/// per-machine reports, so the run itself pays zero tracing cost.
+pub fn run_physical_traced(
+    full: &Graph,
+    plan: &QueryPlan,
+    config: &ClusterConfig,
+    tracer: &ceci_trace::Tracer,
+) -> PhysicalResult {
+    let result = run_physical(full, plan, config);
+    for r in &result.reports {
+        let extract = r.extract_time.as_nanos() as u64;
+        let matching = r.match_time.as_nanos() as u64;
+        let machine = tracer.next_span_id();
+        tracer.record(ceci_trace::SpanRecord {
+            id: machine,
+            parent: 0,
+            name: "distributed.machine",
+            index: Some(r.machine as u32),
+            cat: "physical",
+            ts_ns: 0,
+            dur_ns: (extract + matching).max(1),
+            tid: r.machine as u32,
+            args: vec![
+                ("pivots", r.pivots as u64),
+                ("embeddings", r.embeddings),
+                ("edge_permille", (r.edge_fraction * 1000.0) as u64),
+            ],
+        });
+        tracer.record(ceci_trace::SpanRecord {
+            id: tracer.next_span_id(),
+            parent: machine,
+            name: "physical.extract",
+            index: Some(r.machine as u32),
+            cat: "physical",
+            ts_ns: 0,
+            dur_ns: extract.max(1),
+            tid: r.machine as u32,
+            args: Vec::new(),
+        });
+        tracer.record(ceci_trace::SpanRecord {
+            id: tracer.next_span_id(),
+            parent: machine,
+            name: "physical.match",
+            index: Some(r.machine as u32),
+            cat: "physical",
+            ts_ns: extract,
+            dur_ns: matching.max(1),
+            tid: r.machine as u32,
+            args: Vec::new(),
+        });
+    }
+    result
+}
+
 /// [`run_physical`] with an injected fragment-machine panic: when
 /// `panic_machine` is `Some(m)`, machine `m`'s thread panics before doing
 /// any work, exercising the coordinator's recovery path. Exposed for the

@@ -56,6 +56,7 @@ use ceci_core::metrics::{Counters, ThreadTimer};
 use ceci_core::{BuildOptions, CancelToken, Ceci, EnumOptions, Enumerator};
 use ceci_graph::{Graph, VertexId};
 use ceci_query::QueryPlan;
+use ceci_trace::{LocalSpans, SpanRecord, Tracer};
 use parking_lot::Mutex;
 
 use crate::config::{ClusterConfig, CostModel, StorageMode};
@@ -414,6 +415,24 @@ pub fn run_distributed_with_faults(
     config: &ClusterConfig,
     faults: Option<&FaultPlan>,
 ) -> DistributedResult {
+    run_distributed_traced(graph, plan, config, faults, None)
+}
+
+/// [`run_distributed_with_faults`] with an optional [`Tracer`] that records
+/// a per-machine timeline: `distributed.machine{m}` summary spans plus
+/// scatter / steal / commit / crash / re-scatter instant events, all
+/// timestamped on the simulation's **virtual clock** (the same
+/// deterministic clock the fault plan uses to trigger crashes). Tracing a
+/// fault-free run advances the virtual clock with a unit-cost plan so the
+/// timeline is still meaningful; this never changes counts, fault behavior,
+/// or recovery accounting.
+pub fn run_distributed_traced(
+    graph: &Graph,
+    plan: &QueryPlan,
+    config: &ClusterConfig,
+    faults: Option<&FaultPlan>,
+    tracer: Option<&Tracer>,
+) -> DistributedResult {
     assert!(config.machines >= 1 && config.threads_per_machine >= 1);
     if let Some(f) = faults {
         if let Err(e) = f.validate(config.machines) {
@@ -423,6 +442,10 @@ pub fn run_distributed_with_faults(
     // A no-op plan is exactly a fault-free run; normalize so the worker
     // loops take the lean path.
     let faults = faults.filter(|f| !f.is_noop());
+    // Virtual-clock source for traced fault-free runs (slowdown 1, no
+    // crashes): keeps `distributed.*` event timestamps meaningful without
+    // enabling any fault machinery.
+    let clock_plan = FaultPlan::new(0);
 
     let wall_start = Instant::now();
     let pivots = plan.initial_candidates(plan.root()).to_vec();
@@ -444,6 +467,19 @@ pub fn run_distributed_with_faults(
     // per pivot.
     for (i, p) in partition.assignment.iter().enumerate() {
         ledgers[i].charge_comm(costs.msg_latency + costs.per_pivot_comm * p.len() as u32);
+        if let Some(t) = tracer {
+            t.record(SpanRecord {
+                id: t.next_span_id(),
+                parent: 0,
+                name: "distributed.scatter",
+                index: Some(i as u32),
+                cat: "distributed",
+                ts_ns: 0,
+                dur_ns: 0,
+                tid: i as u32,
+                args: vec![("pivots", p.len() as u64)],
+            });
+        }
     }
 
     let mut reports: Vec<MachineReport> = Vec::with_capacity(m);
@@ -455,6 +491,7 @@ pub fn run_distributed_with_faults(
             let partition = &partition;
             let board = &board;
             let states = &states;
+            let clock_plan = &clock_plan;
             handles.push(scope.spawn(move || {
                 run_machine(
                     graph,
@@ -467,6 +504,8 @@ pub fn run_distributed_with_faults(
                     board,
                     states,
                     faults,
+                    tracer,
+                    clock_plan,
                 )
             }));
         }
@@ -525,6 +564,7 @@ fn rescatter_dead_machine(
     states: &[MachineState],
     ledgers: &[Ledger],
     costs: &CostModel,
+    tracer: Option<&Tracer>,
 ) {
     // Drop the dead machine's queued work so thieves can't pick up stale
     // pivots from its queue (the board re-scatter below re-homes them).
@@ -549,6 +589,19 @@ fn rescatter_dead_machine(
         }
         let target = survivors[bi];
         board.transfer(batch, target);
+        if let Some(t) = tracer {
+            t.record(SpanRecord {
+                id: t.next_span_id(),
+                parent: 0,
+                name: "distributed.rescatter",
+                index: Some(dead as u32),
+                cat: "distributed",
+                ts_ns: states[dead].virt_nanos.load(Ordering::Relaxed),
+                dur_ns: 0,
+                tid: dead as u32,
+                args: vec![("target", target as u64), ("pivots", batch.len() as u64)],
+            });
+        }
         let charge = costs.msg_latency + costs.per_pivot_comm * batch.len() as u32;
         ledgers[target].charge_comm(charge);
         states[target]
@@ -600,11 +653,18 @@ fn run_machine(
     board: &ResultBoard,
     states: &[MachineState],
     faults: Option<&FaultPlan>,
+    tracer: Option<&Tracer>,
+    clock_plan: &FaultPlan,
 ) -> MachineReport {
     let costs = config.costs;
     let ledger = &ledgers[machine];
     let state = &states[machine];
     let crash_at = faults.and_then(|f| f.crash_nanos_for(machine));
+    // Reserve the machine's summary-span id up front so worker events can
+    // parent onto it even though the span itself (whose duration is the
+    // final virtual clock) is recorded last.
+    let machine_span = tracer.map(|t| t.next_span_id()).unwrap_or(0);
+    let track_virt = faults.is_some() || tracer.is_some();
     // Build the machine-local CECI over the assigned pivots.
     let t0 = Instant::now();
     let local_ceci = Ceci::build_for_pivots(graph, plan, BuildOptions::default(), {
@@ -640,6 +700,9 @@ fn run_machine(
             handles.push(scope.spawn(move || {
                 let mut counters = Counters::default();
                 let mut busy = Duration::ZERO;
+                // Worker-local span buffer: pushes are plain vector appends;
+                // the shared store is touched once, at thread exit.
+                let mut spans = tracer.map(|_| LocalSpans::new(1 << 14));
                 let mut enumerator =
                     Enumerator::new(graph, plan, local_ceci, EnumOptions::default());
                 if faults.is_some() {
@@ -660,7 +723,23 @@ fn run_machine(
                         Some(p) => Some(p),
                         None => {
                             let stolen_pivot = if config.work_stealing {
-                                steal(queues, machine, board, state, faults, ledger, &costs)
+                                let got =
+                                    steal(queues, machine, board, state, faults, ledger, &costs);
+                                if let (Some(p), Some(t), Some(buf)) = (got, tracer, spans.as_mut())
+                                {
+                                    buf.push(SpanRecord {
+                                        id: t.next_span_id(),
+                                        parent: machine_span,
+                                        name: "distributed.steal",
+                                        index: Some(machine as u32),
+                                        cat: "distributed",
+                                        ts_ns: state.virt_nanos.load(Ordering::Relaxed),
+                                        dur_ns: 0,
+                                        tid: machine as u32,
+                                        args: vec![("pivot", p.0 as u64)],
+                                    });
+                                }
+                                got
                             } else {
                                 None
                             };
@@ -751,9 +830,10 @@ fn run_machine(
                     // Advance the deterministic virtual-progress clock and
                     // trigger the crash if this completion crosses the
                     // plan's crash point. The crossing cluster is lost.
-                    if let Some(f) = faults {
+                    if track_virt {
                         let estimate = workload_estimate(graph, pivot, config);
-                        let (work, straggle) = f.virtual_work_nanos(machine, estimate);
+                        let clock = faults.unwrap_or(clock_plan);
+                        let (work, straggle) = clock.virtual_work_nanos(machine, estimate);
                         state.straggle_nanos.fetch_add(straggle, Ordering::Relaxed);
                         let now = state.virt_nanos.fetch_add(work, Ordering::Relaxed) + work;
                         if let Some(crash) = crash_at {
@@ -762,18 +842,35 @@ fn run_machine(
                                     // First crossing wins: kill the machine,
                                     // cancel siblings, re-scatter orphans.
                                     state.cancel.cancel();
+                                    if let (Some(t), Some(buf)) = (tracer, spans.as_mut()) {
+                                        buf.push(SpanRecord {
+                                            id: t.next_span_id(),
+                                            parent: machine_span,
+                                            name: "distributed.crash",
+                                            index: Some(machine as u32),
+                                            cat: "distributed",
+                                            ts_ns: now,
+                                            dur_ns: 0,
+                                            tid: machine as u32,
+                                            args: vec![("crash_at_ns", crash)],
+                                        });
+                                    }
                                     rescatter_dead_machine(
-                                        machine, board, queues, states, ledgers, &costs,
+                                        machine, board, queues, states, ledgers, &costs, tracer,
                                     );
                                 }
                                 state.lost.fetch_add(1, Ordering::Relaxed);
+                                if let (Some(t), Some(buf)) = (tracer, spans.as_mut()) {
+                                    buf.flush(t);
+                                }
                                 break;
                             }
                         }
                     }
                     match outcome {
                         Some(count) => {
-                            if board.commit(pivot, epoch, count) {
+                            let accepted = board.commit(pivot, epoch, count);
+                            if accepted {
                                 committed_sum.fetch_add(count, Ordering::Relaxed);
                                 if speculative_epoch.is_some() || epoch > 0 {
                                     state.reexecuted.fetch_add(1, Ordering::Relaxed);
@@ -781,15 +878,40 @@ fn run_machine(
                             } else {
                                 state.commits_rejected.fetch_add(1, Ordering::Relaxed);
                             }
+                            if let (Some(t), Some(buf)) = (tracer, spans.as_mut()) {
+                                buf.push(SpanRecord {
+                                    id: t.next_span_id(),
+                                    parent: machine_span,
+                                    name: "distributed.commit",
+                                    index: Some(machine as u32),
+                                    cat: "distributed",
+                                    ts_ns: state.virt_nanos.load(Ordering::Relaxed),
+                                    dur_ns: 0,
+                                    tid: machine as u32,
+                                    args: vec![
+                                        ("pivot", pivot.0 as u64),
+                                        ("count", count),
+                                        ("epoch", epoch as u64),
+                                        ("accepted", accepted as u64),
+                                        ("speculative", speculative_epoch.is_some() as u64),
+                                    ],
+                                });
+                            }
                         }
                         None => {
                             // Cancelled mid-cluster: the machine died under
                             // us. Discard the partial count; the re-scatter
                             // already re-homed this pivot under a new epoch.
                             state.lost.fetch_add(1, Ordering::Relaxed);
+                            if let (Some(t), Some(buf)) = (tracer, spans.as_mut()) {
+                                buf.flush(t);
+                            }
                             break;
                         }
                     }
+                }
+                if let (Some(t), Some(mut buf)) = (tracer, spans) {
+                    buf.flush(t);
                 }
                 (counters, busy)
             }));
@@ -804,6 +926,41 @@ fn run_machine(
     for (c, busy) in thread_outcomes {
         counters.merge(&c);
         enumerate_busy += busy;
+    }
+    if let Some(t) = tracer {
+        // The machine's lane on the virtual-time axis: one summary span from
+        // virtual t=0 to the machine's final virtual clock, with a build
+        // child covering the (wall-clock measured) local index construction.
+        let virt_end = states[machine].virt_nanos.load(Ordering::Relaxed);
+        let build_ns = build_compute.as_nanos() as u64;
+        t.record(SpanRecord {
+            id: machine_span,
+            parent: 0,
+            name: "distributed.machine",
+            index: Some(machine as u32),
+            cat: "distributed",
+            ts_ns: 0,
+            dur_ns: virt_end.max(build_ns).max(1),
+            tid: machine as u32,
+            args: vec![
+                ("processed", processed.load(Ordering::Relaxed)),
+                ("stolen", stolen.load(Ordering::Relaxed)),
+                ("committed", committed_sum.load(Ordering::Relaxed)),
+                ("crashed", state.dead.load(Ordering::Acquire) as u64),
+                ("lost", state.lost.load(Ordering::Relaxed)),
+            ],
+        });
+        t.record(SpanRecord {
+            id: t.next_span_id(),
+            parent: machine_span,
+            name: "distributed.build",
+            index: Some(machine as u32),
+            cat: "distributed",
+            ts_ns: 0,
+            dur_ns: build_ns.max(1),
+            tid: machine as u32,
+            args: vec![("pivots", own_pivots.len() as u64)],
+        });
     }
     MachineReport {
         machine,
@@ -1091,5 +1248,102 @@ mod tests {
             .crash(0, Duration::ZERO)
             .crash(1, Duration::ZERO);
         run_distributed_with_faults(&graph, &plan, &cfg, Some(&fp));
+    }
+
+    #[test]
+    fn traced_run_records_machine_timeline_without_changing_totals() {
+        let graph = test_graph();
+        let plan = QueryPlan::new(PaperQuery::Qg1.build(), &graph);
+        let expected = reference_count(&graph, &plan);
+        let cfg = ClusterConfig {
+            machines: 3,
+            threads_per_machine: 2,
+            ..Default::default()
+        };
+        let tracer = Tracer::new();
+        let result = run_distributed_traced(&graph, &plan, &cfg, None, Some(&tracer));
+        assert_eq!(result.total_embeddings, expected);
+        let spans = tracer.snapshot();
+        assert!(!spans.is_empty());
+        // One summary span per machine, each with a build child.
+        let machines: Vec<_> = spans
+            .iter()
+            .filter(|s| s.name == "distributed.machine")
+            .collect();
+        assert_eq!(machines.len(), cfg.machines);
+        for m in &machines {
+            assert!(
+                spans
+                    .iter()
+                    .any(|s| s.name == "distributed.build" && s.parent == m.id),
+                "machine span {} missing build child",
+                m.id
+            );
+        }
+        // Scatter instants cover every machine, and committed counts recorded
+        // on accepted commit events sum to the run total.
+        let scatters = spans
+            .iter()
+            .filter(|s| s.name == "distributed.scatter")
+            .count();
+        assert_eq!(scatters, cfg.machines);
+        let committed: u64 = spans
+            .iter()
+            .filter(|s| s.name == "distributed.commit")
+            .filter(|s| s.args.iter().any(|&(k, v)| k == "accepted" && v == 1))
+            .map(|s| {
+                s.args
+                    .iter()
+                    .find(|&&(k, _)| k == "count")
+                    .map(|&(_, v)| v)
+                    .unwrap_or(0)
+            })
+            .sum();
+        assert_eq!(committed, expected);
+        // The same run without a tracer is bit-identical on counters.
+        let plain = run_distributed(&graph, &plan, &cfg);
+        let merged_traced = {
+            let mut c = Counters::default();
+            for r in &result.reports {
+                c.merge(&r.counters);
+            }
+            c
+        };
+        let merged_plain = {
+            let mut c = Counters::default();
+            for r in &plain.reports {
+                c.merge(&r.counters);
+            }
+            c
+        };
+        assert_eq!(merged_traced.embeddings, merged_plain.embeddings);
+    }
+
+    #[test]
+    fn traced_crash_run_records_crash_and_rescatter() {
+        let graph = test_graph();
+        let plan = QueryPlan::new(PaperQuery::Qg1.build(), &graph);
+        let expected = reference_count(&graph, &plan);
+        let cfg = ClusterConfig {
+            machines: 3,
+            threads_per_machine: 2,
+            ..Default::default()
+        };
+        let fp = FaultPlan::new(11).crash(1, Duration::from_nanos(1));
+        let tracer = Tracer::new();
+        let result = run_distributed_traced(&graph, &plan, &cfg, Some(&fp), Some(&tracer));
+        assert_eq!(
+            result.total_embeddings, expected,
+            "exactly-once under trace"
+        );
+        let spans = tracer.snapshot();
+        assert!(
+            spans.iter().any(|s| s.name == "distributed.crash"),
+            "crash instant missing"
+        );
+        assert!(
+            spans.iter().any(|s| s.name == "distributed.rescatter"),
+            "rescatter instant missing"
+        );
     }
 }

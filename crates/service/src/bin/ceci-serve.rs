@@ -15,6 +15,10 @@
 //!                        (repeatable)
 //!   --chaos              enable the CHAOS fault-injection verb (testing
 //!                        only; without it CHAOS answers E_CHAOS_DISABLED)
+//!   --trace              record service.request stage spans (queue wait /
+//!                        cache probe / build / enumerate / serialize) into
+//!                        the in-process tracer; surfaced via STATS PROM
+//!                        (ceci_trace_spans gauge) and EXPLAIN ANALYZE
 //! ```
 //!
 //! The server prints one `listening on <addr>` line to stdout once live —
@@ -30,7 +34,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: ceci-serve [--addr HOST:PORT] [--pool-workers N] [--queue-cap N] \
          [--cache-mb N] [--match-workers N] [--max-match-workers N] \
-         [--build-threads N] [--preload NAME=FILE]... [--chaos]"
+         [--build-threads N] [--preload NAME=FILE]... [--chaos] [--trace]"
     );
     exit(2)
 }
@@ -58,6 +62,7 @@ fn main() {
             "--max-match-workers" => config.max_match_workers = num(&mut i).max(1),
             "--build-threads" => config.build_threads = num(&mut i).max(1),
             "--chaos" => config.chaos = true,
+            "--trace" => config.trace = true,
             "--preload" => {
                 let spec = value(&mut i);
                 let Some((name, file)) = spec.split_once('=') else {

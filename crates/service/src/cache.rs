@@ -145,7 +145,10 @@ impl IndexCache {
     /// the byte budget holds. Entries larger than the whole budget are not
     /// cached at all. Returns the number of entries evicted.
     pub fn insert(&self, epoch: u64, entry: CachedIndex) -> u64 {
-        if entry.bytes > self.budget_bytes {
+        // A zero budget disables caching entirely — including zero-byte
+        // entries, which would otherwise slip past the size check and leave
+        // phantom slots a "disabled" cache is documented not to hold.
+        if self.budget_bytes == 0 || entry.bytes > self.budget_bytes {
             return 0; // would evict everything and still not fit
         }
         let stamp = self.tick();
@@ -426,6 +429,52 @@ mod tests {
         );
         assert_eq!(cache.bytes(), 350);
         assert_eq!(cache.evictions(), 2);
+    }
+
+    #[test]
+    fn zero_budget_disables_caching_even_for_zero_byte_entries() {
+        let cache = IndexCache::new(0);
+        let e = entry(0, 0);
+        let canonical = e.canonical.clone();
+        assert_eq!(cache.insert(1, e), 0);
+        assert_eq!(cache.len(), 0, "disabled cache must hold no slots");
+        assert_eq!(cache.bytes(), 0);
+        assert_eq!(cache.get(1, &canonical).0, Probe::Miss);
+    }
+
+    #[test]
+    fn quarantine_then_reload_restores_byte_baseline() {
+        // The full lifecycle the server drives: cached entry → build panic
+        // quarantines the key (bytes drop to zero, nothing leaks) →
+        // re-LOAD bumps the epoch and sweeps the marks → rebuild under the
+        // new epoch hits again with bytes back at the original baseline.
+        let cache = IndexCache::new(1 << 20);
+        let e = entry(0, 4096);
+        let canonical = e.canonical.clone();
+        let baseline = e.bytes;
+        cache.insert(1, e);
+        assert_eq!(cache.bytes(), baseline);
+
+        // Build panic under epoch 1.
+        assert!(cache.quarantine(1, &canonical));
+        assert_eq!(cache.bytes(), 0, "quarantine must release the bytes");
+        assert_eq!(cache.get(1, &canonical).0, Probe::Quarantined);
+        // Insert racing the quarantine must not re-charge the ledger.
+        assert_eq!(cache.insert(1, entry(0, 4096)), 0);
+        assert_eq!(cache.bytes(), 0, "blocked insert must not charge bytes");
+
+        // Re-LOAD: old epoch swept, new epoch rebuilds cleanly.
+        cache.evict_epoch(1);
+        assert_eq!(cache.quarantined_len(), 0);
+        assert_eq!(cache.get(2, &canonical).0, Probe::Miss);
+        cache.insert(2, entry(0, 4096));
+        assert_eq!(cache.get(2, &canonical).0, Probe::Hit);
+        assert_eq!(
+            cache.bytes(),
+            baseline,
+            "bytes must return exactly to the pre-quarantine baseline"
+        );
+        assert_eq!(cache.len(), 1);
     }
 
     #[test]

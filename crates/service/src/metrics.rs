@@ -8,10 +8,44 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
-/// Number of power-of-two latency buckets: bucket `i` counts requests with
-/// latency in `[2^i, 2^(i+1))` microseconds; the last bucket is open-ended.
-/// 2^39 µs ≈ 6.4 days, far beyond any request.
+/// Number of power-of-two latency buckets. Bucket 0 counts requests with
+/// latency in `[0, 2)` microseconds (sub-microsecond requests are real:
+/// cache hits on tiny graphs); bucket `i >= 1` counts `[2^i, 2^(i+1))`;
+/// the last bucket is open-ended. 2^39 µs ≈ 6.4 days, far beyond any
+/// request.
 const BUCKETS: usize = 40;
+
+/// Maps a microsecond latency to its bucket. Total over `0..=u64::MAX`:
+/// `0` and `1` land in bucket 0, `2^k..2^(k+1)-1` lands in bucket `k`
+/// (for `k < BUCKETS-1`), everything from `2^(BUCKETS-1)` up saturates
+/// into the open-ended last bucket.
+#[inline]
+fn bucket_index(us: u64) -> usize {
+    if us < 2 {
+        // Explicit: zero must not be silently aliased to 1 — bucket 0's
+        // range is [0, 2), so both 0 and 1 belong here by definition.
+        0
+    } else {
+        ((63 - us.leading_zeros()) as usize).min(BUCKETS - 1)
+    }
+}
+
+/// Inclusive lower bound of bucket `i` in microseconds.
+#[inline]
+fn bucket_low(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else {
+        1u64 << i
+    }
+}
+
+/// Exclusive upper bound of bucket `i` in microseconds (the last bucket is
+/// open-ended; its nominal bound `2^BUCKETS` is used as the reporting cap).
+#[inline]
+fn bucket_high(i: usize) -> u64 {
+    1u64 << (i + 1)
+}
 
 /// A fixed power-of-two histogram over microseconds. Recording is one atomic
 /// increment; percentiles are estimated as the upper bound of the bucket
@@ -38,8 +72,7 @@ impl LatencyHistogram {
     /// Records one observation.
     pub fn record(&self, latency: Duration) {
         let us = latency.as_micros().min(u64::MAX as u128) as u64;
-        let bucket = (64 - us.max(1).leading_zeros() as usize - 1).min(BUCKETS - 1);
-        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.buckets[bucket_index(us)].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum_us.fetch_add(us, Ordering::Relaxed);
     }
@@ -57,8 +90,16 @@ impl LatencyHistogram {
             .unwrap_or(0)
     }
 
-    /// Upper-bound estimate of the `q`-quantile in microseconds (`q` in
-    /// 0..=1). Returns 0 when empty.
+    /// Estimate of the `q`-quantile in microseconds (`q` in 0..=1).
+    /// Returns 0 when empty.
+    ///
+    /// All quantiles (p50, p99, …) use the *same* rule: find the bucket
+    /// holding the ceil-rank observation, then linearly interpolate within
+    /// it at the rank's midpoint position — `low + (high-low) ·
+    /// (rank - seen - ½)/bucket_count`. A single observation therefore
+    /// reports the bucket midpoint rather than its upper bound (a
+    /// zero-latency-only histogram reports 1 µs, not 2), and p50/p99 are
+    /// mutually consistent instead of mixing bound conventions.
     pub fn quantile_us(&self, q: f64) -> u64 {
         let total = self.count();
         if total == 0 {
@@ -67,12 +108,33 @@ impl LatencyHistogram {
         let rank = ((total as f64) * q.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
         let mut seen = 0u64;
         for (i, b) in self.buckets.iter().enumerate() {
-            seen += b.load(Ordering::Relaxed);
-            if seen >= rank {
-                return 1u64 << (i + 1); // upper bound of bucket i
+            let c = b.load(Ordering::Relaxed);
+            if c == 0 {
+                continue;
             }
+            if seen + c >= rank {
+                let low = bucket_low(i) as f64;
+                let high = bucket_high(i) as f64;
+                let into = ((rank - seen) as f64 - 0.5) / c as f64;
+                return (low + (high - low) * into).round() as u64;
+            }
+            seen += c;
         }
-        1u64 << BUCKETS
+        bucket_high(BUCKETS - 1)
+    }
+
+    /// Cumulative `(upper_bound_us, count ≤ bound)` pairs in Prometheus
+    /// `le` form (the open-ended `+Inf` bucket is implied by `count()`),
+    /// plus the exact sum and count — the inputs
+    /// [`ceci_trace::PromWriter::histogram`] expects.
+    pub fn cumulative_us(&self) -> (Vec<(u64, u64)>, u64, u64) {
+        let mut cum = 0u64;
+        let mut out = Vec::with_capacity(BUCKETS);
+        for (i, b) in self.buckets.iter().enumerate() {
+            cum += b.load(Ordering::Relaxed);
+            out.push((bucket_high(i), cum));
+        }
+        (out, self.sum_us.load(Ordering::Relaxed), self.count())
     }
 }
 
@@ -217,10 +279,12 @@ mod tests {
         }
         assert_eq!(h.count(), 7);
         assert!(h.mean_us() > 0);
-        // p50 falls in the 100 µs region → bucket [64, 128) → bound 128.
-        assert_eq!(h.quantile_us(0.50), 128);
-        // p99 is the 10 ms outlier → bucket [8192, 16384) → bound 16384.
-        assert_eq!(h.quantile_us(0.99), 16384);
+        // p50 rank 4 is the first 100 µs sample: bucket [64, 128) with 3
+        // samples, midpoint-interpolated at (4-3-0.5)/3 → 64 + 64/6 ≈ 75.
+        assert_eq!(h.quantile_us(0.50), 75);
+        // p99 rank 7 is the lone 10 ms outlier: bucket [8192, 16384)
+        // midpoint → 12288.
+        assert_eq!(h.quantile_us(0.99), 12288);
         // Quantiles are monotone.
         assert!(h.quantile_us(0.99) >= h.quantile_us(0.50));
     }
@@ -238,7 +302,79 @@ mod tests {
         let h = LatencyHistogram::default();
         h.record(Duration::ZERO);
         assert_eq!(h.count(), 1);
-        assert_eq!(h.quantile_us(1.0), 2);
+        // Bucket 0 is [0, 2): a zero-only histogram reports the midpoint
+        // 1 µs, not the old upper bound 2 µs.
+        assert_eq!(h.quantile_us(1.0), 1);
+        let (cum, sum, count) = h.cumulative_us();
+        assert_eq!(cum[0], (2, 1));
+        assert_eq!(sum, 0);
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn bucket_boundaries_exhaustive() {
+        // Bucket 0 is [0, 2).
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        // Every power-of-two boundary below the cap: 2^k−1 stays in bucket
+        // k−1, 2^k opens bucket k, 2^k+1 stays there.
+        for k in 1..(BUCKETS - 1) {
+            let p = 1u64 << k;
+            assert_eq!(bucket_index(p - 1), k - 1, "2^{k}-1");
+            assert_eq!(bucket_index(p), k, "2^{k}");
+            assert_eq!(bucket_index(p + 1), k, "2^{k}+1");
+        }
+        // Everything from 2^(BUCKETS-1) up saturates into the last bucket.
+        let top = 1u64 << (BUCKETS - 1);
+        assert_eq!(bucket_index(top - 1), BUCKETS - 2);
+        assert_eq!(bucket_index(top), BUCKETS - 1);
+        assert_eq!(bucket_index(top + 1), BUCKETS - 1);
+        for k in BUCKETS..64 {
+            assert_eq!(bucket_index(1u64 << k), BUCKETS - 1, "2^{k}");
+        }
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+        // Bucket ranges tile [0, ∞): high(i) == low(i+1), starting at 0.
+        assert_eq!(bucket_low(0), 0);
+        for i in 0..BUCKETS - 1 {
+            assert_eq!(bucket_high(i), bucket_low(i + 1));
+        }
+    }
+
+    #[test]
+    fn quantile_interpolation_is_consistent() {
+        // 100 observations of exactly 100 µs: every quantile lands inside
+        // bucket [64, 128) and interpolation is monotone in q.
+        let h = LatencyHistogram::default();
+        for _ in 0..100 {
+            h.record(Duration::from_micros(100));
+        }
+        let p50 = h.quantile_us(0.50);
+        let p90 = h.quantile_us(0.90);
+        let p99 = h.quantile_us(0.99);
+        assert!((64..128).contains(&p50));
+        assert!((64..128).contains(&p99));
+        assert!(p50 <= p90 && p90 <= p99, "{p50} {p90} {p99}");
+        // u64::MAX µs is recorded (saturating cast) into the open bucket
+        // and reported at the cap rather than panicking or wrapping.
+        let h = LatencyHistogram::default();
+        h.record(Duration::from_micros(u64::MAX));
+        assert_eq!(h.count(), 1);
+        assert!(h.quantile_us(1.0) >= 1u64 << (BUCKETS - 1));
+    }
+
+    #[test]
+    fn cumulative_is_monotone_and_totals() {
+        let h = LatencyHistogram::default();
+        for us in [0u64, 1, 3, 900, 1 << 45] {
+            h.record(Duration::from_micros(us));
+        }
+        let (cum, sum, count) = h.cumulative_us();
+        assert_eq!(cum.len(), BUCKETS);
+        assert!(cum.windows(2).all(|w| w[0].1 <= w[1].1));
+        assert_eq!(cum.last().unwrap().1, count);
+        assert_eq!(count, 5);
+        // Recorded values: 0, 1, 3, 900, 1<<45.
+        assert_eq!(sum, 1 + 3 + 900 + (1u64 << 45));
     }
 
     #[test]

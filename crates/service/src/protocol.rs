@@ -15,8 +15,8 @@
 //! ```text
 //! LOAD <name> <path> [EDGELIST] [DIRECTED]
 //! MATCH <graph> <query-path> [LIMIT <k>] [DEADLINE <ms>] [WORKERS <n>]
-//! EXPLAIN <graph> <query-path>
-//! STATS
+//! EXPLAIN <graph> <query-path> [ANALYZE]
+//! STATS [PROM]
 //! SLEEP <ms>
 //! CHAOS PANIC | BUILDPANIC | DELAY <ms>
 //! PING
@@ -65,9 +65,18 @@ pub enum Request {
         graph: String,
         /// Server-side path of the query.
         query_path: String,
+        /// `EXPLAIN ... ANALYZE`: actually run the enumeration with a
+        /// per-depth profile attached and append the `EXPLAIN ANALYZE`
+        /// table (per-depth calls / candidates / intersections / emits /
+        /// backtracks / sampled time).
+        analyze: bool,
     },
     /// Aggregate server metrics.
-    Stats,
+    Stats {
+        /// `STATS PROM`: render the Prometheus text-exposition format
+        /// instead of `STAT <key> <value>` rows.
+        prom: bool,
+    },
     /// Occupy one pool worker for `ms` milliseconds — an operational aid for
     /// probing admission control (and the deterministic lever the
     /// integration tests use to force `BUSY`).
@@ -246,12 +255,29 @@ pub fn parse_request(line: &str) -> Result<Option<Request>, ParseError> {
             let query_path = it
                 .next()
                 .ok_or_else(|| err("EXPLAIN requires <graph> <query-path>"))?;
+            let mut analyze = false;
+            for flag in it {
+                match flag.to_ascii_uppercase().as_str() {
+                    "ANALYZE" => analyze = true,
+                    other => return Err(err(format!("unknown EXPLAIN flag {other:?}"))),
+                }
+            }
             Request::Explain {
                 graph: graph.to_string(),
                 query_path: query_path.to_string(),
+                analyze,
             }
         }
-        "STATS" => Request::Stats,
+        "STATS" => {
+            let mut prom = false;
+            for flag in it {
+                match flag.to_ascii_uppercase().as_str() {
+                    "PROM" => prom = true,
+                    other => return Err(err(format!("unknown STATS flag {other:?}"))),
+                }
+            }
+            Request::Stats { prom }
+        }
         "SLEEP" => Request::Sleep {
             ms: parse_u64(&mut it, "SLEEP")?,
         },
@@ -353,7 +379,15 @@ mod tests {
 
     #[test]
     fn parses_simple_commands() {
-        assert_eq!(parse_request("STATS").unwrap(), Some(Request::Stats));
+        assert_eq!(
+            parse_request("STATS").unwrap(),
+            Some(Request::Stats { prom: false })
+        );
+        assert_eq!(
+            parse_request("stats prom").unwrap(),
+            Some(Request::Stats { prom: true })
+        );
+        assert!(parse_request("STATS BOGUS").is_err());
         assert_eq!(parse_request("ping").unwrap(), Some(Request::Ping));
         assert_eq!(parse_request("QUIT").unwrap(), Some(Request::Quit));
         assert_eq!(
@@ -365,8 +399,18 @@ mod tests {
             Some(Request::Explain {
                 graph: "g".into(),
                 query_path: "q".into(),
+                analyze: false,
             })
         );
+        assert_eq!(
+            parse_request("explain g q analyze").unwrap(),
+            Some(Request::Explain {
+                graph: "g".into(),
+                query_path: "q".into(),
+                analyze: true,
+            })
+        );
+        assert!(parse_request("EXPLAIN g q VERBOSE").is_err());
     }
 
     #[test]

@@ -43,6 +43,7 @@ use std::time::{Duration, Instant};
 use ceci_core::{enumerate_parallel_cancellable, CancelToken, Ceci, ParallelOptions};
 use ceci_graph::io as graph_io;
 use ceci_query::{CanonicalQuery, QueryGraph, QueryPlan};
+use ceci_trace::{PromWriter, Tracer};
 
 use crate::cache::{CachedIndex, IndexCache, Probe};
 use crate::metrics::ServerMetrics;
@@ -71,6 +72,11 @@ pub struct ServeConfig {
     /// Enable the `CHAOS` fault-injection verb. Off by default; without it
     /// `CHAOS` answers `ERR E_CHAOS_DISABLED` and injects nothing.
     pub chaos: bool,
+    /// Record `service.request` span timelines (queue wait → cache probe →
+    /// build → enumerate → serialize) into [`ServerState::tracer`]. Off by
+    /// default: the span store grows with request count, which is fine for
+    /// tests and bounded benchmark runs but not for an unattended server.
+    pub trace: bool,
 }
 
 impl Default for ServeConfig {
@@ -84,6 +90,7 @@ impl Default for ServeConfig {
             max_match_workers: 8,
             build_threads: 1,
             chaos: false,
+            trace: false,
         }
     }
 }
@@ -96,6 +103,9 @@ pub struct ServerState {
     pub cache: IndexCache,
     /// Aggregate counters + latency histograms.
     pub metrics: ServerMetrics,
+    /// `service.request` span store (recording only when
+    /// [`ServeConfig::trace`] is set; always safe to snapshot).
+    pub tracer: Tracer,
     config: ServeConfig,
     stopping: AtomicBool,
     /// One-shot flag armed by `CHAOS BUILDPANIC`: the next index build
@@ -106,10 +116,13 @@ pub struct ServerState {
 impl ServerState {
     /// Builds fresh state from a config.
     pub fn new(config: ServeConfig) -> Self {
+        let tracer = Tracer::new();
+        tracer.set_enabled(config.trace);
         ServerState {
             registry: GraphRegistry::new(),
             cache: IndexCache::new(config.cache_budget_bytes),
             metrics: ServerMetrics::default(),
+            tracer,
             config,
             stopping: AtomicBool::new(false),
             build_panic_armed: AtomicBool::new(false),
@@ -259,7 +272,7 @@ fn dispatch(request: Request, state: &Arc<ServerState>, pool: &PoolHandle) -> Ve
     match request {
         Request::Ping => vec!["OK PONG".to_string()],
         Request::Quit => vec!["OK BYE".to_string()],
-        Request::Stats => exec_stats(state),
+        Request::Stats { prom } => exec_stats(state, prom),
         Request::Load {
             name,
             path,
@@ -267,15 +280,27 @@ fn dispatch(request: Request, state: &Arc<ServerState>, pool: &PoolHandle) -> Ve
             directed,
         } => exec_load(state, &name, &path, edge_list, directed),
         Request::Chaos { command } => exec_chaos(command, state, pool),
-        data_plane => submit_to_pool(state, pool, move |job_state| match data_plane {
+        data_plane => submit_to_pool(state, pool, move |job_state, queue_wait| match data_plane {
             Request::Match {
                 graph,
                 query_path,
                 limit,
                 deadline_ms,
                 workers,
-            } => exec_match(job_state, &graph, &query_path, limit, deadline_ms, workers),
-            Request::Explain { graph, query_path } => exec_explain(job_state, &graph, &query_path),
+            } => exec_match(
+                job_state,
+                &graph,
+                &query_path,
+                limit,
+                deadline_ms,
+                workers,
+                queue_wait,
+            ),
+            Request::Explain {
+                graph,
+                query_path,
+                analyze,
+            } => exec_explain(job_state, &graph, &query_path, analyze),
             Request::Sleep { ms } => {
                 std::thread::sleep(Duration::from_millis(ms));
                 vec![format!("OK SLEPT {ms}")]
@@ -289,14 +314,20 @@ fn dispatch(request: Request, state: &Arc<ServerState>, pool: &PoolHandle) -> Ve
 /// panics mid-job drops the response sender; the supervisor respawns the
 /// worker and this side answers a *typed* error instead of hanging or
 /// leaking a raw string.
+///
+/// The job closure receives the measured queue wait (admission to execution
+/// start) so request handlers can attribute it in their `service.request`
+/// span without re-deriving it.
 fn submit_to_pool<F>(state: &Arc<ServerState>, pool: &PoolHandle, run: F) -> Vec<String>
 where
-    F: FnOnce(&Arc<ServerState>) -> Vec<String> + Send + 'static,
+    F: FnOnce(&Arc<ServerState>, Duration) -> Vec<String> + Send + 'static,
 {
     let (tx, rx) = mpsc::channel::<Vec<String>>();
     let job_state = Arc::clone(state);
+    let submitted = Instant::now();
     let admitted = pool.submit(Box::new(move || {
-        let lines = run(&job_state);
+        let queue_wait = submitted.elapsed();
+        let lines = run(&job_state, queue_wait);
         let _ = tx.send(lines);
     }));
     match admitted {
@@ -328,17 +359,25 @@ fn exec_chaos(command: ChaosCommand, state: &Arc<ServerState>, pool: &PoolHandle
             state.build_panic_armed.store(true, Ordering::SeqCst);
             vec!["OK CHAOS armed=BUILDPANIC".to_string()]
         }
-        ChaosCommand::Panic => submit_to_pool(state, pool, |_| {
+        ChaosCommand::Panic => submit_to_pool(state, pool, |_, _| {
             panic!("injected CHAOS PANIC in pool worker")
         }),
-        ChaosCommand::Delay { ms } => submit_to_pool(state, pool, move |_| {
+        ChaosCommand::Delay { ms } => submit_to_pool(state, pool, move |_, _| {
             std::thread::sleep(Duration::from_millis(ms));
             vec![format!("OK CHAOS delayed_ms={ms}")]
         }),
     }
 }
 
-fn exec_stats(state: &ServerState) -> Vec<String> {
+fn exec_stats(state: &ServerState, prom: bool) -> Vec<String> {
+    if prom {
+        let mut lines: Vec<String> = render_prometheus(state)
+            .lines()
+            .map(str::to_string)
+            .collect();
+        lines.push("OK STATS".to_string());
+        return lines;
+    }
     let extra = [
         ("graphs_loaded", state.registry.len() as u64),
         ("cache_entries", state.cache.len() as u64),
@@ -347,10 +386,152 @@ fn exec_stats(state: &ServerState) -> Vec<String> {
             "cache_quarantined_keys",
             state.cache.quarantined_len() as u64,
         ),
+        ("trace_spans", state.tracer.len() as u64),
     ];
     let mut lines = state.metrics.render(&extra);
     lines.push("OK STATS".to_string());
     lines
+}
+
+/// Renders the full metric surface in Prometheus text-exposition format
+/// 0.0.4 (the `STATS PROM` payload). The output always passes
+/// [`ceci_trace::prom::validate`]; the integration tests hold it to that.
+pub fn render_prometheus(state: &ServerState) -> String {
+    let m = &state.metrics;
+    let g = |a: &std::sync::atomic::AtomicU64| a.load(Ordering::Relaxed);
+    let mut w = PromWriter::new();
+    let counters: [(&str, &str, u64); 16] = [
+        (
+            "ceci_requests_total",
+            "Request lines accepted (parse successes)",
+            g(&m.requests),
+        ),
+        (
+            "ceci_match_requests_total",
+            "MATCH requests admitted",
+            g(&m.match_requests),
+        ),
+        (
+            "ceci_load_requests_total",
+            "LOAD requests served",
+            g(&m.load_requests),
+        ),
+        (
+            "ceci_rejected_busy_total",
+            "Requests rejected BUSY by admission control",
+            g(&m.rejected_busy),
+        ),
+        (
+            "ceci_deadline_exceeded_total",
+            "MATCH requests that hit their deadline",
+            g(&m.deadline_exceeded),
+        ),
+        ("ceci_errors_total", "Requests answered ERR", g(&m.errors)),
+        (
+            "ceci_cache_hits_total",
+            "Index-cache hits",
+            g(&m.cache_hits),
+        ),
+        (
+            "ceci_cache_misses_total",
+            "Index-cache misses (CECI built)",
+            g(&m.cache_misses),
+        ),
+        (
+            "ceci_cache_evictions_total",
+            "Cache entries evicted under the byte budget",
+            g(&m.cache_evictions),
+        ),
+        (
+            "ceci_cache_collisions_total",
+            "Canonical-hash collisions detected by verification",
+            g(&m.cache_collisions),
+        ),
+        (
+            "ceci_worker_drops_total",
+            "Data-plane jobs whose worker panicked mid-request",
+            g(&m.worker_drops),
+        ),
+        (
+            "ceci_panics_caught_total",
+            "Job panics caught by pool supervisors",
+            g(&m.panics_caught),
+        ),
+        (
+            "ceci_cache_quarantined_total",
+            "Index builds that panicked and were quarantined",
+            g(&m.cache_quarantined),
+        ),
+        (
+            "ceci_quarantine_hits_total",
+            "Requests refused on a quarantined cache key",
+            g(&m.quarantine_hits),
+        ),
+        (
+            "ceci_chaos_injected_total",
+            "CHAOS commands executed",
+            g(&m.chaos_injected),
+        ),
+        (
+            "ceci_embeddings_returned_total",
+            "Embeddings returned across MATCH responses",
+            g(&m.embeddings_returned),
+        ),
+    ];
+    for (name, help, value) in counters {
+        w.counter(name, help, value);
+    }
+    w.gauge(
+        "ceci_graphs_loaded",
+        "Graphs currently loaded in the registry",
+        state.registry.len() as u64,
+    );
+    w.gauge(
+        "ceci_cache_entries",
+        "Frozen indexes currently cached",
+        state.cache.len() as u64,
+    );
+    w.gauge(
+        "ceci_cache_bytes",
+        "Bytes of frozen index currently cached",
+        state.cache.bytes() as u64,
+    );
+    w.gauge(
+        "ceci_cache_quarantined_keys",
+        "Cache keys currently quarantined",
+        state.cache.quarantined_len() as u64,
+    );
+    w.gauge(
+        "ceci_trace_spans",
+        "Spans in the service tracer store",
+        state.tracer.len() as u64,
+    );
+    for (hist, name, help) in [
+        (
+            &m.match_latency,
+            "ceci_match_latency_us",
+            "End-to-end MATCH latency (admission to response), microseconds",
+        ),
+        (
+            &m.build_latency,
+            "ceci_build_latency_us",
+            "CECI build time on cache misses, microseconds",
+        ),
+        (
+            &m.build_filter_latency,
+            "ceci_build_filter_us",
+            "BFS-filter phase time within builds (Algorithm 1), microseconds",
+        ),
+        (
+            &m.build_refine_latency,
+            "ceci_build_refine_us",
+            "Reverse-BFS refinement phase time within builds (Algorithm 2), microseconds",
+        ),
+    ] {
+        let (cum, sum, count) = hist.cumulative_us();
+        w.histogram(name, help, &cum, sum, count);
+    }
+    w.finish()
 }
 
 fn exec_load(
@@ -488,6 +669,7 @@ fn index_for(
     Ok((entry, false, build))
 }
 
+#[allow(clippy::too_many_arguments)]
 fn exec_match(
     state: &ServerState,
     graph_name: &str,
@@ -495,6 +677,7 @@ fn exec_match(
     limit: Option<u64>,
     deadline_ms: Option<u64>,
     workers: Option<usize>,
+    queue_wait: Duration,
 ) -> Vec<String> {
     let t_start = Instant::now();
     ServerMetrics::inc(&state.metrics.match_requests);
@@ -513,10 +696,12 @@ fn exec_match(
     // queue wait is already bounded by admission control.
     let cancel = deadline_ms.map(|ms| CancelToken::after(Duration::from_millis(ms)));
 
+    let t_index = Instant::now();
     let (index, cache_hit, build) = match index_for(state, entry.epoch, &entry.graph, query) {
         Ok(built) => built,
         Err(lines) => return lines,
     };
+    let index_time = t_index.elapsed();
 
     let requested = workers.unwrap_or(state.config.default_match_workers);
     let match_workers = requested.clamp(1, state.config.max_match_workers.max(1));
@@ -547,18 +732,95 @@ fn exec_match(
     };
     ServerMetrics::add(&state.metrics.embeddings_returned, count);
     let total = t_start.elapsed();
-    state.metrics.match_latency.record(total);
-    vec![format!(
+    // `match_latency` is documented as admission-to-response: queue wait
+    // after admission counts (it was previously silently excluded).
+    state.metrics.match_latency.record(queue_wait + total);
+    let lines = vec![format!(
         "OK MATCH count={count} status={} cache={} build_us={} enum_us={} total_us={}",
         status.as_str(),
         if cache_hit { "HIT" } else { "MISS" },
         build.as_micros(),
         enum_time.as_micros(),
         total.as_micros(),
-    )]
+    )];
+    if state.tracer.enabled() {
+        record_request_spans(
+            &state.tracer,
+            RequestTiming {
+                queue_wait,
+                index_time,
+                build,
+                enum_time,
+                total: t_start.elapsed(),
+            },
+            &[
+                ("embeddings", count),
+                ("cache_hit", cache_hit as u64),
+                ("deadline_exceeded", result.cancelled as u64),
+                ("workers", match_workers as u64),
+            ],
+        );
+    }
+    lines
 }
 
-fn exec_explain(state: &ServerState, graph_name: &str, query_path: &str) -> Vec<String> {
+/// Stage durations of one data-plane request, measured on the worker.
+struct RequestTiming {
+    /// Admission to execution start.
+    queue_wait: Duration,
+    /// Cache probe + (on miss) build — the whole `index_for` call.
+    index_time: Duration,
+    /// Build portion of `index_time` (zero on a cache hit).
+    build: Duration,
+    /// Enumeration wall time.
+    enum_time: Duration,
+    /// Execution start to response-lines-ready.
+    total: Duration,
+}
+
+/// Records one `service.request` span with its stage children
+/// (`service.queue` → `service.cache_probe` → `service.build` →
+/// `service.enumerate` → `service.serialize`) ending at the tracer's
+/// current clock.
+fn record_request_spans(tracer: &Tracer, t: RequestTiming, args: &[(&'static str, u64)]) {
+    let ns = |d: Duration| d.as_nanos() as u64;
+    let end = tracer.now_ns();
+    let total = ns(t.queue_wait) + ns(t.total);
+    let start = end.saturating_sub(total);
+    let req = tracer.span(
+        "service.request",
+        "service",
+        0,
+        0,
+        start,
+        total.max(1),
+        args.to_vec(),
+    );
+    let mut cursor = start;
+    let probe = ns(t.index_time).saturating_sub(ns(t.build));
+    // Everything between the measured stages (registry lookup, query-file
+    // load, response formatting) lands in `serialize` — the closing stage.
+    let serialize = ns(t.total)
+        .saturating_sub(ns(t.index_time))
+        .saturating_sub(ns(t.enum_time));
+    for (name, dur) in [
+        ("service.queue", ns(t.queue_wait)),
+        ("service.cache_probe", probe),
+        ("service.build", ns(t.build)),
+        ("service.enumerate", ns(t.enum_time)),
+        ("service.serialize", serialize),
+    ] {
+        tracer.span(name, "service", req, 0, cursor, dur, Vec::new());
+        cursor += dur;
+    }
+}
+
+fn exec_explain(
+    state: &ServerState,
+    graph_name: &str,
+    query_path: &str,
+    analyze: bool,
+) -> Vec<String> {
     let Some(entry) = state.registry.get(graph_name) else {
         ServerMetrics::inc(&state.metrics.errors);
         return vec![ErrorCode::UnknownGraph.line(format!("unknown graph {graph_name:?}"))];
@@ -581,6 +843,25 @@ fn exec_explain(state: &ServerState, graph_name: &str, query_path: &str) -> Vec<
         index.bytes,
         if cache_hit { "HIT" } else { "MISS" }
     ));
+    if analyze {
+        // EXPLAIN ANALYZE: run the enumeration with a per-depth profile
+        // attached and append the profile table. Single worker so the
+        // per-depth rows describe one deterministic recursion.
+        let options = ParallelOptions {
+            workers: 1,
+            profile: true,
+            ..Default::default()
+        };
+        let result =
+            enumerate_parallel_cancellable(&entry.graph, &index.plan, &index.ceci, &options, None);
+        let profile = result
+            .profile
+            .expect("profile requested via ParallelOptions");
+        let table = ceci_core::explain_profile(&index.plan, &profile, &result.counters);
+        for l in table.lines() {
+            lines.push(format!("| {l}"));
+        }
+    }
     lines.push("OK EXPLAIN".to_string());
     lines
 }

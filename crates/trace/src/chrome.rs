@@ -1,0 +1,142 @@
+//! Chrome `trace_event` JSON export.
+//!
+//! Emits the JSON Object Format (`{"traceEvents": [...]}`) with complete
+//! (`ph:"X"`) events for spans and instant (`ph:"i"`) events for
+//! zero-duration records. The output loads directly in `about:tracing` and
+//! in Perfetto's legacy-trace importer. Timestamps are microseconds with
+//! nanosecond fractions, as the format specifies.
+
+use crate::tracer::SpanRecord;
+use std::io::Write;
+use std::path::Path;
+
+/// Escape a string for inclusion in a JSON string literal.
+fn escape(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Format nanoseconds as fractional microseconds (`123.456`).
+fn us(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1_000, ns % 1_000)
+}
+
+fn push_event(out: &mut String, rec: &SpanRecord) {
+    out.push_str("{\"name\":\"");
+    escape(&rec.full_name(), out);
+    out.push_str("\",\"cat\":\"");
+    escape(rec.cat, out);
+    out.push_str("\",\"ph\":\"");
+    if rec.dur_ns == 0 {
+        out.push_str("i\",\"s\":\"t");
+    } else {
+        out.push('X');
+    }
+    out.push_str("\",\"ts\":");
+    out.push_str(&us(rec.ts_ns));
+    if rec.dur_ns > 0 {
+        out.push_str(",\"dur\":");
+        out.push_str(&us(rec.dur_ns));
+    }
+    out.push_str(",\"pid\":1,\"tid\":");
+    out.push_str(&rec.tid.to_string());
+    out.push_str(",\"args\":{\"span_id\":");
+    out.push_str(&rec.id.to_string());
+    out.push_str(",\"parent_id\":");
+    out.push_str(&rec.parent.to_string());
+    for (k, v) in &rec.args {
+        out.push_str(",\"");
+        escape(k, out);
+        out.push_str("\":");
+        out.push_str(&v.to_string());
+    }
+    out.push_str("}}");
+}
+
+/// Render spans as a Chrome `trace_event` JSON object string.
+pub fn render(spans: &[SpanRecord]) -> String {
+    let mut out = String::with_capacity(128 + spans.len() * 160);
+    out.push_str("{\"traceEvents\":[");
+    for (i, rec) in spans.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_event(&mut out, rec);
+    }
+    out.push_str("],\"displayTimeUnit\":\"ms\"}");
+    out
+}
+
+/// Write spans to `path` as a Chrome `trace_event` file.
+pub fn write_file(spans: &[SpanRecord], path: &Path) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(render(spans).as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(name: &'static str, ts: u64, dur: u64) -> SpanRecord {
+        SpanRecord {
+            id: 1,
+            parent: 0,
+            name,
+            index: None,
+            cat: "build",
+            ts_ns: ts,
+            dur_ns: dur,
+            tid: 0,
+            args: vec![("entries", 42)],
+        }
+    }
+
+    #[test]
+    fn renders_complete_event() {
+        let s = render(&[span("build.filter", 1_500, 2_000_500)]);
+        assert!(s.starts_with("{\"traceEvents\":["));
+        assert!(s.contains("\"name\":\"build.filter\""));
+        assert!(s.contains("\"ph\":\"X\""));
+        assert!(s.contains("\"ts\":1.500"));
+        assert!(s.contains("\"dur\":2000.500"));
+        assert!(s.contains("\"entries\":42"));
+        assert!(s.ends_with("],\"displayTimeUnit\":\"ms\"}"));
+    }
+
+    #[test]
+    fn zero_duration_becomes_instant() {
+        let s = render(&[span("distributed.machine", 10, 0)]);
+        assert!(s.contains("\"ph\":\"i\""));
+        assert!(!s.contains("\"dur\""));
+    }
+
+    #[test]
+    fn escapes_special_chars() {
+        let mut out = String::new();
+        escape("a\"b\\c\nd", &mut out);
+        assert_eq!(out, "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn balanced_braces() {
+        let s = render(&[span("a", 0, 1), span("b", 1, 1)]);
+        let open = s.matches('{').count();
+        let close = s.matches('}').count();
+        assert_eq!(open, close);
+        assert_eq!(s.matches("},{").count(), 1);
+    }
+}

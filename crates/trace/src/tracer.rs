@@ -1,0 +1,327 @@
+//! Span recorder: atomic ids, monotonic process-epoch clock, worker-local
+//! bounded buffers merged into a shared store in batches.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Maximum number of inline args per span. Spans are recorded outside the
+/// enumeration steady state, so a small heap-backed vec is fine; the constant
+/// only bounds what exporters render.
+pub const MAX_ARGS: usize = 8;
+
+/// One recorded stage occurrence.
+///
+/// `name` is a static stage name from the taxonomy (`build.filter`,
+/// `enumerate.depth`, `distributed.machine`, `service.request`, …). When
+/// `index` is set, exporters append it to the name (`enumerate.depth3`,
+/// `distributed.machine1`) so hot paths never format strings.
+#[derive(Debug, Clone)]
+pub struct SpanRecord {
+    /// Unique span id (never 0).
+    pub id: u64,
+    /// Parent span id, or 0 for a root span.
+    pub parent: u64,
+    /// Static stage name.
+    pub name: &'static str,
+    /// Optional numeric suffix (depth, machine id) appended at export time.
+    pub index: Option<u32>,
+    /// Category (`build`, `enumerate`, `distributed`, `service`).
+    pub cat: &'static str,
+    /// Start timestamp in nanoseconds. For `service`/`build`/`enumerate`
+    /// spans this is the tracer's monotonic process-epoch clock; for
+    /// `distributed` spans it is the simulator's virtual clock.
+    pub ts_ns: u64,
+    /// Duration in nanoseconds; 0 marks an instant event.
+    pub dur_ns: u64,
+    /// Logical thread / machine lane for the exporter.
+    pub tid: u32,
+    /// Small set of static-key integer arguments.
+    pub args: Vec<(&'static str, u64)>,
+}
+
+impl SpanRecord {
+    /// Render `name` plus the optional `index` suffix.
+    pub fn full_name(&self) -> String {
+        match self.index {
+            Some(i) => format!("{}{}", self.name, i),
+            None => self.name.to_string(),
+        }
+    }
+}
+
+/// Shared span store.
+///
+/// Recording through a [`LocalSpans`] buffer is a plain `Vec::push`; the
+/// mutex is only taken when a worker flushes its batch (at stage boundaries,
+/// never inside the enumeration loop), so the hot path is lock-free by
+/// construction.
+pub struct Tracer {
+    enabled: AtomicBool,
+    next_id: AtomicU64,
+    epoch: Instant,
+    store: Mutex<Vec<SpanRecord>>,
+    dropped: AtomicU64,
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Tracer {
+    /// New enabled tracer with its clock epoch at the call instant.
+    pub fn new() -> Self {
+        Tracer {
+            enabled: AtomicBool::new(true),
+            next_id: AtomicU64::new(1),
+            epoch: Instant::now(),
+            store: Mutex::new(Vec::new()),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Whether spans are currently being accepted.
+    pub fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Enable or disable span recording (records are silently dropped while
+    /// disabled; ids keep advancing so parents stay valid).
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Nanoseconds since this tracer was created (monotonic).
+    pub fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// Allocate a fresh span id (never 0).
+    pub fn next_span_id(&self) -> u64 {
+        self.next_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Record one completed span; returns its id.
+    #[allow(clippy::too_many_arguments)]
+    pub fn span(
+        &self,
+        name: &'static str,
+        cat: &'static str,
+        parent: u64,
+        tid: u32,
+        ts_ns: u64,
+        dur_ns: u64,
+        args: Vec<(&'static str, u64)>,
+    ) -> u64 {
+        let id = self.next_span_id();
+        self.record(SpanRecord {
+            id,
+            parent,
+            name,
+            index: None,
+            cat,
+            ts_ns,
+            dur_ns,
+            tid,
+            args,
+        });
+        id
+    }
+
+    /// Record an instant (zero-duration) event at the current clock.
+    pub fn instant(
+        &self,
+        name: &'static str,
+        cat: &'static str,
+        parent: u64,
+        tid: u32,
+        args: Vec<(&'static str, u64)>,
+    ) -> u64 {
+        let ts = self.now_ns();
+        self.span(name, cat, parent, tid, ts, 0, args)
+    }
+
+    /// Record a single span record.
+    pub fn record(&self, rec: SpanRecord) {
+        if !self.enabled() {
+            return;
+        }
+        self.store.lock().unwrap().push(rec);
+    }
+
+    /// Merge a drained worker-local batch under one lock acquisition.
+    pub fn record_batch(&self, batch: &mut Vec<SpanRecord>) {
+        if batch.is_empty() {
+            return;
+        }
+        if !self.enabled() {
+            batch.clear();
+            return;
+        }
+        self.store.lock().unwrap().append(batch);
+    }
+
+    /// Note that `n` spans were dropped by a saturated local buffer.
+    pub fn note_dropped(&self, n: u64) {
+        if n > 0 {
+            self.dropped.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Total spans dropped by saturated local buffers.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Number of spans currently in the store.
+    pub fn len(&self) -> usize {
+        self.store.lock().unwrap().len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Copy of all recorded spans, sorted by start timestamp.
+    pub fn snapshot(&self) -> Vec<SpanRecord> {
+        let mut v = self.store.lock().unwrap().clone();
+        v.sort_by_key(|s| (s.ts_ns, s.id));
+        v
+    }
+
+    /// Drain all recorded spans, sorted by start timestamp.
+    pub fn take(&self) -> Vec<SpanRecord> {
+        let mut v = std::mem::take(&mut *self.store.lock().unwrap());
+        v.sort_by_key(|s| (s.ts_ns, s.id));
+        v
+    }
+}
+
+/// Bounded worker-local span buffer.
+///
+/// Pushes are plain vector appends (lock-free); once `cap` is reached further
+/// spans are counted as dropped instead of reallocating, keeping worst-case
+/// memory bounded. Call [`LocalSpans::flush`] at a stage boundary to merge
+/// into the shared [`Tracer`] store.
+pub struct LocalSpans {
+    buf: Vec<SpanRecord>,
+    cap: usize,
+    dropped: u64,
+}
+
+impl LocalSpans {
+    /// New buffer that holds at most `cap` spans between flushes.
+    pub fn new(cap: usize) -> Self {
+        LocalSpans {
+            buf: Vec::with_capacity(cap.min(256)),
+            cap: cap.max(1),
+            dropped: 0,
+        }
+    }
+
+    /// Buffered span count.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Append a span, or count it as dropped when the buffer is full.
+    pub fn push(&mut self, rec: SpanRecord) {
+        if self.buf.len() >= self.cap {
+            self.dropped += 1;
+        } else {
+            self.buf.push(rec);
+        }
+    }
+
+    /// Merge buffered spans (and the drop count) into `tracer`.
+    pub fn flush(&mut self, tracer: &Tracer) {
+        tracer.record_batch(&mut self.buf);
+        tracer.note_dropped(self.dropped);
+        self.dropped = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_unique_and_nonzero() {
+        let t = Tracer::new();
+        let a = t.span("build.filter", "build", 0, 0, 0, 10, Vec::new());
+        let b = t.span("build.refine", "build", a, 0, 10, 5, Vec::new());
+        assert!(a != 0 && b != 0 && a != b);
+        let spans = t.snapshot();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[1].parent, a);
+    }
+
+    #[test]
+    fn disabled_tracer_drops_records() {
+        let t = Tracer::new();
+        t.set_enabled(false);
+        t.span("x", "service", 0, 0, 0, 1, Vec::new());
+        assert!(t.is_empty());
+        t.set_enabled(true);
+        t.span("x", "service", 0, 0, 0, 1, Vec::new());
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn local_buffer_bounds_and_flushes() {
+        let t = Tracer::new();
+        let mut local = LocalSpans::new(2);
+        for i in 0..5 {
+            local.push(SpanRecord {
+                id: t.next_span_id(),
+                parent: 0,
+                name: "enumerate.depth",
+                index: Some(i),
+                cat: "enumerate",
+                ts_ns: i as u64,
+                dur_ns: 1,
+                tid: 7,
+                args: Vec::new(),
+            });
+        }
+        assert_eq!(local.len(), 2);
+        local.flush(&t);
+        assert!(local.is_empty());
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.dropped(), 3);
+    }
+
+    #[test]
+    fn snapshot_sorted_by_timestamp() {
+        let t = Tracer::new();
+        t.span("b", "service", 0, 0, 20, 1, Vec::new());
+        t.span("a", "service", 0, 0, 10, 1, Vec::new());
+        let s = t.snapshot();
+        assert_eq!(s[0].name, "a");
+        assert_eq!(s[1].name, "b");
+    }
+
+    #[test]
+    fn full_name_appends_index() {
+        let rec = SpanRecord {
+            id: 1,
+            parent: 0,
+            name: "distributed.machine",
+            index: Some(3),
+            cat: "distributed",
+            ts_ns: 0,
+            dur_ns: 0,
+            tid: 3,
+            args: Vec::new(),
+        };
+        assert_eq!(rec.full_name(), "distributed.machine3");
+    }
+}

@@ -296,6 +296,74 @@ fn build_panic_quarantines_key_until_reload() {
 }
 
 #[test]
+fn quarantine_byte_accounting_returns_to_baseline() {
+    // Regression: the cache's byte ledger must survive the full quarantine
+    // lifecycle without drift — build OK (baseline) → build panic
+    // (quarantined, 0 bytes, nothing leaked) → re-LOAD → rebuild → hit,
+    // bytes back exactly at baseline.
+    let scratch = Scratch::new("qbytes");
+    let graph = small_graph();
+    let pattern = query_from(&graph, 11);
+    let want = direct_count(&graph, &pattern);
+    let graph_path = scratch.write_graph("g.graph", &graph);
+    let query_path = scratch.write_graph("q.graph", &pattern);
+
+    let (handle, state) = serve_chaos(2, 16);
+    let mut client = Client::connect(handle.addr()).unwrap();
+    client.request(&format!("LOAD g {graph_path}")).unwrap();
+
+    // Clean build establishes the byte baseline.
+    let resp = client.request(&format!("MATCH g {query_path}")).unwrap();
+    assert!(resp.is_ok(), "{}", resp.terminal);
+    let baseline = state.cache.bytes();
+    assert!(baseline > 0, "a cached index must charge bytes");
+
+    // Arm a build panic; re-LOAD clears the cache so the next MATCH builds.
+    client.request("CHAOS BUILDPANIC").unwrap();
+    client.request(&format!("LOAD g {graph_path}")).unwrap();
+    assert_eq!(state.cache.bytes(), 0, "re-LOAD sweeps the old epoch");
+    let resp = client.request(&format!("MATCH g {query_path}")).unwrap();
+    assert!(
+        resp.terminal.starts_with("ERR E_BUILD_PANIC"),
+        "{}",
+        resp.terminal
+    );
+    assert_eq!(
+        state.cache.bytes(),
+        0,
+        "panicked build must not charge bytes"
+    );
+    let resp = client.request(&format!("MATCH g {query_path}")).unwrap();
+    assert!(
+        resp.terminal.starts_with("ERR E_QUARANTINED"),
+        "{}",
+        resp.terminal
+    );
+    assert_eq!(
+        state.cache.bytes(),
+        0,
+        "quarantined probe must not charge bytes"
+    );
+
+    // Re-LOAD again: quarantine cleared, rebuild succeeds, ledger returns
+    // exactly to the baseline, and the follow-up MATCH hits.
+    client.request(&format!("LOAD g {graph_path}")).unwrap();
+    let resp = client.request(&format!("MATCH g {query_path}")).unwrap();
+    assert!(resp.is_ok(), "{}", resp.terminal);
+    assert_eq!(resp.field("cache"), Some("MISS"));
+    assert_eq!(resp.field_u64("count"), Some(want));
+    assert_eq!(
+        state.cache.bytes(),
+        baseline,
+        "byte ledger must return to the pre-quarantine baseline"
+    );
+    let resp = client.request(&format!("MATCH g {query_path}")).unwrap();
+    assert_eq!(resp.field("cache"), Some("HIT"));
+    assert_eq!(state.cache.bytes(), baseline);
+    handle.shutdown();
+}
+
+#[test]
 fn client_retry_rides_out_busy_storms() {
     // One worker, one queue slot: two parked delays guarantee BUSY for any
     // immediate third request.
