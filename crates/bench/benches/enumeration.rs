@@ -56,6 +56,7 @@ fn bench_strategies(c: &mut Criterion) {
                         collect: false,
                         build_threads: 1,
                         profile: false,
+                        prune_redundant: false,
                     },
                 ))
             });

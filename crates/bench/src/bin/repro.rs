@@ -43,6 +43,11 @@ EXPERIMENTS:
     faults              Fault-injection sweep: crashes, stragglers, steal
                         loss — asserts bit-identical counts vs fault-free
                         and writes bench_results/faults.json
+    multiquery          Mixed-workload throughput sweep: admission filter,
+                        single-flight builds, shared-prefix batching, and
+                        redundant-extension pruning on vs off — asserts
+                        bit-identical counts and writes
+                        bench_results/multiquery.json
     trace               End-to-end trace capture (build/enumerate/distributed)
                         + tracing-overhead gate (<3% asserted); writes
                         bench_results/trace.json and trace_chrome.json
@@ -161,6 +166,7 @@ fn dispatch(
         "ablation-intersect" => experiments::ablation::run_intersection(scale),
         "physical" => experiments::physical::run(scale),
         "faults" => experiments::faults::run(scale),
+        "multiquery" => experiments::multiquery::run(scale),
         "trace" => experiments::trace::run(scale),
         "all" => {
             for (name, f) in ALL_EXPERIMENTS {
@@ -210,6 +216,10 @@ const ALL_EXPERIMENTS: &[(&str, Runner)] = &[
     (
         "Fault injection: exactly-once recovery",
         experiments::faults::run,
+    ),
+    (
+        "Multi-query throughput: filter/single-flight/batching/pruning",
+        experiments::multiquery::run,
     ),
     (
         "Trace capture + tracing-overhead gate",

@@ -45,6 +45,7 @@ pub fn run(scale: Scale) {
                 collect: false,
                 build_threads: 1,
                 profile: false,
+                prune_redundant: false,
             },
         );
         let min = result.worker_busy.iter().min().copied().unwrap_or_default();

@@ -44,6 +44,7 @@ pub fn run(scale: Scale) {
                     collect: false,
                     build_threads: 1,
                     profile: false,
+                    prune_redundant: false,
                 },
             )
         });

@@ -41,6 +41,7 @@ fn timed_ceci_variant(
             collect: false,
             build_threads: 1,
             profile: false,
+            prune_redundant: false,
         },
     );
     (start.elapsed(), result.total_embeddings)

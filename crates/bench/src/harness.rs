@@ -160,6 +160,7 @@ pub fn run_ceci_detail(
             collect: false,
             build_threads: 1,
             profile: false,
+            prune_redundant: false,
         },
     )
 }

@@ -61,6 +61,16 @@ pub struct EnumOptions {
     /// part of the run (forwarded to [`crate::BuildOptions::threads`]);
     /// `0`/`1` builds on the calling thread. Enumeration itself ignores it.
     pub build_threads: usize,
+    /// CEMR-style redundant-extension elimination: when the last matching-
+    /// order vertex's candidate set is provably independent of the sibling
+    /// chosen at the penultimate depth (no tree edge, backward NTE, or
+    /// symmetry constraint between them), the leaf set is computed once per
+    /// penultimate expansion and every sibling is answered with a
+    /// membership-corrected bulk count instead of a recursive re-gather.
+    /// Embedding counts are bit-identical; work counters legitimately
+    /// shrink. Only takes effect for counting sinks (bulk-capable) under
+    /// [`VerifyMode::Intersection`]. Off by default.
+    pub prune_redundant: bool,
 }
 
 /// Reusable per-worker scratch state for cluster enumeration.
@@ -97,6 +107,11 @@ pub struct Enumerator<'a> {
     /// [`Counters`], so all exact counters stay bit-identical with
     /// profiling on or off.
     profile: Option<Box<DepthProfile>>,
+    /// Precomputed per-plan eligibility for leaf-level redundant-extension
+    /// elimination (see [`EnumOptions::prune_redundant`]): true iff pruning
+    /// is requested AND the last matching-order vertex's candidate gather
+    /// cannot depend on the penultimate vertex's image.
+    prune_leaf: bool,
 }
 
 impl<'a> Enumerator<'a> {
@@ -114,6 +129,9 @@ impl<'a> Enumerator<'a> {
             .map(|u| ceci.nte(u).len())
             .max()
             .unwrap_or(0);
+        let prune_leaf = options.prune_redundant
+            && options.verify == VerifyMode::Intersection
+            && leaf_gather_is_sibling_independent(plan);
         Enumerator {
             graph,
             plan,
@@ -128,7 +146,15 @@ impl<'a> Enumerator<'a> {
             cancel: None,
             drain_tick: 0,
             profile: None,
+            prune_leaf,
         }
+    }
+
+    /// Whether this enumerator will apply leaf-level redundant-extension
+    /// elimination (plan-dependent; requires a bulk-capable sink at run
+    /// time).
+    pub fn prunes_redundant_extensions(&self) -> bool {
+        self.prune_leaf
     }
 
     /// Attaches a cooperative [`CancelToken`]: the recursion polls it
@@ -351,6 +377,19 @@ impl<'a> Enumerator<'a> {
             return false;
         }
 
+        // Leaf-level redundant-extension elimination: every sibling drained
+        // below would recurse into the last depth and gather the *same*
+        // candidate set (independence established per plan in `new`). Gather
+        // and filter it once against the shared prefix; each sibling's count
+        // is then the base count minus its own membership (the only part of
+        // the leaf filter that varies across siblings is injectivity against
+        // the sibling itself).
+        let leaf: Option<Vec<VertexId>> = (self.prune_leaf
+            && depth + 2 == order.len()
+            && sink.supports_bulk()
+            && !buffer.is_empty())
+        .then(|| self.gather_leaf(counters));
+
         let mut keep_going = true;
         let last = depth + 1 == order.len();
         // Batched profile attribution: the drain loop below is the hottest
@@ -359,6 +398,9 @@ impl<'a> Enumerator<'a> {
         // flush once after the loop (on every exit path).
         let mut emitted_here = 0u64;
         let mut backtracks_here = 0u64;
+        let mut leaf_emitted = 0u64;
+        let mut leaf_reused = 0u64;
+        let mut bulk_answered = 0u64;
         for &v in &buffer {
             // In-drain cancellation poll: the intersection above may have
             // produced millions of candidates for one pathological pivot,
@@ -382,6 +424,19 @@ impl<'a> Enumerator<'a> {
                 counters.embeddings += 1;
                 emitted_here += 1;
                 self.emit(sink)
+            } else if let Some(accepted) = &leaf {
+                // The sibling itself is the only accepted leaf candidate
+                // its subtree must exclude (injectivity); everything else
+                // in the accepted set completes an embedding.
+                let sub = accepted.len() as u64 - u64::from(accepted.binary_search(&v).is_ok());
+                counters.embeddings += sub;
+                leaf_emitted += sub;
+                if bulk_answered > 0 {
+                    counters.reused_subtrees += 1;
+                    leaf_reused += 1;
+                }
+                bulk_answered += 1;
+                sink.emit_bulk(sub)
             } else {
                 self.search(depth + 1, sink, counters)
             };
@@ -394,9 +449,83 @@ impl<'a> Enumerator<'a> {
         }
         if let Some(p) = self.profile.as_deref_mut() {
             p.on_drain(depth, emitted_here, backtracks_here);
+            if leaf.is_some() {
+                p.on_drain(depth + 1, leaf_emitted, 0);
+                p.on_reuse(depth + 1, leaf_reused);
+            }
+        }
+        if let Some(accepted) = leaf {
+            // Return the leaf buffer to its slot for reuse.
+            self.buffers[depth + 1] = accepted;
         }
         self.buffers[depth] = buffer;
         keep_going
+    }
+
+    /// Gathers and prefix-filters the last depth's candidate set once for
+    /// leaf-level redundant-extension elimination. Only called when the
+    /// plan guarantees the gather is independent of the penultimate
+    /// sibling's image (see [`leaf_gather_is_sibling_independent`]). The
+    /// returned set is sorted (intersection outputs are sorted and `retain`
+    /// preserves order), so per-sibling membership is a binary search.
+    fn gather_leaf(&mut self, counters: &mut Counters) -> Vec<VertexId> {
+        let (plan, ceci) = (self.plan, self.ceci);
+        let order = plan.matching_order();
+        let depth = order.len() - 1;
+        let u = order[depth];
+        let parent = plan.tree().parent(u).expect("non-root nodes have parents");
+        let parent_image = self.mapping[parent.index()]
+            .expect("leaf parent is assigned before the penultimate depth");
+        let mut buffer = std::mem::take(&mut self.buffers[depth]);
+        buffer.clear();
+        let ops_before = counters.intersection_ops;
+        if let Some(te_list) = ceci.te(u).and_then(|t| t.get(parent_image)) {
+            let mut lists = std::mem::take(&mut self.nte_lists);
+            lists.clear();
+            let mut dead = false;
+            for (un, table) in ceci.nte(u) {
+                let image = self.mapping[un.index()].expect("NTE parent assigned earlier");
+                match table.get(image) {
+                    Some(list) => lists.push(list),
+                    None => {
+                        dead = true;
+                        break;
+                    }
+                }
+            }
+            if !dead {
+                intersect_many_with(
+                    self.options.kernel,
+                    te_list,
+                    &lists,
+                    &mut buffer,
+                    &mut self.scratch,
+                    &mut counters.intersection_ops,
+                );
+            }
+            self.nte_lists = lists;
+        }
+        let raw = buffer.len() as u64;
+        // Injectivity + symmetry against the shared prefix only — the
+        // sibling is not yet mapped, and by construction neither check can
+        // depend on it (its own exclusion is the per-sibling membership
+        // correction in the drain loop).
+        let (used, mapping) = (&self.used, &self.mapping);
+        buffer.retain(|&w| {
+            if used.contains(w) {
+                counters.injectivity_rejections += 1;
+                return false;
+            }
+            if !plan.satisfies_symmetry(u, w, mapping) {
+                counters.symmetry_rejections += 1;
+                return false;
+            }
+            true
+        });
+        if let Some(p) = self.profile.as_deref_mut() {
+            p.on_expand(depth, raw, counters.intersection_ops - ops_before);
+        }
+        buffer
     }
 
     fn emit<S: EmbeddingSink>(&mut self, sink: &mut S) -> bool {
@@ -460,6 +589,34 @@ impl<'a> Enumerator<'a> {
         }
         out
     }
+}
+
+/// Static per-plan eligibility test for leaf-level redundant-extension
+/// elimination (CEMR-style): the last matching-order vertex's candidate
+/// gather is independent of the image chosen at the penultimate depth iff
+/// the penultimate vertex is neither the leaf's tree parent, nor one of its
+/// backward NTE sources, nor its partner in a symmetry constraint. Under
+/// those conditions every sibling drained at the penultimate depth induces
+/// the *same* leaf candidate set (up to injectivity against the sibling
+/// itself), so the set can be gathered once and each sibling answered with
+/// a membership-corrected bulk count.
+fn leaf_gather_is_sibling_independent(plan: &QueryPlan) -> bool {
+    let order = plan.matching_order();
+    let n = order.len();
+    if n < 3 {
+        return false;
+    }
+    let u_last = order[n - 1];
+    let u_pen = order[n - 2];
+    if plan.tree().parent(u_last) == Some(u_pen) {
+        return false;
+    }
+    if plan.backward_nte(u_last).contains(&u_pen) {
+        return false;
+    }
+    !plan.symmetry_constraints().iter().any(|c| {
+        (c.smaller == u_last && c.larger == u_pen) || (c.smaller == u_pen && c.larger == u_last)
+    })
 }
 
 /// Enumerates all clusters sequentially (pivot order). Returns the counters;
@@ -833,6 +990,217 @@ mod tests {
         // Depth 0 is seeded by the pivot prefix, not a recursive call.
         assert_eq!(profile.total_calls(), counters.recursive_calls);
         assert_eq!(profile.depths()[0].calls, 0);
+    }
+
+    fn count_with_options(
+        graph: &Graph,
+        plan: &QueryPlan,
+        ceci: &Ceci,
+        options: EnumOptions,
+    ) -> (u64, Counters) {
+        let mut sink = CountSink::unbounded();
+        let counters = enumerate_sequential(graph, plan, ceci, options, &mut sink);
+        (sink.count(), counters)
+    }
+
+    /// Labeled 2-leaf star (distinct leaf labels, so no symmetry constraint
+    /// ties the last two matching-order vertices) over a data graph where
+    /// each center fans out to several leaves of each label — the canonical
+    /// eligible shape for leaf-level redundant-extension elimination.
+    fn eligible_star() -> (Graph, QueryPlan, Ceci) {
+        use ceci_graph::{lid, LabelSet};
+        // Vertex 0,1: label A centers; 2..=4: label B; 5..=7: label C.
+        let labels: Vec<LabelSet> = [0u32, 0, 1, 1, 1, 2, 2, 2]
+            .iter()
+            .map(|&l| LabelSet::single(lid(l)))
+            .collect();
+        let mut edges = Vec::new();
+        for c in 0..2u32 {
+            for leaf in 2..8u32 {
+                edges.push((ceci_graph::vid(c), ceci_graph::vid(leaf)));
+            }
+        }
+        let graph = Graph::new(labels, &edges, false);
+        let query =
+            ceci_query::QueryGraph::with_labels(&[lid(0), lid(1), lid(2)], &[(0, 1), (0, 2)])
+                .unwrap();
+        let plan = QueryPlan::new(query, &graph);
+        let ceci = Ceci::build(&graph, &plan);
+        (graph, plan, ceci)
+    }
+
+    #[test]
+    fn redundant_pruning_counts_bit_identical_on_eligible_star() {
+        let (graph, plan, ceci) = eligible_star();
+        let (base_count, base) = count_with_options(&graph, &plan, &ceci, EnumOptions::default());
+        let (pruned_count, pruned) = count_with_options(
+            &graph,
+            &plan,
+            &ceci,
+            EnumOptions {
+                prune_redundant: true,
+                ..Default::default()
+            },
+        );
+        // 2 centers × 3 B-leaves × 3 C-leaves.
+        assert_eq!(base_count, 18);
+        assert_eq!(pruned_count, base_count);
+        assert_eq!(pruned.embeddings, base.embeddings);
+        assert!(
+            pruned.reused_subtrees > 0,
+            "eligible plan with fan-out must reuse sibling subtrees"
+        );
+        assert_eq!(base.reused_subtrees, 0);
+        // The whole point: strictly less recursion.
+        assert!(pruned.recursive_calls < base.recursive_calls);
+    }
+
+    #[test]
+    fn redundant_pruning_eligibility_is_plan_dependent() {
+        let (graph, plan, ceci) = eligible_star();
+        let e = Enumerator::new(
+            &graph,
+            &plan,
+            &ceci,
+            EnumOptions {
+                prune_redundant: true,
+                ..Default::default()
+            },
+        );
+        assert!(e.prunes_redundant_extensions());
+        // Default off.
+        let e = Enumerator::new(&graph, &plan, &ceci, EnumOptions::default());
+        assert!(!e.prunes_redundant_extensions());
+        // An unlabeled 2-leaf star has automorphic leaves: the symmetry
+        // constraint between the last two order vertices makes the leaf
+        // gather sibling-dependent, so pruning must stay off.
+        let sym_query = ceci_query::QueryGraph::unlabeled(3, &[(0, 1), (0, 2)]).unwrap();
+        let sym_plan = QueryPlan::new(sym_query, &graph);
+        if sym_plan
+            .symmetry_constraints()
+            .iter()
+            .any(|c| c.smaller != c.larger)
+        {
+            let sym_ceci = Ceci::build(&graph, &sym_plan);
+            let e = Enumerator::new(
+                &graph,
+                &sym_plan,
+                &sym_ceci,
+                EnumOptions {
+                    prune_redundant: true,
+                    ..Default::default()
+                },
+            );
+            assert!(!e.prunes_redundant_extensions());
+        }
+        // Triangle query: the leaf has a backward NTE to the penultimate
+        // vertex (or is its tree child) — never eligible.
+        let tri_query = ceci_query::QueryGraph::unlabeled(3, &[(0, 1), (0, 2), (1, 2)]).unwrap();
+        let tri = Graph::unlabeled(
+            4,
+            &[
+                (ceci_graph::vid(0), ceci_graph::vid(1)),
+                (ceci_graph::vid(1), ceci_graph::vid(2)),
+                (ceci_graph::vid(2), ceci_graph::vid(0)),
+                (ceci_graph::vid(1), ceci_graph::vid(3)),
+                (ceci_graph::vid(2), ceci_graph::vid(3)),
+            ],
+        );
+        let tri_plan = QueryPlan::new(tri_query, &tri);
+        let tri_ceci = Ceci::build(&tri, &tri_plan);
+        let e = Enumerator::new(
+            &tri,
+            &tri_plan,
+            &tri_ceci,
+            EnumOptions {
+                prune_redundant: true,
+                ..Default::default()
+            },
+        );
+        assert!(!e.prunes_redundant_extensions());
+    }
+
+    #[test]
+    fn redundant_pruning_differential_on_random_graphs() {
+        use ceci_graph::extract_query;
+        use ceci_graph::generators::{erdos_renyi, inject_random_labels};
+        for seed in 0..6u64 {
+            let graph = inject_random_labels(&erdos_renyi(120, 420, seed), 3, seed ^ 0x9E37);
+            for size in [3usize, 4, 5] {
+                let Some(extracted) = extract_query(&graph, size, seed.wrapping_mul(31) + 7, 5)
+                else {
+                    continue;
+                };
+                let Ok(query) = ceci_query::QueryGraph::from_graph(&extracted.pattern) else {
+                    continue;
+                };
+                let plan = QueryPlan::new(query, &graph);
+                let ceci = Ceci::build(&graph, &plan);
+                let (base_count, base) =
+                    count_with_options(&graph, &plan, &ceci, EnumOptions::default());
+                let (pruned_count, pruned) = count_with_options(
+                    &graph,
+                    &plan,
+                    &ceci,
+                    EnumOptions {
+                        prune_redundant: true,
+                        ..Default::default()
+                    },
+                );
+                assert_eq!(
+                    pruned_count, base_count,
+                    "seed={seed} size={size}: pruned count diverged"
+                );
+                assert_eq!(pruned.embeddings, base.embeddings);
+            }
+        }
+    }
+
+    #[test]
+    fn redundant_pruning_ignored_by_collect_and_limit_sinks() {
+        let (graph, plan, ceci) = eligible_star();
+        let opts = EnumOptions {
+            prune_redundant: true,
+            ..Default::default()
+        };
+        // Collect sinks are not bulk-capable: full recursion, identical set.
+        let mut sink = CollectSink::unbounded();
+        enumerate_sequential(&graph, &plan, &ceci, opts, &mut sink);
+        let collected = canonicalize(sink.into_embeddings());
+        assert_eq!(collected.len(), 18);
+        assert_eq!(collected, collect_embeddings(&graph, &plan, &ceci));
+        // Limited count sinks are not bulk-capable either: first-k exactness.
+        let mut limited = CountSink::with_limit(5);
+        let counters = enumerate_sequential(&graph, &plan, &ceci, opts, &mut limited);
+        assert_eq!(limited.count(), 5);
+        assert_eq!(counters.reused_subtrees, 0);
+    }
+
+    #[test]
+    fn redundant_pruning_profile_attribution_stays_consistent() {
+        let (graph, plan, ceci) = eligible_star();
+        let mut e = Enumerator::new(
+            &graph,
+            &plan,
+            &ceci,
+            EnumOptions {
+                prune_redundant: true,
+                ..Default::default()
+            },
+        );
+        e.enable_profile();
+        let mut counters = Counters::default();
+        let mut sink = CountSink::unbounded();
+        for &(pivot, _) in ceci.pivots() {
+            assert!(e.enumerate_cluster(pivot, &mut sink, &mut counters));
+        }
+        assert_eq!(sink.count(), 18);
+        let profile = e.take_profile().expect("profile attached");
+        // Bulk-answered leaves are still attributed to the leaf depth.
+        assert_eq!(profile.total_emitted(), counters.embeddings);
+        assert_eq!(profile.total_reused(), counters.reused_subtrees);
+        assert_eq!(profile.total_calls(), counters.recursive_calls);
+        assert_eq!(profile.total_intersections(), counters.intersection_ops);
     }
 
     #[test]

@@ -24,6 +24,7 @@
 
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod bitmap;
 pub mod enumerate;
 pub mod estimate;
@@ -39,6 +40,7 @@ pub mod refine;
 pub mod sink;
 pub mod tables;
 
+pub use batch::{enumerate_from_frontier, prefix_satisfies_symmetry, PrefixSpec};
 pub use bitmap::VertexBitmap;
 pub use enumerate::{
     collect_embeddings, count_embeddings, enumerate_sequential, is_valid_embedding, EnumOptions,

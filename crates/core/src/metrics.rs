@@ -75,6 +75,11 @@ pub struct Counters {
     pub injectivity_rejections: u64,
     /// Candidates rejected by symmetry-breaking bounds.
     pub symmetry_rejections: u64,
+    /// Sibling subtrees answered by redundant-extension elimination: the
+    /// leaf candidate set was provably identical to an already-computed
+    /// sibling's, so its result multiset was reused instead of re-enumerated
+    /// (CEMR-style pruning; requires `EnumOptions::prune_redundant`).
+    pub reused_subtrees: u64,
 }
 
 impl Counters {
@@ -86,6 +91,7 @@ impl Counters {
         self.edge_verifications += other.edge_verifications;
         self.injectivity_rejections += other.injectivity_rejections;
         self.symmetry_rejections += other.symmetry_rejections;
+        self.reused_subtrees += other.reused_subtrees;
     }
 }
 
@@ -222,6 +228,7 @@ mod tests {
             edge_verifications: 0,
             injectivity_rejections: 3,
             symmetry_rejections: 4,
+            reused_subtrees: 2,
         };
         let b = Counters {
             recursive_calls: 5,
@@ -230,6 +237,7 @@ mod tests {
             edge_verifications: 7,
             injectivity_rejections: 1,
             symmetry_rejections: 0,
+            reused_subtrees: 1,
         };
         a.merge(&b);
         assert_eq!(a.recursive_calls, 15);
@@ -238,6 +246,7 @@ mod tests {
         assert_eq!(a.edge_verifications, 7);
         assert_eq!(a.injectivity_rejections, 4);
         assert_eq!(a.symmetry_rejections, 4);
+        assert_eq!(a.reused_subtrees, 3);
     }
 
     #[test]

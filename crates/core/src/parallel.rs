@@ -102,6 +102,11 @@ pub struct ParallelOptions {
     /// allocations to the steady-state recursion and never perturbs the
     /// exact [`Counters`].
     pub profile: bool,
+    /// Leaf-level redundant-extension elimination (see
+    /// [`EnumOptions::prune_redundant`]). Takes effect only for count-only
+    /// runs (`collect = false`, no limit) — collecting or limited sinks are
+    /// not bulk-capable, so they fall back to the full recursion.
+    pub prune_redundant: bool,
 }
 
 impl Default for ParallelOptions {
@@ -115,6 +120,7 @@ impl Default for ParallelOptions {
             collect: false,
             build_threads: 1,
             profile: false,
+            prune_redundant: false,
         }
     }
 }
@@ -218,6 +224,7 @@ pub fn enumerate_parallel_cancellable(
         verify: options.verify,
         kernel: options.kernel,
         build_threads: options.build_threads,
+        prune_redundant: options.prune_redundant,
     };
     let units: Vec<WorkUnit> = match options.strategy {
         Strategy::FineDynamic { beta } => {

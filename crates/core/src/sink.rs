@@ -14,6 +14,24 @@ use std::time::{Duration, Instant};
 pub trait EmbeddingSink {
     /// Handles one embedding; returns `false` to stop enumeration.
     fn emit(&mut self, embedding: &[VertexId]) -> bool;
+
+    /// Whether this sink accepts [`EmbeddingSink::emit_bulk`] batches —
+    /// count-only sinks that don't materialize embeddings. Redundant-
+    /// extension elimination needs this: a reused sibling subtree yields a
+    /// *count* of embeddings, not the embeddings themselves. Sinks that
+    /// collect embeddings (or enforce an exact first-k cutoff) answer
+    /// `false` and enumeration falls back to full recursion.
+    fn supports_bulk(&self) -> bool {
+        false
+    }
+
+    /// Accepts `count` embeddings at once without materializing them;
+    /// returns `false` to stop enumeration. Only called after
+    /// [`EmbeddingSink::supports_bulk`] answered `true`.
+    fn emit_bulk(&mut self, count: u64) -> bool {
+        let _ = count;
+        unreachable!("emit_bulk called on a sink without bulk support");
+    }
 }
 
 /// Counts embeddings, optionally stopping after a limit.
@@ -53,6 +71,18 @@ impl EmbeddingSink for CountSink {
             Some(l) => self.count < l,
             None => true,
         }
+    }
+
+    /// Bulk counting is only sound without a limit: a bulk batch could
+    /// overshoot an exact first-k cutoff.
+    fn supports_bulk(&self) -> bool {
+        self.limit.is_none()
+    }
+
+    fn emit_bulk(&mut self, count: u64) -> bool {
+        debug_assert!(self.limit.is_none());
+        self.count += count;
+        true
     }
 }
 
@@ -174,6 +204,20 @@ impl<S: EmbeddingSink> EmbeddingSink for SharedLimitSink<'_, S> {
             self.inner.emit(embedding)
         }
     }
+
+    /// Bulk passes through only when no global limit is set (a batch could
+    /// overshoot an exact first-k budget) and the inner sink supports it.
+    fn supports_bulk(&self) -> bool {
+        self.budget.limit.is_none() && self.inner.supports_bulk()
+    }
+
+    fn emit_bulk(&mut self, count: u64) -> bool {
+        if self.budget.stopped() {
+            return false;
+        }
+        self.budget.emitted.fetch_add(count, Ordering::Relaxed);
+        self.inner.emit_bulk(count)
+    }
 }
 
 /// A shared cooperative-cancellation token: an explicit stop flag plus an
@@ -264,6 +308,17 @@ impl<S: EmbeddingSink> EmbeddingSink for DeadlineSink<'_, S> {
             return false;
         }
         self.inner.emit(embedding)
+    }
+
+    fn supports_bulk(&self) -> bool {
+        self.inner.supports_bulk()
+    }
+
+    fn emit_bulk(&mut self, count: u64) -> bool {
+        if self.token.is_cancelled() {
+            return false;
+        }
+        self.inner.emit_bulk(count)
     }
 }
 
@@ -379,6 +434,45 @@ mod tests {
         assert!(free.deadline().is_none());
         free.cancel();
         assert!(free.is_cancelled());
+    }
+
+    #[test]
+    fn bulk_support_matrix() {
+        assert!(CountSink::unbounded().supports_bulk());
+        assert!(!CountSink::with_limit(3).supports_bulk());
+        assert!(!CollectSink::unbounded().supports_bulk());
+        let mut c = CountSink::unbounded();
+        assert!(c.emit_bulk(5));
+        assert!(c.emit(&[vid(0)]));
+        assert_eq!(c.count(), 6);
+    }
+
+    #[test]
+    fn shared_limit_sink_bulk_passthrough() {
+        let budget = SharedBudget::new(None);
+        let mut a = CountSink::unbounded();
+        let mut s = SharedLimitSink::new(&mut a, budget.clone());
+        assert!(s.supports_bulk());
+        assert!(s.emit_bulk(7));
+        assert_eq!(budget.emitted(), 7);
+        assert_eq!(a.count(), 7);
+
+        let limited = SharedBudget::new(Some(10));
+        let mut b = CountSink::unbounded();
+        let s = SharedLimitSink::new(&mut b, limited);
+        assert!(!s.supports_bulk(), "limits disable bulk");
+    }
+
+    #[test]
+    fn deadline_sink_bulk_honors_token() {
+        let token = CancelToken::new();
+        let mut inner = CountSink::unbounded();
+        let mut sink = DeadlineSink::new(&mut inner, token.clone());
+        assert!(sink.supports_bulk());
+        assert!(sink.emit_bulk(4));
+        token.cancel();
+        assert!(!sink.emit_bulk(4));
+        assert_eq!(inner.count(), 4);
     }
 
     #[test]

@@ -25,6 +25,8 @@ pub struct Graph {
     label_index: Vec<Vec<VertexId>>,
     /// Optional NLC index; see [`NlcIndex`].
     nlc: Option<NlcIndex>,
+    /// Optional label-pair admission index; see [`LabelPairIndex`].
+    label_pairs: Option<LabelPairIndex>,
 }
 
 /// Precomputed neighborhood label counts: for each vertex, a sorted
@@ -91,6 +93,96 @@ impl NlcIndex {
     }
 }
 
+/// Label-pair admission index: for every ordered label pair `(l, m)` with at
+/// least one data edge joining an `l`-labeled vertex to an `m`-labeled
+/// vertex, the maximum over all `l`-labeled vertices of the number of
+/// `m`-labeled neighbors.
+///
+/// Two sound rejection tests fall out of this summary. Any embedding maps a
+/// query edge `(a, b)` onto a data edge whose endpoints carry *all* labels
+/// of `a` and `b` respectively, so if any `(la, lb)` pair across the edge is
+/// absent from the data graph the query has zero embeddings. Likewise a
+/// query vertex carrying label `l` and requiring `c` neighbors of label `m`
+/// can only map to a vertex with `max_count(l, m) >= c`. Both checks run in
+/// O(query edges × label-set size) — before any candidate computation or
+/// CECI build.
+#[derive(Clone, Debug, Default)]
+pub struct LabelPairIndex {
+    /// Sorted by packed key `(l << 32) | m`; value = max `m`-neighbor count
+    /// over vertices carrying `l`.
+    entries: Vec<(u64, u32)>,
+}
+
+impl LabelPairIndex {
+    #[inline]
+    fn key(l: LabelId, m: LabelId) -> u64 {
+        ((l.0 as u64) << 32) | m.0 as u64
+    }
+
+    fn build(csr: &Csr, labels: &[LabelSet]) -> Self {
+        use std::collections::HashMap;
+        let mut max: HashMap<u64, u32> = HashMap::new();
+        let mut scratch: Vec<LabelId> = Vec::new();
+        for v in 0..csr.num_vertices() {
+            // Neighborhood label multiset of v, as sorted runs.
+            scratch.clear();
+            for &nb in csr.neighbors(VertexId::from_index(v)) {
+                scratch.extend(labels[nb.index()].iter());
+            }
+            scratch.sort_unstable();
+            let mut i = 0;
+            while i < scratch.len() {
+                let m = scratch[i];
+                let mut j = i + 1;
+                while j < scratch.len() && scratch[j] == m {
+                    j += 1;
+                }
+                let count = (j - i) as u32;
+                for l in labels[v].iter() {
+                    let e = max.entry(Self::key(l, m)).or_insert(0);
+                    *e = (*e).max(count);
+                }
+                i = j;
+            }
+        }
+        let mut entries: Vec<(u64, u32)> = max.into_iter().collect();
+        entries.sort_unstable_by_key(|&(k, _)| k);
+        LabelPairIndex { entries }
+    }
+
+    /// Does any data edge join an `l`-labeled vertex to an `m`-labeled one?
+    #[inline]
+    pub fn has_pair(&self, l: LabelId, m: LabelId) -> bool {
+        self.max_count(l, m) > 0
+    }
+
+    /// Max number of `m`-labeled neighbors over vertices carrying `l`
+    /// (0 when the pair never occurs).
+    #[inline]
+    pub fn max_count(&self, l: LabelId, m: LabelId) -> u32 {
+        let k = Self::key(l, m);
+        match self.entries.binary_search_by_key(&k, |&(key, _)| key) {
+            Ok(i) => self.entries[i].1,
+            Err(_) => 0,
+        }
+    }
+
+    /// Number of distinct ordered label pairs present.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the data graph has no labeled edges at all.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Bytes of heap memory held by the index.
+    pub fn size_bytes(&self) -> usize {
+        self.entries.capacity() * std::mem::size_of::<(u64, u32)>()
+    }
+}
+
 impl Graph {
     /// Builds a graph from an edge list and per-vertex label sets.
     ///
@@ -125,6 +217,7 @@ impl Graph {
             directed_input,
             label_index,
             nlc: None,
+            label_pairs: None,
         }
     }
 
@@ -146,6 +239,19 @@ impl Graph {
     #[inline]
     pub fn nlc_index(&self) -> Option<&NlcIndex> {
         self.nlc.as_ref()
+    }
+
+    /// Precomputes the label-pair admission index. Idempotent.
+    pub fn build_label_pair_index(&mut self) {
+        if self.label_pairs.is_none() {
+            self.label_pairs = Some(LabelPairIndex::build(&self.csr, &self.labels));
+        }
+    }
+
+    /// The label-pair admission index, if built.
+    #[inline]
+    pub fn label_pair_index(&self) -> Option<&LabelPairIndex> {
+        self.label_pairs.as_ref()
     }
 
     /// Number of vertices `|V|`.
@@ -261,6 +367,11 @@ impl Graph {
             + label_bytes
             + index_bytes
             + self.nlc.as_ref().map(|n| n.size_bytes()).unwrap_or(0)
+            + self
+                .label_pairs
+                .as_ref()
+                .map(|p| p.size_bytes())
+                .unwrap_or(0)
     }
 }
 
@@ -370,5 +481,48 @@ mod tests {
         let before = g.size_bytes();
         g.build_nlc_index();
         assert!(g.size_bytes() > before);
+    }
+
+    #[test]
+    fn label_pair_index_presence_matches_edges() {
+        let mut g = fixture();
+        g.build_label_pair_index();
+        let lp = g.label_pair_index().unwrap();
+        // Edges: 0(A)-1(B), 1(B)-2(A,B), 1(B)-3(C), 2(A,B)-3(C).
+        assert!(lp.has_pair(lid(0), lid(1))); // A-B via (0,1)
+        assert!(lp.has_pair(lid(1), lid(0)));
+        assert!(lp.has_pair(lid(1), lid(1))); // B-B via (1,2)
+        assert!(lp.has_pair(lid(0), lid(2))); // A-C via (2,3)
+        assert!(lp.has_pair(lid(2), lid(1))); // C-B via (3,1)
+                                              // No edge joins two A-only... (0,2) not an edge; A-A pair would need
+                                              // an edge between two vertices both carrying A — none exists.
+        assert!(!lp.has_pair(lid(0), lid(0)));
+        assert!(!lp.has_pair(lid(2), lid(2))); // single C vertex
+        assert!(!lp.has_pair(lid(0), lid(9))); // out of alphabet
+    }
+
+    #[test]
+    fn label_pair_index_max_counts() {
+        let mut g = fixture();
+        g.build_label_pair_index();
+        let lp = g.label_pair_index().unwrap();
+        // Vertex 1(B) has neighbors {0(A), 2(A,B), 3(C)} → two A-neighbors,
+        // and it is the B-vertex with the most A-neighbors.
+        assert_eq!(lp.max_count(lid(1), lid(0)), 2);
+        // Every A-vertex (0 and 2) has exactly one B-neighbor (vertex 1).
+        assert_eq!(lp.max_count(lid(0), lid(1)), 1);
+        assert_eq!(lp.max_count(lid(0), lid(0)), 0);
+    }
+
+    #[test]
+    fn label_pair_index_build_is_idempotent_and_sized() {
+        let mut g = fixture();
+        let before = g.size_bytes();
+        g.build_label_pair_index();
+        let n = g.label_pair_index().unwrap().len();
+        g.build_label_pair_index();
+        assert_eq!(g.label_pair_index().unwrap().len(), n);
+        assert!(g.size_bytes() > before);
+        assert!(!g.label_pair_index().unwrap().is_empty());
     }
 }

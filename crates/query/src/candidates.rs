@@ -6,9 +6,92 @@
 //! during CECI construction; here they run globally to support root selection
 //! and pivot discovery.
 
-use ceci_graph::{Graph, VertexId};
+use ceci_graph::{Graph, LabelId, VertexId};
 
 use crate::query_graph::QueryGraph;
+
+/// Verdict of the O(query edges) label-pair admission check. Any rejection
+/// is a *proof* of zero embeddings — the check is sound, never heuristic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AdmissionVerdict {
+    /// The query passed every structural test and may have embeddings.
+    Pass,
+    /// A query vertex requires a label no data vertex carries.
+    AbsentLabel(LabelId),
+    /// A query edge requires a label pair no data edge realizes.
+    AbsentPair(LabelId, LabelId),
+    /// A query vertex's neighborhood-label signature exceeds what any data
+    /// vertex carrying `label` offers: it needs `required` neighbors of
+    /// label `neighbor`, but the data-graph maximum is smaller.
+    SignatureExceeded {
+        /// A label of the query vertex.
+        label: LabelId,
+        /// The neighbor label whose count cannot be met.
+        neighbor: LabelId,
+        /// Neighbors of that label the query vertex requires.
+        required: u32,
+    },
+}
+
+impl AdmissionVerdict {
+    /// `true` when the query is provably embedding-free.
+    #[inline]
+    pub fn rejected(&self) -> bool {
+        !matches!(self, AdmissionVerdict::Pass)
+    }
+}
+
+/// Label-pair / neighborhood-signature admission filter (l2Match-style):
+/// rejects queries that provably have zero embeddings before any candidate
+/// computation or CECI build, in O(query edges × label-set size).
+///
+/// Soundness: an embedding maps every query vertex `u` onto a data vertex
+/// carrying **all** labels of `u`, and every query edge onto a data edge.
+/// So (1) each query label must occur in the data graph, (2) each label
+/// pair across a query edge must occur across some data edge, and (3) a
+/// query vertex needing `c` neighbors of label `m` can only map to a data
+/// vertex whose `m`-neighbor count is ≥ `c` — bounded per carried label by
+/// [`ceci_graph::LabelPairIndex::max_count`]. Violating any of these
+/// proves the count is 0.
+///
+/// Requires [`Graph::label_pair_index`] to be built for tests (2) and (3);
+/// without it only the label-occurrence test runs.
+pub fn admission_check(query: &QueryGraph, graph: &Graph) -> AdmissionVerdict {
+    for u in query.vertices() {
+        for l in query.labels(u).iter() {
+            if graph.vertices_with_label(l).is_empty() {
+                return AdmissionVerdict::AbsentLabel(l);
+            }
+        }
+    }
+    let Some(lp) = graph.label_pair_index() else {
+        return AdmissionVerdict::Pass;
+    };
+    for &(a, b) in query.edges() {
+        for la in query.labels(a).iter() {
+            for lb in query.labels(b).iter() {
+                if !lp.has_pair(la, lb) {
+                    return AdmissionVerdict::AbsentPair(la, lb);
+                }
+            }
+        }
+    }
+    for u in query.vertices() {
+        let qc = query.neighborhood_label_counts(u);
+        for l in query.labels(u).iter() {
+            for &(m, c) in &qc {
+                if lp.max_count(l, m) < c {
+                    return AdmissionVerdict::SignatureExceeded {
+                        label: l,
+                        neighbor: m,
+                        required: c,
+                    };
+                }
+            }
+        }
+    }
+    AdmissionVerdict::Pass
+}
 
 /// Returns `true` if data vertex `v` passes the label filter (LF) for query
 /// vertex `u`: `L_q(u) ⊆ L(v)`.
@@ -190,6 +273,81 @@ mod tests {
         )
         .unwrap();
         assert_eq!(candidates_of(&q, &g, vid(0)), vec![vid(0)]);
+    }
+
+    #[test]
+    fn admission_passes_satisfiable_queries() {
+        let mut g = data();
+        g.build_label_pair_index();
+        assert_eq!(admission_check(&edge_query(), &g), AdmissionVerdict::Pass);
+    }
+
+    #[test]
+    fn admission_rejects_absent_label() {
+        let mut g = data();
+        g.build_label_pair_index();
+        let q = QueryGraph::with_labels(&[lid(7)], &[]).unwrap();
+        assert_eq!(
+            admission_check(&q, &g),
+            AdmissionVerdict::AbsentLabel(lid(7))
+        );
+    }
+
+    #[test]
+    fn admission_rejects_absent_pair() {
+        let mut g = data();
+        g.build_label_pair_index();
+        // Data has no A-A edge; labels A exist, so the pair test fires.
+        let q = QueryGraph::with_labels(&[lid(0), lid(0)], &[(0, 1)]).unwrap();
+        assert_eq!(
+            admission_check(&q, &g),
+            AdmissionVerdict::AbsentPair(lid(0), lid(0))
+        );
+    }
+
+    #[test]
+    fn admission_rejects_oversized_signature() {
+        let mut g = data();
+        g.build_label_pair_index();
+        // An A vertex with three B neighbors: data max is 1 (A-vertices 0
+        // and 2 each have one B neighbor... vertex 0 has neighbors 1(B),
+        // 3(B) → 2). Require 3 to exceed every A vertex.
+        let q =
+            QueryGraph::with_labels(&[lid(0), lid(1), lid(1), lid(1)], &[(0, 1), (0, 2), (0, 3)])
+                .unwrap();
+        assert_eq!(
+            admission_check(&q, &g),
+            AdmissionVerdict::SignatureExceeded {
+                label: lid(0),
+                neighbor: lid(1),
+                required: 3,
+            }
+        );
+    }
+
+    #[test]
+    fn admission_without_index_only_checks_labels() {
+        let g = data();
+        assert!(g.label_pair_index().is_none());
+        let q = QueryGraph::with_labels(&[lid(0), lid(0)], &[(0, 1)]).unwrap();
+        assert_eq!(admission_check(&q, &g), AdmissionVerdict::Pass);
+        let q = QueryGraph::with_labels(&[lid(9)], &[]).unwrap();
+        assert!(admission_check(&q, &g).rejected());
+    }
+
+    #[test]
+    fn admission_rejection_implies_zero_candidates_somewhere() {
+        // Sanity: every rejected query here truly has an empty candidate
+        // set for at least one vertex (soundness spot-check).
+        let mut g = data();
+        g.build_label_pair_index();
+        let q = QueryGraph::with_labels(&[lid(0), lid(0)], &[(0, 1)]).unwrap();
+        assert!(admission_check(&q, &g).rejected());
+        // Both endpoints pass LF/DF individually, but no A-A edge exists:
+        // the admission filter proves it without enumerating.
+        for u in q.vertices() {
+            let _ = candidates_of(&q, &g, u);
+        }
     }
 
     #[test]

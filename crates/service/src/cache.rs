@@ -25,7 +25,7 @@
 
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 
 use ceci_core::Ceci;
 use ceci_query::{CanonicalQuery, QueryPlan};
@@ -57,6 +57,123 @@ struct CacheMap {
     bytes: usize,
     /// Keys whose build panicked; probes answer [`Probe::Quarantined`].
     quarantined: HashSet<(u64, u64)>,
+    /// Keys with a build currently in flight (single-flight gates).
+    flights: HashMap<(u64, u64), Arc<Flight>>,
+}
+
+/// A single-flight gate: one leader builds, every concurrent misser on the
+/// same `(epoch, hash)` blocks on the gate instead of duplicating the build.
+#[derive(Debug)]
+pub struct Flight {
+    state: Mutex<Option<FlightWait>>,
+    cv: Condvar,
+}
+
+impl Flight {
+    fn new() -> Self {
+        Flight {
+            state: Mutex::new(None),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn publish(&self, outcome: FlightWait) {
+        let mut st = self.state.lock().expect("flight lock poisoned");
+        if st.is_none() {
+            *st = Some(outcome);
+        }
+        self.cv.notify_all();
+    }
+
+    /// Blocks until the leader publishes an outcome.
+    pub fn wait(&self) -> FlightWait {
+        let mut st = self.state.lock().expect("flight lock poisoned");
+        loop {
+            if let Some(outcome) = st.clone() {
+                return outcome;
+            }
+            st = self.cv.wait(st).expect("flight lock poisoned");
+        }
+    }
+}
+
+/// What a single-flight waiter observes when the leader finishes.
+#[derive(Clone, Debug)]
+pub enum FlightWait {
+    /// The leader's build completed; the entry is ready (and cached when
+    /// the budget allowed). The waiter must still verify the canonical
+    /// *form* against its own query — a 64-bit hash collision between two
+    /// concurrent queries would otherwise serve the wrong index.
+    Ready(Arc<CachedIndex>),
+    /// The leader's build panicked; the key is quarantined. Waiters answer
+    /// `ERR E_QUARANTINED` without attempting their own build.
+    Failed,
+}
+
+/// Outcome of [`IndexCache::begin`]: a cache probe that additionally
+/// arbitrates concurrent misses into one leader and N−1 waiters.
+pub enum FlightProbe<'a> {
+    /// Verified hit.
+    Hit(Arc<CachedIndex>),
+    /// Key quarantined by an earlier panicked build.
+    Quarantined,
+    /// Hash collision with a cached entry of a different canonical form;
+    /// the caller builds solo and must not insert.
+    Collision,
+    /// This caller is the build leader: build, then [`FlightGuard::complete`]
+    /// or [`FlightGuard::fail`]. Dropping the guard without either fails
+    /// the flight (unwind safety net).
+    Lead(FlightGuard<'a>),
+    /// Another caller is already building this key; `wait()` blocks until
+    /// its outcome.
+    Wait(Arc<Flight>),
+}
+
+/// Leader-side handle of a single-flight build. Exactly one exists per
+/// in-flight key; completing or dropping it releases the gate.
+pub struct FlightGuard<'a> {
+    cache: &'a IndexCache,
+    epoch: u64,
+    key: (u64, u64),
+    flight: Arc<Flight>,
+    published: bool,
+}
+
+impl FlightGuard<'_> {
+    /// Publishes a completed build: caches it (budget permitting), wakes
+    /// every waiter with the entry, and releases the gate. Returns the
+    /// shared entry for the leader's own use.
+    pub fn complete(mut self, entry: CachedIndex) -> Arc<CachedIndex> {
+        let entry = Arc::new(entry);
+        self.cache.insert_arc(self.epoch, Arc::clone(&entry));
+        self.release(FlightWait::Ready(Arc::clone(&entry)));
+        entry
+    }
+
+    /// Publishes a failed build (the caller is responsible for quarantining
+    /// the key first so waiters and later probes agree on the verdict).
+    pub fn fail(mut self) {
+        self.release(FlightWait::Failed);
+    }
+
+    fn release(&mut self, outcome: FlightWait) {
+        self.published = true;
+        {
+            let mut map = self.cache.map.lock().expect("cache lock poisoned");
+            map.flights.remove(&self.key);
+        }
+        self.flight.publish(outcome);
+    }
+}
+
+impl Drop for FlightGuard<'_> {
+    fn drop(&mut self) {
+        if !self.published {
+            // Leader unwound without publishing: fail the waiters rather
+            // than leaving them blocked forever.
+            self.release(FlightWait::Failed);
+        }
+    }
 }
 
 /// Outcome of a cache probe.
@@ -141,10 +258,48 @@ impl IndexCache {
             .len()
     }
 
+    /// Probes for `(epoch, canonical)` with single-flight arbitration: a
+    /// verified hit returns the entry, a quarantined key or collision is
+    /// reported, and a miss is split into exactly one [`FlightProbe::Lead`]
+    /// (the caller that must build) with every concurrent misser on the
+    /// same key receiving [`FlightProbe::Wait`].
+    pub fn begin(&self, epoch: u64, canonical: &CanonicalQuery) -> FlightProbe<'_> {
+        let stamp = self.tick();
+        let key = (epoch, canonical.hash());
+        let mut map = self.map.lock().expect("cache lock poisoned");
+        if map.quarantined.contains(&key) {
+            return FlightProbe::Quarantined;
+        }
+        match map.slots.get_mut(&key) {
+            Some(slot) if slot.entry.canonical == *canonical => {
+                slot.last_used = stamp;
+                return FlightProbe::Hit(Arc::clone(&slot.entry));
+            }
+            Some(_) => return FlightProbe::Collision,
+            None => {}
+        }
+        if let Some(flight) = map.flights.get(&key) {
+            return FlightProbe::Wait(Arc::clone(flight));
+        }
+        let flight = Arc::new(Flight::new());
+        map.flights.insert(key, Arc::clone(&flight));
+        FlightProbe::Lead(FlightGuard {
+            cache: self,
+            epoch,
+            key,
+            flight,
+            published: false,
+        })
+    }
+
     /// Inserts an entry built outside the lock, then evicts LRU-first until
     /// the byte budget holds. Entries larger than the whole budget are not
     /// cached at all. Returns the number of entries evicted.
     pub fn insert(&self, epoch: u64, entry: CachedIndex) -> u64 {
+        self.insert_arc(epoch, Arc::new(entry))
+    }
+
+    fn insert_arc(&self, epoch: u64, entry: Arc<CachedIndex>) -> u64 {
         // A zero budget disables caching entirely — including zero-byte
         // entries, which would otherwise slip past the size check and leave
         // phantom slots a "disabled" cache is documented not to hold.
@@ -163,7 +318,7 @@ impl IndexCache {
         if let Some(old) = map.slots.insert(
             key,
             Slot {
-                entry: Arc::new(entry),
+                entry,
                 last_used: stamp,
             },
         ) {
@@ -475,6 +630,137 @@ mod tests {
             "bytes must return exactly to the pre-quarantine baseline"
         );
         assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn singleflight_one_leader_rest_wait() {
+        let cache = Arc::new(IndexCache::new(1 << 20));
+        let proto = entry(0, 128);
+        let canonical = proto.canonical.clone();
+        drop(proto);
+        let leaders = Arc::new(AtomicU64::new(0));
+        let waits = Arc::new(AtomicU64::new(0));
+        let barrier = Arc::new(std::sync::Barrier::new(8));
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let cache = Arc::clone(&cache);
+                let canonical = canonical.clone();
+                let leaders = Arc::clone(&leaders);
+                let waits = Arc::clone(&waits);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    match cache.begin(7, &canonical) {
+                        FlightProbe::Lead(guard) => {
+                            leaders.fetch_add(1, Ordering::SeqCst);
+                            // Linger so the others pile onto the gate.
+                            std::thread::sleep(std::time::Duration::from_millis(100));
+                            guard.complete(entry(0, 128));
+                        }
+                        FlightProbe::Wait(flight) => {
+                            waits.fetch_add(1, Ordering::SeqCst);
+                            match flight.wait() {
+                                FlightWait::Ready(e) => assert_eq!(e.canonical, canonical),
+                                FlightWait::Failed => panic!("leader failed"),
+                            }
+                        }
+                        FlightProbe::Hit(_) => {} // raced past the flight
+                        other => panic!(
+                            "unexpected probe: {}",
+                            match other {
+                                FlightProbe::Quarantined => "quarantined",
+                                FlightProbe::Collision => "collision",
+                                _ => unreachable!(),
+                            }
+                        ),
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(leaders.load(Ordering::SeqCst), 1, "exactly one build");
+        assert!(waits.load(Ordering::SeqCst) >= 1, "someone waited");
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.bytes(), 128);
+        assert!(matches!(cache.begin(7, &canonical), FlightProbe::Hit(_)));
+    }
+
+    #[test]
+    fn singleflight_failed_leader_fails_waiters() {
+        let cache = Arc::new(IndexCache::new(1 << 20));
+        let proto = entry(0, 64);
+        let canonical = proto.canonical.clone();
+        drop(proto);
+        let guard = match cache.begin(3, &canonical) {
+            FlightProbe::Lead(g) => g,
+            _ => panic!("first probe must lead"),
+        };
+        let waiter = {
+            let cache = Arc::clone(&cache);
+            let canonical = canonical.clone();
+            std::thread::spawn(move || match cache.begin(3, &canonical) {
+                FlightProbe::Wait(flight) => flight.wait(),
+                _ => panic!("second probe must wait"),
+            })
+        };
+        // Give the waiter time to block, then fail like the server does on
+        // a panicked build: quarantine first, then release the gate.
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        cache.quarantine(3, &canonical);
+        guard.fail();
+        assert!(matches!(waiter.join().unwrap(), FlightWait::Failed));
+        assert!(matches!(
+            cache.begin(3, &canonical),
+            FlightProbe::Quarantined
+        ));
+    }
+
+    #[test]
+    fn singleflight_dropped_guard_releases_gate() {
+        let cache = IndexCache::new(1 << 20);
+        let proto = entry(0, 64);
+        let canonical = proto.canonical.clone();
+        drop(proto);
+        {
+            let _guard = match cache.begin(5, &canonical) {
+                FlightProbe::Lead(g) => g,
+                _ => panic!("must lead"),
+            };
+            // Unwind without complete()/fail().
+        }
+        // The gate is gone: the next probe leads again instead of waiting.
+        assert!(matches!(cache.begin(5, &canonical), FlightProbe::Lead(_)));
+    }
+
+    #[test]
+    fn singleflight_completion_answers_even_when_not_cached() {
+        // Zero budget: the entry cannot be cached, but waiters still get it.
+        let cache = Arc::new(IndexCache::new(0));
+        let proto = entry(0, 64);
+        let canonical = proto.canonical.clone();
+        drop(proto);
+        let guard = match cache.begin(9, &canonical) {
+            FlightProbe::Lead(g) => g,
+            _ => panic!("must lead"),
+        };
+        let waiter = {
+            let cache = Arc::clone(&cache);
+            let canonical = canonical.clone();
+            std::thread::spawn(move || match cache.begin(9, &canonical) {
+                FlightProbe::Wait(flight) => flight.wait(),
+                _ => panic!("must wait"),
+            })
+        };
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        let got = guard.complete(entry(0, 64));
+        assert_eq!(got.canonical, canonical);
+        match waiter.join().unwrap() {
+            FlightWait::Ready(e) => assert_eq!(e.canonical, canonical),
+            FlightWait::Failed => panic!("leader completed"),
+        }
+        assert_eq!(cache.len(), 0, "zero budget still caches nothing");
     }
 
     #[test]

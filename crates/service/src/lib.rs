@@ -14,6 +14,12 @@
 //! * **per-request deadlines** threaded into enumeration as cooperative
 //!   cancellation (`ceci_core::CancelToken`), returning partial counts with
 //!   `status=DEADLINE_EXCEEDED` ([`server`]),
+//! * a **multi-query optimization layer**: a label-pair admission filter
+//!   answering provably-zero MATCHes before any build, single-flight
+//!   deduplication of concurrent identical builds ([`cache`]),
+//!   shared-prefix batched execution over a frontier cache ([`pool`]), and
+//!   leaf-level redundant-extension pruning — all per-request bypassable
+//!   with `MATCH ... RAW` for differential verification,
 //! * a line-oriented **text protocol** ([`protocol`]) and lock-free
 //!   **metrics** surfaced via `STATS` ([`metrics`]),
 //! * a blocking **client** doubling as a closed-loop load generator
@@ -31,10 +37,10 @@ pub mod protocol;
 pub mod registry;
 pub mod server;
 
-pub use cache::{CachedIndex, IndexCache, Probe};
+pub use cache::{CachedIndex, Flight, FlightGuard, FlightProbe, FlightWait, IndexCache, Probe};
 pub use client::{run_load, Client, LoadConfig, LoadReport, Response, RetryOutcome, RetryPolicy};
 pub use metrics::{LatencyHistogram, ServerMetrics};
-pub use pool::{Admission, PoolHandle, WorkerPool};
+pub use pool::{Admission, FrontierCache, FrontierOutcome, PoolHandle, SharedFrontier, WorkerPool};
 pub use protocol::{parse_request, ChaosCommand, ErrorCode, MatchStatus, ParseError, Request};
 pub use registry::{GraphEntry, GraphRegistry};
 pub use server::{start, start_with_state, ServeConfig, ServerHandle, ServerState};

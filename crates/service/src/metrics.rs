@@ -175,6 +175,16 @@ pub struct ServerMetrics {
     pub chaos_injected: AtomicU64,
     /// Total embeddings returned across MATCH responses.
     pub embeddings_returned: AtomicU64,
+    /// MATCH requests answered `count=0` by the label-pair admission filter
+    /// without building (or looking up) an index.
+    pub filter_rejected: AtomicU64,
+    /// MATCH requests that waited on another request's in-flight index
+    /// build instead of building their own (single-flight dedup).
+    pub singleflight_waits: AtomicU64,
+    /// Shared-prefix frontiers built (batch leader paid the prefix cost).
+    pub batch_frontier_builds: AtomicU64,
+    /// MATCH requests that reused an already-built shared-prefix frontier.
+    pub batch_frontier_hits: AtomicU64,
     /// End-to-end MATCH latency (admission to response).
     pub match_latency: LatencyHistogram,
     /// CECI build time on cache misses.
@@ -220,6 +230,16 @@ impl ServerMetrics {
             ("quarantine_hits".into(), g(&self.quarantine_hits)),
             ("chaos_injected".into(), g(&self.chaos_injected)),
             ("embeddings_returned".into(), g(&self.embeddings_returned)),
+            ("filter_rejected".into(), g(&self.filter_rejected)),
+            (
+                "cache_singleflight_waits".into(),
+                g(&self.singleflight_waits),
+            ),
+            (
+                "batch_frontier_builds".into(),
+                g(&self.batch_frontier_builds),
+            ),
+            ("batch_frontier_hits".into(), g(&self.batch_frontier_hits)),
             ("match_latency_count".into(), self.match_latency.count()),
             ("match_latency_mean_us".into(), self.match_latency.mean_us()),
             (

@@ -14,14 +14,19 @@
 //!
 //! ```text
 //! LOAD <name> <path> [EDGELIST] [DIRECTED]
-//! MATCH <graph> <query-path> [LIMIT <k>] [DEADLINE <ms>] [WORKERS <n>]
+//! MATCH <graph> <query-path> [LIMIT <k>] [DEADLINE <ms>] [WORKERS <n>] [RAW]
 //! EXPLAIN <graph> <query-path> [ANALYZE]
 //! STATS [PROM]
 //! SLEEP <ms>
-//! CHAOS PANIC | BUILDPANIC | DELAY <ms>
+//! CHAOS PANIC | BUILDPANIC | BUILDDELAY <ms> | DELAY <ms>
 //! PING
 //! QUIT
 //! ```
+//!
+//! `MATCH ... RAW` opts one request out of the multi-query optimization
+//! layer (admission filter, single-flight builds, shared-prefix batching,
+//! redundant-extension pruning) — the differential lever used to verify the
+//! optimized path returns bit-identical counts.
 //!
 //! `CHAOS` is a fault-injection verb for testing the server's failure
 //! paths; it is refused with `E_CHAOS_DISABLED` unless the server was
@@ -58,6 +63,11 @@ pub enum Request {
         deadline_ms: Option<u64>,
         /// Enumeration threads for this request (capped by the server).
         workers: Option<usize>,
+        /// `RAW`: bypass the multi-query optimization layer (admission
+        /// filter, shared-prefix batching, redundant-extension pruning) for
+        /// this request — the differential lever for verifying bit-identical
+        /// counts.
+        raw: bool,
     },
     /// Plan/index report for a (graph, query) pair.
     Explain {
@@ -104,6 +114,15 @@ pub enum ChaosCommand {
     /// Arm a one-shot flag so the *next* index build panics mid-build —
     /// exercises build isolation and cache quarantine.
     BuildPanic,
+    /// Arm a one-shot flag so the *next* index build sleeps `ms`
+    /// milliseconds before running — the deterministic lever for widening
+    /// the single-flight window so concurrent identical MATCHes pile up
+    /// behind one leader. Composes with `BuildPanic` (delay first, then
+    /// panic).
+    BuildDelay {
+        /// How long the next build stalls.
+        ms: u64,
+    },
     /// Occupy a pool worker for `ms` milliseconds (like `SLEEP`, but
     /// counted as injected chaos) — a lever for forcing `BUSY` storms.
     Delay {
@@ -226,6 +245,7 @@ pub fn parse_request(line: &str) -> Result<Option<Request>, ParseError> {
             let mut limit = None;
             let mut deadline_ms = None;
             let mut workers = None;
+            let mut raw = false;
             while let Some(opt) = it.next() {
                 match opt.to_ascii_uppercase().as_str() {
                     "LIMIT" => limit = Some(parse_u64(&mut it, "LIMIT")?),
@@ -237,6 +257,7 @@ pub fn parse_request(line: &str) -> Result<Option<Request>, ParseError> {
                         }
                         workers = Some(w as usize);
                     }
+                    "RAW" => raw = true,
                     other => return Err(err(format!("unknown MATCH option {other:?}"))),
                 }
             }
@@ -246,6 +267,7 @@ pub fn parse_request(line: &str) -> Result<Option<Request>, ParseError> {
                 limit,
                 deadline_ms,
                 workers,
+                raw,
             }
         }
         "EXPLAIN" => {
@@ -282,12 +304,15 @@ pub fn parse_request(line: &str) -> Result<Option<Request>, ParseError> {
             ms: parse_u64(&mut it, "SLEEP")?,
         },
         "CHAOS" => {
-            let sub = it
-                .next()
-                .ok_or_else(|| err("CHAOS requires PANIC | BUILDPANIC | DELAY <ms>"))?;
+            let sub = it.next().ok_or_else(|| {
+                err("CHAOS requires PANIC | BUILDPANIC | BUILDDELAY <ms> | DELAY <ms>")
+            })?;
             let command = match sub.to_ascii_uppercase().as_str() {
                 "PANIC" => ChaosCommand::Panic,
                 "BUILDPANIC" => ChaosCommand::BuildPanic,
+                "BUILDDELAY" => ChaosCommand::BuildDelay {
+                    ms: parse_u64(&mut it, "BUILDDELAY")?,
+                },
                 "DELAY" => ChaosCommand::Delay {
                     ms: parse_u64(&mut it, "DELAY")?,
                 },
@@ -359,6 +384,7 @@ mod tests {
                 limit: Some(100),
                 deadline_ms: Some(50),
                 workers: Some(2),
+                raw: false,
             })
         );
         assert_eq!(
@@ -369,6 +395,18 @@ mod tests {
                 limit: None,
                 deadline_ms: None,
                 workers: None,
+                raw: false,
+            })
+        );
+        assert_eq!(
+            parse_request("MATCH g q RAW").unwrap(),
+            Some(Request::Match {
+                graph: "g".into(),
+                query_path: "q".into(),
+                limit: None,
+                deadline_ms: None,
+                workers: None,
+                raw: true,
             })
         );
         assert!(parse_request("MATCH g q LIMIT").is_err());
@@ -452,8 +490,15 @@ mod tests {
                 command: ChaosCommand::Delay { ms: 40 }
             })
         );
+        assert_eq!(
+            parse_request("chaos builddelay 250").unwrap(),
+            Some(Request::Chaos {
+                command: ChaosCommand::BuildDelay { ms: 250 }
+            })
+        );
         assert!(parse_request("CHAOS").is_err());
         assert!(parse_request("CHAOS DELAY").is_err());
+        assert!(parse_request("CHAOS BUILDDELAY").is_err());
         assert!(parse_request("CHAOS FLOOD").is_err());
     }
 

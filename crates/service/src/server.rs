@@ -35,19 +35,22 @@
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use ceci_core::{enumerate_parallel_cancellable, CancelToken, Ceci, ParallelOptions};
+use ceci_core::{
+    enumerate_from_frontier, enumerate_parallel_cancellable, CancelToken, Ceci, CountSink,
+    EnumOptions, ParallelOptions, PrefixSpec,
+};
 use ceci_graph::io as graph_io;
-use ceci_query::{CanonicalQuery, QueryGraph, QueryPlan};
+use ceci_query::{admission_check, CanonicalQuery, QueryGraph, QueryPlan};
 use ceci_trace::{PromWriter, Tracer};
 
-use crate::cache::{CachedIndex, IndexCache, Probe};
+use crate::cache::{CachedIndex, FlightProbe, FlightWait, IndexCache, Probe};
 use crate::metrics::ServerMetrics;
-use crate::pool::{Admission, PoolHandle, WorkerPool};
+use crate::pool::{Admission, FrontierCache, FrontierOutcome, PoolHandle, WorkerPool};
 use crate::protocol::{parse_request, ChaosCommand, ErrorCode, MatchStatus, Request};
 use crate::registry::GraphRegistry;
 
@@ -77,6 +80,26 @@ pub struct ServeConfig {
     /// default: the span store grows with request count, which is fine for
     /// tests and bounded benchmark runs but not for an unattended server.
     pub trace: bool,
+    /// Label-pair admission filter: answer provably-zero MATCHes with
+    /// `count=0` before any cache probe or index build (`MATCH ... RAW`
+    /// bypasses it per request).
+    pub admission_filter: bool,
+    /// Dedupe concurrent cache misses on the same `(epoch, canonical)` key
+    /// into one build with N−1 waiters ([`IndexCache::begin`]).
+    pub single_flight: bool,
+    /// Shared-prefix batched execution: count-only single-threaded MATCHes
+    /// whose plans share a matching-order prefix shape reuse one cached
+    /// candidate frontier instead of re-scanning the prefix per query.
+    pub batching: bool,
+    /// Redundant-extension elimination at the enumeration leaf (CEMR-style
+    /// sibling-subtree reuse; bit-identical counts, fewer intersections).
+    pub prune_redundant: bool,
+    /// Matching-order prefix length the batch scheduler groups on. Queries
+    /// shorter than `depth + 1` simply run unbatched.
+    pub batch_prefix_depth: usize,
+    /// Published shared frontiers kept by the [`FrontierCache`] (FIFO
+    /// eviction beyond this).
+    pub frontier_cache_entries: usize,
 }
 
 impl Default for ServeConfig {
@@ -91,6 +114,12 @@ impl Default for ServeConfig {
             build_threads: 1,
             chaos: false,
             trace: false,
+            admission_filter: true,
+            single_flight: true,
+            batching: true,
+            prune_redundant: true,
+            batch_prefix_depth: 2,
+            frontier_cache_entries: 32,
         }
     }
 }
@@ -106,11 +135,18 @@ pub struct ServerState {
     /// `service.request` span store (recording only when
     /// [`ServeConfig::trace`] is set; always safe to snapshot).
     pub tracer: Tracer,
+    /// Shared-prefix frontiers for the batch scheduler (epoch-scoped,
+    /// single-flight like the index cache).
+    pub frontiers: FrontierCache,
     config: ServeConfig,
     stopping: AtomicBool,
     /// One-shot flag armed by `CHAOS BUILDPANIC`: the next index build
     /// panics (and is caught, quarantining its cache key).
     build_panic_armed: AtomicBool,
+    /// One-shot delay armed by `CHAOS BUILDDELAY <ms>`: the next index
+    /// build sleeps first, widening the single-flight window so tests can
+    /// deterministically pile waiters behind one leader.
+    build_delay_ms: AtomicU64,
 }
 
 impl ServerState {
@@ -123,9 +159,11 @@ impl ServerState {
             cache: IndexCache::new(config.cache_budget_bytes),
             metrics: ServerMetrics::default(),
             tracer,
+            frontiers: FrontierCache::new(config.frontier_cache_entries),
             config,
             stopping: AtomicBool::new(false),
             build_panic_armed: AtomicBool::new(false),
+            build_delay_ms: AtomicU64::new(0),
         }
     }
 
@@ -287,6 +325,7 @@ fn dispatch(request: Request, state: &Arc<ServerState>, pool: &PoolHandle) -> Ve
                 limit,
                 deadline_ms,
                 workers,
+                raw,
             } => exec_match(
                 job_state,
                 &graph,
@@ -294,6 +333,7 @@ fn dispatch(request: Request, state: &Arc<ServerState>, pool: &PoolHandle) -> Ve
                 limit,
                 deadline_ms,
                 workers,
+                raw,
                 queue_wait,
             ),
             Request::Explain {
@@ -359,6 +399,10 @@ fn exec_chaos(command: ChaosCommand, state: &Arc<ServerState>, pool: &PoolHandle
             state.build_panic_armed.store(true, Ordering::SeqCst);
             vec!["OK CHAOS armed=BUILDPANIC".to_string()]
         }
+        ChaosCommand::BuildDelay { ms } => {
+            state.build_delay_ms.store(ms, Ordering::SeqCst);
+            vec![format!("OK CHAOS armed=BUILDDELAY ms={ms}")]
+        }
         ChaosCommand::Panic => submit_to_pool(state, pool, |_, _| {
             panic!("injected CHAOS PANIC in pool worker")
         }),
@@ -387,6 +431,7 @@ fn exec_stats(state: &ServerState, prom: bool) -> Vec<String> {
             state.cache.quarantined_len() as u64,
         ),
         ("trace_spans", state.tracer.len() as u64),
+        ("frontier_entries", state.frontiers.len() as u64),
     ];
     let mut lines = state.metrics.render(&extra);
     lines.push("OK STATS".to_string());
@@ -400,7 +445,7 @@ pub fn render_prometheus(state: &ServerState) -> String {
     let m = &state.metrics;
     let g = |a: &std::sync::atomic::AtomicU64| a.load(Ordering::Relaxed);
     let mut w = PromWriter::new();
-    let counters: [(&str, &str, u64); 16] = [
+    let counters: [(&str, &str, u64); 20] = [
         (
             "ceci_requests_total",
             "Request lines accepted (parse successes)",
@@ -477,6 +522,26 @@ pub fn render_prometheus(state: &ServerState) -> String {
             "Embeddings returned across MATCH responses",
             g(&m.embeddings_returned),
         ),
+        (
+            "ceci_filter_rejected_total",
+            "MATCH requests answered count=0 by the label-pair admission filter",
+            g(&m.filter_rejected),
+        ),
+        (
+            "ceci_cache_singleflight_waits_total",
+            "MATCH requests that waited on another request's in-flight build",
+            g(&m.singleflight_waits),
+        ),
+        (
+            "ceci_batch_frontier_builds_total",
+            "Shared-prefix frontiers built by batch leaders",
+            g(&m.batch_frontier_builds),
+        ),
+        (
+            "ceci_batch_frontier_hits_total",
+            "MATCH requests that reused a shared-prefix frontier",
+            g(&m.batch_frontier_hits),
+        ),
     ];
     for (name, help, value) in counters {
         w.counter(name, help, value);
@@ -505,6 +570,11 @@ pub fn render_prometheus(state: &ServerState) -> String {
         "ceci_trace_spans",
         "Spans in the service tracer store",
         state.tracer.len() as u64,
+    );
+    w.gauge(
+        "ceci_frontier_entries",
+        "Shared-prefix frontiers currently published",
+        state.frontiers.len() as u64,
     );
     for (hist, name, help) in [
         (
@@ -551,11 +621,15 @@ fn exec_load(
             ServerMetrics::inc(&state.metrics.errors);
             vec![ErrorCode::Load.line(format!("load failed: {e}"))]
         }
-        Ok(graph) => {
+        Ok(mut graph) => {
+            // The label-pair index powers the admission filter for every
+            // later MATCH against this graph; build it once per LOAD epoch.
+            graph.build_label_pair_index();
             let (vertices, edges) = (graph.num_vertices(), graph.num_edges());
             let (entry, displaced) = state.registry.insert(name, graph);
             if let Some(old_epoch) = displaced {
                 state.cache.evict_epoch(old_epoch);
+                state.frontiers.evict_epoch(old_epoch);
             }
             ServerMetrics::inc(&state.metrics.load_requests);
             vec![format!(
@@ -572,9 +646,100 @@ fn load_query(path: &str) -> Result<QueryGraph, String> {
     QueryGraph::from_graph(&pattern).map_err(|e| format!("invalid query: {e}"))
 }
 
+/// Runs the (panic-prone) plan + CECI build under `catch_unwind`, honoring
+/// the one-shot chaos levers (`BUILDDELAY` sleeps first, then `BUILDPANIC`
+/// fires, so the two compose). `Err(())` means the build panicked; the
+/// caller quarantines the key.
+fn run_build(
+    state: &ServerState,
+    graph: &ceci_graph::Graph,
+    query: QueryGraph,
+) -> Result<(Arc<QueryPlan>, Arc<Ceci>), ()> {
+    let delay_ms = state.build_delay_ms.swap(0, Ordering::SeqCst);
+    let armed = state.build_panic_armed.swap(false, Ordering::SeqCst);
+    let build_threads = state.config.build_threads.max(1);
+    catch_unwind(AssertUnwindSafe(move || {
+        if delay_ms > 0 {
+            std::thread::sleep(Duration::from_millis(delay_ms));
+        }
+        if armed {
+            panic!("injected CHAOS BUILDPANIC during index build");
+        }
+        let plan = Arc::new(QueryPlan::new(query, graph));
+        let ceci = Arc::new(Ceci::build_with(
+            graph,
+            &plan,
+            ceci_core::BuildOptions {
+                threads: build_threads,
+                ..Default::default()
+            },
+        ));
+        (plan, ceci)
+    }))
+    .map_err(|_| ())
+}
+
+/// Records build latency and its phase split (filter = Algorithm 1,
+/// refine = Algorithm 2) so serve-side build regressions show in STATS
+/// without a profiler.
+fn record_build(state: &ServerState, ceci: &Ceci, build: Duration) {
+    state.metrics.build_latency.record(build);
+    let stats = ceci.stats();
+    state.metrics.build_filter_latency.record(stats.filter_time);
+    state.metrics.build_refine_latency.record(stats.refine_time);
+}
+
+/// Quarantines a key after a panicked build and formats the `ERR` response.
+fn quarantine_after_panic(
+    state: &ServerState,
+    graph_epoch: u64,
+    canonical: &CanonicalQuery,
+) -> Vec<String> {
+    state.cache.quarantine(graph_epoch, canonical);
+    ServerMetrics::inc(&state.metrics.cache_quarantined);
+    ServerMetrics::inc(&state.metrics.errors);
+    vec![ErrorCode::BuildPanic.line("index build panicked; the cache key is quarantined")]
+}
+
+/// Builds without touching the cache — the collision path (an entry or
+/// in-flight build exists under this hash for a *different* canonical
+/// form, so the result must not be inserted or shared).
+fn build_solo(
+    state: &ServerState,
+    graph_epoch: u64,
+    graph: &ceci_graph::Graph,
+    query: QueryGraph,
+    canonical: CanonicalQuery,
+) -> Result<(Arc<CachedIndex>, bool, Duration), Vec<String>> {
+    let t0 = Instant::now();
+    let (plan, ceci) = match run_build(state, graph, query) {
+        Ok(pair) => pair,
+        Err(()) => return Err(quarantine_after_panic(state, graph_epoch, &canonical)),
+    };
+    let build = t0.elapsed();
+    record_build(state, &ceci, build);
+    let bytes = ceci.size_bytes();
+    Ok((
+        Arc::new(CachedIndex {
+            canonical,
+            plan,
+            ceci,
+            bytes,
+        }),
+        false,
+        build,
+    ))
+}
+
 /// Probes the cache; on miss builds plan + CECI (outside any lock) and
 /// inserts. Returns the entry, whether it was a hit, and the build time —
 /// or the `ERR` response when the key is quarantined or the build panics.
+///
+/// With [`ServeConfig::single_flight`] (the default), concurrent misses on
+/// the same `(epoch, canonical)` key are deduplicated: exactly one request
+/// leads the build, the rest wait on its flight gate and share the result
+/// (`cache_singleflight_waits` counts them). A panicked leader quarantines
+/// the key and fails its waiters with `E_QUARANTINED`.
 ///
 /// The build runs under `catch_unwind`: a panicking build (bad interaction
 /// between a specific query and graph — or an injected `CHAOS BUILDPANIC`)
@@ -588,6 +753,9 @@ fn index_for(
     query: QueryGraph,
 ) -> Result<(Arc<CachedIndex>, bool, Duration), Vec<String>> {
     let canonical = CanonicalQuery::of(&query);
+    if state.config.single_flight {
+        return index_for_single_flight(state, graph_epoch, graph, query, canonical);
+    }
     let (probe, cached) = state.cache.get(graph_epoch, &canonical);
     match probe {
         Probe::Hit => {
@@ -611,41 +779,12 @@ fn index_for(
         }
     }
     let t0 = Instant::now();
-    let armed = state.build_panic_armed.swap(false, Ordering::SeqCst);
-    let build_threads = state.config.build_threads.max(1);
-    let built = catch_unwind(AssertUnwindSafe(move || {
-        if armed {
-            panic!("injected CHAOS BUILDPANIC during index build");
-        }
-        let plan = Arc::new(QueryPlan::new(query, graph));
-        let ceci = Arc::new(Ceci::build_with(
-            graph,
-            &plan,
-            ceci_core::BuildOptions {
-                threads: build_threads,
-                ..Default::default()
-            },
-        ));
-        (plan, ceci)
-    }));
-    let (plan, ceci) = match built {
+    let (plan, ceci) = match run_build(state, graph, query) {
         Ok(pair) => pair,
-        Err(_) => {
-            state.cache.quarantine(graph_epoch, &canonical);
-            ServerMetrics::inc(&state.metrics.cache_quarantined);
-            ServerMetrics::inc(&state.metrics.errors);
-            return Err(vec![
-                ErrorCode::BuildPanic.line("index build panicked; the cache key is quarantined")
-            ]);
-        }
+        Err(()) => return Err(quarantine_after_panic(state, graph_epoch, &canonical)),
     };
     let build = t0.elapsed();
-    state.metrics.build_latency.record(build);
-    // Surface the phase split so serve-side build regressions are visible
-    // in STATS without a profiler (filter = Algorithm 1, refine = Alg. 2).
-    let stats = ceci.stats();
-    state.metrics.build_filter_latency.record(stats.filter_time);
-    state.metrics.build_refine_latency.record(stats.refine_time);
+    record_build(state, &ceci, build);
     let entry = Arc::new(CachedIndex {
         canonical,
         plan: Arc::clone(&plan),
@@ -669,6 +808,93 @@ fn index_for(
     Ok((entry, false, build))
 }
 
+/// The single-flight variant of [`index_for`]: misses are arbitrated by
+/// [`IndexCache::begin`] into one leader and N−1 waiters.
+fn index_for_single_flight(
+    state: &ServerState,
+    graph_epoch: u64,
+    graph: &ceci_graph::Graph,
+    query: QueryGraph,
+    canonical: CanonicalQuery,
+) -> Result<(Arc<CachedIndex>, bool, Duration), Vec<String>> {
+    match state.cache.begin(graph_epoch, &canonical) {
+        FlightProbe::Hit(entry) => {
+            ServerMetrics::inc(&state.metrics.cache_hits);
+            Ok((entry, true, Duration::ZERO))
+        }
+        FlightProbe::Quarantined => {
+            ServerMetrics::inc(&state.metrics.quarantine_hits);
+            ServerMetrics::inc(&state.metrics.errors);
+            Err(vec![ErrorCode::Quarantined.line(
+                "index build for this (graph, query) previously panicked; \
+                 re-LOAD the graph to clear the quarantine",
+            )])
+        }
+        FlightProbe::Collision => {
+            ServerMetrics::inc(&state.metrics.cache_collisions);
+            ServerMetrics::inc(&state.metrics.cache_misses);
+            build_solo(state, graph_epoch, graph, query, canonical)
+        }
+        FlightProbe::Lead(guard) => {
+            ServerMetrics::inc(&state.metrics.cache_misses);
+            let t0 = Instant::now();
+            match run_build(state, graph, query) {
+                Err(()) => {
+                    // Quarantine *before* releasing the gate so waiters and
+                    // later probes agree on the verdict.
+                    let lines = quarantine_after_panic(state, graph_epoch, &canonical);
+                    guard.fail();
+                    Err(lines)
+                }
+                Ok((plan, ceci)) => {
+                    let build = t0.elapsed();
+                    record_build(state, &ceci, build);
+                    let bytes = ceci.size_bytes();
+                    let entry = guard.complete(CachedIndex {
+                        canonical,
+                        plan,
+                        ceci,
+                        bytes,
+                    });
+                    // `complete` inserts internally; sync the server-level
+                    // eviction counter to the cache's authoritative one.
+                    state
+                        .metrics
+                        .cache_evictions
+                        .store(state.cache.evictions(), Ordering::Relaxed);
+                    Ok((entry, false, build))
+                }
+            }
+        }
+        FlightProbe::Wait(flight) => {
+            ServerMetrics::inc(&state.metrics.singleflight_waits);
+            match flight.wait() {
+                FlightWait::Ready(entry) => {
+                    if entry.canonical == canonical {
+                        ServerMetrics::inc(&state.metrics.cache_hits);
+                        Ok((entry, true, Duration::ZERO))
+                    } else {
+                        // The leader built a different canonical form under
+                        // this 64-bit hash: a collision, not our index.
+                        ServerMetrics::inc(&state.metrics.cache_collisions);
+                        ServerMetrics::inc(&state.metrics.cache_misses);
+                        build_solo(state, graph_epoch, graph, query, canonical)
+                    }
+                }
+                FlightWait::Failed => {
+                    ServerMetrics::inc(&state.metrics.quarantine_hits);
+                    ServerMetrics::inc(&state.metrics.errors);
+                    Err(vec![ErrorCode::Quarantined.line(
+                        "index build for this (graph, query) panicked in a \
+                         concurrent request; re-LOAD the graph to clear the \
+                         quarantine",
+                    )])
+                }
+            }
+        }
+    }
+}
+
 #[allow(clippy::too_many_arguments)]
 fn exec_match(
     state: &ServerState,
@@ -677,6 +903,7 @@ fn exec_match(
     limit: Option<u64>,
     deadline_ms: Option<u64>,
     workers: Option<usize>,
+    raw: bool,
     queue_wait: Duration,
 ) -> Vec<String> {
     let t_start = Instant::now();
@@ -692,6 +919,22 @@ fn exec_match(
             return vec![ErrorCode::Query.line(e)];
         }
     };
+    // Label-pair admission filter: a rejection is a *proof* of zero
+    // embeddings, answered in O(query edges) before any cache probe,
+    // index build, or enumeration.
+    if state.config.admission_filter && !raw {
+        let verdict = admission_check(&query, &entry.graph);
+        if verdict.rejected() {
+            ServerMetrics::inc(&state.metrics.filter_rejected);
+            let total = t_start.elapsed();
+            state.metrics.match_latency.record(queue_wait + total);
+            return vec![format!(
+                "OK MATCH count=0 status=OK filter=REJECTED cache=NONE \
+                 build_us=0 enum_us=0 total_us={}",
+                total.as_micros(),
+            )];
+        }
+    }
     // The deadline clock starts when execution starts, not at submission:
     // queue wait is already bounded by admission control.
     let cancel = deadline_ms.map(|ms| CancelToken::after(Duration::from_millis(ms)));
@@ -705,44 +948,101 @@ fn exec_match(
 
     let requested = workers.unwrap_or(state.config.default_match_workers);
     let match_workers = requested.clamp(1, state.config.max_match_workers.max(1));
-    let options = ParallelOptions {
-        workers: match_workers,
-        limit,
-        ..Default::default()
-    };
+
+    // Shared-prefix batched execution: eligible requests (count-only,
+    // single-threaded, no deadline) fork their enumeration from a cached
+    // frontier of the matching-order prefix, shared with every concurrent
+    // query of the same prefix shape. Ineligible or `Solo` (signature
+    // collision) requests fall through to the unbatched path.
+    let mut batch_tag: Option<&'static str> = None;
     let t_enum = Instant::now();
-    let result = enumerate_parallel_cancellable(
-        &entry.graph,
-        &index.plan,
-        &index.ceci,
-        &options,
-        cancel.clone(),
-    );
+    let (total_embeddings, cancelled) = 'run: {
+        if state.config.batching
+            && !raw
+            && limit.is_none()
+            && deadline_ms.is_none()
+            && match_workers == 1
+        {
+            if let Some(spec) = PrefixSpec::from_plan(&index.plan, state.config.batch_prefix_depth)
+            {
+                let frontier = match state
+                    .frontiers
+                    .get_or_build(entry.epoch, &spec, || spec.build_frontier(&entry.graph))
+                {
+                    FrontierOutcome::Built(f) => {
+                        ServerMetrics::inc(&state.metrics.batch_frontier_builds);
+                        batch_tag = Some("LEAD");
+                        Some(f)
+                    }
+                    FrontierOutcome::Shared(f) => {
+                        ServerMetrics::inc(&state.metrics.batch_frontier_hits);
+                        batch_tag = Some("SHARED");
+                        Some(f)
+                    }
+                    FrontierOutcome::Solo => None,
+                };
+                if let Some(f) = frontier {
+                    let mut sink = CountSink::unbounded();
+                    enumerate_from_frontier(
+                        &entry.graph,
+                        &index.plan,
+                        &index.ceci,
+                        EnumOptions {
+                            prune_redundant: state.config.prune_redundant,
+                            ..EnumOptions::default()
+                        },
+                        &f.frontier,
+                        &mut sink,
+                    );
+                    break 'run (sink.count(), false);
+                }
+            }
+        }
+        let options = ParallelOptions {
+            workers: match_workers,
+            limit,
+            prune_redundant: state.config.prune_redundant && !raw,
+            ..Default::default()
+        };
+        let result = enumerate_parallel_cancellable(
+            &entry.graph,
+            &index.plan,
+            &index.ceci,
+            &options,
+            cancel.clone(),
+        );
+        (result.total_embeddings, result.cancelled)
+    };
     let enum_time = t_enum.elapsed();
 
-    let status = if result.cancelled {
+    let status = if cancelled {
         ServerMetrics::inc(&state.metrics.deadline_exceeded);
         MatchStatus::DeadlineExceeded
     } else {
         MatchStatus::Ok
     };
     let count = match limit {
-        Some(k) => result.total_embeddings.min(k),
-        None => result.total_embeddings,
+        Some(k) => total_embeddings.min(k),
+        None => total_embeddings,
     };
     ServerMetrics::add(&state.metrics.embeddings_returned, count);
     let total = t_start.elapsed();
     // `match_latency` is documented as admission-to-response: queue wait
     // after admission counts (it was previously silently excluded).
     state.metrics.match_latency.record(queue_wait + total);
-    let lines = vec![format!(
+    let mut line = format!(
         "OK MATCH count={count} status={} cache={} build_us={} enum_us={} total_us={}",
         status.as_str(),
         if cache_hit { "HIT" } else { "MISS" },
         build.as_micros(),
         enum_time.as_micros(),
         total.as_micros(),
-    )];
+    );
+    if let Some(tag) = batch_tag {
+        line.push_str(" batch=");
+        line.push_str(tag);
+    }
+    let lines = vec![line];
     if state.tracer.enabled() {
         record_request_spans(
             &state.tracer,
@@ -756,8 +1056,9 @@ fn exec_match(
             &[
                 ("embeddings", count),
                 ("cache_hit", cache_hit as u64),
-                ("deadline_exceeded", result.cancelled as u64),
+                ("deadline_exceeded", cancelled as u64),
                 ("workers", match_workers as u64),
+                ("batched", batch_tag.is_some() as u64),
             ],
         );
     }

@@ -32,6 +32,10 @@ pub struct DepthStat {
     /// Returns from a mapped candidate's subtree at this depth (one per
     /// candidate that was mapped and explored).
     pub backtracks: u64,
+    /// Subtrees at this depth answered by redundant-extension elimination
+    /// (the candidate set was identical to an explored sibling's, so its
+    /// result multiset was reused instead of re-enumerated).
+    pub reused: u64,
     /// Stride-sampled wall time attributed to this depth, in nanoseconds.
     pub time_ns: u64,
     /// Number of clock samples that landed on this depth.
@@ -46,6 +50,7 @@ impl DepthStat {
         self.intersections += other.intersections;
         self.emitted += other.emitted;
         self.backtracks += other.backtracks;
+        self.reused += other.reused;
         self.time_ns += other.time_ns;
         self.samples += other.samples;
     }
@@ -138,6 +143,14 @@ impl DepthProfile {
         self.stats[d].backtracks += backtracks;
     }
 
+    /// Record `reused` sibling-subtree reuses (redundant-extension
+    /// elimination) at `depth`, batched like [`DepthProfile::on_drain`].
+    #[inline]
+    pub fn on_reuse(&mut self, depth: usize, reused: u64) {
+        let d = self.clamp(depth);
+        self.stats[d].reused += reused;
+    }
+
     /// Reset all counters (keeps the allocation and the clock epoch).
     pub fn reset(&mut self) {
         for s in &mut self.stats {
@@ -194,6 +207,11 @@ impl DepthProfile {
     /// Sum of emitted embeddings across all depths.
     pub fn total_emitted(&self) -> u64 {
         self.stats.iter().map(|s| s.emitted).sum()
+    }
+
+    /// Sum of reused sibling subtrees across all depths.
+    pub fn total_reused(&self) -> u64 {
+        self.stats.iter().map(|s| s.reused).sum()
     }
 
     /// Sum of sampled time across all depths, nanoseconds.

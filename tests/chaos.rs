@@ -296,6 +296,79 @@ fn build_panic_quarantines_key_until_reload() {
 }
 
 #[test]
+fn panicked_build_leader_fails_singleflight_waiters_quarantined() {
+    // Single-flight failure path: when several identical MATCHes share one
+    // in-flight build and the leader's build panics, the leader reports the
+    // typed build failure and every waiter fails fast with E_QUARANTINED —
+    // nobody retries the poisoned build, nobody hangs.
+    let scratch = Scratch::new("sf-panic");
+    let graph = small_graph();
+    let pattern = query_from(&graph, 31);
+    let want = direct_count(&graph, &pattern);
+    let graph_path = scratch.write_graph("g.graph", &graph);
+    let query_path = scratch.write_graph("q.graph", &pattern);
+
+    let (handle, state) = serve_chaos(8, 16);
+    let addr = handle.addr();
+    let mut client = Client::connect(addr).unwrap();
+    client.request(&format!("LOAD g {graph_path}")).unwrap();
+
+    // Delay-then-panic: the delay holds the flight gate open long enough
+    // for all followers to pile up as waiters, then the build panics.
+    let resp = client.request("CHAOS BUILDDELAY 400").unwrap();
+    assert!(resp.is_ok(), "{}", resp.terminal);
+    let resp = client.request("CHAOS BUILDPANIC").unwrap();
+    assert!(resp.is_ok(), "{}", resp.terminal);
+
+    let barrier = Arc::new(std::sync::Barrier::new(4));
+    let threads: Vec<_> = (0..4)
+        .map(|_| {
+            let barrier = Arc::clone(&barrier);
+            let req = format!("MATCH g {query_path}");
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr).unwrap();
+                barrier.wait();
+                c.request(&req).unwrap()
+            })
+        })
+        .collect();
+    let terminals: Vec<String> = threads
+        .into_iter()
+        .map(|t| t.join().unwrap().terminal)
+        .collect();
+
+    let panics = terminals
+        .iter()
+        .filter(|t| t.starts_with("ERR E_BUILD_PANIC"))
+        .count();
+    let quarantined = terminals
+        .iter()
+        .filter(|t| t.starts_with("ERR E_QUARANTINED"))
+        .count();
+    assert_eq!(panics, 1, "exactly one leader panics: {terminals:?}");
+    assert_eq!(
+        quarantined, 3,
+        "all waiters fail quarantined: {terminals:?}"
+    );
+
+    let g = |c: &std::sync::atomic::AtomicU64| c.load(std::sync::atomic::Ordering::Relaxed);
+    assert_eq!(state.metrics.build_latency.count(), 0, "no build completed");
+    assert_eq!(g(&state.metrics.cache_quarantined), 1);
+    assert!(
+        g(&state.metrics.singleflight_waits) >= 1,
+        "waiters did wait"
+    );
+
+    // Recovery is unchanged from the solo case: re-LOAD sweeps the
+    // quarantine and the query builds and counts exactly.
+    client.request(&format!("LOAD g {graph_path}")).unwrap();
+    let resp = client.request(&format!("MATCH g {query_path}")).unwrap();
+    assert!(resp.is_ok(), "{}", resp.terminal);
+    assert_eq!(resp.field_u64("count"), Some(want));
+    handle.shutdown();
+}
+
+#[test]
 fn quarantine_byte_accounting_returns_to_baseline() {
     // Regression: the cache's byte ledger must survive the full quarantine
     // lifecycle without drift — build OK (baseline) → build panic

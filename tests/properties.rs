@@ -175,6 +175,43 @@ proptest! {
     }
 
     #[test]
+    fn admission_filter_never_rejects_satisfiable_queries(graph in arb_graph(), query in arb_query()) {
+        // Soundness of the label-pair admission filter (PR 6): a REJECTED
+        // verdict is a proof of zero embeddings. Differential check: the
+        // brute-force reference and all five baseline engines must agree on
+        // the count, and whenever any of them finds >= 1 embedding the
+        // filter must have passed the query.
+        let mut graph = graph;
+        graph.build_label_pair_index();
+        let verdict = ceci_query::admission_check(&query, &graph);
+        let plan = QueryPlan::new(query, &graph);
+        let expected = enumerate_all(&graph, plan.query(), plan.symmetry_constraints()).len() as u64;
+
+        let bare = ceci::baselines::enumerate_bare(
+            &graph, &plan, &ceci::baselines::BareOptions { workers: 2, ..Default::default() });
+        prop_assert_eq!(bare.total_embeddings, expected, "bare disagrees with reference");
+        let psgl = ceci::baselines::enumerate_psgl(
+            &graph, &plan, &ceci::baselines::PsglOptions { workers: 2, ..Default::default() });
+        prop_assert_eq!(psgl.total_embeddings, expected, "psgl disagrees with reference");
+        let turbo = ceci::baselines::enumerate_turboiso(
+            &graph, &plan, &ceci::baselines::TurboOptions::default());
+        prop_assert_eq!(turbo.total_embeddings, expected, "turboiso disagrees with reference");
+        let cfl = ceci::baselines::enumerate_cfl(
+            &graph, &plan, &ceci::baselines::CflOptions::default());
+        prop_assert_eq!(cfl.total_embeddings, expected, "cfl disagrees with reference");
+        let dual = ceci::baselines::enumerate_dualsim(
+            &graph, &plan, &ceci::baselines::DualSimOptions::default());
+        prop_assert_eq!(dual.total_embeddings, expected, "dualsim disagrees with reference");
+
+        if verdict.rejected() {
+            prop_assert_eq!(
+                expected, 0,
+                "filter rejected a satisfiable query: verdict={:?}", verdict
+            );
+        }
+    }
+
+    #[test]
     fn matching_orders_do_not_change_results(graph in arb_graph(), query in arb_query()) {
         let mut results = Vec::new();
         for order in [OrderStrategy::Bfs, OrderStrategy::EdgeRank, OrderStrategy::PathRank] {

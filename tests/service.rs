@@ -535,6 +535,237 @@ fn traced_server_records_request_stage_spans() {
 }
 
 #[test]
+fn admission_filter_rejects_impossible_query_before_any_build() {
+    let scratch = Scratch::new("filter");
+    // Data graph: a path A—B—C. The label pairs across edges are (A,B) and
+    // (B,C); the pair (A,C) never occurs across any data edge.
+    let lid = ceci_graph::lid;
+    let vid = ceci_graph::vid;
+    let data = Graph::new(
+        vec![
+            ceci_graph::LabelSet::single(lid(0)),
+            ceci_graph::LabelSet::single(lid(1)),
+            ceci_graph::LabelSet::single(lid(2)),
+        ],
+        &[(vid(0), vid(1)), (vid(1), vid(2))],
+        false,
+    );
+    // Query: an A—C edge — provably zero embeddings by the pair test alone.
+    let impossible = Graph::new(
+        vec![
+            ceci_graph::LabelSet::single(lid(0)),
+            ceci_graph::LabelSet::single(lid(2)),
+        ],
+        &[(vid(0), vid(1))],
+        false,
+    );
+    assert_eq!(direct_count(&data, &impossible), 0);
+    let graph_path = scratch.write_graph("data.graph", &data);
+    let query_path = scratch.write_graph("impossible.graph", &impossible);
+
+    let (handle, state) = serve(ServeConfig::default());
+    let mut client = Client::connect(handle.addr()).unwrap();
+    client.request(&format!("LOAD g {graph_path}")).unwrap();
+
+    // The filter answers count=0 without probing the cache or building.
+    let resp = client.request(&format!("MATCH g {query_path}")).unwrap();
+    assert!(resp.is_ok(), "{}", resp.terminal);
+    assert_eq!(resp.field_u64("count"), Some(0));
+    assert_eq!(resp.field("filter"), Some("REJECTED"));
+    assert_eq!(resp.field("cache"), Some("NONE"));
+    let g = |c: &std::sync::atomic::AtomicU64| c.load(std::sync::atomic::Ordering::Relaxed);
+    assert_eq!(g(&state.metrics.filter_rejected), 1);
+    assert_eq!(g(&state.metrics.cache_misses), 0, "no cache probe");
+    assert_eq!(state.metrics.build_latency.count(), 0, "no build");
+
+    // RAW bypasses the filter: the full pipeline runs and agrees (0).
+    let resp = client
+        .request(&format!("MATCH g {query_path} RAW"))
+        .unwrap();
+    assert!(resp.is_ok(), "{}", resp.terminal);
+    assert_eq!(resp.field_u64("count"), Some(0));
+    assert_eq!(resp.field("filter"), None, "RAW skips the filter");
+    assert_eq!(resp.field("cache"), Some("MISS"));
+    assert_eq!(state.metrics.build_latency.count(), 1, "RAW really built");
+
+    // A satisfiable query on the same graph passes the filter untouched.
+    let possible = Graph::new(
+        vec![
+            ceci_graph::LabelSet::single(lid(0)),
+            ceci_graph::LabelSet::single(lid(1)),
+        ],
+        &[(vid(0), vid(1))],
+        false,
+    );
+    let ok_path = scratch.write_graph("possible.graph", &possible);
+    let resp = client.request(&format!("MATCH g {ok_path}")).unwrap();
+    assert!(resp.is_ok(), "{}", resp.terminal);
+    assert_eq!(
+        resp.field_u64("count"),
+        Some(direct_count(&data, &possible))
+    );
+    assert_eq!(resp.field("filter"), None);
+    assert_eq!(g(&state.metrics.filter_rejected), 1, "no false rejection");
+    handle.shutdown();
+}
+
+#[test]
+fn concurrent_identical_matches_build_once_single_flight() {
+    let scratch = Scratch::new("singleflight");
+    let graph = small_graph();
+    let pattern = query_from(&graph, 4, 13);
+    let expected = direct_count(&graph, &pattern);
+    let graph_path = scratch.write_graph("data.graph", &graph);
+    let query_path = scratch.write_graph("query.graph", &pattern);
+
+    // 8 pool workers so all 8 MATCHes are genuinely in flight at once;
+    // chaos mode for the BUILDDELAY lever that widens the window.
+    let (handle, state) = serve(ServeConfig {
+        pool_workers: 8,
+        chaos: true,
+        ..ServeConfig::default()
+    });
+    let addr = handle.addr();
+    let mut client = Client::connect(addr).unwrap();
+    client.request(&format!("LOAD g {graph_path}")).unwrap();
+    let resp = client.request("CHAOS BUILDDELAY 500").unwrap();
+    assert!(resp.is_ok(), "{}", resp.terminal);
+
+    // 8 identical MATCHes released together: exactly one builds (and it
+    // sleeps 500 ms first), the other 7 wait on its flight gate.
+    let barrier = Arc::new(std::sync::Barrier::new(8));
+    let threads: Vec<_> = (0..8)
+        .map(|_| {
+            let barrier = Arc::clone(&barrier);
+            let req = format!("MATCH g {query_path}");
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr).unwrap();
+                barrier.wait();
+                c.request(&req).unwrap()
+            })
+        })
+        .collect();
+    for t in threads {
+        let resp = t.join().unwrap();
+        assert!(resp.is_ok(), "{}", resp.terminal);
+        assert_eq!(resp.field_u64("count"), Some(expected));
+    }
+
+    let g = |c: &std::sync::atomic::AtomicU64| c.load(std::sync::atomic::Ordering::Relaxed);
+    assert_eq!(
+        state.metrics.build_latency.count(),
+        1,
+        "exactly one CECI build across 8 identical concurrent MATCHes"
+    );
+    assert_eq!(g(&state.metrics.cache_misses), 1);
+    assert_eq!(g(&state.metrics.singleflight_waits), 7, "N-1 waiters");
+    assert_eq!(g(&state.metrics.cache_hits), 7, "waiters share the entry");
+
+    // STATS surfaces the wait counter under its documented key.
+    let resp = client.request("STATS").unwrap();
+    assert!(resp
+        .payload
+        .iter()
+        .any(|l| l == "STAT cache_singleflight_waits 7"));
+    assert!(resp
+        .payload
+        .iter()
+        .any(|l| l == "STAT build_latency_count 1"));
+    handle.shutdown();
+}
+
+#[test]
+fn batched_matches_share_one_frontier_with_identical_counts() {
+    let scratch = Scratch::new("batch");
+    let graph = small_graph();
+    let pattern = query_from(&graph, 4, 27);
+    let expected = direct_count(&graph, &pattern);
+    let graph_path = scratch.write_graph("data.graph", &graph);
+    let query_path = scratch.write_graph("query.graph", &pattern);
+
+    let (handle, state) = serve(ServeConfig::default());
+    let mut client = Client::connect(handle.addr()).unwrap();
+    client.request(&format!("LOAD g {graph_path}")).unwrap();
+
+    // First eligible MATCH leads the frontier build; a repeat of the same
+    // prefix shape shares it. Counts are bit-identical to the direct
+    // enumeration either way.
+    let r1 = client.request(&format!("MATCH g {query_path}")).unwrap();
+    assert!(r1.is_ok(), "{}", r1.terminal);
+    assert_eq!(r1.field_u64("count"), Some(expected));
+    assert_eq!(r1.field("batch"), Some("LEAD"));
+
+    let r2 = client.request(&format!("MATCH g {query_path}")).unwrap();
+    assert_eq!(r2.field_u64("count"), Some(expected));
+    assert_eq!(r2.field("batch"), Some("SHARED"));
+    assert_eq!(r2.field("cache"), Some("HIT"));
+
+    let g = |c: &std::sync::atomic::AtomicU64| c.load(std::sync::atomic::Ordering::Relaxed);
+    assert_eq!(g(&state.metrics.batch_frontier_builds), 1);
+    assert!(g(&state.metrics.batch_frontier_hits) >= 1);
+    assert_eq!(state.frontiers.len(), 1);
+
+    // RAW runs the classic unbatched path and still agrees bit-for-bit.
+    let r3 = client
+        .request(&format!("MATCH g {query_path} RAW"))
+        .unwrap();
+    assert_eq!(r3.field_u64("count"), Some(expected));
+    assert_eq!(r3.field("batch"), None, "RAW never batches");
+
+    // LIMIT and DEADLINE requests are ineligible (they need early-exit /
+    // cancellation plumbing the batched path deliberately avoids).
+    let r4 = client
+        .request(&format!("MATCH g {query_path} LIMIT 1"))
+        .unwrap();
+    assert_eq!(r4.field("batch"), None);
+    assert_eq!(r4.field_u64("count"), Some(1));
+
+    // Re-LOAD invalidates the frontier cache along with the index cache.
+    client.request(&format!("LOAD g {graph_path}")).unwrap();
+    assert_eq!(state.frontiers.len(), 0, "frontiers swept on reload");
+    let r5 = client.request(&format!("MATCH g {query_path}")).unwrap();
+    assert_eq!(r5.field_u64("count"), Some(expected));
+    assert_eq!(r5.field("batch"), Some("LEAD"), "rebuilt for the new epoch");
+    handle.shutdown();
+}
+
+#[test]
+fn optimized_and_raw_counts_agree_across_query_mix() {
+    // Differential sweep over a mixed workload: every optimization on
+    // (default server) vs per-request RAW must agree bit-for-bit.
+    let scratch = Scratch::new("rawdiff");
+    let graph = small_graph();
+    let graph_path = scratch.write_graph("data.graph", &graph);
+    let (handle, _state) = serve(ServeConfig::default());
+    let mut client = Client::connect(handle.addr()).unwrap();
+    client.request(&format!("LOAD g {graph_path}")).unwrap();
+
+    for (i, (size, seed)) in [(3usize, 5u64), (3, 9), (4, 3), (4, 13), (5, 7)]
+        .into_iter()
+        .enumerate()
+    {
+        let pattern = query_from(&graph, size, seed);
+        let query_path = scratch.write_graph(&format!("q{i}.graph"), &pattern);
+        let optimized = client.request(&format!("MATCH g {query_path}")).unwrap();
+        let raw = client
+            .request(&format!("MATCH g {query_path} RAW"))
+            .unwrap();
+        assert!(optimized.is_ok() && raw.is_ok());
+        assert_eq!(
+            optimized.field_u64("count"),
+            raw.field_u64("count"),
+            "size={size} seed={seed}: optimized vs RAW disagree"
+        );
+        assert_eq!(
+            optimized.field_u64("count"),
+            Some(direct_count(&graph, &pattern)),
+            "size={size} seed={seed}: server vs direct disagree"
+        );
+    }
+    handle.shutdown();
+}
+
+#[test]
 fn reload_invalidates_cached_indexes() {
     let scratch = Scratch::new("reload");
     let g1 = small_graph();
