@@ -48,6 +48,11 @@ EXPERIMENTS:
                         redundant-extension pruning on vs off — asserts
                         bit-identical counts and writes
                         bench_results/multiquery.json
+    stream              SMFresh-style temporal batch sweep: incremental
+                        index maintenance (patch + delta) vs from-scratch
+                        rebuild at every batch boundary — asserts
+                        bit-identical counts and writes
+                        bench_results/stream.json
     trace               End-to-end trace capture (build/enumerate/distributed)
                         + tracing-overhead gate (<3% asserted); writes
                         bench_results/trace.json and trace_chrome.json
@@ -167,6 +172,7 @@ fn dispatch(
         "physical" => experiments::physical::run(scale),
         "faults" => experiments::faults::run(scale),
         "multiquery" => experiments::multiquery::run(scale),
+        "stream" => experiments::stream::run(scale),
         "trace" => experiments::trace::run(scale),
         "all" => {
             for (name, f) in ALL_EXPERIMENTS {
@@ -220,6 +226,10 @@ const ALL_EXPERIMENTS: &[(&str, Runner)] = &[
     (
         "Multi-query throughput: filter/single-flight/batching/pruning",
         experiments::multiquery::run,
+    ),
+    (
+        "Streaming maintenance: incremental vs rebuild",
+        experiments::stream::run,
     ),
     (
         "Trace capture + tracing-overhead gate",

@@ -19,6 +19,7 @@ pub mod kernels;
 pub mod multiquery;
 pub mod physical;
 pub mod queries;
+pub mod stream;
 pub mod table1;
 pub mod table2;
 pub mod trace;

@@ -1,0 +1,394 @@
+//! `repro stream` — incremental CECI maintenance vs from-scratch rebuild on
+//! an SMFresh-style temporal batch sweep (PR 7).
+//!
+//! The workload replays a synthetic wiki-talk-shaped temporal stream against
+//! a labeled base graph: the stream is written as a SNAP `src dst ts` file,
+//! read back through the temporal loader, grouped into ~10k-edge mutation
+//! batches by timestamp, and applied through the service registry's delta
+//! overlay (with one mid-sweep CSR compaction). At every batch boundary,
+//! for each registered query template, the sweep times
+//!
+//! * **maintain** — the continuous-query path: `StreamIndex::patch` over the
+//!   batch's dirty endpoints plus `batch_delta` (new/retired matches), which
+//!   carries the embedding total forward incrementally;
+//! * **repair** — the cache-repair path: the same patch plus
+//!   `StreamIndex::materialize` into a frozen, refined `Ceci`;
+//! * **rebuild** — the from-scratch reference: fresh `QueryPlan` +
+//!   `Ceci::build` + full `count_embeddings` on the post-batch snapshot.
+//!
+//! Counts are **asserted** bit-identical three ways at every boundary —
+//! delta-maintained total ≡ rebuilt count ≡ count over the materialized
+//! index — and `bench_results/stream.json` records per-batch wall times plus
+//! the amortized speedups (target: maintenance ≥ 3× faster than rebuild,
+//! excluding the initial build). A shortfall prints a warning rather than
+//! failing the run (wall-clock ratios are host-dependent); count identity is
+//! always asserted.
+
+use std::time::Duration;
+
+use ceci_core::{batch_delta, count_embeddings, Ceci};
+use ceci_graph::extract::extract_query;
+use ceci_graph::io::{batch_by_timestamp, load_temporal};
+use ceci_graph::{lid, vid, Graph, LabelSet, VertexId};
+use ceci_query::{QueryGraph, QueryPlan};
+use ceci_service::GraphRegistry;
+use ceci_stream::{RepairStats, StreamIndex};
+
+use crate::harness::time;
+use crate::json::JsonValue;
+use crate::table::Table;
+use crate::Scale;
+
+/// Amortized rebuild/maintain wall-time ratio the incremental path is
+/// expected to clear at 10k-edge batches.
+const TARGET_SPEEDUP: f64 = 3.0;
+
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+/// Deterministic labeled base graph: `n` vertices labeled uniformly from
+/// {0,1,2}, `m` distinct random edges.
+fn base_graph(n: u32, m: usize, seed: u64) -> (Graph, Vec<(VertexId, VertexId)>) {
+    let mut s = seed | 1;
+    let labels: Vec<LabelSet> = (0..n)
+        .map(|_| LabelSet::single(lid((xorshift(&mut s) % 3) as u32)))
+        .collect();
+    let mut seen = std::collections::HashSet::new();
+    let mut edges: Vec<(VertexId, VertexId)> = Vec::with_capacity(m);
+    while edges.len() < m {
+        let a = (xorshift(&mut s) % n as u64) as u32;
+        let b = (xorshift(&mut s) % n as u64) as u32;
+        if a == b {
+            continue;
+        }
+        let key = (a.min(b), a.max(b));
+        if seen.insert(key) {
+            edges.push((vid(key.0), vid(key.1)));
+        }
+    }
+    (Graph::new(labels, &edges, false), edges)
+}
+
+/// Writes the add-stream as a SNAP temporal file (`src dst ts`, ts = batch
+/// index) and reads it back through the loader — the batches the sweep
+/// applies are exactly what `load_temporal` + `batch_by_timestamp` recover.
+fn stage_stream(
+    dir: &std::path::Path,
+    n: u32,
+    batches: usize,
+    batch_size: usize,
+    seed: u64,
+) -> Vec<Vec<(VertexId, VertexId)>> {
+    let mut s = seed | 1;
+    let path = dir.join("stream.temporal");
+    let mut text = String::from("# synthetic wiki-talk-style temporal stream\n");
+    for ts in 0..batches {
+        let mut written = 0usize;
+        while written < batch_size {
+            let a = (xorshift(&mut s) % n as u64) as u32;
+            let b = (xorshift(&mut s) % n as u64) as u32;
+            if a == b {
+                continue;
+            }
+            text.push_str(&format!("{a} {b} {ts}\n"));
+            written += 1;
+        }
+    }
+    std::fs::write(&path, text).expect("write temporal stream");
+    let edges = load_temporal(&path).expect("load temporal stream");
+    let grouped = batch_by_timestamp(&edges, batch_size);
+    assert_eq!(grouped.len(), batches, "one batch per timestamp");
+    grouped
+        .iter()
+        .map(|batch| batch.iter().map(|e| (e.src, e.dst)).collect())
+        .collect()
+}
+
+/// Per-query live state carried across batches.
+struct LiveQuery {
+    name: String,
+    pattern: Graph,
+    /// Plan built once at registration; `patch`/`batch_delta` consult only
+    /// its graph-independent parts, so it stays valid across mutations.
+    plan: QueryPlan,
+    stream: StreamIndex,
+    /// Delta-maintained embedding total.
+    total: u64,
+}
+
+#[derive(Default)]
+struct BatchRow {
+    added: usize,
+    deleted: usize,
+    compacted: bool,
+    stats: RepairStats,
+    patch: Duration,
+    delta: Duration,
+    materialize: Duration,
+    rebuild_index: Duration,
+    rebuild_count: Duration,
+    counts: Vec<u64>,
+}
+
+impl BatchRow {
+    fn maintain(&self) -> Duration {
+        self.patch + self.delta
+    }
+    fn repair(&self) -> Duration {
+        self.patch + self.materialize
+    }
+    fn rebuild(&self) -> Duration {
+        self.rebuild_index + self.rebuild_count
+    }
+}
+
+fn us(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e6
+}
+
+/// Runs the sweep and writes `bench_results/stream.json`.
+pub fn run(scale: Scale) {
+    let (n, m, batches, batch_size, dels_per_batch) = match scale {
+        Scale::Quick => (600_000u32, 1_200_000usize, 3usize, 10_000usize, 500usize),
+        Scale::Full => (900_000u32, 1_800_000usize, 5usize, 10_000usize, 1_000usize),
+    };
+    let sizes: &[(usize, u64)] = match scale {
+        Scale::Quick => &[(3, 7), (4, 11)],
+        Scale::Full => &[(4, 7), (4, 19), (5, 23)],
+    };
+    println!(
+        "Streaming maintenance: base n={n} m={m}, {batches} batches of {batch_size} adds + \
+         {dels_per_batch} deletes, {} query templates\n",
+        sizes.len()
+    );
+
+    let dir = std::env::temp_dir().join(format!("ceci-stream-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+
+    let (graph, base_edges) = base_graph(n, m, 0x5eed);
+    let add_batches = stage_stream(&dir, n, batches, batch_size, 0xfeed);
+    // Deletions: distinct base edges, never re-deleted, drawn round-robin.
+    let del_batches: Vec<Vec<(VertexId, VertexId)>> = (0..batches)
+        .map(|b| base_edges[b * dels_per_batch..(b + 1) * dels_per_batch].to_vec())
+        .collect();
+
+    // Register the query templates against the base snapshot (the untimed
+    // initial build the amortized gate excludes).
+    let mut queries: Vec<LiveQuery> = sizes
+        .iter()
+        .map(|&(size, seed)| {
+            let pattern = extract_query(&graph, size, seed, 50)
+                .expect("extractable query template")
+                .pattern;
+            let query = QueryGraph::from_graph(&pattern).expect("valid query");
+            let registry = QueryPlan::new(query, &graph);
+            let stream = StreamIndex::build(&graph, &registry);
+            let ceci = stream.materialize(&graph, &registry);
+            let total = count_embeddings(&graph, &registry, &ceci);
+            LiveQuery {
+                name: format!("q_s{size}_r{seed}"),
+                pattern,
+                plan: registry,
+                stream,
+                total,
+            }
+        })
+        .collect();
+
+    // Apply the stream through the registry's delta overlay, compacting the
+    // CSR once mid-sweep so both regimes (overlay reads / post-compaction
+    // reads) appear in the timings.
+    let registry = GraphRegistry::new();
+    let (entry, _) = registry.insert("g", graph);
+    let compact_threshold = (batches / 2).max(1) * (batch_size + dels_per_batch) + 1;
+
+    let mut rows: Vec<BatchRow> = Vec::new();
+    for b in 0..batches {
+        let outcome = entry
+            .apply_batch(&add_batches[b], &del_batches[b], compact_threshold, 64)
+            .expect("in-range mutation batch");
+        let mut row = BatchRow {
+            added: outcome.added.len(),
+            deleted: outcome.deleted.len(),
+            compacted: outcome.compacted,
+            ..BatchRow::default()
+        };
+        for q in queries.iter_mut() {
+            // Continuous-query maintenance: patch the live tables, carry the
+            // total forward by the batch delta.
+            let (stats, patch_t) = time(|| {
+                q.stream
+                    .patch(&outcome.new_graph, &q.plan, &outcome.endpoints)
+            });
+            let (delta, delta_t) = time(|| {
+                batch_delta(
+                    &outcome.old_graph,
+                    &outcome.new_graph,
+                    &q.plan,
+                    &outcome.added,
+                    &outcome.deleted,
+                )
+            });
+            q.total = delta.apply_to(q.total);
+            // Cache-repair path: freeze the patched tables into a Ceci.
+            let (ceci_repaired, mat_t) = time(|| q.stream.materialize(&outcome.new_graph, &q.plan));
+            // From-scratch reference on the same snapshot (fresh plan: the
+            // initial candidate sets are graph-dependent).
+            let ((rebuilt_plan, rebuilt_ceci), rebuild_index_t) = time(|| {
+                let query = QueryGraph::from_graph(&q.pattern).expect("valid query");
+                let plan = QueryPlan::new(query, &outcome.new_graph);
+                let ceci = Ceci::build(&outcome.new_graph, &plan);
+                (plan, ceci)
+            });
+            let (rebuilt_count, rebuild_count_t) =
+                time(|| count_embeddings(&outcome.new_graph, &rebuilt_plan, &rebuilt_ceci));
+            // The differential gate: all three agree, bit-identical.
+            assert_eq!(
+                q.total, rebuilt_count,
+                "{} batch {b}: delta-maintained total diverges from rebuild",
+                q.name
+            );
+            let repaired_count = count_embeddings(&outcome.new_graph, &q.plan, &ceci_repaired);
+            assert_eq!(
+                repaired_count, rebuilt_count,
+                "{} batch {b}: repaired index diverges from rebuild",
+                q.name
+            );
+            row.stats.absorb(&stats);
+            row.patch += patch_t;
+            row.delta += delta_t;
+            row.materialize += mat_t;
+            row.rebuild_index += rebuild_index_t;
+            row.rebuild_count += rebuild_count_t;
+            row.counts.push(rebuilt_count);
+        }
+        rows.push(row);
+    }
+
+    let mut t = Table::new(vec![
+        "batch", "adds", "dels", "dirty", "maintain", "repair", "rebuild", "ratio",
+    ]);
+    for (b, row) in rows.iter().enumerate() {
+        t.row(vec![
+            format!("{b}{}", if row.compacted { "*" } else { "" }),
+            row.added.to_string(),
+            row.deleted.to_string(),
+            row.stats.dirty_vertices.to_string(),
+            format!("{:.0} us", us(row.maintain())),
+            format!("{:.0} us", us(row.repair())),
+            format!("{:.0} us", us(row.rebuild())),
+            format!("{:.1}x", us(row.rebuild()) / us(row.maintain()).max(1e-9)),
+        ]);
+    }
+    t.print();
+    println!("(* = batch triggered CSR compaction)");
+
+    let sum = |f: fn(&BatchRow) -> Duration| -> Duration { rows.iter().map(f).sum() };
+    let total_maintain = sum(BatchRow::maintain);
+    let total_repair = sum(BatchRow::repair);
+    let total_rebuild = sum(BatchRow::rebuild);
+    let maintain_speedup = us(total_rebuild) / us(total_maintain).max(1e-9);
+    let repair_speedup = us(sum(|r| r.rebuild_index)) / us(total_repair).max(1e-9);
+    println!(
+        "\namortized over {batches} batches: maintenance {maintain_speedup:.2}x faster than \
+         rebuild (target {TARGET_SPEEDUP}x), cache repair {repair_speedup:.2}x faster than \
+         index rebuild; counts bit-identical at every boundary"
+    );
+    if maintain_speedup < TARGET_SPEEDUP {
+        println!("warning: maintenance speedup below target on this host/run");
+    }
+
+    let batch_rows: Vec<JsonValue> = rows
+        .iter()
+        .enumerate()
+        .map(|(b, row)| {
+            JsonValue::object()
+                .field("batch", b as u64)
+                .field("added", row.added)
+                .field("deleted", row.deleted)
+                .field("compacted", row.compacted)
+                .field("dirty_vertices", row.stats.dirty_vertices)
+                .field("keys_recomputed", row.stats.keys_recomputed)
+                .field("keys_added", row.stats.keys_added)
+                .field("keys_removed", row.stats.keys_removed)
+                .field("patch_us", us(row.patch))
+                .field("delta_us", us(row.delta))
+                .field("materialize_us", us(row.materialize))
+                .field("maintain_us", us(row.maintain()))
+                .field("repair_us", us(row.repair()))
+                .field("rebuild_index_us", us(row.rebuild_index))
+                .field("rebuild_count_us", us(row.rebuild_count))
+                .field("rebuild_us", us(row.rebuild()))
+                .field(
+                    "counts",
+                    JsonValue::Array(row.counts.iter().map(|&c| c.into()).collect()),
+                )
+        })
+        .collect();
+    let query_rows: Vec<JsonValue> = queries
+        .iter()
+        .map(|q| {
+            JsonValue::object()
+                .field("name", q.name.as_str())
+                .field("vertices", q.pattern.num_vertices())
+                .field("edges", q.pattern.num_edges())
+                .field("final_total", q.total)
+        })
+        .collect();
+    let json = JsonValue::object()
+        .field(
+            "workload",
+            JsonValue::object()
+                .field("base_vertices", n as u64)
+                .field("base_edges", m)
+                .field("batches", batches)
+                .field("batch_size", batch_size)
+                .field("deletes_per_batch", dels_per_batch)
+                .field("compact_threshold", compact_threshold)
+                .field("queries", JsonValue::Array(query_rows)),
+        )
+        .field("batches", JsonValue::Array(batch_rows))
+        .field("total_maintain_us", us(total_maintain))
+        .field("total_repair_us", us(total_repair))
+        .field("total_rebuild_us", us(total_rebuild))
+        .field("maintain_speedup", maintain_speedup)
+        .field("repair_speedup", repair_speedup)
+        .field("target_speedup", TARGET_SPEEDUP)
+        .field("counts_bit_identical", true)
+        .to_pretty();
+
+    let out_dir = std::path::Path::new("bench_results");
+    if let Err(e) = std::fs::create_dir_all(out_dir) {
+        eprintln!("warning: cannot create {}: {e}", out_dir.display());
+    } else {
+        let path = out_dir.join("stream.json");
+        match std::fs::write(&path, json) {
+            Ok(()) => println!("wrote {}", path.display()),
+            Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+    // Silence the unused-field lint path: the entry keeps the final snapshot.
+    let _ = entry.pending();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_staging_round_trips_through_the_temporal_loader() {
+        let dir = std::env::temp_dir().join(format!("ceci-stream-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let batches = stage_stream(&dir, 100, 3, 50, 0xfeed);
+        assert_eq!(batches.len(), 3);
+        assert!(batches.iter().all(|b| b.len() == 50));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

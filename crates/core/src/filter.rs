@@ -153,6 +153,38 @@ impl BuilderState {
     pub fn into_parts(self) -> BuilderParts {
         (self.pivots, self.te, self.nte)
     }
+
+    /// Reassembles a `BuilderState` from externally built parts, recomputing
+    /// the per-node candidate caches as the value union of each TE table.
+    ///
+    /// This is the inverse of [`BuilderState::into_parts`] for the streaming
+    /// repair path: the incremental maintainer patches raw TE/NTE tables
+    /// across mutation batches and rebuilds the state here before handing it
+    /// to refinement. Invariants expected from the caller (and `debug_assert`ed):
+    /// `pivots` sorted ascending; `te[u]` present exactly for non-root nodes
+    /// and keyed by (a superset of) the parent's candidates; all value lists
+    /// sorted — i.e. the same shape [`bfs_filter`] produces, minus the
+    /// empty-entry cascade (refinement subsumes it for counts).
+    pub fn from_parts(
+        plan: &QueryPlan,
+        pivots: Vec<VertexId>,
+        te: Vec<Option<BuildTable>>,
+        nte: Vec<Vec<(VertexId, BuildTable)>>,
+    ) -> BuilderState {
+        debug_assert!(pivots.windows(2).all(|w| w[0] < w[1]));
+        debug_assert_eq!(te.len(), plan.query().num_vertices());
+        debug_assert_eq!(nte.len(), plan.query().num_vertices());
+        let candidates: Vec<Vec<VertexId>> = te
+            .iter()
+            .map(|t| t.as_ref().map(BuildTable::value_union).unwrap_or_default())
+            .collect();
+        BuilderState {
+            pivots,
+            te,
+            nte,
+            candidates,
+        }
+    }
 }
 
 /// What [`BuilderState::into_parts`] releases: the surviving pivots, the

@@ -12,7 +12,7 @@ use std::time::{Duration, Instant};
 use ceci_graph::{Graph, VertexId};
 use ceci_query::QueryPlan;
 
-use crate::filter::bfs_filter_from_with;
+use crate::filter::{bfs_filter_from_with, BuilderState};
 use crate::refine::reverse_bfs_refine;
 use crate::tables::CompactTable;
 
@@ -254,8 +254,38 @@ impl Ceci {
         stats.te_entries_after_filter = state.te_entries();
         stats.nte_entries_after_filter = state.nte_entries();
 
+        Ceci::finish(plan, state, stats, options.refine)
+    }
+
+    /// Completes a build from an already-filtered [`BuilderState`]:
+    /// Algorithm 2 refinement, stale-key pruning, and table freezing — the
+    /// exact tail of [`Ceci::build_for_pivots`] after its BFS-filter phase.
+    ///
+    /// This is the materialization entry of the streaming repair path: the
+    /// incremental maintainer keeps per-query *base* candidate tables
+    /// patched across mutation batches and reconstructs a `BuilderState`
+    /// from them (via [`BuilderState::from_parts`]) instead of re-running
+    /// the full filter, so repair pays refine + freeze but not the
+    /// per-neighbor LF/DF/NLCF scans that dominate a cold build.
+    pub fn from_filtered_state(graph: &Graph, plan: &QueryPlan, state: BuilderState) -> Ceci {
+        let stats = BuildStats {
+            pivots_initial: state.pivots.len(),
+            theoretical_bytes: plan.query().num_edges() as u64 * graph.num_edges() as u64 * 8,
+            te_entries_after_filter: state.te_entries(),
+            nte_entries_after_filter: state.nte_entries(),
+            ..Default::default()
+        };
+        Ceci::finish(plan, state, stats, true)
+    }
+
+    fn finish(
+        plan: &QueryPlan,
+        mut state: BuilderState,
+        mut stats: BuildStats,
+        refine: bool,
+    ) -> Ceci {
         let t1 = Instant::now();
-        let cards = reverse_bfs_refine(plan, &mut state, options.refine);
+        let cards = reverse_bfs_refine(plan, &mut state, refine);
         stats.refine_time = t1.elapsed();
 
         // Drop keys that are no longer candidates of their key-side node —

@@ -26,6 +26,7 @@
 
 pub mod batch;
 pub mod bitmap;
+pub mod delta;
 pub mod enumerate;
 pub mod estimate;
 pub mod explain;
@@ -42,6 +43,7 @@ pub mod tables;
 
 pub use batch::{enumerate_from_frontier, prefix_satisfies_symmetry, PrefixSpec};
 pub use bitmap::VertexBitmap;
+pub use delta::{batch_delta, count_matches_using, BatchDelta};
 pub use enumerate::{
     collect_embeddings, count_embeddings, enumerate_sequential, is_valid_embedding, EnumOptions,
     Enumerator, VerifyMode,

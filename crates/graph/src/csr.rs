@@ -59,6 +59,22 @@ impl Csr {
         csr
     }
 
+    /// Builds a CSR directly from prevalidated parts: `offsets` has `n + 1`
+    /// monotone entries and `neighbors[offsets[v]..offsets[v + 1]]` is the
+    /// sorted, deduplicated adjacency of `v`. Used by the delta-overlay
+    /// patch path, which produces sorted lists by merging sorted inputs and
+    /// must not pay the full sort-and-dedup of
+    /// [`Csr::from_undirected_edges`].
+    pub(crate) fn from_sorted_parts(offsets: Vec<usize>, neighbors: Vec<VertexId>) -> Self {
+        debug_assert_eq!(*offsets.last().unwrap_or(&0), neighbors.len());
+        debug_assert!(offsets.windows(2).all(|w| w[0] <= w[1]));
+        debug_assert!((0..offsets.len().saturating_sub(1))
+            .all(|v| neighbors[offsets[v]..offsets[v + 1]]
+                .windows(2)
+                .all(|w| w[0] < w[1])));
+        Csr { offsets, neighbors }
+    }
+
     /// Sorts each adjacency list and removes duplicate neighbors, compacting
     /// the arrays in place.
     #[allow(clippy::needless_range_loop)] // read/write cursors alias `neighbors`

@@ -150,6 +150,50 @@ impl LabelPairIndex {
         LabelPairIndex { entries }
     }
 
+    /// Raises the stored maximum for `(l, m)` to at least `count`, inserting
+    /// the pair when absent. No-op when `count` is 0 or the stored maximum
+    /// already dominates.
+    ///
+    /// This is the streaming maintenance primitive: edge *additions* can only
+    /// raise per-vertex neighbor-label counts at the two endpoints, so
+    /// re-deriving the endpoints' counts and calling `raise` keeps the index
+    /// a sound overestimate. Deletions deliberately leave entries in place —
+    /// a too-large maximum can only admit more queries, never reject a
+    /// satisfiable one — and compaction rebuilds the exact index.
+    pub fn raise(&mut self, l: LabelId, m: LabelId, count: u32) {
+        if count == 0 {
+            return;
+        }
+        let k = Self::key(l, m);
+        match self.entries.binary_search_by_key(&k, |&(key, _)| key) {
+            Ok(i) => self.entries[i].1 = self.entries[i].1.max(count),
+            Err(i) => self.entries.insert(i, (k, count)),
+        }
+    }
+
+    /// Re-derives vertex `v`'s neighborhood label counts on `graph` and
+    /// raises every `(label-of-v, neighbor-label)` maximum accordingly. Used
+    /// after a mutation batch for each touched endpoint.
+    pub fn absorb_vertex(&mut self, graph: &Graph, v: VertexId) {
+        let mut scratch: Vec<LabelId> = Vec::new();
+        for &nb in graph.neighbors(v) {
+            scratch.extend(graph.labels(nb).iter());
+        }
+        scratch.sort_unstable();
+        let mut i = 0;
+        while i < scratch.len() {
+            let m = scratch[i];
+            let mut j = i + 1;
+            while j < scratch.len() && scratch[j] == m {
+                j += 1;
+            }
+            for l in graph.labels(v).iter() {
+                self.raise(l, m, (j - i) as u32);
+            }
+            i = j;
+        }
+    }
+
     /// Does any data edge join an `l`-labeled vertex to an `m`-labeled one?
     #[inline]
     pub fn has_pair(&self, l: LabelId, m: LabelId) -> bool {
@@ -221,6 +265,43 @@ impl Graph {
         }
     }
 
+    /// Builds a graph around an already-constructed CSR, rebuilding the
+    /// label inverted index but leaving the optional NLC and label-pair
+    /// indexes unset. This is the snapshot path of the streaming overlay:
+    /// the patched CSR is produced by sorted merges, so re-running the
+    /// edge-list sort of [`Graph::new`] would waste the work.
+    ///
+    /// # Panics
+    /// Panics if `labels.len()` differs from the CSR vertex count.
+    pub fn from_csr(csr: Csr, labels: Vec<LabelSet>, directed_input: bool) -> Self {
+        assert_eq!(
+            labels.len(),
+            csr.num_vertices(),
+            "label list must cover every CSR vertex"
+        );
+        let num_labels = labels
+            .iter()
+            .flat_map(|ls| ls.iter())
+            .map(|l| l.0 + 1)
+            .max()
+            .unwrap_or(0);
+        let mut label_index: Vec<Vec<VertexId>> = vec![Vec::new(); num_labels as usize];
+        for (i, ls) in labels.iter().enumerate() {
+            for l in ls.iter() {
+                label_index[l.index()].push(VertexId::from_index(i));
+            }
+        }
+        Graph {
+            csr,
+            labels,
+            num_labels,
+            directed_input,
+            label_index,
+            nlc: None,
+            label_pairs: None,
+        }
+    }
+
     /// Builds an *unlabeled* graph: every vertex gets the shared label `0`,
     /// matching the paper's Figure 6 queries ("all the nodes have same
     /// label 0").
@@ -252,6 +333,14 @@ impl Graph {
     #[inline]
     pub fn label_pair_index(&self) -> Option<&LabelPairIndex> {
         self.label_pairs.as_ref()
+    }
+
+    /// Attaches an externally maintained label-pair index, replacing any
+    /// existing one. The streaming path carries a sound overestimate forward
+    /// across mutation batches instead of rebuilding per batch; see
+    /// [`LabelPairIndex::raise`].
+    pub fn set_label_pair_index(&mut self, index: LabelPairIndex) {
+        self.label_pairs = Some(index);
     }
 
     /// Number of vertices `|V|`.

@@ -15,6 +15,8 @@
 //! * [`generators`] — deterministic Erdős–Rényi, Graph500-style Kronecker
 //!   (R-MAT), and labeled-graph generators standing in for the paper's
 //!   datasets.
+//! * [`overlay`] — delta overlay for streaming edge mutations over a frozen
+//!   CSR, committed into compacted snapshots at configurable thresholds.
 //! * [`extract`] — DFS-based connected query extraction (§6.2).
 //! * [`stats`] — dataset statistics and the distributed pivot workload
 //!   estimates of §5.
@@ -30,6 +32,7 @@ pub mod graph;
 pub mod ids;
 pub mod io;
 pub mod labels;
+pub mod overlay;
 pub mod stats;
 
 pub use builder::GraphBuilder;
@@ -39,4 +42,5 @@ pub use extract::{extract_query, ExtractedQuery};
 pub use graph::{Graph, LabelPairIndex};
 pub use ids::{lid, vid, LabelId, VertexId};
 pub use labels::LabelSet;
+pub use overlay::DeltaOverlay;
 pub use stats::GraphStats;

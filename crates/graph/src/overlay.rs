@@ -1,0 +1,323 @@
+//! Delta overlay over a frozen CSR graph.
+//!
+//! Streaming mutations (`ADDEDGE`/`DELEDGE`/`BATCH`) must not rebuild the
+//! base CSR per edge, but CECI enumeration is far too read-hot to pay a
+//! per-`neighbors()` overlay merge. [`DeltaOverlay`] resolves the tension:
+//! it accumulates *net* edge additions and deletions relative to a frozen
+//! base graph as per-vertex sorted delta lists, and [`DeltaOverlay::commit`]
+//! produces a fresh read-optimized [`Graph`] snapshot by a linear patch of
+//! the base CSR — clean vertices are bulk-copied, dirty vertices get a
+//! sorted three-way merge, and no edge-list re-sort happens. The overlay
+//! itself stays attached to the base until the caller *compacts* (adopts a
+//! snapshot as the new base and clears the overlay), which bounds delta
+//! memory at a configurable threshold.
+
+use std::collections::BTreeMap;
+
+use crate::csr::Csr;
+use crate::graph::Graph;
+use crate::ids::VertexId;
+
+/// Net pending edge mutations against a frozen base graph.
+///
+/// All operations are expressed relative to the *base* passed in — the
+/// overlay never holds a reference, so the same overlay value can outlive
+/// registry lock scopes. Callers must pass the same base graph to every
+/// call between two compactions; mixing bases is a logic error.
+#[derive(Clone, Debug, Default)]
+pub struct DeltaOverlay {
+    /// Per-vertex sorted lists of neighbors added relative to the base.
+    adds: BTreeMap<VertexId, Vec<VertexId>>,
+    /// Per-vertex sorted lists of base neighbors deleted.
+    dels: BTreeMap<VertexId, Vec<VertexId>>,
+    /// Net added undirected edges pending.
+    added: usize,
+    /// Net deleted undirected edges pending.
+    deleted: usize,
+}
+
+fn insert_sorted(map: &mut BTreeMap<VertexId, Vec<VertexId>>, k: VertexId, v: VertexId) {
+    let list = map.entry(k).or_default();
+    if let Err(i) = list.binary_search(&v) {
+        list.insert(i, v);
+    }
+}
+
+fn remove_sorted(map: &mut BTreeMap<VertexId, Vec<VertexId>>, k: VertexId, v: VertexId) {
+    if let Some(list) = map.get_mut(&k) {
+        if let Ok(i) = list.binary_search(&v) {
+            list.remove(i);
+        }
+        if list.is_empty() {
+            map.remove(&k);
+        }
+    }
+}
+
+fn contains(map: &BTreeMap<VertexId, Vec<VertexId>>, k: VertexId, v: VertexId) -> bool {
+    map.get(&k).is_some_and(|l| l.binary_search(&v).is_ok())
+}
+
+impl DeltaOverlay {
+    /// An empty overlay (the view equals the base).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Edge test against the overlaid view (base ∖ deletions ∪ additions).
+    pub fn has_edge(&self, base: &Graph, a: VertexId, b: VertexId) -> bool {
+        if contains(&self.dels, a, b) {
+            return false;
+        }
+        contains(&self.adds, a, b) || base.has_edge(a, b)
+    }
+
+    /// Adds undirected edge `{a, b}` to the view. Returns `false` (no-op)
+    /// for self-loops and edges already present in the view.
+    ///
+    /// # Panics
+    /// Panics if an endpoint is out of the base vertex range — streaming
+    /// mutations never grow the vertex set.
+    pub fn add_edge(&mut self, base: &Graph, a: VertexId, b: VertexId) -> bool {
+        let n = base.num_vertices();
+        assert!(a.index() < n && b.index() < n, "edge endpoint out of range");
+        if a == b || self.has_edge(base, a, b) {
+            return false;
+        }
+        if contains(&self.dels, a, b) {
+            // Re-adding a base edge pending deletion just cancels the delete.
+            remove_sorted(&mut self.dels, a, b);
+            remove_sorted(&mut self.dels, b, a);
+            self.deleted -= 1;
+        } else {
+            insert_sorted(&mut self.adds, a, b);
+            insert_sorted(&mut self.adds, b, a);
+            self.added += 1;
+        }
+        true
+    }
+
+    /// Deletes undirected edge `{a, b}` from the view. Returns `false`
+    /// (no-op) when the edge is absent from the view.
+    ///
+    /// # Panics
+    /// Panics if an endpoint is out of the base vertex range.
+    pub fn delete_edge(&mut self, base: &Graph, a: VertexId, b: VertexId) -> bool {
+        let n = base.num_vertices();
+        assert!(a.index() < n && b.index() < n, "edge endpoint out of range");
+        if a == b || !self.has_edge(base, a, b) {
+            return false;
+        }
+        if contains(&self.adds, a, b) {
+            // Deleting a pending addition cancels it.
+            remove_sorted(&mut self.adds, a, b);
+            remove_sorted(&mut self.adds, b, a);
+            self.added -= 1;
+        } else {
+            insert_sorted(&mut self.dels, a, b);
+            insert_sorted(&mut self.dels, b, a);
+            self.deleted += 1;
+        }
+        true
+    }
+
+    /// Net undirected edges added relative to the base.
+    pub fn edges_added(&self) -> usize {
+        self.added
+    }
+
+    /// Net base edges deleted.
+    pub fn edges_deleted(&self) -> usize {
+        self.deleted
+    }
+
+    /// Total pending net mutations — the compaction-threshold signal.
+    pub fn pending(&self) -> usize {
+        self.added + self.deleted
+    }
+
+    /// True when the view equals the base.
+    pub fn is_empty(&self) -> bool {
+        self.added == 0 && self.deleted == 0
+    }
+
+    /// Drops all pending deltas (used after compaction adopts a snapshot).
+    pub fn clear(&mut self) {
+        self.adds.clear();
+        self.dels.clear();
+        self.added = 0;
+        self.deleted = 0;
+    }
+
+    /// Approximate heap bytes held by the delta lists.
+    pub fn size_bytes(&self) -> usize {
+        let per = |m: &BTreeMap<VertexId, Vec<VertexId>>| {
+            m.values()
+                .map(|l| l.capacity() * std::mem::size_of::<VertexId>() + 48)
+                .sum::<usize>()
+        };
+        per(&self.adds) + per(&self.dels)
+    }
+
+    /// Materializes the overlaid view as a fresh read-optimized [`Graph`]:
+    /// offsets are recomputed from per-vertex degree deltas, clean vertices'
+    /// adjacency is bulk-copied from the base CSR, and dirty vertices get a
+    /// sorted merge of `base ∖ dels ∪ adds`. Labels are carried over; the
+    /// NLC and label-pair indexes are left unset (the streaming layer
+    /// attaches its maintained label-pair index separately).
+    pub fn commit(&self, base: &Graph) -> Graph {
+        let n = base.num_vertices();
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0usize);
+        let mut total = 0usize;
+        for v in 0..n {
+            let vv = VertexId::from_index(v);
+            let d = base.degree(vv) + self.adds.get(&vv).map_or(0, Vec::len)
+                - self.dels.get(&vv).map_or(0, Vec::len);
+            total += d;
+            offsets.push(total);
+        }
+        let mut neighbors = Vec::with_capacity(total);
+        for v in 0..n {
+            let vv = VertexId::from_index(v);
+            let base_nbrs = base.neighbors(vv);
+            let adds = self.adds.get(&vv).map_or(&[][..], Vec::as_slice);
+            let dels = self.dels.get(&vv).map_or(&[][..], Vec::as_slice);
+            if adds.is_empty() && dels.is_empty() {
+                neighbors.extend_from_slice(base_nbrs);
+                continue;
+            }
+            let mut ai = 0;
+            for &b in base_nbrs {
+                if dels.binary_search(&b).is_ok() {
+                    continue;
+                }
+                while ai < adds.len() && adds[ai] < b {
+                    neighbors.push(adds[ai]);
+                    ai += 1;
+                }
+                debug_assert!(
+                    ai >= adds.len() || adds[ai] != b,
+                    "pending addition duplicates a base edge"
+                );
+                neighbors.push(b);
+            }
+            neighbors.extend_from_slice(&adds[ai..]);
+        }
+        let csr = Csr::from_sorted_parts(offsets, neighbors);
+        let labels = (0..n)
+            .map(|i| base.labels(VertexId::from_index(i)).clone())
+            .collect();
+        Graph::from_csr(csr, labels, base.is_directed_input())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{lid, vid};
+    use crate::labels::LabelSet;
+
+    fn base() -> Graph {
+        // 0-1, 1-2, 2-3 path with alternating labels.
+        Graph::new(
+            vec![
+                LabelSet::single(lid(0)),
+                LabelSet::single(lid(1)),
+                LabelSet::single(lid(0)),
+                LabelSet::single(lid(1)),
+            ],
+            &[(vid(0), vid(1)), (vid(1), vid(2)), (vid(2), vid(3))],
+            false,
+        )
+    }
+
+    #[test]
+    fn add_delete_noop_semantics() {
+        let g = base();
+        let mut o = DeltaOverlay::new();
+        assert!(!o.add_edge(&g, vid(0), vid(1)), "existing edge is a no-op");
+        assert!(!o.add_edge(&g, vid(2), vid(2)), "self-loop is a no-op");
+        assert!(o.add_edge(&g, vid(0), vid(2)));
+        assert!(!o.add_edge(&g, vid(2), vid(0)), "view already has it");
+        assert!(o.has_edge(&g, vid(0), vid(2)));
+        assert!(!o.delete_edge(&g, vid(0), vid(3)), "absent edge is a no-op");
+        assert!(o.delete_edge(&g, vid(1), vid(2)));
+        assert!(!o.has_edge(&g, vid(1), vid(2)));
+        assert_eq!(o.edges_added(), 1);
+        assert_eq!(o.edges_deleted(), 1);
+        assert_eq!(o.pending(), 2);
+    }
+
+    #[test]
+    fn add_then_delete_cancels() {
+        let g = base();
+        let mut o = DeltaOverlay::new();
+        assert!(o.add_edge(&g, vid(0), vid(3)));
+        assert!(o.delete_edge(&g, vid(3), vid(0)));
+        assert!(o.is_empty());
+        assert!(o.delete_edge(&g, vid(0), vid(1)));
+        assert!(o.add_edge(&g, vid(1), vid(0)));
+        assert!(o.is_empty());
+        assert!(o.has_edge(&g, vid(0), vid(1)));
+    }
+
+    #[test]
+    fn commit_matches_from_scratch() {
+        let g = base();
+        let mut o = DeltaOverlay::new();
+        o.add_edge(&g, vid(0), vid(2));
+        o.add_edge(&g, vid(0), vid(3));
+        o.delete_edge(&g, vid(1), vid(2));
+        let snap = o.commit(&g);
+        let expect = Graph::new(
+            (0..4).map(|i| g.labels(vid(i)).clone()).collect::<Vec<_>>(),
+            &[
+                (vid(0), vid(1)),
+                (vid(2), vid(3)),
+                (vid(0), vid(2)),
+                (vid(0), vid(3)),
+            ],
+            false,
+        );
+        assert_eq!(snap.num_edges(), expect.num_edges());
+        for v in 0..4 {
+            assert_eq!(snap.neighbors(vid(v)), expect.neighbors(vid(v)));
+            assert_eq!(snap.labels(vid(v)), expect.labels(vid(v)));
+        }
+        assert_eq!(
+            snap.vertices_with_label(lid(0)),
+            expect.vertices_with_label(lid(0))
+        );
+    }
+
+    #[test]
+    fn commit_of_empty_overlay_copies_base() {
+        let g = base();
+        let o = DeltaOverlay::new();
+        let snap = o.commit(&g);
+        assert_eq!(snap.num_edges(), g.num_edges());
+        for v in 0..4 {
+            assert_eq!(snap.neighbors(vid(v)), g.neighbors(vid(v)));
+        }
+    }
+
+    #[test]
+    fn clear_resets() {
+        let g = base();
+        let mut o = DeltaOverlay::new();
+        o.add_edge(&g, vid(0), vid(2));
+        assert!(o.size_bytes() > 0);
+        o.clear();
+        assert!(o.is_empty());
+        assert_eq!(o.pending(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_endpoint_panics() {
+        let g = base();
+        let mut o = DeltaOverlay::new();
+        o.add_edge(&g, vid(0), vid(9));
+    }
+}

@@ -131,6 +131,63 @@ pub fn nlc_filter(query_counts: &[(ceci_graph::LabelId, u32)], graph: &Graph, v:
     }
 }
 
+/// Precomputed per-query-node filter profiles (LF + DF + NLCF) for repeated
+/// membership tests — the dirty-candidate localization primitive of the
+/// streaming repair path.
+///
+/// A mutation batch can only change per-vertex filter outcomes at the
+/// mutation endpoints (their degree and neighborhood label counts moved) and
+/// filtered adjacency at the endpoints' neighbors, so incremental index
+/// repair re-tests exactly those vertices against each query node instead of
+/// re-filtering the whole graph. `VertexFilters` hoists the query-side NLC
+/// profiles out of that inner loop.
+#[derive(Clone, Debug)]
+pub struct VertexFilters<'q> {
+    query: &'q QueryGraph,
+    /// `nlc[u]` = sorted `(label, count)` neighborhood profile of query
+    /// vertex `u`.
+    nlc: Vec<Vec<(LabelId, u32)>>,
+}
+
+impl<'q> VertexFilters<'q> {
+    /// Precomputes the per-node query profiles.
+    pub fn new(query: &'q QueryGraph) -> Self {
+        let nlc = query
+            .vertices()
+            .map(|u| query.neighborhood_label_counts(u))
+            .collect();
+        VertexFilters { query, nlc }
+    }
+
+    /// Does data vertex `v` pass all three per-vertex filters for query
+    /// vertex `u` on `graph`? Identical to the Algorithm 1 membership test.
+    #[inline]
+    pub fn passes(&self, graph: &Graph, u: VertexId, v: VertexId) -> bool {
+        label_filter(self.query, graph, u, v)
+            && degree_filter(self.query, graph, u, v)
+            && nlc_filter(&self.nlc[u.index()], graph, v)
+    }
+
+    /// Appends the filtered adjacency `F(u, of)` — neighbors of data vertex
+    /// `of` passing [`VertexFilters::passes`] for `u` — onto `out` in sorted
+    /// order (data adjacency is sorted).
+    pub fn filtered_neighbors_into(
+        &self,
+        graph: &Graph,
+        u: VertexId,
+        of: VertexId,
+        out: &mut Vec<VertexId>,
+    ) {
+        out.extend(
+            graph
+                .neighbors(of)
+                .iter()
+                .copied()
+                .filter(|&v| self.passes(graph, u, v)),
+        );
+    }
+}
+
 /// Candidate set of one query vertex, plus the precomputed query-side NLC
 /// profile so downstream filters can reuse it.
 #[derive(Clone, Debug)]

@@ -28,7 +28,7 @@ pub mod query_graph;
 pub mod root;
 pub mod tree;
 
-pub use candidates::{admission_check, AdmissionVerdict};
+pub use candidates::{admission_check, candidates_of, AdmissionVerdict, VertexFilters};
 pub use catalog::PaperQuery;
 pub use hash::{canonical_hash, CanonicalQuery};
 pub use nec::OrderConstraint;

@@ -11,6 +11,12 @@
 //!   --max-match-workers N  cap on per-request WORKERS (default 8)
 //!   --build-threads N    BFS-filter threads per cache-miss index build
 //!                        (default 1; any value builds a bit-identical index)
+//!   --compact-threshold N  pending overlay edges that trigger CSR compaction
+//!                        after a mutation batch (default 32768)
+//!   --dirty-log-cap N    mutation batches of dirty endpoints kept per graph
+//!                        for index repair (default 64; older caches rebuild)
+//!   --no-stream-repair   disable incremental index repair (stale cache
+//!                        entries always rebuild from scratch)
 //!   --preload NAME=FILE  LOAD a labeled graph before accepting connections
 //!                        (repeatable)
 //!   --chaos              enable the CHAOS fault-injection verb (testing
@@ -34,7 +40,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: ceci-serve [--addr HOST:PORT] [--pool-workers N] [--queue-cap N] \
          [--cache-mb N] [--match-workers N] [--max-match-workers N] \
-         [--build-threads N] [--preload NAME=FILE]... [--chaos] [--trace]"
+         [--build-threads N] [--compact-threshold N] [--dirty-log-cap N] \
+         [--no-stream-repair] [--preload NAME=FILE]... [--chaos] [--trace]"
     );
     exit(2)
 }
@@ -61,6 +68,9 @@ fn main() {
             "--match-workers" => config.default_match_workers = num(&mut i).max(1),
             "--max-match-workers" => config.max_match_workers = num(&mut i).max(1),
             "--build-threads" => config.build_threads = num(&mut i).max(1),
+            "--compact-threshold" => config.compact_threshold = num(&mut i).max(1),
+            "--dirty-log-cap" => config.dirty_log_cap = num(&mut i).max(1),
+            "--no-stream-repair" => config.stream_repair = false,
             "--chaos" => config.chaos = true,
             "--trace" => config.trace = true,
             "--preload" => {
@@ -83,8 +93,8 @@ fn main() {
                 let (entry, _) = state.registry.insert(name, graph);
                 eprintln!(
                     "preloaded {name} ({} vertices, {} edges, epoch {})",
-                    entry.graph.num_vertices(),
-                    entry.graph.num_edges(),
+                    entry.graph().num_vertices(),
+                    entry.graph().num_edges(),
                     entry.epoch
                 );
             }

@@ -1,6 +1,7 @@
 //! The frozen-index cache: memoizes built CECI structures across requests.
 //!
-//! Keyed by `(graph epoch, canonical query hash)`. The canonical hash
+//! Keyed by `(graph epoch, canonical query hash)` and *stamped* with the
+//! graph's mutation sub-epoch. The canonical hash
 //! ([`ceci_query::canonical_hash`]) is isomorphism-invariant, so any
 //! presentation of the same query pattern hits the same entry — sound for
 //! count-returning `MATCH`, because isomorphic queries have identical
@@ -22,6 +23,16 @@
 //! melt the server by crashing a worker per request. Quarantine is scoped
 //! to the `(epoch, hash)` key — re-`LOAD`ing the graph bumps the epoch and
 //! naturally clears it (and `evict_epoch` sweeps the old epoch's marks).
+//!
+//! ## Staleness and repair
+//!
+//! Streaming mutations (`ADDEDGE`/`DELEDGE`/`BATCH`) do not bump the epoch;
+//! they bump the entry's *sub-epoch*. A probe whose sub-epoch differs from
+//! the cached entry's answers [`Probe::Stale`] (or
+//! [`FlightProbe::Stale`] under single-flight), removes the outdated slot,
+//! and hands the old entry back so the caller can *repair* it — patch the
+//! retained [`StreamIndex`] from the graph's dirty log and re-freeze —
+//! instead of rebuilding from scratch.
 
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -29,6 +40,7 @@ use std::sync::{Arc, Condvar, Mutex};
 
 use ceci_core::Ceci;
 use ceci_query::{CanonicalQuery, QueryPlan};
+use ceci_stream::StreamIndex;
 
 /// One cached, frozen index: everything needed to answer a `MATCH` without
 /// re-planning or re-filtering.
@@ -42,6 +54,11 @@ pub struct CachedIndex {
     pub ceci: Arc<Ceci>,
     /// Bytes charged against the cache budget.
     pub bytes: usize,
+    /// Mutation sub-epoch of the snapshot the index was built against.
+    pub sub_epoch: u64,
+    /// The maintainable base tables the frozen index was materialized from;
+    /// `None` when stream repair is disabled (stale entries then rebuild).
+    pub stream: Option<Arc<StreamIndex>>,
 }
 
 #[derive(Debug)]
@@ -124,6 +141,11 @@ pub enum FlightProbe<'a> {
     /// or [`FlightGuard::fail`]. Dropping the guard without either fails
     /// the flight (unwind safety net).
     Lead(FlightGuard<'a>),
+    /// This caller is the build leader *and* an outdated entry for the same
+    /// canonical form was found (and removed): repair it forward instead of
+    /// rebuilding when its retained stream tables allow, then `complete` as
+    /// usual.
+    Stale(Arc<CachedIndex>, FlightGuard<'a>),
     /// Another caller is already building this key; `wait()` blocks until
     /// its outcome.
     Wait(Arc<Flight>),
@@ -186,6 +208,10 @@ pub enum Probe {
     /// Entry found but the canonical form differed (64-bit hash collision);
     /// treated as a miss.
     Collision,
+    /// Entry found for the right canonical form but built against a
+    /// different mutation sub-epoch; the slot was removed and the outdated
+    /// entry returned for repair.
+    Stale,
     /// The key is quarantined (its build panicked earlier); the caller must
     /// not rebuild — answer `ERR E_QUARANTINED`.
     Quarantined,
@@ -218,9 +244,23 @@ impl IndexCache {
         self.clock.fetch_add(1, Ordering::Relaxed)
     }
 
-    /// Probes for `(epoch, canonical)`. On a verified hit the entry's LRU
-    /// stamp is refreshed and the entry returned.
+    /// Probes for `(epoch, canonical)` at mutation sub-epoch 0 (the state
+    /// right after `LOAD`). See [`IndexCache::get_at`].
     pub fn get(&self, epoch: u64, canonical: &CanonicalQuery) -> (Probe, Option<Arc<CachedIndex>>) {
+        self.get_at(epoch, 0, canonical)
+    }
+
+    /// Probes for `(epoch, canonical)` against the graph's current mutation
+    /// `sub_epoch`. On a verified hit the entry's LRU stamp is refreshed and
+    /// the entry returned. An entry of the right canonical form but a
+    /// different sub-epoch is removed from the cache and returned under
+    /// [`Probe::Stale`] so the caller can repair (or rebuild) it.
+    pub fn get_at(
+        &self,
+        epoch: u64,
+        sub_epoch: u64,
+        canonical: &CanonicalQuery,
+    ) -> (Probe, Option<Arc<CachedIndex>>) {
         let stamp = self.tick();
         let key = (epoch, canonical.hash());
         let mut map = self.map.lock().expect("cache lock poisoned");
@@ -230,8 +270,14 @@ impl IndexCache {
         match map.slots.get_mut(&key) {
             None => (Probe::Miss, None),
             Some(slot) if slot.entry.canonical == *canonical => {
-                slot.last_used = stamp;
-                (Probe::Hit, Some(Arc::clone(&slot.entry)))
+                if slot.entry.sub_epoch == sub_epoch {
+                    slot.last_used = stamp;
+                    (Probe::Hit, Some(Arc::clone(&slot.entry)))
+                } else {
+                    let slot = map.slots.remove(&key).expect("slot vanished");
+                    map.bytes -= slot.entry.bytes;
+                    (Probe::Stale, Some(slot.entry))
+                }
             }
             Some(_) => (Probe::Collision, None),
         }
@@ -258,22 +304,43 @@ impl IndexCache {
             .len()
     }
 
-    /// Probes for `(epoch, canonical)` with single-flight arbitration: a
-    /// verified hit returns the entry, a quarantined key or collision is
-    /// reported, and a miss is split into exactly one [`FlightProbe::Lead`]
-    /// (the caller that must build) with every concurrent misser on the
-    /// same key receiving [`FlightProbe::Wait`].
+    /// Single-flight probe at mutation sub-epoch 0. See
+    /// [`IndexCache::begin_at`].
     pub fn begin(&self, epoch: u64, canonical: &CanonicalQuery) -> FlightProbe<'_> {
+        self.begin_at(epoch, 0, canonical)
+    }
+
+    /// Probes for `(epoch, canonical)` at the graph's current mutation
+    /// `sub_epoch` with single-flight arbitration: a verified hit returns
+    /// the entry, a quarantined key or collision is reported, and a miss is
+    /// split into exactly one [`FlightProbe::Lead`] (the caller that must
+    /// build) with every concurrent misser on the same key receiving
+    /// [`FlightProbe::Wait`]. An entry of the right form but a different
+    /// sub-epoch is removed and handed to the leader as
+    /// [`FlightProbe::Stale`] for repair; concurrent missers wait on the
+    /// repair exactly as they would on a build.
+    pub fn begin_at(
+        &self,
+        epoch: u64,
+        sub_epoch: u64,
+        canonical: &CanonicalQuery,
+    ) -> FlightProbe<'_> {
         let stamp = self.tick();
         let key = (epoch, canonical.hash());
         let mut map = self.map.lock().expect("cache lock poisoned");
         if map.quarantined.contains(&key) {
             return FlightProbe::Quarantined;
         }
+        let mut stale = None;
         match map.slots.get_mut(&key) {
             Some(slot) if slot.entry.canonical == *canonical => {
-                slot.last_used = stamp;
-                return FlightProbe::Hit(Arc::clone(&slot.entry));
+                if slot.entry.sub_epoch == sub_epoch {
+                    slot.last_used = stamp;
+                    return FlightProbe::Hit(Arc::clone(&slot.entry));
+                }
+                let slot = map.slots.remove(&key).expect("slot vanished");
+                map.bytes -= slot.entry.bytes;
+                stale = Some(slot.entry);
             }
             Some(_) => return FlightProbe::Collision,
             None => {}
@@ -283,13 +350,17 @@ impl IndexCache {
         }
         let flight = Arc::new(Flight::new());
         map.flights.insert(key, Arc::clone(&flight));
-        FlightProbe::Lead(FlightGuard {
+        let guard = FlightGuard {
             cache: self,
             epoch,
             key,
             flight,
             published: false,
-        })
+        };
+        match stale {
+            Some(entry) => FlightProbe::Stale(entry, guard),
+            None => FlightProbe::Lead(guard),
+        }
     }
 
     /// Inserts an entry built outside the lock, then evicts LRU-first until
@@ -299,7 +370,7 @@ impl IndexCache {
         self.insert_arc(epoch, Arc::new(entry))
     }
 
-    fn insert_arc(&self, epoch: u64, entry: Arc<CachedIndex>) -> u64 {
+    pub(crate) fn insert_arc(&self, epoch: u64, entry: Arc<CachedIndex>) -> u64 {
         // A zero budget disables caching entirely — including zero-byte
         // entries, which would otherwise slip past the size check and leave
         // phantom slots a "disabled" cache is documented not to hold.
@@ -417,6 +488,16 @@ mod tests {
             plan: Arc::new(plan),
             ceci: Arc::new(ceci),
             bytes,
+            sub_epoch: 0,
+            stream: None,
+        }
+    }
+
+    /// Like [`entry`] but stamped with a mutation sub-epoch.
+    fn entry_at(label: u32, bytes: usize, sub_epoch: u64) -> CachedIndex {
+        CachedIndex {
+            sub_epoch,
+            ..entry(label, bytes)
         }
     }
 
@@ -775,5 +856,66 @@ mod tests {
         let (probe, got) = cache.get(1, &forged);
         assert_eq!(probe, Probe::Collision);
         assert!(got.is_none());
+    }
+
+    #[test]
+    fn mutation_sub_epoch_invalidates_without_epoch_bump() {
+        // Regression for streaming mutations: an index cached before an
+        // ADDEDGE/DELEDGE must never be served verbatim afterwards, even
+        // though the graph's load epoch is unchanged.
+        let cache = IndexCache::new(1 << 20);
+        let e = entry_at(0, 100, 0);
+        let canonical = e.canonical.clone();
+        cache.insert(1, e);
+        assert_eq!(cache.get_at(1, 0, &canonical).0, Probe::Hit);
+
+        // Mutation bumps the graph to sub-epoch 1: the cached entry is
+        // stale, gets removed, and is handed back for repair.
+        let (probe, old) = cache.get_at(1, 1, &canonical);
+        assert_eq!(probe, Probe::Stale);
+        let old = old.expect("stale probe must return the outdated entry");
+        assert_eq!(old.sub_epoch, 0);
+        assert_eq!(cache.len(), 0, "stale slot must be removed");
+        assert_eq!(cache.bytes(), 0, "stale bytes must be released");
+
+        // The repaired entry, re-inserted at the new sub-epoch, hits.
+        cache.insert(1, entry_at(0, 100, 1));
+        assert_eq!(cache.get_at(1, 1, &canonical).0, Probe::Hit);
+        // ...and a probe at yet another sub-epoch goes stale again.
+        assert_eq!(cache.get_at(1, 2, &canonical).0, Probe::Stale);
+    }
+
+    #[test]
+    fn singleflight_stale_entry_elects_repair_leader() {
+        let cache = Arc::new(IndexCache::new(1 << 20));
+        let e = entry_at(0, 100, 3);
+        let canonical = e.canonical.clone();
+        cache.insert(1, e);
+        // Probe at sub-epoch 5: the caller leads with the old entry in hand.
+        let (old, guard) = match cache.begin_at(1, 5, &canonical) {
+            FlightProbe::Stale(old, guard) => (old, guard),
+            _ => panic!("stale entry must elect a repair leader"),
+        };
+        assert_eq!(old.sub_epoch, 3);
+        // A concurrent misser waits on the repair flight, not the old entry.
+        let waiter = {
+            let cache = Arc::clone(&cache);
+            let canonical = canonical.clone();
+            std::thread::spawn(move || match cache.begin_at(1, 5, &canonical) {
+                FlightProbe::Wait(flight) => flight.wait(),
+                _ => panic!("second probe must wait on the repair"),
+            })
+        };
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        let repaired = guard.complete(entry_at(0, 100, 5));
+        assert_eq!(repaired.sub_epoch, 5);
+        match waiter.join().unwrap() {
+            FlightWait::Ready(e) => assert_eq!(e.sub_epoch, 5),
+            FlightWait::Failed => panic!("repair completed"),
+        }
+        assert!(matches!(
+            cache.begin_at(1, 5, &canonical),
+            FlightProbe::Hit(_)
+        ));
     }
 }

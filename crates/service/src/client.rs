@@ -62,6 +62,12 @@ fn terminal_line(line: &str) -> bool {
     line.starts_with("OK") || line.starts_with("BUSY") || line.starts_with("ERR")
 }
 
+/// Asynchronous server push (continuous-query deltas). Never terminal and
+/// never part of a response payload; the client stashes these aside.
+fn event_line(line: &str) -> bool {
+    line.starts_with("EVENT ")
+}
+
 /// SplitMix64 — deterministic jitter source for retry backoff (mirrors the
 /// fault layer's draw discipline: seeded counter, no wall-clock entropy).
 #[inline]
@@ -141,6 +147,11 @@ pub struct Client {
     writer: BufWriter<TcpStream>,
     /// Resolved peer address, kept for reconnects.
     peer: SocketAddr,
+    /// `EVENT ...` pushes received so far and not yet taken. The server may
+    /// interleave them between responses on a connection with `REGISTER`ed
+    /// continuous queries; `request` stashes them here instead of treating
+    /// them as payload.
+    events: Vec<String>,
 }
 
 impl Client {
@@ -153,12 +164,51 @@ impl Client {
             reader: BufReader::new(stream.try_clone()?),
             writer: BufWriter::new(stream),
             peer,
+            events: Vec::new(),
         })
     }
 
-    /// Drops the current connection and dials the same peer again.
+    /// `EVENT` lines received so far and not yet [taken](Client::take_events).
+    pub fn events(&self) -> &[String] {
+        &self.events
+    }
+
+    /// Drains the stashed `EVENT` lines, oldest first.
+    pub fn take_events(&mut self) -> Vec<String> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Blocks until at least one `EVENT` line is available (serving a
+    /// stashed one first) and returns the oldest. Use on a connection that
+    /// issued `REGISTER` and is now waiting for mutation-driven deltas.
+    pub fn wait_event(&mut self) -> std::io::Result<String> {
+        loop {
+            if !self.events.is_empty() {
+                return Ok(self.events.remove(0));
+            }
+            let mut buf = String::new();
+            let n = self.reader.read_line(&mut buf)?;
+            if n == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "connection closed while waiting for an event",
+                ));
+            }
+            let line = buf.trim_end_matches(['\r', '\n']).to_string();
+            if event_line(&line) {
+                return Ok(line);
+            }
+            // A non-event line here is out-of-band for this client (no
+            // request is in flight); drop it rather than corrupt state.
+        }
+    }
+
+    /// Drops the current connection and dials the same peer again. Stashed
+    /// events survive the reconnect; server-side continuous registrations
+    /// bound to the old connection do not (their sink is gone).
     pub fn reconnect(&mut self) -> std::io::Result<()> {
-        let fresh = Client::connect(self.peer)?;
+        let mut fresh = Client::connect(self.peer)?;
+        fresh.events = std::mem::take(&mut self.events);
         *self = fresh;
         Ok(())
     }
@@ -215,6 +265,10 @@ impl Client {
                 ));
             }
             let line = buf.trim_end_matches(['\r', '\n']).to_string();
+            if event_line(&line) {
+                self.events.push(line);
+                continue;
+            }
             if terminal_line(&line) {
                 return Ok(Response {
                     payload,
@@ -381,6 +435,15 @@ mod tests {
         assert!(terminal_line("ERR nope"));
         assert!(!terminal_line("STAT requests_total 3"));
         assert!(!terminal_line("| plan line"));
+    }
+
+    #[test]
+    fn event_lines_are_neither_terminal_nor_payload_shaped() {
+        let ev = "EVENT DELTA query=q graph=g batch=3 new=2 retired=1 total=9";
+        assert!(event_line(ev));
+        assert!(!terminal_line(ev));
+        assert!(!event_line("EVENTUALLY not an event"));
+        assert!(!event_line("OK MATCH count=1"));
     }
 
     #[test]

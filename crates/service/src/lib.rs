@@ -20,6 +20,13 @@
 //!   shared-prefix batched execution over a frontier cache ([`pool`]), and
 //!   leaf-level redundant-extension pruning — all per-request bypassable
 //!   with `MATCH ... RAW` for differential verification,
+//! * a **streaming-mutation layer**: `ADDEDGE`/`DELEDGE`/`BATCH` verbs
+//!   mutate a loaded graph through a delta overlay over the frozen CSR
+//!   (compacted at a configurable threshold), cached indexes are
+//!   **repaired** from per-batch dirty endpoints instead of rebuilt
+//!   ([`registry`], `ceci_stream`), and `REGISTER`ed **continuous
+//!   queries** emit per-batch embedding-count deltas (`EVENT DELTA`)
+//!   to their connection ([`server`]),
 //! * a line-oriented **text protocol** ([`protocol`]) and lock-free
 //!   **metrics** surfaced via `STATS` ([`metrics`]),
 //! * a blocking **client** doubling as a closed-loop load generator
@@ -42,5 +49,5 @@ pub use client::{run_load, Client, LoadConfig, LoadReport, Response, RetryOutcom
 pub use metrics::{LatencyHistogram, ServerMetrics};
 pub use pool::{Admission, FrontierCache, FrontierOutcome, PoolHandle, SharedFrontier, WorkerPool};
 pub use protocol::{parse_request, ChaosCommand, ErrorCode, MatchStatus, ParseError, Request};
-pub use registry::{GraphEntry, GraphRegistry};
+pub use registry::{BatchOutcome, DirtyRecord, GraphEntry, GraphRegistry};
 pub use server::{start, start_with_state, ServeConfig, ServerHandle, ServerState};

@@ -185,6 +185,22 @@ pub struct ServerMetrics {
     pub batch_frontier_builds: AtomicU64,
     /// MATCH requests that reused an already-built shared-prefix frontier.
     pub batch_frontier_hits: AtomicU64,
+    /// Mutation batches applied (ADDEDGE/DELEDGE/BATCH with ≥1 net change).
+    pub mutation_batches: AtomicU64,
+    /// Net edges added across all applied mutation batches.
+    pub edges_added: AtomicU64,
+    /// Net edges deleted across all applied mutation batches.
+    pub edges_deleted: AtomicU64,
+    /// Overlay compactions (delta merged into a fresh base CSR).
+    pub compactions: AtomicU64,
+    /// Stale cached indexes repaired in place from the dirty log instead of
+    /// rebuilt from scratch.
+    pub index_repairs: AtomicU64,
+    /// Stale cached indexes that had to fall back to a full rebuild (no
+    /// stream tables retained, or the dirty log was truncated).
+    pub index_repair_fallbacks: AtomicU64,
+    /// Continuous-query delta events emitted to registered connections.
+    pub continuous_events: AtomicU64,
     /// End-to-end MATCH latency (admission to response).
     pub match_latency: LatencyHistogram,
     /// CECI build time on cache misses.
@@ -194,6 +210,9 @@ pub struct ServerMetrics {
     /// Reverse-BFS refinement phase time within cache-miss builds
     /// (Algorithm 2).
     pub build_refine_latency: LatencyHistogram,
+    /// Stale-index repair time (patch from dirty log + re-freeze), the
+    /// counterpart of `build_latency` for the repair path.
+    pub index_repair_latency: LatencyHistogram,
 }
 
 impl ServerMetrics {
@@ -240,6 +259,28 @@ impl ServerMetrics {
                 g(&self.batch_frontier_builds),
             ),
             ("batch_frontier_hits".into(), g(&self.batch_frontier_hits)),
+            ("mutation_batches".into(), g(&self.mutation_batches)),
+            ("edges_added".into(), g(&self.edges_added)),
+            ("edges_deleted".into(), g(&self.edges_deleted)),
+            ("compactions".into(), g(&self.compactions)),
+            ("index_repairs".into(), g(&self.index_repairs)),
+            (
+                "index_repair_fallbacks".into(),
+                g(&self.index_repair_fallbacks),
+            ),
+            ("continuous_events".into(), g(&self.continuous_events)),
+            (
+                "index_repair_count".into(),
+                self.index_repair_latency.count(),
+            ),
+            (
+                "index_repair_mean_us".into(),
+                self.index_repair_latency.mean_us(),
+            ),
+            (
+                "index_repair_p99_us".into(),
+                self.index_repair_latency.quantile_us(0.99),
+            ),
             ("match_latency_count".into(), self.match_latency.count()),
             ("match_latency_mean_us".into(), self.match_latency.mean_us()),
             (

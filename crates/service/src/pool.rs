@@ -30,7 +30,7 @@
 //! ([`ceci_core::PrefixSpec`]) elect one *leader* to build the shared
 //! candidate frontier; the rest fork their enumeration from it. The cache is
 //! single-flight (same leader/waiter discipline as the index cache), keyed
-//! by `(graph epoch, spec signature)` with spec equality re-verified before
+//! by `(graph epoch, mutation sub-epoch, spec signature)` with spec equality re-verified before
 //! sharing, so a signature collision degrades to solo execution instead of
 //! wrong counts.
 
@@ -289,13 +289,16 @@ enum FrontierSlot {
 
 #[derive(Default)]
 struct FrontierMap {
-    slots: HashMap<(u64, u64), FrontierSlot>,
+    slots: HashMap<(u64, u64, u64), FrontierSlot>,
     /// Publication order of `Ready` keys, for FIFO capacity eviction.
-    order: VecDeque<(u64, u64)>,
+    order: VecDeque<(u64, u64, u64)>,
 }
 
 /// Single-flight cache of shared-prefix frontiers keyed by
-/// `(graph epoch, PrefixSpec signature)`.
+/// `(graph epoch, mutation sub-epoch, PrefixSpec signature)`. Keying on the
+/// sub-epoch makes a frontier built before an `ADDEDGE`/`DELEDGE` batch
+/// unreachable afterwards by construction — a stale shared frontier can
+/// never be served across a mutation, without any eager sweep.
 ///
 /// Concurrency discipline mirrors the index cache: the first request for a
 /// key becomes the *leader* (slot `Building`), builds outside the lock, and
@@ -315,7 +318,7 @@ pub struct FrontierCache {
 /// unwind), so waiters are not stranded.
 struct BuildingGuard<'a> {
     cache: &'a FrontierCache,
-    key: (u64, u64),
+    key: (u64, u64, u64),
     armed: bool,
 }
 
@@ -342,8 +345,8 @@ impl FrontierCache {
         }
     }
 
-    /// Returns the frontier for `(epoch, spec)`, building it via `build`
-    /// (outside the cache lock) when this caller is elected leader.
+    /// Returns the frontier for `(epoch, sub_epoch, spec)`, building it via
+    /// `build` (outside the cache lock) when this caller is elected leader.
     ///
     /// `Solo` means a signature collision: an entry exists for the key but
     /// its spec differs, so the caller must run unbatched rather than share
@@ -351,10 +354,11 @@ impl FrontierCache {
     pub fn get_or_build(
         &self,
         epoch: u64,
+        sub_epoch: u64,
         spec: &PrefixSpec,
         build: impl FnOnce() -> Vec<Vec<VertexId>>,
     ) -> FrontierOutcome {
-        let key = (epoch, spec.signature());
+        let key = (epoch, sub_epoch, spec.signature());
         let mut m = self.map.lock().expect("frontier lock poisoned");
         loop {
             match m.slots.get(&key) {
@@ -575,7 +579,7 @@ mod tests {
             let built = Arc::clone(&built);
             let shared = Arc::clone(&shared);
             handles.push(std::thread::spawn(move || {
-                let outcome = cache.get_or_build(1, &spec, || {
+                let outcome = cache.get_or_build(1, 0, &spec, || {
                     builds.fetch_add(1, Ordering::SeqCst);
                     // Widen the single-flight window so followers pile up.
                     std::thread::sleep(Duration::from_millis(50));
@@ -612,13 +616,13 @@ mod tests {
         let s = spec.clone();
         let leader = std::thread::spawn(move || {
             let _ = catch_unwind(AssertUnwindSafe(|| {
-                c.get_or_build(1, &s, || panic!("injected frontier-build panic"))
+                c.get_or_build(1, 0, &s, || panic!("injected frontier-build panic"))
             }));
         });
         leader.join().unwrap();
         // ...and the slot is gone, so the next caller is elected leader and
         // succeeds rather than waiting forever.
-        match cache.get_or_build(1, &spec, || vec![vec![vid(0)]]) {
+        match cache.get_or_build(1, 0, &spec, || vec![vec![vid(0)]]) {
             FrontierOutcome::Built(f) => assert_eq!(f.frontier.len(), 1),
             _ => panic!("expected fresh leadership after leader panic"),
         }
@@ -629,18 +633,45 @@ mod tests {
         let cache = FrontierCache::new(2);
         let (spec1, spec2) = specs();
         assert!(cache.is_empty());
-        cache.get_or_build(1, &spec1, || vec![vec![vid(0)]]);
-        cache.get_or_build(1, &spec2, || vec![vec![vid(0), vid(1)]]);
+        cache.get_or_build(1, 0, &spec1, || vec![vec![vid(0)]]);
+        cache.get_or_build(1, 0, &spec2, || vec![vec![vid(0), vid(1)]]);
         assert_eq!(cache.len(), 2);
         // Third distinct key FIFO-evicts the oldest.
-        cache.get_or_build(2, &spec1, || vec![vec![vid(2)]]);
+        cache.get_or_build(2, 0, &spec1, || vec![vec![vid(2)]]);
         assert_eq!(cache.len(), 2);
         // The epoch-1 survivors go on graph replacement; epoch 2 stays.
         cache.evict_epoch(1);
         assert_eq!(cache.len(), 1);
-        match cache.get_or_build(2, &spec1, || unreachable!("still cached")) {
+        match cache.get_or_build(2, 0, &spec1, || unreachable!("still cached")) {
             FrontierOutcome::Shared(f) => assert_eq!(f.frontier, vec![vec![vid(2)]]),
             _ => panic!("epoch-2 entry should have survived"),
         }
+    }
+
+    #[test]
+    fn frontier_cache_never_serves_across_a_mutation() {
+        // Regression: a frontier shared at sub-epoch 0 must be unreachable
+        // after a mutation bumps the graph to sub-epoch 1 — the key
+        // includes the sub-epoch, so staleness is structural.
+        let cache = FrontierCache::new(8);
+        let (spec, _) = specs();
+        match cache.get_or_build(1, 0, &spec, || vec![vec![vid(0)]]) {
+            FrontierOutcome::Built(f) => assert_eq!(f.frontier, vec![vec![vid(0)]]),
+            _ => panic!("first build"),
+        }
+        // Same epoch, same spec, new sub-epoch: rebuild, never share.
+        match cache.get_or_build(1, 1, &spec, || vec![vec![vid(0)], vec![vid(2)]]) {
+            FrontierOutcome::Built(f) => assert_eq!(f.frontier.len(), 2),
+            FrontierOutcome::Shared(_) => panic!("stale frontier served across mutation"),
+            FrontierOutcome::Solo => panic!("no collision expected"),
+        }
+        // The old sub-epoch's entry still answers probes pinned to it.
+        match cache.get_or_build(1, 0, &spec, || unreachable!("still cached")) {
+            FrontierOutcome::Shared(f) => assert_eq!(f.frontier, vec![vec![vid(0)]]),
+            _ => panic!("pinned sub-epoch entry should persist until aged out"),
+        }
+        // Graph replacement still sweeps every sub-epoch of the epoch.
+        cache.evict_epoch(1);
+        assert!(cache.is_empty());
     }
 }

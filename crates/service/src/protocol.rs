@@ -19,9 +19,32 @@
 //! STATS [PROM]
 //! SLEEP <ms>
 //! CHAOS PANIC | BUILDPANIC | BUILDDELAY <ms> | DELAY <ms>
+//! ADDEDGE <graph> <u> <v>
+//! DELEDGE <graph> <u> <v>
+//! BATCH <graph> {+<u>:<v> | -<u>:<v>}...
+//! BATCH <graph> FILE <path>
+//! REGISTER <name> <graph> <query-path>
+//! UNREGISTER <name>
 //! PING
 //! QUIT
 //! ```
+//!
+//! `ADDEDGE`/`DELEDGE`/`BATCH` mutate a loaded graph in place (streaming
+//! updates): each applied batch bumps the graph's mutation *sub-epoch* and
+//! publishes a fresh snapshot, leaving in-flight requests on the old one.
+//! `BATCH ... FILE` reads a SNAP temporal edge list (`src dst ts`) server
+//! side and applies every edge as one batch of additions.
+//!
+//! `REGISTER` pins a *continuous query*: the server keeps its index live
+//! across mutation batches and pushes one asynchronous line
+//!
+//! ```text
+//! EVENT DELTA query=<name> graph=<g> batch=<sub-epoch> new=<n> retired=<r> total=<t>
+//! ```
+//!
+//! to the registering connection per applied batch. `EVENT` lines are never
+//! terminal and may interleave *between* (never inside) responses on that
+//! connection; clients must treat them as out-of-band payload.
 //!
 //! `MATCH ... RAW` opts one request out of the multi-query optimization
 //! layer (admission filter, single-flight builds, shared-prefix batching,
@@ -99,6 +122,38 @@ pub enum Request {
         /// What to break.
         command: ChaosCommand,
     },
+    /// Apply a batch of edge mutations to a loaded graph.
+    Mutate {
+        /// Name of a loaded graph.
+        graph: String,
+        /// Undirected edges to add, as `(u, v)` vertex-id pairs.
+        adds: Vec<(u32, u32)>,
+        /// Undirected edges to delete.
+        dels: Vec<(u32, u32)>,
+    },
+    /// Apply a server-side SNAP temporal edge-list file as one batch of
+    /// additions.
+    BatchFile {
+        /// Name of a loaded graph.
+        graph: String,
+        /// Server-side path of the `src dst ts` file.
+        path: String,
+    },
+    /// Register a continuous query: keep its index live across mutation
+    /// batches and emit `EVENT DELTA` lines to this connection.
+    Register {
+        /// Registration handle (unique per server; re-registering replaces).
+        name: String,
+        /// Name of a loaded graph.
+        graph: String,
+        /// Server-side path of the query (labeled t/v/e format).
+        query_path: String,
+    },
+    /// Drop a continuous-query registration.
+    Unregister {
+        /// The handle passed to `REGISTER`.
+        name: String,
+    },
     /// Liveness probe.
     Ping,
     /// Close the connection.
@@ -155,6 +210,12 @@ pub enum ErrorCode {
     Quarantined,
     /// A `CHAOS` command arrived but the server runs without `--chaos`.
     ChaosDisabled,
+    /// An `ADDEDGE`/`DELEDGE`/`BATCH` mutation was invalid (endpoint out of
+    /// range, unreadable batch file, or malformed edge token).
+    Mutation,
+    /// A `REGISTER`/`UNREGISTER` request failed (unknown handle, or the
+    /// continuous query could not be planned).
+    Register,
 }
 
 impl ErrorCode {
@@ -169,6 +230,8 @@ impl ErrorCode {
             ErrorCode::BuildPanic => "E_BUILD_PANIC",
             ErrorCode::Quarantined => "E_QUARANTINED",
             ErrorCode::ChaosDisabled => "E_CHAOS_DISABLED",
+            ErrorCode::Mutation => "E_MUTATION",
+            ErrorCode::Register => "E_REGISTER",
         }
     }
 
@@ -200,6 +263,33 @@ fn parse_u64(tokens: &mut std::slice::Iter<'_, &str>, what: &str) -> Result<u64,
         .ok_or_else(|| err(format!("{what} requires a value")))?
         .parse()
         .map_err(|_| err(format!("invalid {what} value")))
+}
+
+fn parse_vertex(tokens: &mut std::slice::Iter<'_, &str>, what: &str) -> Result<u32, ParseError> {
+    tokens
+        .next()
+        .ok_or_else(|| err(format!("{what} requires <graph> <u> <v>")))?
+        .parse()
+        .map_err(|_| err(format!("{what} vertex ids must be u32")))
+}
+
+/// Parses one `BATCH` edge token: `+u:v` (add) or `-u:v` (delete).
+fn parse_edge_token(token: &str) -> Result<(bool, u32, u32), ParseError> {
+    let (add, rest) = match token.as_bytes().first() {
+        Some(b'+') => (true, &token[1..]),
+        Some(b'-') => (false, &token[1..]),
+        _ => return Err(err(format!("BATCH edge {token:?} must start with + or -"))),
+    };
+    let (u, v) = rest
+        .split_once(':')
+        .ok_or_else(|| err(format!("BATCH edge {token:?} must be +u:v or -u:v")))?;
+    let u = u
+        .parse()
+        .map_err(|_| err(format!("BATCH edge {token:?}: vertex ids must be u32")))?;
+    let v = v
+        .parse()
+        .map_err(|_| err(format!("BATCH edge {token:?}: vertex ids must be u32")))?;
+    Ok((add, u, v))
 }
 
 /// Parses one request line. Empty lines and `#` comments yield `Ok(None)`.
@@ -319,6 +409,90 @@ pub fn parse_request(line: &str) -> Result<Option<Request>, ParseError> {
                 other => return Err(err(format!("unknown CHAOS command {other:?}"))),
             };
             Request::Chaos { command }
+        }
+        "ADDEDGE" | "DELEDGE" => {
+            let graph = it
+                .next()
+                .ok_or_else(|| err(format!("{cmd} requires <graph> <u> <v>")))?;
+            let u = parse_vertex(&mut it, &cmd)?;
+            let v = parse_vertex(&mut it, &cmd)?;
+            if it.next().is_some() {
+                return Err(err(format!("{cmd} takes exactly <graph> <u> <v>")));
+            }
+            let (adds, dels) = if cmd == "ADDEDGE" {
+                (vec![(u, v)], Vec::new())
+            } else {
+                (Vec::new(), vec![(u, v)])
+            };
+            Request::Mutate {
+                graph: graph.to_string(),
+                adds,
+                dels,
+            }
+        }
+        "BATCH" => {
+            let graph = it
+                .next()
+                .ok_or_else(|| err("BATCH requires <graph> followed by edges or FILE <path>"))?;
+            let first = it.next().ok_or_else(|| {
+                err("BATCH requires at least one +u:v / -u:v edge or FILE <path>")
+            })?;
+            if first.eq_ignore_ascii_case("FILE") {
+                let path = it
+                    .next()
+                    .ok_or_else(|| err("BATCH ... FILE requires <path>"))?;
+                if it.next().is_some() {
+                    return Err(err("BATCH ... FILE takes exactly one path"));
+                }
+                Request::BatchFile {
+                    graph: graph.to_string(),
+                    path: path.to_string(),
+                }
+            } else {
+                let mut adds = Vec::new();
+                let mut dels = Vec::new();
+                for token in std::iter::once(first).chain(it) {
+                    let (add, u, v) = parse_edge_token(token)?;
+                    if add {
+                        adds.push((u, v));
+                    } else {
+                        dels.push((u, v));
+                    }
+                }
+                Request::Mutate {
+                    graph: graph.to_string(),
+                    adds,
+                    dels,
+                }
+            }
+        }
+        "REGISTER" => {
+            let name = it
+                .next()
+                .ok_or_else(|| err("REGISTER requires <name> <graph> <query-path>"))?;
+            let graph = it
+                .next()
+                .ok_or_else(|| err("REGISTER requires <name> <graph> <query-path>"))?;
+            let query_path = it
+                .next()
+                .ok_or_else(|| err("REGISTER requires <name> <graph> <query-path>"))?;
+            if it.next().is_some() {
+                return Err(err("REGISTER takes exactly <name> <graph> <query-path>"));
+            }
+            Request::Register {
+                name: name.to_string(),
+                graph: graph.to_string(),
+                query_path: query_path.to_string(),
+            }
+        }
+        "UNREGISTER" => {
+            let name = it.next().ok_or_else(|| err("UNREGISTER requires <name>"))?;
+            if it.next().is_some() {
+                return Err(err("UNREGISTER takes exactly <name>"));
+            }
+            Request::Unregister {
+                name: name.to_string(),
+            }
         }
         "PING" => Request::Ping,
         "QUIT" => Request::Quit,
@@ -503,6 +677,68 @@ mod tests {
     }
 
     #[test]
+    fn parses_mutation_verbs() {
+        assert_eq!(
+            parse_request("ADDEDGE g 3 7").unwrap(),
+            Some(Request::Mutate {
+                graph: "g".into(),
+                adds: vec![(3, 7)],
+                dels: vec![],
+            })
+        );
+        assert_eq!(
+            parse_request("deledge g 0 1").unwrap(),
+            Some(Request::Mutate {
+                graph: "g".into(),
+                adds: vec![],
+                dels: vec![(0, 1)],
+            })
+        );
+        assert_eq!(
+            parse_request("BATCH g +1:2 -3:4 +5:6").unwrap(),
+            Some(Request::Mutate {
+                graph: "g".into(),
+                adds: vec![(1, 2), (5, 6)],
+                dels: vec![(3, 4)],
+            })
+        );
+        assert_eq!(
+            parse_request("batch g file /tmp/edges.txt").unwrap(),
+            Some(Request::BatchFile {
+                graph: "g".into(),
+                path: "/tmp/edges.txt".into(),
+            })
+        );
+        assert!(parse_request("ADDEDGE g 1").is_err());
+        assert!(parse_request("ADDEDGE g 1 2 3").is_err());
+        assert!(parse_request("ADDEDGE g a b").is_err());
+        assert!(parse_request("BATCH g").is_err());
+        assert!(parse_request("BATCH g 1:2").is_err(), "missing +/- sign");
+        assert!(parse_request("BATCH g +1-2").is_err(), "missing colon");
+        assert!(parse_request("BATCH g FILE").is_err());
+    }
+
+    #[test]
+    fn parses_continuous_query_verbs() {
+        assert_eq!(
+            parse_request("REGISTER cq1 g q.graph").unwrap(),
+            Some(Request::Register {
+                name: "cq1".into(),
+                graph: "g".into(),
+                query_path: "q.graph".into(),
+            })
+        );
+        assert_eq!(
+            parse_request("unregister cq1").unwrap(),
+            Some(Request::Unregister { name: "cq1".into() })
+        );
+        assert!(parse_request("REGISTER cq1 g").is_err());
+        assert!(parse_request("REGISTER cq1 g q extra").is_err());
+        assert!(parse_request("UNREGISTER").is_err());
+        assert!(parse_request("UNREGISTER a b").is_err());
+    }
+
+    #[test]
     fn error_codes_format_err_lines() {
         assert_eq!(ErrorCode::WorkerDropped.as_str(), "E_WORKER_DROPPED");
         assert_eq!(
@@ -519,6 +755,8 @@ mod tests {
             ErrorCode::BuildPanic,
             ErrorCode::Quarantined,
             ErrorCode::ChaosDisabled,
+            ErrorCode::Mutation,
+            ErrorCode::Register,
         ] {
             assert!(code.as_str().starts_with("E_"));
             assert!(!code.as_str().contains(' '));

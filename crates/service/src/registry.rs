@@ -1,29 +1,269 @@
-//! The graph registry: named, immutable, reference-counted data graphs.
+//! The graph registry: named, reference-counted data graphs with a
+//! streaming-mutation overlay.
 //!
-//! `LOAD` replaces a name atomically — in-flight `MATCH` requests keep their
-//! `Arc<Graph>` and finish against the old snapshot while new requests see
-//! the replacement. Every load stamps the entry with a globally unique,
-//! monotonically increasing *epoch*; the index cache keys on it, so stale
-//! indexes built against a replaced graph can never be served (and are
-//! swept eagerly on replacement).
+//! `LOAD` replaces a name atomically — in-flight `MATCH` requests keep
+//! their `Arc<Graph>` snapshot and finish against the old graph while new
+//! requests see the replacement. Every load stamps the entry with a
+//! globally unique, monotonically increasing *epoch*; the index cache keys
+//! on it, so stale indexes built against a replaced graph can never be
+//! served (and are swept eagerly on replacement).
+//!
+//! ## Streaming mutations
+//!
+//! `ADDEDGE` / `DELEDGE` / `BATCH` mutate a loaded graph *between* epochs:
+//! each applied batch bumps the entry's **sub-epoch** and publishes a fresh
+//! immutable snapshot (`base` CSR + [`DeltaOverlay`] committed into a new
+//! CSR). Readers always see a consistent `(snapshot, sub_epoch)` pair;
+//! mutations never touch a snapshot a reader already holds.
+//!
+//! The overlay is compacted (becomes the new `base`, with an exact
+//! label-pair index rebuild) once its pending net mutations reach the
+//! configured threshold; between compactions the label-pair admission index
+//! is *maintained* — endpoint maxima are raised on adds, deletions keep a
+//! sound overestimate — so the filter never rejects a satisfiable query.
+//!
+//! Each applied batch is appended to a bounded **dirty log** of touched
+//! endpoints. The index cache uses it to repair a stale cached index
+//! forward across `(old sub-epoch, current]` instead of rebuilding; when
+//! the log has been truncated past the needed range,
+//! [`GraphEntry::dirty_endpoints_since`] answers `None` and the caller
+//! falls back to a full rebuild.
 
-use std::collections::HashMap;
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
-use ceci_graph::Graph;
+use ceci_graph::{DeltaOverlay, Graph, VertexId};
+use std::collections::HashMap;
 
 /// Global epoch source: unique across all registries in the process, which
 /// keeps cache keys unambiguous even under registry replacement in tests.
 static NEXT_EPOCH: AtomicU64 = AtomicU64::new(1);
 
-/// One loaded graph plus its identity metadata.
+/// One applied mutation batch in the dirty log.
+#[derive(Clone, Debug)]
+pub struct DirtyRecord {
+    /// The sub-epoch this batch produced (first applied batch = 1).
+    pub sub_epoch: u64,
+    /// Distinct endpoints of every applied edge mutation in the batch.
+    pub endpoints: Vec<VertexId>,
+    /// Net edges added by the batch.
+    pub added: usize,
+    /// Net edges deleted by the batch.
+    pub deleted: usize,
+}
+
+/// Mutable streaming state of one loaded graph, guarded by the entry lock.
+#[derive(Debug)]
+struct StreamState {
+    /// Last compacted CSR (exact label-pair index).
+    base: Arc<Graph>,
+    /// Net mutations since `base`.
+    overlay: DeltaOverlay,
+    /// Current immutable snapshot (`base` ⊕ `overlay`), shared with readers.
+    current: Arc<Graph>,
+    /// Applied-batch counter; 0 right after `LOAD`.
+    sub_epoch: u64,
+    /// Bounded log of applied batches, oldest first.
+    dirty_log: VecDeque<DirtyRecord>,
+}
+
+/// Outcome of one applied (or empty) mutation batch.
+#[derive(Clone, Debug)]
+pub struct BatchOutcome {
+    /// Sub-epoch after the batch (unchanged when nothing applied).
+    pub sub_epoch: u64,
+    /// Net edges added (mutations already present were dropped).
+    pub added: Vec<(VertexId, VertexId)>,
+    /// Net edges deleted (mutations of absent edges were dropped).
+    pub deleted: Vec<(VertexId, VertexId)>,
+    /// Distinct touched endpoints of the applied mutations.
+    pub endpoints: Vec<VertexId>,
+    /// Whether this batch triggered an overlay compaction.
+    pub compacted: bool,
+    /// Net overlay mutations still pending after the batch.
+    pub pending: usize,
+    /// Snapshot *before* the batch (for delta enumeration).
+    pub old_graph: Arc<Graph>,
+    /// Snapshot *after* the batch (`== old_graph` when nothing applied).
+    pub new_graph: Arc<Graph>,
+}
+
+impl BatchOutcome {
+    /// Total mutations the batch actually applied.
+    pub fn applied(&self) -> usize {
+        self.added.len() + self.deleted.len()
+    }
+}
+
+/// One loaded graph plus its identity metadata and streaming state.
 #[derive(Debug)]
 pub struct GraphEntry {
-    /// The immutable data graph (shared with in-flight requests).
-    pub graph: Arc<Graph>,
     /// Unique load stamp; bumped on every (re)load of the name.
     pub epoch: u64,
+    stream: RwLock<StreamState>,
+}
+
+impl GraphEntry {
+    /// The current immutable snapshot.
+    pub fn graph(&self) -> Arc<Graph> {
+        Arc::clone(&self.stream.read().expect("stream lock poisoned").current)
+    }
+
+    /// The current mutation sub-epoch (0 right after `LOAD`).
+    pub fn sub_epoch(&self) -> u64 {
+        self.stream.read().expect("stream lock poisoned").sub_epoch
+    }
+
+    /// A consistent `(snapshot, sub_epoch)` pair under one lock
+    /// acquisition — the pair every request must key its caches on.
+    pub fn snapshot(&self) -> (Arc<Graph>, u64) {
+        let st = self.stream.read().expect("stream lock poisoned");
+        (Arc::clone(&st.current), st.sub_epoch)
+    }
+
+    /// Net overlay mutations pending compaction.
+    pub fn pending(&self) -> usize {
+        self.stream
+            .read()
+            .expect("stream lock poisoned")
+            .overlay
+            .pending()
+    }
+
+    /// Distinct endpoints touched by every batch in
+    /// `(from_sub_epoch, current]`, or `None` when the dirty log no longer
+    /// covers that range (repair must fall back to a rebuild). An up-to-date
+    /// caller gets `Some(empty)`.
+    pub fn dirty_endpoints_since(&self, from_sub_epoch: u64) -> Option<Vec<VertexId>> {
+        let st = self.stream.read().expect("stream lock poisoned");
+        if from_sub_epoch >= st.sub_epoch {
+            return Some(Vec::new());
+        }
+        // The log must contain every batch with sub_epoch > from_sub_epoch;
+        // its records are contiguous, so checking the oldest suffices.
+        match st.dirty_log.front() {
+            Some(first) if first.sub_epoch <= from_sub_epoch + 1 => {
+                let mut endpoints: Vec<VertexId> = st
+                    .dirty_log
+                    .iter()
+                    .filter(|r| r.sub_epoch > from_sub_epoch)
+                    .flat_map(|r| r.endpoints.iter().copied())
+                    .collect();
+                endpoints.sort_unstable();
+                endpoints.dedup();
+                Some(endpoints)
+            }
+            _ => None,
+        }
+    }
+
+    /// Applies one mutation batch atomically: edge adds/deletes go through
+    /// the overlay (net semantics — re-adding a pending delete cancels it),
+    /// an applied batch publishes a fresh snapshot, bumps the sub-epoch,
+    /// maintains the label-pair admission index, logs the dirty endpoints
+    /// (log bounded by `dirty_log_cap`), and compacts the overlay into a new
+    /// base once `compact_threshold` net mutations are pending.
+    ///
+    /// Returns `Err` when any endpoint is out of range for the graph; no
+    /// mutation is applied in that case.
+    pub fn apply_batch(
+        &self,
+        adds: &[(VertexId, VertexId)],
+        dels: &[(VertexId, VertexId)],
+        compact_threshold: usize,
+        dirty_log_cap: usize,
+    ) -> Result<BatchOutcome, String> {
+        let mut st = self.stream.write().expect("stream lock poisoned");
+        let n = st.current.num_vertices();
+        if let Some(&(a, b)) = adds
+            .iter()
+            .chain(dels.iter())
+            .find(|&&(a, b)| a.index() >= n || b.index() >= n)
+        {
+            return Err(format!(
+                "edge ({}, {}) out of range for a graph of {n} vertices",
+                a.index(),
+                b.index()
+            ));
+        }
+        let old_graph = Arc::clone(&st.current);
+        let mut applied_adds = Vec::new();
+        let mut applied_dels = Vec::new();
+        let mut endpoints: Vec<VertexId> = Vec::new();
+        {
+            let st = &mut *st;
+            for &(a, b) in adds {
+                if st.overlay.add_edge(&st.base, a, b) {
+                    applied_adds.push((a, b));
+                    endpoints.extend([a, b]);
+                }
+            }
+            for &(a, b) in dels {
+                if st.overlay.delete_edge(&st.base, a, b) {
+                    applied_dels.push((a, b));
+                    endpoints.extend([a, b]);
+                }
+            }
+        }
+        endpoints.sort_unstable();
+        endpoints.dedup();
+        if applied_adds.is_empty() && applied_dels.is_empty() {
+            return Ok(BatchOutcome {
+                sub_epoch: st.sub_epoch,
+                added: applied_adds,
+                deleted: applied_dels,
+                endpoints,
+                compacted: false,
+                pending: st.overlay.pending(),
+                new_graph: Arc::clone(&old_graph),
+                old_graph,
+            });
+        }
+        let mut fresh = st.overlay.commit(&st.base);
+        let compacted = st.overlay.pending() >= compact_threshold.max(1);
+        if compacted {
+            // Exact rebuild at compaction: the fresh CSR has no label-pair
+            // index yet, so this computes it from scratch.
+            fresh.build_label_pair_index();
+        } else if let Some(lpi) = old_graph.label_pair_index() {
+            // Maintained between compactions: raise the endpoint maxima on
+            // the new adjacency. Deletions keep stale maxima — a sound
+            // overestimate for the admission filter.
+            let mut lpi = lpi.clone();
+            for &v in &endpoints {
+                lpi.absorb_vertex(&fresh, v);
+            }
+            fresh.set_label_pair_index(lpi);
+        }
+        let fresh = Arc::new(fresh);
+        st.current = Arc::clone(&fresh);
+        if compacted {
+            st.base = Arc::clone(&fresh);
+            st.overlay.clear();
+        }
+        st.sub_epoch += 1;
+        let sub_epoch = st.sub_epoch;
+        st.dirty_log.push_back(DirtyRecord {
+            sub_epoch,
+            endpoints: endpoints.clone(),
+            added: applied_adds.len(),
+            deleted: applied_dels.len(),
+        });
+        while st.dirty_log.len() > dirty_log_cap.max(1) {
+            st.dirty_log.pop_front();
+        }
+        Ok(BatchOutcome {
+            sub_epoch: st.sub_epoch,
+            added: applied_adds,
+            deleted: applied_dels,
+            endpoints,
+            compacted,
+            pending: st.overlay.pending(),
+            old_graph,
+            new_graph: fresh,
+        })
+    }
 }
 
 /// A concurrent name → graph map with replace-on-load semantics.
@@ -42,9 +282,16 @@ impl GraphRegistry {
     /// graph was replaced, the epoch of the entry that was displaced (so the
     /// caller can evict its cached indexes).
     pub fn insert(&self, name: &str, graph: Graph) -> (Arc<GraphEntry>, Option<u64>) {
+        let graph = Arc::new(graph);
         let entry = Arc::new(GraphEntry {
-            graph: Arc::new(graph),
             epoch: NEXT_EPOCH.fetch_add(1, Ordering::Relaxed),
+            stream: RwLock::new(StreamState {
+                base: Arc::clone(&graph),
+                overlay: DeltaOverlay::new(),
+                current: graph,
+                sub_epoch: 0,
+                dirty_log: VecDeque::new(),
+            }),
         });
         let old = self
             .graphs
@@ -77,13 +324,23 @@ impl GraphRegistry {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ceci_graph::{GraphBuilder, LabelId};
+    use ceci_graph::{vid, GraphBuilder, LabelId};
 
     fn tiny(label: u32) -> Graph {
         let mut b = GraphBuilder::new();
         let a = b.add_vertex(LabelId(label));
         let c = b.add_vertex(LabelId(label));
         b.add_edge(a, c);
+        b.build()
+    }
+
+    /// A path 0–1–2–3 with one label.
+    fn path4() -> Graph {
+        let mut b = GraphBuilder::new();
+        let v: Vec<_> = (0..4).map(|_| b.add_vertex(LabelId(0))).collect();
+        b.add_edge(v[0], v[1]);
+        b.add_edge(v[1], v[2]);
+        b.add_edge(v[2], v[3]);
         b.build()
     }
 
@@ -96,6 +353,7 @@ mod tests {
         assert_eq!(r.len(), 1);
         let got = r.get("g").unwrap();
         assert_eq!(got.epoch, e.epoch);
+        assert_eq!(got.sub_epoch(), 0);
         assert!(r.get("missing").is_none());
     }
 
@@ -117,6 +375,103 @@ mod tests {
         let held = r.get("g").unwrap();
         r.insert("g", tiny(1));
         // The old snapshot is still alive and readable.
-        assert_eq!(held.graph.num_vertices(), 2);
+        assert_eq!(held.graph().num_vertices(), 2);
+    }
+
+    #[test]
+    fn batch_bumps_sub_epoch_and_publishes_snapshot() {
+        let r = GraphRegistry::new();
+        let (e, _) = r.insert("g", path4());
+        let before = e.graph();
+        let out = e
+            .apply_batch(&[(vid(0), vid(3))], &[], 1_000_000, 8)
+            .unwrap();
+        assert_eq!(out.sub_epoch, 1);
+        assert_eq!(out.added.len(), 1);
+        assert!(out.deleted.is_empty());
+        assert!(!out.compacted);
+        assert_eq!(e.sub_epoch(), 1);
+        // Old snapshot untouched; new snapshot has the edge.
+        assert!(!before.has_edge(vid(0), vid(3)));
+        assert!(e.graph().has_edge(vid(0), vid(3)));
+        assert_eq!(e.graph().num_edges(), 4);
+    }
+
+    #[test]
+    fn noop_batch_does_not_bump() {
+        let r = GraphRegistry::new();
+        let (e, _) = r.insert("g", path4());
+        // Adding an existing edge and deleting a missing one: both no-ops.
+        let out = e
+            .apply_batch(&[(vid(0), vid(1))], &[(vid(0), vid(3))], 1_000_000, 8)
+            .unwrap();
+        assert_eq!(out.applied(), 0);
+        assert_eq!(out.sub_epoch, 0);
+        assert_eq!(e.sub_epoch(), 0);
+    }
+
+    #[test]
+    fn out_of_range_rejected_without_effect() {
+        let r = GraphRegistry::new();
+        let (e, _) = r.insert("g", path4());
+        assert!(e
+            .apply_batch(&[(vid(0), vid(99))], &[], 1_000_000, 8)
+            .is_err());
+        assert_eq!(e.sub_epoch(), 0);
+        assert_eq!(e.pending(), 0);
+    }
+
+    #[test]
+    fn compaction_clears_overlay_and_rebuilds_exact() {
+        let r = GraphRegistry::new();
+        let (e, _) = r.insert("g", path4());
+        let out = e.apply_batch(&[(vid(0), vid(2))], &[], 1, 8).unwrap();
+        assert!(out.compacted);
+        assert_eq!(out.pending, 0);
+        assert_eq!(e.pending(), 0);
+        // The compacted snapshot carries an exact label-pair index.
+        assert!(e.graph().label_pair_index().is_some());
+        // Further batches build on the new base.
+        let out2 = e
+            .apply_batch(&[], &[(vid(0), vid(2))], 1_000_000, 8)
+            .unwrap();
+        assert_eq!(out2.deleted.len(), 1);
+        assert!(!e.graph().has_edge(vid(0), vid(2)));
+    }
+
+    #[test]
+    fn dirty_log_tracks_and_truncates() {
+        let r = GraphRegistry::new();
+        let (e, _) = r.insert("g", path4());
+        e.apply_batch(&[(vid(0), vid(2))], &[], 1_000_000, 2)
+            .unwrap();
+        e.apply_batch(&[(vid(0), vid(3))], &[], 1_000_000, 2)
+            .unwrap();
+        // Fully covered: endpoints of batches 1..=2.
+        let d = e.dirty_endpoints_since(0).unwrap();
+        assert_eq!(d, vec![vid(0), vid(2), vid(3)]);
+        assert_eq!(e.dirty_endpoints_since(2).unwrap(), Vec::<VertexId>::new());
+        // A third batch pushes batch 1 out of the capped log.
+        e.apply_batch(&[(vid(1), vid(3))], &[], 1_000_000, 2)
+            .unwrap();
+        assert!(e.dirty_endpoints_since(0).is_none(), "log truncated");
+        assert_eq!(
+            e.dirty_endpoints_since(1).unwrap(),
+            vec![vid(0), vid(1), vid(3)]
+        );
+    }
+
+    #[test]
+    fn maintained_label_pairs_stay_sound_on_add() {
+        let r = GraphRegistry::new();
+        let mut g = path4();
+        g.build_label_pair_index();
+        let (e, _) = r.insert("g", g);
+        // New edge raises vertex 1's same-label neighbor count to 3.
+        e.apply_batch(&[(vid(1), vid(3))], &[], 1_000_000, 8)
+            .unwrap();
+        let snap = e.graph();
+        let lpi = snap.label_pair_index().unwrap();
+        assert!(lpi.max_count(ceci_graph::lid(0), ceci_graph::lid(0)) >= 3);
     }
 }

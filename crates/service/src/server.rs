@@ -32,27 +32,30 @@
 //! * The `CHAOS` verb (enabled with [`ServeConfig::chaos`]) injects these
 //!   failures on demand for testing.
 
+use std::collections::HashMap;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc};
+use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use ceci_core::{
-    enumerate_from_frontier, enumerate_parallel_cancellable, CancelToken, Ceci, CountSink,
-    EnumOptions, ParallelOptions, PrefixSpec,
+    batch_delta, count_embeddings, enumerate_from_frontier, enumerate_parallel_cancellable,
+    CancelToken, Ceci, CountSink, EnumOptions, ParallelOptions, PrefixSpec,
 };
 use ceci_graph::io as graph_io;
+use ceci_graph::{vid, Graph, VertexId};
 use ceci_query::{admission_check, CanonicalQuery, QueryGraph, QueryPlan};
+use ceci_stream::StreamIndex;
 use ceci_trace::{PromWriter, Tracer};
 
 use crate::cache::{CachedIndex, FlightProbe, FlightWait, IndexCache, Probe};
 use crate::metrics::ServerMetrics;
 use crate::pool::{Admission, FrontierCache, FrontierOutcome, PoolHandle, WorkerPool};
 use crate::protocol::{parse_request, ChaosCommand, ErrorCode, MatchStatus, Request};
-use crate::registry::GraphRegistry;
+use crate::registry::{GraphEntry, GraphRegistry};
 
 /// Server configuration.
 #[derive(Clone, Debug)]
@@ -100,6 +103,16 @@ pub struct ServeConfig {
     /// Published shared frontiers kept by the [`FrontierCache`] (FIFO
     /// eviction beyond this).
     pub frontier_cache_entries: usize,
+    /// Net overlay mutations that trigger compaction of a streamed graph's
+    /// delta overlay into a fresh base CSR (with an exact label-pair index
+    /// rebuild).
+    pub compact_threshold: usize,
+    /// Applied mutation batches whose dirty endpoints are retained per
+    /// graph; stale indexes older than the log fall back to a rebuild.
+    pub dirty_log_cap: usize,
+    /// Keep the maintainable stream tables alongside cached indexes so
+    /// stale entries are *repaired* from the dirty log instead of rebuilt.
+    pub stream_repair: bool,
 }
 
 impl Default for ServeConfig {
@@ -120,8 +133,36 @@ impl Default for ServeConfig {
             prune_redundant: true,
             batch_prefix_depth: 2,
             frontier_cache_entries: 32,
+            compact_threshold: 32_768,
+            dirty_log_cap: 64,
+            stream_repair: true,
         }
     }
+}
+
+/// The response sink of one client connection, shared so continuous-query
+/// events can be pushed to it from mutation jobs on other threads. Whole
+/// responses (and whole events) are written under one lock acquisition, so
+/// an `EVENT` line can interleave between responses but never inside one.
+type SharedWriter = Arc<Mutex<BufWriter<TcpStream>>>;
+
+/// One registered continuous query: its live (maintainable) index plus the
+/// running embedding total and the connection to notify per batch.
+struct ContinuousQuery {
+    /// Registry name of the graph the query watches.
+    graph: String,
+    /// Load epoch the registration is pinned to; a re-`LOAD` drops it.
+    epoch: u64,
+    /// Mutation sub-epoch the stream tables currently reflect.
+    sub_epoch: u64,
+    /// The (graph-stable) matching plan the index maintains.
+    plan: Arc<QueryPlan>,
+    /// Maintainable candidate tables, patched in place per batch.
+    stream: StreamIndex,
+    /// Running embedding total; updated by the delta identity per batch.
+    total: u64,
+    /// Where `EVENT DELTA` lines go.
+    sink: SharedWriter,
 }
 
 /// Shared server state: everything a connection (or pool job) needs.
@@ -147,6 +188,8 @@ pub struct ServerState {
     /// build sleeps first, widening the single-flight window so tests can
     /// deterministically pile waiters behind one leader.
     build_delay_ms: AtomicU64,
+    /// Continuous-query registrations by handle.
+    continuous: Mutex<HashMap<String, ContinuousQuery>>,
 }
 
 impl ServerState {
@@ -164,12 +207,21 @@ impl ServerState {
             stopping: AtomicBool::new(false),
             build_panic_armed: AtomicBool::new(false),
             build_delay_ms: AtomicU64::new(0),
+            continuous: Mutex::new(HashMap::new()),
         }
     }
 
     /// The config the server was started with.
     pub fn config(&self) -> &ServeConfig {
         &self.config
+    }
+
+    /// Number of live continuous-query registrations.
+    pub fn continuous_len(&self) -> usize {
+        self.continuous
+            .lock()
+            .expect("continuous lock poisoned")
+            .len()
     }
 }
 
@@ -274,7 +326,7 @@ fn serve_connection(
 ) -> std::io::Result<()> {
     stream.set_nodelay(true).ok();
     let reader = BufReader::new(stream.try_clone()?);
-    let mut writer = BufWriter::new(stream);
+    let writer: SharedWriter = Arc::new(Mutex::new(BufWriter::new(stream)));
     for line in reader.lines() {
         let line = line?;
         let request = match parse_request(&line) {
@@ -282,14 +334,14 @@ fn serve_connection(
             Ok(Some(r)) => r,
             Err(e) => {
                 ServerMetrics::inc(&state.metrics.errors);
-                respond(&mut writer, &[ErrorCode::Parse.line(e)])?;
+                respond(&writer, &[ErrorCode::Parse.line(e)])?;
                 continue;
             }
         };
         ServerMetrics::inc(&state.metrics.requests);
         let quit = matches!(request, Request::Quit);
-        let lines = dispatch(request, state, pool);
-        respond(&mut writer, &lines)?;
+        let lines = dispatch(request, state, pool, &writer);
+        respond(&writer, &lines)?;
         if quit {
             break;
         }
@@ -297,16 +349,26 @@ fn serve_connection(
     Ok(())
 }
 
-fn respond(writer: &mut BufWriter<TcpStream>, lines: &[String]) -> std::io::Result<()> {
+/// Writes one whole response (or event) under a single lock acquisition so
+/// concurrent `EVENT` pushes never interleave inside it.
+fn respond(writer: &SharedWriter, lines: &[String]) -> std::io::Result<()> {
+    let mut w = writer.lock().expect("connection writer poisoned");
     for l in lines {
-        writer.write_all(l.as_bytes())?;
-        writer.write_all(b"\n")?;
+        w.write_all(l.as_bytes())?;
+        w.write_all(b"\n")?;
     }
-    writer.flush()
+    w.flush()
 }
 
 /// Routes a request: control plane inline, data plane through the pool.
-fn dispatch(request: Request, state: &Arc<ServerState>, pool: &PoolHandle) -> Vec<String> {
+/// `writer` is this connection's response sink; `REGISTER` captures it so
+/// later mutation batches can push `EVENT DELTA` lines back here.
+fn dispatch(
+    request: Request,
+    state: &Arc<ServerState>,
+    pool: &PoolHandle,
+    writer: &SharedWriter,
+) -> Vec<String> {
     match request {
         Request::Ping => vec!["OK PONG".to_string()],
         Request::Quit => vec!["OK BYE".to_string()],
@@ -318,35 +380,48 @@ fn dispatch(request: Request, state: &Arc<ServerState>, pool: &PoolHandle) -> Ve
             directed,
         } => exec_load(state, &name, &path, edge_list, directed),
         Request::Chaos { command } => exec_chaos(command, state, pool),
-        data_plane => submit_to_pool(state, pool, move |job_state, queue_wait| match data_plane {
-            Request::Match {
-                graph,
-                query_path,
-                limit,
-                deadline_ms,
-                workers,
-                raw,
-            } => exec_match(
-                job_state,
-                &graph,
-                &query_path,
-                limit,
-                deadline_ms,
-                workers,
-                raw,
-                queue_wait,
-            ),
-            Request::Explain {
-                graph,
-                query_path,
-                analyze,
-            } => exec_explain(job_state, &graph, &query_path, analyze),
-            Request::Sleep { ms } => {
-                std::thread::sleep(Duration::from_millis(ms));
-                vec![format!("OK SLEPT {ms}")]
-            }
-            _ => unreachable!("control-plane request reached the pool"),
-        }),
+        data_plane => {
+            let sink = Arc::clone(writer);
+            submit_to_pool(state, pool, move |job_state, queue_wait| match data_plane {
+                Request::Match {
+                    graph,
+                    query_path,
+                    limit,
+                    deadline_ms,
+                    workers,
+                    raw,
+                } => exec_match(
+                    job_state,
+                    &graph,
+                    &query_path,
+                    limit,
+                    deadline_ms,
+                    workers,
+                    raw,
+                    queue_wait,
+                ),
+                Request::Explain {
+                    graph,
+                    query_path,
+                    analyze,
+                } => exec_explain(job_state, &graph, &query_path, analyze),
+                Request::Mutate { graph, adds, dels } => {
+                    exec_mutate(job_state, &graph, &adds, &dels)
+                }
+                Request::BatchFile { graph, path } => exec_batch_file(job_state, &graph, &path),
+                Request::Register {
+                    name,
+                    graph,
+                    query_path,
+                } => exec_register(job_state, &name, &graph, &query_path, sink),
+                Request::Unregister { name } => exec_unregister(job_state, &name),
+                Request::Sleep { ms } => {
+                    std::thread::sleep(Duration::from_millis(ms));
+                    vec![format!("OK SLEPT {ms}")]
+                }
+                _ => unreachable!("control-plane request reached the pool"),
+            })
+        }
     }
 }
 
@@ -432,6 +507,7 @@ fn exec_stats(state: &ServerState, prom: bool) -> Vec<String> {
         ),
         ("trace_spans", state.tracer.len() as u64),
         ("frontier_entries", state.frontiers.len() as u64),
+        ("continuous_registrations", state.continuous_len() as u64),
     ];
     let mut lines = state.metrics.render(&extra);
     lines.push("OK STATS".to_string());
@@ -445,7 +521,7 @@ pub fn render_prometheus(state: &ServerState) -> String {
     let m = &state.metrics;
     let g = |a: &std::sync::atomic::AtomicU64| a.load(Ordering::Relaxed);
     let mut w = PromWriter::new();
-    let counters: [(&str, &str, u64); 20] = [
+    let counters: [(&str, &str, u64); 27] = [
         (
             "ceci_requests_total",
             "Request lines accepted (parse successes)",
@@ -542,6 +618,41 @@ pub fn render_prometheus(state: &ServerState) -> String {
             "MATCH requests that reused a shared-prefix frontier",
             g(&m.batch_frontier_hits),
         ),
+        (
+            "ceci_mutation_batches_total",
+            "Mutation batches applied (>=1 net edge change)",
+            g(&m.mutation_batches),
+        ),
+        (
+            "ceci_edges_added_total",
+            "Net edges added by mutation batches",
+            g(&m.edges_added),
+        ),
+        (
+            "ceci_edges_deleted_total",
+            "Net edges deleted by mutation batches",
+            g(&m.edges_deleted),
+        ),
+        (
+            "ceci_compactions_total",
+            "Delta-overlay compactions into a fresh base CSR",
+            g(&m.compactions),
+        ),
+        (
+            "ceci_index_repairs_total",
+            "Stale cached indexes repaired from the dirty log",
+            g(&m.index_repairs),
+        ),
+        (
+            "ceci_index_repair_fallbacks_total",
+            "Stale cached indexes that fell back to a full rebuild",
+            g(&m.index_repair_fallbacks),
+        ),
+        (
+            "ceci_continuous_events_total",
+            "Continuous-query delta events emitted",
+            g(&m.continuous_events),
+        ),
     ];
     for (name, help, value) in counters {
         w.counter(name, help, value);
@@ -576,6 +687,11 @@ pub fn render_prometheus(state: &ServerState) -> String {
         "Shared-prefix frontiers currently published",
         state.frontiers.len() as u64,
     );
+    w.gauge(
+        "ceci_continuous_registrations",
+        "Continuous queries currently registered",
+        state.continuous_len() as u64,
+    );
     for (hist, name, help) in [
         (
             &m.match_latency,
@@ -596,6 +712,11 @@ pub fn render_prometheus(state: &ServerState) -> String {
             &m.build_refine_latency,
             "ceci_build_refine_us",
             "Reverse-BFS refinement phase time within builds (Algorithm 2), microseconds",
+        ),
+        (
+            &m.index_repair_latency,
+            "ceci_index_repair_us",
+            "Stale-index repair time (patch + re-freeze), microseconds",
         ),
     ] {
         let (cum, sum, count) = hist.cumulative_us();
@@ -631,6 +752,13 @@ fn exec_load(
                 state.cache.evict_epoch(old_epoch);
                 state.frontiers.evict_epoch(old_epoch);
             }
+            // Continuous queries are pinned to the replaced entry's epoch;
+            // their totals are meaningless against the new graph.
+            state
+                .continuous
+                .lock()
+                .expect("continuous lock poisoned")
+                .retain(|_, cq| cq.graph != name);
             ServerMetrics::inc(&state.metrics.load_requests);
             vec![format!(
                 "OK LOADED name={name} vertices={vertices} edges={edges} epoch={}",
@@ -646,18 +774,19 @@ fn load_query(path: &str) -> Result<QueryGraph, String> {
     QueryGraph::from_graph(&pattern).map_err(|e| format!("invalid query: {e}"))
 }
 
+/// A successful cache-miss build: the plan, the frozen index, and (when
+/// stream repair is on) the maintainable base index kept for future patches.
+type BuiltIndex = (Arc<QueryPlan>, Arc<Ceci>, Option<Arc<StreamIndex>>);
+
 /// Runs the (panic-prone) plan + CECI build under `catch_unwind`, honoring
 /// the one-shot chaos levers (`BUILDDELAY` sleeps first, then `BUILDPANIC`
 /// fires, so the two compose). `Err(())` means the build panicked; the
 /// caller quarantines the key.
-fn run_build(
-    state: &ServerState,
-    graph: &ceci_graph::Graph,
-    query: QueryGraph,
-) -> Result<(Arc<QueryPlan>, Arc<Ceci>), ()> {
+fn run_build(state: &ServerState, graph: &Graph, query: QueryGraph) -> Result<BuiltIndex, ()> {
     let delay_ms = state.build_delay_ms.swap(0, Ordering::SeqCst);
     let armed = state.build_panic_armed.swap(false, Ordering::SeqCst);
     let build_threads = state.config.build_threads.max(1);
+    let keep_stream = state.config.stream_repair;
     catch_unwind(AssertUnwindSafe(move || {
         if delay_ms > 0 {
             std::thread::sleep(Duration::from_millis(delay_ms));
@@ -674,9 +803,78 @@ fn run_build(
                 ..Default::default()
             },
         ));
-        (plan, ceci)
+        // The maintainable base tables ride along so a later mutation can
+        // repair this entry instead of rebuilding it.
+        let stream = keep_stream.then(|| Arc::new(StreamIndex::build(graph, &plan)));
+        (plan, ceci, stream)
     }))
     .map_err(|_| ())
+}
+
+/// Attempts to repair a stale cached entry in place: patch its retained
+/// stream tables from the graph's dirty log against the request's snapshot,
+/// then re-freeze. `None` means repair is not possible (repair disabled, no
+/// stream tables retained, the dirty log no longer covers the gap, or the
+/// entry is from the *future* relative to this snapshot) and the caller
+/// must fall back to a full rebuild.
+fn repair_entry(
+    state: &ServerState,
+    entry: &GraphEntry,
+    graph: &Graph,
+    sub_epoch: u64,
+    old: &CachedIndex,
+) -> Option<(CachedIndex, Duration)> {
+    if !state.config.stream_repair || old.sub_epoch > sub_epoch {
+        return None;
+    }
+    let stream = old.stream.as_ref()?;
+    let endpoints = entry.dirty_endpoints_since(old.sub_epoch)?;
+    let plan = Arc::clone(&old.plan);
+    let t0 = Instant::now();
+    // Repair runs the same (panic-prone) index code paths a build does;
+    // contain it the same way and fall back to a rebuild on unwind.
+    let (patched, ceci, stats) = catch_unwind(AssertUnwindSafe(|| {
+        let mut patched = (**stream).clone();
+        let stats = patched.patch(graph, &plan, &endpoints);
+        let ceci = Arc::new(patched.materialize(graph, &plan));
+        (patched, ceci, stats)
+    }))
+    .ok()?;
+    let repair = t0.elapsed();
+    state.metrics.index_repair_latency.record(repair);
+    ServerMetrics::inc(&state.metrics.index_repairs);
+    if state.tracer.enabled() {
+        let dur = repair.as_nanos() as u64;
+        let end = state.tracer.now_ns();
+        state.tracer.span(
+            "service.repair",
+            "service",
+            0,
+            0,
+            end.saturating_sub(dur),
+            dur.max(1),
+            vec![
+                ("dirty_vertices", stats.dirty_vertices as u64),
+                ("keys_recomputed", stats.keys_recomputed as u64),
+                ("keys_added", stats.keys_added as u64),
+                ("keys_removed", stats.keys_removed as u64),
+                ("from_sub_epoch", old.sub_epoch),
+                ("to_sub_epoch", sub_epoch),
+            ],
+        );
+    }
+    let bytes = ceci.size_bytes() + patched.size_bytes();
+    Some((
+        CachedIndex {
+            canonical: old.canonical.clone(),
+            plan,
+            ceci,
+            bytes,
+            sub_epoch,
+            stream: Some(Arc::new(patched)),
+        },
+        repair,
+    ))
 }
 
 /// Records build latency and its phase split (filter = Algorithm 1,
@@ -707,26 +905,29 @@ fn quarantine_after_panic(
 fn build_solo(
     state: &ServerState,
     graph_epoch: u64,
-    graph: &ceci_graph::Graph,
+    sub_epoch: u64,
+    graph: &Graph,
     query: QueryGraph,
     canonical: CanonicalQuery,
-) -> Result<(Arc<CachedIndex>, bool, Duration), Vec<String>> {
+) -> Result<(Arc<CachedIndex>, &'static str, Duration), Vec<String>> {
     let t0 = Instant::now();
-    let (plan, ceci) = match run_build(state, graph, query) {
-        Ok(pair) => pair,
+    let (plan, ceci, stream) = match run_build(state, graph, query) {
+        Ok(triple) => triple,
         Err(()) => return Err(quarantine_after_panic(state, graph_epoch, &canonical)),
     };
     let build = t0.elapsed();
     record_build(state, &ceci, build);
-    let bytes = ceci.size_bytes();
+    let bytes = ceci.size_bytes() + stream.as_ref().map_or(0, |s| s.size_bytes());
     Ok((
         Arc::new(CachedIndex {
             canonical,
             plan,
             ceci,
             bytes,
+            sub_epoch,
+            stream,
         }),
-        false,
+        "MISS",
         build,
     ))
 }
@@ -748,19 +949,21 @@ fn build_solo(
 /// burning a worker per attempt. Re-`LOAD`ing the graph clears the mark.
 fn index_for(
     state: &ServerState,
-    graph_epoch: u64,
-    graph: &ceci_graph::Graph,
+    entry: &GraphEntry,
+    graph: &Graph,
+    sub_epoch: u64,
     query: QueryGraph,
-) -> Result<(Arc<CachedIndex>, bool, Duration), Vec<String>> {
+) -> Result<(Arc<CachedIndex>, &'static str, Duration), Vec<String>> {
+    let graph_epoch = entry.epoch;
     let canonical = CanonicalQuery::of(&query);
     if state.config.single_flight {
-        return index_for_single_flight(state, graph_epoch, graph, query, canonical);
+        return index_for_single_flight(state, entry, graph, sub_epoch, query, canonical);
     }
-    let (probe, cached) = state.cache.get(graph_epoch, &canonical);
+    let (probe, cached) = state.cache.get_at(graph_epoch, sub_epoch, &canonical);
     match probe {
         Probe::Hit => {
             ServerMetrics::inc(&state.metrics.cache_hits);
-            return Ok((cached.expect("hit without entry"), true, Duration::ZERO));
+            return Ok((cached.expect("hit without entry"), "HIT", Duration::ZERO));
         }
         Probe::Quarantined => {
             ServerMetrics::inc(&state.metrics.quarantine_hits);
@@ -769,6 +972,18 @@ fn index_for(
                 "index build for this (graph, query) previously panicked; \
                  re-LOAD the graph to clear the quarantine",
             )]);
+        }
+        Probe::Stale => {
+            let old = cached.expect("stale probe without entry");
+            if let Some((repaired, repair)) = repair_entry(state, entry, graph, sub_epoch, &old) {
+                let shared = Arc::new(repaired);
+                let evicted = state.cache.insert_arc(graph_epoch, Arc::clone(&shared));
+                ServerMetrics::add(&state.metrics.cache_evictions, evicted);
+                return Ok((shared, "REPAIRED", repair));
+            }
+            // Unrepairable: pay the full rebuild, counted as a miss.
+            ServerMetrics::inc(&state.metrics.index_repair_fallbacks);
+            ServerMetrics::inc(&state.metrics.cache_misses);
         }
         Probe::Miss => ServerMetrics::inc(&state.metrics.cache_misses),
         Probe::Collision => {
@@ -779,48 +994,88 @@ fn index_for(
         }
     }
     let t0 = Instant::now();
-    let (plan, ceci) = match run_build(state, graph, query) {
-        Ok(pair) => pair,
+    let (plan, ceci, stream) = match run_build(state, graph, query) {
+        Ok(triple) => triple,
         Err(()) => return Err(quarantine_after_panic(state, graph_epoch, &canonical)),
     };
     let build = t0.elapsed();
     record_build(state, &ceci, build);
-    let entry = Arc::new(CachedIndex {
+    let shared = Arc::new(CachedIndex {
         canonical,
-        plan: Arc::clone(&plan),
+        plan,
         ceci: Arc::clone(&ceci),
-        bytes: ceci.size_bytes(),
+        bytes: ceci.size_bytes() + stream.as_ref().map_or(0, |s| s.size_bytes()),
+        sub_epoch,
+        stream,
     });
     // Collisions keep the *old* entry (LRU decides who survives budget
     // pressure); overwriting would thrash between the two queries.
     if probe != Probe::Collision {
-        let evicted = state.cache.insert(
-            graph_epoch,
-            CachedIndex {
-                canonical: entry.canonical.clone(),
-                plan,
-                ceci,
-                bytes: entry.bytes,
-            },
-        );
+        let evicted = state.cache.insert_arc(graph_epoch, Arc::clone(&shared));
         ServerMetrics::add(&state.metrics.cache_evictions, evicted);
     }
-    Ok((entry, false, build))
+    Ok((shared, "MISS", build))
+}
+
+/// The leader side of a single-flight build: run it, publish through the
+/// guard (or quarantine + fail), and sync the eviction counter.
+fn finish_lead(
+    state: &ServerState,
+    graph_epoch: u64,
+    sub_epoch: u64,
+    graph: &Graph,
+    query: QueryGraph,
+    canonical: CanonicalQuery,
+    guard: crate::cache::FlightGuard<'_>,
+) -> Result<(Arc<CachedIndex>, &'static str, Duration), Vec<String>> {
+    let t0 = Instant::now();
+    match run_build(state, graph, query) {
+        Err(()) => {
+            // Quarantine *before* releasing the gate so waiters and
+            // later probes agree on the verdict.
+            let lines = quarantine_after_panic(state, graph_epoch, &canonical);
+            guard.fail();
+            Err(lines)
+        }
+        Ok((plan, ceci, stream)) => {
+            let build = t0.elapsed();
+            record_build(state, &ceci, build);
+            let bytes = ceci.size_bytes() + stream.as_ref().map_or(0, |s| s.size_bytes());
+            let entry = guard.complete(CachedIndex {
+                canonical,
+                plan,
+                ceci,
+                bytes,
+                sub_epoch,
+                stream,
+            });
+            // `complete` inserts internally; sync the server-level
+            // eviction counter to the cache's authoritative one.
+            state
+                .metrics
+                .cache_evictions
+                .store(state.cache.evictions(), Ordering::Relaxed);
+            Ok((entry, "MISS", build))
+        }
+    }
 }
 
 /// The single-flight variant of [`index_for`]: misses are arbitrated by
-/// [`IndexCache::begin`] into one leader and N−1 waiters.
+/// [`IndexCache::begin_at`] into one leader and N−1 waiters; a stale entry
+/// elects its leader into the *repair* path first.
 fn index_for_single_flight(
     state: &ServerState,
-    graph_epoch: u64,
-    graph: &ceci_graph::Graph,
+    entry: &GraphEntry,
+    graph: &Graph,
+    sub_epoch: u64,
     query: QueryGraph,
     canonical: CanonicalQuery,
-) -> Result<(Arc<CachedIndex>, bool, Duration), Vec<String>> {
-    match state.cache.begin(graph_epoch, &canonical) {
+) -> Result<(Arc<CachedIndex>, &'static str, Duration), Vec<String>> {
+    let graph_epoch = entry.epoch;
+    match state.cache.begin_at(graph_epoch, sub_epoch, &canonical) {
         FlightProbe::Hit(entry) => {
             ServerMetrics::inc(&state.metrics.cache_hits);
-            Ok((entry, true, Duration::ZERO))
+            Ok((entry, "HIT", Duration::ZERO))
         }
         FlightProbe::Quarantined => {
             ServerMetrics::inc(&state.metrics.quarantine_hits);
@@ -833,52 +1088,57 @@ fn index_for_single_flight(
         FlightProbe::Collision => {
             ServerMetrics::inc(&state.metrics.cache_collisions);
             ServerMetrics::inc(&state.metrics.cache_misses);
-            build_solo(state, graph_epoch, graph, query, canonical)
+            build_solo(state, graph_epoch, sub_epoch, graph, query, canonical)
         }
         FlightProbe::Lead(guard) => {
             ServerMetrics::inc(&state.metrics.cache_misses);
-            let t0 = Instant::now();
-            match run_build(state, graph, query) {
-                Err(()) => {
-                    // Quarantine *before* releasing the gate so waiters and
-                    // later probes agree on the verdict.
-                    let lines = quarantine_after_panic(state, graph_epoch, &canonical);
-                    guard.fail();
-                    Err(lines)
-                }
-                Ok((plan, ceci)) => {
-                    let build = t0.elapsed();
-                    record_build(state, &ceci, build);
-                    let bytes = ceci.size_bytes();
-                    let entry = guard.complete(CachedIndex {
-                        canonical,
-                        plan,
-                        ceci,
-                        bytes,
-                    });
-                    // `complete` inserts internally; sync the server-level
-                    // eviction counter to the cache's authoritative one.
-                    state
-                        .metrics
-                        .cache_evictions
-                        .store(state.cache.evictions(), Ordering::Relaxed);
-                    Ok((entry, false, build))
-                }
+            finish_lead(
+                state,
+                graph_epoch,
+                sub_epoch,
+                graph,
+                query,
+                canonical,
+                guard,
+            )
+        }
+        FlightProbe::Stale(old, guard) => {
+            if let Some((repaired, repair)) = repair_entry(state, entry, graph, sub_epoch, &old) {
+                let shared = guard.complete(repaired);
+                state
+                    .metrics
+                    .cache_evictions
+                    .store(state.cache.evictions(), Ordering::Relaxed);
+                return Ok((shared, "REPAIRED", repair));
             }
+            ServerMetrics::inc(&state.metrics.index_repair_fallbacks);
+            ServerMetrics::inc(&state.metrics.cache_misses);
+            finish_lead(
+                state,
+                graph_epoch,
+                sub_epoch,
+                graph,
+                query,
+                canonical,
+                guard,
+            )
         }
         FlightProbe::Wait(flight) => {
             ServerMetrics::inc(&state.metrics.singleflight_waits);
             match flight.wait() {
-                FlightWait::Ready(entry) => {
-                    if entry.canonical == canonical {
+                FlightWait::Ready(flown) => {
+                    if flown.canonical == canonical && flown.sub_epoch == sub_epoch {
                         ServerMetrics::inc(&state.metrics.cache_hits);
-                        Ok((entry, true, Duration::ZERO))
+                        Ok((flown, "HIT", Duration::ZERO))
                     } else {
-                        // The leader built a different canonical form under
-                        // this 64-bit hash: a collision, not our index.
-                        ServerMetrics::inc(&state.metrics.cache_collisions);
+                        // A different canonical form under this 64-bit hash
+                        // (collision), or the leader ran against a different
+                        // snapshot: either way, not our index.
+                        if flown.canonical != canonical {
+                            ServerMetrics::inc(&state.metrics.cache_collisions);
+                        }
                         ServerMetrics::inc(&state.metrics.cache_misses);
-                        build_solo(state, graph_epoch, graph, query, canonical)
+                        build_solo(state, graph_epoch, sub_epoch, graph, query, canonical)
                     }
                 }
                 FlightWait::Failed => {
@@ -912,6 +1172,9 @@ fn exec_match(
         ServerMetrics::inc(&state.metrics.errors);
         return vec![ErrorCode::UnknownGraph.line(format!("unknown graph {graph_name:?}"))];
     };
+    // One consistent (snapshot, sub-epoch) pair for the whole request:
+    // concurrent mutations publish new snapshots without touching this one.
+    let (graph, sub_epoch) = entry.snapshot();
     let query = match load_query(query_path) {
         Ok(q) => q,
         Err(e) => {
@@ -923,7 +1186,7 @@ fn exec_match(
     // embeddings, answered in O(query edges) before any cache probe,
     // index build, or enumeration.
     if state.config.admission_filter && !raw {
-        let verdict = admission_check(&query, &entry.graph);
+        let verdict = admission_check(&query, &graph);
         if verdict.rejected() {
             ServerMetrics::inc(&state.metrics.filter_rejected);
             let total = t_start.elapsed();
@@ -940,7 +1203,7 @@ fn exec_match(
     let cancel = deadline_ms.map(|ms| CancelToken::after(Duration::from_millis(ms)));
 
     let t_index = Instant::now();
-    let (index, cache_hit, build) = match index_for(state, entry.epoch, &entry.graph, query) {
+    let (index, cache_tag, build) = match index_for(state, &entry, &graph, sub_epoch, query) {
         Ok(built) => built,
         Err(lines) => return lines,
     };
@@ -965,26 +1228,28 @@ fn exec_match(
         {
             if let Some(spec) = PrefixSpec::from_plan(&index.plan, state.config.batch_prefix_depth)
             {
-                let frontier = match state
-                    .frontiers
-                    .get_or_build(entry.epoch, &spec, || spec.build_frontier(&entry.graph))
-                {
-                    FrontierOutcome::Built(f) => {
-                        ServerMetrics::inc(&state.metrics.batch_frontier_builds);
-                        batch_tag = Some("LEAD");
-                        Some(f)
-                    }
-                    FrontierOutcome::Shared(f) => {
-                        ServerMetrics::inc(&state.metrics.batch_frontier_hits);
-                        batch_tag = Some("SHARED");
-                        Some(f)
-                    }
-                    FrontierOutcome::Solo => None,
-                };
+                let frontier =
+                    match state
+                        .frontiers
+                        .get_or_build(entry.epoch, sub_epoch, &spec, || {
+                            spec.build_frontier(&graph)
+                        }) {
+                        FrontierOutcome::Built(f) => {
+                            ServerMetrics::inc(&state.metrics.batch_frontier_builds);
+                            batch_tag = Some("LEAD");
+                            Some(f)
+                        }
+                        FrontierOutcome::Shared(f) => {
+                            ServerMetrics::inc(&state.metrics.batch_frontier_hits);
+                            batch_tag = Some("SHARED");
+                            Some(f)
+                        }
+                        FrontierOutcome::Solo => None,
+                    };
                 if let Some(f) = frontier {
                     let mut sink = CountSink::unbounded();
                     enumerate_from_frontier(
-                        &entry.graph,
+                        &graph,
                         &index.plan,
                         &index.ceci,
                         EnumOptions {
@@ -1005,7 +1270,7 @@ fn exec_match(
             ..Default::default()
         };
         let result = enumerate_parallel_cancellable(
-            &entry.graph,
+            &graph,
             &index.plan,
             &index.ceci,
             &options,
@@ -1031,9 +1296,8 @@ fn exec_match(
     // after admission counts (it was previously silently excluded).
     state.metrics.match_latency.record(queue_wait + total);
     let mut line = format!(
-        "OK MATCH count={count} status={} cache={} build_us={} enum_us={} total_us={}",
+        "OK MATCH count={count} status={} cache={cache_tag} build_us={} enum_us={} total_us={}",
         status.as_str(),
-        if cache_hit { "HIT" } else { "MISS" },
         build.as_micros(),
         enum_time.as_micros(),
         total.as_micros(),
@@ -1055,7 +1319,7 @@ fn exec_match(
             },
             &[
                 ("embeddings", count),
-                ("cache_hit", cache_hit as u64),
+                ("cache_hit", (cache_tag == "HIT") as u64),
                 ("deadline_exceeded", cancelled as u64),
                 ("workers", match_workers as u64),
                 ("batched", batch_tag.is_some() as u64),
@@ -1126,6 +1390,7 @@ fn exec_explain(
         ServerMetrics::inc(&state.metrics.errors);
         return vec![ErrorCode::UnknownGraph.line(format!("unknown graph {graph_name:?}"))];
     };
+    let (graph, sub_epoch) = entry.snapshot();
     let query = match load_query(query_path) {
         Ok(q) => q,
         Err(e) => {
@@ -1133,17 +1398,13 @@ fn exec_explain(
             return vec![ErrorCode::Query.line(e)];
         }
     };
-    let (index, cache_hit, _build) = match index_for(state, entry.epoch, &entry.graph, query) {
+    let (index, cache_tag, _build) = match index_for(state, &entry, &graph, sub_epoch, query) {
         Ok(built) => built,
         Err(lines) => return lines,
     };
-    let report = ceci_core::explain_plan(&index.plan, &entry.graph);
+    let report = ceci_core::explain_plan(&index.plan, &graph);
     let mut lines: Vec<String> = report.lines().map(|l| format!("| {l}")).collect();
-    lines.push(format!(
-        "| index: bytes={} cache={}",
-        index.bytes,
-        if cache_hit { "HIT" } else { "MISS" }
-    ));
+    lines.push(format!("| index: bytes={} cache={cache_tag}", index.bytes));
     if analyze {
         // EXPLAIN ANALYZE: run the enumeration with a per-depth profile
         // attached and append the profile table. Single worker so the
@@ -1154,7 +1415,7 @@ fn exec_explain(
             ..Default::default()
         };
         let result =
-            enumerate_parallel_cancellable(&entry.graph, &index.plan, &index.ceci, &options, None);
+            enumerate_parallel_cancellable(&graph, &index.plan, &index.ceci, &options, None);
         let profile = result
             .profile
             .expect("profile requested via ParallelOptions");
@@ -1165,4 +1426,195 @@ fn exec_explain(
     }
     lines.push("OK EXPLAIN".to_string());
     lines
+}
+
+/// Applies one mutation batch to a loaded graph and notifies every
+/// continuous query registered on it.
+///
+/// The continuous-query lock is taken *before* the batch is applied and
+/// held through notification, so concurrent mutation requests notify in
+/// strict sub-epoch order — each registration's stream tables are patched
+/// batch by batch against the exact snapshot pair the delta identity needs.
+fn exec_mutate(
+    state: &ServerState,
+    graph_name: &str,
+    adds: &[(u32, u32)],
+    dels: &[(u32, u32)],
+) -> Vec<String> {
+    let to_vids = |pairs: &[(u32, u32)]| -> Vec<(VertexId, VertexId)> {
+        pairs.iter().map(|&(a, b)| (vid(a), vid(b))).collect()
+    };
+    exec_mutate_vids(state, graph_name, &to_vids(adds), &to_vids(dels))
+}
+
+fn exec_mutate_vids(
+    state: &ServerState,
+    graph_name: &str,
+    adds: &[(VertexId, VertexId)],
+    dels: &[(VertexId, VertexId)],
+) -> Vec<String> {
+    let Some(entry) = state.registry.get(graph_name) else {
+        ServerMetrics::inc(&state.metrics.errors);
+        return vec![ErrorCode::UnknownGraph.line(format!("unknown graph {graph_name:?}"))];
+    };
+    let mut continuous = state.continuous.lock().expect("continuous lock poisoned");
+    let outcome = match entry.apply_batch(
+        adds,
+        dels,
+        state.config.compact_threshold,
+        state.config.dirty_log_cap,
+    ) {
+        Ok(outcome) => outcome,
+        Err(e) => {
+            ServerMetrics::inc(&state.metrics.errors);
+            return vec![ErrorCode::Mutation.line(e)];
+        }
+    };
+    if outcome.applied() > 0 {
+        ServerMetrics::inc(&state.metrics.mutation_batches);
+        ServerMetrics::add(&state.metrics.edges_added, outcome.added.len() as u64);
+        ServerMetrics::add(&state.metrics.edges_deleted, outcome.deleted.len() as u64);
+        if outcome.compacted {
+            ServerMetrics::inc(&state.metrics.compactions);
+        }
+        let mut dead: Vec<String> = Vec::new();
+        for (name, cq) in continuous.iter_mut() {
+            if cq.graph != graph_name || cq.epoch != entry.epoch {
+                continue;
+            }
+            debug_assert_eq!(
+                cq.sub_epoch + 1,
+                outcome.sub_epoch,
+                "in-order notification is guaranteed by the continuous lock"
+            );
+            // Patch the live tables to the new snapshot and compute the
+            // embedding delta (new − retired) — contained like a build.
+            let delta = catch_unwind(AssertUnwindSafe(|| {
+                cq.stream
+                    .patch(&outcome.new_graph, &cq.plan, &outcome.endpoints);
+                batch_delta(
+                    &outcome.old_graph,
+                    &outcome.new_graph,
+                    &cq.plan,
+                    &outcome.added,
+                    &outcome.deleted,
+                )
+            }));
+            let Ok(delta) = delta else {
+                // The tables may be half-patched; the registration is no
+                // longer trustworthy.
+                dead.push(name.clone());
+                continue;
+            };
+            cq.total = delta.apply_to(cq.total);
+            cq.sub_epoch = outcome.sub_epoch;
+            let event = format!(
+                "EVENT DELTA query={name} graph={graph_name} batch={} new={} retired={} total={}",
+                outcome.sub_epoch, delta.new_matches, delta.retired_matches, cq.total,
+            );
+            if respond(&cq.sink, &[event]).is_err() {
+                // The registering connection is gone; drop the registration.
+                dead.push(name.clone());
+            } else {
+                ServerMetrics::inc(&state.metrics.continuous_events);
+            }
+        }
+        for name in dead {
+            continuous.remove(&name);
+        }
+    }
+    vec![format!(
+        "OK MUTATED graph={graph_name} added={} deleted={} sub_epoch={} pending={} compacted={}",
+        outcome.added.len(),
+        outcome.deleted.len(),
+        outcome.sub_epoch,
+        outcome.pending,
+        outcome.compacted as u8,
+    )]
+}
+
+/// `BATCH <graph> FILE <path>`: reads a SNAP temporal edge list server-side
+/// and applies every edge as one batch of additions (timestamps order the
+/// file; the whole file is one batch boundary here — `repro stream` slices
+/// files into per-timestamp batches client-side when finer boundaries are
+/// wanted).
+fn exec_batch_file(state: &ServerState, graph_name: &str, path: &str) -> Vec<String> {
+    let edges = match graph_io::load_temporal(path) {
+        Ok(edges) => edges,
+        Err(e) => {
+            ServerMetrics::inc(&state.metrics.errors);
+            return vec![ErrorCode::Mutation.line(format!("batch file load failed: {e}"))];
+        }
+    };
+    let adds: Vec<(VertexId, VertexId)> = edges.iter().map(|e| (e.src, e.dst)).collect();
+    exec_mutate_vids(state, graph_name, &adds, &[])
+}
+
+/// `REGISTER <name> <graph> <query-path>`: builds the continuous query's
+/// live index against the graph's current snapshot and records the initial
+/// embedding total. Holding the continuous lock across the snapshot+build
+/// keeps the registration's sub-epoch exactly in step with the mutation
+/// notifier (a batch can never slip between the snapshot and the insert).
+fn exec_register(
+    state: &ServerState,
+    name: &str,
+    graph_name: &str,
+    query_path: &str,
+    sink: SharedWriter,
+) -> Vec<String> {
+    let Some(entry) = state.registry.get(graph_name) else {
+        ServerMetrics::inc(&state.metrics.errors);
+        return vec![ErrorCode::UnknownGraph.line(format!("unknown graph {graph_name:?}"))];
+    };
+    let query = match load_query(query_path) {
+        Ok(q) => q,
+        Err(e) => {
+            ServerMetrics::inc(&state.metrics.errors);
+            return vec![ErrorCode::Query.line(e)];
+        }
+    };
+    let mut continuous = state.continuous.lock().expect("continuous lock poisoned");
+    let (graph, sub_epoch) = entry.snapshot();
+    let built = catch_unwind(AssertUnwindSafe(|| {
+        let plan = Arc::new(QueryPlan::new(query, &graph));
+        let stream = StreamIndex::build(&graph, &plan);
+        let ceci = stream.materialize(&graph, &plan);
+        let total = count_embeddings(&graph, &plan, &ceci);
+        (plan, stream, total)
+    }));
+    let Ok((plan, stream, total)) = built else {
+        ServerMetrics::inc(&state.metrics.errors);
+        return vec![ErrorCode::Register.line("index build for the continuous query panicked")];
+    };
+    continuous.insert(
+        name.to_string(),
+        ContinuousQuery {
+            graph: graph_name.to_string(),
+            epoch: entry.epoch,
+            sub_epoch,
+            plan,
+            stream,
+            total,
+            sink,
+        },
+    );
+    vec![format!(
+        "OK REGISTERED name={name} graph={graph_name} total={total} sub_epoch={sub_epoch}"
+    )]
+}
+
+/// `UNREGISTER <name>`: drops a continuous-query registration.
+fn exec_unregister(state: &ServerState, name: &str) -> Vec<String> {
+    let removed = state
+        .continuous
+        .lock()
+        .expect("continuous lock poisoned")
+        .remove(name);
+    match removed {
+        Some(_) => vec![format!("OK UNREGISTERED name={name}")],
+        None => {
+            ServerMetrics::inc(&state.metrics.errors);
+            vec![ErrorCode::Register.line(format!("unknown registration {name:?}"))]
+        }
+    }
 }

@@ -1,0 +1,664 @@
+//! # ceci-stream
+//!
+//! Incremental maintenance of CECI indexes over streaming graph mutations.
+//!
+//! A frozen [`ceci_core::Ceci`] is an immutable snapshot: every mutation
+//! would force a full Algorithm-1 + Algorithm-2 rebuild. This crate keeps a
+//! *maintainable* base form of the index per `(graph, query)` pair — the
+//! [`StreamIndex`] — holding the **unrefined** per-vertex-filtered candidate
+//! tables:
+//!
+//! * `pivots` — root candidates passing the LF / DF / NLCF vertex filters,
+//! * `te[u]` — for each non-root query node, a map keyed by the *parent's*
+//!   candidates `vf`, with value `F(u, vf)` = the filtered adjacency of
+//!   `vf` for `u` (sorted; possibly empty),
+//! * `nte[u]` — the backward non-tree-edge tables, same shape, keyed by the
+//!   candidates of the non-tree parent `un`.
+//!
+//! An edge mutation `{a, b}` changes adjacency, degree, and neighborhood
+//! label counts **only at the endpoints**, so the per-vertex filter verdict
+//! can flip only for `a` and `b`, and a filtered adjacency `F(u, vf)` can
+//! change only when `vf` is an endpoint or a current neighbor of one. That
+//! makes repair local: [`StreamIndex::patch`] re-tests root candidacy at the
+//! endpoints, recomputes `F` for the dirty keys of every table, and cascades
+//! candidate additions/removals down the matching order via exact per-node
+//! value refcounts — the Algorithm-2 refinement cascade is then re-run only
+//! at materialization time, on the patched base.
+//!
+//! [`StreamIndex::materialize`] converts the base into a frozen `Ceci`
+//! through [`ceci_core::BuilderState::from_parts`] +
+//! `Ceci::from_filtered_state`, which applies refinement and freezing
+//! exactly as a from-scratch build would. The contract is on *counts*, not
+//! on index bytes: the base tables are sound (every value is a real
+//! filtered neighbor) and complete (every embedding's vertices survive the
+//! per-vertex filters), so enumeration over the materialized index returns
+//! match counts bit-identical to a full rebuild on the mutated graph — the
+//! differential invariant the streaming subsystem is gated on.
+
+#![warn(missing_docs)]
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use ceci_core::tables::BuildTable;
+use ceci_core::{BuilderState, Ceci};
+use ceci_graph::{Graph, VertexId};
+use ceci_query::{candidates_of, QueryPlan, VertexFilters};
+
+/// One filtered-adjacency table of the base index: key `vf` (a candidate of
+/// the parent node) → `F(u, vf)`, sorted, possibly empty.
+type BaseTable = BTreeMap<VertexId, Vec<VertexId>>;
+
+/// Structural cost accounting of one [`StreamIndex::patch`] call — how much
+/// of the index the mutation batch actually touched, reported by the service
+/// as `index_repair_*` metrics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RepairStats {
+    /// Distinct dirty data vertices (endpoints ∪ their current neighbors).
+    pub dirty_vertices: usize,
+    /// Table keys recomputed in full (endpoint keys) or surgically
+    /// corrected in place (endpoint membership in a neighbor's list).
+    pub keys_recomputed: usize,
+    /// Keys inserted because a vertex became a candidate of the keying node.
+    pub keys_added: usize,
+    /// Keys dropped because a vertex stopped being a candidate.
+    pub keys_removed: usize,
+}
+
+impl RepairStats {
+    /// Merges another patch's accounting into this one (per-batch roll-up).
+    pub fn absorb(&mut self, other: &RepairStats) {
+        self.dirty_vertices += other.dirty_vertices;
+        self.keys_recomputed += other.keys_recomputed;
+        self.keys_added += other.keys_added;
+        self.keys_removed += other.keys_removed;
+    }
+}
+
+/// Maintainable base candidate index for one `(graph, query)` pair.
+///
+/// Build once with [`StreamIndex::build`], then [`StreamIndex::patch`] after
+/// each mutation batch (passing the batch's touched endpoints) and
+/// [`StreamIndex::materialize`] whenever a frozen, refined [`Ceci`] is
+/// needed for enumeration.
+#[derive(Clone, Debug)]
+pub struct StreamIndex {
+    /// Sorted root candidates (pre-refinement).
+    pivots: Vec<VertexId>,
+    /// `te[u]` for non-root `u`, keyed by the tree parent's candidates.
+    te: Vec<Option<BaseTable>>,
+    /// `nte[u]`: one table per backward non-tree edge, tagged with the
+    /// non-tree parent `un` and keyed by `un`'s candidates.
+    nte: Vec<Vec<(VertexId, BaseTable)>>,
+    /// `refs[u][v]` = number of `te[u]` value lists containing `v`; the
+    /// candidate set of a non-root `u` is exactly the key set of `refs[u]`.
+    refs: Vec<HashMap<VertexId, u32>>,
+}
+
+/// Bumps a value refcount, remembering the pre-patch count on first touch.
+fn ref_inc(refs: &mut HashMap<VertexId, u32>, before: &mut HashMap<VertexId, u32>, v: VertexId) {
+    let c = refs.get(&v).copied().unwrap_or(0);
+    before.entry(v).or_insert(c);
+    refs.insert(v, c + 1);
+}
+
+/// Drops a value refcount, remembering the pre-patch count on first touch.
+fn ref_dec(refs: &mut HashMap<VertexId, u32>, before: &mut HashMap<VertexId, u32>, v: VertexId) {
+    let c = refs.get(&v).copied().unwrap_or(0);
+    before.entry(v).or_insert(c);
+    debug_assert!(c > 0, "refcount underflow at {v:?}");
+    if c <= 1 {
+        refs.remove(&v);
+    } else {
+        refs.insert(v, c - 1);
+    }
+}
+
+/// Applies the batch-local repair to one table: a full filtered-adjacency
+/// recompute at endpoint keys, plus surgical endpoint-membership fixes at
+/// their non-endpoint neighbor keys (`pairs`, sorted by key). `on_change`
+/// observes every value added (`true`) / removed (`false`) from the table so
+/// TE callers can maintain candidate refcounts; NTE callers pass a no-op.
+///
+/// Two strategies, picked by dirty-region size: point lookups for sparse
+/// batches (a lone `ADDEDGE` should not scan the table), one sequential
+/// merge over the key order for bulk batches (random B-tree probes cost an
+/// order of magnitude more than sequential visits).
+#[allow(clippy::too_many_arguments)]
+fn repair_table(
+    map: &mut BaseTable,
+    graph: &Graph,
+    filters: &VertexFilters,
+    u: VertexId,
+    eps: &[VertexId],
+    eps_pass: &[bool],
+    pairs: &[(VertexId, VertexId)],
+    stats: &mut RepairStats,
+    buf: &mut Vec<VertexId>,
+    on_change: &mut dyn FnMut(VertexId, bool),
+) {
+    let recompute = |vf: VertexId,
+                     list: &mut Vec<VertexId>,
+                     buf: &mut Vec<VertexId>,
+                     stats: &mut RepairStats,
+                     on_change: &mut dyn FnMut(VertexId, bool)| {
+        buf.clear();
+        filters.filtered_neighbors_into(graph, u, vf, buf);
+        stats.keys_recomputed += 1;
+        for &v in list.iter() {
+            on_change(v, false);
+        }
+        for &v in buf.iter() {
+            on_change(v, true);
+        }
+        list.clear();
+        list.extend_from_slice(buf);
+    };
+    let fix = |e: VertexId,
+               list: &mut Vec<VertexId>,
+               on_change: &mut dyn FnMut(VertexId, bool)|
+     -> bool {
+        let desired = eps_pass[eps.binary_search(&e).expect("pair endpoint")];
+        match list.binary_search(&e) {
+            Ok(i) if !desired => {
+                list.remove(i);
+                on_change(e, false);
+                true
+            }
+            Err(i) if desired => {
+                list.insert(i, e);
+                on_change(e, true);
+                true
+            }
+            _ => false,
+        }
+    };
+    if (eps.len() + pairs.len()).saturating_mul(8) >= map.len() {
+        // Dense: one merge pass over the table in key order.
+        let (mut ei, mut pi) = (0usize, 0usize);
+        for (&vf, list) in map.iter_mut() {
+            while ei < eps.len() && eps[ei] < vf {
+                ei += 1;
+            }
+            if ei < eps.len() && eps[ei] == vf {
+                recompute(vf, list, buf, stats, on_change);
+                continue;
+            }
+            while pi < pairs.len() && pairs[pi].0 < vf {
+                pi += 1;
+            }
+            let mut touched = false;
+            while pi < pairs.len() && pairs[pi].0 == vf {
+                touched |= fix(pairs[pi].1, list, on_change);
+                pi += 1;
+            }
+            if touched {
+                stats.keys_recomputed += 1;
+            }
+        }
+    } else {
+        // Sparse: point lookups only.
+        for &vf in eps {
+            if let Some(list) = map.get_mut(&vf) {
+                recompute(vf, list, buf, stats, on_change);
+            }
+        }
+        let mut k = 0usize;
+        while k < pairs.len() {
+            let w = pairs[k].0;
+            let Some(list) = map.get_mut(&w) else {
+                while k < pairs.len() && pairs[k].0 == w {
+                    k += 1;
+                }
+                continue;
+            };
+            let mut touched = false;
+            while k < pairs.len() && pairs[k].0 == w {
+                touched |= fix(pairs[k].1, list, on_change);
+                k += 1;
+            }
+            if touched {
+                stats.keys_recomputed += 1;
+            }
+        }
+    }
+}
+
+impl StreamIndex {
+    /// Builds the base index from scratch on `graph` (Algorithm 1 without
+    /// the empty-entry cascade — refinement at materialization subsumes it).
+    pub fn build(graph: &Graph, plan: &QueryPlan) -> StreamIndex {
+        let n = plan.query().num_vertices();
+        let filters = VertexFilters::new(plan.query());
+        let mut idx = StreamIndex {
+            pivots: candidates_of(plan.query(), graph, plan.root()),
+            te: vec![None; n],
+            nte: vec![Vec::new(); n],
+            refs: vec![HashMap::new(); n],
+        };
+        let mut buf: Vec<VertexId> = Vec::new();
+        for &u in plan.matching_order().iter().skip(1) {
+            let parent = plan.tree().parent(u).expect("non-root node has a parent");
+            let mut map = BaseTable::new();
+            for vf in idx.candidates_sorted(plan, parent) {
+                buf.clear();
+                filters.filtered_neighbors_into(graph, u, vf, &mut buf);
+                for &v in &buf {
+                    *idx.refs[u.index()].entry(v).or_insert(0) += 1;
+                }
+                map.insert(vf, buf.clone());
+            }
+            idx.te[u.index()] = Some(map);
+            for &un in plan.backward_nte(u) {
+                let mut map = BaseTable::new();
+                for vf in idx.candidates_sorted(plan, un) {
+                    buf.clear();
+                    filters.filtered_neighbors_into(graph, u, vf, &mut buf);
+                    map.insert(vf, buf.clone());
+                }
+                idx.nte[u.index()].push((un, map));
+            }
+        }
+        idx
+    }
+
+    /// The current (pre-refinement) candidate set of `u`, sorted ascending.
+    fn candidates_sorted(&self, plan: &QueryPlan, u: VertexId) -> Vec<VertexId> {
+        if u == plan.root() {
+            self.pivots.clone()
+        } else {
+            let mut c: Vec<VertexId> = self.refs[u.index()].keys().copied().collect();
+            c.sort_unstable();
+            c
+        }
+    }
+
+    /// Repairs the base index after a mutation batch whose touched edge
+    /// endpoints are `endpoints`, against the **post-batch** graph snapshot.
+    ///
+    /// `graph` must reflect every mutation of the batch and `plan` must be
+    /// the plan this index was built with (the matching order is structural;
+    /// it stays valid across mutations). Endpoints may repeat and may list
+    /// vertices whose edges were deleted.
+    ///
+    /// Locality argument: per-vertex filter inputs (labels, degree) change
+    /// only at the batch's endpoints, and both sides of every mutated edge
+    /// are endpoints. So an *endpoint* key's filtered adjacency is
+    /// recomputed in full, while a non-endpoint key `w` can change only in
+    /// the membership of an endpoint `e ∈ N(w)` (that edge is unmutated, so
+    /// `w ∈ N_new(e)` reaches it) — fixed surgically without rescanning
+    /// `w`'s adjacency. A deleted edge's far side is itself an endpoint, so
+    /// `endpoints ∪ N_new(endpoints)` covers the batch's old neighborhood
+    /// too — dirtiness is an overestimate, never a miss.
+    pub fn patch(
+        &mut self,
+        graph: &Graph,
+        plan: &QueryPlan,
+        endpoints: &[VertexId],
+    ) -> RepairStats {
+        let filters = VertexFilters::new(plan.query());
+        let mut stats = RepairStats::default();
+        let n = plan.query().num_vertices();
+
+        let mut eps: Vec<VertexId> = endpoints
+            .iter()
+            .copied()
+            .filter(|e| e.index() < graph.num_vertices())
+            .collect();
+        eps.sort_unstable();
+        eps.dedup();
+
+        // Structural accounting only: the examined region of the index is
+        // the endpoints plus their post-batch neighborhoods.
+        let mut dirty: HashSet<VertexId> = HashSet::new();
+        for &e in &eps {
+            dirty.insert(e);
+            dirty.extend(graph.neighbors(e).iter().copied());
+        }
+        stats.dirty_vertices = dirty.len();
+        drop(dirty);
+
+        // Non-endpoint neighbor keys whose lists may need an endpoint
+        // membership fix, as sorted (key, endpoint) pairs.
+        let mut pairs: Vec<(VertexId, VertexId)> = Vec::new();
+        for &e in &eps {
+            for &w in graph.neighbors(e) {
+                if eps.binary_search(&w).is_err() {
+                    pairs.push((w, e));
+                }
+            }
+        }
+        pairs.sort_unstable();
+
+        // Per-node candidate transitions discovered so far this patch.
+        let mut added_c: Vec<Vec<VertexId>> = vec![Vec::new(); n];
+        let mut removed_c: Vec<Vec<VertexId>> = vec![Vec::new(); n];
+
+        // Root membership can flip only at the endpoints themselves.
+        let root = plan.root();
+        for &e in &eps {
+            let pass = filters.passes(graph, root, e);
+            match self.pivots.binary_search(&e) {
+                Ok(i) if !pass => {
+                    self.pivots.remove(i);
+                    removed_c[root.index()].push(e);
+                }
+                Err(i) if pass => {
+                    self.pivots.insert(i, e);
+                    added_c[root.index()].push(e);
+                }
+                _ => {}
+            }
+        }
+
+        let mut buf: Vec<VertexId> = Vec::new();
+        for &u in plan.matching_order().iter().skip(1) {
+            let ui = u.index();
+            let parent = plan.tree().parent(u).expect("non-root node has a parent");
+            let mut before: HashMap<VertexId, u32> = HashMap::new();
+            let eps_pass: Vec<bool> = eps.iter().map(|&e| filters.passes(graph, u, e)).collect();
+            {
+                let map = self.te[ui].as_mut().expect("non-root TE table");
+                let refs = &mut self.refs[ui];
+                // 1. Keys whose keying vertex left the parent's candidates.
+                for &vf in &removed_c[parent.index()] {
+                    if let Some(list) = map.remove(&vf) {
+                        stats.keys_removed += 1;
+                        for v in list {
+                            ref_dec(refs, &mut before, v);
+                        }
+                    }
+                }
+                // 2. Endpoint keys recomputed in full, endpoint
+                // membership in neighbor keys fixed surgically; refcount
+                // transitions recorded for the candidate delta.
+                {
+                    let mut on_change = |v: VertexId, inc: bool| {
+                        if inc {
+                            ref_inc(refs, &mut before, v);
+                        } else {
+                            ref_dec(refs, &mut before, v);
+                        }
+                    };
+                    repair_table(
+                        map,
+                        graph,
+                        &filters,
+                        u,
+                        &eps,
+                        &eps_pass,
+                        &pairs,
+                        &mut stats,
+                        &mut buf,
+                        &mut on_change,
+                    );
+                }
+                // 3. Keys for vertices that just became parent candidates.
+                for &vf in &added_c[parent.index()] {
+                    debug_assert!(!map.contains_key(&vf), "fresh candidate already keyed");
+                    buf.clear();
+                    filters.filtered_neighbors_into(graph, u, vf, &mut buf);
+                    stats.keys_added += 1;
+                    for &v in &buf {
+                        ref_inc(refs, &mut before, v);
+                    }
+                    map.insert(vf, buf.clone());
+                }
+                // Net refcount transitions define this node's candidate delta.
+                for (v, b) in before {
+                    let now = refs.get(&v).copied().unwrap_or(0);
+                    if b == 0 && now > 0 {
+                        added_c[ui].push(v);
+                    } else if b > 0 && now == 0 {
+                        removed_c[ui].push(v);
+                    }
+                }
+            }
+            // Backward NTE tables consume the non-tree parent's transitions
+            // (already final — `un` precedes `u` in the matching order).
+            for (un, map) in self.nte[ui].iter_mut() {
+                for &vf in &removed_c[un.index()] {
+                    if map.remove(&vf).is_some() {
+                        stats.keys_removed += 1;
+                    }
+                }
+                repair_table(
+                    map,
+                    graph,
+                    &filters,
+                    u,
+                    &eps,
+                    &eps_pass,
+                    &pairs,
+                    &mut stats,
+                    &mut buf,
+                    &mut |_, _| {},
+                );
+                for &vf in &added_c[un.index()] {
+                    buf.clear();
+                    filters.filtered_neighbors_into(graph, u, vf, &mut buf);
+                    map.insert(vf, buf.clone());
+                    stats.keys_added += 1;
+                }
+            }
+        }
+        stats
+    }
+
+    /// Freezes the current base into a refined, enumeration-ready [`Ceci`]
+    /// via the shared Algorithm-2 + freeze tail of the from-scratch builder.
+    pub fn materialize(&self, graph: &Graph, plan: &QueryPlan) -> Ceci {
+        let n = plan.query().num_vertices();
+        let mut te: Vec<Option<BuildTable>> = Vec::with_capacity(n);
+        for u in 0..n {
+            te.push(self.te[u].as_ref().map(freeze_base_table));
+        }
+        let nte: Vec<Vec<(VertexId, BuildTable)>> = self
+            .nte
+            .iter()
+            .map(|tables| {
+                tables
+                    .iter()
+                    .map(|(un, map)| (*un, freeze_base_table(map)))
+                    .collect()
+            })
+            .collect();
+        let state = BuilderState::from_parts(plan, self.pivots.clone(), te, nte);
+        Ceci::from_filtered_state(graph, plan, state)
+    }
+
+    /// Number of root candidates currently in the base.
+    pub fn num_pivots(&self) -> usize {
+        self.pivots.len()
+    }
+
+    /// Approximate resident bytes of the base tables (for cache budgeting).
+    pub fn size_bytes(&self) -> usize {
+        let id = std::mem::size_of::<VertexId>();
+        let mut bytes = std::mem::size_of::<StreamIndex>() + self.pivots.len() * id;
+        let table = |map: &BaseTable| -> usize {
+            map.values()
+                .map(|l| (1 + l.len()) * id + 3 * std::mem::size_of::<usize>())
+                .sum()
+        };
+        for map in self.te.iter().flatten() {
+            bytes += table(map);
+        }
+        for (_, map) in self.nte.iter().flatten() {
+            bytes += table(map);
+        }
+        for refs in &self.refs {
+            bytes += refs.len() * (id + std::mem::size_of::<u32>() + std::mem::size_of::<usize>());
+        }
+        bytes
+    }
+}
+
+/// Converts a base table into a [`BuildTable`] (ascending keys, empty value
+/// lists elided — `push_key` skips zero-length entries, which is exactly the
+/// shape refinement expects: a candidate with no extension sums to zero).
+fn freeze_base_table(map: &BaseTable) -> BuildTable {
+    let entries = map.values().map(Vec::len).sum();
+    let mut t = BuildTable::with_capacity(map.len(), entries);
+    for (&k, list) in map {
+        if !list.is_empty() {
+            t.push_key(k, list);
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ceci_core::count_embeddings;
+    use ceci_graph::extract::extract_query;
+    use ceci_graph::generators::{erdos_renyi, inject_random_labels};
+    use ceci_graph::DeltaOverlay;
+    use ceci_query::QueryGraph;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn test_graph(seed: u64) -> Graph {
+        inject_random_labels(&erdos_renyi(120, 420, seed), 3, seed ^ 0x5eed)
+    }
+
+    fn test_plan(graph: &Graph, seed: u64) -> QueryPlan {
+        let pattern = extract_query(graph, 4, seed, 50)
+            .expect("extractable")
+            .pattern;
+        let query = QueryGraph::from_graph(&pattern).unwrap();
+        QueryPlan::new(query, graph)
+    }
+
+    fn rebuild_count(graph: &Graph, pattern_plan: &QueryPlan) -> u64 {
+        // Fresh plan on the mutated graph — the from-scratch reference path.
+        let query = pattern_plan.query().clone();
+        let plan = QueryPlan::new(query, graph);
+        let ceci = Ceci::build(graph, &plan);
+        count_embeddings(graph, &plan, &ceci)
+    }
+
+    #[test]
+    fn fresh_build_matches_from_scratch_counts() {
+        for seed in [3u64, 11, 29] {
+            let graph = test_graph(seed);
+            let plan = test_plan(&graph, seed);
+            let idx = StreamIndex::build(&graph, &plan);
+            let ceci = idx.materialize(&graph, &plan);
+            let got = count_embeddings(&graph, &plan, &ceci);
+            let reference = {
+                let ceci = Ceci::build(&graph, &plan);
+                count_embeddings(&graph, &plan, &ceci)
+            };
+            assert_eq!(got, reference, "seed {seed}");
+        }
+    }
+
+    /// Applies `batch` mutations to `graph` through an overlay, returning
+    /// the new snapshot and the touched endpoints.
+    fn apply_batch(
+        graph: &Graph,
+        rng: &mut StdRng,
+        adds: usize,
+        dels: usize,
+    ) -> (Graph, Vec<VertexId>) {
+        let n = graph.num_vertices() as u32;
+        let mut overlay = DeltaOverlay::new();
+        let mut endpoints = Vec::new();
+        let mut applied = 0;
+        let mut guard = 0;
+        while applied < adds && guard < 10_000 {
+            guard += 1;
+            let a = VertexId(rng.gen_range(0..n));
+            let b = VertexId(rng.gen_range(0..n));
+            if overlay.add_edge(graph, a, b) {
+                endpoints.extend([a, b]);
+                applied += 1;
+            }
+        }
+        applied = 0;
+        guard = 0;
+        while applied < dels && guard < 10_000 {
+            guard += 1;
+            let a = VertexId(rng.gen_range(0..n));
+            let deg = graph.degree(a);
+            if deg == 0 {
+                continue;
+            }
+            let b = graph.neighbors(a)[rng.gen_range(0..deg)];
+            if overlay.delete_edge(graph, a, b) {
+                endpoints.extend([a, b]);
+                applied += 1;
+            }
+        }
+        (overlay.commit(graph), endpoints)
+    }
+
+    fn differential_loop(seed: u64, adds: usize, dels: usize, batches: usize) {
+        let mut graph = test_graph(seed);
+        let plan = test_plan(&graph, seed);
+        let mut idx = StreamIndex::build(&graph, &plan);
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9e37_79b9));
+        for batch in 0..batches {
+            let (next, endpoints) = apply_batch(&graph, &mut rng, adds, dels);
+            let stats = idx.patch(&next, &plan, &endpoints);
+            assert!(stats.dirty_vertices > 0 || endpoints.is_empty());
+            let ceci = idx.materialize(&next, &plan);
+            let incremental = count_embeddings(&next, &plan, &ceci);
+            let reference = rebuild_count(&next, &plan);
+            assert_eq!(
+                incremental, reference,
+                "seed {seed} batch {batch}: incremental != rebuild"
+            );
+            graph = next;
+        }
+    }
+
+    #[test]
+    fn add_only_batches_match_rebuild() {
+        differential_loop(7, 12, 0, 6);
+    }
+
+    #[test]
+    fn delete_only_batches_match_rebuild() {
+        differential_loop(13, 0, 12, 6);
+    }
+
+    #[test]
+    fn mixed_batches_match_rebuild() {
+        differential_loop(23, 8, 8, 8);
+    }
+
+    #[test]
+    fn patch_reports_locality() {
+        let graph = test_graph(5);
+        let plan = test_plan(&graph, 5);
+        let mut idx = StreamIndex::build(&graph, &plan);
+        let mut rng = StdRng::seed_from_u64(99);
+        let (next, endpoints) = apply_batch(&graph, &mut rng, 1, 0);
+        let stats = idx.patch(&next, &plan, &endpoints);
+        // One edge dirties at most the endpoints plus their neighborhoods.
+        let bound: usize = endpoints.iter().map(|&e| 1 + next.degree(e)).sum();
+        assert!(stats.dirty_vertices <= bound);
+        assert!(stats.dirty_vertices >= 2);
+    }
+
+    #[test]
+    fn clone_then_patch_leaves_original_usable() {
+        // The service repair path patches a *clone* of the cached base; the
+        // original must stay consistent for the old snapshot.
+        let graph = test_graph(17);
+        let plan = test_plan(&graph, 17);
+        let idx = StreamIndex::build(&graph, &plan);
+        let before = count_embeddings(&graph, &plan, &idx.materialize(&graph, &plan));
+        let mut rng = StdRng::seed_from_u64(4242);
+        let (next, endpoints) = apply_batch(&graph, &mut rng, 6, 6);
+        let mut patched = idx.clone();
+        patched.patch(&next, &plan, &endpoints);
+        let after = count_embeddings(&next, &plan, &patched.materialize(&next, &plan));
+        assert_eq!(after, rebuild_count(&next, &plan));
+        // Original still answers for the old graph.
+        let again = count_embeddings(&graph, &plan, &idx.materialize(&graph, &plan));
+        assert_eq!(again, before);
+    }
+}

@@ -475,3 +475,116 @@ fn client_retry_rides_out_busy_storms() {
     }
     handle.shutdown();
 }
+
+// ---------------------------------------------------------------------------
+// Streaming mutations under chaos
+// ---------------------------------------------------------------------------
+
+/// Differential sweep of the streaming layer under fault injection: random
+/// mutation batches interleaved with injected worker panics, with overlay
+/// compaction forced mid-sweep. Every MATCH after every batch must count
+/// bit-identically to a from-scratch enumeration of a locally maintained
+/// reference copy — panicked workers, repaired caches, and compacted
+/// overlays included.
+#[test]
+fn mutation_sweep_stays_bit_identical_under_worker_panics() {
+    use std::collections::BTreeSet;
+
+    let graph = small_graph();
+    let pattern = query_from(&graph, 77);
+    let state = Arc::new(ServerState::new(ServeConfig {
+        chaos: true,
+        // Low threshold so the sweep compacts the overlay at least once.
+        compact_threshold: 8,
+        ..ServeConfig::default()
+    }));
+    let handle = start_with_state(Arc::clone(&state)).expect("bind loopback");
+
+    let dir = std::env::temp_dir().join(format!("ceci-chaos-stream-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let graph_path = dir.join("data.graph");
+    let query_path = dir.join("query.graph");
+    io::write_labeled(&graph, &mut std::fs::File::create(&graph_path).unwrap()).unwrap();
+    io::write_labeled(&pattern, &mut std::fs::File::create(&query_path).unwrap()).unwrap();
+
+    let mut client = Client::connect(handle.addr()).unwrap();
+    client
+        .request(&format!("LOAD g {}", graph_path.display()))
+        .unwrap();
+
+    // Local reference edge set, mirrored batch by batch.
+    let mut edges: BTreeSet<(u32, u32)> = BTreeSet::new();
+    for a in 0..graph.num_vertices() as u32 {
+        for &b in graph.neighbors(vid(a)) {
+            if a < b.0 {
+                edges.insert((a, b.0));
+            }
+        }
+    }
+    let n = graph.num_vertices() as u64;
+    let mut x: u64 = 0xC0FFEE;
+    let mut rng = move || {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        x
+    };
+
+    let mut compacted_once = false;
+    for round in 0..10 {
+        // A panic right before every third batch: the worker dies, the
+        // supervisor respawns it, and the stream state must be untouched.
+        if round % 3 == 0 {
+            let resp = client.request("CHAOS PANIC").unwrap();
+            assert!(
+                resp.terminal.starts_with("ERR E_WORKER_DROPPED"),
+                "{}",
+                resp.terminal
+            );
+        }
+
+        let add = loop {
+            let (a, b) = ((rng() % n) as u32, (rng() % n) as u32);
+            if a != b && !edges.contains(&(a.min(b), a.max(b))) {
+                break (a.min(b), a.max(b));
+            }
+        };
+        let del = *edges.iter().nth((rng() as usize) % edges.len()).unwrap();
+        let resp = client
+            .request(&format!(
+                "BATCH g +{}:{} -{}:{}",
+                add.0, add.1, del.0, del.1
+            ))
+            .unwrap();
+        assert!(resp.is_ok(), "round {round}: {}", resp.terminal);
+        assert_eq!(resp.field_u64("added"), Some(1));
+        assert_eq!(resp.field_u64("deleted"), Some(1));
+        compacted_once |= resp.field_u64("compacted") == Some(1);
+        edges.insert(add);
+        edges.remove(&del);
+
+        let reference = Graph::new(
+            (0..graph.num_vertices() as u32)
+                .map(|v| graph.labels(vid(v)).clone())
+                .collect(),
+            &edges
+                .iter()
+                .map(|&(a, b)| (vid(a), vid(b)))
+                .collect::<Vec<_>>(),
+            false,
+        );
+        let resp = client
+            .request(&format!("MATCH g {}", query_path.display()))
+            .unwrap();
+        assert!(resp.is_ok(), "round {round}: {}", resp.terminal);
+        assert_eq!(
+            resp.field_u64("count"),
+            Some(direct_count(&reference, &pattern)),
+            "diverged from reference at round {round}"
+        );
+    }
+    assert!(compacted_once, "sweep never compacted the overlay");
+
+    std::fs::remove_dir_all(&dir).ok();
+    handle.shutdown();
+}

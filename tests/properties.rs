@@ -212,6 +212,70 @@ proptest! {
     }
 
     #[test]
+    fn maintained_label_pair_index_is_sound_under_mutation(
+        graph in arb_graph(),
+        query in arb_query(),
+        muts in proptest::collection::vec((any::<u32>(), any::<u32>(), any::<bool>()), 1..24),
+        batches in 1usize..4,
+    ) {
+        // Streaming soundness of the admission filter (PR 7): the
+        // clone-and-absorb label-pair maintenance applied per mutation
+        // batch may only ever *overestimate* the exact per-pair maxima, so
+        // a REJECTED verdict on the mutated snapshot is still a proof of
+        // zero embeddings.
+        let mut graph = graph;
+        graph.build_label_pair_index();
+        let n = graph.num_vertices() as u32;
+        let registry = ceci_service::GraphRegistry::new();
+        let (entry, _) = registry.insert("g", graph);
+
+        for chunk in muts.chunks(muts.len().div_ceil(batches)) {
+            let mut adds = Vec::new();
+            let mut dels = Vec::new();
+            let snapshot = entry.graph();
+            for &(a, b, is_add) in chunk {
+                let (a, b) = (vid(a % n), vid(b % n));
+                if a == b {
+                    continue;
+                }
+                if is_add && !snapshot.has_edge(a, b) {
+                    adds.push((a, b));
+                } else if !is_add && snapshot.has_edge(a, b) {
+                    dels.push((a, b));
+                }
+            }
+            entry.apply_batch(&adds, &dels, usize::MAX, 64).unwrap();
+        }
+
+        let mutated = entry.graph();
+        let maintained = mutated
+            .label_pair_index()
+            .expect("maintenance keeps the index alive");
+        let mut exact = (*mutated).clone();
+        exact.build_label_pair_index();
+        let exact = exact.label_pair_index().unwrap();
+        for l in 0..mutated.num_labels() {
+            for m in 0..mutated.num_labels() {
+                prop_assert!(
+                    maintained.max_count(lid(l), lid(m)) >= exact.max_count(lid(l), lid(m)),
+                    "pair ({l}, {m}): maintained {} < exact {}",
+                    maintained.max_count(lid(l), lid(m)),
+                    exact.max_count(lid(l), lid(m))
+                );
+            }
+        }
+
+        // End to end: a rejection on the mutated snapshot must imply zero
+        // embeddings under brute force.
+        let verdict = ceci_query::admission_check(&query, &mutated);
+        if verdict.rejected() {
+            let plan = QueryPlan::new(query, &mutated);
+            let found = enumerate_all(&mutated, plan.query(), plan.symmetry_constraints()).len();
+            prop_assert_eq!(found, 0, "filter rejected a satisfiable query on a mutated graph");
+        }
+    }
+
+    #[test]
     fn matching_orders_do_not_change_results(graph in arb_graph(), query in arb_query()) {
         let mut results = Vec::new();
         for order in [OrderStrategy::Bfs, OrderStrategy::EdgeRank, OrderStrategy::PathRank] {

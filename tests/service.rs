@@ -386,7 +386,7 @@ fn stats_prom_emits_valid_exposition_format() {
     let summary = ceci_trace::prom::validate(&text)
         .unwrap_or_else(|e| panic!("invalid Prometheus exposition: {e}\n{text}"));
     assert!(summary.families >= 20, "families: {}", summary.families);
-    assert_eq!(summary.histograms, 4, "latency histogram families");
+    assert_eq!(summary.histograms, 5, "latency histogram families");
 
     let samples = ceci_trace::prom::parse(&text).unwrap();
     let value = |name: &str| {
@@ -790,5 +790,308 @@ fn reload_invalidates_cached_indexes() {
     assert!(resp.is_ok());
     assert_eq!(resp.field("cache"), Some("MISS"));
     assert_eq!(resp.field_u64("count"), Some(direct_count(&g2, &pattern)));
+    handle.shutdown();
+}
+
+/// Rebuilds a graph with the given undirected edges toggled: `adds` joined,
+/// `dels` removed. Labels are carried over unchanged.
+fn mutated_copy(graph: &Graph, adds: &[(u32, u32)], dels: &[(u32, u32)]) -> Graph {
+    use std::collections::BTreeSet;
+    let mut set: BTreeSet<(u32, u32)> = BTreeSet::new();
+    for a in 0..graph.num_vertices() as u32 {
+        for &b in graph.neighbors(ceci_graph::vid(a)) {
+            if a < b.0 {
+                set.insert((a, b.0));
+            }
+        }
+    }
+    for &(a, b) in dels {
+        set.remove(&(a.min(b), a.max(b)));
+    }
+    for &(a, b) in adds {
+        set.insert((a.min(b), a.max(b)));
+    }
+    let labels = (0..graph.num_vertices() as u32)
+        .map(|v| graph.labels(ceci_graph::vid(v)).clone())
+        .collect();
+    let edges: Vec<_> = set
+        .into_iter()
+        .map(|(a, b)| (ceci_graph::vid(a), ceci_graph::vid(b)))
+        .collect();
+    Graph::new(labels, &edges, false)
+}
+
+/// A (add, del) pair guaranteed applicable to `graph`: the added edge is
+/// absent, the deleted one present, and neither is a self-loop.
+fn applicable_mutation(graph: &Graph, seed: u64) -> ((u32, u32), (u32, u32)) {
+    let n = graph.num_vertices() as u32;
+    let mut x = seed | 1;
+    let mut rng = move || {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        (x % n as u64) as u32
+    };
+    let add = loop {
+        let (a, b) = (rng(), rng());
+        if a != b && !graph.has_edge(ceci_graph::vid(a), ceci_graph::vid(b)) {
+            break (a, b);
+        }
+    };
+    let del = loop {
+        let a = rng();
+        if let Some(&b) = graph.neighbors(ceci_graph::vid(a)).first() {
+            break (a, b.0);
+        }
+    };
+    (add, del)
+}
+
+#[test]
+fn mutation_verbs_agree_with_direct_enumeration_and_repair_the_cache() {
+    let scratch = Scratch::new("mutate");
+    let graph = small_graph();
+    let pattern = query_from(&graph, 4, 7);
+    let graph_path = scratch.write_graph("data.graph", &graph);
+    let query_path = scratch.write_graph("query.graph", &pattern);
+
+    let (handle, state) = serve(ServeConfig::default());
+    let mut client = Client::connect(handle.addr()).unwrap();
+    client.request(&format!("LOAD g {graph_path}")).unwrap();
+
+    // Cold build caches the index at sub-epoch 0.
+    let resp = client.request(&format!("MATCH g {query_path}")).unwrap();
+    assert_eq!(resp.field("cache"), Some("MISS"));
+    assert_eq!(
+        resp.field_u64("count"),
+        Some(direct_count(&graph, &pattern))
+    );
+
+    // ADDEDGE + DELEDGE, then a mixed BATCH; track a local reference copy.
+    let ((a1, b1), (d1, d2)) = applicable_mutation(&graph, 97);
+    let resp = client.request(&format!("ADDEDGE g {a1} {b1}")).unwrap();
+    assert!(resp.is_ok(), "{}", resp.terminal);
+    assert_eq!(resp.field_u64("added"), Some(1));
+    assert_eq!(resp.field_u64("sub_epoch"), Some(1));
+    let resp = client.request(&format!("DELEDGE g {d1} {d2}")).unwrap();
+    assert_eq!(resp.field_u64("deleted"), Some(1));
+    let reference = mutated_copy(&graph, &[(a1, b1)], &[(d1, d2)]);
+
+    let ((a2, b2), (d3, d4)) = applicable_mutation(&reference, 131);
+    let resp = client
+        .request(&format!("BATCH g +{a2}:{b2} -{d3}:{d4}"))
+        .unwrap();
+    assert!(resp.is_ok(), "{}", resp.terminal);
+    assert_eq!(resp.field_u64("added"), Some(1));
+    assert_eq!(resp.field_u64("deleted"), Some(1));
+    assert_eq!(resp.field_u64("sub_epoch"), Some(3));
+    let reference = mutated_copy(&reference, &[(a2, b2)], &[(d3, d4)]);
+
+    // Re-applying a present edge is a net no-op and does not advance the
+    // sub-epoch.
+    let resp = client.request(&format!("ADDEDGE g {a2} {b2}")).unwrap();
+    assert_eq!(resp.field_u64("added"), Some(0));
+    assert_eq!(resp.field_u64("sub_epoch"), Some(3));
+
+    // The cached frozen index is repaired, not rebuilt, and the count is
+    // exactly the from-scratch count on the mutated graph. This also
+    // guards against a stale shared frontier surviving the mutation.
+    let resp = client.request(&format!("MATCH g {query_path}")).unwrap();
+    assert!(resp.is_ok(), "{}", resp.terminal);
+    assert_eq!(resp.field("cache"), Some("REPAIRED"));
+    assert_eq!(
+        resp.field_u64("count"),
+        Some(direct_count(&reference, &pattern))
+    );
+
+    let g = |c: &std::sync::atomic::AtomicU64| c.load(std::sync::atomic::Ordering::Relaxed);
+    assert_eq!(g(&state.metrics.mutation_batches), 3, "net-applied batches");
+    assert_eq!(g(&state.metrics.edges_added), 2);
+    assert_eq!(g(&state.metrics.edges_deleted), 2);
+    assert_eq!(g(&state.metrics.index_repairs), 1);
+    assert_eq!(state.metrics.index_repair_latency.count(), 1);
+
+    // Out-of-range endpoints answer a typed mutation error.
+    let resp = client.request("ADDEDGE g 0 99999").unwrap();
+    assert!(
+        resp.terminal.starts_with("ERR E_MUTATION"),
+        "{}",
+        resp.terminal
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn batch_file_replays_a_temporal_stream() {
+    let scratch = Scratch::new("batchfile");
+    let graph = small_graph();
+    let pattern = query_from(&graph, 3, 9);
+    let graph_path = scratch.write_graph("data.graph", &graph);
+    let query_path = scratch.write_graph("query.graph", &pattern);
+
+    // Three timestamped additions, none already present.
+    let (e1, _) = applicable_mutation(&graph, 11);
+    let r1 = mutated_copy(&graph, &[e1], &[]);
+    let (e2, _) = applicable_mutation(&r1, 23);
+    let r2 = mutated_copy(&r1, &[e2], &[]);
+    let (e3, _) = applicable_mutation(&r2, 37);
+    let reference = mutated_copy(&r2, &[e3], &[]);
+    let stream_path = scratch.0.join("stream.txt");
+    std::fs::write(
+        &stream_path,
+        format!(
+            "{} {} 1\n{} {} 2\n{} {} 3\n",
+            e1.0, e1.1, e2.0, e2.1, e3.0, e3.1
+        ),
+    )
+    .unwrap();
+
+    let (handle, _state) = serve(ServeConfig::default());
+    let mut client = Client::connect(handle.addr()).unwrap();
+    client.request(&format!("LOAD g {graph_path}")).unwrap();
+    let resp = client
+        .request(&format!("BATCH g FILE {}", stream_path.display()))
+        .unwrap();
+    assert!(resp.is_ok(), "{}", resp.terminal);
+    assert_eq!(resp.field_u64("added"), Some(3));
+    assert_eq!(resp.field_u64("sub_epoch"), Some(1));
+
+    let resp = client.request(&format!("MATCH g {query_path}")).unwrap();
+    assert_eq!(
+        resp.field_u64("count"),
+        Some(direct_count(&reference, &pattern))
+    );
+
+    // A missing stream file is a mutation error, not a hang or a panic.
+    let resp = client
+        .request("BATCH g FILE /nonexistent/stream.txt")
+        .unwrap();
+    assert!(
+        resp.terminal.starts_with("ERR E_MUTATION"),
+        "{}",
+        resp.terminal
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn register_emits_ordered_deltas_and_unregister_stops_them() {
+    let scratch = Scratch::new("register");
+    let graph = small_graph();
+    let pattern = query_from(&graph, 3, 13);
+    let graph_path = scratch.write_graph("data.graph", &graph);
+    let query_path = scratch.write_graph("query.graph", &pattern);
+
+    let (handle, state) = serve(ServeConfig::default());
+    let mut client = Client::connect(handle.addr()).unwrap();
+    client.request(&format!("LOAD g {graph_path}")).unwrap();
+
+    let resp = client
+        .request(&format!("REGISTER q g {query_path}"))
+        .unwrap();
+    assert!(resp.is_ok(), "{}", resp.terminal);
+    let initial = resp.field_u64("total").unwrap();
+    assert_eq!(initial, direct_count(&graph, &pattern));
+    assert_eq!(state.continuous_len(), 1);
+
+    // Three mutation batches; each must push one EVENT DELTA to this
+    // connection, in sub-epoch order, with totals matching a from-scratch
+    // count of the mutated snapshot.
+    let mut reference = mutated_copy(&graph, &[], &[]);
+    let mut running = initial;
+    for round in 0..3u64 {
+        let (add, del) = applicable_mutation(&reference, 61 + round);
+        let resp = client
+            .request(&format!(
+                "BATCH g +{}:{} -{}:{}",
+                add.0, add.1, del.0, del.1
+            ))
+            .unwrap();
+        assert!(resp.is_ok(), "{}", resp.terminal);
+        reference = mutated_copy(&reference, &[add], &[del]);
+
+        let event = client.wait_event().unwrap();
+        let fields: std::collections::HashMap<&str, &str> = event
+            .split_whitespace()
+            .filter_map(|t| t.split_once('='))
+            .collect();
+        assert!(event.starts_with("EVENT DELTA"), "{event}");
+        assert_eq!(fields.get("query"), Some(&"q"), "{event}");
+        assert_eq!(fields.get("graph"), Some(&"g"), "{event}");
+        assert_eq!(
+            fields.get("batch").and_then(|v| v.parse::<u64>().ok()),
+            Some(round + 1),
+            "events arrive in sub-epoch order: {event}"
+        );
+        let new: u64 = fields["new"].parse().unwrap();
+        let retired: u64 = fields["retired"].parse().unwrap();
+        let total: u64 = fields["total"].parse().unwrap();
+        assert_eq!(total, running + new - retired, "{event}");
+        running = total;
+        assert_eq!(
+            total,
+            direct_count(&reference, &pattern),
+            "delta total diverged from rebuild at round {round}"
+        );
+    }
+
+    // Deltas keep flowing even between MATCH requests on the same
+    // connection — EVENT lines must never corrupt a response payload.
+    let resp = client.request(&format!("MATCH g {query_path}")).unwrap();
+    assert_eq!(resp.field_u64("count"), Some(running));
+
+    let resp = client.request("UNREGISTER q").unwrap();
+    assert!(resp.is_ok(), "{}", resp.terminal);
+    assert_eq!(state.continuous_len(), 0);
+    let resp = client.request("UNREGISTER q").unwrap();
+    assert!(
+        resp.terminal.starts_with("ERR E_REGISTER"),
+        "{}",
+        resp.terminal
+    );
+
+    // A post-unregister mutation emits nothing: the next round-trip sees
+    // no stashed events.
+    let (add, _) = applicable_mutation(&reference, 997);
+    client
+        .request(&format!("ADDEDGE g {} {}", add.0, add.1))
+        .unwrap();
+    client.request("PING").unwrap();
+    assert!(client.take_events().is_empty(), "delta after UNREGISTER");
+
+    let g = |c: &std::sync::atomic::AtomicU64| c.load(std::sync::atomic::Ordering::Relaxed);
+    assert_eq!(g(&state.metrics.continuous_events), 3);
+    handle.shutdown();
+}
+
+#[test]
+fn reload_drops_continuous_registrations() {
+    let scratch = Scratch::new("reload-cq");
+    let graph = small_graph();
+    let pattern = query_from(&graph, 3, 21);
+    let graph_path = scratch.write_graph("data.graph", &graph);
+    let query_path = scratch.write_graph("query.graph", &pattern);
+
+    let (handle, state) = serve(ServeConfig::default());
+    let mut client = Client::connect(handle.addr()).unwrap();
+    client.request(&format!("LOAD g {graph_path}")).unwrap();
+    client
+        .request(&format!("REGISTER q g {query_path}"))
+        .unwrap();
+    assert_eq!(state.continuous_len(), 1);
+
+    // Replacing the graph invalidates the registration: its epoch no
+    // longer matches, so mutations of the fresh load emit no stale deltas.
+    client.request(&format!("LOAD g {graph_path}")).unwrap();
+    let (add, _) = applicable_mutation(&graph, 43);
+    let resp = client
+        .request(&format!("ADDEDGE g {} {}", add.0, add.1))
+        .unwrap();
+    assert!(resp.is_ok(), "{}", resp.terminal);
+    client.request("PING").unwrap();
+    assert!(
+        client.take_events().is_empty(),
+        "stale registration survived a reload"
+    );
     handle.shutdown();
 }
