@@ -35,6 +35,12 @@ EXPERIMENTS:
     fig20               CECI construction IO/comm/compute breakdown (Figure 20)
     ablation-order      Matching-order heuristics vs naive BFS (§2.2)
     ablation-intersect  Intersection vs edge verification (§4.1)
+    adaptive            Cost-model-driven adaptive execution: portfolio
+                        planner vs fixed BFS vs worst-scoring order on
+                        easy/hard/hopeless query classes — asserts
+                        bit-identical counts, records speedup + q-error,
+                        and shows 1 ms deadline admission verdicts;
+                        writes bench_results/adaptive.json
     kernels             Intersection-kernel sweep + end-to-end ablation (§4.1)
     index               Index-construction thread-scaling sweep (§6.4):
                         filter/refine/merge breakdown + bytes per thread
@@ -169,6 +175,7 @@ fn dispatch(
         "index" => experiments::index_build::run_with(scale, build_threads),
         "ablation-order" => experiments::ablation::run_order(scale),
         "ablation-intersect" => experiments::ablation::run_intersection(scale),
+        "adaptive" => experiments::adaptive::run(scale),
         "physical" => experiments::physical::run(scale),
         "faults" => experiments::faults::run(scale),
         "multiquery" => experiments::multiquery::run(scale),
@@ -214,6 +221,10 @@ const ALL_EXPERIMENTS: &[(&str, Runner)] = &[
     (
         "Ablation: intersection (§4.1)",
         experiments::ablation::run_intersection,
+    ),
+    (
+        "Adaptive execution: planner vs fixed/worst order",
+        experiments::adaptive::run,
     ),
     (
         "Future work: physical decomposition (§8)",

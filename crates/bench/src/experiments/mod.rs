@@ -3,6 +3,7 @@
 //! `bench_results/`).
 
 pub mod ablation;
+pub mod adaptive;
 pub mod faults;
 pub mod fig11;
 pub mod fig12;

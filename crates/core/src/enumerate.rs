@@ -112,6 +112,11 @@ pub struct Enumerator<'a> {
     /// is requested AND the last matching-order vertex's candidate gather
     /// cannot depend on the penultimate vertex's image.
     prune_leaf: bool,
+    /// Per-depth intersection-kernel pins from the adaptive planner's
+    /// profile feedback. Empty (the default) means every depth dispatches
+    /// through `options.kernel`; otherwise `depth_kernels[d]` overrides the
+    /// kernel for intersections gathered at depth `d`.
+    depth_kernels: Vec<Kernel>,
 }
 
 impl<'a> Enumerator<'a> {
@@ -147,7 +152,26 @@ impl<'a> Enumerator<'a> {
             drain_tick: 0,
             profile: None,
             prune_leaf,
+            depth_kernels: Vec::new(),
         }
+    }
+
+    /// Pins an intersection kernel per matching-order depth (adaptive
+    /// planner feedback). Pass an empty slice to clear the pins and fall
+    /// back to the global `options.kernel` dispatch. Kernel choice affects
+    /// only how intersections are computed, never their result.
+    pub fn set_depth_kernels(&mut self, pins: &[Kernel]) {
+        self.depth_kernels.clear();
+        self.depth_kernels.extend_from_slice(pins);
+    }
+
+    /// The kernel to dispatch for intersections at `depth`.
+    #[inline]
+    fn kernel_at(&self, depth: usize) -> Kernel {
+        self.depth_kernels
+            .get(depth)
+            .copied()
+            .unwrap_or(self.options.kernel)
     }
 
     /// Whether this enumerator will apply leaf-level redundant-extension
@@ -334,7 +358,7 @@ impl<'a> Enumerator<'a> {
                     buffer.clear();
                 } else {
                     intersect_many_with(
-                        self.options.kernel,
+                        self.kernel_at(depth),
                         te_list,
                         &lists,
                         &mut buffer,
@@ -495,7 +519,7 @@ impl<'a> Enumerator<'a> {
             }
             if !dead {
                 intersect_many_with(
-                    self.options.kernel,
+                    self.kernel_at(depth),
                     te_list,
                     &lists,
                     &mut buffer,
@@ -571,7 +595,7 @@ impl<'a> Enumerator<'a> {
             }
             if ok {
                 intersect_many_with(
-                    self.options.kernel,
+                    self.kernel_at(prefix.len()),
                     te_list,
                     &lists,
                     &mut out,

@@ -55,11 +55,86 @@ pub struct Estimate {
 
 impl Estimate {
     /// Two-sided confidence interval at ±`z` standard errors.
+    ///
+    /// Both ends are clamped to the feasible range: counts are never
+    /// negative, and the upper bound never falls below the lower one (which
+    /// a negative `z` would otherwise produce). With `std_error == 0` —
+    /// exact zero, or a walk budget of 1 — the interval degenerates to
+    /// `(mean, mean)`.
     pub fn interval(&self, z: f64) -> (f64, f64) {
-        (
-            (self.mean - z * self.std_error).max(0.0),
-            self.mean + z * self.std_error,
-        )
+        let lo = (self.mean - z * self.std_error).max(0.0);
+        let hi = (self.mean + z * self.std_error).max(lo);
+        (lo, hi)
+    }
+
+    /// The 95% confidence interval (±1.96 standard errors).
+    pub fn ci95(&self) -> (f64, f64) {
+        self.interval(1.96)
+    }
+}
+
+/// Per-depth cost breakdown produced by [`estimate_cost`] from the same
+/// random walks that produce the total-count [`Estimate`].
+///
+/// `depth_volumes[d]` is an unbiased estimate of the number of partial
+/// embeddings with `d + 1` query vertices mapped (depth `d` of the matching
+/// order). Their sum is the total intermediate-result volume — the cost
+/// the adaptive planner minimizes when comparing candidate orders.
+#[derive(Clone, Debug)]
+pub struct CostEstimate {
+    /// The total-count estimate; identical to what
+    /// [`estimate_embeddings`] returns for the same options.
+    pub estimate: Estimate,
+    /// Estimated partial-embedding count per depth of the matching order.
+    pub depth_volumes: Vec<f64>,
+    /// Estimated set-intersection comparisons per depth: each walk charges
+    /// the exact `intersection_ops` its matching-node computation performed,
+    /// weighted by the partial-embedding count it represents — an unbiased
+    /// estimate of the comparisons full enumeration would execute at that
+    /// depth. Tracks runtime far better than raw volume when candidate-list
+    /// lengths differ between orders.
+    pub depth_work: Vec<f64>,
+}
+
+impl CostEstimate {
+    /// Total estimated intermediate-result volume (sum over depths) — the
+    /// deadline-admission cost unit ([`crate::adaptive::admit`] multiplies it
+    /// by an observed or default per-unit time).
+    pub fn volume(&self) -> f64 {
+        self.depth_volumes.iter().sum()
+    }
+
+    /// The planner's scalar score: estimated intersection comparisons plus
+    /// one unit per intermediate result (the constant per-node bookkeeping).
+    /// Smaller means a cheaper plan.
+    pub fn work(&self) -> f64 {
+        self.depth_work.iter().sum::<f64>() + self.volume()
+    }
+
+    /// Estimated branch factor entering each depth:
+    /// `branch_factors()[d] = depth_volumes[d + 1] / depth_volumes[d]`
+    /// (0 when the parent depth's volume is 0). Length is one less than
+    /// `depth_volumes`.
+    pub fn branch_factors(&self) -> Vec<f64> {
+        self.depth_volumes
+            .windows(2)
+            .map(|w| if w[0] > 0.0 { w[1] / w[0] } else { 0.0 })
+            .collect()
+    }
+
+    /// Scales the estimate by `factor` — used when walks ran over a pilot
+    /// index built from a sampled pivot subset, so counts must be
+    /// extrapolated back to the full pivot population.
+    pub fn scaled(&self, factor: f64) -> CostEstimate {
+        CostEstimate {
+            estimate: Estimate {
+                mean: self.estimate.mean * factor,
+                std_error: self.estimate.std_error * factor,
+                ..self.estimate
+            },
+            depth_volumes: self.depth_volumes.iter().map(|v| v * factor).collect(),
+            depth_work: self.depth_work.iter().map(|w| w * factor).collect(),
+        }
     }
 }
 
@@ -71,23 +146,43 @@ pub fn estimate_embeddings(
     ceci: &Ceci,
     options: &EstimateOptions,
 ) -> Estimate {
+    estimate_cost(graph, plan, ceci, options).estimate
+}
+
+/// Runs the same random walks as [`estimate_embeddings`] but additionally
+/// tracks per-depth truncated walk weights, yielding unbiased
+/// partial-embedding-count estimates for every depth of the matching order.
+/// The RNG consumption is identical, so `estimate_cost(..).estimate` is
+/// bit-identical to `estimate_embeddings(..)` for the same options.
+pub fn estimate_cost(
+    graph: &Graph,
+    plan: &QueryPlan,
+    ceci: &Ceci,
+    options: &EstimateOptions,
+) -> CostEstimate {
     assert!(options.walks >= 1, "need at least one walk");
+    let n = plan.query().num_vertices();
     let pivots: Vec<VertexId> = ceci.pivots().iter().map(|&(p, _)| p).collect();
     if pivots.is_empty() {
-        return Estimate {
-            mean: 0.0,
-            std_error: 0.0,
-            walks: 0,
-            exact_zero: true,
+        return CostEstimate {
+            estimate: Estimate {
+                mean: 0.0,
+                std_error: 0.0,
+                walks: 0,
+                exact_zero: true,
+            },
+            depth_volumes: vec![0.0; n],
+            depth_work: vec![0.0; n],
         };
     }
-    let n = plan.query().num_vertices();
     let mut rng = StdRng::seed_from_u64(options.seed);
     let mut enumerator = Enumerator::new(graph, plan, ceci, EnumOptions::default());
     let mut counters = Counters::default();
 
     let mut sum = 0.0f64;
     let mut sum_sq = 0.0f64;
+    let mut depth_sums = vec![0.0f64; n];
+    let mut depth_work = vec![0.0f64; n];
     let mut prefix: Vec<VertexId> = Vec::with_capacity(n);
     for _ in 0..options.walks {
         prefix.clear();
@@ -95,13 +190,24 @@ pub fn estimate_embeddings(
         let pivot = pivots[rng.gen_range(0..pivots.len())];
         prefix.push(pivot);
         let mut weight = pivots.len() as f64;
+        depth_sums[0] += weight;
+        depth_work[0] += pivots.len() as f64;
         while prefix.len() < n {
+            // Charge this depth the comparisons the matching-node
+            // computation performs, scaled by the partial-embedding count
+            // the prefix represents (its pre-branch weight): an unbiased
+            // estimate of full enumeration's intersection work here.
+            // Counter snapshots consume no randomness, so the count
+            // estimate stays bit-identical to `estimate_embeddings`.
+            let ops_before = counters.intersection_ops;
             let matching = enumerator.matching_nodes_after_prefix(&prefix, &mut counters);
+            depth_work[prefix.len()] += weight * (counters.intersection_ops - ops_before) as f64;
             if matching.is_empty() {
                 weight = 0.0;
                 break;
             }
             weight *= matching.len() as f64;
+            depth_sums[prefix.len()] += weight;
             let next = matching[rng.gen_range(0..matching.len())];
             prefix.push(next);
         }
@@ -116,11 +222,15 @@ pub fn estimate_embeddings(
     } else {
         0.0
     };
-    Estimate {
-        mean,
-        std_error,
-        walks: options.walks,
-        exact_zero: false,
+    CostEstimate {
+        estimate: Estimate {
+            mean,
+            std_error,
+            walks: options.walks,
+            exact_zero: false,
+        },
+        depth_volumes: depth_sums.iter().map(|s| s / walks).collect(),
+        depth_work: depth_work.iter().map(|s| s / walks).collect(),
     }
 }
 
@@ -228,5 +338,87 @@ mod tests {
         let b = estimate_embeddings(&graph, &plan, &ceci, &opts);
         assert_eq!(a.mean, b.mean);
         assert_eq!(a.std_error, b.std_error);
+    }
+
+    #[test]
+    fn cost_estimate_matches_estimate() {
+        let (graph, plan) = paper::figure1();
+        let ceci = Ceci::build(&graph, &plan);
+        let opts = EstimateOptions {
+            walks: 500,
+            seed: 9,
+        };
+        let est = estimate_embeddings(&graph, &plan, &ceci, &opts);
+        let cost = estimate_cost(&graph, &plan, &ceci, &opts);
+        assert_eq!(cost.estimate.mean, est.mean);
+        assert_eq!(cost.estimate.std_error, est.std_error);
+        // Depth 0 volume is exactly the pivot count, and the deepest volume
+        // equals the total-count estimate.
+        assert_eq!(cost.depth_volumes[0], ceci.pivots().len() as f64);
+        let last = *cost.depth_volumes.last().unwrap();
+        assert!((last - est.mean).abs() < 1e-9, "{last} vs {}", est.mean);
+        assert!(cost.volume() >= est.mean);
+        assert_eq!(
+            cost.branch_factors().len(),
+            cost.depth_volumes.len().saturating_sub(1)
+        );
+    }
+
+    #[test]
+    fn cost_estimate_scaling() {
+        let (graph, plan) = figure5::setup();
+        let ceci = Ceci::build(&graph, &plan);
+        let cost = estimate_cost(&graph, &plan, &ceci, &EstimateOptions::default());
+        let doubled = cost.scaled(2.0);
+        assert_eq!(doubled.estimate.mean, cost.estimate.mean * 2.0);
+        assert_eq!(doubled.volume(), cost.volume() * 2.0);
+        assert_eq!(doubled.estimate.walks, cost.estimate.walks);
+    }
+
+    #[test]
+    fn interval_clamps_both_ends() {
+        // High variance relative to the mean: naive lo would go negative.
+        let est = Estimate {
+            mean: 1.0,
+            std_error: 5.0,
+            walks: 10,
+            exact_zero: false,
+        };
+        let (lo, hi) = est.interval(1.96);
+        assert_eq!(lo, 0.0);
+        assert!(hi >= lo);
+        // Negative z must not invert the interval.
+        let (lo, hi) = est.interval(-3.0);
+        assert!(lo <= hi, "inverted interval ({lo}, {hi})");
+        // Degenerate cases: zero std_error (walk budget 1, or exact zero).
+        let point = Estimate {
+            mean: 3.5,
+            std_error: 0.0,
+            walks: 1,
+            exact_zero: false,
+        };
+        assert_eq!(point.interval(4.0), (3.5, 3.5));
+        assert_eq!(point.ci95(), (3.5, 3.5));
+        let zero = Estimate {
+            mean: 0.0,
+            std_error: 0.0,
+            walks: 0,
+            exact_zero: true,
+        };
+        assert_eq!(zero.ci95(), (0.0, 0.0));
+    }
+
+    #[test]
+    fn exact_zero_cost_has_zero_volumes() {
+        use ceci_graph::{lid, Graph};
+        let graph = Graph::unlabeled(4, &[(ceci_graph::vid(0), ceci_graph::vid(1))]);
+        let query = ceci_query::QueryGraph::with_labels(&[lid(7), lid(7)], &[(0, 1)]).unwrap();
+        let plan = QueryPlan::new(query, &graph);
+        let ceci = Ceci::build(&graph, &plan);
+        let cost = estimate_cost(&graph, &plan, &ceci, &EstimateOptions::default());
+        assert!(cost.estimate.exact_zero);
+        assert_eq!(cost.depth_volumes.len(), plan.query().num_vertices());
+        assert!(cost.depth_volumes.iter().all(|&v| v == 0.0));
+        assert_eq!(cost.volume(), 0.0);
     }
 }

@@ -11,6 +11,8 @@ use std::fmt::Write as _;
 use ceci_graph::{Graph, VertexId};
 use ceci_query::QueryPlan;
 
+use crate::adaptive::PlanChoice;
+use crate::estimate::CostEstimate;
 use crate::index::Ceci;
 use crate::metrics::Counters;
 use ceci_trace::DepthProfile;
@@ -113,6 +115,88 @@ pub fn explain_plan(plan: &QueryPlan, graph: &Graph) -> String {
             "  u{u}: parent {parent:>3} | NTE from [{}] | {} initial candidates",
             ntes.join(", "),
             plan.initial_candidates(u).len(),
+        );
+    }
+    out
+}
+
+/// Renders the adaptive planner's decision record: every candidate order
+/// considered with its estimated intermediate-result volume, the winner,
+/// and the execution choices (strategy, workers, per-depth kernel pins)
+/// derived from the winning estimate.
+pub fn explain_choice(choice: &PlanChoice) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "plan choice: candidates={} score_us={} replanned={}",
+        choice.candidates.len(),
+        choice.score_time.as_micros(),
+        choice.replanned,
+    );
+    for (i, c) in choice.candidates.iter().enumerate() {
+        let order: Vec<String> = c.order.iter().map(|u| format!("u{u}")).collect();
+        let _ = writeln!(
+            out,
+            "  cand={i} strategy={:?} root=u{} volume={:.1} work={:.1} chosen={} order=[{}]",
+            c.strategy,
+            c.root,
+            c.volume,
+            c.work,
+            if c.chosen { 1 } else { 0 },
+            order.join(", "),
+        );
+    }
+    let est = &choice.cost.estimate;
+    let (lo, hi) = est.ci95();
+    let _ = writeln!(
+        out,
+        "exec: strategy={} workers={} est_count={:.1} est_se={:.1} ci95=[{:.1}, {:.1}] est_volume={:.1} predicted_us={}",
+        choice.strategy.abbrev(),
+        choice.workers,
+        est.mean,
+        est.std_error,
+        lo,
+        hi,
+        choice.cost.volume(),
+        choice.predicted().as_micros(),
+    );
+    let pins: Vec<String> = choice
+        .depth_kernels
+        .iter()
+        .enumerate()
+        .map(|(d, k)| format!("d{d}={k:?}"))
+        .collect();
+    let _ = writeln!(out, "kernels: {}", pins.join(" "));
+    out
+}
+
+/// Renders estimated vs actual cardinality per matching-order depth (the
+/// `EXPLAIN ANALYZE` mis-estimate view). The actual partial-embedding count
+/// at depth `d` is read from the observed profile: recursive calls entering
+/// depth `d + 1` for interior depths, emissions (plus reuse) at the leaf.
+/// `qerr` is the usual max(est/actual, actual/est), blank when either side
+/// is zero.
+pub fn explain_estimates(plan: &QueryPlan, cost: &CostEstimate, profile: &DepthProfile) -> String {
+    let order = plan.matching_order();
+    let stats = profile.depths();
+    let n = order.len();
+    let mut out = String::new();
+    for (d, &est) in cost.depth_volumes.iter().enumerate().take(n) {
+        let actual = if d + 1 < stats.len() {
+            stats[d + 1].calls + stats[d + 1].reused
+        } else {
+            stats.get(d).map(|s| s.emitted + s.reused).unwrap_or(0)
+        };
+        let qerr = if est > 0.0 && actual > 0 {
+            let a = actual as f64;
+            format!("{:.2}", (est / a).max(a / est))
+        } else {
+            "-".into()
+        };
+        let _ = writeln!(
+            out,
+            "estimate depth={d} node=u{} est={est:.1} actual={actual} qerr={qerr}",
+            order[d],
         );
     }
     out
@@ -283,6 +367,43 @@ mod tests {
         let s = cluster_skew(&ceci);
         assert_eq!(s.clusters, 0);
         assert_eq!(s.skew, 0.0);
+    }
+
+    #[test]
+    fn choice_report_lists_candidates_and_exec() {
+        use crate::adaptive::{plan_adaptive, AdaptiveOptions};
+        let (graph, plan) = paper::figure1();
+        let (_, choice) = plan_adaptive(plan.query().clone(), &graph, &AdaptiveOptions::default());
+        let report = explain_choice(&choice);
+        assert!(report.contains("plan choice: candidates="), "{report}");
+        assert!(report.contains("chosen=1"), "{report}");
+        assert!(report.contains("exec: strategy="), "{report}");
+        assert!(report.contains("kernels: d0="), "{report}");
+    }
+
+    #[test]
+    fn estimate_report_compares_depths() {
+        use crate::estimate::{estimate_cost, EstimateOptions};
+        use crate::sink::CountSink;
+        let (graph, plan, ceci) = setup();
+        let cost = estimate_cost(&graph, &plan, &ceci, &EstimateOptions::default());
+        let mut enumerator =
+            crate::enumerate::Enumerator::new(&graph, &plan, &ceci, Default::default());
+        enumerator.enable_profile();
+        let mut counters = Counters::default();
+        let mut sink = CountSink::unbounded();
+        for &(pivot, _) in ceci.pivots() {
+            enumerator.enumerate_cluster(pivot, &mut sink, &mut counters);
+        }
+        let profile = enumerator.take_profile().unwrap();
+        let report = explain_estimates(&plan, &cost, &profile);
+        assert_eq!(
+            report.lines().count(),
+            plan.matching_order().len(),
+            "{report}"
+        );
+        assert!(report.contains("estimate depth=0"), "{report}");
+        assert!(report.contains("qerr="), "{report}");
     }
 
     #[test]

@@ -24,6 +24,7 @@
 
 #![warn(missing_docs)]
 
+pub mod adaptive;
 pub mod batch;
 pub mod bitmap;
 pub mod delta;
@@ -41,6 +42,11 @@ pub mod refine;
 pub mod sink;
 pub mod tables;
 
+pub use adaptive::{
+    admit, choose_execution, kernels_from_profile, ns_per_unit_from_profile, plan_adaptive,
+    plan_with_options, predicted_time, AdaptiveOptions, Admission, CandidatePlan, PlanChoice,
+    DEFAULT_NS_PER_UNIT,
+};
 pub use batch::{enumerate_from_frontier, prefix_satisfies_symmetry, PrefixSpec};
 pub use bitmap::VertexBitmap;
 pub use delta::{batch_delta, count_matches_using, BatchDelta};
@@ -48,16 +54,19 @@ pub use enumerate::{
     collect_embeddings, count_embeddings, enumerate_sequential, is_valid_embedding, EnumOptions,
     Enumerator, VerifyMode,
 };
-pub use estimate::{estimate_embeddings, Estimate, EstimateOptions};
-pub use explain::{cluster_skew, explain_index, explain_plan, explain_profile, ClusterSkew};
+pub use estimate::{estimate_cost, estimate_embeddings, CostEstimate, Estimate, EstimateOptions};
+pub use explain::{
+    cluster_skew, explain_choice, explain_estimates, explain_index, explain_plan, explain_profile,
+    ClusterSkew,
+};
 pub use extreme::{decompose, decompose_with, WorkUnit};
 pub use filter::{bfs_filter, bfs_filter_from, bfs_filter_from_with, BuilderState, FilterProfile};
 pub use index::{record_build_spans, BuildOptions, BuildStats, Ceci};
 pub use intersect::Kernel;
 pub use metrics::{Counters, Phase, PhaseSpan, PhaseTimeline};
 pub use parallel::{
-    count_parallel, enumerate_parallel, enumerate_parallel_cancellable, ParallelOptions,
-    ParallelResult, Strategy,
+    count_parallel, enumerate_parallel, enumerate_parallel_cancellable, enumerate_parallel_pinned,
+    ParallelOptions, ParallelResult, Strategy,
 };
 pub use sink::{
     canonicalize, CancelToken, CollectSink, CountSink, DeadlineSink, EmbeddingSink, SharedBudget,

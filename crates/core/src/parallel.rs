@@ -218,6 +218,23 @@ pub fn enumerate_parallel_cancellable(
     options: &ParallelOptions,
     cancel: Option<Arc<CancelToken>>,
 ) -> ParallelResult {
+    enumerate_parallel_pinned(graph, plan, ceci, options, cancel, None)
+}
+
+/// [`enumerate_parallel_cancellable`] with optional per-depth intersection
+/// kernel pins from the adaptive planner's profile feedback (see
+/// [`crate::adaptive::kernels_from_profile`]). `None` — or an empty slice —
+/// keeps the global `options.kernel` dispatch. Pins change only *how*
+/// intersections are computed, never their results, so counts are identical
+/// with and without them.
+pub fn enumerate_parallel_pinned(
+    graph: &Graph,
+    plan: &QueryPlan,
+    ceci: &Ceci,
+    options: &ParallelOptions,
+    cancel: Option<Arc<CancelToken>>,
+    depth_kernels: Option<&[Kernel]>,
+) -> ParallelResult {
     assert!(options.workers >= 1, "need at least one worker");
     let t0 = Instant::now();
     let enum_opts = EnumOptions {
@@ -264,6 +281,9 @@ pub fn enumerate_parallel_cancellable(
         let mut collected: Vec<Vec<VertexId>> = Vec::new();
         let mut enumerator = Enumerator::new(graph, plan, ceci, enum_opts);
         enumerator.set_cancel(cancel.clone());
+        if let Some(pins) = depth_kernels {
+            enumerator.set_depth_kernels(pins);
+        }
         if options.profile {
             enumerator.enable_profile();
         }
@@ -646,5 +666,39 @@ mod tests {
         let (graph, plan) = paper::figure1();
         let ceci = Ceci::build(&graph, &plan);
         assert_eq!(count_parallel(&graph, &plan, &ceci, 2, Strategy::Static), 2);
+    }
+
+    #[test]
+    fn pinned_kernels_do_not_change_counts() {
+        use ceci_graph::generators::kronecker_default;
+        use ceci_query::PaperQuery;
+        let graph = kronecker_default(9, 5, 13);
+        let plan = QueryPlan::new(PaperQuery::Qg3.build(), &graph);
+        let ceci = Ceci::build(&graph, &plan);
+        let options = ParallelOptions {
+            workers: 2,
+            ..Default::default()
+        };
+        let baseline = enumerate_parallel(&graph, &plan, &ceci, &options);
+        let n = plan.matching_order().len();
+        for kernel in [Kernel::Merge, Kernel::Gallop, Kernel::Simd] {
+            let pins = vec![kernel; n];
+            let pinned =
+                enumerate_parallel_pinned(&graph, &plan, &ceci, &options, None, Some(&pins));
+            assert_eq!(
+                pinned.total_embeddings, baseline.total_embeddings,
+                "{kernel:?} pins changed the count"
+            );
+        }
+        // Mixed pins, too.
+        let mixed: Vec<Kernel> = (0..n)
+            .map(|d| match d % 3 {
+                0 => Kernel::Gallop,
+                1 => Kernel::BranchlessMerge,
+                _ => Kernel::Adaptive,
+            })
+            .collect();
+        let pinned = enumerate_parallel_pinned(&graph, &plan, &ceci, &options, None, Some(&mixed));
+        assert_eq!(pinned.total_embeddings, baseline.total_embeddings);
     }
 }

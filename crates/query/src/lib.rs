@@ -32,7 +32,7 @@ pub use candidates::{admission_check, candidates_of, AdmissionVerdict, VertexFil
 pub use catalog::PaperQuery;
 pub use hash::{canonical_hash, CanonicalQuery};
 pub use nec::OrderConstraint;
-pub use order::OrderStrategy;
+pub use order::{is_valid_order, matching_order, OrderStrategy};
 pub use plan::{PlanOptions, QueryPlan};
 pub use query_graph::{QueryGraph, QueryGraphError};
 pub use tree::QueryTree;

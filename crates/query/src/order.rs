@@ -26,6 +26,13 @@ pub enum OrderStrategy {
     /// fewest candidates (most selective first), breaking ties toward more
     /// placed neighbors. Approximates TurboIso's least-frequent-path order.
     PathRank,
+    /// Cost-model-driven: the core-layer planner scores a portfolio of
+    /// candidate orders (BFS plus the ranked greedies over several roots)
+    /// with the random-walk cardinality estimator and picks the cheapest.
+    /// When passed directly to [`matching_order`] — i.e. without the
+    /// planner — it falls back to [`OrderStrategy::PathRank`], the best
+    /// static heuristic.
+    Adaptive,
 }
 
 /// Computes a matching order under `strategy`.
@@ -45,6 +52,11 @@ pub fn matching_order(
         OrderStrategy::Bfs => tree.bfs_order().to_vec(),
         OrderStrategy::EdgeRank | OrderStrategy::PathRank => {
             greedy_order(query, tree, strategy, candidate_counts)
+        }
+        // Without the core-layer planner there is no estimator to consult;
+        // degrade to the most selective static heuristic.
+        OrderStrategy::Adaptive => {
+            greedy_order(query, tree, OrderStrategy::PathRank, candidate_counts)
         }
     }
 }
@@ -85,7 +97,7 @@ fn greedy_order(
                 OrderStrategy::EdgeRank => (n - placed_neighbors, cand),
                 // Fewer candidates first.
                 OrderStrategy::PathRank => (cand, n - placed_neighbors),
-                OrderStrategy::Bfs => unreachable!(),
+                OrderStrategy::Bfs | OrderStrategy::Adaptive => unreachable!(),
             };
             let better = match best {
                 None => true,
@@ -192,6 +204,16 @@ mod tests {
         ));
         // Too short.
         assert!(!is_valid_order(&t, &[vid(0), vid(1)]));
+    }
+
+    #[test]
+    fn adaptive_without_planner_matches_path_rank() {
+        let (q, t) = house();
+        let counts = vec![100, 100, 100, 1, 100];
+        let adaptive = matching_order(&q, &t, OrderStrategy::Adaptive, &counts);
+        let path = matching_order(&q, &t, OrderStrategy::PathRank, &counts);
+        assert_eq!(adaptive, path);
+        assert!(is_valid_order(&t, &adaptive));
     }
 
     #[test]

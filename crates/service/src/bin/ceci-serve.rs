@@ -17,6 +17,9 @@
 //!                        for index repair (default 64; older caches rebuild)
 //!   --no-stream-repair   disable incremental index repair (stale cache
 //!                        entries always rebuild from scratch)
+//!   --no-adaptive        disable cost-model-driven adaptive execution
+//!                        (fixed BFS plans, no deadline-aware APPROX /
+//!                        E_INFEASIBLE degradation, no kernel pinning)
 //!   --preload NAME=FILE  LOAD a labeled graph before accepting connections
 //!                        (repeatable)
 //!   --chaos              enable the CHAOS fault-injection verb (testing
@@ -41,7 +44,8 @@ fn usage() -> ! {
         "usage: ceci-serve [--addr HOST:PORT] [--pool-workers N] [--queue-cap N] \
          [--cache-mb N] [--match-workers N] [--max-match-workers N] \
          [--build-threads N] [--compact-threshold N] [--dirty-log-cap N] \
-         [--no-stream-repair] [--preload NAME=FILE]... [--chaos] [--trace]"
+         [--no-stream-repair] [--no-adaptive] [--preload NAME=FILE]... \
+         [--chaos] [--trace]"
     );
     exit(2)
 }
@@ -71,6 +75,7 @@ fn main() {
             "--compact-threshold" => config.compact_threshold = num(&mut i).max(1),
             "--dirty-log-cap" => config.dirty_log_cap = num(&mut i).max(1),
             "--no-stream-repair" => config.stream_repair = false,
+            "--no-adaptive" => config.adaptive = false,
             "--chaos" => config.chaos = true,
             "--trace" => config.trace = true,
             "--preload" => {

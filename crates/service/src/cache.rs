@@ -38,9 +38,26 @@ use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
-use ceci_core::Ceci;
+use ceci_core::{Ceci, Kernel, PlanChoice};
 use ceci_query::{CanonicalQuery, QueryPlan};
 use ceci_stream::StreamIndex;
+
+/// Execution feedback observed from a prior exact run of a cached index:
+/// the per-depth intersection kernels the depth profile picked and the
+/// measured cost-unit rate. Stored beside the index so later requests on
+/// the same `(epoch, canonical)` key pin kernels and calibrate deadline
+/// admission from real observations instead of static defaults. Scoped to
+/// the cache entry, so `LOAD` epochs and stream sub-epoch bumps retire it
+/// together with the index it was measured on.
+#[derive(Clone, Debug)]
+pub struct PlanFeedback {
+    /// Intersection kernel pinned per enumeration depth
+    /// ([`ceci_core::kernels_from_profile`]).
+    pub depth_kernels: Vec<Kernel>,
+    /// Observed nanoseconds per cost-model volume unit
+    /// ([`ceci_core::ns_per_unit_from_profile`]).
+    pub ns_per_unit: f64,
+}
 
 /// One cached, frozen index: everything needed to answer a `MATCH` without
 /// re-planning or re-filtering.
@@ -59,6 +76,13 @@ pub struct CachedIndex {
     /// The maintainable base tables the frozen index was materialized from;
     /// `None` when stream repair is disabled (stale entries then rebuild).
     pub stream: Option<Arc<StreamIndex>>,
+    /// The adaptive planner's decision record (portfolio, winning cost
+    /// estimate, strategy/worker recommendation); `None` when the index was
+    /// planned with a fixed strategy (`--no-adaptive`).
+    pub choice: Option<PlanChoice>,
+    /// Observed-execution feedback, populated after the first profiled
+    /// exact run; later runs pin its kernels and admission rate.
+    pub feedback: Mutex<Option<PlanFeedback>>,
 }
 
 #[derive(Debug)]
@@ -490,6 +514,8 @@ mod tests {
             bytes,
             sub_epoch: 0,
             stream: None,
+            choice: None,
+            feedback: Mutex::new(None),
         }
     }
 

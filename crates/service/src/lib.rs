@@ -27,6 +27,15 @@
 //!   ([`registry`], `ceci_stream`), and `REGISTER`ed **continuous
 //!   queries** emit per-batch embedding-count deltas (`EVENT DELTA`)
 //!   to their connection ([`server`]),
+//! * an **adaptive execution layer** (on by default, `--no-adaptive` to
+//!   disable): cache-miss builds score a plan portfolio under the
+//!   random-walk cost model and pick the cheapest order, the winning
+//!   estimate sizes the parallel strategy and worker count, observed
+//!   depth profiles pin per-depth intersection kernels on repeat queries
+//!   ([`cache::PlanFeedback`]), and `MATCH ... DEADLINE` degrades to an
+//!   estimator answer (`mode=APPROX`) or `ERR E_INFEASIBLE` when the
+//!   exact run cannot finish in time (`EXACT` opts out; `ESTIMATE`
+//!   answers the cardinality question directly),
 //! * a line-oriented **text protocol** ([`protocol`]) and lock-free
 //!   **metrics** surfaced via `STATS` ([`metrics`]),
 //! * a blocking **client** doubling as a closed-loop load generator
@@ -44,7 +53,9 @@ pub mod protocol;
 pub mod registry;
 pub mod server;
 
-pub use cache::{CachedIndex, Flight, FlightGuard, FlightProbe, FlightWait, IndexCache, Probe};
+pub use cache::{
+    CachedIndex, Flight, FlightGuard, FlightProbe, FlightWait, IndexCache, PlanFeedback, Probe,
+};
 pub use client::{run_load, Client, LoadConfig, LoadReport, Response, RetryOutcome, RetryPolicy};
 pub use metrics::{LatencyHistogram, ServerMetrics};
 pub use pool::{Admission, FrontierCache, FrontierOutcome, PoolHandle, SharedFrontier, WorkerPool};

@@ -201,6 +201,15 @@ pub struct ServerMetrics {
     pub index_repair_fallbacks: AtomicU64,
     /// Continuous-query delta events emitted to registered connections.
     pub continuous_events: AtomicU64,
+    /// Adaptive plan choices where the portfolio beat the paper-default
+    /// BFS-order plan (a non-default candidate won the cost race).
+    pub adaptive_replans: AtomicU64,
+    /// Deadline-infeasible MATCH requests answered from the estimator
+    /// (`mode=APPROX`) instead of enumerating.
+    pub approx_answers: AtomicU64,
+    /// Deadline-infeasible MATCH requests refused with `E_INFEASIBLE`
+    /// (estimate too noisy even for an APPROX answer).
+    pub infeasible_rejects: AtomicU64,
     /// End-to-end MATCH latency (admission to response).
     pub match_latency: LatencyHistogram,
     /// CECI build time on cache misses.
@@ -213,6 +222,10 @@ pub struct ServerMetrics {
     /// Stale-index repair time (patch from dirty log + re-freeze), the
     /// counterpart of `build_latency` for the repair path.
     pub index_repair_latency: LatencyHistogram,
+    /// Time the adaptive planner spent scoring its plan portfolio (pilot
+    /// index builds + random-walk costing), recorded once per cache-miss
+    /// build when adaptive planning is on.
+    pub plan_score_latency: LatencyHistogram,
 }
 
 impl ServerMetrics {
@@ -269,6 +282,18 @@ impl ServerMetrics {
                 g(&self.index_repair_fallbacks),
             ),
             ("continuous_events".into(), g(&self.continuous_events)),
+            ("adaptive_replans".into(), g(&self.adaptive_replans)),
+            ("approx_answers".into(), g(&self.approx_answers)),
+            ("infeasible_rejects".into(), g(&self.infeasible_rejects)),
+            ("plan_score_count".into(), self.plan_score_latency.count()),
+            (
+                "plan_score_mean_us".into(),
+                self.plan_score_latency.mean_us(),
+            ),
+            (
+                "plan_score_p99_us".into(),
+                self.plan_score_latency.quantile_us(0.99),
+            ),
             (
                 "index_repair_count".into(),
                 self.index_repair_latency.count(),

@@ -14,7 +14,8 @@
 //!
 //! ```text
 //! LOAD <name> <path> [EDGELIST] [DIRECTED]
-//! MATCH <graph> <query-path> [LIMIT <k>] [DEADLINE <ms>] [WORKERS <n>] [RAW]
+//! MATCH <graph> <query-path> [LIMIT <k>] [DEADLINE <ms>] [WORKERS <n>] [RAW] [EXACT]
+//! ESTIMATE <graph> <query-path> [WALKS <n>]
 //! EXPLAIN <graph> <query-path> [ANALYZE]
 //! STATS [PROM]
 //! SLEEP <ms>
@@ -50,6 +51,20 @@
 //! layer (admission filter, single-flight builds, shared-prefix batching,
 //! redundant-extension pruning) — the differential lever used to verify the
 //! optimized path returns bit-identical counts.
+//!
+//! `MATCH ... DEADLINE <ms>` is *deadline-aware*: when the adaptive planner
+//! predicts the exact enumeration cannot finish inside the deadline, the
+//! server degrades gracefully — it answers from the random-walk estimator
+//! (`OK MATCH ... mode=APPROX mean=... std_error=... ci95_lo=... ci95_hi=...`)
+//! instead of burning a worker for the full deadline, or refuses outright
+//! with `ERR E_INFEASIBLE` when even the estimate is too noisy to be useful.
+//! `MATCH ... EXACT` opts out of degradation: the request always runs the
+//! exact enumeration, reporting `status=DEADLINE_EXCEEDED` with a partial
+//! count if the deadline trips (the pre-adaptive behavior).
+//!
+//! `ESTIMATE` answers the cardinality question directly: it runs the
+//! random-walk estimator over the (cached) index and reports the mean,
+//! standard error and 95% confidence interval without enumerating.
 //!
 //! `CHAOS` is a fault-injection verb for testing the server's failure
 //! paths; it is refused with `E_CHAOS_DISABLED` unless the server was
@@ -91,6 +106,20 @@ pub enum Request {
         /// this request — the differential lever for verifying bit-identical
         /// counts.
         raw: bool,
+        /// `EXACT`: opt out of deadline-aware graceful degradation — always
+        /// run the exact enumeration even when the planner predicts the
+        /// deadline is infeasible.
+        exact: bool,
+    },
+    /// Estimate the embedding count of a (graph, query) pair via random
+    /// walks over the index, without enumerating.
+    Estimate {
+        /// Name of a loaded graph.
+        graph: String,
+        /// Server-side path of the query (labeled t/v/e format).
+        query_path: String,
+        /// Walk budget override (`WALKS <n>`); server default otherwise.
+        walks: Option<u64>,
     },
     /// Plan/index report for a (graph, query) pair.
     Explain {
@@ -216,6 +245,10 @@ pub enum ErrorCode {
     /// A `REGISTER`/`UNREGISTER` request failed (unknown handle, or the
     /// continuous query could not be planned).
     Register,
+    /// The adaptive planner predicted the request cannot finish inside its
+    /// `DEADLINE` and the estimate is too noisy to answer `APPROX`; retry
+    /// with `EXACT`, a larger deadline, or `ESTIMATE`.
+    Infeasible,
 }
 
 impl ErrorCode {
@@ -232,6 +265,7 @@ impl ErrorCode {
             ErrorCode::ChaosDisabled => "E_CHAOS_DISABLED",
             ErrorCode::Mutation => "E_MUTATION",
             ErrorCode::Register => "E_REGISTER",
+            ErrorCode::Infeasible => "E_INFEASIBLE",
         }
     }
 
@@ -336,6 +370,7 @@ pub fn parse_request(line: &str) -> Result<Option<Request>, ParseError> {
             let mut deadline_ms = None;
             let mut workers = None;
             let mut raw = false;
+            let mut exact = false;
             while let Some(opt) = it.next() {
                 match opt.to_ascii_uppercase().as_str() {
                     "LIMIT" => limit = Some(parse_u64(&mut it, "LIMIT")?),
@@ -348,6 +383,7 @@ pub fn parse_request(line: &str) -> Result<Option<Request>, ParseError> {
                         workers = Some(w as usize);
                     }
                     "RAW" => raw = true,
+                    "EXACT" => exact = true,
                     other => return Err(err(format!("unknown MATCH option {other:?}"))),
                 }
             }
@@ -358,6 +394,33 @@ pub fn parse_request(line: &str) -> Result<Option<Request>, ParseError> {
                 deadline_ms,
                 workers,
                 raw,
+                exact,
+            }
+        }
+        "ESTIMATE" => {
+            let graph = it
+                .next()
+                .ok_or_else(|| err("ESTIMATE requires <graph> <query-path>"))?;
+            let query_path = it
+                .next()
+                .ok_or_else(|| err("ESTIMATE requires <graph> <query-path>"))?;
+            let mut walks = None;
+            while let Some(opt) = it.next() {
+                match opt.to_ascii_uppercase().as_str() {
+                    "WALKS" => {
+                        let w = parse_u64(&mut it, "WALKS")?;
+                        if w == 0 {
+                            return Err(err("WALKS must be >= 1"));
+                        }
+                        walks = Some(w);
+                    }
+                    other => return Err(err(format!("unknown ESTIMATE option {other:?}"))),
+                }
+            }
+            Request::Estimate {
+                graph: graph.to_string(),
+                query_path: query_path.to_string(),
+                walks,
             }
         }
         "EXPLAIN" => {
@@ -559,6 +622,7 @@ mod tests {
                 deadline_ms: Some(50),
                 workers: Some(2),
                 raw: false,
+                exact: false,
             })
         );
         assert_eq!(
@@ -570,6 +634,7 @@ mod tests {
                 deadline_ms: None,
                 workers: None,
                 raw: false,
+                exact: false,
             })
         );
         assert_eq!(
@@ -581,12 +646,49 @@ mod tests {
                 deadline_ms: None,
                 workers: None,
                 raw: true,
+                exact: false,
+            })
+        );
+        assert_eq!(
+            parse_request("MATCH g q DEADLINE 10 EXACT").unwrap(),
+            Some(Request::Match {
+                graph: "g".into(),
+                query_path: "q".into(),
+                limit: None,
+                deadline_ms: Some(10),
+                workers: None,
+                raw: false,
+                exact: true,
             })
         );
         assert!(parse_request("MATCH g q LIMIT").is_err());
         assert!(parse_request("MATCH g q LIMIT abc").is_err());
         assert!(parse_request("MATCH g q WORKERS 0").is_err());
         assert!(parse_request("MATCH g").is_err());
+    }
+
+    #[test]
+    fn parses_estimate() {
+        assert_eq!(
+            parse_request("ESTIMATE g q.graph").unwrap(),
+            Some(Request::Estimate {
+                graph: "g".into(),
+                query_path: "q.graph".into(),
+                walks: None,
+            })
+        );
+        assert_eq!(
+            parse_request("estimate g q walks 500").unwrap(),
+            Some(Request::Estimate {
+                graph: "g".into(),
+                query_path: "q".into(),
+                walks: Some(500),
+            })
+        );
+        assert!(parse_request("ESTIMATE g").is_err());
+        assert!(parse_request("ESTIMATE g q WALKS").is_err());
+        assert!(parse_request("ESTIMATE g q WALKS 0").is_err());
+        assert!(parse_request("ESTIMATE g q BOGUS").is_err());
     }
 
     #[test]
@@ -757,6 +859,7 @@ mod tests {
             ErrorCode::ChaosDisabled,
             ErrorCode::Mutation,
             ErrorCode::Register,
+            ErrorCode::Infeasible,
         ] {
             assert!(code.as_str().starts_with("E_"));
             assert!(!code.as_str().contains(' '));

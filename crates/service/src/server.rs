@@ -42,16 +42,21 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use ceci_core::{
-    batch_delta, count_embeddings, enumerate_from_frontier, enumerate_parallel_cancellable,
-    CancelToken, Ceci, CountSink, EnumOptions, ParallelOptions, PrefixSpec,
+    admit, batch_delta, count_embeddings, enumerate_from_frontier, enumerate_parallel_cancellable,
+    enumerate_parallel_pinned, estimate_embeddings, explain_choice, explain_estimates,
+    kernels_from_profile, ns_per_unit_from_profile, plan_with_options, AdaptiveOptions,
+    Admission as DeadlineVerdict, CancelToken, Ceci, CountSink, EnumOptions, EstimateOptions,
+    Kernel, ParallelOptions, PlanChoice, PrefixSpec, DEFAULT_NS_PER_UNIT,
 };
 use ceci_graph::io as graph_io;
 use ceci_graph::{vid, Graph, VertexId};
-use ceci_query::{admission_check, CanonicalQuery, QueryGraph, QueryPlan};
+use ceci_query::{
+    admission_check, CanonicalQuery, OrderStrategy, PlanOptions, QueryGraph, QueryPlan,
+};
 use ceci_stream::StreamIndex;
 use ceci_trace::{PromWriter, Tracer};
 
-use crate::cache::{CachedIndex, FlightProbe, FlightWait, IndexCache, Probe};
+use crate::cache::{CachedIndex, FlightProbe, FlightWait, IndexCache, PlanFeedback, Probe};
 use crate::metrics::ServerMetrics;
 use crate::pool::{Admission, FrontierCache, FrontierOutcome, PoolHandle, WorkerPool};
 use crate::protocol::{parse_request, ChaosCommand, ErrorCode, MatchStatus, Request};
@@ -113,6 +118,14 @@ pub struct ServeConfig {
     /// Keep the maintainable stream tables alongside cached indexes so
     /// stale entries are *repaired* from the dirty log instead of rebuilt.
     pub stream_repair: bool,
+    /// Cost-model-driven adaptive execution: cache-miss builds score a
+    /// plan portfolio (order × root) over a pilot index and pick the
+    /// cheapest, the winning estimate chooses the parallel strategy and
+    /// worker count, observed depth profiles pin per-depth intersection
+    /// kernels on repeat queries, and `MATCH ... DEADLINE` degrades to an
+    /// APPROX answer (or `E_INFEASIBLE`) when the exact run cannot finish
+    /// in time. Exact counts are bit-identical to fixed-BFS planning.
+    pub adaptive: bool,
 }
 
 impl Default for ServeConfig {
@@ -136,6 +149,7 @@ impl Default for ServeConfig {
             compact_threshold: 32_768,
             dirty_log_cap: 64,
             stream_repair: true,
+            adaptive: true,
         }
     }
 }
@@ -390,6 +404,7 @@ fn dispatch(
                     deadline_ms,
                     workers,
                     raw,
+                    exact,
                 } => exec_match(
                     job_state,
                     &graph,
@@ -398,8 +413,14 @@ fn dispatch(
                     deadline_ms,
                     workers,
                     raw,
+                    exact,
                     queue_wait,
                 ),
+                Request::Estimate {
+                    graph,
+                    query_path,
+                    walks,
+                } => exec_estimate(job_state, &graph, &query_path, walks),
                 Request::Explain {
                     graph,
                     query_path,
@@ -521,7 +542,7 @@ pub fn render_prometheus(state: &ServerState) -> String {
     let m = &state.metrics;
     let g = |a: &std::sync::atomic::AtomicU64| a.load(Ordering::Relaxed);
     let mut w = PromWriter::new();
-    let counters: [(&str, &str, u64); 27] = [
+    let counters: [(&str, &str, u64); 30] = [
         (
             "ceci_requests_total",
             "Request lines accepted (parse successes)",
@@ -653,6 +674,21 @@ pub fn render_prometheus(state: &ServerState) -> String {
             "Continuous-query delta events emitted",
             g(&m.continuous_events),
         ),
+        (
+            "ceci_adaptive_replans_total",
+            "Adaptive plan choices where a non-default candidate won",
+            g(&m.adaptive_replans),
+        ),
+        (
+            "ceci_approx_answers_total",
+            "Deadline-infeasible MATCH requests answered mode=APPROX",
+            g(&m.approx_answers),
+        ),
+        (
+            "ceci_infeasible_rejects_total",
+            "Deadline-infeasible MATCH requests refused E_INFEASIBLE",
+            g(&m.infeasible_rejects),
+        ),
     ];
     for (name, help, value) in counters {
         w.counter(name, help, value);
@@ -718,6 +754,11 @@ pub fn render_prometheus(state: &ServerState) -> String {
             "ceci_index_repair_us",
             "Stale-index repair time (patch + re-freeze), microseconds",
         ),
+        (
+            &m.plan_score_latency,
+            "ceci_plan_score_us",
+            "Adaptive planner portfolio scoring time per cache-miss build, microseconds",
+        ),
     ] {
         let (cum, sum, count) = hist.cumulative_us();
         w.histogram(name, help, &cum, sum, count);
@@ -774,27 +815,57 @@ fn load_query(path: &str) -> Result<QueryGraph, String> {
     QueryGraph::from_graph(&pattern).map_err(|e| format!("invalid query: {e}"))
 }
 
-/// A successful cache-miss build: the plan, the frozen index, and (when
-/// stream repair is on) the maintainable base index kept for future patches.
-type BuiltIndex = (Arc<QueryPlan>, Arc<Ceci>, Option<Arc<StreamIndex>>);
+/// A successful cache-miss build: the plan, the frozen index, (when stream
+/// repair is on) the maintainable base index kept for future patches, and
+/// (when adaptive planning is on) the planner's decision record.
+type BuiltIndex = (
+    Arc<QueryPlan>,
+    Arc<Ceci>,
+    Option<Arc<StreamIndex>>,
+    Option<PlanChoice>,
+);
 
 /// Runs the (panic-prone) plan + CECI build under `catch_unwind`, honoring
 /// the one-shot chaos levers (`BUILDDELAY` sleeps first, then `BUILDPANIC`
 /// fires, so the two compose). `Err(())` means the build panicked; the
 /// caller quarantines the key.
+///
+/// With [`ServeConfig::adaptive`] (the default) the plan comes from the
+/// cost-model portfolio ([`plan_with_options`]): a pilot index over sampled
+/// pivots scores BFS/EdgeRank/PathRank orders across the top roots and the
+/// cheapest estimated intermediate-result volume wins. Scoring time lands
+/// in `plan_score_latency`; a non-default winner bumps `adaptive_replans`.
 fn run_build(state: &ServerState, graph: &Graph, query: QueryGraph) -> Result<BuiltIndex, ()> {
     let delay_ms = state.build_delay_ms.swap(0, Ordering::SeqCst);
     let armed = state.build_panic_armed.swap(false, Ordering::SeqCst);
     let build_threads = state.config.build_threads.max(1);
     let keep_stream = state.config.stream_repair;
-    catch_unwind(AssertUnwindSafe(move || {
+    let adaptive = state.config.adaptive;
+    let max_workers = state.config.max_match_workers.max(1);
+    let built = catch_unwind(AssertUnwindSafe(move || {
         if delay_ms > 0 {
             std::thread::sleep(Duration::from_millis(delay_ms));
         }
         if armed {
             panic!("injected CHAOS BUILDPANIC during index build");
         }
-        let plan = Arc::new(QueryPlan::new(query, graph));
+        let (plan, choice) = if adaptive {
+            plan_with_options(
+                query,
+                graph,
+                &PlanOptions {
+                    order: OrderStrategy::Adaptive,
+                    ..Default::default()
+                },
+                &AdaptiveOptions {
+                    max_workers,
+                    ..Default::default()
+                },
+            )
+        } else {
+            (QueryPlan::new(query, graph), None)
+        };
+        let plan = Arc::new(plan);
         let ceci = Arc::new(Ceci::build_with(
             graph,
             &plan,
@@ -806,9 +877,16 @@ fn run_build(state: &ServerState, graph: &Graph, query: QueryGraph) -> Result<Bu
         // The maintainable base tables ride along so a later mutation can
         // repair this entry instead of rebuilding it.
         let stream = keep_stream.then(|| Arc::new(StreamIndex::build(graph, &plan)));
-        (plan, ceci, stream)
+        (plan, ceci, stream, choice)
     }))
-    .map_err(|_| ())
+    .map_err(|_| ())?;
+    if let Some(choice) = &built.3 {
+        state.metrics.plan_score_latency.record(choice.score_time);
+        if choice.replanned {
+            ServerMetrics::inc(&state.metrics.adaptive_replans);
+        }
+    }
+    Ok(built)
 }
 
 /// Attempts to repair a stale cached entry in place: patch its retained
@@ -864,6 +942,10 @@ fn repair_entry(
         );
     }
     let bytes = ceci.size_bytes() + patched.size_bytes();
+    // The plan is unchanged by a repair, so the planner's decision record
+    // carries over; execution feedback does NOT — it was measured against
+    // the pre-mutation candidate sets, and the repaired entry re-profiles
+    // on its next exact run.
     Some((
         CachedIndex {
             canonical: old.canonical.clone(),
@@ -872,6 +954,8 @@ fn repair_entry(
             bytes,
             sub_epoch,
             stream: Some(Arc::new(patched)),
+            choice: old.choice.clone(),
+            feedback: Mutex::new(None),
         },
         repair,
     ))
@@ -911,8 +995,8 @@ fn build_solo(
     canonical: CanonicalQuery,
 ) -> Result<(Arc<CachedIndex>, &'static str, Duration), Vec<String>> {
     let t0 = Instant::now();
-    let (plan, ceci, stream) = match run_build(state, graph, query) {
-        Ok(triple) => triple,
+    let (plan, ceci, stream, choice) = match run_build(state, graph, query) {
+        Ok(built) => built,
         Err(()) => return Err(quarantine_after_panic(state, graph_epoch, &canonical)),
     };
     let build = t0.elapsed();
@@ -926,6 +1010,8 @@ fn build_solo(
             bytes,
             sub_epoch,
             stream,
+            choice,
+            feedback: Mutex::new(None),
         }),
         "MISS",
         build,
@@ -994,8 +1080,8 @@ fn index_for(
         }
     }
     let t0 = Instant::now();
-    let (plan, ceci, stream) = match run_build(state, graph, query) {
-        Ok(triple) => triple,
+    let (plan, ceci, stream, choice) = match run_build(state, graph, query) {
+        Ok(built) => built,
         Err(()) => return Err(quarantine_after_panic(state, graph_epoch, &canonical)),
     };
     let build = t0.elapsed();
@@ -1007,6 +1093,8 @@ fn index_for(
         bytes: ceci.size_bytes() + stream.as_ref().map_or(0, |s| s.size_bytes()),
         sub_epoch,
         stream,
+        choice,
+        feedback: Mutex::new(None),
     });
     // Collisions keep the *old* entry (LRU decides who survives budget
     // pressure); overwriting would thrash between the two queries.
@@ -1037,7 +1125,7 @@ fn finish_lead(
             guard.fail();
             Err(lines)
         }
-        Ok((plan, ceci, stream)) => {
+        Ok((plan, ceci, stream, choice)) => {
             let build = t0.elapsed();
             record_build(state, &ceci, build);
             let bytes = ceci.size_bytes() + stream.as_ref().map_or(0, |s| s.size_bytes());
@@ -1048,6 +1136,8 @@ fn finish_lead(
                 bytes,
                 sub_epoch,
                 stream,
+                choice,
+                feedback: Mutex::new(None),
             });
             // `complete` inserts internally; sync the server-level
             // eviction counter to the cache's authoritative one.
@@ -1164,6 +1254,7 @@ fn exec_match(
     deadline_ms: Option<u64>,
     workers: Option<usize>,
     raw: bool,
+    exact: bool,
     queue_wait: Duration,
 ) -> Vec<String> {
     let t_start = Instant::now();
@@ -1209,8 +1300,69 @@ fn exec_match(
     };
     let index_time = t_index.elapsed();
 
-    let requested = workers.unwrap_or(state.config.default_match_workers);
+    // Worker count: explicit `WORKERS` wins, then the adaptive planner's
+    // recommendation (sized from estimated volume), then the server default.
+    let requested = workers.unwrap_or_else(|| match index.choice.as_ref() {
+        Some(choice) if !raw => choice.workers.max(state.config.default_match_workers),
+        _ => state.config.default_match_workers,
+    });
     let match_workers = requested.clamp(1, state.config.max_match_workers.max(1));
+
+    // Deadline-aware admission: when the planner's cost estimate (calibrated
+    // by observed feedback when available) says the exact enumeration cannot
+    // finish inside the deadline, degrade to an estimator answer — or refuse
+    // outright — *before* occupying the worker for the full deadline.
+    // `RAW` and `EXACT` both opt out and run the pre-adaptive exact path.
+    if !raw && !exact {
+        if let (Some(ms), Some(choice)) = (deadline_ms, index.choice.as_ref()) {
+            let ns_per_unit = index
+                .feedback
+                .lock()
+                .expect("feedback lock poisoned")
+                .as_ref()
+                .map_or(DEFAULT_NS_PER_UNIT, |f| f.ns_per_unit);
+            let deadline = Duration::from_millis(ms);
+            match admit(&choice.cost, deadline, ns_per_unit, match_workers) {
+                DeadlineVerdict::Exact => {}
+                DeadlineVerdict::Approx => {
+                    let est = estimate_embeddings(
+                        &graph,
+                        &index.plan,
+                        &index.ceci,
+                        &EstimateOptions::default(),
+                    );
+                    ServerMetrics::inc(&state.metrics.approx_answers);
+                    let (lo, hi) = est.ci95();
+                    let total = t_start.elapsed();
+                    state.metrics.match_latency.record(queue_wait + total);
+                    return vec![format!(
+                        "OK MATCH count={} status=OK mode=APPROX mean={:.1} \
+                         std_error={:.1} ci95_lo={:.1} ci95_hi={:.1} walks={} \
+                         cache={cache_tag} build_us={} enum_us=0 total_us={}",
+                        est.mean.round() as u64,
+                        est.mean,
+                        est.std_error,
+                        lo,
+                        hi,
+                        est.walks,
+                        build.as_micros(),
+                        total.as_micros(),
+                    )];
+                }
+                DeadlineVerdict::Infeasible => {
+                    ServerMetrics::inc(&state.metrics.infeasible_rejects);
+                    ServerMetrics::inc(&state.metrics.errors);
+                    return vec![ErrorCode::Infeasible.line(format!(
+                        "estimated intermediate volume {:.0} cannot finish \
+                         inside {ms}ms and the estimate is too noisy for an \
+                         APPROX answer; retry with EXACT, a larger DEADLINE, \
+                         or use ESTIMATE",
+                        choice.cost.volume(),
+                    ))];
+                }
+            }
+        }
+    }
 
     // Shared-prefix batched execution: eligible requests (count-only,
     // single-threaded, no deadline) fork their enumeration from a cached
@@ -1263,19 +1415,60 @@ fn exec_match(
                 }
             }
         }
-        let options = ParallelOptions {
+        // Adaptive execution (skipped for RAW): the planner's estimated
+        // branch profile picks the work-distribution strategy; kernel pins
+        // observed from a prior profiled run of this cached index choose the
+        // intersection kernel per depth. The first unconstrained exact run
+        // profiles itself to populate that feedback. All of it only changes
+        // *how* intersections are computed and work is split — counts stay
+        // bit-identical to the fixed path.
+        let pins: Option<Vec<Kernel>> = if raw {
+            None
+        } else {
+            index
+                .feedback
+                .lock()
+                .expect("feedback lock poisoned")
+                .as_ref()
+                .map(|f| f.depth_kernels.clone())
+        };
+        let need_feedback = !raw
+            && state.config.adaptive
+            && index.choice.is_some()
+            && pins.is_none()
+            && limit.is_none();
+        let mut options = ParallelOptions {
             workers: match_workers,
             limit,
             prune_redundant: state.config.prune_redundant && !raw,
+            profile: need_feedback,
             ..Default::default()
         };
-        let result = enumerate_parallel_cancellable(
+        if let Some(choice) = index.choice.as_ref() {
+            if !raw {
+                options.strategy = choice.strategy;
+            }
+        }
+        let result = enumerate_parallel_pinned(
             &graph,
             &index.plan,
             &index.ceci,
             &options,
             cancel.clone(),
+            pins.as_deref(),
         );
+        if need_feedback && !result.cancelled {
+            if let Some(profile) = &result.profile {
+                let mut slot = index.feedback.lock().expect("feedback lock poisoned");
+                if slot.is_none() {
+                    *slot = Some(PlanFeedback {
+                        depth_kernels: kernels_from_profile(profile),
+                        ns_per_unit: ns_per_unit_from_profile(profile)
+                            .unwrap_or(DEFAULT_NS_PER_UNIT),
+                    });
+                }
+            }
+        }
         (result.total_embeddings, result.cancelled)
     };
     let enum_time = t_enum.elapsed();
@@ -1327,6 +1520,63 @@ fn exec_match(
         );
     }
     lines
+}
+
+/// Answers `ESTIMATE <graph> <query-path> [WALKS <n>]`: runs the
+/// random-walk cardinality estimator over the (cached) index and reports
+/// mean, standard error, and 95% confidence interval without enumerating.
+/// Shares the index cache with MATCH, so estimating then matching pays one
+/// build.
+fn exec_estimate(
+    state: &ServerState,
+    graph_name: &str,
+    query_path: &str,
+    walks: Option<u64>,
+) -> Vec<String> {
+    let t_start = Instant::now();
+    let Some(entry) = state.registry.get(graph_name) else {
+        ServerMetrics::inc(&state.metrics.errors);
+        return vec![ErrorCode::UnknownGraph.line(format!("unknown graph {graph_name:?}"))];
+    };
+    let (graph, sub_epoch) = entry.snapshot();
+    let query = match load_query(query_path) {
+        Ok(q) => q,
+        Err(e) => {
+            ServerMetrics::inc(&state.metrics.errors);
+            return vec![ErrorCode::Query.line(e)];
+        }
+    };
+    // The label-pair filter proves zero without touching the index; answer
+    // the degenerate exact-zero estimate directly.
+    if state.config.admission_filter && admission_check(&query, &graph).rejected() {
+        ServerMetrics::inc(&state.metrics.filter_rejected);
+        return vec![format!(
+            "OK ESTIMATE mean=0.0 std_error=0.0 ci95_lo=0.0 ci95_hi=0.0 \
+             walks=0 exact_zero=1 cache=NONE total_us={}",
+            t_start.elapsed().as_micros(),
+        )];
+    }
+    let (index, cache_tag, _build) = match index_for(state, &entry, &graph, sub_epoch, query) {
+        Ok(built) => built,
+        Err(lines) => return lines,
+    };
+    let mut opts = EstimateOptions::default();
+    if let Some(w) = walks {
+        opts.walks = w.max(1);
+    }
+    let est = estimate_embeddings(&graph, &index.plan, &index.ceci, &opts);
+    let (lo, hi) = est.ci95();
+    vec![format!(
+        "OK ESTIMATE mean={:.1} std_error={:.1} ci95_lo={:.1} ci95_hi={:.1} \
+         walks={} exact_zero={} cache={cache_tag} total_us={}",
+        est.mean,
+        est.std_error,
+        lo,
+        hi,
+        est.walks,
+        est.exact_zero as u8,
+        t_start.elapsed().as_micros(),
+    )]
 }
 
 /// Stage durations of one data-plane request, measured on the worker.
@@ -1405,6 +1655,13 @@ fn exec_explain(
     let report = ceci_core::explain_plan(&index.plan, &graph);
     let mut lines: Vec<String> = report.lines().map(|l| format!("| {l}")).collect();
     lines.push(format!("| index: bytes={} cache={cache_tag}", index.bytes));
+    // Plan-choice section: which candidate orders the adaptive planner
+    // scored, the winner's estimated cost, and the execution decision.
+    if let Some(choice) = index.choice.as_ref() {
+        for l in explain_choice(choice).lines() {
+            lines.push(format!("| {l}"));
+        }
+    }
     if analyze {
         // EXPLAIN ANALYZE: run the enumeration with a per-depth profile
         // attached and append the profile table. Single worker so the
@@ -1422,6 +1679,13 @@ fn exec_explain(
         let table = ceci_core::explain_profile(&index.plan, &profile, &result.counters);
         for l in table.lines() {
             lines.push(format!("| {l}"));
+        }
+        // Estimated vs actual per-depth volumes (q-error column): how well
+        // the planner's cost model predicted this execution.
+        if let Some(choice) = index.choice.as_ref() {
+            for l in explain_estimates(&index.plan, &choice.cost, &profile).lines() {
+                lines.push(format!("| {l}"));
+            }
         }
     }
     lines.push("OK EXPLAIN".to_string());

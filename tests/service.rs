@@ -231,9 +231,11 @@ fn deadline_returns_partial_count_in_bounded_time() {
         .unwrap();
     assert!(warm.is_ok(), "warmup failed: {}", warm.terminal);
 
+    // EXACT opts out of deadline-aware degradation, so the request runs
+    // the exact enumeration and gets cancelled mid-flight.
     let t0 = Instant::now();
     let resp = client
-        .request(&format!("MATCH g {query_path} DEADLINE 1"))
+        .request(&format!("MATCH g {query_path} DEADLINE 1 EXACT"))
         .unwrap();
     let elapsed = t0.elapsed();
     assert!(resp.is_ok(), "deadline response: {}", resp.terminal);
@@ -242,6 +244,30 @@ fn deadline_returns_partial_count_in_bounded_time() {
     assert!(
         elapsed < Duration::from_secs(5),
         "deadline response took {elapsed:?}"
+    );
+
+    // Without EXACT the adaptive layer answers the same hopeless deadline
+    // from the estimator (or refuses), never burning the full deadline on
+    // a worker: either way no DEADLINE_EXCEEDED partial count.
+    let t0 = Instant::now();
+    let resp = client
+        .request(&format!("MATCH g {query_path} DEADLINE 1"))
+        .unwrap();
+    let elapsed = t0.elapsed();
+    if resp.is_ok() {
+        assert_eq!(resp.field("mode"), Some("APPROX"), "{}", resp.terminal);
+        assert!(resp.field("mean").is_some());
+        assert!(resp.field("ci95_lo").is_some());
+    } else {
+        assert!(
+            resp.terminal.starts_with("ERR E_INFEASIBLE"),
+            "{}",
+            resp.terminal
+        );
+    }
+    assert!(
+        elapsed < Duration::from_secs(5),
+        "degraded response took {elapsed:?}"
     );
     handle.shutdown();
 }
@@ -386,7 +412,7 @@ fn stats_prom_emits_valid_exposition_format() {
     let summary = ceci_trace::prom::validate(&text)
         .unwrap_or_else(|e| panic!("invalid Prometheus exposition: {e}\n{text}"));
     assert!(summary.families >= 20, "families: {}", summary.families);
-    assert_eq!(summary.histograms, 5, "latency histogram families");
+    assert_eq!(summary.histograms, 6, "latency histogram families");
 
     let samples = ceci_trace::prom::parse(&text).unwrap();
     let value = |name: &str| {
@@ -399,6 +425,18 @@ fn stats_prom_emits_valid_exposition_format() {
     assert_eq!(value("ceci_load_requests_total"), Some(1.0));
     assert_eq!(value("ceci_cache_misses_total"), Some(1.0));
     assert_eq!(value("ceci_graphs_loaded"), Some(1.0));
+    // Adaptive-execution counters are exported (zero is fine — nothing
+    // degraded here) and the planner scored exactly one cache-miss build.
+    assert_eq!(value("ceci_approx_answers_total"), Some(0.0));
+    assert_eq!(value("ceci_infeasible_rejects_total"), Some(0.0));
+    assert!(value("ceci_adaptive_replans_total").is_some());
+    assert_eq!(
+        samples
+            .iter()
+            .find(|s| s.name == "ceci_plan_score_us_count")
+            .map(|s| s.value),
+        Some(1.0)
+    );
     // The match latency histogram observed exactly one request.
     assert_eq!(
         samples
@@ -1093,5 +1131,161 @@ fn reload_drops_continuous_registrations() {
         client.take_events().is_empty(),
         "stale registration survived a reload"
     );
+    handle.shutdown();
+}
+
+#[test]
+fn estimate_verb_reports_interval_and_shares_cache() {
+    let scratch = Scratch::new("estimate");
+    let graph = small_graph();
+    let pattern = query_from(&graph, 4, 31);
+    let expected = direct_count(&graph, &pattern);
+    let graph_path = scratch.write_graph("data.graph", &graph);
+    let query_path = scratch.write_graph("query.graph", &pattern);
+
+    let (handle, state) = serve(ServeConfig::default());
+    let mut client = Client::connect(handle.addr()).unwrap();
+    client.request(&format!("LOAD g {graph_path}")).unwrap();
+
+    // ESTIMATE builds (and caches) the index, then answers from walks.
+    let resp = client.request(&format!("ESTIMATE g {query_path}")).unwrap();
+    assert!(resp.is_ok(), "{}", resp.terminal);
+    assert!(
+        resp.terminal.starts_with("OK ESTIMATE"),
+        "{}",
+        resp.terminal
+    );
+    let mean: f64 = resp.field("mean").unwrap().parse().unwrap();
+    let lo: f64 = resp.field("ci95_lo").unwrap().parse().unwrap();
+    let hi: f64 = resp.field("ci95_hi").unwrap().parse().unwrap();
+    assert!(resp.field("std_error").is_some());
+    assert_eq!(resp.field("exact_zero"), Some("0"));
+    assert_eq!(resp.field_u64("walks"), Some(1000), "server default budget");
+    assert!(mean >= 0.0 && lo >= 0.0 && lo <= hi, "{}", resp.terminal);
+    // Sanity, not statistics (the estimator's accuracy has its own
+    // proptest suite): the estimate is the right order of magnitude.
+    assert!(
+        mean <= 100.0 * (expected as f64).max(1.0) + 100.0,
+        "mean {mean} vs exact {expected}"
+    );
+    assert_eq!(state.cache.len(), 1, "ESTIMATE must populate the cache");
+
+    // WALKS override round-trips.
+    let resp = client
+        .request(&format!("ESTIMATE g {query_path} WALKS 200"))
+        .unwrap();
+    assert_eq!(resp.field_u64("walks"), Some(200));
+    assert_eq!(resp.field("cache"), Some("HIT"));
+
+    // A later MATCH reuses the same entry: one build for both verbs.
+    let resp = client.request(&format!("MATCH g {query_path}")).unwrap();
+    assert_eq!(resp.field_u64("count"), Some(expected));
+    assert_eq!(resp.field("cache"), Some("HIT"));
+
+    // A query whose label cannot occur is answered exact-zero by the
+    // admission filter without touching the index cache.
+    let mut qb = ceci_graph::GraphBuilder::new();
+    let a = qb.add_vertex(ceci_graph::LabelId(9));
+    let b = qb.add_vertex(ceci_graph::LabelId(9));
+    qb.add_edge(a, b);
+    let zero_path = scratch.write_graph("zero.graph", &qb.build());
+    let resp = client.request(&format!("ESTIMATE g {zero_path}")).unwrap();
+    assert!(resp.is_ok(), "{}", resp.terminal);
+    assert_eq!(resp.field("exact_zero"), Some("1"));
+    assert_eq!(resp.field("mean"), Some("0.0"));
+    assert_eq!(resp.field("cache"), Some("NONE"));
+    handle.shutdown();
+}
+
+#[test]
+fn adaptive_counts_bit_identical_to_raw_and_fixed() {
+    let scratch = Scratch::new("adaptive-diff");
+    let graph = small_graph();
+    let graph_path = scratch.write_graph("data.graph", &graph);
+
+    let (handle, _state) = serve(ServeConfig::default());
+    let (fixed_handle, _fixed_state) = serve(ServeConfig {
+        adaptive: false,
+        ..ServeConfig::default()
+    });
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let mut fixed = Client::connect(fixed_handle.addr()).unwrap();
+    client.request(&format!("LOAD g {graph_path}")).unwrap();
+    fixed.request(&format!("LOAD g {graph_path}")).unwrap();
+
+    for (size, seed) in [(3, 41), (4, 42), (5, 43), (6, 44)] {
+        let pattern = query_from(&graph, size, seed);
+        let expected = direct_count(&graph, &pattern);
+        let query_path = scratch.write_graph(&format!("q{size}-{seed}.graph"), &pattern);
+        // Adaptive plan, first (profiled) run.
+        let first = client.request(&format!("MATCH g {query_path}")).unwrap();
+        // Second run exercises the pinned-kernel feedback path.
+        let second = client.request(&format!("MATCH g {query_path}")).unwrap();
+        // RAW bypasses every adaptive execution decision.
+        let raw = client
+            .request(&format!("MATCH g {query_path} RAW"))
+            .unwrap();
+        // And a --no-adaptive server plans fixed BFS.
+        let base = fixed.request(&format!("MATCH g {query_path}")).unwrap();
+        for (tag, resp) in [
+            ("first", &first),
+            ("second", &second),
+            ("raw", &raw),
+            ("fixed", &base),
+        ] {
+            assert_eq!(
+                resp.field_u64("count"),
+                Some(expected),
+                "{tag} run of q{size}-{seed}: {}",
+                resp.terminal
+            );
+        }
+    }
+    handle.shutdown();
+    fixed_handle.shutdown();
+}
+
+#[test]
+fn explain_shows_plan_choice_and_estimate_accuracy() {
+    let scratch = Scratch::new("explain-choice");
+    let graph = small_graph();
+    let pattern = query_from(&graph, 4, 37);
+    let graph_path = scratch.write_graph("data.graph", &graph);
+    let query_path = scratch.write_graph("query.graph", &pattern);
+
+    let (handle, _state) = serve(ServeConfig::default());
+    let mut client = Client::connect(handle.addr()).unwrap();
+    client.request(&format!("LOAD g {graph_path}")).unwrap();
+
+    let resp = client
+        .request(&format!("EXPLAIN g {query_path} ANALYZE"))
+        .unwrap();
+    assert_eq!(resp.terminal, "OK EXPLAIN");
+    let has = |needle: &str| resp.payload.iter().any(|l| l.contains(needle));
+    assert!(
+        has("plan choice:"),
+        "missing choice section: {:?}",
+        resp.payload
+    );
+    assert!(has("chosen=1"), "no candidate marked chosen");
+    assert!(has("exec: strategy="), "missing execution decision");
+    assert!(has("kernels: d0="), "missing kernel pins");
+    assert!(has("estimate depth="), "missing est-vs-actual table");
+    assert!(has("qerr="), "missing q-error column");
+
+    // A --no-adaptive server omits the section entirely.
+    let (fixed_handle, _s) = serve(ServeConfig {
+        adaptive: false,
+        ..ServeConfig::default()
+    });
+    let mut fixed = Client::connect(fixed_handle.addr()).unwrap();
+    fixed.request(&format!("LOAD g {graph_path}")).unwrap();
+    let resp = fixed.request(&format!("EXPLAIN g {query_path}")).unwrap();
+    assert_eq!(resp.terminal, "OK EXPLAIN");
+    assert!(
+        !resp.payload.iter().any(|l| l.contains("plan choice:")),
+        "--no-adaptive must not report a plan choice"
+    );
+    fixed_handle.shutdown();
     handle.shutdown();
 }
