@@ -54,6 +54,11 @@ EXPERIMENTS:
                         redundant-extension pruning on vs off — asserts
                         bit-identical counts and writes
                         bench_results/multiquery.json
+    shard               Multi-process sharded serving sweep: real ceci-shard
+                        processes under SIGKILL / stall / kill+restart —
+                        asserts bit-identical counts vs the single-process
+                        oracle, reports recovery makespan inflation, and
+                        writes bench_results/shard.json
     stream              SMFresh-style temporal batch sweep: incremental
                         index maintenance (patch + delta) vs from-scratch
                         rebuild at every batch boundary — asserts
@@ -179,6 +184,7 @@ fn dispatch(
         "physical" => experiments::physical::run(scale),
         "faults" => experiments::faults::run(scale),
         "multiquery" => experiments::multiquery::run(scale),
+        "shard" => experiments::shard::run(scale),
         "stream" => experiments::stream::run(scale),
         "trace" => experiments::trace::run(scale),
         "all" => {
@@ -237,6 +243,10 @@ const ALL_EXPERIMENTS: &[(&str, Runner)] = &[
     (
         "Multi-query throughput: filter/single-flight/batching/pruning",
         experiments::multiquery::run,
+    ),
+    (
+        "Sharded serving: cross-process fault recovery",
+        experiments::shard::run,
     ),
     (
         "Streaming maintenance: incremental vs rebuild",

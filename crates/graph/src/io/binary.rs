@@ -148,6 +148,271 @@ pub fn load_binary(path: impl AsRef<Path>) -> Result<Graph> {
     attempt().map_err(|e| e.in_file(path))
 }
 
+/// A read-only `mmap(2)` of a whole file, unmapped on drop.
+///
+/// The mapping is `MAP_PRIVATE` + `PROT_READ`: the kernel pages bytes in on
+/// demand and evicts them under memory pressure, so a [`MappedCsr`] view
+/// over this serves graph files larger than RAM.
+#[derive(Debug)]
+pub struct Mmap {
+    ptr: *mut libc::c_void,
+    len: usize,
+}
+
+// A read-only mapping has no interior mutability; sharing the raw pointer
+// across threads is sound.
+unsafe impl Send for Mmap {}
+unsafe impl Sync for Mmap {}
+
+impl Mmap {
+    /// Maps `path` read-only in its entirety. Zero-length files cannot be
+    /// mapped on Linux and are rejected with a format error (the graph
+    /// format always has at least a header).
+    pub fn map(path: impl AsRef<Path>) -> Result<Mmap> {
+        use std::os::unix::io::AsRawFd;
+        let file = std::fs::File::open(path.as_ref())?;
+        let len = file.metadata()?.len() as usize;
+        if len == 0 {
+            return Err(GraphError::Format("cannot mmap an empty file".into()));
+        }
+        let ptr = unsafe {
+            libc::mmap(
+                std::ptr::null_mut(),
+                len,
+                libc::PROT_READ,
+                libc::MAP_PRIVATE,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if ptr == libc::MAP_FAILED {
+            return Err(GraphError::Format(format!(
+                "mmap failed: {}",
+                std::io::Error::last_os_error()
+            )));
+        }
+        // The fd can close now; the mapping keeps the pages alive.
+        Ok(Mmap { ptr, len })
+    }
+
+    /// The mapped bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        unsafe { std::slice::from_raw_parts(self.ptr as *const u8, self.len) }
+    }
+
+    /// Mapping length in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when the mapping is empty (never constructed; kept for API
+    /// completeness).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl Drop for Mmap {
+    fn drop(&mut self) {
+        unsafe {
+            libc::munmap(self.ptr, self.len);
+        }
+    }
+}
+
+/// Section layout of a `CECIGRF1` file, in byte offsets from the start.
+///
+/// The header is 28 bytes (magic 8 + flags 4 + n 8 + m2 8), so the offsets
+/// section is 4-aligned but *not* 8-aligned — `u64` reads there go through
+/// [`u64::from_le_bytes`] on byte slices instead of casting to `&[u64]`.
+/// Every later section stays 4-aligned, so `&[u32]` views are zero-copy.
+#[derive(Debug)]
+struct Sections {
+    offsets_at: usize,
+    nbrs_at: usize,
+    lsizes_at: usize,
+    labels_at: usize,
+}
+
+/// A zero-copy CSR view over a memory-mapped `CECIGRF1` file.
+///
+/// Header and section bounds are validated once at open; neighbor lists and
+/// per-vertex label slices read straight out of the mapping. This is the
+/// out-of-core substrate for `ceci-shard`: a shard extracts per-pivot
+/// fragments from this view without ever materializing the full graph in
+/// heap memory.
+#[derive(Debug)]
+pub struct MappedCsr {
+    map: Mmap,
+    directed: bool,
+    n: usize,
+    m2: usize,
+    sections: Sections,
+    /// Prefix sums of per-vertex label counts (`n + 1` entries), computed
+    /// once at open — O(n) `usize`s, the only heap the view owns.
+    label_offsets: Vec<usize>,
+}
+
+impl MappedCsr {
+    /// Maps and validates a binary graph file.
+    pub fn open(path: impl AsRef<Path>) -> Result<MappedCsr> {
+        let path = path.as_ref();
+        Self::from_map(Mmap::map(path)?).map_err(|e| e.in_file(path))
+    }
+
+    fn from_map(map: Mmap) -> Result<MappedCsr> {
+        let bytes = map.as_bytes();
+        let need = |at: usize, len: usize| -> Result<()> {
+            if at.checked_add(len).map_or(true, |end| end > bytes.len()) {
+                return Err(GraphError::Format(format!(
+                    "file truncated: need {len} bytes at offset {at}, have {}",
+                    bytes.len()
+                )));
+            }
+            Ok(())
+        };
+        need(0, 28)?;
+        if &bytes[..8] != MAGIC {
+            return Err(GraphError::Format(format!(
+                "bad magic {:?}, expected {:?}",
+                &bytes[..8],
+                MAGIC
+            )));
+        }
+        let flags = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+        let n = u64::from_le_bytes(bytes[12..20].try_into().expect("8 bytes")) as usize;
+        let m2 = u64::from_le_bytes(bytes[20..28].try_into().expect("8 bytes")) as usize;
+        let offsets_at = 28;
+        let nbrs_at = offsets_at + (n + 1) * 8;
+        need(offsets_at, (n + 1) * 8)?;
+        need(nbrs_at, m2 * 4)?;
+        let nlabels_at = nbrs_at + m2 * 4;
+        need(nlabels_at, 8)?;
+        let total_labels = u64::from_le_bytes(
+            bytes[nlabels_at..nlabels_at + 8]
+                .try_into()
+                .expect("8 bytes"),
+        ) as usize;
+        let lsizes_at = nlabels_at + 8;
+        need(lsizes_at, n * 4)?;
+        let labels_at = lsizes_at + n * 4;
+        need(labels_at, total_labels * 4)?;
+        let sections = Sections {
+            offsets_at,
+            nbrs_at,
+            lsizes_at,
+            labels_at,
+        };
+        let csr = MappedCsr {
+            map,
+            directed: flags & 1 != 0,
+            n,
+            m2,
+            sections,
+            label_offsets: Vec::new(),
+        };
+        if csr.offset(0) != 0 || csr.offset(n) != m2 {
+            return Err(GraphError::Format(
+                "offset array inconsistent with adjacency length".into(),
+            ));
+        }
+        let mut label_offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0usize;
+        label_offsets.push(0);
+        for v in 0..n {
+            acc += csr.read_u32(csr.sections.lsizes_at + v * 4) as usize;
+            label_offsets.push(acc);
+        }
+        if acc != total_labels {
+            return Err(GraphError::Format("label counts inconsistent".into()));
+        }
+        Ok(MappedCsr {
+            label_offsets,
+            ..csr
+        })
+    }
+
+    #[inline]
+    fn read_u32(&self, at: usize) -> u32 {
+        u32::from_le_bytes(self.map.as_bytes()[at..at + 4].try_into().expect("4 bytes"))
+    }
+
+    /// Vertex count.
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Undirected edge count (adjacency entries / 2).
+    pub fn num_edges(&self) -> usize {
+        self.m2 / 2
+    }
+
+    /// Directed-provenance flag.
+    pub fn is_directed_input(&self) -> bool {
+        self.directed
+    }
+
+    /// Adjacency offset of vertex `v` (valid for `v <= n`). The offsets
+    /// section starts 28 bytes in — 4-aligned, not 8-aligned — so this is a
+    /// byte-slice decode, never an aligned `u64` load.
+    #[inline]
+    pub fn offset(&self, v: usize) -> usize {
+        let at = self.sections.offsets_at + v * 8;
+        u64::from_le_bytes(self.map.as_bytes()[at..at + 8].try_into().expect("8 bytes")) as usize
+    }
+
+    /// Zero-copy neighbor slice of vertex `v`, straight out of the mapping.
+    #[inline]
+    pub fn neighbors(&self, v: u32) -> &[u32] {
+        let lo = self.offset(v as usize);
+        let hi = self.offset(v as usize + 1);
+        let at = self.sections.nbrs_at + lo * 4;
+        let bytes = &self.map.as_bytes()[at..at + (hi - lo) * 4];
+        // The neighbor section begins at 28 + (n+1)*8, a multiple of 4, and
+        // the mapping itself is page-aligned, so the u32 view is aligned.
+        debug_assert_eq!(bytes.as_ptr() as usize % std::mem::align_of::<u32>(), 0);
+        unsafe { std::slice::from_raw_parts(bytes.as_ptr() as *const u32, hi - lo) }
+    }
+
+    /// Raw label ids of vertex `v` (sorted as written).
+    #[inline]
+    pub fn label_ids(&self, v: u32) -> &[u32] {
+        let lo = self.label_offsets[v as usize];
+        let hi = self.label_offsets[v as usize + 1];
+        let at = self.sections.labels_at + lo * 4;
+        let bytes = &self.map.as_bytes()[at..at + (hi - lo) * 4];
+        debug_assert_eq!(bytes.as_ptr() as usize % std::mem::align_of::<u32>(), 0);
+        unsafe { std::slice::from_raw_parts(bytes.as_ptr() as *const u32, hi - lo) }
+    }
+
+    /// The label set of vertex `v` (materialized).
+    pub fn label_set(&self, v: u32) -> LabelSet {
+        LabelSet::from_labels(self.label_ids(v).iter().map(|&l| LabelId(l)))
+    }
+
+    /// Materializes the whole view into a heap [`Graph`] — identical to
+    /// [`read_binary`] on the same file (the mmap-vs-heap differential).
+    pub fn to_graph(&self) -> Graph {
+        let mut edges = Vec::with_capacity(self.m2 / 2);
+        for v in 0..self.n as u32 {
+            for &nb in self.neighbors(v) {
+                if v < nb {
+                    edges.push((VertexId(v), VertexId(nb)));
+                }
+            }
+        }
+        let labels = (0..self.n as u32).map(|v| self.label_set(v)).collect();
+        Graph::new(labels, &edges, self.directed)
+    }
+}
+
+/// Loads a binary graph file through `mmap` and materializes it. Exists
+/// mainly as the differential lever for [`MappedCsr`]; callers that want
+/// out-of-core access keep the [`MappedCsr`] instead.
+pub fn load_binary_mmap(path: impl AsRef<Path>) -> Result<Graph> {
+    Ok(MappedCsr::open(path)?.to_graph())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -217,5 +482,72 @@ mod tests {
         let g2 = read_binary(&buf[..]).unwrap();
         assert_eq!(g2.num_vertices(), 0);
         assert_eq!(g2.num_edges(), 0);
+    }
+
+    fn scratch(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("ceci_graph_mmap_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn mmap_view_matches_heap_reader() {
+        let core = crate::generators::kronecker_default(7, 5, 11);
+        let g = crate::generators::attach_pendants(&core, 40, 12);
+        let path = scratch("diff.ceci");
+        save_binary(&g, &path).unwrap();
+        let heap = load_binary(&path).unwrap();
+        let mapped = MappedCsr::open(&path).unwrap();
+        assert_eq!(mapped.num_vertices(), heap.num_vertices());
+        assert_eq!(mapped.num_edges(), heap.num_edges());
+        assert_eq!(mapped.is_directed_input(), heap.is_directed_input());
+        for v in heap.vertices() {
+            let nbrs: Vec<u32> = heap.neighbors(v).iter().map(|n| n.0).collect();
+            assert_eq!(mapped.neighbors(v.0), &nbrs[..], "neighbors of {v:?}");
+            assert_eq!(mapped.label_set(v.0), *heap.labels(v), "labels of {v:?}");
+        }
+        // Full materialization path too.
+        let g2 = load_binary_mmap(&path).unwrap();
+        assert_eq!(g2.num_edges(), heap.num_edges());
+        for v in heap.vertices() {
+            assert_eq!(g2.neighbors(v), heap.neighbors(v));
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mmap_rejects_corrupt_files() {
+        let g = sample();
+        let path = scratch("bad.ceci");
+
+        // Truncated mid-section.
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        std::fs::write(&path, &buf[..buf.len() - 3]).unwrap();
+        assert!(MappedCsr::open(&path).is_err());
+
+        // Bad magic.
+        let mut bad = buf.clone();
+        bad[0] = b'X';
+        std::fs::write(&path, &bad).unwrap();
+        let err = MappedCsr::open(&path).unwrap_err();
+        assert!(err.to_string().contains("bad magic"), "{err}");
+
+        // Empty file (unmappable).
+        std::fs::write(&path, b"").unwrap();
+        assert!(MappedCsr::open(&path).is_err());
+
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mmap_directed_flag_roundtrips() {
+        let g = sample(); // built with .directed()
+        let path = scratch("directed.ceci");
+        save_binary(&g, &path).unwrap();
+        let mapped = MappedCsr::open(&path).unwrap();
+        assert!(mapped.is_directed_input());
+        assert!(mapped.to_graph().is_directed_input());
+        std::fs::remove_file(&path).ok();
     }
 }

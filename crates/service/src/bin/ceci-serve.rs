@@ -22,6 +22,18 @@
 //!                        E_INFEASIBLE degradation, no kernel pinning)
 //!   --preload NAME=FILE  LOAD a labeled graph before accepting connections
 //!                        (repeatable)
+//!   --io-timeout-ms N    per-connection socket read/write timeout
+//!                        (default 30000; 0 disables); connections idle
+//!                        past it close with ERR E_TIMEOUT unless they
+//!                        hold a REGISTERed continuous query
+//!   --shard ADDR         coordinator mode: scatter plain MATCH requests
+//!                        across this ceci-shard process (repeatable);
+//!                        all shards are probed at startup and the server
+//!                        refuses to start (typed E_SHARD error, exit 1)
+//!                        if any stays unreachable past the retry budget
+//!   --shard-timeout-ms N per-RPC socket timeout toward shards (default 5000)
+//!   --shard-retries N    reconnect attempts before a shard is declared
+//!                        dead and its pivots re-scatter (default 3)
 //!   --chaos              enable the CHAOS fault-injection verb (testing
 //!                        only; without it CHAOS answers E_CHAOS_DISABLED)
 //!   --trace              record service.request stage spans (queue wait /
@@ -45,7 +57,8 @@ fn usage() -> ! {
          [--cache-mb N] [--match-workers N] [--max-match-workers N] \
          [--build-threads N] [--compact-threshold N] [--dirty-log-cap N] \
          [--no-stream-repair] [--no-adaptive] [--preload NAME=FILE]... \
-         [--chaos] [--trace]"
+         [--io-timeout-ms N] [--shard ADDR]... [--shard-timeout-ms N] \
+         [--shard-retries N] [--chaos] [--trace]"
     );
     exit(2)
 }
@@ -75,6 +88,16 @@ fn main() {
             "--compact-threshold" => config.compact_threshold = num(&mut i).max(1),
             "--dirty-log-cap" => config.dirty_log_cap = num(&mut i).max(1),
             "--no-stream-repair" => config.stream_repair = false,
+            "--io-timeout-ms" => {
+                config.io_timeout_ms = value(&mut i).parse().unwrap_or_else(|_| usage())
+            }
+            "--shard" => config.shards.push(value(&mut i)),
+            "--shard-timeout-ms" => {
+                config.shard_io_timeout_ms = value(&mut i).parse().unwrap_or_else(|_| usage())
+            }
+            "--shard-retries" => {
+                config.shard_retries = value(&mut i).parse().unwrap_or_else(|_| usage())
+            }
             "--no-adaptive" => config.adaptive = false,
             "--chaos" => config.chaos = true,
             "--trace" => config.trace = true,
@@ -108,6 +131,17 @@ fn main() {
                 exit(1);
             }
         }
+    }
+
+    // Coordinator mode: refuse to serve behind an unreachable shard. Each
+    // configured address is probed with the full retry budget; a shard that
+    // never answers produces a typed E_SHARD error and exit 1 — not a panic.
+    if let Some(shards) = state.shards() {
+        if let Err(e) = ceci_service::validate_shards(shards, &state.coord_config()) {
+            eprintln!("error: {e}");
+            exit(1);
+        }
+        eprintln!("coordinator mode: {} shard(s) reachable", shards.len());
     }
 
     let handle = match start_with_state(state) {

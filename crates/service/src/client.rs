@@ -118,8 +118,9 @@ impl RetryPolicy {
 
 /// Is this transport error worth a reconnect-and-retry? Resets, broken
 /// pipes, aborts, and mid-response EOF are what server-side worker crashes
-/// and restarts look like from the client; anything else (refused, bad
-/// address) is not transient.
+/// and restarts look like from the client; read/write timeouts are what a
+/// stalled peer looks like (`TimedOut` or `WouldBlock` depending on
+/// platform); anything else (refused, bad address) is not transient.
 fn transient_io_error(e: &std::io::Error) -> bool {
     matches!(
         e.kind(),
@@ -127,6 +128,8 @@ fn transient_io_error(e: &std::io::Error) -> bool {
             | std::io::ErrorKind::BrokenPipe
             | std::io::ErrorKind::ConnectionAborted
             | std::io::ErrorKind::UnexpectedEof
+            | std::io::ErrorKind::TimedOut
+            | std::io::ErrorKind::WouldBlock
     )
 }
 
@@ -147,6 +150,8 @@ pub struct Client {
     writer: BufWriter<TcpStream>,
     /// Resolved peer address, kept for reconnects.
     peer: SocketAddr,
+    /// Read/write timeout applied to the socket; survives reconnects.
+    io_timeout: Option<Duration>,
     /// `EVENT ...` pushes received so far and not yet taken. The server may
     /// interleave them between responses on a connection with `REGISTER`ed
     /// continuous queries; `request` stashes them here instead of treating
@@ -158,14 +163,49 @@ impl Client {
     /// Connects to a running `ceci-serve`.
     pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
         let stream = TcpStream::connect(addr)?;
+        Client::from_stream(stream)
+    }
+
+    /// Connects with a bound on the TCP handshake itself — a down-but-
+    /// routable peer fails in `timeout` instead of the OS connect default
+    /// (minutes). The address must resolve; the first resolved address is
+    /// dialed.
+    pub fn connect_with_timeout(
+        addr: impl ToSocketAddrs,
+        timeout: Duration,
+    ) -> std::io::Result<Client> {
+        let resolved = addr.to_socket_addrs()?.next().ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "address resolved to nothing",
+            )
+        })?;
+        let stream = TcpStream::connect_timeout(&resolved, timeout)?;
+        Client::from_stream(stream)
+    }
+
+    fn from_stream(stream: TcpStream) -> std::io::Result<Client> {
         stream.set_nodelay(true).ok();
         let peer = stream.peer_addr()?;
         Ok(Client {
             reader: BufReader::new(stream.try_clone()?),
             writer: BufWriter::new(stream),
             peer,
+            io_timeout: None,
             events: Vec::new(),
         })
+    }
+
+    /// Sets (or clears, with `None`) the socket read/write timeout. A peer
+    /// that accepts but never answers — stalled worker, half-open socket —
+    /// then surfaces as `TimedOut`/`WouldBlock` instead of hanging the
+    /// caller forever. The setting survives [`Client::reconnect`].
+    pub fn set_io_timeout(&mut self, timeout: Option<Duration>) -> std::io::Result<()> {
+        let stream = self.reader.get_ref();
+        stream.set_read_timeout(timeout)?;
+        stream.set_write_timeout(timeout)?;
+        self.io_timeout = timeout;
+        Ok(())
     }
 
     /// `EVENT` lines received so far and not yet [taken](Client::take_events).
@@ -207,7 +247,11 @@ impl Client {
     /// events survive the reconnect; server-side continuous registrations
     /// bound to the old connection do not (their sink is gone).
     pub fn reconnect(&mut self) -> std::io::Result<()> {
-        let mut fresh = Client::connect(self.peer)?;
+        let mut fresh = match self.io_timeout {
+            Some(t) => Client::connect_with_timeout(self.peer, t)?,
+            None => Client::connect(self.peer)?,
+        };
+        fresh.set_io_timeout(self.io_timeout)?;
         fresh.events = std::mem::take(&mut self.events);
         *self = fresh;
         Ok(())
@@ -482,6 +526,8 @@ mod tests {
             ErrorKind::BrokenPipe,
             ErrorKind::ConnectionAborted,
             ErrorKind::UnexpectedEof,
+            ErrorKind::TimedOut,
+            ErrorKind::WouldBlock,
         ] {
             assert!(transient_io_error(&Error::new(kind, "x")), "{kind:?}");
         }

@@ -1,0 +1,895 @@
+//! Coordinator side of multi-process sharded serving: scatter a query's
+//! pivots across `ceci-shard` processes, steal work from idle shards, and
+//! recover from shard death/stalls without ever changing the answer.
+//!
+//! ## Protocol
+//!
+//! Each shard driver (one thread per shard) holds one connection. After
+//! every (re)connect it re-sends `PREPARE` (idempotent) pinning the
+//! coordinator's full-graph plan decisions, then loops: claim a pivot on
+//! the result board, `EXEC <name> <pivot> <epoch>`, commit the count.
+//!
+//! ## Recovery invariant
+//!
+//! The total is `Σ` per-pivot committed counts, and each pivot's count is a
+//! pure function of `(graph, plan, pivot)` — independent of *which* shard
+//! executes it or how many times. The [`ResultBoard`] makes commits
+//! exactly-once (first commit wins; stale epochs are rejected), so any
+//! schedule of kills, stalls, restarts, steals, and speculative
+//! re-executions produces the bit-identical total of a single-process run.
+//!
+//! * A driver whose RPC fails transiently retries with capped exponential
+//!   backoff ([`RetryPolicy`]) after reconnecting.
+//! * A driver that exhausts its attempt budget declares its shard dead:
+//!   the shard's uncommitted pivots are *re-scattered* to survivors with a
+//!   bumped ownership epoch, so a zombie commit under the old epoch is
+//!   rejected. The driver then keeps trying to rejoin at a slow cadence —
+//!   a restarted shard process is re-adopted automatically.
+//! * Idle drivers steal queued pivots from the longest queue and
+//!   speculatively re-execute other shards' in-flight pivots (each at most
+//!   once per driver); first commit wins either way.
+//! * If every shard is dead — or a hard wall-clock passes — the
+//!   coordinator executes the remaining pivots locally on the full graph.
+
+use std::collections::{HashSet, VecDeque};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use ceci_core::metrics::Counters;
+use ceci_core::sink::CountSink;
+use ceci_core::{BuildOptions, Ceci, EnumOptions, Enumerator};
+use ceci_distributed::{distribute_pivots, ClusterConfig};
+use ceci_graph::{Graph, VertexId};
+use ceci_query::QueryPlan;
+
+use crate::client::{Client, RetryPolicy};
+use crate::protocol::ErrorCode;
+
+/// Owner id used by the coordinator's local-fallback execution.
+const LOCAL_OWNER: usize = usize::MAX - 1;
+/// Owner id of an unclaimed slot.
+const NO_OWNER: usize = usize::MAX;
+
+/// Per-pivot slot on the result board.
+#[derive(Debug)]
+struct PivotSlot {
+    pivot: VertexId,
+    /// Ownership epoch; bumped on re-scatter so a dead shard's late commit
+    /// is recognizably stale.
+    epoch: u32,
+    owner: usize,
+    claimed: bool,
+    committed: Option<u64>,
+}
+
+/// First-commit-wins, epoch-guarded pivot result board — the cross-process
+/// port of the in-process simulator's exactly-once board.
+#[derive(Debug)]
+pub struct ResultBoard {
+    slots: Vec<Mutex<PivotSlot>>,
+    /// Pivot → slot index (pivots are sorted; binary search).
+    pivots: Vec<VertexId>,
+    remaining: AtomicUsize,
+    /// Commits rejected as stale (wrong epoch) or duplicate.
+    stale_rejected: AtomicU64,
+}
+
+impl ResultBoard {
+    /// A board over `pivots` (deduplicated, sorted internally).
+    pub fn new(pivots: &[VertexId]) -> ResultBoard {
+        let mut sorted: Vec<VertexId> = pivots.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let slots = sorted
+            .iter()
+            .map(|&p| {
+                Mutex::new(PivotSlot {
+                    pivot: p,
+                    epoch: 0,
+                    owner: NO_OWNER,
+                    claimed: false,
+                    committed: None,
+                })
+            })
+            .collect();
+        ResultBoard {
+            remaining: AtomicUsize::new(sorted.len()),
+            pivots: sorted,
+            slots,
+            stale_rejected: AtomicU64::new(0),
+        }
+    }
+
+    fn slot(&self, pivot: VertexId) -> Option<&Mutex<PivotSlot>> {
+        self.pivots
+            .binary_search(&pivot)
+            .ok()
+            .map(|i| &self.slots[i])
+    }
+
+    /// Uncommitted pivots (committed slots never reappear).
+    pub fn remaining(&self) -> usize {
+        self.remaining.load(Ordering::SeqCst)
+    }
+
+    /// Commits rejected for a stale epoch or an already-committed slot.
+    pub fn stale_rejected(&self) -> u64 {
+        self.stale_rejected.load(Ordering::Relaxed)
+    }
+
+    /// Claims `pivot` for `owner` and returns the current epoch (`None`
+    /// when already committed — nothing to do).
+    pub fn claim(&self, pivot: VertexId, owner: usize) -> Option<u32> {
+        let slot = self.slot(pivot)?;
+        let mut s = slot.lock().expect("board slot poisoned");
+        if s.committed.is_some() {
+            return None;
+        }
+        s.owner = owner;
+        s.claimed = true;
+        Some(s.epoch)
+    }
+
+    /// Commits `count` for `pivot` under `epoch`. Returns `true` if this
+    /// commit won (first, with a current epoch); `false` when stale or
+    /// duplicate — the count is then discarded.
+    pub fn commit(&self, pivot: VertexId, epoch: u32, count: u64) -> bool {
+        let Some(slot) = self.slot(pivot) else {
+            return false;
+        };
+        let mut s = slot.lock().expect("board slot poisoned");
+        if s.committed.is_some() || s.epoch != epoch {
+            self.stale_rejected.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        s.committed = Some(count);
+        self.remaining.fetch_sub(1, Ordering::SeqCst);
+        true
+    }
+
+    /// Re-scatters a dead owner's claimed-but-uncommitted pivots: bumps
+    /// their epoch (so the dead owner's late commits are rejected), clears
+    /// the claim, and returns them for re-queueing.
+    pub fn rescatter(&self, dead_owner: usize) -> Vec<VertexId> {
+        let mut orphans = Vec::new();
+        for slot in &self.slots {
+            let mut s = slot.lock().expect("board slot poisoned");
+            if s.committed.is_none() && s.claimed && s.owner == dead_owner {
+                s.epoch += 1;
+                s.claimed = false;
+                s.owner = NO_OWNER;
+                orphans.push(s.pivot);
+            }
+        }
+        orphans
+    }
+
+    /// In-flight pivots (claimed, uncommitted) owned by someone other than
+    /// `not_owner`, with their current epoch — speculation targets.
+    pub fn in_flight_of_others(&self, not_owner: usize) -> Vec<(VertexId, u32)> {
+        let mut v = Vec::new();
+        for slot in &self.slots {
+            let s = slot.lock().expect("board slot poisoned");
+            if s.committed.is_none() && s.claimed && s.owner != not_owner && s.owner != NO_OWNER {
+                v.push((s.pivot, s.epoch));
+            }
+        }
+        v
+    }
+
+    /// All uncommitted pivots (for the local fallback).
+    pub fn uncommitted(&self) -> Vec<VertexId> {
+        self.slots
+            .iter()
+            .map(|s| s.lock().expect("board slot poisoned"))
+            .filter(|s| s.committed.is_none())
+            .map(|s| s.pivot)
+            .collect()
+    }
+
+    /// Total of all committed counts. Only meaningful once
+    /// [`ResultBoard::remaining`] is 0.
+    pub fn total(&self) -> u64 {
+        self.slots
+            .iter()
+            .map(|s| {
+                s.lock()
+                    .expect("board slot poisoned")
+                    .committed
+                    .unwrap_or(0)
+            })
+            .sum()
+    }
+}
+
+/// Shard liveness as seen by the coordinator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShardLiveness {
+    /// Not yet probed.
+    Unknown,
+    /// Last RPC or heartbeat succeeded.
+    Alive,
+    /// Declared dead after exhausting the attempt budget.
+    Dead,
+}
+
+/// Per-shard status block (all atomics; read by STATS/PROM while drivers
+/// write).
+#[derive(Debug)]
+pub struct ShardStatus {
+    /// The shard's address.
+    pub addr: String,
+    state: AtomicU8,
+    /// Successful reconnects after a failure or death.
+    pub reconnects: AtomicU64,
+    /// Times this shard's pivots were re-scattered to survivors.
+    pub rescatters: AtomicU64,
+    /// Pivot counts this shard's driver committed.
+    pub executed: AtomicU64,
+    /// Commits rejected by the board (stale epoch / already committed).
+    pub commits_rejected: AtomicU64,
+}
+
+impl ShardStatus {
+    fn new(addr: String) -> ShardStatus {
+        ShardStatus {
+            addr,
+            state: AtomicU8::new(0),
+            reconnects: AtomicU64::new(0),
+            rescatters: AtomicU64::new(0),
+            executed: AtomicU64::new(0),
+            commits_rejected: AtomicU64::new(0),
+        }
+    }
+
+    /// Current liveness.
+    pub fn liveness(&self) -> ShardLiveness {
+        match self.state.load(Ordering::Relaxed) {
+            1 => ShardLiveness::Alive,
+            2 => ShardLiveness::Dead,
+            _ => ShardLiveness::Unknown,
+        }
+    }
+
+    /// Sets liveness.
+    pub fn set_liveness(&self, l: ShardLiveness) {
+        let v = match l {
+            ShardLiveness::Unknown => 0,
+            ShardLiveness::Alive => 1,
+            ShardLiveness::Dead => 2,
+        };
+        self.state.store(v, Ordering::Relaxed);
+    }
+}
+
+/// The coordinator's shard table.
+#[derive(Debug)]
+pub struct ShardSet {
+    /// One status block per configured shard, in CLI order.
+    pub shards: Vec<ShardStatus>,
+}
+
+impl ShardSet {
+    /// Builds the table from the configured addresses.
+    pub fn new(addrs: &[String]) -> ShardSet {
+        ShardSet {
+            shards: addrs.iter().cloned().map(ShardStatus::new).collect(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn len(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// `true` when no shards are configured.
+    pub fn is_empty(&self) -> bool {
+        self.shards.is_empty()
+    }
+
+    /// Shards currently alive.
+    pub fn alive(&self) -> usize {
+        self.shards
+            .iter()
+            .filter(|s| s.liveness() == ShardLiveness::Alive)
+            .count()
+    }
+}
+
+/// Coordinator tunables.
+#[derive(Clone, Debug)]
+pub struct CoordConfig {
+    /// Socket read/write timeout per shard RPC.
+    pub io_timeout: Duration,
+    /// TCP connect timeout per dial.
+    pub connect_timeout: Duration,
+    /// Backoff policy between RPC attempts.
+    pub retry: RetryPolicy,
+    /// Consecutive failed attempts before a shard is declared dead and its
+    /// pivots re-scattered.
+    pub attempt_budget: u32,
+    /// Cadence at which a dead shard's driver retries rejoining.
+    pub rejoin_interval: Duration,
+    /// Hard wall: past this the coordinator finishes everything locally.
+    pub hard_wall: Duration,
+}
+
+impl Default for CoordConfig {
+    fn default() -> Self {
+        CoordConfig {
+            io_timeout: Duration::from_millis(5_000),
+            connect_timeout: Duration::from_millis(1_000),
+            retry: RetryPolicy::default(),
+            attempt_budget: 3,
+            rejoin_interval: Duration::from_millis(200),
+            hard_wall: Duration::from_secs(120),
+        }
+    }
+}
+
+/// A typed coordinator startup failure (maps onto `E_SHARD`).
+#[derive(Debug)]
+pub struct CoordError {
+    /// Which shard failed validation.
+    pub addr: String,
+    /// The underlying failure.
+    pub reason: String,
+}
+
+impl fmt::Display for CoordError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} shard {} unreachable: {}",
+            ErrorCode::Shard.as_str(),
+            self.addr,
+            self.reason
+        )
+    }
+}
+
+impl std::error::Error for CoordError {}
+
+/// One PING round-trip against `addr` under the coordinator timeouts.
+pub fn probe(addr: &str, config: &CoordConfig) -> std::io::Result<()> {
+    let mut client = Client::connect_with_timeout(addr, config.connect_timeout)?;
+    client.set_io_timeout(Some(config.io_timeout))?;
+    let resp = client.request("PING")?;
+    if resp.is_ok() {
+        Ok(())
+    } else {
+        Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("unexpected PING answer: {}", resp.terminal),
+        ))
+    }
+}
+
+/// Validates every configured shard at coordinator startup: each must
+/// answer PING within the retry budget (with backoff between attempts) or
+/// startup fails with a typed [`CoordError`] instead of a panic.
+pub fn validate_shards(set: &ShardSet, config: &CoordConfig) -> Result<(), CoordError> {
+    for status in &set.shards {
+        let mut last = String::new();
+        let mut ok = false;
+        for attempt in 0..=config.attempt_budget {
+            match probe(&status.addr, config) {
+                Ok(()) => {
+                    ok = true;
+                    break;
+                }
+                Err(e) => last = e.to_string(),
+            }
+            if attempt < config.attempt_budget {
+                std::thread::sleep(config.retry.backoff(attempt));
+            }
+        }
+        if ok {
+            status.set_liveness(ShardLiveness::Alive);
+        } else {
+            status.set_liveness(ShardLiveness::Dead);
+            return Err(CoordError {
+                addr: status.addr.clone(),
+                reason: format!("{last} (after {} attempts)", config.attempt_budget + 1),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Formats the `PREPARE` line pinning `plan`'s decisions under `name`.
+pub fn prepare_line(name: &str, query_path: &str, plan: &QueryPlan, radius: usize) -> String {
+    let order: Vec<String> = plan
+        .matching_order()
+        .iter()
+        .map(|u| u.0.to_string())
+        .collect();
+    let mut line = format!(
+        "PREPARE {name} {query_path} ROOT {} ORDER {} RADIUS {radius}",
+        plan.root().0,
+        order.join(",")
+    );
+    let sym = plan.symmetry_constraints();
+    if !sym.is_empty() {
+        let pairs: Vec<String> = sym
+            .iter()
+            .map(|c| format!("{}:{}", c.smaller.0, c.larger.0))
+            .collect();
+        line.push_str(" SYM ");
+        line.push_str(&pairs.join(","));
+    }
+    if plan.symmetry_complete() {
+        line.push_str(" SYMCOMPLETE");
+    }
+    line
+}
+
+/// The query-tree radius used for fragment extraction.
+pub fn plan_radius(plan: &QueryPlan) -> usize {
+    plan.tree()
+        .bfs_order()
+        .iter()
+        .map(|&u| plan.tree().depth(u))
+        .max()
+        .unwrap_or(0) as usize
+}
+
+/// Outcome of one scattered query.
+#[derive(Debug)]
+pub struct ScatterReport {
+    /// The total embedding count (bit-identical to single-process).
+    pub total: u64,
+    /// Pivots executed and committed via shard RPCs.
+    pub shard_commits: u64,
+    /// Pivots finished by the coordinator's local fallback.
+    pub local_fallback: u64,
+    /// Re-scatter events (a shard declared dead mid-query).
+    pub rescatters: u64,
+    /// Commits the board rejected as stale/duplicate.
+    pub stale_rejected: u64,
+    /// Reconnects performed across all drivers.
+    pub reconnects: u64,
+    /// Wall time of the scattered execution.
+    pub wall: Duration,
+}
+
+/// Why a shard RPC attempt failed.
+enum RpcFailure {
+    /// Transport-level (reset, timeout, EOF): reconnect and retry.
+    Io,
+    /// The shard answered `ERR` (e.g. unknown PREPARE handle after a
+    /// restart): re-`PREPARE` and retry.
+    Refused,
+}
+
+/// Executes `EXEC` for one pivot over an established client.
+fn rpc_exec(
+    client: &mut Client,
+    name: &str,
+    pivot: VertexId,
+    epoch: u32,
+) -> Result<u64, RpcFailure> {
+    let line = format!("EXEC {name} {} {epoch}", pivot.0);
+    match client.request(&line) {
+        Ok(resp) if resp.is_ok() => resp.field_u64("count").ok_or(RpcFailure::Refused),
+        Ok(_) => Err(RpcFailure::Refused),
+        Err(_) => Err(RpcFailure::Io),
+    }
+}
+
+/// Counts one pivot's cluster locally on the full graph — the coordinator
+/// fallback; bit-identical to the shard-side fragment execution.
+fn exec_local(full: &Graph, plan: &QueryPlan, pivot: VertexId) -> u64 {
+    let ceci = Ceci::build_for_pivots(full, plan, BuildOptions::default(), vec![pivot]);
+    let mut enumerator = Enumerator::new(full, plan, &ceci, EnumOptions::default());
+    let mut counters = Counters::default();
+    let mut sink = CountSink::unbounded();
+    for &(p, _) in ceci.pivots() {
+        enumerator.enumerate_cluster(p, &mut sink, &mut counters);
+    }
+    sink.count()
+}
+
+/// Shared work queues: one deque per shard, stealable.
+struct WorkQueues {
+    queues: Vec<Mutex<VecDeque<VertexId>>>,
+}
+
+impl WorkQueues {
+    fn new(assignment: Vec<Vec<VertexId>>) -> WorkQueues {
+        WorkQueues {
+            queues: assignment
+                .into_iter()
+                .map(|v| Mutex::new(v.into()))
+                .collect(),
+        }
+    }
+
+    fn pop(&self, idx: usize) -> Option<VertexId> {
+        self.queues[idx].lock().expect("queue poisoned").pop_front()
+    }
+
+    fn push_front(&self, idx: usize, p: VertexId) {
+        self.queues[idx]
+            .lock()
+            .expect("queue poisoned")
+            .push_front(p);
+    }
+
+    /// Steals up to half of the longest other queue (back half, preserving
+    /// the victim's front-of-queue locality).
+    fn steal(&self, thief: usize) -> Option<VertexId> {
+        let victim = (0..self.queues.len())
+            .filter(|&i| i != thief)
+            .max_by_key(|&i| self.queues[i].lock().expect("queue poisoned").len())?;
+        let mut vq = self.queues[victim].lock().expect("queue poisoned");
+        let n = vq.len();
+        if n == 0 {
+            return None;
+        }
+        let take = (n / 2).max(1);
+        let stolen: Vec<VertexId> = (0..take).filter_map(|_| vq.pop_back()).collect();
+        drop(vq);
+        let mut tq = self.queues[thief].lock().expect("queue poisoned");
+        for p in stolen {
+            tq.push_back(p);
+        }
+        tq.pop_front()
+    }
+
+    /// Distributes orphaned pivots round-robin over every queue except
+    /// `except` (all queues when `except` is out of range).
+    fn distribute(&self, orphans: &[VertexId], except: usize) {
+        let targets: Vec<usize> = (0..self.queues.len()).filter(|&i| i != except).collect();
+        if targets.is_empty() {
+            // Sole shard: give them back to it for the rejoin path.
+            let mut q = self.queues[except].lock().expect("queue poisoned");
+            q.extend(orphans.iter().copied());
+            return;
+        }
+        for (k, &p) in orphans.iter().enumerate() {
+            self.queues[targets[k % targets.len()]]
+                .lock()
+                .expect("queue poisoned")
+                .push_back(p);
+        }
+    }
+}
+
+/// Runs one query scattered over `shards`, recovering from any shard
+/// failures, and returns the exact total.
+///
+/// `plan` must be built against the full graph; `query_path` must be
+/// readable by the shard processes (they re-load and re-validate it).
+pub fn scatter_match(
+    full: &Graph,
+    plan: &QueryPlan,
+    query_path: &str,
+    handle: &str,
+    shards: &ShardSet,
+    config: &CoordConfig,
+) -> ScatterReport {
+    let t0 = Instant::now();
+    let pivots = plan.initial_candidates(plan.root()).to_vec();
+    let board = ResultBoard::new(&pivots);
+    let radius = plan_radius(plan);
+    let prepare = prepare_line(handle, query_path, plan, radius);
+    let cluster = ClusterConfig {
+        machines: shards.len().max(1),
+        ..Default::default()
+    };
+    let partition = distribute_pivots(full, &pivots, &cluster);
+    let queues = WorkQueues::new(partition.assignment);
+    let rescatters = AtomicU64::new(0);
+    let reconnects = AtomicU64::new(0);
+    let shard_commits = AtomicU64::new(0);
+    let local_fallback = AtomicU64::new(0);
+
+    std::thread::scope(|scope| {
+        for (idx, status) in shards.shards.iter().enumerate() {
+            let board = &board;
+            let queues = &queues;
+            let prepare = &prepare;
+            let rescatters = &rescatters;
+            let reconnects = &reconnects;
+            let shard_commits = &shard_commits;
+            scope.spawn(move || {
+                drive_shard(DriverCtx {
+                    idx,
+                    status,
+                    board,
+                    queues,
+                    prepare,
+                    handle,
+                    config,
+                    t0,
+                    rescatters,
+                    reconnects,
+                    shard_commits,
+                });
+            });
+        }
+        // Coordinator main loop: watch for the all-dead / hard-wall
+        // conditions and finish the remainder locally so the query always
+        // terminates with the exact answer.
+        loop {
+            if board.remaining() == 0 {
+                break;
+            }
+            let all_dead = !shards.is_empty()
+                && shards
+                    .shards
+                    .iter()
+                    .all(|s| s.liveness() == ShardLiveness::Dead);
+            let past_wall = t0.elapsed() > config.hard_wall;
+            if shards.is_empty() || all_dead || past_wall {
+                for p in board.uncommitted() {
+                    if let Some(epoch) = board.claim(p, LOCAL_OWNER) {
+                        let count = exec_local(full, plan, p);
+                        if board.commit(p, epoch, count) {
+                            local_fallback.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    });
+
+    ScatterReport {
+        total: board.total(),
+        shard_commits: shard_commits.load(Ordering::Relaxed),
+        local_fallback: local_fallback.load(Ordering::Relaxed),
+        rescatters: rescatters.load(Ordering::Relaxed),
+        stale_rejected: board.stale_rejected(),
+        reconnects: reconnects.load(Ordering::Relaxed),
+        wall: t0.elapsed(),
+    }
+}
+
+struct DriverCtx<'a> {
+    idx: usize,
+    status: &'a ShardStatus,
+    board: &'a ResultBoard,
+    queues: &'a WorkQueues,
+    prepare: &'a str,
+    handle: &'a str,
+    config: &'a CoordConfig,
+    t0: Instant,
+    rescatters: &'a AtomicU64,
+    reconnects: &'a AtomicU64,
+    shard_commits: &'a AtomicU64,
+}
+
+/// Dials the shard and re-sends `PREPARE` (idempotent) so `EXEC`s find the
+/// handle even after a shard restart wiped its plan store.
+fn connect_and_prepare(ctx: &DriverCtx<'_>) -> std::io::Result<Client> {
+    let mut client = Client::connect_with_timeout(&ctx.status.addr, ctx.config.connect_timeout)?;
+    client.set_io_timeout(Some(ctx.config.io_timeout))?;
+    let resp = client.request(ctx.prepare)?;
+    if resp.is_ok() {
+        Ok(client)
+    } else {
+        Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("PREPARE refused: {}", resp.terminal),
+        ))
+    }
+}
+
+fn drive_shard(ctx: DriverCtx<'_>) {
+    let mut client: Option<Client> = None;
+    let mut failures = 0u32;
+    let mut ever_connected = false;
+    let mut speculated: HashSet<VertexId> = HashSet::new();
+    loop {
+        if ctx.board.remaining() == 0 || ctx.t0.elapsed() > ctx.config.hard_wall {
+            return;
+        }
+        // (Re)establish the connection.
+        if client.is_none() {
+            match connect_and_prepare(&ctx) {
+                Ok(c) => {
+                    client = Some(c);
+                    if ever_connected {
+                        ctx.reconnects.fetch_add(1, Ordering::Relaxed);
+                        ctx.status.reconnects.fetch_add(1, Ordering::Relaxed);
+                    }
+                    ever_connected = true;
+                    ctx.status.set_liveness(ShardLiveness::Alive);
+                    failures = 0;
+                }
+                Err(_) => {
+                    failures += 1;
+                    if failures > ctx.config.attempt_budget {
+                        declare_dead(&ctx);
+                        failures = 0;
+                        std::thread::sleep(ctx.config.rejoin_interval);
+                    } else {
+                        std::thread::sleep(ctx.config.retry.backoff(failures - 1));
+                    }
+                    continue;
+                }
+            }
+        }
+        let conn = client.as_mut().expect("connection just established");
+        // Own work first, then steal, then speculate.
+        let pivot = ctx
+            .queues
+            .pop(ctx.idx)
+            .or_else(|| ctx.queues.steal(ctx.idx));
+        if let Some(p) = pivot {
+            let Some(epoch) = ctx.board.claim(p, ctx.idx) else {
+                continue; // already committed elsewhere
+            };
+            match rpc_exec(conn, ctx.handle, p, epoch) {
+                Ok(count) => {
+                    failures = 0;
+                    if ctx.board.commit(p, epoch, count) {
+                        ctx.shard_commits.fetch_add(1, Ordering::Relaxed);
+                        ctx.status.executed.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        ctx.status.commits_rejected.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                Err(kind) => {
+                    ctx.queues.push_front(ctx.idx, p);
+                    on_failure(&ctx, &mut client, &mut failures, kind);
+                }
+            }
+        } else {
+            // Idle: speculatively re-execute someone else's in-flight pivot
+            // (each at most once per driver) — first commit wins.
+            let target = ctx
+                .board
+                .in_flight_of_others(ctx.idx)
+                .into_iter()
+                .find(|(p, _)| !speculated.contains(p));
+            match target {
+                Some((p, epoch)) => {
+                    speculated.insert(p);
+                    match rpc_exec(conn, ctx.handle, p, epoch) {
+                        Ok(count) => {
+                            failures = 0;
+                            if ctx.board.commit(p, epoch, count) {
+                                ctx.shard_commits.fetch_add(1, Ordering::Relaxed);
+                                ctx.status.executed.fetch_add(1, Ordering::Relaxed);
+                            } else {
+                                ctx.status.commits_rejected.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        Err(kind) => on_failure(&ctx, &mut client, &mut failures, kind),
+                    }
+                }
+                None => std::thread::sleep(Duration::from_millis(2)),
+            }
+        }
+    }
+}
+
+/// Handles one failed RPC: `Refused` drops the connection so the next loop
+/// iteration re-`PREPARE`s (the restart-wiped-plan case); `Io` does the
+/// same plus backoff, and past the attempt budget the shard is declared
+/// dead and its work re-scattered.
+fn on_failure(
+    ctx: &DriverCtx<'_>,
+    client: &mut Option<Client>,
+    failures: &mut u32,
+    kind: RpcFailure,
+) {
+    *client = None;
+    *failures += 1;
+    if *failures > ctx.config.attempt_budget {
+        declare_dead(ctx);
+        *failures = 0;
+        std::thread::sleep(ctx.config.rejoin_interval);
+    } else if matches!(kind, RpcFailure::Io) {
+        std::thread::sleep(ctx.config.retry.backoff(*failures - 1));
+    }
+}
+
+/// Declares this driver's shard dead: its claimed-but-uncommitted pivots
+/// get an epoch bump and move to the survivors' queues, together with
+/// whatever was still queued here.
+fn declare_dead(ctx: &DriverCtx<'_>) {
+    ctx.status.set_liveness(ShardLiveness::Dead);
+    let mut orphans = ctx.board.rescatter(ctx.idx);
+    while let Some(p) = ctx.queues.pop(ctx.idx) {
+        orphans.push(p);
+    }
+    if !orphans.is_empty() {
+        ctx.rescatters.fetch_add(1, Ordering::Relaxed);
+        ctx.status.rescatters.fetch_add(1, Ordering::Relaxed);
+        ctx.queues.distribute(&orphans, ctx.idx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ceci_graph::vid;
+
+    #[test]
+    fn board_commit_protocol_is_exactly_once() {
+        let board = ResultBoard::new(&[vid(3), vid(1), vid(7), vid(1)]);
+        assert_eq!(board.remaining(), 3);
+        // Claim + commit.
+        let e = board.claim(vid(1), 0).unwrap();
+        assert!(board.commit(vid(1), e, 10));
+        assert_eq!(board.remaining(), 2);
+        // Duplicate commit rejected.
+        assert!(!board.commit(vid(1), e, 10));
+        assert_eq!(board.stale_rejected(), 1);
+        // Claim on a committed pivot yields nothing.
+        assert!(board.claim(vid(1), 2).is_none());
+        // Re-scatter bumps the epoch: the dead owner's commit is stale.
+        let e3 = board.claim(vid(3), 1).unwrap();
+        let orphans = board.rescatter(1);
+        assert_eq!(orphans, vec![vid(3)]);
+        assert!(!board.commit(vid(3), e3, 99), "stale epoch must lose");
+        let e3b = board.claim(vid(3), 2).unwrap();
+        assert_eq!(e3b, e3 + 1);
+        assert!(board.commit(vid(3), e3b, 42));
+        // Finish and total.
+        let e7 = board.claim(vid(7), 0).unwrap();
+        assert!(board.commit(vid(7), e7, 8));
+        assert_eq!(board.remaining(), 0);
+        assert_eq!(board.total(), 10 + 42 + 8);
+    }
+
+    #[test]
+    fn speculation_targets_exclude_self_and_unclaimed() {
+        let board = ResultBoard::new(&[vid(1), vid(2), vid(3)]);
+        board.claim(vid(1), 0);
+        board.claim(vid(2), 1);
+        let targets = board.in_flight_of_others(0);
+        assert_eq!(targets, vec![(vid(2), 0)]);
+        // Commits remove in-flight status.
+        assert!(board.commit(vid(2), 0, 5));
+        assert!(board.in_flight_of_others(0).is_empty());
+    }
+
+    #[test]
+    fn queues_steal_and_distribute() {
+        let q = WorkQueues::new(vec![vec![vid(1), vid(2), vid(3), vid(4)], vec![]]);
+        // Thief 1 steals the back half of 0 ([4, 3]) and starts on it.
+        let got = q.steal(1).unwrap();
+        assert_eq!(got, vid(4), "steals the back half");
+        // Orphans spread over survivors only.
+        q.distribute(&[vid(9), vid(8)], 0);
+        assert_eq!(q.pop(1), Some(vid(3)));
+        assert_eq!(q.pop(1), Some(vid(9)));
+        assert_eq!(q.pop(1), Some(vid(8)));
+        assert_eq!(q.pop(1), None);
+        // Sole-shard distribution hands the work back for rejoin.
+        let solo = WorkQueues::new(vec![vec![]]);
+        solo.distribute(&[vid(5)], 0);
+        assert_eq!(solo.pop(0), Some(vid(5)));
+    }
+
+    #[test]
+    fn coord_error_is_typed() {
+        let e = CoordError {
+            addr: "127.0.0.1:1".to_string(),
+            reason: "connection refused".to_string(),
+        };
+        let s = e.to_string();
+        assert!(s.starts_with("E_SHARD"), "{s}");
+        assert!(s.contains("127.0.0.1:1"));
+    }
+
+    #[test]
+    fn shard_set_tracks_liveness() {
+        let set = ShardSet::new(&["a:1".to_string(), "b:2".to_string()]);
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.alive(), 0);
+        set.shards[0].set_liveness(ShardLiveness::Alive);
+        assert_eq!(set.alive(), 1);
+        assert_eq!(set.shards[1].liveness(), ShardLiveness::Unknown);
+        set.shards[1].set_liveness(ShardLiveness::Dead);
+        assert_eq!(set.shards[1].liveness(), ShardLiveness::Dead);
+    }
+}

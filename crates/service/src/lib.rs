@@ -47,18 +47,25 @@
 
 pub mod cache;
 pub mod client;
+pub mod coord;
 pub mod metrics;
 pub mod pool;
 pub mod protocol;
 pub mod registry;
 pub mod server;
+pub mod shard;
 
 pub use cache::{
     CachedIndex, Flight, FlightGuard, FlightProbe, FlightWait, IndexCache, PlanFeedback, Probe,
 };
 pub use client::{run_load, Client, LoadConfig, LoadReport, Response, RetryOutcome, RetryPolicy};
+pub use coord::{
+    scatter_match, validate_shards, CoordConfig, CoordError, ResultBoard, ScatterReport,
+    ShardLiveness, ShardSet, ShardStatus,
+};
 pub use metrics::{LatencyHistogram, ServerMetrics};
 pub use pool::{Admission, FrontierCache, FrontierOutcome, PoolHandle, SharedFrontier, WorkerPool};
 pub use protocol::{parse_request, ChaosCommand, ErrorCode, MatchStatus, ParseError, Request};
 pub use registry::{BatchOutcome, DirtyRecord, GraphEntry, GraphRegistry};
 pub use server::{start, start_with_state, ServeConfig, ServerHandle, ServerState};
+pub use shard::{bind_reuse, start_shard, GraphStore, PlanSpec, ShardConfig, ShardHandle};

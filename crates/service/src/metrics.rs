@@ -210,6 +210,9 @@ pub struct ServerMetrics {
     /// Deadline-infeasible MATCH requests refused with `E_INFEASIBLE`
     /// (estimate too noisy even for an APPROX answer).
     pub infeasible_rejects: AtomicU64,
+    /// Connections closed after the socket read/write timeout expired with
+    /// a request outstanding or a line half-read (stalled/half-open peer).
+    pub timeouts: AtomicU64,
     /// End-to-end MATCH latency (admission to response).
     pub match_latency: LatencyHistogram,
     /// CECI build time on cache misses.
@@ -285,6 +288,7 @@ impl ServerMetrics {
             ("adaptive_replans".into(), g(&self.adaptive_replans)),
             ("approx_answers".into(), g(&self.approx_answers)),
             ("infeasible_rejects".into(), g(&self.infeasible_rejects)),
+            ("io_timeouts".into(), g(&self.timeouts)),
             ("plan_score_count".into(), self.plan_score_latency.count()),
             (
                 "plan_score_mean_us".into(),

@@ -20,15 +20,32 @@
 //! STATS [PROM]
 //! SLEEP <ms>
 //! CHAOS PANIC | BUILDPANIC | BUILDDELAY <ms> | DELAY <ms>
+//!       | EXIT [after-ms] | STALL <ms>
 //! ADDEDGE <graph> <u> <v>
 //! DELEDGE <graph> <u> <v>
 //! BATCH <graph> {+<u>:<v> | -<u>:<v>}...
 //! BATCH <graph> FILE <path>
 //! REGISTER <name> <graph> <query-path>
 //! UNREGISTER <name>
+//! PREPARE <name> <query-path> ROOT <r> ORDER <u0,u1,...> RADIUS <k>
+//!         [SYM <a:b,...>] [SYMCOMPLETE]
+//! EXEC <name> <pivot> <epoch>
 //! PING
 //! QUIT
 //! ```
+//!
+//! `PREPARE`/`EXEC` are the *shard plane*, spoken between a `ceci-serve`
+//! coordinator and `ceci-shard` processes (they parse everywhere but the
+//! query daemon refuses them). `PREPARE` pins the coordinator's plan
+//! decisions — query root, matching order, symmetry-breaking constraints
+//! (`a:b` means `map(a) < map(b)`), and the fragment extraction radius — so
+//! every shard enumerates under the *same* plan as a single-process run.
+//! `EXEC` asks for one pivot's cluster count; the shard extracts the
+//! radius-ball fragment around the pivot on demand (out-of-core when the
+//! graph is memory-mapped) and answers
+//! `OK EXEC pivot=<p> epoch=<e> count=<c>`. The epoch is echoed verbatim:
+//! commit validation (first-commit-wins, stale-epoch rejection) lives on
+//! the coordinator's result board.
 //!
 //! `ADDEDGE`/`DELEDGE`/`BATCH` mutate a loaded graph in place (streaming
 //! updates): each applied batch bumps the graph's mutation *sub-epoch* and
@@ -183,6 +200,36 @@ pub enum Request {
         /// The handle passed to `REGISTER`.
         name: String,
     },
+    /// Shard plane: pin a query's plan decisions on a `ceci-shard` so later
+    /// `EXEC`s enumerate under the coordinator's (full-graph) plan.
+    Prepare {
+        /// Handle later `EXEC`s reference.
+        name: String,
+        /// Shard-side path of the query (labeled t/v/e format).
+        query_path: String,
+        /// Query root chosen by the coordinator.
+        root: u32,
+        /// Full matching order (query vertex ids, root first).
+        order: Vec<u32>,
+        /// Fragment extraction radius (max depth of the query tree).
+        radius: usize,
+        /// Symmetry-breaking constraints as `(smaller, larger)` query
+        /// vertex pairs.
+        sym: Vec<(u32, u32)>,
+        /// Whether the constraint set breaks *all* automorphisms.
+        sym_complete: bool,
+    },
+    /// Shard plane: count the embedding cluster of one pivot under a
+    /// `PREPARE`d plan. The epoch is round-tripped for the coordinator's
+    /// result board.
+    Exec {
+        /// The `PREPARE` handle.
+        name: String,
+        /// Global data-vertex id of the pivot.
+        pivot: u32,
+        /// Coordinator ownership epoch, echoed in the response.
+        epoch: u32,
+    },
     /// Liveness probe.
     Ping,
     /// Close the connection.
@@ -211,6 +258,21 @@ pub enum ChaosCommand {
     /// counted as injected chaos) — a lever for forcing `BUSY` storms.
     Delay {
         /// How long the worker stalls.
+        ms: u64,
+    },
+    /// Process-level fault: the server process exits (status 42) after
+    /// `after_ms` milliseconds (immediately when omitted). On `ceci-shard`
+    /// this is the deterministic stand-in for `kill -9` mid-enumeration.
+    Exit {
+        /// Delay before the process exits.
+        after_ms: u64,
+    },
+    /// Process-level fault: arm a stall of `ms` milliseconds before every
+    /// subsequent data/shard-plane request (0 disarms). A stalled shard
+    /// stays heartbeat-alive but trips the coordinator's RPC timeout —
+    /// the slow-shard re-scatter lever.
+    Stall {
+        /// Stall applied ahead of each subsequent request.
         ms: u64,
     },
 }
@@ -249,6 +311,13 @@ pub enum ErrorCode {
     /// `DEADLINE` and the estimate is too noisy to answer `APPROX`; retry
     /// with `EXACT`, a larger deadline, or `ESTIMATE`.
     Infeasible,
+    /// A socket read or write hit its configured timeout: the peer is
+    /// half-open, stalled, or abandoned the connection mid-request.
+    Timeout,
+    /// A shard-plane request failed (`PREPARE`/`EXEC` on a non-shard
+    /// server, an `EXEC` naming an unprepared handle, or a coordinator that
+    /// exhausted its retry budget against an unreachable shard).
+    Shard,
 }
 
 impl ErrorCode {
@@ -266,6 +335,8 @@ impl ErrorCode {
             ErrorCode::Mutation => "E_MUTATION",
             ErrorCode::Register => "E_REGISTER",
             ErrorCode::Infeasible => "E_INFEASIBLE",
+            ErrorCode::Timeout => "E_TIMEOUT",
+            ErrorCode::Shard => "E_SHARD",
         }
     }
 
@@ -458,7 +529,10 @@ pub fn parse_request(line: &str) -> Result<Option<Request>, ParseError> {
         },
         "CHAOS" => {
             let sub = it.next().ok_or_else(|| {
-                err("CHAOS requires PANIC | BUILDPANIC | BUILDDELAY <ms> | DELAY <ms>")
+                err(
+                    "CHAOS requires PANIC | BUILDPANIC | BUILDDELAY <ms> | DELAY <ms> \
+                     | EXIT [after-ms] | STALL <ms>",
+                )
             })?;
             let command = match sub.to_ascii_uppercase().as_str() {
                 "PANIC" => ChaosCommand::Panic,
@@ -468,6 +542,17 @@ pub fn parse_request(line: &str) -> Result<Option<Request>, ParseError> {
                 },
                 "DELAY" => ChaosCommand::Delay {
                     ms: parse_u64(&mut it, "DELAY")?,
+                },
+                "EXIT" => ChaosCommand::Exit {
+                    after_ms: match it.next() {
+                        Some(ms) => ms
+                            .parse()
+                            .map_err(|_| err("invalid CHAOS EXIT after-ms value"))?,
+                        None => 0,
+                    },
+                },
+                "STALL" => ChaosCommand::Stall {
+                    ms: parse_u64(&mut it, "STALL")?,
                 },
                 other => return Err(err(format!("unknown CHAOS command {other:?}"))),
             };
@@ -555,6 +640,76 @@ pub fn parse_request(line: &str) -> Result<Option<Request>, ParseError> {
             }
             Request::Unregister {
                 name: name.to_string(),
+            }
+        }
+        "PREPARE" => {
+            let name = it
+                .next()
+                .ok_or_else(|| err("PREPARE requires <name> <query-path> ROOT <r> ORDER <...>"))?;
+            let query_path = it
+                .next()
+                .ok_or_else(|| err("PREPARE requires <name> <query-path> ROOT <r> ORDER <...>"))?;
+            let mut root = None;
+            let mut order = Vec::new();
+            let mut radius = None;
+            let mut sym = Vec::new();
+            let mut sym_complete = false;
+            while let Some(opt) = it.next() {
+                match opt.to_ascii_uppercase().as_str() {
+                    "ROOT" => root = Some(parse_u64(&mut it, "ROOT")? as u32),
+                    "RADIUS" => radius = Some(parse_u64(&mut it, "RADIUS")? as usize),
+                    "ORDER" => {
+                        let list = it.next().ok_or_else(|| err("ORDER requires u0,u1,..."))?;
+                        for tok in list.split(',') {
+                            order.push(
+                                tok.parse()
+                                    .map_err(|_| err("ORDER vertex ids must be u32"))?,
+                            );
+                        }
+                    }
+                    "SYM" => {
+                        let list = it.next().ok_or_else(|| err("SYM requires a:b,..."))?;
+                        for tok in list.split(',') {
+                            let (a, b) = tok
+                                .split_once(':')
+                                .ok_or_else(|| err("SYM pairs must be a:b"))?;
+                            let a = a.parse().map_err(|_| err("SYM ids must be u32"))?;
+                            let b = b.parse().map_err(|_| err("SYM ids must be u32"))?;
+                            sym.push((a, b));
+                        }
+                    }
+                    "SYMCOMPLETE" => sym_complete = true,
+                    other => return Err(err(format!("unknown PREPARE option {other:?}"))),
+                }
+            }
+            let root = root.ok_or_else(|| err("PREPARE requires ROOT <r>"))?;
+            let radius = radius.ok_or_else(|| err("PREPARE requires RADIUS <k>"))?;
+            if order.is_empty() {
+                return Err(err("PREPARE requires a non-empty ORDER"));
+            }
+            Request::Prepare {
+                name: name.to_string(),
+                query_path: query_path.to_string(),
+                root,
+                order,
+                radius,
+                sym,
+                sym_complete,
+            }
+        }
+        "EXEC" => {
+            let name = it
+                .next()
+                .ok_or_else(|| err("EXEC requires <name> <pivot> <epoch>"))?;
+            let pivot = parse_u64(&mut it, "EXEC pivot")? as u32;
+            let epoch = parse_u64(&mut it, "EXEC epoch")? as u32;
+            if it.next().is_some() {
+                return Err(err("EXEC takes exactly <name> <pivot> <epoch>"));
+            }
+            Request::Exec {
+                name: name.to_string(),
+                pivot,
+                epoch,
             }
         }
         "PING" => Request::Ping,
@@ -779,6 +934,92 @@ mod tests {
     }
 
     #[test]
+    fn parses_process_chaos_commands() {
+        assert_eq!(
+            parse_request("CHAOS EXIT").unwrap(),
+            Some(Request::Chaos {
+                command: ChaosCommand::Exit { after_ms: 0 }
+            })
+        );
+        assert_eq!(
+            parse_request("chaos exit 150").unwrap(),
+            Some(Request::Chaos {
+                command: ChaosCommand::Exit { after_ms: 150 }
+            })
+        );
+        assert_eq!(
+            parse_request("CHAOS STALL 300").unwrap(),
+            Some(Request::Chaos {
+                command: ChaosCommand::Stall { ms: 300 }
+            })
+        );
+        assert_eq!(
+            parse_request("chaos stall 0").unwrap(),
+            Some(Request::Chaos {
+                command: ChaosCommand::Stall { ms: 0 }
+            })
+        );
+        assert!(parse_request("CHAOS EXIT soon").is_err());
+        assert!(parse_request("CHAOS STALL").is_err());
+        assert!(parse_request("CHAOS STALL forever").is_err());
+    }
+
+    #[test]
+    fn parses_shard_plane_verbs() {
+        assert_eq!(
+            parse_request("PREPARE q /tmp/q.graph ROOT 2 ORDER 2,0,1,3 RADIUS 3").unwrap(),
+            Some(Request::Prepare {
+                name: "q".into(),
+                query_path: "/tmp/q.graph".into(),
+                root: 2,
+                order: vec![2, 0, 1, 3],
+                radius: 3,
+                sym: vec![],
+                sym_complete: false,
+            })
+        );
+        assert_eq!(
+            parse_request("prepare q q.g root 0 order 0,1 radius 1 sym 0:1,1:2 symcomplete")
+                .unwrap(),
+            Some(Request::Prepare {
+                name: "q".into(),
+                query_path: "q.g".into(),
+                root: 0,
+                order: vec![0, 1],
+                radius: 1,
+                sym: vec![(0, 1), (1, 2)],
+                sym_complete: true,
+            })
+        );
+        assert_eq!(
+            parse_request("EXEC q 42 7").unwrap(),
+            Some(Request::Exec {
+                name: "q".into(),
+                pivot: 42,
+                epoch: 7,
+            })
+        );
+        assert!(parse_request("PREPARE q").is_err());
+        assert!(
+            parse_request("PREPARE q p ORDER 0,1 RADIUS 1").is_err(),
+            "no ROOT"
+        );
+        assert!(
+            parse_request("PREPARE q p ROOT 0 RADIUS 1").is_err(),
+            "no ORDER"
+        );
+        assert!(
+            parse_request("PREPARE q p ROOT 0 ORDER 0,1").is_err(),
+            "no RADIUS"
+        );
+        assert!(parse_request("PREPARE q p ROOT 0 ORDER a,b RADIUS 1").is_err());
+        assert!(parse_request("PREPARE q p ROOT 0 ORDER 0 RADIUS 1 SYM 0-1").is_err());
+        assert!(parse_request("EXEC q 42").is_err());
+        assert!(parse_request("EXEC q 42 7 9").is_err());
+        assert!(parse_request("EXEC q x y").is_err());
+    }
+
+    #[test]
     fn parses_mutation_verbs() {
         assert_eq!(
             parse_request("ADDEDGE g 3 7").unwrap(),
@@ -860,9 +1101,13 @@ mod tests {
             ErrorCode::Mutation,
             ErrorCode::Register,
             ErrorCode::Infeasible,
+            ErrorCode::Timeout,
+            ErrorCode::Shard,
         ] {
             assert!(code.as_str().starts_with("E_"));
             assert!(!code.as_str().contains(' '));
         }
+        assert_eq!(ErrorCode::Timeout.as_str(), "E_TIMEOUT");
+        assert_eq!(ErrorCode::Shard.as_str(), "E_SHARD");
     }
 }

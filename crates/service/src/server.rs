@@ -57,6 +57,7 @@ use ceci_stream::StreamIndex;
 use ceci_trace::{PromWriter, Tracer};
 
 use crate::cache::{CachedIndex, FlightProbe, FlightWait, IndexCache, PlanFeedback, Probe};
+use crate::coord::{self, CoordConfig, ShardLiveness, ShardSet};
 use crate::metrics::ServerMetrics;
 use crate::pool::{Admission, FrontierCache, FrontierOutcome, PoolHandle, WorkerPool};
 use crate::protocol::{parse_request, ChaosCommand, ErrorCode, MatchStatus, Request};
@@ -126,6 +127,26 @@ pub struct ServeConfig {
     /// APPROX answer (or `E_INFEASIBLE`) when the exact run cannot finish
     /// in time. Exact counts are bit-identical to fixed-BFS planning.
     pub adaptive: bool,
+    /// Per-connection socket read/write timeout in milliseconds (0 = off).
+    /// A half-open or stalled peer gets `ERR E_TIMEOUT` and its connection
+    /// closed instead of pinning a connection thread forever. Connections
+    /// holding continuous-query registrations are exempt while idle (they
+    /// legitimately sit waiting for pushed events).
+    pub io_timeout_ms: u64,
+    /// Shard addresses (coordinator mode when non-empty): plain count-only
+    /// `MATCH`es scatter their pivots across these `ceci-shard` processes.
+    pub shards: Vec<String>,
+    /// Coordinator-side RPC read/write timeout per shard call, ms.
+    pub shard_io_timeout_ms: u64,
+    /// Coordinator-side TCP connect timeout per shard dial, ms.
+    pub shard_connect_timeout_ms: u64,
+    /// Consecutive failed shard RPC attempts before the shard is declared
+    /// dead and its pivots re-scattered to survivors.
+    pub shard_retries: u32,
+    /// Cadence at which a dead shard's driver retries rejoining, ms.
+    pub shard_rejoin_ms: u64,
+    /// Shard heartbeat (PING) interval, ms (0 = no heartbeat thread).
+    pub shard_heartbeat_ms: u64,
 }
 
 impl Default for ServeConfig {
@@ -150,6 +171,13 @@ impl Default for ServeConfig {
             dirty_log_cap: 64,
             stream_repair: true,
             adaptive: true,
+            io_timeout_ms: 30_000,
+            shards: Vec::new(),
+            shard_io_timeout_ms: 5_000,
+            shard_connect_timeout_ms: 1_000,
+            shard_retries: 3,
+            shard_rejoin_ms: 200,
+            shard_heartbeat_ms: 1_000,
         }
     }
 }
@@ -202,8 +230,14 @@ pub struct ServerState {
     /// build sleeps first, widening the single-flight window so tests can
     /// deterministically pile waiters behind one leader.
     build_delay_ms: AtomicU64,
+    /// Persistent stall armed by `CHAOS STALL <ms>`: every data-plane job
+    /// sleeps this long before running (0 disarms). The process-level
+    /// slow-server lever, mirroring the shard's.
+    chaos_stall_ms: AtomicU64,
     /// Continuous-query registrations by handle.
     continuous: Mutex<HashMap<String, ContinuousQuery>>,
+    /// Shard table (coordinator mode); `None` without configured shards.
+    shards: Option<Arc<ShardSet>>,
 }
 
 impl ServerState {
@@ -211,6 +245,7 @@ impl ServerState {
     pub fn new(config: ServeConfig) -> Self {
         let tracer = Tracer::new();
         tracer.set_enabled(config.trace);
+        let shards = (!config.shards.is_empty()).then(|| Arc::new(ShardSet::new(&config.shards)));
         ServerState {
             registry: GraphRegistry::new(),
             cache: IndexCache::new(config.cache_budget_bytes),
@@ -221,13 +256,43 @@ impl ServerState {
             stopping: AtomicBool::new(false),
             build_panic_armed: AtomicBool::new(false),
             build_delay_ms: AtomicU64::new(0),
+            chaos_stall_ms: AtomicU64::new(0),
             continuous: Mutex::new(HashMap::new()),
+            shards,
         }
     }
 
     /// The config the server was started with.
     pub fn config(&self) -> &ServeConfig {
         &self.config
+    }
+
+    /// The shard table when running as a coordinator.
+    pub fn shards(&self) -> Option<&Arc<ShardSet>> {
+        self.shards.as_ref()
+    }
+
+    /// Coordinator tunables derived from the serve config.
+    pub fn coord_config(&self) -> CoordConfig {
+        CoordConfig {
+            io_timeout: Duration::from_millis(self.config.shard_io_timeout_ms.max(1)),
+            connect_timeout: Duration::from_millis(self.config.shard_connect_timeout_ms.max(1)),
+            retry: crate::client::RetryPolicy::default(),
+            attempt_budget: self.config.shard_retries,
+            rejoin_interval: Duration::from_millis(self.config.shard_rejoin_ms.max(1)),
+            ..CoordConfig::default()
+        }
+    }
+
+    /// `true` when `writer` is the event sink of a live continuous-query
+    /// registration — such a connection legitimately idles between pushed
+    /// events and is exempt from the idle read timeout.
+    fn writer_has_registration(&self, writer: &SharedWriter) -> bool {
+        self.continuous
+            .lock()
+            .expect("continuous lock poisoned")
+            .values()
+            .any(|cq| Arc::ptr_eq(&cq.sink, writer))
     }
 
     /// Number of live continuous-query registrations.
@@ -296,6 +361,32 @@ pub fn start_with_state(state: Arc<ServerState>) -> std::io::Result<ServerHandle
         })),
     )?;
     let pool_handle = pool.handle();
+    // Coordinator heartbeat: PING every shard on a cadence so STATS shows
+    // per-shard liveness even between queries. Holds only a Weak ref — the
+    // thread dies with the state instead of keeping it alive.
+    if state.shards.is_some() && state.config.shard_heartbeat_ms > 0 {
+        let weak = Arc::downgrade(&state);
+        let interval = Duration::from_millis(state.config.shard_heartbeat_ms);
+        let _ = std::thread::Builder::new()
+            .name("ceci-heartbeat".to_string())
+            .spawn(move || loop {
+                std::thread::sleep(interval);
+                let Some(state) = weak.upgrade() else { return };
+                if state.stopping.load(Ordering::SeqCst) {
+                    return;
+                }
+                let Some(shards) = state.shards.as_ref() else {
+                    return;
+                };
+                let cfg = state.coord_config();
+                for status in &shards.shards {
+                    match coord::probe(&status.addr, &cfg) {
+                        Ok(()) => status.set_liveness(ShardLiveness::Alive),
+                        Err(_) => status.set_liveness(ShardLiveness::Dead),
+                    }
+                }
+            });
+    }
     let accept_state = Arc::clone(&state);
     let accept_thread = match std::thread::Builder::new()
         .name("ceci-accept".to_string())
@@ -333,17 +424,56 @@ fn accept_loop(listener: &TcpListener, state: &Arc<ServerState>, pool: &PoolHand
     }
 }
 
+/// Is this IO error a socket read/write timeout (`TimedOut` on most
+/// platforms, `WouldBlock` on some)?
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock
+    )
+}
+
 fn serve_connection(
     stream: TcpStream,
     state: &Arc<ServerState>,
     pool: &PoolHandle,
 ) -> std::io::Result<()> {
     stream.set_nodelay(true).ok();
-    let reader = BufReader::new(stream.try_clone()?);
+    if state.config.io_timeout_ms > 0 {
+        let t = Some(Duration::from_millis(state.config.io_timeout_ms));
+        stream.set_read_timeout(t)?;
+        stream.set_write_timeout(t)?;
+    }
+    let mut reader = BufReader::new(stream.try_clone()?);
     let writer: SharedWriter = Arc::new(Mutex::new(BufWriter::new(stream)));
-    for line in reader.lines() {
-        let line = line?;
-        let request = match parse_request(&line) {
+    loop {
+        let mut buf = String::new();
+        match reader.read_line(&mut buf) {
+            Ok(0) => return Ok(()),
+            Ok(_) => {}
+            Err(e) if is_timeout(&e) => {
+                // An idle connection that REGISTERed a continuous query is
+                // legitimately waiting for pushed events: keep it open as
+                // long as nothing was half-read. Anything else — a partial
+                // line (stalled peer mid-request) or plain idleness — gets
+                // a typed timeout and the thread back.
+                if buf.is_empty() && state.writer_has_registration(&writer) {
+                    continue;
+                }
+                ServerMetrics::inc(&state.metrics.timeouts);
+                let _ = respond(
+                    &writer,
+                    &[ErrorCode::Timeout.line(format!(
+                        "no complete request within {}ms; closing connection",
+                        state.config.io_timeout_ms
+                    ))],
+                );
+                return Ok(());
+            }
+            Err(e) => return Err(e),
+        }
+        let line = buf.trim_end_matches(['\r', '\n']);
+        let request = match parse_request(line) {
             Ok(None) => continue,
             Ok(Some(r)) => r,
             Err(e) => {
@@ -357,10 +487,9 @@ fn serve_connection(
         let lines = dispatch(request, state, pool, &writer);
         respond(&writer, &lines)?;
         if quit {
-            break;
+            return Ok(());
         }
     }
-    Ok(())
 }
 
 /// Writes one whole response (or event) under a single lock acquisition so
@@ -394,6 +523,11 @@ fn dispatch(
             directed,
         } => exec_load(state, &name, &path, edge_list, directed),
         Request::Chaos { command } => exec_chaos(command, state, pool),
+        Request::Prepare { .. } | Request::Exec { .. } => {
+            ServerMetrics::inc(&state.metrics.errors);
+            vec![ErrorCode::Shard
+                .line("this is a ceci-serve query daemon; PREPARE/EXEC are served by ceci-shard")]
+        }
         data_plane => {
             let sink = Arc::clone(writer);
             submit_to_pool(state, pool, move |job_state, queue_wait| match data_plane {
@@ -463,6 +597,11 @@ where
     let submitted = Instant::now();
     let admitted = pool.submit(Box::new(move || {
         let queue_wait = submitted.elapsed();
+        // `CHAOS STALL` slows every data-plane job (0 = disarmed).
+        let stall = job_state.chaos_stall_ms.load(Ordering::SeqCst);
+        if stall > 0 {
+            std::thread::sleep(Duration::from_millis(stall));
+        }
         let lines = run(&job_state, queue_wait);
         let _ = tx.send(lines);
     }));
@@ -506,6 +645,19 @@ fn exec_chaos(command: ChaosCommand, state: &Arc<ServerState>, pool: &PoolHandle
             std::thread::sleep(Duration::from_millis(ms));
             vec![format!("OK CHAOS delayed_ms={ms}")]
         }),
+        ChaosCommand::Exit { after_ms } => {
+            // Answer first (the spawned thread exits the whole process);
+            // the deterministic stand-in for kill -9.
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(after_ms));
+                std::process::exit(42);
+            });
+            vec![format!("OK CHAOS armed=EXIT after_ms={after_ms}")]
+        }
+        ChaosCommand::Stall { ms } => {
+            state.chaos_stall_ms.store(ms, Ordering::SeqCst);
+            vec![format!("OK CHAOS armed=STALL ms={ms}")]
+        }
     }
 }
 
@@ -529,8 +681,37 @@ fn exec_stats(state: &ServerState, prom: bool) -> Vec<String> {
         ("trace_spans", state.tracer.len() as u64),
         ("frontier_entries", state.frontiers.len() as u64),
         ("continuous_registrations", state.continuous_len() as u64),
+        (
+            "shards_configured",
+            state.shards.as_ref().map_or(0, |s| s.len()) as u64,
+        ),
+        (
+            "shards_alive",
+            state.shards.as_ref().map_or(0, |s| s.alive()) as u64,
+        ),
     ];
     let mut lines = state.metrics.render(&extra);
+    // Per-shard status lines (coordinator mode): one `SHARD` payload line
+    // per configured shard, after the sorted STAT rows.
+    if let Some(shards) = state.shards.as_ref() {
+        let g = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        for (i, s) in shards.shards.iter().enumerate() {
+            let liveness = match s.liveness() {
+                ShardLiveness::Unknown => "unknown",
+                ShardLiveness::Alive => "alive",
+                ShardLiveness::Dead => "dead",
+            };
+            lines.push(format!(
+                "SHARD {i} addr={} state={liveness} reconnects={} rescatters={} \
+                 executed={} commits_rejected={}",
+                s.addr,
+                g(&s.reconnects),
+                g(&s.rescatters),
+                g(&s.executed),
+                g(&s.commits_rejected),
+            ));
+        }
+    }
     lines.push("OK STATS".to_string());
     lines
 }
@@ -542,7 +723,7 @@ pub fn render_prometheus(state: &ServerState) -> String {
     let m = &state.metrics;
     let g = |a: &std::sync::atomic::AtomicU64| a.load(Ordering::Relaxed);
     let mut w = PromWriter::new();
-    let counters: [(&str, &str, u64); 30] = [
+    let counters: [(&str, &str, u64); 31] = [
         (
             "ceci_requests_total",
             "Request lines accepted (parse successes)",
@@ -689,9 +870,51 @@ pub fn render_prometheus(state: &ServerState) -> String {
             "Deadline-infeasible MATCH requests refused E_INFEASIBLE",
             g(&m.infeasible_rejects),
         ),
+        (
+            "ceci_io_timeouts_total",
+            "Connections closed on a socket read/write timeout",
+            g(&m.timeouts),
+        ),
     ];
     for (name, help, value) in counters {
         w.counter(name, help, value);
+    }
+    // Coordinator-mode shard surface: aggregate counters (per-shard detail
+    // lives in the STATS `SHARD` lines; PromWriter has no label support).
+    if let Some(shards) = state.shards.as_ref() {
+        let sum = |f: &dyn Fn(&crate::coord::ShardStatus) -> u64| -> u64 {
+            shards.shards.iter().map(f).sum()
+        };
+        w.gauge(
+            "ceci_shards_configured",
+            "Shard processes configured on this coordinator",
+            shards.len() as u64,
+        );
+        w.gauge(
+            "ceci_shards_alive",
+            "Shards whose last probe or RPC succeeded",
+            shards.alive() as u64,
+        );
+        w.counter(
+            "ceci_shard_reconnects_total",
+            "Successful shard reconnects after a failure",
+            sum(&|s| s.reconnects.load(Ordering::Relaxed)),
+        );
+        w.counter(
+            "ceci_shard_rescatters_total",
+            "Re-scatter events (a shard declared dead mid-query)",
+            sum(&|s| s.rescatters.load(Ordering::Relaxed)),
+        );
+        w.counter(
+            "ceci_shard_commits_total",
+            "Pivot counts committed via shard RPCs",
+            sum(&|s| s.executed.load(Ordering::Relaxed)),
+        );
+        w.counter(
+            "ceci_shard_commits_rejected_total",
+            "Shard commits rejected as stale or duplicate",
+            sum(&|s| s.commits_rejected.load(Ordering::Relaxed)),
+        );
     }
     w.gauge(
         "ceci_graphs_loaded",
@@ -1289,6 +1512,43 @@ fn exec_match(
             )];
         }
     }
+    // Coordinator mode: plain count-only requests scatter across the shard
+    // fleet. The plan is the *fixed* deterministic one (`QueryPlan::new`,
+    // BFS order) — shards replay it from the PREPARE line, so coordinator
+    // and shards agree bit-for-bit on candidates, order, and symmetry
+    // constraints. Requests with LIMIT/DEADLINE/WORKERS keep the local
+    // path: those knobs shape enumeration in ways a scatter cannot
+    // reproduce deterministically.
+    if let Some(shards) = state.shards() {
+        if limit.is_none() && deadline_ms.is_none() && workers.is_none() {
+            let plan = QueryPlan::new(query, &graph);
+            let handle = format!("{graph_name}@{sub_epoch}:{query_path}");
+            let report = coord::scatter_match(
+                &graph,
+                &plan,
+                query_path,
+                &handle,
+                shards,
+                &state.coord_config(),
+            );
+            let total = t_start.elapsed();
+            state.metrics.match_latency.record(queue_wait + total);
+            return vec![format!(
+                "OK MATCH count={} status=OK mode=SHARDED shards={} \
+                 shard_commits={} local_fallback={} rescatters={} \
+                 stale_rejected={} reconnects={} total_us={}",
+                report.total,
+                shards.len(),
+                report.shard_commits,
+                report.local_fallback,
+                report.rescatters,
+                report.stale_rejected,
+                report.reconnects,
+                total.as_micros(),
+            )];
+        }
+    }
+
     // The deadline clock starts when execution starts, not at submission:
     // queue wait is already bounded by admission control.
     let cancel = deadline_ms.map(|ms| CancelToken::after(Duration::from_millis(ms)));

@@ -1,8 +1,10 @@
 //! Offline stand-in for the `libc` crate.
 //!
 //! The workspace has no network access to crates.io, so the handful of libc
-//! items actually used (per-thread CPU clock reads in `ceci-core::metrics`)
-//! are declared here directly against the system C library.
+//! items actually used (per-thread CPU clock reads in `ceci-core::metrics`,
+//! `mmap(2)` for out-of-core CSR loading in `ceci-graph::io::binary`, and
+//! `setsockopt(2)` for shard-listener address reuse in `ceci-service`) are
+//! declared here directly against the system C library.
 
 #![allow(non_camel_case_types)]
 
@@ -14,6 +16,14 @@ pub type c_long = i64;
 pub type c_int = i32;
 /// C `clockid_t` on Linux.
 pub type clockid_t = c_int;
+/// C `void` (opaque; only ever used behind a pointer).
+pub type c_void = core::ffi::c_void;
+/// C `size_t` on 64-bit Linux.
+pub type size_t = usize;
+/// C `off_t` on 64-bit Linux.
+pub type off_t = i64;
+/// C `socklen_t` on Linux.
+pub type socklen_t = u32;
 
 /// C `struct timespec`.
 #[repr(C)]
@@ -28,9 +38,93 @@ pub struct timespec {
 /// Thread-specific CPU-time clock (Linux value).
 pub const CLOCK_THREAD_CPUTIME_ID: clockid_t = 3;
 
+/// `mmap` protection flag: pages may be read (Linux value).
+pub const PROT_READ: c_int = 1;
+/// `mmap` flag: private copy-on-write mapping (Linux value).
+pub const MAP_PRIVATE: c_int = 2;
+/// `mmap` failure sentinel (`(void *) -1`).
+pub const MAP_FAILED: *mut c_void = usize::MAX as *mut c_void;
+
+/// `setsockopt` level for socket-level options (Linux value).
+pub const SOL_SOCKET: c_int = 1;
+/// Allow rebinding a listener port with connections in TIME_WAIT
+/// (Linux value of `SO_REUSEADDR`).
+pub const SO_REUSEADDR: c_int = 2;
+/// IPv4 address family (Linux value).
+pub const AF_INET: c_int = 2;
+/// Stream socket type (Linux value).
+pub const SOCK_STREAM: c_int = 1;
+/// Close-on-exec socket creation flag (Linux value).
+pub const SOCK_CLOEXEC: c_int = 0o2000000;
+
+/// C `sa_family_t` on Linux.
+pub type sa_family_t = u16;
+/// C `in_port_t` (network byte order).
+pub type in_port_t = u16;
+/// C `in_addr_t` (network byte order).
+pub type in_addr_t = u32;
+
+/// C `struct in_addr`.
+#[repr(C)]
+#[derive(Clone, Copy, Debug)]
+pub struct in_addr {
+    /// IPv4 address in network byte order.
+    pub s_addr: in_addr_t,
+}
+
+/// C `struct sockaddr_in`.
+#[repr(C)]
+#[derive(Clone, Copy, Debug)]
+pub struct sockaddr_in {
+    /// Always `AF_INET`.
+    pub sin_family: sa_family_t,
+    /// Port in network byte order.
+    pub sin_port: in_port_t,
+    /// IPv4 address.
+    pub sin_addr: in_addr,
+    /// Padding to `sizeof(struct sockaddr)`.
+    pub sin_zero: [u8; 8],
+}
+
+/// C `struct sockaddr` (only ever passed by pointer).
+#[repr(C)]
+pub struct sockaddr {
+    /// Address family.
+    pub sa_family: sa_family_t,
+    /// Family-specific payload.
+    pub sa_data: [u8; 14],
+}
+
 extern "C" {
     /// POSIX `clock_gettime(2)`.
     pub fn clock_gettime(clk_id: clockid_t, tp: *mut timespec) -> c_int;
+    /// POSIX `mmap(2)`.
+    pub fn mmap(
+        addr: *mut c_void,
+        len: size_t,
+        prot: c_int,
+        flags: c_int,
+        fd: c_int,
+        offset: off_t,
+    ) -> *mut c_void;
+    /// POSIX `munmap(2)`.
+    pub fn munmap(addr: *mut c_void, len: size_t) -> c_int;
+    /// POSIX `setsockopt(2)`.
+    pub fn setsockopt(
+        socket: c_int,
+        level: c_int,
+        name: c_int,
+        value: *const c_void,
+        option_len: socklen_t,
+    ) -> c_int;
+    /// POSIX `socket(2)`.
+    pub fn socket(domain: c_int, ty: c_int, protocol: c_int) -> c_int;
+    /// POSIX `bind(2)`.
+    pub fn bind(socket: c_int, address: *const sockaddr, address_len: socklen_t) -> c_int;
+    /// POSIX `listen(2)`.
+    pub fn listen(socket: c_int, backlog: c_int) -> c_int;
+    /// POSIX `close(2)`.
+    pub fn close(fd: c_int) -> c_int;
 }
 
 #[cfg(test)]
@@ -43,5 +137,35 @@ mod tests {
         let rc = unsafe { clock_gettime(CLOCK_THREAD_CPUTIME_ID, &mut ts) };
         assert_eq!(rc, 0);
         assert!(ts.tv_nsec >= 0 && ts.tv_nsec < 1_000_000_000);
+    }
+
+    #[test]
+    fn mmap_reads_file_contents() {
+        use std::io::Write;
+        use std::os::unix::io::AsRawFd;
+        let dir = std::env::temp_dir().join("ceci_libc_mmap_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("probe.bin");
+        std::fs::File::create(&path)
+            .unwrap()
+            .write_all(b"mmap-probe")
+            .unwrap();
+        let file = std::fs::File::open(&path).unwrap();
+        let len = 10usize;
+        let ptr = unsafe {
+            mmap(
+                std::ptr::null_mut(),
+                len,
+                PROT_READ,
+                MAP_PRIVATE,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        assert_ne!(ptr, MAP_FAILED);
+        let bytes = unsafe { std::slice::from_raw_parts(ptr as *const u8, len) };
+        assert_eq!(bytes, b"mmap-probe");
+        assert_eq!(unsafe { munmap(ptr, len) }, 0);
+        std::fs::remove_file(&path).ok();
     }
 }
