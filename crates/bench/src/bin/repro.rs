@@ -54,6 +54,12 @@ EXPERIMENTS:
                         redundant-extension pruning on vs off — asserts
                         bit-identical counts and writes
                         bench_results/multiquery.json
+    service             Connection-scaling sweep for the event-driven server
+                        core: constant offered load while connections scale
+                        8 -> 2048 — asserts zero dropped responses and
+                        bit-identical counts, reports p99 inflation vs the
+                        8-connection baseline, and writes
+                        bench_results/service.json
     shard               Multi-process sharded serving sweep: real ceci-shard
                         processes under SIGKILL / stall / kill+restart —
                         asserts bit-identical counts vs the single-process
@@ -184,6 +190,7 @@ fn dispatch(
         "physical" => experiments::physical::run(scale),
         "faults" => experiments::faults::run(scale),
         "multiquery" => experiments::multiquery::run(scale),
+        "service" => experiments::service::run(scale),
         "shard" => experiments::shard::run(scale),
         "stream" => experiments::stream::run(scale),
         "trace" => experiments::trace::run(scale),
@@ -243,6 +250,10 @@ const ALL_EXPERIMENTS: &[(&str, Runner)] = &[
     (
         "Multi-query throughput: filter/single-flight/batching/pruning",
         experiments::multiquery::run,
+    ),
+    (
+        "Connection scaling: event-driven server core",
+        experiments::service::run,
     ),
     (
         "Sharded serving: cross-process fault recovery",

@@ -20,6 +20,7 @@ pub mod kernels;
 pub mod multiquery;
 pub mod physical;
 pub mod queries;
+pub mod service;
 pub mod shard;
 pub mod stream;
 pub mod table1;

@@ -16,6 +16,9 @@
 //!   --query-size N  extracted query vertices (default 4)
 //!   --retries N     per-request retry budget for BUSY/transient errors
 //!                   (default 0 = one shot)
+//!   --think-ms N    think time between requests per client loop (default 0);
+//!                   with thousands of clients this keeps the offered load
+//!                   constant (offered_rps ≈ clients × 1000 / think_ms)
 //!   --out FILE      write a JSON report (e.g. bench_results/service.json)
 //! ```
 //!
@@ -45,7 +48,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: ceci-client --addr HOST:PORT [--retries N] [CMD ARGS...]\n       \
          ceci-client --bench-local [--clients N] [--requests N] [--graph-n N] \
-         [--query-size N] [--retries N] [--out FILE]"
+         [--query-size N] [--retries N] [--think-ms N] [--out FILE]"
     );
     exit(2)
 }
@@ -157,6 +160,7 @@ struct BenchArgs {
     graph_n: usize,
     query_size: usize,
     retries: u32,
+    think_ms: u64,
     out: Option<String>,
 }
 
@@ -167,6 +171,7 @@ fn parse_bench_args(raw: &[String]) -> BenchArgs {
         graph_n: 2000,
         query_size: 4,
         retries: 0,
+        think_ms: 0,
         out: None,
     };
     let mut i = 0;
@@ -182,6 +187,7 @@ fn parse_bench_args(raw: &[String]) -> BenchArgs {
             "--graph-n" => args.graph_n = value(&mut i).parse().unwrap_or_else(|_| usage()),
             "--query-size" => args.query_size = value(&mut i).parse().unwrap_or_else(|_| usage()),
             "--retries" => args.retries = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--think-ms" => args.think_ms = value(&mut i).parse().unwrap_or_else(|_| usage()),
             "--out" => args.out = Some(value(&mut i)),
             "--help" | "-h" => usage(),
             _ => usage(),
@@ -238,6 +244,7 @@ fn bench_local(raw: &[String]) {
             max_retries: args.retries,
             ..RetryPolicy::default()
         }),
+        think_ms: args.think_ms,
     };
     let report = run_load(handle.addr(), &load);
 
@@ -270,12 +277,14 @@ fn bench_local(raw: &[String]) {
         }
         let json = format!(
             "{{\n  \"benchmark\": \"service_bench_local\",\n  \"clients\": {},\n  \
-             \"requests_per_client\": {},\n  \"graph_n\": {},\n  \"query_size\": {},\n  \
+             \"requests_per_client\": {},\n  \"think_ms\": {},\n  \"graph_n\": {},\n  \
+             \"query_size\": {},\n  \
              \"ok\": {},\n  \"busy\": {},\n  \"err\": {},\n  \"io_errors\": {},\n  \
              \"wall_ms\": {},\n  \"throughput_rps\": {:.2},\n  \"latency_p50_us\": {},\n  \
              \"latency_p99_us\": {},\n  \"cache_hits\": {},\n  \"cache_misses\": {}\n}}\n",
             args.clients,
             args.requests,
+            args.think_ms,
             args.graph_n,
             args.query_size,
             report.ok,

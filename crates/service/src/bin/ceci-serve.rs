@@ -22,6 +22,13 @@
 //!                        E_INFEASIBLE degradation, no kernel pinning)
 //!   --preload NAME=FILE  LOAD a labeled graph before accepting connections
 //!                        (repeatable)
+//!   --event-loop         serve connections from the epoll event loop
+//!                        (the default): one readiness thread owns every
+//!                        connection; data-plane work still runs on the
+//!                        bounded pool
+//!   --no-event-loop      fall back to thread-per-connection serving
+//!   --max-conns N        concurrent-connection cap; connections beyond it
+//!                        are answered BUSY and closed (default 10000)
 //!   --io-timeout-ms N    per-connection socket read/write timeout
 //!                        (default 30000; 0 disables); connections idle
 //!                        past it close with ERR E_TIMEOUT unless they
@@ -57,6 +64,7 @@ fn usage() -> ! {
          [--cache-mb N] [--match-workers N] [--max-match-workers N] \
          [--build-threads N] [--compact-threshold N] [--dirty-log-cap N] \
          [--no-stream-repair] [--no-adaptive] [--preload NAME=FILE]... \
+         [--event-loop | --no-event-loop] [--max-conns N] \
          [--io-timeout-ms N] [--shard ADDR]... [--shard-timeout-ms N] \
          [--shard-retries N] [--chaos] [--trace]"
     );
@@ -88,6 +96,9 @@ fn main() {
             "--compact-threshold" => config.compact_threshold = num(&mut i).max(1),
             "--dirty-log-cap" => config.dirty_log_cap = num(&mut i).max(1),
             "--no-stream-repair" => config.stream_repair = false,
+            "--event-loop" => config.event_loop = true,
+            "--no-event-loop" => config.event_loop = false,
+            "--max-conns" => config.max_conns = num(&mut i).max(1),
             "--io-timeout-ms" => {
                 config.io_timeout_ms = value(&mut i).parse().unwrap_or_else(|_| usage())
             }

@@ -337,6 +337,25 @@ pub struct LoadConfig {
     /// When set, each request retries `BUSY`/transient failures under this
     /// policy (`None` = one shot, the historical behavior).
     pub retry: Option<RetryPolicy>,
+    /// Think time between requests, per client loop, in milliseconds. With
+    /// thousands of mostly-idle connections this is what keeps the *offered*
+    /// load constant while the connection count scales (Little's law:
+    /// `offered_rps ≈ clients × 1000 / think_ms`). Client loop `i` also
+    /// staggers its first request by `i × think_ms / clients` so ramp-up
+    /// spreads over one think interval instead of thundering in together.
+    pub think_ms: u64,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        LoadConfig {
+            clients: 8,
+            requests_per_client: 100,
+            request: "PING".to_string(),
+            retry: None,
+            think_ms: 0,
+        }
+    }
 }
 
 /// Aggregated load-generator outcome.
@@ -388,29 +407,66 @@ fn bump(c: &std::sync::atomic::AtomicU64, v: u64) {
     c.fetch_add(v, std::sync::atomic::Ordering::Relaxed);
 }
 
+/// Dials `addr`, retrying briefly on transient connect failures. Opening
+/// thousands of sockets at once can transiently exhaust the accept backlog
+/// or ephemeral state; a refused/reset connect at ramp-up is congestion,
+/// not a down server, so back off and try again a few times.
+fn connect_patiently(addr: std::net::SocketAddr) -> std::io::Result<Client> {
+    let mut delay = Duration::from_millis(5);
+    for attempt in 0..6 {
+        match Client::connect_with_timeout(addr, Duration::from_secs(2)) {
+            Ok(c) => return Ok(c),
+            Err(e) if attempt == 5 => return Err(e),
+            Err(_) => {
+                std::thread::sleep(delay);
+                delay = (delay * 2).min(Duration::from_millis(200));
+            }
+        }
+    }
+    unreachable!("loop returns on last attempt")
+}
+
 /// Runs the closed-loop workload against `addr` and aggregates the outcome.
 pub fn run_load(addr: std::net::SocketAddr, config: &LoadConfig) -> LoadReport {
     let tallies = std::sync::Arc::new(Tallies::default());
     let t0 = Instant::now();
     let mut handles = Vec::new();
     for client_idx in 0..config.clients {
-        let tallies = std::sync::Arc::clone(&tallies);
+        let loop_tallies = std::sync::Arc::clone(&tallies);
         let line = config.request.clone();
         let n = config.requests_per_client;
+        let think = Duration::from_millis(config.think_ms);
+        // Stagger client i's first request across one think interval.
+        let stagger = Duration::from_millis(
+            config.think_ms.saturating_mul(client_idx as u64) / config.clients.max(1) as u64,
+        );
         let retry = config.retry.map(|mut p| {
             // De-correlate the jitter schedules across client loops.
             p.jitter_seed = splitmix64(p.jitter_seed ^ client_idx as u64);
             p
         });
-        handles.push(std::thread::spawn(move || {
-            let mut client = match Client::connect(addr) {
+        // Default thread stacks are 2–8 MB of reserved address space; at
+        // thousands of client loops that adds up. These loops recurse
+        // nowhere, so a small fixed stack keeps a 10k-client run cheap.
+        let builder = std::thread::Builder::new()
+            .name(format!("ceci-load-{client_idx}"))
+            .stack_size(256 * 1024);
+        let spawned = builder.spawn(move || {
+            let tallies = loop_tallies;
+            let mut client = match connect_patiently(addr) {
                 Ok(c) => c,
                 Err(_) => {
                     bump(&tallies.io_errors, n as u64);
                     return;
                 }
             };
-            for _ in 0..n {
+            if !stagger.is_zero() {
+                std::thread::sleep(stagger);
+            }
+            for req_idx in 0..n {
+                if req_idx > 0 && !think.is_zero() {
+                    std::thread::sleep(think);
+                }
                 let t = Instant::now();
                 let outcome = match &retry {
                     Some(policy) => client.request_with_retry(&line, policy).map(|o| {
@@ -433,7 +489,11 @@ pub fn run_load(addr: std::net::SocketAddr, config: &LoadConfig) -> LoadReport {
                     }
                 }
             }
-        }));
+        });
+        match spawned {
+            Ok(h) => handles.push(h),
+            Err(_) => bump(&tallies.io_errors, n as u64),
+        }
     }
     for h in handles {
         let _ = h.join();

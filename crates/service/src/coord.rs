@@ -34,7 +34,7 @@
 use std::collections::{HashSet, VecDeque};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use ceci_core::metrics::Counters;
@@ -365,6 +365,87 @@ pub fn probe(addr: &str, config: &CoordConfig) -> std::io::Result<()> {
             format!("unexpected PING answer: {}", resp.terminal),
         ))
     }
+}
+
+/// A joinable shard-heartbeat thread. The old server-side heartbeat was
+/// spawned fire-and-forget and never joined, so a shutting-down server
+/// could race its own probe traffic; this handle owns the thread and
+/// [`HeartbeatHandle::stop`] joins it with a deadline.
+pub struct HeartbeatHandle {
+    stop: Arc<(std::sync::Mutex<bool>, std::sync::Condvar)>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl HeartbeatHandle {
+    /// Signals the heartbeat loop to exit and joins it, waiting at most
+    /// `deadline`. Returns `true` when the thread actually finished —
+    /// `false` means it is wedged mid-probe (e.g. a shard dial hanging
+    /// past its connect timeout) and was leaked rather than hung on.
+    pub fn stop(mut self, deadline: Duration) -> bool {
+        {
+            let (lock, cvar) = &*self.stop;
+            *lock
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner) = true;
+            cvar.notify_all();
+        }
+        let Some(thread) = self.thread.take() else {
+            return true;
+        };
+        let t0 = std::time::Instant::now();
+        while !thread.is_finished() {
+            if t0.elapsed() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        thread.join().is_ok()
+    }
+}
+
+/// Spawns the coordinator heartbeat: PING every shard each `interval` so
+/// `STATS` shows per-shard liveness even between queries. The loop sleeps
+/// on a condvar, so [`HeartbeatHandle::stop`] interrupts it promptly
+/// instead of waiting out the interval.
+pub fn spawn_heartbeat(
+    shards: Arc<ShardSet>,
+    config: CoordConfig,
+    interval: Duration,
+) -> std::io::Result<HeartbeatHandle> {
+    let stop = Arc::new((std::sync::Mutex::new(false), std::sync::Condvar::new()));
+    let stop_flag = Arc::clone(&stop);
+    let thread = std::thread::Builder::new()
+        .name("ceci-heartbeat".to_string())
+        .spawn(move || loop {
+            {
+                let (lock, cvar) = &*stop_flag;
+                let mut stopped = lock
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                while !*stopped {
+                    let (guard, timed_out) = cvar
+                        .wait_timeout(stopped, interval)
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    stopped = guard;
+                    if timed_out.timed_out() {
+                        break;
+                    }
+                }
+                if *stopped {
+                    return;
+                }
+            }
+            for status in &shards.shards {
+                match probe(&status.addr, &config) {
+                    Ok(()) => status.set_liveness(ShardLiveness::Alive),
+                    Err(_) => status.set_liveness(ShardLiveness::Dead),
+                }
+            }
+        })?;
+    Ok(HeartbeatHandle {
+        stop,
+        thread: Some(thread),
+    })
 }
 
 /// Validates every configured shard at coordinator startup: each must

@@ -11,6 +11,12 @@
 //!   refinement entirely,
 //! * a **bounded worker pool** with admission control: a full queue answers
 //!   `BUSY` instead of building invisible backlog ([`pool`]),
+//! * an **event-driven server core** (on by default; `--no-event-loop`
+//!   falls back to thread-per-connection): one epoll readiness loop owns
+//!   every connection as a buffered state machine with a bounded write
+//!   queue, scaling to 10k+ mostly-idle connections — backpressure
+//!   degrades to `BUSY` (admission, connection cap) and slow-reader
+//!   disconnects before memory does ([`server`]),
 //! * **per-request deadlines** threaded into enumeration as cooperative
 //!   cancellation (`ceci_core::CancelToken`), returning partial counts with
 //!   `status=DEADLINE_EXCEEDED` ([`server`]),
@@ -48,6 +54,7 @@
 pub mod cache;
 pub mod client;
 pub mod coord;
+mod event_loop;
 pub mod metrics;
 pub mod pool;
 pub mod protocol;
@@ -60,12 +67,12 @@ pub use cache::{
 };
 pub use client::{run_load, Client, LoadConfig, LoadReport, Response, RetryOutcome, RetryPolicy};
 pub use coord::{
-    scatter_match, validate_shards, CoordConfig, CoordError, ResultBoard, ScatterReport,
-    ShardLiveness, ShardSet, ShardStatus,
+    scatter_match, spawn_heartbeat, validate_shards, CoordConfig, CoordError, HeartbeatHandle,
+    ResultBoard, ScatterReport, ShardLiveness, ShardSet, ShardStatus,
 };
 pub use metrics::{LatencyHistogram, ServerMetrics};
 pub use pool::{Admission, FrontierCache, FrontierOutcome, PoolHandle, SharedFrontier, WorkerPool};
 pub use protocol::{parse_request, ChaosCommand, ErrorCode, MatchStatus, ParseError, Request};
-pub use registry::{BatchOutcome, DirtyRecord, GraphEntry, GraphRegistry};
-pub use server::{start, start_with_state, ServeConfig, ServerHandle, ServerState};
+pub use registry::{BatchOutcome, ContinuousRegistry, DirtyRecord, GraphEntry, GraphRegistry};
+pub use server::{start, start_with_state, ServeConfig, ServerHandle, ServerState, ShutdownReport};
 pub use shard::{bind_reuse, start_shard, GraphStore, PlanSpec, ShardConfig, ShardHandle};

@@ -213,6 +213,19 @@ pub struct ServerMetrics {
     /// Connections closed after the socket read/write timeout expired with
     /// a request outstanding or a line half-read (stalled/half-open peer).
     pub timeouts: AtomicU64,
+    /// Connections accepted over the server's lifetime.
+    pub connections_accepted: AtomicU64,
+    /// Connections refused with `BUSY` because `max_conns` was reached.
+    pub connections_rejected: AtomicU64,
+    /// Connections currently open (gauge: incremented on accept,
+    /// decremented on close).
+    pub connections_open: AtomicU64,
+    /// `EVENT` pushes that failed because the subscriber's connection was
+    /// dead; each one auto-unregisters its continuous query.
+    pub event_push_failures: AtomicU64,
+    /// Connections dropped because their bounded write queue overflowed
+    /// (the peer stopped reading while responses/events kept queueing).
+    pub slow_reader_disconnects: AtomicU64,
     /// End-to-end MATCH latency (admission to response).
     pub match_latency: LatencyHistogram,
     /// CECI build time on cache misses.
@@ -242,6 +255,15 @@ impl ServerMetrics {
     #[inline]
     pub fn add(counter: &AtomicU64, v: u64) {
         counter.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Decrements a gauge (saturating at zero so a double-close can never
+    /// wrap the reading to `u64::MAX`).
+    #[inline]
+    pub fn dec(gauge: &AtomicU64) {
+        let _ = gauge.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+            Some(v.saturating_sub(1))
+        });
     }
 
     /// Renders the `STAT <key> <value>` payload lines of the `STATS`
@@ -289,6 +311,14 @@ impl ServerMetrics {
             ("approx_answers".into(), g(&self.approx_answers)),
             ("infeasible_rejects".into(), g(&self.infeasible_rejects)),
             ("io_timeouts".into(), g(&self.timeouts)),
+            ("connections_accepted".into(), g(&self.connections_accepted)),
+            ("connections_rejected".into(), g(&self.connections_rejected)),
+            ("connections_open".into(), g(&self.connections_open)),
+            ("event_push_failures".into(), g(&self.event_push_failures)),
+            (
+                "slow_reader_disconnects".into(),
+                g(&self.slow_reader_disconnects),
+            ),
             ("plan_score_count".into(), self.plan_score_latency.count()),
             (
                 "plan_score_mean_us".into(),

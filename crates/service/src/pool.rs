@@ -208,6 +208,50 @@ impl PoolHandle {
     }
 }
 
+/// Exactly-once delivery of a data-plane job's response lines back to the
+/// connection that submitted it — the pool side of the completion hand-off
+/// shared by the threaded server (mpsc channel) and the event loop
+/// (completion queue + eventfd wake).
+///
+/// The job calls [`Completion::deliver`] with the response on its normal
+/// path. If the job panics first, the guard is dropped during the unwind
+/// (the supervisor catches the panic above it) and the `on_panic` closure
+/// fires instead — so the waiting connection always hears *something* and
+/// can never hang on a worker that died mid-request.
+pub struct Completion {
+    deliver: Option<Box<dyn FnOnce(Vec<String>) + Send>>,
+    on_panic: Option<Box<dyn FnOnce() + Send>>,
+}
+
+impl Completion {
+    /// Builds a guard from the normal-path delivery and the panic fallback.
+    pub fn new(
+        deliver: impl FnOnce(Vec<String>) + Send + 'static,
+        on_panic: impl FnOnce() + Send + 'static,
+    ) -> Self {
+        Completion {
+            deliver: Some(Box::new(deliver)),
+            on_panic: Some(Box::new(on_panic)),
+        }
+    }
+
+    /// Delivers the response lines (disarms the panic fallback).
+    pub fn deliver(mut self, lines: Vec<String>) {
+        self.on_panic = None;
+        if let Some(f) = self.deliver.take() {
+            f(lines);
+        }
+    }
+}
+
+impl Drop for Completion {
+    fn drop(&mut self) {
+        if let Some(f) = self.on_panic.take() {
+            f();
+        }
+    }
+}
+
 fn submit_inner(shared: &Shared, job: Job) -> Admission {
     let mut q = shared.queue.lock().expect("pool lock poisoned");
     if q.shutdown || q.jobs.len() >= shared.capacity {

@@ -31,10 +31,14 @@
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError, RwLock};
 
 use ceci_graph::{DeltaOverlay, Graph, VertexId};
+use ceci_query::QueryPlan;
+use ceci_stream::StreamIndex;
 use std::collections::HashMap;
+
+use crate::event_loop::SharedWriter;
 
 /// Global epoch source: unique across all registries in the process, which
 /// keeps cache keys unambiguous even under registry replacement in tests.
@@ -318,6 +322,59 @@ impl GraphRegistry {
     /// True when no graph is loaded.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+}
+
+/// One registered continuous query: its live (maintainable) index plus the
+/// running embedding total and the connection to notify per batch.
+pub(crate) struct ContinuousQuery {
+    /// Registry name of the graph the query watches.
+    pub(crate) graph: String,
+    /// Load epoch the registration is pinned to; a re-`LOAD` drops it.
+    pub(crate) epoch: u64,
+    /// Mutation sub-epoch the stream tables currently reflect.
+    pub(crate) sub_epoch: u64,
+    /// The (graph-stable) matching plan the index maintains.
+    pub(crate) plan: Arc<QueryPlan>,
+    /// Maintainable candidate tables, patched in place per batch.
+    pub(crate) stream: StreamIndex,
+    /// Running embedding total; updated by the delta identity per batch.
+    pub(crate) total: u64,
+    /// Where `EVENT DELTA` lines go.
+    pub(crate) sink: SharedWriter,
+}
+
+/// Continuous-query registrations by handle name. The mutation notifier
+/// holds the lock across apply-batch + notify so events reach every
+/// registration in strict sub-epoch order; lock acquisition recovers from
+/// poisoning (a panicking notifier must not take the registry down with
+/// it — the map itself stays consistent).
+#[derive(Default)]
+pub struct ContinuousRegistry {
+    inner: Mutex<HashMap<String, ContinuousQuery>>,
+}
+
+impl ContinuousRegistry {
+    /// Locks the registration map, recovering from poisoning.
+    pub(crate) fn lock(&self) -> MutexGuard<'_, HashMap<String, ContinuousQuery>> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Number of live registrations.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// True when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `true` when `writer` is the event sink of a live registration (such
+    /// a connection legitimately idles between pushed events and is exempt
+    /// from the idle read timeout).
+    pub(crate) fn has_sink(&self, writer: &SharedWriter) -> bool {
+        self.lock().values().any(|cq| Arc::ptr_eq(&cq.sink, writer))
     }
 }
 

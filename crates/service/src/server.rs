@@ -3,15 +3,21 @@
 //!
 //! ## Threading model
 //!
-//! * One accept thread, one thread per connection (std-only; connections
-//!   are long-lived and few — this is a query service, not a web frontend).
-//! * The **control plane** (`LOAD`, `STATS`, `PING`, `QUIT`) runs directly
-//!   on the connection thread: these are cheap or operator-driven and must
-//!   stay responsive even when the data plane is saturated.
+//! * By default ([`ServeConfig::event_loop`]) a single epoll readiness loop
+//!   (`crate::event_loop`) owns every connection as a buffered state
+//!   machine, so 10k+ mostly-idle connections cost file descriptors, not
+//!   threads. `--no-event-loop` falls back to the original
+//!   thread-per-connection model (one accept thread, one blocking thread
+//!   per connection).
+//! * The **control plane** (`LOAD`, `STATS`, `PING`, `QUIT`) runs inline —
+//!   on the loop thread (event mode) or the connection thread (threaded
+//!   mode): these are cheap or operator-driven and must stay responsive
+//!   even when the data plane is saturated.
 //! * The **data plane** (`MATCH`, `EXPLAIN`, `SLEEP`) is submitted to the
 //!   bounded [`WorkerPool`]; a full queue answers `BUSY` immediately
-//!   (admission control), and the connection thread blocks only on its own
-//!   request's response channel — one in-flight request per connection.
+//!   (admission control), and each connection has at most one request in
+//!   flight — responses stay in request order in both modes, and MATCH
+//!   counts are bit-identical between them.
 //!
 //! ## Deadlines
 //!
@@ -32,8 +38,7 @@
 //! * The `CHAOS` verb (enabled with [`ServeConfig::chaos`]) injects these
 //!   failures on demand for testing.
 
-use std::collections::HashMap;
-use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::io::{BufRead, BufReader, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -57,11 +62,12 @@ use ceci_stream::StreamIndex;
 use ceci_trace::{PromWriter, Tracer};
 
 use crate::cache::{CachedIndex, FlightProbe, FlightWait, IndexCache, PlanFeedback, Probe};
-use crate::coord::{self, CoordConfig, ShardLiveness, ShardSet};
+use crate::coord::{self, CoordConfig, HeartbeatHandle, ShardLiveness, ShardSet};
+use crate::event_loop::{lock_recover, ConnSink, EventLoop, LoopShared, SharedWriter, MAX_LINE};
 use crate::metrics::ServerMetrics;
-use crate::pool::{Admission, FrontierCache, FrontierOutcome, PoolHandle, WorkerPool};
+use crate::pool::{Admission, Completion, FrontierCache, FrontierOutcome, PoolHandle, WorkerPool};
 use crate::protocol::{parse_request, ChaosCommand, ErrorCode, MatchStatus, Request};
-use crate::registry::{GraphEntry, GraphRegistry};
+use crate::registry::{ContinuousQuery, ContinuousRegistry, GraphEntry, GraphRegistry};
 
 /// Server configuration.
 #[derive(Clone, Debug)]
@@ -147,6 +153,14 @@ pub struct ServeConfig {
     pub shard_rejoin_ms: u64,
     /// Shard heartbeat (PING) interval, ms (0 = no heartbeat thread).
     pub shard_heartbeat_ms: u64,
+    /// Serve connections from a single epoll readiness loop instead of one
+    /// thread per connection (the default). The threaded fallback
+    /// (`--no-event-loop`) keeps identical protocol semantics; MATCH counts
+    /// are bit-identical between the two.
+    pub event_loop: bool,
+    /// Concurrent-connection cap; accepts beyond it are refused with
+    /// `BUSY` instead of queueing unserviced sockets.
+    pub max_conns: usize,
 }
 
 impl Default for ServeConfig {
@@ -178,33 +192,10 @@ impl Default for ServeConfig {
             shard_retries: 3,
             shard_rejoin_ms: 200,
             shard_heartbeat_ms: 1_000,
+            event_loop: true,
+            max_conns: 10_000,
         }
     }
-}
-
-/// The response sink of one client connection, shared so continuous-query
-/// events can be pushed to it from mutation jobs on other threads. Whole
-/// responses (and whole events) are written under one lock acquisition, so
-/// an `EVENT` line can interleave between responses but never inside one.
-type SharedWriter = Arc<Mutex<BufWriter<TcpStream>>>;
-
-/// One registered continuous query: its live (maintainable) index plus the
-/// running embedding total and the connection to notify per batch.
-struct ContinuousQuery {
-    /// Registry name of the graph the query watches.
-    graph: String,
-    /// Load epoch the registration is pinned to; a re-`LOAD` drops it.
-    epoch: u64,
-    /// Mutation sub-epoch the stream tables currently reflect.
-    sub_epoch: u64,
-    /// The (graph-stable) matching plan the index maintains.
-    plan: Arc<QueryPlan>,
-    /// Maintainable candidate tables, patched in place per batch.
-    stream: StreamIndex,
-    /// Running embedding total; updated by the delta identity per batch.
-    total: u64,
-    /// Where `EVENT DELTA` lines go.
-    sink: SharedWriter,
 }
 
 /// Shared server state: everything a connection (or pool job) needs.
@@ -222,7 +213,7 @@ pub struct ServerState {
     /// single-flight like the index cache).
     pub frontiers: FrontierCache,
     config: ServeConfig,
-    stopping: AtomicBool,
+    pub(crate) stopping: AtomicBool,
     /// One-shot flag armed by `CHAOS BUILDPANIC`: the next index build
     /// panics (and is caught, quarantining its cache key).
     build_panic_armed: AtomicBool,
@@ -233,9 +224,9 @@ pub struct ServerState {
     /// Persistent stall armed by `CHAOS STALL <ms>`: every data-plane job
     /// sleeps this long before running (0 disarms). The process-level
     /// slow-server lever, mirroring the shard's.
-    chaos_stall_ms: AtomicU64,
+    pub(crate) chaos_stall_ms: AtomicU64,
     /// Continuous-query registrations by handle.
-    continuous: Mutex<HashMap<String, ContinuousQuery>>,
+    pub(crate) continuous: ContinuousRegistry,
     /// Shard table (coordinator mode); `None` without configured shards.
     shards: Option<Arc<ShardSet>>,
 }
@@ -257,7 +248,7 @@ impl ServerState {
             build_panic_armed: AtomicBool::new(false),
             build_delay_ms: AtomicU64::new(0),
             chaos_stall_ms: AtomicU64::new(0),
-            continuous: Mutex::new(HashMap::new()),
+            continuous: ContinuousRegistry::default(),
             shards,
         }
     }
@@ -288,20 +279,50 @@ impl ServerState {
     /// registration — such a connection legitimately idles between pushed
     /// events and is exempt from the idle read timeout.
     fn writer_has_registration(&self, writer: &SharedWriter) -> bool {
-        self.continuous
-            .lock()
-            .expect("continuous lock poisoned")
-            .values()
-            .any(|cq| Arc::ptr_eq(&cq.sink, writer))
+        self.continuous.has_sink(writer)
     }
 
     /// Number of live continuous-query registrations.
     pub fn continuous_len(&self) -> usize {
-        self.continuous
-            .lock()
-            .expect("continuous lock poisoned")
-            .len()
+        self.continuous.len()
     }
+}
+
+/// What [`ServerHandle::shutdown`] actually managed to stop. Callers that
+/// ignore it keep working; tests and supervisors assert on it — a `false`
+/// is reported instead of hanging forever or silently leaking the thread.
+#[derive(Clone, Copy, Debug)]
+pub struct ShutdownReport {
+    /// The accept/event-loop thread observed the stop signal and joined
+    /// within the shutdown deadline.
+    pub accept_joined: bool,
+    /// The shard heartbeat thread (when one was running) joined within the
+    /// deadline (`true` when no heartbeat was configured).
+    pub heartbeat_joined: bool,
+}
+
+impl ShutdownReport {
+    /// Every owned thread joined.
+    pub fn clean(&self) -> bool {
+        self.accept_joined && self.heartbeat_joined
+    }
+}
+
+/// How long [`ServerHandle::shutdown`] waits for owned threads to join
+/// before reporting failure instead of blocking forever.
+const SHUTDOWN_DEADLINE: Duration = Duration::from_secs(5);
+
+/// Joins a thread with a deadline by polling `is_finished` (std has no
+/// timed join); `false` means the thread is still running and was leaked.
+fn join_with_deadline(handle: JoinHandle<()>, deadline: Duration) -> bool {
+    let start = Instant::now();
+    while !handle.is_finished() {
+        if start.elapsed() >= deadline {
+            return false;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    handle.join().is_ok()
 }
 
 /// A running server; dropping the handle does *not* stop it — call
@@ -311,6 +332,12 @@ pub struct ServerHandle {
     state: Arc<ServerState>,
     accept_thread: Option<JoinHandle<()>>,
     pool: Option<WorkerPool>,
+    /// Event-loop wakeup (event mode only): shutdown writes the eventfd.
+    loop_shared: Option<Arc<LoopShared>>,
+    /// Cloned listener handle (threaded mode only): shutdown flips it
+    /// nonblocking and self-connects to unblock a parked `accept`.
+    listener: Option<TcpListener>,
+    heartbeat: Option<HeartbeatHandle>,
 }
 
 impl ServerHandle {
@@ -325,18 +352,43 @@ impl ServerHandle {
         &self.state
     }
 
-    /// Stops accepting connections, drains the pool, and joins the accept
-    /// thread. Already-open connections are serviced until their clients
-    /// disconnect.
-    pub fn shutdown(mut self) {
+    /// Stops accepting connections, drains the pool, and joins the owned
+    /// threads (event/accept loop, shard heartbeat) with a deadline.
+    /// Already-open threaded connections are serviced until their clients
+    /// disconnect; event-loop connections are closed with the loop.
+    pub fn shutdown(mut self) -> ShutdownReport {
         self.state.stopping.store(true, Ordering::SeqCst);
-        // Unblock the accept loop with a throwaway connection.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(h) = self.accept_thread.take() {
-            let _ = h.join();
+        if let Some(shared) = &self.loop_shared {
+            // Event mode: the eventfd interrupts epoll_wait directly — no
+            // connect dance, nothing that can silently fail.
+            shared.wake();
         }
+        if let Some(listener) = self.listener.take() {
+            // Threaded fallback: future accepts return WouldBlock (the loop
+            // re-checks `stopping`), and a self-connect unblocks the accept
+            // already parked. The connect is checked and retried — a failed
+            // wakeup surfaces as accept_joined=false instead of hanging.
+            let _ = listener.set_nonblocking(true);
+            for _ in 0..3 {
+                if TcpStream::connect_timeout(&self.addr, Duration::from_millis(200)).is_ok() {
+                    break;
+                }
+            }
+        }
+        let accept_joined = match self.accept_thread.take() {
+            Some(h) => join_with_deadline(h, SHUTDOWN_DEADLINE),
+            None => true,
+        };
+        let heartbeat_joined = match self.heartbeat.take() {
+            Some(hb) => hb.stop(SHUTDOWN_DEADLINE),
+            None => true,
+        };
         if let Some(pool) = self.pool.take() {
             pool.shutdown();
+        }
+        ShutdownReport {
+            accept_joined,
+            heartbeat_joined,
         }
     }
 }
@@ -361,66 +413,111 @@ pub fn start_with_state(state: Arc<ServerState>) -> std::io::Result<ServerHandle
         })),
     )?;
     let pool_handle = pool.handle();
-    // Coordinator heartbeat: PING every shard on a cadence so STATS shows
-    // per-shard liveness even between queries. Holds only a Weak ref — the
-    // thread dies with the state instead of keeping it alive.
-    if state.shards.is_some() && state.config.shard_heartbeat_ms > 0 {
-        let weak = Arc::downgrade(&state);
-        let interval = Duration::from_millis(state.config.shard_heartbeat_ms);
-        let _ = std::thread::Builder::new()
-            .name("ceci-heartbeat".to_string())
-            .spawn(move || loop {
-                std::thread::sleep(interval);
-                let Some(state) = weak.upgrade() else { return };
-                if state.stopping.load(Ordering::SeqCst) {
-                    return;
-                }
-                let Some(shards) = state.shards.as_ref() else {
-                    return;
-                };
-                let cfg = state.coord_config();
-                for status in &shards.shards {
-                    match coord::probe(&status.addr, &cfg) {
-                        Ok(()) => status.set_liveness(ShardLiveness::Alive),
-                        Err(_) => status.set_liveness(ShardLiveness::Dead),
-                    }
-                }
-            });
-    }
-    let accept_state = Arc::clone(&state);
-    let accept_thread = match std::thread::Builder::new()
-        .name("ceci-accept".to_string())
-        .spawn(move || accept_loop(&listener, &accept_state, &pool_handle))
-    {
-        Ok(handle) => handle,
-        Err(e) => {
-            // Structured teardown instead of a panic: join the workers we
-            // just spawned, then surface the spawn failure to the caller.
-            pool.shutdown();
-            return Err(e);
+    let (accept_thread, loop_shared, listener_handle) = if state.config.event_loop {
+        // Build the loop here so epoll/eventfd setup errors surface to the
+        // caller, then hand it to its thread.
+        let (event_loop, shared) = match EventLoop::new(listener, Arc::clone(&state), pool_handle) {
+            Ok(built) => built,
+            Err(e) => {
+                pool.shutdown();
+                return Err(e);
+            }
+        };
+        match std::thread::Builder::new()
+            .name("ceci-loop".to_string())
+            .spawn(move || event_loop.run())
+        {
+            Ok(handle) => (handle, Some(shared), None),
+            Err(e) => {
+                pool.shutdown();
+                return Err(e);
+            }
         }
+    } else {
+        // Threaded fallback: keep a cloned listener handle so shutdown can
+        // flip it nonblocking (try_clone failure just loses that lever).
+        let fallback = listener.try_clone().ok();
+        let accept_state = Arc::clone(&state);
+        match std::thread::Builder::new()
+            .name("ceci-accept".to_string())
+            .spawn(move || accept_loop(&listener, &accept_state, &pool_handle))
+        {
+            Ok(handle) => (handle, None, fallback),
+            Err(e) => {
+                pool.shutdown();
+                return Err(e);
+            }
+        }
+    };
+    // Coordinator heartbeat: PING every shard on a cadence so STATS shows
+    // per-shard liveness even between queries. The handle is kept and
+    // joined (with a deadline) on shutdown; a spawn failure degrades to
+    // no heartbeat rather than failing the server.
+    let heartbeat = match (&state.shards, state.config.shard_heartbeat_ms) {
+        (Some(shards), ms) if ms > 0 => coord::spawn_heartbeat(
+            Arc::clone(shards),
+            state.coord_config(),
+            Duration::from_millis(ms),
+        )
+        .ok(),
+        _ => None,
     };
     Ok(ServerHandle {
         addr,
         state,
         accept_thread: Some(accept_thread),
         pool: Some(pool),
+        loop_shared,
+        listener: listener_handle,
+        heartbeat,
     })
 }
 
+/// The threaded-fallback accept loop. Handles `WouldBlock` (shutdown flips
+/// the listener nonblocking) by re-checking the stop flag, and enforces
+/// [`ServeConfig::max_conns`] against the open-connection gauge.
 fn accept_loop(listener: &TcpListener, state: &Arc<ServerState>, pool: &PoolHandle) {
-    for stream in listener.incoming() {
-        if state.stopping.load(Ordering::SeqCst) {
-            break;
+    loop {
+        match listener.accept() {
+            Ok((mut stream, _peer)) => {
+                if state.stopping.load(Ordering::SeqCst) {
+                    break;
+                }
+                let open = state.metrics.connections_open.load(Ordering::Relaxed);
+                if open as usize >= state.config.max_conns {
+                    ServerMetrics::inc(&state.metrics.connections_rejected);
+                    use std::io::Write;
+                    let _ = stream.write_all(b"BUSY\n");
+                    continue;
+                }
+                ServerMetrics::inc(&state.metrics.connections_accepted);
+                ServerMetrics::inc(&state.metrics.connections_open);
+                let conn_state = Arc::clone(state);
+                let pool = pool.clone();
+                let spawned = std::thread::Builder::new()
+                    .name("ceci-conn".to_string())
+                    .spawn(move || {
+                        let _ = serve_connection(stream, &conn_state, &pool);
+                        ServerMetrics::dec(&conn_state.metrics.connections_open);
+                    });
+                if spawned.is_err() {
+                    ServerMetrics::dec(&state.metrics.connections_open);
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                if state.stopping.load(Ordering::SeqCst) {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => {
+                if state.stopping.load(Ordering::SeqCst) {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
         }
-        let Ok(stream) = stream else { continue };
-        let state = Arc::clone(state);
-        let pool = pool.clone();
-        let _ = std::thread::Builder::new()
-            .name("ceci-conn".to_string())
-            .spawn(move || {
-                let _ = serve_connection(stream, &state, &pool);
-            });
     }
 }
 
@@ -445,12 +542,34 @@ fn serve_connection(
         stream.set_write_timeout(t)?;
     }
     let mut reader = BufReader::new(stream.try_clone()?);
-    let writer: SharedWriter = Arc::new(Mutex::new(BufWriter::new(stream)));
+    let writer: SharedWriter = ConnSink::direct(stream);
     loop {
         let mut buf = String::new();
-        match reader.read_line(&mut buf) {
+        // Cap the line length: an unterminated flood is a protocol
+        // violation, not a request worth buffering without bound.
+        match (&mut reader).take(MAX_LINE as u64 + 1).read_line(&mut buf) {
             Ok(0) => return Ok(()),
+            Ok(_) if buf.len() > MAX_LINE && !buf.ends_with('\n') => {
+                ServerMetrics::inc(&state.metrics.errors);
+                let _ = respond(
+                    &writer,
+                    &[ErrorCode::Parse
+                        .line(format!("request line exceeds {MAX_LINE} bytes; closing"))],
+                );
+                return Ok(());
+            }
             Ok(_) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
+                // Non-UTF-8 bytes on the wire: a typed parse error, not a
+                // dropped connection (read_line consumed through the
+                // newline, so the stream stays line-synchronized).
+                ServerMetrics::inc(&state.metrics.errors);
+                respond(
+                    &writer,
+                    &[ErrorCode::Parse.line("request line is not valid UTF-8")],
+                )?;
+                continue;
+            }
             Err(e) if is_timeout(&e) => {
                 // An idle connection that REGISTERed a continuous query is
                 // legitimately waiting for pushed events: keep it open as
@@ -492,45 +611,51 @@ fn serve_connection(
     }
 }
 
-/// Writes one whole response (or event) under a single lock acquisition so
-/// concurrent `EVENT` pushes never interleave inside it.
+/// Writes one whole response (or event) atomically so concurrent `EVENT`
+/// pushes never interleave inside it.
 fn respond(writer: &SharedWriter, lines: &[String]) -> std::io::Result<()> {
-    let mut w = writer.lock().expect("connection writer poisoned");
-    for l in lines {
-        w.write_all(l.as_bytes())?;
-        w.write_all(b"\n")?;
-    }
-    w.flush()
+    writer.write_lines(lines)
 }
 
-/// Routes a request: control plane inline, data plane through the pool.
-/// `writer` is this connection's response sink; `REGISTER` captures it so
-/// later mutation batches can push `EVENT DELTA` lines back here.
-fn dispatch(
-    request: Request,
-    state: &Arc<ServerState>,
-    pool: &PoolHandle,
-    writer: &SharedWriter,
-) -> Vec<String> {
+/// A routed data-plane job: runs on a pool worker with the shared state and
+/// the measured queue wait, returns the response lines.
+pub(crate) type DataJob = Box<dyn FnOnce(&Arc<ServerState>, Duration) -> Vec<String> + Send>;
+
+/// Where a request executes: inline on the calling thread (control plane)
+/// or on the worker pool (data plane). Both serving modes share this
+/// routing, which is what keeps their semantics identical.
+pub(crate) enum Routed {
+    /// Already-computed response lines.
+    Inline(Vec<String>),
+    /// A job for the bounded pool (admission control applies).
+    Data(DataJob),
+}
+
+/// Routes a request: control plane executes inline and returns its lines,
+/// data plane becomes a pool job. `writer` is this connection's response
+/// sink; `REGISTER` captures it so later mutation batches can push
+/// `EVENT DELTA` lines back here.
+pub(crate) fn route(request: Request, state: &Arc<ServerState>, writer: &SharedWriter) -> Routed {
     match request {
-        Request::Ping => vec!["OK PONG".to_string()],
-        Request::Quit => vec!["OK BYE".to_string()],
-        Request::Stats { prom } => exec_stats(state, prom),
+        Request::Ping => Routed::Inline(vec!["OK PONG".to_string()]),
+        Request::Quit => Routed::Inline(vec!["OK BYE".to_string()]),
+        Request::Stats { prom } => Routed::Inline(exec_stats(state, prom)),
         Request::Load {
             name,
             path,
             edge_list,
             directed,
-        } => exec_load(state, &name, &path, edge_list, directed),
-        Request::Chaos { command } => exec_chaos(command, state, pool),
+        } => Routed::Inline(exec_load(state, &name, &path, edge_list, directed)),
+        Request::Chaos { command } => route_chaos(command, state),
         Request::Prepare { .. } | Request::Exec { .. } => {
             ServerMetrics::inc(&state.metrics.errors);
-            vec![ErrorCode::Shard
-                .line("this is a ceci-serve query daemon; PREPARE/EXEC are served by ceci-shard")]
+            Routed::Inline(vec![ErrorCode::Shard.line(
+                "this is a ceci-serve query daemon; PREPARE/EXEC are served by ceci-shard",
+            )])
         }
         data_plane => {
             let sink = Arc::clone(writer);
-            submit_to_pool(state, pool, move |job_state, queue_wait| match data_plane {
+            Routed::Data(Box::new(move |job_state, queue_wait| match data_plane {
                 Request::Match {
                     graph,
                     query_path,
@@ -575,27 +700,53 @@ fn dispatch(
                     vec![format!("OK SLEPT {ms}")]
                 }
                 _ => unreachable!("control-plane request reached the pool"),
-            })
+            }))
         }
     }
 }
 
+/// Threaded-mode dispatch: route, then run data-plane jobs synchronously
+/// through the pool (the connection thread blocks on the response).
+fn dispatch(
+    request: Request,
+    state: &Arc<ServerState>,
+    pool: &PoolHandle,
+    writer: &SharedWriter,
+) -> Vec<String> {
+    match route(request, state, writer) {
+        Routed::Inline(lines) => lines,
+        Routed::Data(job) => submit_to_pool(state, pool, job),
+    }
+}
+
 /// Submits a data-plane job and waits for its response. A worker that
-/// panics mid-job drops the response sender; the supervisor respawns the
-/// worker and this side answers a *typed* error instead of hanging or
-/// leaking a raw string.
+/// panics mid-job fires the [`Completion`] panic path during unwind; the
+/// supervisor respawns the worker and this side answers a *typed* error
+/// instead of hanging or leaking a raw string.
 ///
 /// The job closure receives the measured queue wait (admission to execution
 /// start) so request handlers can attribute it in their `service.request`
 /// span without re-deriving it.
-fn submit_to_pool<F>(state: &Arc<ServerState>, pool: &PoolHandle, run: F) -> Vec<String>
-where
-    F: FnOnce(&Arc<ServerState>, Duration) -> Vec<String> + Send + 'static,
-{
+fn submit_to_pool(state: &Arc<ServerState>, pool: &PoolHandle, run: DataJob) -> Vec<String> {
     let (tx, rx) = mpsc::channel::<Vec<String>>();
     let job_state = Arc::clone(state);
+    let panic_state = Arc::clone(state);
+    let panic_tx = tx.clone();
     let submitted = Instant::now();
     let admitted = pool.submit(Box::new(move || {
+        // Armed only once the job runs: a rejected submission drops this
+        // closure un-run and must not fire the panic path.
+        let completion = Completion::new(
+            move |lines| {
+                let _ = tx.send(lines);
+            },
+            move || {
+                ServerMetrics::inc(&panic_state.metrics.worker_drops);
+                ServerMetrics::inc(&panic_state.metrics.errors);
+                let _ = panic_tx.send(vec![ErrorCode::WorkerDropped
+                    .line("worker panicked while handling this request (worker respawned)")]);
+            },
+        );
         let queue_wait = submitted.elapsed();
         // `CHAOS STALL` slows every data-plane job (0 = disarmed).
         let stall = job_state.chaos_stall_ms.load(Ordering::SeqCst);
@@ -603,48 +754,49 @@ where
             std::thread::sleep(Duration::from_millis(stall));
         }
         let lines = run(&job_state, queue_wait);
-        let _ = tx.send(lines);
+        completion.deliver(lines);
     }));
     match admitted {
         Admission::Rejected => {
             ServerMetrics::inc(&state.metrics.rejected_busy);
             vec!["BUSY".to_string()]
         }
+        // The Completion guard guarantees a send on both the normal and
+        // the unwind path; recv error is a structural backstop only.
         Admission::Accepted => rx.recv().unwrap_or_else(|_| {
-            ServerMetrics::inc(&state.metrics.worker_drops);
             ServerMetrics::inc(&state.metrics.errors);
             vec![ErrorCode::WorkerDropped
-                .line("worker panicked while handling this request (worker respawned)")]
+                .line("worker dropped this request without responding (pool shutting down)")]
         }),
     }
 }
 
-/// Executes a `CHAOS` command (chaos mode only). `PANIC` and `DELAY` go
-/// through the pool like real data-plane work so they exercise the same
-/// failure paths a panicking `MATCH` would.
-fn exec_chaos(command: ChaosCommand, state: &Arc<ServerState>, pool: &PoolHandle) -> Vec<String> {
+/// Routes a `CHAOS` command (chaos mode only). `PANIC` and `DELAY` become
+/// data-plane jobs so they exercise the same pool failure paths a panicking
+/// `MATCH` would — in both serving modes.
+fn route_chaos(command: ChaosCommand, state: &Arc<ServerState>) -> Routed {
     if !state.config.chaos {
         ServerMetrics::inc(&state.metrics.errors);
-        return vec![ErrorCode::ChaosDisabled
-            .line("start the server with --chaos to enable fault injection")];
+        return Routed::Inline(vec![ErrorCode::ChaosDisabled
+            .line("start the server with --chaos to enable fault injection")]);
     }
     ServerMetrics::inc(&state.metrics.chaos_injected);
     match command {
         ChaosCommand::BuildPanic => {
             state.build_panic_armed.store(true, Ordering::SeqCst);
-            vec!["OK CHAOS armed=BUILDPANIC".to_string()]
+            Routed::Inline(vec!["OK CHAOS armed=BUILDPANIC".to_string()])
         }
         ChaosCommand::BuildDelay { ms } => {
             state.build_delay_ms.store(ms, Ordering::SeqCst);
-            vec![format!("OK CHAOS armed=BUILDDELAY ms={ms}")]
+            Routed::Inline(vec![format!("OK CHAOS armed=BUILDDELAY ms={ms}")])
         }
-        ChaosCommand::Panic => submit_to_pool(state, pool, |_, _| {
+        ChaosCommand::Panic => Routed::Data(Box::new(|_, _| {
             panic!("injected CHAOS PANIC in pool worker")
-        }),
-        ChaosCommand::Delay { ms } => submit_to_pool(state, pool, move |_, _| {
+        })),
+        ChaosCommand::Delay { ms } => Routed::Data(Box::new(move |_, _| {
             std::thread::sleep(Duration::from_millis(ms));
             vec![format!("OK CHAOS delayed_ms={ms}")]
-        }),
+        })),
         ChaosCommand::Exit { after_ms } => {
             // Answer first (the spawned thread exits the whole process);
             // the deterministic stand-in for kill -9.
@@ -652,11 +804,11 @@ fn exec_chaos(command: ChaosCommand, state: &Arc<ServerState>, pool: &PoolHandle
                 std::thread::sleep(Duration::from_millis(after_ms));
                 std::process::exit(42);
             });
-            vec![format!("OK CHAOS armed=EXIT after_ms={after_ms}")]
+            Routed::Inline(vec![format!("OK CHAOS armed=EXIT after_ms={after_ms}")])
         }
         ChaosCommand::Stall { ms } => {
             state.chaos_stall_ms.store(ms, Ordering::SeqCst);
-            vec![format!("OK CHAOS armed=STALL ms={ms}")]
+            Routed::Inline(vec![format!("OK CHAOS armed=STALL ms={ms}")])
         }
     }
 }
@@ -723,7 +875,7 @@ pub fn render_prometheus(state: &ServerState) -> String {
     let m = &state.metrics;
     let g = |a: &std::sync::atomic::AtomicU64| a.load(Ordering::Relaxed);
     let mut w = PromWriter::new();
-    let counters: [(&str, &str, u64); 31] = [
+    let counters: [(&str, &str, u64); 35] = [
         (
             "ceci_requests_total",
             "Request lines accepted (parse successes)",
@@ -875,6 +1027,26 @@ pub fn render_prometheus(state: &ServerState) -> String {
             "Connections closed on a socket read/write timeout",
             g(&m.timeouts),
         ),
+        (
+            "ceci_connections_accepted_total",
+            "Client connections accepted",
+            g(&m.connections_accepted),
+        ),
+        (
+            "ceci_connections_rejected_total",
+            "Connections refused BUSY at the max-conns cap",
+            g(&m.connections_rejected),
+        ),
+        (
+            "ceci_event_push_failures_total",
+            "EVENT pushes that failed on a dead subscriber connection",
+            g(&m.event_push_failures),
+        ),
+        (
+            "ceci_slow_reader_disconnects_total",
+            "Connections dropped after overflowing their write queue",
+            g(&m.slow_reader_disconnects),
+        ),
     ];
     for (name, help, value) in counters {
         w.counter(name, help, value);
@@ -951,6 +1123,11 @@ pub fn render_prometheus(state: &ServerState) -> String {
         "Continuous queries currently registered",
         state.continuous_len() as u64,
     );
+    w.gauge(
+        "ceci_connections_open",
+        "Client connections currently open",
+        m.connections_open.load(Ordering::Relaxed),
+    );
     for (hist, name, help) in [
         (
             &m.match_latency,
@@ -1018,11 +1195,7 @@ fn exec_load(
             }
             // Continuous queries are pinned to the replaced entry's epoch;
             // their totals are meaningless against the new graph.
-            state
-                .continuous
-                .lock()
-                .expect("continuous lock poisoned")
-                .retain(|_, cq| cq.graph != name);
+            state.continuous.lock().retain(|_, cq| cq.graph != name);
             ServerMetrics::inc(&state.metrics.load_requests);
             vec![format!(
                 "OK LOADED name={name} vertices={vertices} edges={edges} epoch={}",
@@ -1575,10 +1748,7 @@ fn exec_match(
     // `RAW` and `EXACT` both opt out and run the pre-adaptive exact path.
     if !raw && !exact {
         if let (Some(ms), Some(choice)) = (deadline_ms, index.choice.as_ref()) {
-            let ns_per_unit = index
-                .feedback
-                .lock()
-                .expect("feedback lock poisoned")
+            let ns_per_unit = lock_recover(&index.feedback)
                 .as_ref()
                 .map_or(DEFAULT_NS_PER_UNIT, |f| f.ns_per_unit);
             let deadline = Duration::from_millis(ms);
@@ -1685,10 +1855,7 @@ fn exec_match(
         let pins: Option<Vec<Kernel>> = if raw {
             None
         } else {
-            index
-                .feedback
-                .lock()
-                .expect("feedback lock poisoned")
+            lock_recover(&index.feedback)
                 .as_ref()
                 .map(|f| f.depth_kernels.clone())
         };
@@ -1719,7 +1886,7 @@ fn exec_match(
         );
         if need_feedback && !result.cancelled {
             if let Some(profile) = &result.profile {
-                let mut slot = index.feedback.lock().expect("feedback lock poisoned");
+                let mut slot = lock_recover(&index.feedback);
                 if slot.is_none() {
                     *slot = Some(PlanFeedback {
                         depth_kernels: kernels_from_profile(profile),
@@ -1933,19 +2100,22 @@ fn exec_explain(
         };
         let result =
             enumerate_parallel_cancellable(&graph, &index.plan, &index.ceci, &options, None);
-        let profile = result
-            .profile
-            .expect("profile requested via ParallelOptions");
-        let table = ceci_core::explain_profile(&index.plan, &profile, &result.counters);
-        for l in table.lines() {
-            lines.push(format!("| {l}"));
-        }
-        // Estimated vs actual per-depth volumes (q-error column): how well
-        // the planner's cost model predicted this execution.
-        if let Some(choice) = index.choice.as_ref() {
-            for l in explain_estimates(&index.plan, &choice.cost, &profile).lines() {
+        // `profile: true` was requested, but degrade gracefully if the
+        // enumerator returned none rather than panicking the worker.
+        if let Some(profile) = result.profile.as_ref() {
+            let table = ceci_core::explain_profile(&index.plan, profile, &result.counters);
+            for l in table.lines() {
                 lines.push(format!("| {l}"));
             }
+            // Estimated vs actual per-depth volumes (q-error column): how
+            // well the planner's cost model predicted this execution.
+            if let Some(choice) = index.choice.as_ref() {
+                for l in explain_estimates(&index.plan, &choice.cost, profile).lines() {
+                    lines.push(format!("| {l}"));
+                }
+            }
+        } else {
+            lines.push("| profile: unavailable for this run".to_string());
         }
     }
     lines.push("OK EXPLAIN".to_string());
@@ -1981,7 +2151,7 @@ fn exec_mutate_vids(
         ServerMetrics::inc(&state.metrics.errors);
         return vec![ErrorCode::UnknownGraph.line(format!("unknown graph {graph_name:?}"))];
     };
-    let mut continuous = state.continuous.lock().expect("continuous lock poisoned");
+    let mut continuous = state.continuous.lock();
     let outcome = match entry.apply_batch(
         adds,
         dels,
@@ -2037,7 +2207,10 @@ fn exec_mutate_vids(
                 outcome.sub_epoch, delta.new_matches, delta.retired_matches, cq.total,
             );
             if respond(&cq.sink, &[event]).is_err() {
-                // The registering connection is gone; drop the registration.
+                // The registering connection is gone (socket error, closed,
+                // or its write queue overflowed): auto-unregister so dead
+                // subscribers don't accumulate, and record the failure.
+                ServerMetrics::inc(&state.metrics.event_push_failures);
                 dead.push(name.clone());
             } else {
                 ServerMetrics::inc(&state.metrics.continuous_events);
@@ -2097,7 +2270,7 @@ fn exec_register(
             return vec![ErrorCode::Query.line(e)];
         }
     };
-    let mut continuous = state.continuous.lock().expect("continuous lock poisoned");
+    let mut continuous = state.continuous.lock();
     let (graph, sub_epoch) = entry.snapshot();
     let built = catch_unwind(AssertUnwindSafe(|| {
         let plan = Arc::new(QueryPlan::new(query, &graph));
@@ -2129,11 +2302,7 @@ fn exec_register(
 
 /// `UNREGISTER <name>`: drops a continuous-query registration.
 fn exec_unregister(state: &ServerState, name: &str) -> Vec<String> {
-    let removed = state
-        .continuous
-        .lock()
-        .expect("continuous lock poisoned")
-        .remove(name);
+    let removed = state.continuous.lock().remove(name);
     match removed {
         Some(_) => vec![format!("OK UNREGISTERED name={name}")],
         None => {

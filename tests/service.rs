@@ -337,7 +337,7 @@ fn eight_concurrent_clients_sustained_without_error() {
             clients: 8,
             requests_per_client: 20,
             request: format!("MATCH g {query_path}"),
-            retry: None,
+            ..LoadConfig::default()
         },
     );
     assert_eq!(report.ok, 8 * 20, "all requests succeed: {report:?}");
@@ -1243,6 +1243,376 @@ fn adaptive_counts_bit_identical_to_raw_and_fixed() {
     }
     handle.shutdown();
     fixed_handle.shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Connection lifecycle: the event-driven server core under malformed input,
+// abrupt disconnects, half-open peers, dead subscribers, and thousands of
+// concurrent connections.
+// ---------------------------------------------------------------------------
+
+/// Reads one `\n`-terminated line from a raw socket (no client framing).
+fn read_raw_line(stream: &mut std::net::TcpStream) -> std::io::Result<String> {
+    use std::io::Read;
+    let mut line = Vec::new();
+    let mut byte = [0u8; 1];
+    loop {
+        let n = stream.read(&mut byte)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                format!("EOF after {:?}", String::from_utf8_lossy(&line)),
+            ));
+        }
+        if byte[0] == b'\n' {
+            return Ok(String::from_utf8_lossy(&line).into_owned());
+        }
+        line.push(byte[0]);
+    }
+}
+
+/// Polls `probe` until it returns true or the deadline passes.
+fn wait_until(deadline: Duration, mut probe: impl FnMut() -> bool) -> bool {
+    let t0 = Instant::now();
+    while t0.elapsed() < deadline {
+        if probe() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    probe()
+}
+
+#[test]
+fn malformed_frames_get_typed_errors_not_crashes() {
+    use std::io::Write;
+    let scratch = Scratch::new("malformed");
+    let graph = small_graph();
+    let graph_path = scratch.write_graph("data.graph", &graph);
+    let (handle, _state) = serve(ServeConfig::default());
+    let mut client = Client::connect(handle.addr()).unwrap();
+    client.request(&format!("LOAD g {graph_path}")).unwrap();
+
+    // Exact malformed frames, each answered with a typed ERR on the same
+    // connection — never a hang, a close, or a panic.
+    for (frame, code) in [
+        ("FROBNICATE", "ERR E_PARSE"),              // unknown verb
+        ("MATCH g", "ERR E_PARSE"),                 // truncated MATCH
+        ("MATCH", "ERR E_PARSE"),                   // bare verb
+        ("ADDEDGE g 1 banana", "ERR E_PARSE"),      // bad mutation endpoint
+        ("BATCH g +1:2 -x:y extra", "ERR E_PARSE"), // mangled batch token
+        ("MATCH g /q LIMIT banana", "ERR E_PARSE"), // bad LIMIT operand
+    ] {
+        let resp = client.request(frame).unwrap();
+        assert!(
+            resp.terminal.starts_with(code),
+            "{frame:?} answered {:?}",
+            resp.terminal
+        );
+    }
+    // The connection survives the whole gauntlet.
+    assert_eq!(client.request("PING").unwrap().terminal, "OK PONG");
+
+    // Raw non-UTF-8 bytes: typed parse error, connection still usable.
+    let mut raw = std::net::TcpStream::connect(handle.addr()).unwrap();
+    raw.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    raw.write_all(b"MATCH g \xff\xfe\xfd\n").unwrap();
+    let line = read_raw_line(&mut raw).unwrap();
+    assert!(line.starts_with("ERR E_PARSE"), "{line:?}");
+    raw.write_all(b"PING\n").unwrap();
+    assert_eq!(read_raw_line(&mut raw).unwrap(), "OK PONG");
+    handle.shutdown();
+}
+
+#[test]
+fn oversized_request_line_is_rejected_and_closed() {
+    use std::io::Write;
+    let (handle, state) = serve(ServeConfig::default());
+    let mut raw = std::net::TcpStream::connect(handle.addr()).unwrap();
+    raw.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    // > 1 MiB of garbage with no newline: the server must bound its buffer,
+    // answer a typed parse error, and close — not accumulate forever.
+    let chunk = vec![b'A'; 64 * 1024];
+    for _ in 0..17 {
+        if raw.write_all(&chunk).is_err() {
+            break; // server already closed on us mid-send; fine
+        }
+    }
+    raw.flush().ok();
+    match read_raw_line(&mut raw) {
+        Ok(line) => {
+            assert!(line.starts_with("ERR E_PARSE"), "{line:?}");
+            assert!(line.contains("exceeds"), "{line:?}");
+            // After the error the server closes the connection.
+            let mut rest = Vec::new();
+            std::io::Read::read_to_end(&mut raw, &mut rest).ok();
+        }
+        Err(e) => panic!("no typed error before close: {e}"),
+    }
+    assert!(
+        state
+            .metrics
+            .errors
+            .load(std::sync::atomic::Ordering::Relaxed)
+            >= 1
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn abrupt_disconnect_mid_request_does_not_wedge_the_server() {
+    use std::io::Write;
+    let (handle, state) = serve(ServeConfig::default());
+
+    // Park a request on the data plane, then vanish without reading the
+    // response: the worker's completion lands on a dead connection and must
+    // be discarded, not crash the loop or leak the slot.
+    {
+        let mut raw = std::net::TcpStream::connect(handle.addr()).unwrap();
+        raw.write_all(b"SLEEP 300\n").unwrap();
+        raw.flush().unwrap();
+        std::thread::sleep(Duration::from_millis(50));
+        // Drop: RST/FIN while the request is in flight.
+    }
+    // A half-written request (no newline) followed by a vanish exercises
+    // the partial-read teardown path too.
+    {
+        let mut raw = std::net::TcpStream::connect(handle.addr()).unwrap();
+        raw.write_all(b"PIN").unwrap();
+        raw.flush().unwrap();
+    }
+
+    // The server keeps serving and eventually reaps both connections.
+    let gauge = || {
+        state
+            .metrics
+            .connections_open
+            .load(std::sync::atomic::Ordering::Relaxed)
+    };
+    let mut probe = Client::connect(handle.addr()).unwrap();
+    assert_eq!(probe.request("PING").unwrap().terminal, "OK PONG");
+    assert!(
+        wait_until(Duration::from_secs(5), || gauge() <= 1),
+        "dead connections never reaped: {} still open",
+        gauge()
+    );
+    assert_eq!(probe.request("PING").unwrap().terminal, "OK PONG");
+    handle.shutdown();
+}
+
+#[test]
+fn half_open_idle_connection_times_out_with_typed_notice() {
+    let (handle, state) = serve(ServeConfig {
+        io_timeout_ms: 200,
+        ..ServeConfig::default()
+    });
+    // A peer that connects and then never sends a complete request — the
+    // shape of a half-open socket — is expired by the idle sweep with a
+    // typed notice instead of holding its slot forever.
+    let mut raw = std::net::TcpStream::connect(handle.addr()).unwrap();
+    raw.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    let t0 = Instant::now();
+    let line = read_raw_line(&mut raw).expect("timeout notice before close");
+    assert!(line.starts_with("ERR E_TIMEOUT"), "{line:?}");
+    assert!(
+        t0.elapsed() < Duration::from_secs(8),
+        "sweep took {:?}",
+        t0.elapsed()
+    );
+    // ...and then the connection is closed.
+    let mut rest = Vec::new();
+    std::io::Read::read_to_end(&mut raw, &mut rest).ok();
+    assert!(
+        state
+            .metrics
+            .timeouts
+            .load(std::sync::atomic::Ordering::Relaxed)
+            >= 1
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn eof_without_trailing_newline_still_answers() {
+    use std::io::Write;
+    let (handle, _state) = serve(ServeConfig::default());
+    // "PING" + FIN, no newline: EOF terminates the final line, the request
+    // runs, and the response comes back before the close.
+    let mut raw = std::net::TcpStream::connect(handle.addr()).unwrap();
+    raw.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    raw.write_all(b"PING").unwrap();
+    raw.flush().unwrap();
+    raw.shutdown(std::net::Shutdown::Write).unwrap();
+    assert_eq!(read_raw_line(&mut raw).unwrap(), "OK PONG");
+    handle.shutdown();
+}
+
+#[test]
+fn dead_subscriber_is_auto_unregistered_on_push_failure() {
+    let scratch = Scratch::new("dead-sub");
+    let graph = small_graph();
+    let pattern = query_from(&graph, 3, 13);
+    let graph_path = scratch.write_graph("data.graph", &graph);
+    let query_path = scratch.write_graph("query.graph", &pattern);
+
+    let (handle, state) = serve(ServeConfig::default());
+    let mut mutator = Client::connect(handle.addr()).unwrap();
+    mutator.request(&format!("LOAD g {graph_path}")).unwrap();
+
+    // REGISTER from a connection that then dies without UNREGISTER.
+    {
+        let mut sub = Client::connect(handle.addr()).unwrap();
+        let resp = sub.request(&format!("REGISTER q g {query_path}")).unwrap();
+        assert!(resp.is_ok(), "{}", resp.terminal);
+    }
+    assert_eq!(state.continuous_len(), 1, "registration outlives the drop");
+
+    // Wait for the server to reap the dead connection (its sink is then
+    // closed), then mutate: the EVENT push fails, the registration is
+    // auto-removed, and the failure is counted — no wedge, no leak.
+    let gauge = || {
+        state
+            .metrics
+            .connections_open
+            .load(std::sync::atomic::Ordering::Relaxed)
+    };
+    assert!(
+        wait_until(Duration::from_secs(5), || gauge() <= 1),
+        "subscriber connection never reaped"
+    );
+    let (add, _) = applicable_mutation(&graph, 53);
+    let resp = mutator
+        .request(&format!("ADDEDGE g {} {}", add.0, add.1))
+        .unwrap();
+    assert!(resp.is_ok(), "{}", resp.terminal);
+    assert!(
+        wait_until(Duration::from_secs(5), || state.continuous_len() == 0),
+        "dead registration survived a failed push"
+    );
+    assert!(
+        state
+            .metrics
+            .event_push_failures
+            .load(std::sync::atomic::Ordering::Relaxed)
+            >= 1
+    );
+    // Later mutations no longer try the dead sink.
+    let (add2, _) = applicable_mutation(&mutated_copy(&graph, &[add], &[]), 59);
+    let resp = mutator
+        .request(&format!("ADDEDGE g {} {}", add2.0, add2.1))
+        .unwrap();
+    assert!(resp.is_ok(), "{}", resp.terminal);
+    handle.shutdown();
+}
+
+#[test]
+fn event_loop_and_threaded_counts_are_bit_identical() {
+    let scratch = Scratch::new("mode-diff");
+    let graph = small_graph();
+    let graph_path = scratch.write_graph("data.graph", &graph);
+
+    let (event_handle, _es) = serve(ServeConfig::default());
+    let (threaded_handle, _ts) = serve(ServeConfig {
+        event_loop: false,
+        ..ServeConfig::default()
+    });
+    let mut ev = Client::connect(event_handle.addr()).unwrap();
+    let mut th = Client::connect(threaded_handle.addr()).unwrap();
+    ev.request(&format!("LOAD g {graph_path}")).unwrap();
+    th.request(&format!("LOAD g {graph_path}")).unwrap();
+
+    for (size, seed) in [(3, 5), (4, 13), (5, 7)] {
+        let pattern = query_from(&graph, size, seed);
+        let expected = direct_count(&graph, &pattern);
+        let query_path = scratch.write_graph(&format!("q{size}-{seed}.graph"), &pattern);
+        let a = ev.request(&format!("MATCH g {query_path}")).unwrap();
+        let b = th.request(&format!("MATCH g {query_path}")).unwrap();
+        assert_eq!(
+            a.field_u64("count"),
+            Some(expected),
+            "event: {}",
+            a.terminal
+        );
+        assert_eq!(
+            b.field_u64("count"),
+            Some(expected),
+            "threaded: {}",
+            b.terminal
+        );
+    }
+    assert!(event_handle.shutdown().clean());
+    assert!(threaded_handle.shutdown().clean());
+}
+
+#[test]
+fn connection_cap_rejects_with_busy_and_counts_it() {
+    let (handle, state) = serve(ServeConfig {
+        max_conns: 2,
+        ..ServeConfig::default()
+    });
+    let mut a = Client::connect(handle.addr()).unwrap();
+    let mut b = Client::connect(handle.addr()).unwrap();
+    assert_eq!(a.request("PING").unwrap().terminal, "OK PONG");
+    assert_eq!(b.request("PING").unwrap().terminal, "OK PONG");
+
+    // The third connection is answered BUSY and closed at accept time.
+    let mut raw = std::net::TcpStream::connect(handle.addr()).unwrap();
+    raw.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    let line = read_raw_line(&mut raw).expect("BUSY before close");
+    assert_eq!(line, "BUSY");
+    assert!(
+        state
+            .metrics
+            .connections_rejected
+            .load(std::sync::atomic::Ordering::Relaxed)
+            >= 1
+    );
+    // Existing connections are unaffected.
+    assert_eq!(a.request("PING").unwrap().terminal, "OK PONG");
+    assert_eq!(b.request("PING").unwrap().terminal, "OK PONG");
+    handle.shutdown();
+}
+
+#[test]
+fn two_thousand_concurrent_clients_sustained_without_drops() {
+    let (handle, state) = serve(ServeConfig::default());
+    let report = run_load(
+        handle.addr(),
+        &LoadConfig {
+            clients: 2000,
+            requests_per_client: 3,
+            request: "PING".to_string(),
+            // Closed loops with think time: ~2000 concurrent mostly-idle
+            // connections at a bounded offered rate, which is exactly the
+            // shape the event loop exists for.
+            think_ms: 200,
+            ..LoadConfig::default()
+        },
+    );
+    assert_eq!(report.ok, 2000 * 3, "dropped responses: {report:?}");
+    assert_eq!(report.err, 0, "{report:?}");
+    assert_eq!(report.io_errors, 0, "{report:?}");
+    assert_eq!(report.busy, 0, "{report:?}");
+    let accepted = state
+        .metrics
+        .connections_accepted
+        .load(std::sync::atomic::Ordering::Relaxed);
+    assert!(accepted >= 2000, "accepted {accepted}");
+    assert!(handle.shutdown().clean());
+}
+
+#[test]
+fn shutdown_reports_clean_join_in_both_modes() {
+    let (event_handle, _s1) = serve(ServeConfig::default());
+    let report = event_handle.shutdown();
+    assert!(report.clean(), "event-loop shutdown: {report:?}");
+
+    let (threaded_handle, _s2) = serve(ServeConfig {
+        event_loop: false,
+        ..ServeConfig::default()
+    });
+    let report = threaded_handle.shutdown();
+    assert!(report.clean(), "threaded shutdown: {report:?}");
 }
 
 #[test]

@@ -2,9 +2,11 @@
 //!
 //! The workspace has no network access to crates.io, so the handful of libc
 //! items actually used (per-thread CPU clock reads in `ceci-core::metrics`,
-//! `mmap(2)` for out-of-core CSR loading in `ceci-graph::io::binary`, and
-//! `setsockopt(2)` for shard-listener address reuse in `ceci-service`) are
-//! declared here directly against the system C library.
+//! `mmap(2)` for out-of-core CSR loading in `ceci-graph::io::binary`,
+//! `setsockopt(2)` for shard-listener address reuse, and the
+//! `epoll(7)`/`eventfd(2)`/`fcntl(2)` readiness primitives behind the
+//! event-driven server core in `ceci-service`) are declared here directly
+//! against the system C library.
 
 #![allow(non_camel_case_types)]
 
@@ -24,6 +26,10 @@ pub type size_t = usize;
 pub type off_t = i64;
 /// C `socklen_t` on Linux.
 pub type socklen_t = u32;
+/// C `ssize_t` on 64-bit Linux.
+pub type ssize_t = isize;
+/// C `unsigned int`.
+pub type c_uint = u32;
 
 /// C `struct timespec`.
 #[repr(C)]
@@ -56,6 +62,47 @@ pub const AF_INET: c_int = 2;
 pub const SOCK_STREAM: c_int = 1;
 /// Close-on-exec socket creation flag (Linux value).
 pub const SOCK_CLOEXEC: c_int = 0o2000000;
+
+/// `epoll` readiness: the fd is readable (Linux value).
+pub const EPOLLIN: u32 = 0x001;
+/// `epoll` readiness: the fd is writable (Linux value).
+pub const EPOLLOUT: u32 = 0x004;
+/// `epoll` readiness: error condition on the fd (always reported).
+pub const EPOLLERR: u32 = 0x008;
+/// `epoll` readiness: hang-up on the fd (always reported).
+pub const EPOLLHUP: u32 = 0x010;
+/// `epoll` readiness: peer closed its writing half (Linux value).
+pub const EPOLLRDHUP: u32 = 0x2000;
+/// `epoll_ctl` op: register a new fd.
+pub const EPOLL_CTL_ADD: c_int = 1;
+/// `epoll_ctl` op: deregister an fd.
+pub const EPOLL_CTL_DEL: c_int = 2;
+/// `epoll_ctl` op: change an fd's interest set.
+pub const EPOLL_CTL_MOD: c_int = 3;
+/// Close-on-exec flag for `epoll_create1` (Linux value).
+pub const EPOLL_CLOEXEC: c_int = 0o2000000;
+/// `eventfd` flag: non-blocking reads/writes (Linux value).
+pub const EFD_NONBLOCK: c_int = 0o4000;
+/// `eventfd` flag: close-on-exec (Linux value).
+pub const EFD_CLOEXEC: c_int = 0o2000000;
+/// `fcntl` command: get file-status flags.
+pub const F_GETFL: c_int = 3;
+/// `fcntl` command: set file-status flags.
+pub const F_SETFL: c_int = 4;
+/// File-status flag: non-blocking I/O (Linux value).
+pub const O_NONBLOCK: c_int = 0o4000;
+
+/// C `struct epoll_event`. Packed on x86_64 (the kernel ABI there has no
+/// padding between `events` and `data`); naturally aligned elsewhere.
+#[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+#[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+#[derive(Clone, Copy, Debug, Default)]
+pub struct epoll_event {
+    /// Readiness bit set (`EPOLLIN | ...`).
+    pub events: u32,
+    /// Caller-owned token, returned verbatim with each ready event.
+    pub u64: u64,
+}
 
 /// C `sa_family_t` on Linux.
 pub type sa_family_t = u16;
@@ -125,6 +172,25 @@ extern "C" {
     pub fn listen(socket: c_int, backlog: c_int) -> c_int;
     /// POSIX `close(2)`.
     pub fn close(fd: c_int) -> c_int;
+    /// Linux `epoll_create1(2)`.
+    pub fn epoll_create1(flags: c_int) -> c_int;
+    /// Linux `epoll_ctl(2)`.
+    pub fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut epoll_event) -> c_int;
+    /// Linux `epoll_wait(2)`.
+    pub fn epoll_wait(
+        epfd: c_int,
+        events: *mut epoll_event,
+        maxevents: c_int,
+        timeout: c_int,
+    ) -> c_int;
+    /// Linux `eventfd(2)`.
+    pub fn eventfd(initval: c_uint, flags: c_int) -> c_int;
+    /// POSIX `fcntl(2)` (the `F_GETFL`/`F_SETFL` two-int form).
+    pub fn fcntl(fd: c_int, cmd: c_int, arg: c_int) -> c_int;
+    /// POSIX `read(2)`.
+    pub fn read(fd: c_int, buf: *mut c_void, count: size_t) -> ssize_t;
+    /// POSIX `write(2)`.
+    pub fn write(fd: c_int, buf: *const c_void, count: size_t) -> ssize_t;
 }
 
 #[cfg(test)]
@@ -167,5 +233,64 @@ mod tests {
         assert_eq!(bytes, b"mmap-probe");
         assert_eq!(unsafe { munmap(ptr, len) }, 0);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn eventfd_wakes_epoll_and_drains() {
+        unsafe {
+            let efd = eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+            assert!(efd >= 0, "eventfd failed");
+            let epfd = epoll_create1(EPOLL_CLOEXEC);
+            assert!(epfd >= 0, "epoll_create1 failed");
+
+            let mut ev = epoll_event {
+                events: EPOLLIN,
+                u64: 42,
+            };
+            assert_eq!(epoll_ctl(epfd, EPOLL_CTL_ADD, efd, &mut ev), 0);
+
+            // Nothing written yet: a zero-timeout wait reports no events.
+            let mut ready = [epoll_event::default(); 4];
+            assert_eq!(epoll_wait(epfd, ready.as_mut_ptr(), 4, 0), 0);
+
+            // Write the 8-byte counter increment; the fd becomes readable.
+            let one: u64 = 1;
+            assert_eq!(
+                write(efd, &one as *const u64 as *const c_void, 8),
+                8 as ssize_t
+            );
+            let n = epoll_wait(epfd, ready.as_mut_ptr(), 4, 1000);
+            assert_eq!(n, 1);
+            let got = ready[0];
+            assert_eq!({ got.u64 }, 42);
+            assert_ne!({ got.events } & EPOLLIN, 0);
+
+            // Drain; a second nonblocking read must fail (EFD_NONBLOCK).
+            let mut counter: u64 = 0;
+            assert_eq!(
+                read(efd, &mut counter as *mut u64 as *mut c_void, 8),
+                8 as ssize_t
+            );
+            assert_eq!(counter, 1);
+            assert_eq!(read(efd, &mut counter as *mut u64 as *mut c_void, 8), -1);
+
+            assert_eq!(epoll_ctl(epfd, EPOLL_CTL_DEL, efd, std::ptr::null_mut()), 0);
+            assert_eq!(close(epfd), 0);
+            assert_eq!(close(efd), 0);
+        }
+    }
+
+    #[test]
+    fn fcntl_toggles_nonblocking() {
+        unsafe {
+            let efd = eventfd(0, 0);
+            assert!(efd >= 0);
+            let flags = fcntl(efd, F_GETFL, 0);
+            assert!(flags >= 0);
+            assert_eq!(flags & O_NONBLOCK, 0);
+            assert_eq!(fcntl(efd, F_SETFL, flags | O_NONBLOCK), 0);
+            assert_ne!(fcntl(efd, F_GETFL, 0) & O_NONBLOCK, 0);
+            assert_eq!(close(efd), 0);
+        }
     }
 }
